@@ -1,0 +1,175 @@
+(** Benchmark harness: regenerates every table and figure of the paper's
+    evaluation (§V) and times each with Bechamel.
+
+    Layout:
+    - first the full evaluation report is printed (Table I, Fig. 2 data,
+      Table II, §V.A OOP counts, §V.D inertia, §V.E robustness), with the
+      paper-reported values alongside;
+    - then Table III measured the paper's way (CPU time, average of 5 runs);
+    - then one Bechamel [Test.make] per table/figure: the six Table III
+      analysis runs (tool × corpus version) and the artifact-regeneration
+      pipelines for Table I, Fig. 2, Table II and §V.D. *)
+
+open Bechamel
+open Toolkit
+
+(* ------------------------------------------------------------------ *)
+(* Shared fixtures                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let corpus12 = Corpus.generate Corpus.Plan.V2012
+let corpus14 = Corpus.generate Corpus.Plan.V2014
+
+let tools : Secflow.Tool.t list = [ Phpsafe.tool; Rips.tool; Pixy.tool ]
+
+let run_tool_on (tool : Secflow.Tool.t) corpus =
+  List.map
+    (fun (p : Corpus.Catalog.plugin_output) ->
+      (p.Corpus.Catalog.po_name,
+       tool.Secflow.Tool.analyze_project p.Corpus.Catalog.po_project))
+    corpus.Corpus.plugins
+
+(* Table III the paper's way: CPU time, average of five runs. *)
+let timed_runs = 5
+
+let detection_time (tool : Secflow.Tool.t) corpus =
+  let t0 = Sys.time () in
+  for _ = 1 to timed_runs do
+    ignore (run_tool_on tool corpus)
+  done;
+  (Sys.time () -. t0) /. float_of_int timed_runs
+
+(* Precomputed evaluations reused by the report and the fast benches. *)
+let ev2012 = Evalkit.Runner.evaluate Corpus.Plan.V2012
+let ev2014 = Evalkit.Runner.evaluate Corpus.Plan.V2014
+
+(* ------------------------------------------------------------------ *)
+(* Bechamel tests: one per table / figure                              *)
+(* ------------------------------------------------------------------ *)
+
+(* Table III — whole-corpus analysis per tool and version. *)
+let table3_tests =
+  List.concat_map
+    (fun (tool : Secflow.Tool.t) ->
+      [ Test.make
+          ~name:(Printf.sprintf "table3/%s-2012" tool.Secflow.Tool.name)
+          (Staged.stage (fun () -> ignore (run_tool_on tool corpus12)));
+        Test.make
+          ~name:(Printf.sprintf "table3/%s-2014" tool.Secflow.Tool.name)
+          (Staged.stage (fun () -> ignore (run_tool_on tool corpus14))) ])
+    tools
+
+(* Table I — classification + metrics over the raw tool outputs. *)
+let table1_test =
+  Test.make ~name:"table1/classification+metrics"
+    (Staged.stage (fun () ->
+         let classified =
+           List.map
+             (fun (r : Evalkit.Runner.tool_run) ->
+               Evalkit.Matching.classify ~seeds:corpus12.Corpus.seeds
+                 r.Evalkit.Runner.tr_output)
+             ev2012.Evalkit.Runner.ev_runs
+         in
+         let union = Evalkit.Matching.detected_union classified in
+         List.iter
+           (fun c ->
+             ignore (Evalkit.Matching.metrics_for ~union c);
+             ignore (Evalkit.Matching.metrics_for ~kind:Secflow.Vuln.Xss ~union c);
+             ignore (Evalkit.Matching.metrics_for ~kind:Secflow.Vuln.Sqli ~union c))
+           classified))
+
+(* Fig. 2 — Venn region computation. *)
+let figure2_test =
+  Test.make ~name:"figure2/venn-regions"
+    (Staged.stage (fun () ->
+         let get name = Evalkit.Runner.classified_for ev2012 name in
+         ignore
+           (Evalkit.Venn.compute
+              ~all_real:(Corpus.real_vulns corpus12)
+              ~phpsafe:(get "phpSAFE") ~rips:(get "RIPS") ~pixy:(get "Pixy"))))
+
+(* Table II — input-vector classification with the persistence join. *)
+let table2_test =
+  Test.make ~name:"table2/input-vectors"
+    (Staged.stage (fun () ->
+         ignore
+           (Evalkit.Vectors.compute
+              ~union_2012:ev2012.Evalkit.Runner.ev_union
+              ~union_2014:ev2014.Evalkit.Runner.ev_union)))
+
+(* §V.D — inertia analysis. *)
+let inertia_test =
+  Test.make ~name:"sectionVD/inertia"
+    (Staged.stage (fun () ->
+         ignore
+           (Evalkit.Inertia.compute
+              ~union_2012:ev2012.Evalkit.Runner.ev_union
+              ~union_2014:ev2014.Evalkit.Runner.ev_union)))
+
+(* corpus generation itself, since every artifact depends on it *)
+let corpus_test =
+  Test.make ~name:"corpus/generate-2012"
+    (Staged.stage (fun () -> ignore (Corpus.generate Corpus.Plan.V2012)))
+
+(* ------------------------------------------------------------------ *)
+(* Bechamel driver                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let benchmark tests =
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]
+  in
+  let instances = [ Instance.monotonic_clock ] in
+  let cfg =
+    Benchmark.cfg ~limit:50 ~quota:(Time.second 3.0) ~stabilize:false
+      ~kde:None ()
+  in
+  List.map
+    (fun test ->
+      let name = Test.Elt.name test in
+      let raw = Benchmark.run cfg instances test in
+      (name, Analyze.one ols Instance.monotonic_clock raw))
+    tests
+
+let print_bench_results results =
+  Format.printf "@.== Bechamel micro-benchmarks (OLS over runs) ==@.";
+  List.iter
+    (fun (name, ols) ->
+      let est =
+        match Analyze.OLS.estimates ols with Some (x :: _) -> x | _ -> nan
+      in
+      let r2 =
+        match Analyze.OLS.r_square ols with Some r -> r | None -> nan
+      in
+      Format.printf "%-34s %12.3f ms/run  (r²=%.3f)@." name (est /. 1e6) r2)
+    results
+
+(* ------------------------------------------------------------------ *)
+(* Main                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let () =
+  Format.printf "phpSAFE reproduction — full evaluation + benchmarks@.";
+  Evalkit.Tables.full_report ~with_ablation:true Format.std_formatter ~ev2012
+    ~ev2014;
+  Format.printf
+    "@.== TABLE III (paper protocol): CPU time, average of %d runs ==@."
+    timed_runs;
+  List.iter
+    (fun (tool : Secflow.Tool.t) ->
+      let t12 = detection_time tool corpus12 in
+      let t14 = detection_time tool corpus14 in
+      Format.printf "%-8s  V.2012: %6.2f s   V.2014: %6.2f s@."
+        tool.Secflow.Tool.name t12 t14)
+    tools;
+  (* E10: scaling study *)
+  Evalkit.Scaling.print Format.std_formatter
+    (Evalkit.Scaling.measure Corpus.Plan.V2012);
+  let tests =
+    table1_test :: figure2_test :: table2_test :: inertia_test :: corpus_test
+    :: table3_tests
+    |> List.concat_map Test.elements
+  in
+  let results = benchmark tests in
+  print_bench_results results;
+  Format.printf "@.done.@."

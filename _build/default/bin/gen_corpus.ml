@@ -1,0 +1,71 @@
+(** Writes the synthetic plugin corpus to disk as real [.php] trees, plus a
+    [ground_truth.tsv] per version — useful for inspecting the generated
+    code and for running the CLI against it. *)
+
+let write_file path contents =
+  let dir = Filename.dirname path in
+  let rec mkdirs d =
+    if d <> "." && d <> "/" && not (Sys.file_exists d) then begin
+      mkdirs (Filename.dirname d);
+      Sys.mkdir d 0o755
+    end
+  in
+  mkdirs dir;
+  let oc = open_out_bin path in
+  Fun.protect ~finally:(fun () -> close_out oc) (fun () -> output_string oc contents)
+
+let label_string (s : Corpus.Gt.seed) =
+  match s.Corpus.Gt.label with
+  | Corpus.Gt.Real_vuln { kind; vector; oop_wordpress } ->
+      Printf.sprintf "vuln\t%s\t%s\t%b"
+        (Secflow.Vuln.kind_to_string kind)
+        (Secflow.Vuln.vector_to_string vector)
+        oop_wordpress
+  | Corpus.Gt.Fp_trap { kind; why } ->
+      Printf.sprintf "trap\t%s\t%s\t-" (Secflow.Vuln.kind_to_string kind) why
+
+let dump_version root version =
+  let corpus = Corpus.generate version in
+  let vdir = Filename.concat root (Corpus.Plan.version_to_string version) in
+  List.iter
+    (fun (p : Corpus.Catalog.plugin_output) ->
+      List.iter
+        (fun (f : Phplang.Project.file) ->
+          write_file
+            (Filename.concat (Filename.concat vdir p.Corpus.Catalog.po_name)
+               f.Phplang.Project.path)
+            f.Phplang.Project.source)
+        p.Corpus.Catalog.po_project.Phplang.Project.files)
+    corpus.Corpus.plugins;
+  let gt =
+    corpus.Corpus.seeds
+    |> List.map (fun (s : Corpus.Gt.seed) ->
+           Printf.sprintf "%s\t%s\t%s\t%s\t%d\t%s" s.Corpus.Gt.seed_id
+             s.Corpus.Gt.pattern s.Corpus.Gt.plugin s.Corpus.Gt.file
+             s.Corpus.Gt.line (label_string s))
+    |> String.concat "\n"
+  in
+  write_file (Filename.concat vdir "ground_truth.tsv")
+    ("seed\tpattern\tplugin\tfile\tline\tclass\tkind\tvector/why\toop\n" ^ gt ^ "\n");
+  let files, loc = Corpus.stats corpus in
+  Printf.printf "%s: wrote %d plugins, %d files, %d LOC under %s\n"
+    (Corpus.Plan.version_to_string version)
+    (List.length corpus.Corpus.plugins)
+    files loc vdir
+
+let run root =
+  dump_version root Corpus.Plan.V2012;
+  dump_version root Corpus.Plan.V2014;
+  0
+
+open Cmdliner
+
+let root =
+  let doc = "Output directory." in
+  Arg.(value & opt string "corpus-out" & info [ "o"; "output" ] ~docv:"DIR" ~doc)
+
+let cmd =
+  let doc = "generate the synthetic WordPress-plugin corpus on disk" in
+  Cmd.v (Cmd.info "gen_corpus" ~doc) Term.(const run $ root)
+
+let () = exit (Cmd.eval' cmd)

@@ -1,0 +1,175 @@
+(** phpSAFE command-line interface.
+
+    Scans a PHP file or a directory tree (a plugin) for XSS and SQLi
+    vulnerabilities and prints a text report with the data-flow trace of
+    each finding — the CLI counterpart of the web interface described in
+    paper §III. *)
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let rec collect_php_files dir =
+  Sys.readdir dir |> Array.to_list |> List.sort String.compare
+  |> List.concat_map (fun entry ->
+         let path = Filename.concat dir entry in
+         if Sys.is_directory path then collect_php_files path
+         else if Filename.check_suffix entry ".php" then [ path ]
+         else [])
+
+let project_of_target target =
+  if Sys.is_directory target then
+    let files = collect_php_files target in
+    let strip path =
+      let prefix = target ^ Filename.dir_sep in
+      if String.length path > String.length prefix
+         && String.sub path 0 (String.length prefix) = prefix
+      then String.sub path (String.length prefix) (String.length path - String.length prefix)
+      else path
+    in
+    Phplang.Project.make ~name:(Filename.basename target)
+      (List.map
+         (fun p -> { Phplang.Project.path = strip p; source = read_file p })
+         files)
+  else
+    Phplang.Project.make ~name:(Filename.basename target)
+      [ { Phplang.Project.path = Filename.basename target; source = read_file target } ]
+
+let kind_filter = function
+  | "xss" -> Some Secflow.Vuln.Xss
+  | "sqli" -> Some Secflow.Vuln.Sqli
+  | "all" -> None
+  | other -> failwith ("unknown vulnerability kind: " ^ other)
+
+let run target kinds show_trace tool_name quiet html_out json_out config_path show_stats =
+  let project = project_of_target target in
+  if show_stats then
+    Format.printf "project stats: %a@." Phpsafe.Stats.pp
+      (Phpsafe.Stats.of_project project);
+  let tool =
+    match String.lowercase_ascii tool_name with
+    | "phpsafe" -> (
+        match config_path with
+        | None -> Phpsafe.tool
+        | Some path ->
+            (* custom configuration profile, merged over generic PHP so the
+               language builtins stay known (paper §III.A extensibility) *)
+            let custom = Phpsafe.Config_spec.load path in
+            let config = Phpsafe.Config.extend Phpsafe.Config.generic_php custom in
+            let opts = { Phpsafe.default_options with Phpsafe.config } in
+            { Secflow.Tool.name = "phpSAFE";
+              analyze_project = (fun p -> Phpsafe.analyze_project ~opts p) })
+    | "rips" -> Rips.tool
+    | "pixy" -> Pixy.tool
+    | other -> failwith ("unknown tool: " ^ other)
+  in
+  let result = tool.Secflow.Tool.analyze_project project in
+  let wanted = kind_filter kinds in
+  let findings =
+    List.filter
+      (fun (f : Secflow.Report.finding) ->
+        match wanted with
+        | None -> true
+        | Some k -> Secflow.Vuln.equal_kind f.Secflow.Report.kind k)
+      result.Secflow.Report.findings
+  in
+  if not quiet then begin
+    Format.printf "%s: analyzed %d files of %s@." tool.Secflow.Tool.name
+      (List.length result.Secflow.Report.outcomes)
+      project.Phplang.Project.name;
+    List.iter
+      (fun (path, outcome) ->
+        match outcome with
+        | Secflow.Report.Analyzed -> ()
+        | Secflow.Report.Failed reason ->
+            let why =
+              match reason with
+              | Secflow.Report.Out_of_memory -> "include closure exceeds memory budget"
+              | Secflow.Report.Unsupported_syntax what -> "unsupported: " ^ what
+              | Secflow.Report.Parse_failure msg -> "parse failure: " ^ msg
+            in
+            Format.printf "  ! could not analyze %s (%s)@." path why)
+      result.Secflow.Report.outcomes
+  end;
+  List.iter
+    (fun f ->
+      Format.printf "%a@." Secflow.Report.pp_finding f;
+      if show_trace then Format.printf "%a" Secflow.Report.pp_trace f)
+    findings;
+  Format.printf "%d finding(s)@." (List.length findings);
+  let write_file path contents =
+    let oc = open_out_bin path in
+    Fun.protect
+      ~finally:(fun () -> close_out oc)
+      (fun () -> output_string oc contents)
+  in
+  (match json_out with
+  | Some path ->
+      write_file path
+        (Phpsafe.Report_json.render ~tool:tool.Secflow.Tool.name
+           { result with Secflow.Report.findings });
+      Format.printf "JSON report written to %s@." path
+  | None -> ());
+  (match html_out with
+  | Some path ->
+      let html =
+        Phpsafe.Report_html.render
+          ~title:(Printf.sprintf "%s — %s" tool.Secflow.Tool.name target)
+          { result with Secflow.Report.findings }
+      in
+      write_file path html;
+      Format.printf "HTML report written to %s@." path
+  | None -> ());
+  if findings = [] then 0 else 1
+
+open Cmdliner
+
+let target =
+  let doc = "PHP file or plugin directory to analyze." in
+  Arg.(required & pos 0 (some string) None & info [] ~docv:"TARGET" ~doc)
+
+let kinds =
+  let doc = "Vulnerability kinds to report: xss, sqli or all." in
+  Arg.(value & opt string "all" & info [ "k"; "kind" ] ~docv:"KIND" ~doc)
+
+let trace =
+  let doc = "Print the tainted data-flow trace of each finding." in
+  Arg.(value & flag & info [ "t"; "trace" ] ~doc)
+
+let tool =
+  let doc = "Analyzer to run: phpsafe (default), rips or pixy." in
+  Arg.(value & opt string "phpsafe" & info [ "tool" ] ~docv:"TOOL" ~doc)
+
+let quiet =
+  let doc = "Only print findings." in
+  Arg.(value & flag & info [ "q"; "quiet" ] ~doc)
+
+let html_out =
+  let doc = "Also write an HTML review page (the paper's web output) to $(docv)." in
+  Arg.(value & opt (some string) None & info [ "html" ] ~docv:"FILE" ~doc)
+
+let json_out =
+  let doc = "Also write a machine-readable JSON report to $(docv)." in
+  Arg.(value & opt (some string) None & info [ "json" ] ~docv:"FILE" ~doc)
+
+let show_stats =
+  let doc = "Print project statistics (files, tokens, functions, sinks, ...)." in
+  Arg.(value & flag & info [ "stats" ] ~doc)
+
+let config_path =
+  let doc =
+    "Extend the phpSAFE configuration with a spec file (see      Phpsafe.Config_spec); only meaningful with --tool phpsafe."
+  in
+  Arg.(value & opt (some string) None & info [ "config" ] ~docv:"FILE" ~doc)
+
+let cmd =
+  let doc = "static XSS/SQLi analysis for PHP plugins (phpSAFE reproduction)" in
+  let info = Cmd.info "phpsafe" ~version:"1.0.0" ~doc in
+  Cmd.v info
+    Term.(
+      const run $ target $ kinds $ trace $ tool $ quiet $ html_out $ json_out
+      $ config_path $ show_stats)
+
+let () = exit (Cmd.eval' cmd)

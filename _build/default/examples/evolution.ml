@@ -1,0 +1,60 @@
+(** Plugin-evolution study in miniature (§V.D): analyze the 2012 and 2014
+    versions of one synthetic plugin from the corpus and report which
+    vulnerabilities persisted — the paper's "inertia in fixing
+    vulnerabilities".
+
+    Run with: [dune exec examples/evolution.exe] *)
+
+module S = Set.Make (String)
+
+let plugin_findings version name =
+  let corpus = Corpus.generate version in
+  let plugin =
+    List.find
+      (fun (p : Corpus.Catalog.plugin_output) ->
+        String.equal p.Corpus.Catalog.po_name name)
+      corpus.Corpus.plugins
+  in
+  let result = Phpsafe.analyze_project plugin.Corpus.Catalog.po_project in
+  (* map findings back to seed ids through the ground truth *)
+  let seed_at (f : Secflow.Report.finding) =
+    List.find_opt
+      (fun (s : Corpus.Gt.seed) ->
+        s.Corpus.Gt.file = f.Secflow.Report.sink_pos.Phplang.Ast.file
+        && s.Corpus.Gt.line = f.Secflow.Report.sink_pos.Phplang.Ast.line
+        && Secflow.Vuln.equal_kind (Corpus.Gt.kind_of s) f.Secflow.Report.kind)
+      plugin.Corpus.Catalog.po_seeds
+  in
+  List.filter_map seed_at result.Secflow.Report.findings
+  |> List.filter Corpus.Gt.is_real
+
+let () =
+  let name = "mail-subscribe-list" in
+  Printf.printf "== evolution of %s between 2012 and 2014 ==\n" name;
+  let f2012 = plugin_findings Corpus.Plan.V2012 name in
+  let f2014 = plugin_findings Corpus.Plan.V2014 name in
+  let ids12 =
+    S.of_list (List.map (fun (s : Corpus.Gt.seed) -> s.Corpus.Gt.seed_id) f2012)
+  in
+  let persisted, fresh =
+    List.partition
+      (fun (s : Corpus.Gt.seed) -> S.mem s.Corpus.Gt.seed_id ids12)
+      f2014
+  in
+  Printf.printf "2012 version: %d vulnerabilities found by phpSAFE\n"
+    (List.length f2012);
+  Printf.printf "2014 version: %d vulnerabilities found by phpSAFE\n"
+    (List.length f2014);
+  Printf.printf " - still present since 2012 (disclosed, never fixed): %d\n"
+    (List.length persisted);
+  Printf.printf " - introduced after 2012: %d\n" (List.length fresh);
+  print_endline "\nsample of persisted vulnerabilities:";
+  List.iteri
+    (fun i (s : Corpus.Gt.seed) ->
+      if i < 5 then
+        Printf.printf "  %s %s at %s:%d (%s)\n" s.Corpus.Gt.seed_id
+          s.Corpus.Gt.pattern s.Corpus.Gt.file s.Corpus.Gt.line
+          (match Corpus.Gt.vector_of s with
+          | Some v -> Secflow.Vuln.vector_to_string v
+          | None -> "-"))
+    persisted

@@ -1,0 +1,31 @@
+(** Quickstart: analyze a small vulnerable plugin snippet with phpSAFE and
+    print the findings with their data-flow traces.
+
+    Run with: [dune exec examples/quickstart.exe] *)
+
+let vulnerable_plugin =
+  {php|<?php
+/* A WordPress plugin fragment with two problems and one safe line. */
+
+// 1. reflected XSS: attacker-controlled input echoed unfiltered
+$name = $_GET['visitor'];
+echo '<h2>Welcome back, ' . $name . '</h2>';
+
+// safe: properly sanitized before output
+echo '<p>' . htmlspecialchars($_GET['note']) . '</p>';
+
+// 2. SQL injection through the WordPress database object
+$id = $_POST['post_id'];
+$wpdb->query("UPDATE wp_posts SET views = views + 1 WHERE id = $id");
+|php}
+
+let () =
+  print_endline "== phpSAFE quickstart ==";
+  let result = Phpsafe.analyze_source ~file:"my-plugin.php" vulnerable_plugin in
+  List.iter
+    (fun (f : Secflow.Report.finding) ->
+      Format.printf "@.%a@." Secflow.Report.pp_finding f;
+      Format.printf "data flow:@.%a" Secflow.Report.pp_trace f)
+    result.Secflow.Report.findings;
+  Format.printf "@.%d vulnerabilities found (expected 2: one XSS, one SQLi)@."
+    (List.length result.Secflow.Report.findings)

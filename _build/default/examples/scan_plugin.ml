@@ -1,0 +1,62 @@
+(** Scan a whole multi-file plugin — the paper's mail-subscribe-list
+    scenario (§III.E): an OOP WordPress plugin whose stored-XSS flows
+    through [$wpdb->get_results] and across [include]d files.
+
+    Run with: [dune exec examples/scan_plugin.exe] *)
+
+let main_file =
+  {php|<?php
+/* mail-subscribe-list style plugin: main file */
+require_once 'includes/list-table.php';
+require_once 'includes/settings.php';
+
+function sml_register() {
+    add_action('admin_menu', 'sml_menu');
+}
+sml_register();
+|php}
+
+let list_table =
+  {php|<?php
+/* subscriber table: the §III.E vulnerability. Subscribers are stored in
+   the database unsanitized, so any subscriber can inject script into the
+   admin page of every other visitor. */
+function sml_output_subscribers() {
+    global $wpdb;
+    $results = $wpdb->get_results("SELECT * FROM " . $wpdb->prefix . "sml");
+    foreach ($results as $row) {
+        echo '<li>' . $row->sml_name . '</li>';
+    }
+}
+|php}
+
+let settings =
+  {php|<?php
+/* settings page: one reflected XSS, one properly escaped output */
+$tab = isset($_GET['tab']) ? $_GET['tab'] : 'general';
+echo '<a href="?tab=' . $tab . '">';
+echo '<span>' . esc_html($_GET['notice']) . '</span>';
+|php}
+
+let () =
+  print_endline "== scanning a multi-file OOP plugin ==";
+  let project =
+    Phplang.Project.make ~name:"mail-subscribe-list"
+      [ { Phplang.Project.path = "mail-subscribe-list.php"; source = main_file };
+        { Phplang.Project.path = "includes/list-table.php"; source = list_table };
+        { Phplang.Project.path = "includes/settings.php"; source = settings } ]
+  in
+  let result = Phpsafe.analyze_project project in
+  Format.printf "files analyzed: %d, findings: %d@."
+    (List.length result.Secflow.Report.outcomes)
+    (List.length result.Secflow.Report.findings);
+  List.iter
+    (fun (f : Secflow.Report.finding) ->
+      Format.printf "@.%a@." Secflow.Report.pp_finding f;
+      Format.printf "%a" Secflow.Report.pp_trace f)
+    result.Secflow.Report.findings;
+  print_endline "";
+  print_endline
+    "expected: the stored XSS via $wpdb->get_results (uncalled function!)";
+  print_endline
+    "and the reflected XSS on the settings tab; esc_html line stays silent."

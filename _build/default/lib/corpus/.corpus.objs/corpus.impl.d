@@ -1,0 +1,1 @@
+lib/corpus/corpus.ml: Builder Catalog Dsl Filler Gt List Pattern Plan Prng

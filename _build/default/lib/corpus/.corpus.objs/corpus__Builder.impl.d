@@ -1,0 +1,1 @@
+lib/corpus/builder.ml: Dsl Filler Gt Hashtbl List Pattern Phplang Plan Printf Prng

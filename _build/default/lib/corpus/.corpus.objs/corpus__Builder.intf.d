@@ -1,0 +1,1 @@
+lib/corpus/builder.mli: Gt Pattern Phplang Plan Prng

@@ -1,0 +1,1 @@
+lib/corpus/catalog.ml: Array Builder Filler Gt List Phplang Plan

@@ -1,0 +1,1 @@
+lib/corpus/catalog.mli: Gt Phplang Plan

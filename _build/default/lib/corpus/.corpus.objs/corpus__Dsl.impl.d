@@ -1,0 +1,1 @@
+lib/corpus/dsl.ml: List Phplang

@@ -1,0 +1,1 @@
+lib/corpus/filler.ml: Array Dsl List Phplang Printf Prng String

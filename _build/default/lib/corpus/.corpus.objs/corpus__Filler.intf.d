@@ -1,0 +1,1 @@
+lib/corpus/filler.mli: Phplang Prng

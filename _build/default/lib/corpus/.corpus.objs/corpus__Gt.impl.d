@@ -1,0 +1,1 @@
+lib/corpus/gt.ml: List Printf Report Secflow String Vuln

@@ -1,0 +1,1 @@
+lib/corpus/gt.mli: Report Secflow Vuln

@@ -1,0 +1,1 @@
+lib/corpus/pattern.ml: Dsl Gt Phplang Printf Prng Secflow Vuln

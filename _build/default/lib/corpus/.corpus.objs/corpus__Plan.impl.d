@@ -1,0 +1,1 @@
+lib/corpus/plan.ml: Array Fun List Printf Secflow Vuln

@@ -1,0 +1,199 @@
+(** Assembles one synthetic plugin (one version) from its planned pattern
+    instances: groups instances into files by placement, pads every file
+    with benign filler to its LOC quota, prints the ASTs to PHP source, and
+    resolves the ground-truth sink lines via the markers. *)
+
+module A = Phplang.Ast
+
+type pending_file = {
+  pf_path : string;
+  pf_kind : [ `Clean | `Oop | `Deep | `Chain | `Defaults | `Main | `Extra ];
+  mutable pf_stmts : A.stmt list;  (** reversed chunks *)
+  mutable pf_seeds : (Plan.inst * Gt.label) list;
+  mutable pf_approx_lines : int;
+}
+
+let new_file path kind =
+  { pf_path = path; pf_kind = kind; pf_stmts = []; pf_seeds = [];
+    pf_approx_lines = 0 }
+
+let add_stmts pf stmts ~lines =
+  pf.pf_stmts <- List.rev_append stmts pf.pf_stmts;
+  pf.pf_approx_lines <- pf.pf_approx_lines + lines
+
+let defaults_path = "includes/defaults.php"
+
+(** Instantiate a pattern; returns the piece. *)
+let build_piece ~(inst : Plan.inst) ~rng : Pattern.piece =
+  let id = inst.Plan.in_id in
+  match inst.Plan.in_pattern with
+  | Plan.P_direct -> Pattern.direct_echo ~id ~rng ~vector:inst.Plan.in_vector
+  | Plan.P_db_proc -> Pattern.db_proc_echo ~id ~rng
+  | Plan.P_file_proc -> Pattern.file_proc_echo ~id ~rng
+  | Plan.P_rg -> Pattern.rg_echo ~id ~rng
+  | Plan.P_uncalled -> Pattern.uncalled_fn_echo ~id ~rng ~vector:inst.Plan.in_vector
+  | Plan.P_interproc -> Pattern.interproc_echo ~id ~rng ~vector:inst.Plan.in_vector
+  | Plan.P_wpdb_xss -> Pattern.wpdb_oop_xss ~id ~rng
+  | Plan.P_wpdb_sqli -> Pattern.wpdb_sqli ~id ~rng ~vector:inst.Plan.in_vector
+  | Plan.P_method -> Pattern.method_echo ~id ~rng ~vector:inst.Plan.in_vector
+  | Plan.P_method_db -> Pattern.method_db_echo ~id ~rng
+  | Plan.P_method_file -> Pattern.method_file_echo ~id ~rng
+  | Plan.P_method_prop -> Pattern.method_prop_flow ~id ~rng ~vector:inst.Plan.in_vector
+  | Plan.P_dynamic -> Pattern.dynamic_hidden ~id ~rng ~vector:inst.Plan.in_vector
+  | Plan.T_guard -> Pattern.guard_trap ~id ~rng
+  | Plan.T_wp_san -> Pattern.wp_san_trap ~id ~rng
+  | Plan.T_revert -> Pattern.revert_trap ~id ~rng
+  | Plan.T_uninit -> Pattern.uninit_trap ~id ~rng ~defaults_file:defaults_path
+  | Plan.T_prepare_ok -> Pattern.prepare_ok_trap ~id ~rng
+  | Plan.T_sqli_guard_wpdb -> Pattern.sqli_guard_wpdb_trap ~id ~rng
+  | Plan.T_sqli_guard_proc -> Pattern.sqli_guard_proc_trap ~id ~rng
+  | Plan.T_san_ok -> Pattern.san_ok_trap ~id ~rng
+
+let chunk size xs =
+  let rec go acc cur n = function
+    | [] -> List.rev (if cur = [] then acc else List.rev cur :: acc)
+    | x :: rest ->
+        if n = size then go (List.rev cur :: acc) [ x ] 1 rest
+        else go acc (x :: cur) (n + 1) rest
+  in
+  go [] [] 0 xs
+
+(** Number of include-chain files behind a deep file.  The chain gives the
+    deep file an include depth of [chain_len], just over phpSAFE's
+    [max_include_depth] budget, so exactly the deep file fails. *)
+let chain_len = 7
+
+type built = {
+  project : Phplang.Project.t;
+  seeds : Gt.seed list;
+}
+
+let build ~version ~plugin_name ~plugin_seed ~(instances : Plan.inst list)
+    ~extra_files ~file_quota : built =
+  let rng = Prng.create plugin_seed in
+  let files : pending_file list ref = ref [] in
+  let push f =
+    files := f :: !files;
+    f
+  in
+  let defaults_file = ref None in
+  let get_defaults () =
+    match !defaults_file with
+    | Some f -> f
+    | None ->
+        let f = push (new_file defaults_path `Defaults) in
+        defaults_file := Some f;
+        f
+  in
+  (* --- main file --- *)
+  let main = push (new_file (plugin_name ^ ".php") `Main) in
+  (* --- group instances --- *)
+  let clean_insts, oop_insts, deep_insts =
+    List.fold_left
+      (fun (c, o, d) i ->
+        match i.Plan.in_placement with
+        | Plan.Clean_file -> (i :: c, o, d)
+        | Plan.Oop_file -> (c, i :: o, d)
+        | Plan.Deep_file -> (c, o, i :: d))
+      ([], [], []) instances
+  in
+  let clean_insts = List.rev clean_insts
+  and oop_insts = List.rev oop_insts
+  and deep_insts = List.rev deep_insts in
+  (* uninit traps go to options files that include the defaults file *)
+  let uninit, clean_rest =
+    List.partition (fun i -> i.Plan.in_pattern = Plan.T_uninit) clean_insts
+  in
+  let place_instances pf insts =
+    List.iter
+      (fun (i : Plan.inst) ->
+        let irng = Prng.create (Hashtbl.hash (i.Plan.in_id, plugin_name)) in
+        let piece = build_piece ~inst:i ~rng:irng in
+        add_stmts pf piece.Pattern.stmts ~lines:(4 * 1);
+        (match piece.Pattern.defaults with
+        | [] -> ()
+        | d -> add_stmts (get_defaults ()) d ~lines:(List.length d));
+        pf.pf_seeds <- (i, piece.Pattern.label) :: pf.pf_seeds)
+      insts
+  in
+  List.iteri
+    (fun k group ->
+      let pf = push (new_file (Printf.sprintf "admin/page%d.php" (k + 1)) `Clean) in
+      place_instances pf group)
+    (chunk 7 clean_rest);
+  List.iteri
+    (fun k group ->
+      let pf =
+        push (new_file (Printf.sprintf "admin/options%d.php" (k + 1)) `Clean)
+      in
+      ignore (get_defaults ());
+      add_stmts pf [ Dsl.require_once defaults_path ] ~lines:1;
+      place_instances pf group)
+    (chunk 9 uninit);
+  List.iteri
+    (fun k group ->
+      let pf = push (new_file (Printf.sprintf "inc/module%d.php" (k + 1)) `Oop) in
+      (* OOP marker: guarantees Pixy fails this file *)
+      let marker = Filler.oop_marker rng in
+      add_stmts pf marker.Filler.u_stmts ~lines:marker.Filler.u_lines;
+      place_instances pf group)
+    (chunk 7 oop_insts);
+  (match deep_insts with
+  | [] -> ()
+  | deep ->
+      let engine = push (new_file "core/engine.php" `Deep) in
+      let marker = Filler.oop_marker rng in
+      add_stmts engine marker.Filler.u_stmts ~lines:marker.Filler.u_lines;
+      add_stmts engine [ Dsl.inc "core/chain1.php" ] ~lines:1;
+      place_instances engine deep;
+      for k = 1 to chain_len do
+        let pf = push (new_file (Printf.sprintf "core/chain%d.php" k) `Chain) in
+        if k < chain_len then
+          add_stmts pf [ Dsl.inc (Printf.sprintf "core/chain%d.php" (k + 1)) ] ~lines:1
+      done);
+  for k = 1 to extra_files do
+    ignore (push (new_file (Printf.sprintf "lib/extra%d.php" k) `Extra))
+  done;
+  ignore main;
+  (* --- pad every file with filler to its quota --- *)
+  let all_files = List.rev !files in
+  List.iter
+    (fun pf ->
+      let allow_oop = match pf.pf_kind with `Oop | `Deep -> true | _ -> false in
+      let want = max 0 (file_quota - pf.pf_approx_lines) in
+      let units = Filler.fill rng ~allow_oop ~lines:want in
+      List.iter (fun u -> add_stmts pf u.Filler.u_stmts ~lines:u.Filler.u_lines) units)
+    all_files;
+  (* --- print and resolve seeds --- *)
+  let printed =
+    List.map
+      (fun pf ->
+        let prog = List.rev pf.pf_stmts in
+        let source = Phplang.Printer.program_to_string prog in
+        (pf, source))
+      all_files
+  in
+  let seeds =
+    List.concat_map
+      (fun ((pf : pending_file), source) ->
+        List.rev_map
+          (fun ((i : Plan.inst), label) ->
+            let needle = Gt.marker i.Plan.in_id in
+            let line = Gt.line_of_needle ~file:pf.pf_path ~needle source in
+            { Gt.seed_id = i.Plan.in_id;
+              pattern = Plan.pkind_name i.Plan.in_pattern;
+              label;
+              plugin = plugin_name;
+              file = pf.pf_path;
+              line })
+          pf.pf_seeds)
+      printed
+  in
+  let project_files =
+    List.map
+      (fun ((pf : pending_file), source) ->
+        { Phplang.Project.path = pf.pf_path; source })
+      printed
+  in
+  ignore version;
+  { project = Phplang.Project.make ~name:plugin_name project_files; seeds }

@@ -1,0 +1,31 @@
+(** Assembles one synthetic plugin (one version) from its planned pattern
+    instances: groups instances into files by placement, pads every file
+    with benign filler to a LOC quota, prints the ASTs, and resolves the
+    ground-truth sink lines via the markers. *)
+
+val defaults_path : string
+(** Path of the per-plugin defaults file the uninit traps include. *)
+
+val chain_len : int
+(** Length of the include chain behind a deep file — one more than
+    phpSAFE's [max_include_depth] budget, so exactly the deep file fails. *)
+
+val build_piece : inst:Plan.inst -> rng:Prng.t -> Pattern.piece
+(** Instantiate one pattern (exposed for the detectability-contract
+    tests). *)
+
+type built = {
+  project : Phplang.Project.t;
+  seeds : Gt.seed list;
+}
+
+val build :
+  version:Plan.version ->
+  plugin_name:string ->
+  plugin_seed:int ->
+  instances:Plan.inst list ->
+  extra_files:int ->
+  file_quota:int ->
+  built
+(** Build the plugin.  Persistent instances generate identical code in both
+    versions because the per-instance RNG is seeded from (id, plugin). *)

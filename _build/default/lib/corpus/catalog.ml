@@ -1,0 +1,104 @@
+(** The 35-plugin catalog.  Names echo the plugins the paper quotes
+    (wp-symposium, mail-subscribe-list, wp-photo-album-plus, qtranslate) plus
+    invented ones in the same style.  The first 19 are the OOP plugins
+    ("Of the 35 plugins analyzed, 19 are developed in OOP", §V.A). *)
+
+let plugin_names =
+  [| (* OOP plugins: 0..18 *)
+     "mail-subscribe-list"; "wp-photo-album-plus"; "wp-symposium";
+     "event-ticket-desk"; "simple-donation-box"; "member-directory-pro";
+     "recipe-card-maker"; "gallery-grid-view"; "forum-digest-mailer";
+     "booking-calendar-lite"; "store-locator-map"; "quiz-builder-plus";
+     "newsletter-archive"; "download-counter-hub"; "testimonial-slider";
+     "job-board-manager"; "faq-accordion-pack"; "poll-widget-deluxe";
+     "classified-ads-board";
+     (* procedural plugins: 19..34 *)
+     "qtranslate"; "contact-form-basic"; "related-posts-simple";
+     "social-share-bar"; "custom-footer-text"; "maintenance-mode-page";
+     "rss-importer-light"; "search-highlighter"; "broken-link-notifier";
+     "image-watermarker"; "visitor-counter-classic"; "sitemap-pinger";
+     "comment-guard"; "price-table-shortcode"; "weather-badge";
+     "archive-dropdown-plus" |]
+
+let () = assert (Array.length plugin_names = 35)
+
+type plugin_output = {
+  po_name : string;
+  po_project : Phplang.Project.t;
+  po_seeds : Gt.seed list;
+}
+
+type corpus = {
+  version : Plan.version;
+  plugins : plugin_output list;
+  seeds : Gt.seed list;  (** all plugins *)
+}
+
+(* Mirror of the builder's file layout, used to size the padding.  Checked
+   against the real build by a unit test. *)
+let base_file_count (instances : Plan.inst list) =
+  let count p = List.length (List.filter p instances) in
+  let clean =
+    count (fun i ->
+        i.Plan.in_placement = Plan.Clean_file && i.Plan.in_pattern <> Plan.T_uninit)
+  in
+  let uninit = count (fun i -> i.Plan.in_pattern = Plan.T_uninit) in
+  let oop = count (fun i -> i.Plan.in_placement = Plan.Oop_file) in
+  let deep = count (fun i -> i.Plan.in_placement = Plan.Deep_file) in
+  let ceil_div a b = (a + b - 1) / b in
+  1 (* main *)
+  + ceil_div clean 7
+  + ceil_div uninit 9
+  + (if uninit > 0 then 1 else 0) (* defaults.php *)
+  + ceil_div oop 7
+  + if deep > 0 then 1 + Builder.chain_len else 0
+
+let generate ?(scale = 1.0) version : corpus =
+  Filler.reset ();
+  let instances = Plan.instances version in
+  let by_plugin = Array.make 35 [] in
+  List.iter
+    (fun (i : Plan.inst) ->
+      by_plugin.(i.Plan.in_plugin) <- i :: by_plugin.(i.Plan.in_plugin))
+    instances;
+  Array.iteri (fun k l -> by_plugin.(k) <- List.rev l) by_plugin;
+  (* padding: bring the total file count up to the paper's corpus size *)
+  let base_total =
+    Array.fold_left (fun acc insts -> acc + base_file_count insts) 0 by_plugin
+  in
+  let scaled_files =
+    max base_total (int_of_float (scale *. float_of_int (Plan.target_files version)))
+  in
+  let extra_total = max 0 (scaled_files - base_total) in
+  let extras = Array.make 35 (extra_total / 35) in
+  for k = 0 to (extra_total mod 35) - 1 do
+    extras.(k) <- extras.(k) + 1
+  done;
+  let file_quota =
+    int_of_float
+      (scale *. float_of_int (Plan.target_loc version)
+      /. float_of_int scaled_files)
+  in
+  let plugins =
+    List.init 35 (fun k ->
+        let name = plugin_names.(k) in
+        let { Builder.project; seeds } =
+          Builder.build ~version ~plugin_name:name
+            ~plugin_seed:(1000 * Plan.version_year version + k)
+            ~instances:by_plugin.(k) ~extra_files:extras.(k) ~file_quota
+        in
+        { po_name = name; po_project = project; po_seeds = seeds })
+  in
+  {
+    version;
+    plugins;
+    seeds = List.concat_map (fun p -> p.po_seeds) plugins;
+  }
+
+(** Total files and LOC across the corpus, for the §V.E size report. *)
+let stats corpus =
+  List.fold_left
+    (fun (files, loc) p ->
+      ( files + Phplang.Project.file_count p.po_project,
+        loc + Phplang.Loc.project_loc p.po_project ))
+    (0, 0) corpus.plugins

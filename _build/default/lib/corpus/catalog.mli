@@ -1,0 +1,29 @@
+(** The 35-plugin catalog (19 OOP + 16 procedural, §V.A) and whole-corpus
+    assembly. *)
+
+val plugin_names : string array
+(** 35 names; indices 0–18 are the OOP plugins. *)
+
+type plugin_output = {
+  po_name : string;
+  po_project : Phplang.Project.t;
+  po_seeds : Gt.seed list;
+}
+
+type corpus = {
+  version : Plan.version;
+  plugins : plugin_output list;
+  seeds : Gt.seed list;  (** all plugins *)
+}
+
+val base_file_count : Plan.inst list -> int
+(** Mirror of the builder's file layout, used to size the padding that
+    brings the corpus to the paper's file counts. *)
+
+val generate : ?scale:float -> Plan.version -> corpus
+(** Deterministic generation.  [scale] multiplies the corpus bulk (files
+    and LOC) without touching the seeded instances — used by the E10
+    scaling study. *)
+
+val stats : corpus -> int * int
+(** (files, LOC) for the §V.E size report. *)

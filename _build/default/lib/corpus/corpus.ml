@@ -1,0 +1,31 @@
+(** Synthetic WordPress-plugin corpus — the substitution for the paper's 35
+    real plugins (2012 and 2014 snapshots).  See DESIGN.md for the
+    substitution rationale and Plan for the calibration. *)
+
+module Prng = Prng
+module Dsl = Dsl
+module Gt = Gt
+module Pattern = Pattern
+module Filler = Filler
+module Plan = Plan
+module Builder = Builder
+module Catalog = Catalog
+
+type version = Plan.version = V2012 | V2014
+
+type t = Catalog.corpus = {
+  version : Plan.version;
+  plugins : Catalog.plugin_output list;
+  seeds : Gt.seed list;
+}
+
+let generate ?scale version = Catalog.generate ?scale version
+let stats = Catalog.stats
+
+(** Ground-truth vulnerabilities (excluding FP traps). *)
+let real_vulns t = List.filter Gt.is_real t.seeds
+
+(** FP trap seeds. *)
+let traps t = List.filter (fun s -> not (Gt.is_real s)) t.seeds
+
+let projects t = List.map (fun p -> p.Catalog.po_project) t.plugins

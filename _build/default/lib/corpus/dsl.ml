@@ -1,0 +1,103 @@
+(** Compact AST-building combinators for the corpus generator.  All nodes
+    carry dummy positions: real line numbers are recovered from the printed
+    source via ground-truth needles (see {!Gt}). *)
+
+module A = Phplang.Ast
+
+let e d = A.mk_e d
+let st d = A.mk_s d
+
+(* expressions *)
+let v name = e (A.Var name)
+let s text = e (A.Str text)
+let i n = e (A.Int n)
+let b value = e (if value then A.True else A.False)
+let null = e A.Null
+let cst name = e (A.Const name)
+let arr items = e (A.ArrayLit (List.map (fun x -> (None, x)) items))
+let arr_kv items =
+  e (A.ArrayLit (List.map (fun (k, x) -> (Some k, x)) items))
+
+let idx a k = e (A.ArrayGet (a, Some k))
+let get key = idx (v "$_GET") (s key)
+let post key = idx (v "$_POST") (s key)
+let cookie key = idx (v "$_COOKIE") (s key)
+let request key = idx (v "$_REQUEST") (s key)
+
+let call f args = e (A.Call (f, args))
+let mcall obj m args = e (A.MethodCall (obj, m, args))
+let scall cls m args = e (A.StaticCall (cls, m, args))
+let new_ cls args = e (A.New (cls, args))
+let prop obj p = e (A.Prop (obj, p))
+let assign lhs rhs = e (A.Assign (lhs, rhs))
+let concat_assign lhs rhs = e (A.OpAssign (A.Concat, lhs, rhs))
+let concat a c = e (A.Bin (A.Concat, a, c))
+let concat3 a c d = concat (concat a c) d
+let plus a c = e (A.Bin (A.Plus, a, c))
+let lt a c = e (A.Bin (A.Lt, a, c))
+let gt a c = e (A.Bin (A.Gt, a, c))
+let eq a c = e (A.Bin (A.Eq, a, c))
+let neq a c = e (A.Bin (A.Neq, a, c))
+let not_ a = e (A.Un (A.Not, a))
+let incr_ a = e (A.Un (A.PostInc, a))
+let ternary c t f = e (A.Ternary (c, Some t, f))
+let isset xs = e (A.Isset xs)
+let exit_ = e (A.Exit None)
+let cast_int x = e (A.CastE (A.CastInt, x))
+
+(** Double-quoted string with interpolation: alternation of literal and
+    expression parts. *)
+let interp parts =
+  e
+    (A.Interp
+       (List.map
+          (function `L text -> A.ILit text | `E x -> A.IExpr x)
+          parts))
+
+(* statements *)
+let expr x = st (A.Expr x)
+let echo xs = st (A.Echo xs)
+let echo1 x = echo [ x ]
+let if_ cond then_ = st (A.If ([ (cond, then_) ], None))
+let if_else cond then_ else_ = st (A.If ([ (cond, then_) ], Some else_))
+let while_ cond body = st (A.While (cond, body))
+let for_upto var bound body =
+  st
+    (A.For
+       ( [ assign (v var) (i 0) ],
+         [ lt (v var) bound ],
+         [ incr_ (v var) ],
+         body ))
+
+let foreach subject value body = st (A.Foreach (subject, A.ForeachValue value, body))
+let foreach_kv subject key value body =
+  st (A.Foreach (subject, A.ForeachKeyValue (key, value), body))
+
+let ret x = st (A.Return (Some x))
+let ret_void = st (A.Return None)
+let global names = st (A.Global names)
+let inc path = expr (e (A.IncludeE (A.Include, s path)))
+let require_once path = expr (e (A.IncludeE (A.RequireOnce, s path)))
+let unset xs = st (A.Unset xs)
+
+let param ?default ?(by_ref = false) name =
+  { A.p_name = name; p_default = default; p_by_ref = by_ref; p_hint = None }
+
+let func name params body =
+  st (A.FuncDef { A.f_name = name; f_params = params; f_body = body; f_pos = A.dummy_pos })
+
+let meth ?(vis = A.Public) ?(static = false) name params body =
+  { A.m_vis = vis; m_static = static;
+    m_func = { A.f_name = name; f_params = params; f_body = body; f_pos = A.dummy_pos } }
+
+let prop_def ?(vis = A.Public) ?(static = false) ?default name =
+  { A.pr_vis = vis; pr_static = static; pr_name = name; pr_default = default }
+
+let class_ ?parent ?(props = []) name methods =
+  st
+    (A.ClassDef
+       { A.c_name = name; c_parent = parent; c_implements = [];
+         c_consts = []; c_props = props; c_methods = methods;
+         c_pos = A.dummy_pos })
+
+let html text = st (A.InlineHtml text)

@@ -1,0 +1,205 @@
+(** Benign WordPress-flavoured filler code.
+
+    Filler gives each generated plugin realistic bulk (option pages, hook
+    registrations, i18n tables, templates) without perturbing the
+    calibration: every variable is initialized before use (no spurious
+    register_globals hits), nothing reads a taint source, and everything
+    echoed is a literal.  Each unit reports its approximate printed line
+    count so files can be padded to a LOC quota. *)
+
+open Dsl
+
+type unit_ = {
+  u_stmts : Phplang.Ast.stmt list;
+  u_lines : int;     (** approximate printed lines *)
+  u_has_oop : bool;  (** contains a class declaration *)
+}
+
+let counter = ref 0
+
+let fresh prefix =
+  incr counter;
+  Printf.sprintf "%s_%d" prefix !counter
+
+(* reset between corpus builds for determinism *)
+let reset () = counter := 0
+
+let words =
+  [| "gallery"; "widget"; "feed"; "panel"; "layout"; "option"; "cache";
+     "notice"; "column"; "excerpt"; "footer"; "sidebar"; "menu"; "badge";
+     "banner"; "avatar"; "digest"; "summary"; "preview"; "archive" |]
+
+let word rng = words.(Prng.int rng (Array.length words))
+
+(** Top-level hook registrations: [add_action('init', 'cb_N');] plus the
+    callback function with a literal-only body. *)
+let hook_block rng =
+  let cb = fresh "on_init" in
+  let hook = Prng.pick rng [ "init"; "admin_menu"; "wp_head"; "widgets_init" ] in
+  let body =
+    [ expr (assign (v "$ok") (call "register_setting" [ s (word rng); s (word rng) ]));
+      if_ (not_ (v "$ok")) [ ret_void ];
+      expr (call "do_action" [ s (hook ^ "_done") ]) ]
+  in
+  {
+    u_stmts =
+      [ expr (call "add_action" [ s hook; s cb ]); func cb [] body ];
+    u_lines = 8;
+    u_has_oop = false;
+  }
+
+(** An options/settings function that builds and returns literal data. *)
+let settings_fn rng =
+  let name = fresh "get_settings" in
+  let d = v "$defaults" in
+  let entries =
+    List.init (Prng.between rng 3 6) (fun _ ->
+        (s (word rng), s (word rng ^ " value")))
+  in
+  {
+    u_stmts =
+      [ func name
+          [ param ~default:(b false) "$reset" ]
+          [ expr (assign d (arr_kv entries));
+            if_ (v "$reset") [ expr (call "delete_option" [ s name ]) ];
+            expr (assign (v "$stored") (call "get_option" [ s name; d ]));
+            ret (v "$stored") ] ];
+    u_lines = 8;
+    u_has_oop = false;
+  }
+
+(** Template rendering with literal-only output. *)
+let template_fn rng =
+  let name = fresh "render_box" in
+  let out = v "$out" in
+  let n = Prng.between rng 3 7 in
+  let appends =
+    List.init n (fun k ->
+        expr (concat_assign out (s (Printf.sprintf "<div class=\"%s-%d\">" (word rng) k))))
+  in
+  {
+    u_stmts =
+      [ func name
+          [ param ~default:(i 10) "$count" ]
+          ([ expr (assign out (s "<section>")) ]
+          @ appends
+          @ [ expr (concat_assign out (s "</section>"));
+              echo1 (call "esc_html" [ s "rendered" ]);
+              ret out ]) ];
+    u_lines = n + 7;
+    u_has_oop = false;
+  }
+
+(** A loop computing literal-derived data (never echoed). *)
+let compute_fn rng =
+  let name = fresh "compute_stats" in
+  let total = v "$total" in
+  {
+    u_stmts =
+      [ func name []
+          [ expr (assign total (i 0));
+            expr (assign (v "$sizes") (arr [ i 4; i 8; i (Prng.between rng 10 60) ]));
+            foreach (v "$sizes") (v "$size")
+              [ expr (assign total (plus total (v "$size"))) ];
+            if_else (gt total (i 32))
+              [ ret (s "large") ]
+              [ ret (s "small") ] ] ];
+    u_lines = 11;
+    u_has_oop = false;
+  }
+
+(** Inline HTML chunk — admin page markup between PHP tags. *)
+let html_block rng =
+  let n = Prng.between rng 4 9 in
+  let lines =
+    List.init n (fun k ->
+        Printf.sprintf "<tr><td class=\"%s\">row %d</td></tr>" (word rng) k)
+  in
+  let text = "\n<table>\n" ^ String.concat "\n" lines ^ "\n</table>\n" in
+  { u_stmts = [ html text ]; u_lines = n + 4; u_has_oop = false }
+
+(** A helper class with literal-only methods — also serves as the OOP marker
+    that makes a file fail under Pixy. *)
+let helper_class rng =
+  let cls = fresh "Helper" in
+  let label = word rng in
+  {
+    u_stmts =
+      [ class_ cls
+          ~props:
+            [ prop_def ~default:(s label) "$label";
+              prop_def ~default:(i 0) ~vis:Phplang.Ast.Private "$hits" ]
+          [ meth "label" [] [ ret (prop (v "$this") "label") ];
+            meth "describe" []
+              [ expr (assign (v "$text") (concat (s "mod: ") (prop (v "$this") "label")));
+                ret (call "htmlspecialchars" [ v "$text" ]) ];
+            meth ~static:true "version" [] [ ret (s "1.4.2") ] ] ];
+    u_lines = 13;
+    u_has_oop = true;
+  }
+
+(** Shortcode handler: switch over literal modes. *)
+let shortcode_fn rng =
+  let name = fresh "shortcode" in
+  let mode = v "$mode" in
+  let cases =
+    List.map
+      (fun w ->
+        { Phplang.Ast.case_guard = Some (s w);
+          case_body = [ ret (s ("<span>" ^ w ^ "</span>")) ] })
+      [ word rng; word rng; word rng ]
+  in
+  let all_cases =
+    cases @ [ { Phplang.Ast.case_guard = None; case_body = [ ret (s "") ] } ]
+  in
+  {
+    u_stmts =
+      [ expr (call "add_shortcode" [ s name; s name ]);
+        func name
+          [ param ~default:(arr []) "$atts" ]
+          [ expr (assign mode (s "default"));
+            if_ (isset [ idx (v "$atts") (s "mode") ])
+              [ expr (assign mode (s "named")) ];
+            st (Phplang.Ast.Switch (mode, all_cases)) ] ];
+    u_lines = 16;
+    u_has_oop = false;
+  }
+
+(** i18n table: many short assignments (safe, line-dense). *)
+let i18n_block rng =
+  let tbl = fresh "$i18n" in
+  let n = Prng.between rng 4 8 in
+  let stmts =
+    expr (assign (v tbl) (arr []))
+    :: List.init n (fun k ->
+           expr
+             (assign
+                (idx (v tbl) (s (Printf.sprintf "key_%d" k)))
+                (call "__" [ s (word rng); s "plugin-domain" ])))
+  in
+  { u_stmts = stmts; u_lines = n + 1; u_has_oop = false }
+
+(** Pick a random filler unit. *)
+let any rng ~allow_oop =
+  let makers =
+    if allow_oop then
+      [ hook_block; settings_fn; template_fn; compute_fn; html_block;
+        helper_class; shortcode_fn; i18n_block ]
+    else
+      [ hook_block; settings_fn; template_fn; compute_fn; html_block;
+        shortcode_fn; i18n_block ]
+  in
+  (Prng.pick rng makers) rng
+
+(** Generate filler until [lines] are (approximately) reached. *)
+let fill rng ~allow_oop ~lines =
+  let rec go acc got =
+    if got >= lines then List.rev acc
+    else
+      let u = any rng ~allow_oop in
+      go (u :: acc) (got + u.u_lines)
+  in
+  go [] 0
+
+(** A guaranteed OOP marker unit. *)
+let oop_marker rng = helper_class rng

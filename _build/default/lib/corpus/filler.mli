@@ -1,0 +1,20 @@
+(** Benign WordPress-flavoured filler code: realistic bulk that cannot
+    perturb the calibration — every variable is initialized (no spurious
+    register_globals hits), nothing reads a taint source, everything echoed
+    is a literal. *)
+
+type unit_ = {
+  u_stmts : Phplang.Ast.stmt list;
+  u_lines : int;     (** approximate printed lines *)
+  u_has_oop : bool;  (** contains a class declaration *)
+}
+
+val reset : unit -> unit
+(** Reset the fresh-name counter; call once per corpus build for
+    determinism. *)
+
+val any : Prng.t -> allow_oop:bool -> unit_
+val fill : Prng.t -> allow_oop:bool -> lines:int -> unit_ list
+
+val oop_marker : Prng.t -> unit_
+(** A helper class — the marker that makes a file fail under Pixy. *)

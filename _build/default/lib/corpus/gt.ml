@@ -1,0 +1,71 @@
+(** Ground truth for the synthetic corpus.
+
+    Every seeded pattern instance leaves a unique marker string
+    ([m_<seed-id>]) on its sink line.  After a file is printed, the marker is
+    located to recover the exact (file, line) the analyzers will report —
+    this replaces the paper's manual expert verification with labels that
+    are exact by construction (see DESIGN.md, substitution #4). *)
+
+open Secflow
+
+type label =
+  | Real_vuln of {
+      kind : Vuln.kind;
+      vector : Vuln.vector;
+      oop_wordpress : bool;
+          (** involves WordPress objects/methods — the §V.A OOP count *)
+    }
+  | Fp_trap of { kind : Vuln.kind; why : string }
+      (** safe code that imprecise analysis may flag; any detection of this
+          sink is a false positive *)
+
+type seed = {
+  seed_id : string;      (** stable across versions for persistent seeds *)
+  pattern : string;      (** pattern name, for per-pattern reporting *)
+  label : label;
+  plugin : string;
+  file : string;         (** path within the plugin *)
+  line : int;            (** resolved sink line in the printed source *)
+}
+
+(* The "@" delimiters cannot occur inside PHP identifiers, so the marker can
+   never collide with a generated variable or class name. *)
+let marker seed_id = "@sink:" ^ seed_id ^ "@"
+
+let is_real seed = match seed.label with Real_vuln _ -> true | Fp_trap _ -> false
+
+let kind_of seed =
+  match seed.label with
+  | Real_vuln { kind; _ } -> kind
+  | Fp_trap { kind; _ } -> kind
+
+let vector_of seed =
+  match seed.label with Real_vuln { vector; _ } -> Some vector | Fp_trap _ -> None
+
+let is_oop_wordpress seed =
+  match seed.label with
+  | Real_vuln { oop_wordpress; _ } -> oop_wordpress
+  | Fp_trap _ -> false
+
+let key_of seed : Report.key =
+  { Report.k_kind = kind_of seed; k_file = seed.file; k_line = seed.line }
+
+(** Line number (1-based) of the unique occurrence of [needle] in [source].
+    Raises if the needle is absent or ambiguous — a generator bug. *)
+let line_of_needle ~file ~needle source =
+  let len = String.length source and nlen = String.length needle in
+  let rec find_all i acc =
+    if i + nlen > len then List.rev acc
+    else if String.sub source i nlen = needle then find_all (i + 1) (i :: acc)
+    else find_all (i + 1) acc
+  in
+  match find_all 0 [] with
+  | [ at ] ->
+      let line = ref 1 in
+      String.iteri (fun j c -> if j < at && c = '\n' then incr line) source;
+      !line
+  | [] -> failwith (Printf.sprintf "needle %S not found in %s" needle file)
+  | hits ->
+      failwith
+        (Printf.sprintf "needle %S ambiguous in %s (%d hits)" needle file
+           (List.length hits))

@@ -1,0 +1,40 @@
+(** Ground truth for the synthetic corpus.  Every seeded pattern instance
+    leaves a unique marker on its sink line; after printing, the marker is
+    located to recover the exact (file, line) the analyzers will report —
+    labels that are exact by construction, replacing the paper's manual
+    expert verification (DESIGN.md substitution #4). *)
+
+open Secflow
+
+type label =
+  | Real_vuln of {
+      kind : Vuln.kind;
+      vector : Vuln.vector;
+      oop_wordpress : bool;
+          (** involves WordPress objects/methods — the §V.A OOP count *)
+    }
+  | Fp_trap of { kind : Vuln.kind; why : string }
+      (** safe code that imprecise analysis may flag *)
+
+type seed = {
+  seed_id : string;   (** stable across versions for persistent seeds *)
+  pattern : string;
+  label : label;
+  plugin : string;
+  file : string;      (** path within the plugin *)
+  line : int;         (** resolved sink line in the printed source *)
+}
+
+val marker : string -> string
+(** The sink-line marker for a seed id; delimiters cannot occur inside PHP
+    identifiers, so it never collides with generated names. *)
+
+val is_real : seed -> bool
+val kind_of : seed -> Vuln.kind
+val vector_of : seed -> Vuln.vector option
+val is_oop_wordpress : seed -> bool
+val key_of : seed -> Report.key
+
+val line_of_needle : file:string -> needle:string -> string -> int
+(** 1-based line of the unique occurrence of [needle]; fails (generator bug)
+    when absent or ambiguous. *)

@@ -1,0 +1,390 @@
+(** Catalog of seeded code patterns.
+
+    Each builder returns PHP statements plus a ground-truth label.  The sink
+    line always carries the unique marker [m_<id>] inside a string literal,
+    so {!Gt.line_of_needle} can recover the exact line after printing.
+
+    Real-vulnerability shapes come straight from the paper:
+    - [$wpdb->get_results] rows echoed without filtering (§III.E,
+      mail-subscribe-list 2.1.1);
+    - [$_POST['img_path']] echoed (§V.C, wp-symposium);
+    - database value echoed after [stripslashes] (§V.C, wp-photo-album-plus);
+    - [fgets] result echoed (§V.C, qtranslate).
+
+    Trap shapes encode the documented imprecision of each tool:
+    path-insensitive numeric guards (everybody), unknown WordPress sanitizers
+    (RIPS/Pixy), revert-function pessimism (phpSAFE/RIPS), and unresolved
+    includes under register_globals (Pixy). *)
+
+open Secflow
+open Dsl
+
+type piece = {
+  stmts : Phplang.Ast.stmt list;  (** placed in the instance's file *)
+  defaults : Phplang.Ast.stmt list;
+      (** placed in the plugin's defaults file (uninit traps) *)
+  label : Gt.label;
+}
+
+let vuln ?(oop = false) kind vector =
+  Gt.Real_vuln { kind; vector; oop_wordpress = oop }
+
+let trap kind why = Gt.Fp_trap { kind; why }
+
+(* marker inside an HTML attribute on the sink line *)
+let mk id = Gt.marker id
+let open_tag id tag = Printf.sprintf "<%s class=\"%s\">" tag (mk id)
+let close_tag tag = Printf.sprintf "</%s>" tag
+
+let source_of_vector rng vector =
+  match vector with
+  | Vuln.Get -> get (Prng.pick rng [ "id"; "page"; "tab"; "q"; "ref"; "item" ])
+  | Vuln.Post ->
+      post (Prng.pick rng [ "img_path"; "title"; "comment"; "email"; "name" ])
+  | Vuln.Post_get_cookie ->
+      if Prng.bool rng then request (Prng.pick rng [ "lang"; "mode"; "view" ])
+      else cookie (Prng.pick rng [ "session_pref"; "track"; "theme" ])
+  | Vuln.Db | Vuln.File_function_array ->
+      invalid_arg "source_of_vector: use the dedicated db/file patterns"
+
+let no_defaults stmts label = { stmts; defaults = []; label }
+
+(* ------------------------------------------------------------------ *)
+(* Real vulnerabilities — procedural                                  *)
+(* ------------------------------------------------------------------ *)
+
+(** Superglobal flows straight (or through benign transforms) to [echo] —
+    the wp-symposium §V.C shape. *)
+let direct_echo ~id ~rng ~vector =
+  let x = v ("$val_" ^ id) in
+  let src = source_of_vector rng vector in
+  let stmts =
+    match Prng.int rng 6 with
+    | 0 ->
+        [ expr (assign x src);
+          echo1 (concat3 (s (open_tag id "p")) x (s (close_tag "p"))) ]
+    | 1 ->
+        [ expr (assign x (call "trim" [ src ]));
+          expr (concat_assign x (s "!"));
+          echo1 (concat (s (open_tag id "em")) x) ]
+    | 2 ->
+        [ expr (assign x (ternary (isset [ src ]) src (s "default")));
+          echo1 (interp [ `L (open_tag id "div"); `E x; `L (close_tag "div") ]) ]
+    | 3 ->
+        [ expr (assign x src);
+          expr (call "printf" [ s ("%s " ^ open_tag id "span"); x ]) ]
+    | 4 ->
+        (* taint through str_replace, which every tool joins over *)
+        [ expr (assign x (call "str_replace" [ s "-"; s "_"; src ]));
+          echo1 (concat3 (s (open_tag id "td")) x (s (close_tag "td"))) ]
+    | _ ->
+        let y = v ("$html_" ^ id) in
+        [ expr (assign x src);
+          expr (assign y (concat x (s (close_tag "ul"))));
+          echo1 (concat (s (open_tag id "ul")) y) ]
+  in
+  no_defaults stmts (vuln Vuln.Xss vector)
+
+(** Database row fetched with the procedural [mysql_*] API and echoed. *)
+let db_proc_echo ~id ~rng =
+  let res = v ("$res_" ^ id) and row = v ("$row_" ^ id) in
+  let col = Prng.pick rng [ "name"; "excerpt"; "author"; "body" ] in
+  let stmts =
+    match Prng.int rng 3 with
+    | 0 ->
+        [ expr (assign res (call "mysql_query" [ s ("SELECT " ^ col ^ " FROM entries") ]));
+          expr (assign row (call "mysql_fetch_assoc" [ res ]));
+          echo1 (concat3 (s (open_tag id "td")) (idx row (s col)) (s (close_tag "td"))) ]
+    | 1 ->
+        [ expr (assign res (call "mysql_query" [ s ("SELECT " ^ col ^ " FROM log") ]));
+          expr (assign row (call "mysql_result" [ res; i 0 ]));
+          echo1 (concat (s (open_tag id "li")) row) ]
+    | _ ->
+        [ expr (assign res (call "mysql_query" [ s ("SELECT " ^ col ^ " FROM meta") ]));
+          expr (assign row (call "mysql_fetch_array" [ res ]));
+          foreach row (v ("$cell_" ^ id))
+            [ echo1 (concat (s (open_tag id "dd")) (v ("$cell_" ^ id))) ] ]
+  in
+  no_defaults stmts (vuln Vuln.Xss Vuln.Db)
+
+(** OS-file content echoed — the qtranslate §V.C shape. *)
+let file_proc_echo ~id ~rng =
+  let fp = v ("$fp_" ^ id) and line = v ("$line_" ^ id) in
+  let stmts =
+    match Prng.int rng 3 with
+    | 0 ->
+        [ expr (assign fp (call "fopen" [ s "import.csv"; s "r" ]));
+          expr (assign line (call "fgets" [ fp; i 128 ]));
+          echo1 (concat (s (open_tag id "pre")) line) ]
+    | 1 ->
+        [ expr (assign line (call "file_get_contents" [ s "banner.txt" ]));
+          echo1 (concat3 (s (open_tag id "div")) line (s (close_tag "div"))) ]
+    | _ ->
+        [ expr (assign fp (call "fopen" [ s ("cache_" ^ id ^ ".dat"); s "rb" ]));
+          expr (assign line (call "fread" [ fp; i 512 ]));
+          echo1 (interp [ `L (open_tag id "code"); `E line; `L (close_tag "code") ]) ]
+  in
+  no_defaults stmts (vuln Vuln.Xss Vuln.File_function_array)
+
+(** register_globals vulnerability: a variable that is never initialized is
+    echoed; with [register_globals = 1] an attacker seeds it from the
+    request.  Only Pixy models this (§V.A). *)
+let rg_echo ~id ~rng:_ =
+  let x = v ("$theme_title_" ^ id) in
+  no_defaults
+    [ echo1 (concat x (s (open_tag id "h3"))) ]
+    (vuln Vuln.Xss Vuln.Post_get_cookie)
+
+(** Vulnerable function never called from plugin code — WordPress calls it
+    as a hook (§III.B). *)
+let uncalled_fn_echo ~id ~rng ~vector =
+  let src = source_of_vector rng vector in
+  let x = v ("$arg_" ^ id) in
+  let body =
+    match Prng.int rng 2 with
+    | 0 ->
+        [ expr (assign x src);
+          echo1 (concat3 (s (open_tag id "li")) x (s (close_tag "li"))) ]
+    | _ ->
+        [ expr (assign x (call "trim" [ src ]));
+          if_ (neq x (s "")) [ echo1 (concat (s (open_tag id "p")) x) ] ]
+  in
+  no_defaults
+    [ func ("ajax_handler_" ^ id) [] body ]
+    (vuln Vuln.Xss vector)
+
+(** Taint through a user-defined helper's parameter (inter-procedural). *)
+let interproc_echo ~id ~rng ~vector =
+  let src = source_of_vector rng vector in
+  let fn = "render_field_" ^ id in
+  let p = v ("$text_" ^ id) in
+  let stmts =
+    match Prng.int rng 2 with
+    | 0 ->
+        [ func fn [ param ("$text_" ^ id) ]
+            [ echo1 (concat3 (s (open_tag id "label")) p (s (close_tag "label"))) ];
+          expr (call fn [ src ]) ]
+    | _ ->
+        (* through the return value *)
+        let wrap = "format_value_" ^ id in
+        [ func wrap [ param ("$text_" ^ id) ]
+            [ ret (concat (s "» ") p) ];
+          echo1 (concat (s (open_tag id "b")) (call wrap [ src ])) ]
+  in
+  no_defaults stmts (vuln Vuln.Xss vector)
+
+(* ------------------------------------------------------------------ *)
+(* Real vulnerabilities — WordPress objects ($wpdb)                   *)
+(* ------------------------------------------------------------------ *)
+
+let wpdb = v "$wpdb"
+
+(** The paper's running example (§III.E): [$wpdb->get_results] rows echoed
+    without sanitization.  Only an OOP-aware, WordPress-aware tool finds
+    these. *)
+let wpdb_oop_xss ~id ~rng =
+  let rows = v ("$rows_" ^ id) and row = v ("$row_" ^ id) in
+  let col = Prng.pick rng [ "sml_name"; "subscriber"; "caption"; "meta_value" ] in
+  let stmts =
+    match Prng.int rng 4 with
+    | 0 ->
+        [ expr
+            (assign rows
+               (mcall wpdb "get_results"
+                  [ interp
+                      [ `L "SELECT * FROM "; `E (prop wpdb "prefix");
+                        `L ("sml_" ^ id) ] ]));
+          foreach rows row
+            [ echo1 (concat3 (s (open_tag id "li")) (prop row col) (s (close_tag "li"))) ] ]
+    | 1 ->
+        let val_ = v ("$val_" ^ id) in
+        [ expr
+            (assign val_
+               (mcall wpdb "get_var" [ s ("SELECT setting FROM opts_" ^ id) ]));
+          echo1 (concat (s (open_tag id "span")) (call "stripslashes" [ val_ ])) ]
+    | 2 ->
+        let r = v ("$rec_" ^ id) in
+        [ expr (assign r (mcall wpdb "get_row" [ s ("SELECT * FROM rec_" ^ id) ]));
+          echo1 (interp [ `L (open_tag id "td"); `E (prop r col); `L (close_tag "td") ]) ]
+    | _ ->
+        let names = v ("$names_" ^ id) and n = v ("$n_" ^ id) in
+        [ expr (assign names (mcall wpdb "get_col" [ s ("SELECT name FROM col_" ^ id) ]));
+          foreach names n
+            [ echo1 (concat3 (s (open_tag id "option")) n (s (close_tag "option"))) ] ]
+  in
+  no_defaults stmts (vuln ~oop:true Vuln.Xss Vuln.Db)
+
+(** SQL injection through a [$wpdb] query method. *)
+let wpdb_sqli ~id ~rng ~vector =
+  let src = source_of_vector rng vector in
+  let x = v ("$id_" ^ id) in
+  let q_method = Prng.pick rng [ "query"; "get_results" ] in
+  no_defaults
+    [ expr (assign x src);
+      expr
+        (mcall wpdb q_method
+           [ interp
+               [ `L ("UPDATE items SET flag = 1 /* " ^ mk id ^ " */ WHERE id = ");
+                 `E x ] ]) ]
+    (vuln ~oop:true Vuln.Sqli vector)
+
+(* ------------------------------------------------------------------ *)
+(* Real vulnerabilities — inside plugin classes (OOP, non-$wpdb)      *)
+(* ------------------------------------------------------------------ *)
+
+let method_echo ~id ~rng ~vector =
+  let src = source_of_vector rng vector in
+  let cls = "Widget_" ^ id in
+  let x = v ("$raw_" ^ id) in
+  no_defaults
+    [ class_ ~parent:"WP_Widget" cls
+        [ meth "render" []
+            [ expr (assign x src);
+              echo1 (concat3 (s (open_tag id "td")) x (s (close_tag "td"))) ] ] ]
+    (vuln Vuln.Xss vector)
+
+let method_db_echo ~id ~rng =
+  let cls = "Model_" ^ id in
+  let res = v ("$res_" ^ id) and row = v ("$row_" ^ id) in
+  let col = Prng.pick rng [ "label"; "content"; "slug" ] in
+  no_defaults
+    [ class_ cls
+        [ meth "show_latest" []
+            [ expr (assign res (call "mysql_query" [ s ("SELECT " ^ col ^ " FROM posts") ]));
+              expr (assign row (call "mysql_fetch_assoc" [ res ]));
+              echo1 (concat (s (open_tag id "p")) (idx row (s col))) ] ] ]
+    (vuln Vuln.Xss Vuln.Db)
+
+let method_file_echo ~id ~rng:_ =
+  let cls = "Importer_" ^ id in
+  let line = v ("$line_" ^ id) in
+  no_defaults
+    [ class_ cls
+        [ meth "preview" []
+            [ expr (assign line (call "file_get_contents" [ s ("export_" ^ id ^ ".txt") ]));
+              echo1 (concat (s (open_tag id "pre")) line) ] ] ]
+    (vuln Vuln.Xss Vuln.File_function_array)
+
+(** Taint stored into an object property by one method and echoed by
+    another — exercises phpSAFE's full-name property tracking (§III.E). *)
+let method_prop_flow ~id ~rng ~vector =
+  let src = source_of_vector rng vector in
+  let cls = "Form_" ^ id in
+  no_defaults
+    [ class_ cls
+        ~props:[ prop_def ("$data_" ^ id) ]
+        [ meth "capture" []
+            [ expr (assign (prop (v "$this") ("data_" ^ id)) src) ];
+          meth "display" []
+            [ echo1
+                (concat3 (s (open_tag id "dd"))
+                   (prop (v "$this") ("data_" ^ id))
+                   (s (close_tag "dd"))) ] ] ]
+    (vuln Vuln.Xss vector)
+
+(* ------------------------------------------------------------------ *)
+(* Real vulnerabilities — hidden from every tool (Fig. 2 empty circle) *)
+(* ------------------------------------------------------------------ *)
+
+let dynamic_hidden ~id ~rng ~vector =
+  let src = source_of_vector rng vector in
+  let fn = "emit_" ^ id in
+  let p = v ("$payload_" ^ id) in
+  no_defaults
+    [ func fn [ param ("$payload_" ^ id) ]
+        [ echo1 (concat (s (open_tag id "u")) p) ];
+      expr (call "call_user_func" [ s fn; src ]) ]
+    (vuln Vuln.Xss vector)
+
+(* ------------------------------------------------------------------ *)
+(* False-positive traps                                               *)
+(* ------------------------------------------------------------------ *)
+
+(** Path-insensitive numeric-guard trap: genuinely safe, flagged by all
+    three tools (§V.C notes 39% of vulnerable variables are numeric). *)
+let guard_trap ~id ~rng =
+  let x = v ("$num_" ^ id) in
+  let guard_call =
+    match Prng.int rng 2 with
+    | 0 -> call "is_numeric" [ x ]
+    | _ -> call "ctype_digit" [ x ]
+  in
+  no_defaults
+    [ expr (assign x (get ("n" ^ id)));
+      if_ (not_ guard_call) [ expr exit_ ];
+      echo1 (concat3 (s (open_tag id "b")) x (s (close_tag "b"))) ]
+    (trap Vuln.Xss "numeric guard, path-insensitive tools flag it")
+
+(** WordPress sanitizer unknown to RIPS/Pixy: safe, but tools without the
+    WP profile see an unknown function and propagate the taint. *)
+let wp_san_trap ~id ~rng =
+  let san =
+    Prng.pick rng [ "esc_html"; "esc_attr"; "esc_js"; "sanitize_text_field" ]
+  in
+  no_defaults
+    [ echo1 (concat (s (open_tag id "i")) (call san [ get ("s" ^ id) ])) ]
+    (trap Vuln.Xss "WordPress sanitizer unknown to non-WP tools")
+
+(** Revert pessimism: [stripslashes] after [htmlspecialchars] does not undo
+    the HTML encoding, but revert-modelling tools re-taint it. *)
+let revert_trap ~id ~rng:_ =
+  let x = v ("$clean_" ^ id) in
+  no_defaults
+    [ expr (assign x (call "htmlspecialchars" [ get ("r" ^ id) ]));
+      expr (assign x (call "stripslashes" [ x ]));
+      echo1 (concat3 (s (open_tag id "q")) x (s (close_tag "q"))) ]
+    (trap Vuln.Xss "stripslashes cannot undo htmlspecialchars")
+
+(** Variable defined in an included settings file: safe, but a per-file tool
+    with register_globals on flags the read as uninitialized. *)
+let uninit_trap ~id ~rng:_ ~defaults_file =
+  let name = "$opt_label_" ^ id in
+  {
+    stmts =
+      [ echo1 (concat3 (s (open_tag id "dt")) (v name) (s (close_tag "dt"))) ];
+    defaults = [ expr (assign (v name) (s ("Label " ^ id))) ];
+    label = trap Vuln.Xss ("defined in " ^ defaults_file ^ ", invisible per-file");
+  }
+
+(** Safe parameterized query via [$wpdb->prepare] — a pure true negative. *)
+let prepare_ok_trap ~id ~rng:_ =
+  no_defaults
+    [ expr
+        (mcall wpdb "query"
+           [ mcall wpdb "prepare"
+               [ s ("SELECT id /* " ^ mk id ^ " */ FROM t WHERE k = %s");
+                 get ("k" ^ id) ] ]) ]
+    (trap Vuln.Sqli "parameterized query, nobody should flag")
+
+(** Numeric guard before a [$wpdb] query: safe, but phpSAFE (the only tool
+    that sees the method sink) is path-insensitive. *)
+let sqli_guard_wpdb_trap ~id ~rng:_ =
+  let x = v ("$uid_" ^ id) in
+  no_defaults
+    [ expr (assign x (get ("u" ^ id)));
+      if_ (not_ (call "ctype_digit" [ x ])) [ expr exit_ ];
+      expr
+        (mcall wpdb "query"
+           [ interp
+               [ `L ("DELETE /* " ^ mk id ^ " */ FROM members WHERE id = ");
+                 `E x ] ]) ]
+    (trap Vuln.Sqli "numeric guard before $wpdb query")
+
+(** Same trap with the procedural [mysql_query]: RIPS flags it too. *)
+let sqli_guard_proc_trap ~id ~rng:_ =
+  let x = v ("$pid_" ^ id) in
+  no_defaults
+    [ expr (assign x (post ("p" ^ id)));
+      if_ (not_ (call "is_numeric" [ x ])) [ expr exit_ ];
+      expr
+        (call "mysql_query"
+           [ interp
+               [ `L ("UPDATE hits /* " ^ mk id ^ " */ SET n = n + 1 WHERE id = ");
+                 `E x ] ]) ]
+    (trap Vuln.Sqli "numeric guard before mysql_query")
+
+(** Properly sanitized echo with a PHP builtin — true negative everywhere. *)
+let san_ok_trap ~id ~rng:_ =
+  no_defaults
+    [ echo1 (concat (s (open_tag id "i")) (call "htmlspecialchars" [ get ("h" ^ id) ])) ]
+    (trap Vuln.Xss "standard sanitizer, nobody should flag")

@@ -1,0 +1,285 @@
+(** Calibration plan: how many instances of each pattern each plugin gets,
+    per corpus version.
+
+    The counts are derived from the paper's Tables I and II and Fig. 2 by
+    solving the per-tool detectability system (see DESIGN.md).  Detectability
+    is determined by {e placement}, not by fiat — the analyzers genuinely
+    behave differently on each placement:
+
+    - [Clean_file]: procedural file, no OOP, no includes → all three tools
+      analyze it.
+    - [Oop_file]: contains OOP constructs → Pixy fails the file; RIPS skips
+      class bodies but sees top-level code; phpSAFE handles everything.
+    - [Deep_file]: OOP constructs {e and} an include chain deeper than
+      phpSAFE's memory budget → only RIPS sees its top-level code.
+
+    Buckets realised (2012 / 2014 targets):
+    - C = found by all three          : 26 / 12
+    - E = Pixy-only (register_globals): 24 /  8
+    - D = RIPS-only (deep files)      : 55 / 195
+    - B = phpSAFE∩RIPS                : 53 /  81
+    - A = phpSAFE-only (OOP/WordPress): 236 / 290
+    - F = found by nobody (Fig. 2's empty circle): 6 / 8 *)
+
+open Secflow
+
+type version = V2012 | V2014
+
+let version_to_string = function V2012 -> "2012" | V2014 -> "2014"
+let version_year = function V2012 -> 2012 | V2014 -> 2014
+
+type pkind =
+  | P_direct       (** superglobal → echo, procedural *)
+  | P_db_proc      (** mysql_* chain → echo *)
+  | P_file_proc    (** fgets / file_get_contents → echo *)
+  | P_rg           (** register_globals uninitialized echo *)
+  | P_uncalled     (** vulnerable hook function never called *)
+  | P_interproc    (** taint through a user function *)
+  | P_wpdb_xss     (** $wpdb->get_results rows echoed (OOP) *)
+  | P_wpdb_sqli    (** $wpdb->query SQL injection (OOP) *)
+  | P_method       (** superglobal echo inside a class method *)
+  | P_method_db    (** mysql chain inside a method *)
+  | P_method_file  (** file read inside a method *)
+  | P_method_prop  (** property store/show flow across methods *)
+  | P_dynamic      (** call_user_func — invisible to every tool *)
+  | T_guard        (** numeric-guard FP trap (all tools) *)
+  | T_wp_san       (** WP-sanitizer FP trap (RIPS, Pixy) *)
+  | T_revert       (** stripslashes-revert FP trap (phpSAFE, RIPS) *)
+  | T_uninit       (** include-defined variable FP trap (Pixy) *)
+  | T_prepare_ok   (** $wpdb->prepare true negative *)
+  | T_sqli_guard_wpdb  (** guard before $wpdb query (phpSAFE FP) *)
+  | T_sqli_guard_proc  (** guard before mysql_query (phpSAFE+RIPS FP) *)
+  | T_san_ok       (** htmlspecialchars true negative *)
+
+let pkind_name = function
+  | P_direct -> "direct-echo"
+  | P_db_proc -> "db-proc-echo"
+  | P_file_proc -> "file-proc-echo"
+  | P_rg -> "register-globals-echo"
+  | P_uncalled -> "uncalled-fn-echo"
+  | P_interproc -> "interproc-echo"
+  | P_wpdb_xss -> "wpdb-oop-xss"
+  | P_wpdb_sqli -> "wpdb-sqli"
+  | P_method -> "method-echo"
+  | P_method_db -> "method-db-echo"
+  | P_method_file -> "method-file-echo"
+  | P_method_prop -> "method-prop-flow"
+  | P_dynamic -> "dynamic-hidden"
+  | T_guard -> "trap-guard"
+  | T_wp_san -> "trap-wp-sanitizer"
+  | T_revert -> "trap-revert"
+  | T_uninit -> "trap-uninit-include"
+  | T_prepare_ok -> "trap-prepare-ok"
+  | T_sqli_guard_wpdb -> "trap-sqli-guard-wpdb"
+  | T_sqli_guard_proc -> "trap-sqli-guard-proc"
+  | T_san_ok -> "trap-sanitized-ok"
+
+type placement = Clean_file | Oop_file | Deep_file
+
+type inst = {
+  in_id : string;
+  in_pattern : pkind;
+  in_vector : Vuln.vector;
+  in_placement : placement;
+  in_plugin : int;  (** 0..34 *)
+  in_persistent : bool;  (** carried from 2012 into 2014 *)
+}
+
+(* -- plugin population --------------------------------------------- *)
+
+let plugin_count = 35
+let oop_plugins = List.init 19 Fun.id            (* 0..18 *)
+let proc_plugins = List.init 16 (fun i -> 19 + i) (* 19..34 *)
+
+(** Plugins with $wpdb vulnerabilities: 10 in 2012, 7 in 2014 (§V.A) —
+    plugins 7–9 fixed theirs. *)
+let wpdb_plugins = function
+  | V2012 -> [ 0; 1; 2; 3; 4; 5; 6; 7; 8; 9 ]
+  | V2014 -> [ 0; 1; 2; 3; 4; 5; 6 ]
+
+(** Plugins with a memory-exhausting deep-include file: phpSAFE "was unable
+    to analyze one file [2012] and three files [2014]" (§V.E). *)
+let deep_plugins = function V2012 -> [ 7 ] | V2014 -> [ 7; 12; 16 ]
+
+(* -- emission -------------------------------------------------------- *)
+
+type emitter = {
+  mutable next : int;
+  mutable out : inst list;  (** reversed *)
+  prefix : string;
+}
+
+let emit em ~n ~pattern ~vector ~placement ~plugins =
+  let plugins = Array.of_list plugins in
+  for k = 0 to n - 1 do
+    let id = Printf.sprintf "%s%04d" em.prefix em.next in
+    em.next <- em.next + 1;
+    em.out <-
+      { in_id = id; in_pattern = pattern; in_vector = vector;
+        in_placement = placement; in_plugin = plugins.(k mod Array.length plugins);
+        in_persistent = false }
+      :: em.out
+  done
+
+(** Weighted emission: [shares.(i)] instances to [plugins.(i)]. *)
+let emit_weighted em ~pattern ~vector ~placement ~plugin_shares =
+  List.iter
+    (fun (plugin, n) ->
+      emit em ~n ~pattern ~vector ~placement ~plugins:[ plugin ])
+    plugin_shares
+
+let get = Vuln.Get
+let post = Vuln.Post
+let mixed = Vuln.Post_get_cookie
+let db = Vuln.Db
+let file = Vuln.File_function_array
+
+(* ------------------------------------------------------------------ *)
+(* 2012 plan                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let instances_2012 () : inst list =
+  let em = { next = 1; out = []; prefix = "s" } in
+  let e = emit em in
+  (* C: all three tools (clean files in procedural plugins): 26 *)
+  e ~n:20 ~pattern:P_direct ~vector:get ~placement:Clean_file ~plugins:proc_plugins;
+  e ~n:6 ~pattern:P_interproc ~vector:get ~placement:Clean_file ~plugins:proc_plugins;
+  (* E: Pixy-only register_globals: 24 *)
+  e ~n:24 ~pattern:P_rg ~vector:mixed ~placement:Clean_file ~plugins:proc_plugins;
+  (* D: RIPS-only, the one file phpSAFE cannot parse: 55 in plugin 7 *)
+  e ~n:30 ~pattern:P_direct ~vector:get ~placement:Deep_file ~plugins:[ 7 ];
+  e ~n:10 ~pattern:P_direct ~vector:post ~placement:Deep_file ~plugins:[ 7 ];
+  e ~n:15 ~pattern:P_file_proc ~vector:file ~placement:Deep_file ~plugins:[ 7 ];
+  (* B: phpSAFE ∩ RIPS (procedural code in OOP files): 53 *)
+  e ~n:20 ~pattern:P_db_proc ~vector:db ~placement:Oop_file ~plugins:oop_plugins;
+  e ~n:10 ~pattern:P_file_proc ~vector:file ~placement:Oop_file ~plugins:oop_plugins;
+  e ~n:10 ~pattern:P_direct ~vector:get ~placement:Oop_file ~plugins:oop_plugins;
+  e ~n:3 ~pattern:P_uncalled ~vector:get ~placement:Oop_file ~plugins:oop_plugins;
+  e ~n:2 ~pattern:P_interproc ~vector:get ~placement:Oop_file ~plugins:oop_plugins;
+  e ~n:5 ~pattern:P_direct ~vector:post ~placement:Oop_file ~plugins:oop_plugins;
+  e ~n:3 ~pattern:P_uncalled ~vector:post ~placement:Oop_file ~plugins:oop_plugins;
+  (* A: phpSAFE-only — $wpdb OOP: 143 XSS + 8 SQLi = 151 over 10 plugins,
+     weighted so the 7 plugins that stay vulnerable in 2014 hold most *)
+  emit_weighted em ~pattern:P_wpdb_xss ~vector:db ~placement:Oop_file
+    ~plugin_shares:
+      [ (0, 20); (1, 20); (2, 20); (3, 20); (4, 20); (5, 20); (6, 20);
+        (7, 1); (8, 1); (9, 1) ];
+  e ~n:8 ~pattern:P_wpdb_sqli ~vector:get ~placement:Oop_file
+    ~plugins:(wpdb_plugins V2012);
+  (* A: phpSAFE-only — plugin-class methods: 85 *)
+  e ~n:48 ~pattern:P_method_db ~vector:db ~placement:Oop_file ~plugins:oop_plugins;
+  e ~n:16 ~pattern:P_method_file ~vector:file ~placement:Oop_file ~plugins:oop_plugins;
+  e ~n:12 ~pattern:P_method ~vector:get ~placement:Oop_file ~plugins:oop_plugins;
+  e ~n:5 ~pattern:P_method_prop ~vector:get ~placement:Oop_file ~plugins:oop_plugins;
+  e ~n:4 ~pattern:P_method ~vector:post ~placement:Oop_file ~plugins:oop_plugins;
+  (* F: invisible to every tool (Fig. 2 empty circle): 6 *)
+  e ~n:6 ~pattern:P_dynamic ~vector:get ~placement:Oop_file ~plugins:oop_plugins;
+  (* traps *)
+  e ~n:40 ~pattern:T_guard ~vector:get ~placement:Clean_file ~plugins:proc_plugins;
+  e ~n:16 ~pattern:T_wp_san ~vector:get ~placement:Clean_file ~plugins:proc_plugins;
+  e ~n:23 ~pattern:T_revert ~vector:get ~placement:Oop_file ~plugins:oop_plugins;
+  e ~n:2 ~pattern:T_sqli_guard_wpdb ~vector:get ~placement:Oop_file ~plugins:oop_plugins;
+  e ~n:131 ~pattern:T_uninit ~vector:mixed ~placement:Clean_file ~plugins:proc_plugins;
+  e ~n:6 ~pattern:T_prepare_ok ~vector:get ~placement:Oop_file ~plugins:oop_plugins;
+  e ~n:8 ~pattern:T_san_ok ~vector:get ~placement:Clean_file ~plugins:proc_plugins;
+  List.rev em.out
+
+(* ------------------------------------------------------------------ *)
+(* 2014 plan: persistent seeds carried over + new ones                *)
+(* ------------------------------------------------------------------ *)
+
+(** Take the first [n] 2012 instances matching [pattern]/[vector]
+    (and, optionally, placement), marked persistent. *)
+let persist ~from ~pattern ~vector ?placement ~n () =
+  let matches i =
+    i.in_pattern = pattern && i.in_vector = vector
+    && match placement with Some p -> i.in_placement = p | None -> true
+  in
+  let rec take acc k = function
+    | [] -> List.rev acc
+    | i :: rest ->
+        if k = 0 then List.rev acc
+        else if matches i then take ({ i with in_persistent = true } :: acc) (k - 1) rest
+        else take acc k rest
+  in
+  take [] n from
+
+let instances_2014 () : inst list =
+  let old = instances_2012 () in
+  let p = persist ~from:old in
+  let carried =
+    List.concat
+      [ (* C persists 12 of 26 *)
+        p ~pattern:P_direct ~vector:get ~placement:Clean_file ~n:10 ();
+        p ~pattern:P_interproc ~vector:get ~placement:Clean_file ~n:2 ();
+        (* E persists 8 of 24 *)
+        p ~pattern:P_rg ~vector:mixed ~n:8 ();
+        (* B persists: GET 10, POST 5, DB 15, FILE 4 *)
+        p ~pattern:P_direct ~vector:get ~placement:Oop_file ~n:10 ();
+        p ~pattern:P_direct ~vector:post ~placement:Oop_file ~n:5 ();
+        p ~pattern:P_db_proc ~vector:db ~n:20 ();
+        p ~pattern:P_file_proc ~vector:file ~placement:Oop_file ~n:4 ();
+        (* A persists: wpdb 140, sqli 5, methods GET 9 (7 direct + 2 prop),
+           POST 4, DB 17 — total persistence lands at ~40% of the 2014
+           union, the paper's headline inertia figure (§VI) *)
+        p ~pattern:P_wpdb_xss ~vector:db ~n:140 ();
+        p ~pattern:P_wpdb_sqli ~vector:get ~n:5 ();
+        p ~pattern:P_method ~vector:get ~n:7 ();
+        p ~pattern:P_method_prop ~vector:get ~n:2 ();
+        p ~pattern:P_method ~vector:post ~n:4 ();
+        p ~pattern:P_method_db ~vector:db ~n:17 ();
+        (* traps linger too: developers did not fix them because they are
+           not vulnerabilities *)
+        p ~pattern:T_guard ~vector:get ~n:40 ();
+        p ~pattern:T_wp_san ~vector:get ~n:16 ();
+        p ~pattern:T_revert ~vector:get ~n:17 ();
+        p ~pattern:T_uninit ~vector:mixed ~n:131 ();
+        p ~pattern:T_prepare_ok ~vector:get ~n:6 ();
+        p ~pattern:T_san_ok ~vector:get ~n:8 ();
+      ]
+  in
+  let em = { next = 1; out = []; prefix = "t" } in
+  let e = emit em in
+  (* C new: 12 total - 12 carried = 0.  E new: 0. *)
+  (* D: three deep files, 195 new *)
+  let deep = deep_plugins V2014 in
+  e ~n:55 ~pattern:P_direct ~vector:get ~placement:Deep_file ~plugins:deep;
+  e ~n:20 ~pattern:P_direct ~vector:post ~placement:Deep_file ~plugins:deep;
+  e ~n:30 ~pattern:P_direct ~vector:mixed ~placement:Deep_file ~plugins:deep;
+  e ~n:87 ~pattern:P_db_proc ~vector:db ~placement:Deep_file ~plugins:deep;
+  e ~n:3 ~pattern:P_file_proc ~vector:file ~placement:Deep_file ~plugins:deep;
+  (* B new: GET 10 (2 direct + 4 uncalled + 4 interproc), POST 5, MIX 10,
+     DB 22, FILE 0 *)
+  e ~n:2 ~pattern:P_direct ~vector:get ~placement:Oop_file ~plugins:oop_plugins;
+  e ~n:4 ~pattern:P_uncalled ~vector:get ~placement:Oop_file ~plugins:oop_plugins;
+  e ~n:4 ~pattern:P_interproc ~vector:get ~placement:Oop_file ~plugins:oop_plugins;
+  e ~n:5 ~pattern:P_direct ~vector:post ~placement:Oop_file ~plugins:oop_plugins;
+  e ~n:10 ~pattern:P_direct ~vector:mixed ~placement:Oop_file ~plugins:oop_plugins;
+  e ~n:17 ~pattern:P_db_proc ~vector:db ~placement:Oop_file ~plugins:oop_plugins;
+  (* A new: wpdb 30 (over the 7 still-vulnerable plugins), sqli 4,
+     methods: DB 62, GET 6 (4 direct + 2 prop), POST 9, MIX 9, FILE 5 *)
+  e ~n:30 ~pattern:P_wpdb_xss ~vector:db ~placement:Oop_file
+    ~plugins:(wpdb_plugins V2014);
+  e ~n:4 ~pattern:P_wpdb_sqli ~vector:get ~placement:Oop_file
+    ~plugins:(wpdb_plugins V2014);
+  e ~n:52 ~pattern:P_method_db ~vector:db ~placement:Oop_file ~plugins:oop_plugins;
+  e ~n:4 ~pattern:P_method ~vector:get ~placement:Oop_file ~plugins:oop_plugins;
+  e ~n:2 ~pattern:P_method_prop ~vector:get ~placement:Oop_file ~plugins:oop_plugins;
+  e ~n:9 ~pattern:P_method ~vector:post ~placement:Oop_file ~plugins:oop_plugins;
+  e ~n:9 ~pattern:P_method ~vector:mixed ~placement:Oop_file ~plugins:oop_plugins;
+  e ~n:5 ~pattern:P_method_file ~vector:file ~placement:Oop_file ~plugins:oop_plugins;
+  (* F new: 8 *)
+  e ~n:8 ~pattern:P_dynamic ~vector:get ~placement:Oop_file ~plugins:oop_plugins;
+  (* new traps *)
+  e ~n:6 ~pattern:T_wp_san ~vector:get ~placement:Clean_file ~plugins:proc_plugins;
+  e ~n:4 ~pattern:T_sqli_guard_wpdb ~vector:get ~placement:Oop_file ~plugins:oop_plugins;
+  e ~n:1 ~pattern:T_sqli_guard_proc ~vector:post ~placement:Oop_file ~plugins:oop_plugins;
+  e ~n:15 ~pattern:T_uninit ~vector:mixed ~placement:Clean_file ~plugins:proc_plugins;
+  carried @ List.rev em.out
+
+let instances = function V2012 -> instances_2012 () | V2014 -> instances_2014 ()
+
+(* -- corpus size targets (paper §V.E) -------------------------------- *)
+
+let target_files = function V2012 -> 266 | V2014 -> 356
+let target_loc = function V2012 -> 89_560 | V2014 -> 180_801

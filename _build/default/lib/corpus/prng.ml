@@ -1,0 +1,36 @@
+(** Deterministic splittable PRNG (splitmix64-style).  The corpus must be
+    reproducible bit-for-bit across runs and platforms, so no global
+    randomness is used anywhere in generation. *)
+
+type t = { mutable state : int64 }
+
+let create seed = { state = Int64.of_int seed }
+
+let golden = 0x9E3779B97F4A7C15L
+
+let next t =
+  t.state <- Int64.add t.state golden;
+  let z = t.state in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+(** Uniform int in [0, bound). *)
+let int t bound =
+  if bound <= 0 then 0
+  else Int64.to_int (Int64.rem (Int64.logand (next t) Int64.max_int) (Int64.of_int bound))
+
+let bool t = int t 2 = 0
+
+(** Derive an independent generator; [salt] keeps siblings decorrelated. *)
+let split t ~salt =
+  let s = next t in
+  { state = Int64.add s (Int64.mul (Int64.of_int salt) golden) }
+
+let pick t xs =
+  match xs with
+  | [] -> invalid_arg "Prng.pick: empty"
+  | _ -> List.nth xs (int t (List.length xs))
+
+(** Range helper: uniform in [lo, hi] inclusive. *)
+let between t lo hi = lo + int t (hi - lo + 1)

@@ -1,0 +1,21 @@
+(** Deterministic splittable PRNG (splitmix64-style).  The corpus must be
+    reproducible bit-for-bit across runs and platforms. *)
+
+type t
+
+val create : int -> t
+val next : t -> int64
+
+val int : t -> int -> int
+(** Uniform in [\[0, bound)]; [0] when [bound <= 0]. *)
+
+val bool : t -> bool
+
+val split : t -> salt:int -> t
+(** Derive an independent generator; [salt] decorrelates siblings. *)
+
+val pick : t -> 'a list -> 'a
+(** Uniform choice; raises [Invalid_argument] on an empty list. *)
+
+val between : t -> int -> int -> int
+(** Uniform in [\[lo, hi\]] inclusive. *)

@@ -1,0 +1,1 @@
+lib/evalkit/evalkit.ml: Ablation Corpus History Inertia Matching Metrics Pattern_report Robustness Runner Scaling Tables Vectors Venn

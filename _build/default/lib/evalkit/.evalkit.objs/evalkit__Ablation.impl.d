@@ -1,0 +1,1 @@
+lib/evalkit/ablation.ml: Corpus Format List Matching Metrics Phpsafe Runner Secflow

@@ -1,0 +1,1 @@
+lib/evalkit/ablation.mli: Format Metrics Phpsafe Runner

@@ -1,0 +1,1 @@
+lib/evalkit/history.ml: Corpus Format List Option Set String

@@ -1,0 +1,1 @@
+lib/evalkit/history.mli: Corpus Format

@@ -1,0 +1,1 @@
+lib/evalkit/inertia.ml: Corpus List Secflow Set String

@@ -1,0 +1,1 @@
+lib/evalkit/inertia.mli: Corpus

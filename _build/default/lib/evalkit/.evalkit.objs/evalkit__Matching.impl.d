@@ -1,0 +1,1 @@
+lib/evalkit/matching.ml: Corpus Hashtbl List Map Metrics Report Secflow Set String Vuln

@@ -1,0 +1,1 @@
+lib/evalkit/matching.mli: Corpus Map Metrics Report Secflow Set Vuln

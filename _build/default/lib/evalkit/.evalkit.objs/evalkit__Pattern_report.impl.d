@@ -1,0 +1,1 @@
+lib/evalkit/pattern_report.ml: Corpus Format List Map Matching Option Runner String

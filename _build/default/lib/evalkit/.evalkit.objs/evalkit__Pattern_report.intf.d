@@ -1,0 +1,1 @@
+lib/evalkit/pattern_report.mli: Format Runner

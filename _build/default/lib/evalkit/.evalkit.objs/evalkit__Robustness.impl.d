@@ -1,0 +1,1 @@
+lib/evalkit/robustness.ml: Corpus List Matching Report Runner Secflow

@@ -1,0 +1,1 @@
+lib/evalkit/robustness.mli: Corpus Runner

@@ -1,0 +1,1 @@
+lib/evalkit/runner.ml: Corpus List Matching Phpsafe Pixy Rips Secflow String Sys

@@ -1,0 +1,1 @@
+lib/evalkit/runner.mli: Corpus Matching Secflow

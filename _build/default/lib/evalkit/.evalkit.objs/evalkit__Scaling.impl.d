@@ -1,0 +1,1 @@
+lib/evalkit/scaling.ml: Corpus Format List Robustness Runner Secflow Sys

@@ -1,0 +1,1 @@
+lib/evalkit/scaling.mli: Corpus Format Secflow

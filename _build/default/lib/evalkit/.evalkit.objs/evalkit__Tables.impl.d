@@ -1,0 +1,1 @@
+lib/evalkit/tables.ml: Ablation Corpus Format History Inertia List Matching Metrics Printf Report Robustness Runner Secflow Set String Vectors Venn Vuln

@@ -1,0 +1,1 @@
+lib/evalkit/tables.mli: Format Runner

@@ -1,0 +1,1 @@
+lib/evalkit/vectors.ml: Corpus List Secflow Set String Vuln

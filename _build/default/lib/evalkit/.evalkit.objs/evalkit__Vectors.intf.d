@@ -1,0 +1,1 @@
+lib/evalkit/vectors.mli: Corpus Secflow Vuln

@@ -1,0 +1,1 @@
+lib/evalkit/venn.ml: Corpus List Matching Set String

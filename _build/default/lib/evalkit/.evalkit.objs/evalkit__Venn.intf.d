@@ -1,0 +1,1 @@
+lib/evalkit/venn.mli: Corpus Matching

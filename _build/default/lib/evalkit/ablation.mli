@@ -1,0 +1,26 @@
+(** Ablation study over phpSAFE's design choices (DESIGN.md experiment E8):
+    re-run the full corpus with one feature disabled per variant — or with
+    the §VI future-work guard extension enabled — and quantify each
+    feature's contribution. *)
+
+type variant = {
+  ab_name : string;
+  ab_options : Phpsafe.options;
+}
+
+val variants : variant list
+(** full, no-wordpress-profile, no-uncalled-analysis, no-include-resolution,
+    no-revert-modelling, guard-aware. *)
+
+type row = {
+  ab_variant : string;
+  ab_metrics : Metrics.t;  (** global TP/FP/FN against the default union *)
+  ab_oop_tp : int;         (** §V.A WordPress-object detections *)
+  ab_failed_files : int;
+}
+
+val run : Runner.evaluation -> row list
+(** Six whole-corpus phpSAFE runs; FN is computed against the {e default}
+    evaluation's union so variants are compared on one reference set. *)
+
+val print : Format.formatter -> ev:Runner.evaluation -> row list -> unit

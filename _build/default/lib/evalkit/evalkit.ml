@@ -1,0 +1,26 @@
+(** Evaluation harness facade: runs the three tools on both corpus versions
+    and regenerates every table and figure of the paper's §V. *)
+
+module Metrics = Metrics
+module Matching = Matching
+module Runner = Runner
+module Venn = Venn
+module Vectors = Vectors
+module Inertia = Inertia
+module Robustness = Robustness
+module Tables = Tables
+
+let evaluate = Runner.evaluate
+
+module Ablation = Ablation
+
+(** Run both versions and print the full report to [ppf]. *)
+let evaluate_and_report ?with_ablation ppf =
+  let ev2012 = Runner.evaluate Corpus.Plan.V2012 in
+  let ev2014 = Runner.evaluate Corpus.Plan.V2014 in
+  Tables.full_report ?with_ablation ppf ~ev2012 ~ev2014;
+  (ev2012, ev2014)
+
+module History = History
+module Scaling = Scaling
+module Pattern_report = Pattern_report

@@ -1,0 +1,79 @@
+(** Per-plugin security evolution between corpus versions — the paper's
+    future-work item "study the evolution of plugin security and plugin
+    updates over time by enabling historic data in phpSAFE" (§VI).
+
+    For each plugin, the detected vulnerabilities of both versions are
+    joined on seed identity, yielding how many were fixed, how many
+    persisted (disclosed but never fixed, §V.D) and how many were newly
+    introduced. *)
+
+module S = Set.Make (String)
+
+type plugin_history = {
+  ph_plugin : string;
+  ph_2012 : int;        (** detected in the 2012 version *)
+  ph_2014 : int;        (** detected in the 2014 version *)
+  ph_fixed : int;       (** present in 2012, gone in 2014 *)
+  ph_persisted : int;   (** present and detected in both *)
+  ph_introduced : int;  (** new in 2014 *)
+}
+
+let ids_of seeds =
+  List.fold_left
+    (fun acc (s : Corpus.Gt.seed) -> S.add s.Corpus.Gt.seed_id acc)
+    S.empty seeds
+
+let by_plugin (union : Corpus.Gt.seed list) =
+  List.fold_left
+    (fun m (s : Corpus.Gt.seed) ->
+      let cur = Option.value (List.assoc_opt s.Corpus.Gt.plugin m) ~default:[] in
+      (s.Corpus.Gt.plugin, s :: cur) :: List.remove_assoc s.Corpus.Gt.plugin m)
+    [] union
+
+let plugin_names_of m = S.of_list (List.map fst m)
+
+(** Join the two detected unions per plugin. *)
+let compute ~(union_2012 : Corpus.Gt.seed list) ~(union_2014 : Corpus.Gt.seed list)
+    : plugin_history list =
+  let m12 = by_plugin union_2012 and m14 = by_plugin union_2014 in
+  let plugins =
+    S.elements (S.union (plugin_names_of m12) (plugin_names_of m14))
+  in
+  List.map
+    (fun plugin ->
+      let s12 = Option.value (List.assoc_opt plugin m12) ~default:[] in
+      let s14 = Option.value (List.assoc_opt plugin m14) ~default:[] in
+      let i12 = ids_of s12 and i14 = ids_of s14 in
+      {
+        ph_plugin = plugin;
+        ph_2012 = S.cardinal i12;
+        ph_2014 = S.cardinal i14;
+        ph_fixed = S.cardinal (S.diff i12 i14);
+        ph_persisted = S.cardinal (S.inter i12 i14);
+        ph_introduced = S.cardinal (S.diff i14 i12);
+      })
+    plugins
+
+(** Aggregate over all plugins. *)
+let totals (rows : plugin_history list) =
+  List.fold_left
+    (fun (f, p, i) r -> (f + r.ph_fixed, p + r.ph_persisted, i + r.ph_introduced))
+    (0, 0, 0) rows
+
+let print ppf rows =
+  Format.fprintf ppf "@.== E9: per-plugin security evolution 2012 -> 2014 ==@.";
+  Format.fprintf ppf "%-26s %6s %6s %6s %10s %11s@." "plugin" "2012" "2014"
+    "fixed" "persisted" "introduced";
+  let sorted =
+    List.sort
+      (fun a b -> compare (b.ph_2012 + b.ph_2014) (a.ph_2012 + a.ph_2014))
+      rows
+  in
+  List.iter
+    (fun r ->
+      Format.fprintf ppf "%-26s %6d %6d %6d %10d %11d@." r.ph_plugin r.ph_2012
+        r.ph_2014 r.ph_fixed r.ph_persisted r.ph_introduced)
+    sorted;
+  let fixed, persisted, introduced = totals rows in
+  Format.fprintf ppf "%-26s %6s %6s %6d %10d %11d@." "TOTAL" "" "" fixed
+    persisted introduced

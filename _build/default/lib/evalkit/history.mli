@@ -1,0 +1,21 @@
+(** Per-plugin security evolution between corpus versions — the paper's
+    future-work item on historic data (§VI). *)
+
+type plugin_history = {
+  ph_plugin : string;
+  ph_2012 : int;        (** detected in the 2012 version *)
+  ph_2014 : int;        (** detected in the 2014 version *)
+  ph_fixed : int;       (** present in 2012, gone in 2014 *)
+  ph_persisted : int;   (** detected in both *)
+  ph_introduced : int;  (** new in 2014 *)
+}
+
+val compute :
+  union_2012:Corpus.Gt.seed list ->
+  union_2014:Corpus.Gt.seed list ->
+  plugin_history list
+
+val totals : plugin_history list -> int * int * int
+(** (fixed, persisted, introduced) over all plugins. *)
+
+val print : Format.formatter -> plugin_history list -> unit

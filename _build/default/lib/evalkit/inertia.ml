@@ -1,0 +1,44 @@
+(** §V.D — inertia in fixing vulnerabilities: how many of the
+    vulnerabilities detected in the 2014 versions were already present (and
+    disclosed) in the 2012 versions, and how many of those are trivially
+    exploitable (GET/POST/COOKIE). *)
+
+module S = Set.Make (String)
+
+type t = {
+  total_2014 : int;          (** distinct vulns detected in 2014 *)
+  persisted : int;           (** of those, already detected in 2012 *)
+  persisted_ratio : float;
+  persisted_easy : int;      (** persisted and directly exploitable *)
+  persisted_easy_ratio : float;  (** share of persisted *)
+}
+
+let compute ~(union_2012 : Corpus.Gt.seed list) ~(union_2014 : Corpus.Gt.seed list) : t =
+  let ids12 =
+    List.fold_left
+      (fun acc (s : Corpus.Gt.seed) -> S.add s.Corpus.Gt.seed_id acc)
+      S.empty union_2012
+  in
+  let persisted =
+    List.filter
+      (fun (s : Corpus.Gt.seed) -> S.mem s.Corpus.Gt.seed_id ids12)
+      union_2014
+  in
+  let easy =
+    List.filter
+      (fun (s : Corpus.Gt.seed) ->
+        match Corpus.Gt.vector_of s with
+        | Some v -> Secflow.Vuln.vector_is_direct v
+        | None -> false)
+      persisted
+  in
+  let total = List.length union_2014 in
+  let np = List.length persisted in
+  let ne = List.length easy in
+  {
+    total_2014 = total;
+    persisted = np;
+    persisted_ratio = (if total = 0 then 0. else float_of_int np /. float_of_int total);
+    persisted_easy = ne;
+    persisted_easy_ratio = (if np = 0 then 0. else float_of_int ne /. float_of_int np);
+  }

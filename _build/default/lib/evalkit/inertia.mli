@@ -1,0 +1,14 @@
+(** §V.D — inertia in fixing vulnerabilities: 2014 vulnerabilities that had
+    already been detected (and disclosed) in the 2012 corpus, and the share
+    of those that are trivially exploitable. *)
+
+type t = {
+  total_2014 : int;
+  persisted : int;
+  persisted_ratio : float;
+  persisted_easy : int;      (** persisted with a GET/POST/COOKIE vector *)
+  persisted_easy_ratio : float;  (** share of [persisted] *)
+}
+
+val compute :
+  union_2012:Corpus.Gt.seed list -> union_2014:Corpus.Gt.seed list -> t

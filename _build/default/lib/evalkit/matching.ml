@@ -1,0 +1,123 @@
+(** Matching tool findings against the corpus ground truth.
+
+    A finding matches a seed when plugin, file, sink line and vulnerability
+    kind all agree — the normalized "single repository" comparison of the
+    paper's §IV.B step 5, with the generator's labels replacing the manual
+    expert verification. *)
+
+open Secflow
+
+(** Finding identity across the whole corpus. *)
+module Qkey = struct
+  type t = { plugin : string; key : Report.key }
+
+  let compare a b =
+    match String.compare a.plugin b.plugin with
+    | 0 -> Report.compare_key a.key b.key
+    | c -> c
+end
+
+module Qset = Set.Make (Qkey)
+module Qmap = Map.Make (Qkey)
+
+let qkey_of_seed (s : Corpus.Gt.seed) : Qkey.t =
+  { Qkey.plugin = s.Corpus.Gt.plugin; key = Corpus.Gt.key_of s }
+
+(** Per-tool, per-plugin raw results. *)
+type tool_output = {
+  to_tool : string;
+  to_results : (string * Report.result) list;  (** plugin name × result *)
+}
+
+(** De-duplicated detection set of a tool over the whole corpus. *)
+let detections (out : tool_output) : Qset.t =
+  List.fold_left
+    (fun acc (plugin, result) ->
+      Report.Key_set.fold
+        (fun key acc -> Qset.add { Qkey.plugin; key } acc)
+        (Report.keys result) acc)
+    Qset.empty out.to_results
+
+type classified = {
+  cl_tool : string;
+  cl_tp : Corpus.Gt.seed list;       (** real vulnerabilities detected *)
+  cl_trap_fp : Corpus.Gt.seed list;  (** planned FP traps triggered *)
+  cl_stray_fp : Qkey.t list;
+      (** detections matching no seed at all — should stay at zero; any
+          entry is an analyzer or generator bug worth investigating *)
+}
+
+let classify ~(seeds : Corpus.Gt.seed list) (out : tool_output) : classified =
+  let index =
+    List.fold_left
+      (fun m s -> Qmap.add (qkey_of_seed s) s m)
+      Qmap.empty seeds
+  in
+  let dets = detections out in
+  let tp = ref [] and trap = ref [] and stray = ref [] in
+  Qset.iter
+    (fun q ->
+      match Qmap.find_opt q index with
+      | Some seed ->
+          if Corpus.Gt.is_real seed then tp := seed :: !tp
+          else trap := seed :: !trap
+      | None -> stray := q :: !stray)
+    dets;
+  {
+    cl_tool = out.to_tool;
+    cl_tp = List.rev !tp;
+    cl_trap_fp = List.rev !trap;
+    cl_stray_fp = List.rev !stray;
+  }
+
+let seed_ids seeds =
+  List.fold_left
+    (fun acc (s : Corpus.Gt.seed) -> s.Corpus.Gt.seed_id :: acc)
+    [] seeds
+  |> List.sort_uniq String.compare
+
+(** The union of real vulnerabilities found by any tool — the paper's
+    reference set for Recall ("we considered as the FN of one tool the
+    vulnerabilities that it did not detect but were detected by the other
+    tools"). *)
+let detected_union (cls : classified list) : Corpus.Gt.seed list =
+  let tbl = Hashtbl.create 512 in
+  List.iter
+    (fun c ->
+      List.iter
+        (fun (s : Corpus.Gt.seed) ->
+          if not (Hashtbl.mem tbl s.Corpus.Gt.seed_id) then
+            Hashtbl.replace tbl s.Corpus.Gt.seed_id s)
+        c.cl_tp)
+    cls;
+  Hashtbl.fold (fun _ s acc -> s :: acc) tbl []
+  |> List.sort (fun (a : Corpus.Gt.seed) b ->
+         String.compare a.Corpus.Gt.seed_id b.Corpus.Gt.seed_id)
+
+(** TP/FP/FN for one tool restricted to vulnerability kind [kind]
+    ([None] = global). *)
+let metrics_for ?kind ~(union : Corpus.Gt.seed list) (c : classified) :
+    Metrics.t =
+  let of_kind (s : Corpus.Gt.seed) =
+    match kind with
+    | None -> true
+    | Some k -> Vuln.equal_kind (Corpus.Gt.kind_of s) k
+  in
+  let tp = List.filter of_kind c.cl_tp in
+  let fp =
+    List.length (List.filter of_kind c.cl_trap_fp)
+    + List.length
+        (match kind with
+        | None -> c.cl_stray_fp
+        | Some k ->
+            List.filter (fun (q : Qkey.t) -> q.Qkey.key.Report.k_kind = k) c.cl_stray_fp)
+  in
+  let tp_ids = seed_ids tp in
+  let fn =
+    List.length
+      (List.filter
+         (fun (s : Corpus.Gt.seed) ->
+           of_kind s && not (List.mem s.Corpus.Gt.seed_id tp_ids))
+         union)
+  in
+  Metrics.make ~tp:(List.length tp) ~fp ~fn

@@ -1,0 +1,31 @@
+(** Binary-classification metrics (paper §IV.A): Precision, Recall and
+    F-score over TP/FP/FN counts.
+
+    Following the paper's convention, FN is {e optimistic}: the reference
+    set of vulnerabilities is the union of what the tools detected (plus
+    manual confirmation), not an exhaustive audit, so "the value of the
+    Recall metric is also optimistic". *)
+
+type t = {
+  tp : int;
+  fp : int;
+  fn : int;
+}
+
+let make ~tp ~fp ~fn = { tp; fp; fn }
+
+let precision m =
+  if m.tp + m.fp = 0 then nan else float_of_int m.tp /. float_of_int (m.tp + m.fp)
+
+let recall m =
+  if m.tp + m.fn = 0 then nan else float_of_int m.tp /. float_of_int (m.tp + m.fn)
+
+let f_score m =
+  let p = precision m and r = recall m in
+  if Float.is_nan p || Float.is_nan r || p +. r = 0. then nan
+  else 2. *. p *. r /. (p +. r)
+
+let pct x = if Float.is_nan x then "-" else Printf.sprintf "%.0f%%" (100. *. x)
+
+let add a b = { tp = a.tp + b.tp; fp = a.fp + b.fp; fn = a.fn + b.fn }
+let zero = { tp = 0; fp = 0; fn = 0 }

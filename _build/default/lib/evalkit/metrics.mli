@@ -1,0 +1,22 @@
+(** Binary-classification metrics (paper §IV.A).  FN — and hence Recall — is
+    optimistic: the reference set is the union of what the tools detected,
+    as in the paper. *)
+
+type t = { tp : int; fp : int; fn : int }
+
+val make : tp:int -> fp:int -> fn:int -> t
+
+val precision : t -> float
+(** [TP / (TP + FP)]; NaN when undefined. *)
+
+val recall : t -> float
+(** [TP / (TP + FN)]; NaN when undefined. *)
+
+val f_score : t -> float
+(** Harmonic mean of precision and recall; NaN when undefined. *)
+
+val pct : float -> string
+(** ["83%"] formatting; ["-"] for NaN. *)
+
+val add : t -> t -> t
+val zero : t

@@ -1,0 +1,81 @@
+(** Per-pattern detection breakdown: for each seeded code shape, how many
+    instances exist and how many each tool detected.  The drill-down behind
+    Table I — it shows {e which} behaviours produce each tool's numbers
+    (wpdb flows for phpSAFE's lead, register_globals for Pixy's tail, the
+    guard/revert traps for the false positives). *)
+
+module SM = Map.Make (String)
+
+type row = {
+  pr_pattern : string;
+  pr_is_trap : bool;
+  pr_seeded : int;
+  pr_by_tool : (string * int) list;  (** detected instances per tool *)
+}
+
+let compute (ev : Runner.evaluation) : row list =
+  let seeds = ev.Runner.ev_corpus.Corpus.seeds in
+  let base =
+    List.fold_left
+      (fun m (s : Corpus.Gt.seed) ->
+        let key = s.Corpus.Gt.pattern in
+        let cur =
+          Option.value (SM.find_opt key m)
+            ~default:(not (Corpus.Gt.is_real s), 0, SM.empty)
+        in
+        let is_trap, n, per_tool = cur in
+        SM.add key (is_trap, n + 1, per_tool) m)
+      SM.empty seeds
+  in
+  let with_tools =
+    List.fold_left
+      (fun m (c : Matching.classified) ->
+        List.fold_left
+          (fun m (s : Corpus.Gt.seed) ->
+            let key = s.Corpus.Gt.pattern in
+            match SM.find_opt key m with
+            | None -> m
+            | Some (is_trap, n, per_tool) ->
+                let hits =
+                  Option.value (SM.find_opt c.Matching.cl_tool per_tool) ~default:0
+                in
+                SM.add key
+                  (is_trap, n, SM.add c.Matching.cl_tool (hits + 1) per_tool)
+                  m)
+          m
+          (c.Matching.cl_tp @ c.Matching.cl_trap_fp))
+      base ev.Runner.ev_classified
+  in
+  let tool_names =
+    List.map (fun (c : Matching.classified) -> c.Matching.cl_tool) ev.Runner.ev_classified
+  in
+  SM.bindings with_tools
+  |> List.map (fun (pattern, (is_trap, seeded, per_tool)) ->
+         {
+           pr_pattern = pattern;
+           pr_is_trap = is_trap;
+           pr_seeded = seeded;
+           pr_by_tool =
+             List.map
+               (fun t -> (t, Option.value (SM.find_opt t per_tool) ~default:0))
+               tool_names;
+         })
+  |> List.sort (fun a b ->
+         match compare a.pr_is_trap b.pr_is_trap with
+         | 0 -> compare a.pr_pattern b.pr_pattern
+         | c -> c)
+
+let print ppf (rows : row list) =
+  Format.fprintf ppf "@.== per-pattern detection breakdown ==@.";
+  (match rows with
+  | r :: _ ->
+      Format.fprintf ppf "%-26s %8s" "pattern" "seeded";
+      List.iter (fun (t, _) -> Format.fprintf ppf " %8s" t) r.pr_by_tool;
+      Format.fprintf ppf "@."
+  | [] -> ());
+  List.iter
+    (fun r ->
+      Format.fprintf ppf "%-26s %8d" r.pr_pattern r.pr_seeded;
+      List.iter (fun (_, n) -> Format.fprintf ppf " %8d" n) r.pr_by_tool;
+      Format.fprintf ppf "@.")
+    rows

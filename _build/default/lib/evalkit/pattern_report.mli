@@ -1,0 +1,15 @@
+(** Per-pattern detection breakdown: the drill-down behind Table I, showing
+    which seeded code shape produces each tool's detections and false
+    positives. *)
+
+type row = {
+  pr_pattern : string;
+  pr_is_trap : bool;
+  pr_seeded : int;
+  pr_by_tool : (string * int) list;  (** detected instances per tool *)
+}
+
+val compute : Runner.evaluation -> row list
+(** Rows sorted vulnerabilities-first, then alphabetically. *)
+
+val print : Format.formatter -> row list -> unit

@@ -1,0 +1,33 @@
+(** §V.E — responsiveness and robustness: corpus size, per-tool CPU time,
+    files each tool failed to analyze and errors raised. *)
+
+open Secflow
+
+type tool_robustness = {
+  rb_tool : string;
+  rb_failed_files : int;
+  rb_errors : int;
+}
+
+let of_run (run : Runner.tool_run) : tool_robustness =
+  let failed, errors =
+    List.fold_left
+      (fun (f, e) (_plugin, (result : Report.result)) ->
+        (f + List.length (Report.failed_files result), e + result.Report.errors))
+      (0, 0) run.Runner.tr_output.Matching.to_results
+  in
+  {
+    rb_tool = run.Runner.tr_output.Matching.to_tool;
+    rb_failed_files = failed;
+    rb_errors = errors;
+  }
+
+type corpus_size = { cs_files : int; cs_loc : int }
+
+let corpus_size (corpus : Corpus.t) =
+  let files, loc = Corpus.stats corpus in
+  { cs_files = files; cs_loc = loc }
+
+(** Seconds per thousand lines of code — the paper's responsiveness unit. *)
+let sec_per_kloc ~seconds ~loc =
+  if loc = 0 then nan else seconds /. (float_of_int loc /. 1000.)

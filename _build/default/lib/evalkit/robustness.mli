@@ -1,0 +1,16 @@
+(** §V.E — responsiveness and robustness: corpus size, failed files and
+    error counts per tool, and the seconds-per-kLOC unit. *)
+
+type tool_robustness = {
+  rb_tool : string;
+  rb_failed_files : int;
+  rb_errors : int;
+}
+
+val of_run : Runner.tool_run -> tool_robustness
+
+type corpus_size = { cs_files : int; cs_loc : int }
+
+val corpus_size : Corpus.t -> corpus_size
+
+val sec_per_kloc : seconds:float -> loc:int -> float

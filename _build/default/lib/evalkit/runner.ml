@@ -1,0 +1,61 @@
+(** Drives the three analyzers over a corpus version and collects raw
+    results plus CPU time (paper §IV.B step 4: automated execution of each
+    tool on all plugin files; §V.E responsiveness). *)
+
+type tool_run = {
+  tr_output : Matching.tool_output;
+  tr_seconds : float;  (** CPU seconds to analyze the whole corpus *)
+}
+
+type evaluation = {
+  ev_version : Corpus.Plan.version;
+  ev_corpus : Corpus.t;
+  ev_runs : tool_run list;
+  ev_classified : Matching.classified list;
+  ev_union : Corpus.Gt.seed list;  (** union of detected real vulns *)
+}
+
+let default_tools () : Secflow.Tool.t list =
+  [ Phpsafe.tool; Rips.tool; Pixy.tool ]
+
+let run_tool (tool : Secflow.Tool.t) (corpus : Corpus.t) : tool_run =
+  let t0 = Sys.time () in
+  let results =
+    List.map
+      (fun (p : Corpus.Catalog.plugin_output) ->
+        (p.Corpus.Catalog.po_name,
+         tool.Secflow.Tool.analyze_project p.Corpus.Catalog.po_project))
+      corpus.Corpus.plugins
+  in
+  let seconds = Sys.time () -. t0 in
+  {
+    tr_output = { Matching.to_tool = tool.Secflow.Tool.name; to_results = results };
+    tr_seconds = seconds;
+  }
+
+let evaluate ?(tools = default_tools ()) version : evaluation =
+  let corpus = Corpus.generate version in
+  let runs = List.map (fun t -> run_tool t corpus) tools in
+  let classified =
+    List.map
+      (fun r -> Matching.classify ~seeds:corpus.Corpus.seeds r.tr_output)
+      runs
+  in
+  let union = Matching.detected_union classified in
+  {
+    ev_version = version;
+    ev_corpus = corpus;
+    ev_runs = runs;
+    ev_classified = classified;
+    ev_union = union;
+  }
+
+let classified_for ev tool_name =
+  List.find
+    (fun (c : Matching.classified) -> String.equal c.Matching.cl_tool tool_name)
+    ev.ev_classified
+
+let run_for ev tool_name =
+  List.find
+    (fun r -> String.equal r.tr_output.Matching.to_tool tool_name)
+    ev.ev_runs

@@ -1,0 +1,29 @@
+(** Drives the analyzers over a corpus version and collects raw results and
+    CPU time (paper §IV.B step 4, §V.E responsiveness). *)
+
+type tool_run = {
+  tr_output : Matching.tool_output;
+  tr_seconds : float;  (** CPU seconds to analyze the whole corpus *)
+}
+
+type evaluation = {
+  ev_version : Corpus.Plan.version;
+  ev_corpus : Corpus.t;
+  ev_runs : tool_run list;
+  ev_classified : Matching.classified list;
+  ev_union : Corpus.Gt.seed list;  (** union of detected real vulns *)
+}
+
+val default_tools : unit -> Secflow.Tool.t list
+(** phpSAFE, RIPS, Pixy — the paper's §IV.B tool set. *)
+
+val run_tool : Secflow.Tool.t -> Corpus.t -> tool_run
+
+val evaluate : ?tools:Secflow.Tool.t list -> Corpus.Plan.version -> evaluation
+(** Generate the corpus, run every tool, classify against ground truth and
+    compute the detected union. *)
+
+val classified_for : evaluation -> string -> Matching.classified
+(** Lookup by tool name; raises [Not_found] for unknown tools. *)
+
+val run_for : evaluation -> string -> tool_run

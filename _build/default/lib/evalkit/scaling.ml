@@ -1,0 +1,58 @@
+(** E10 — scaling study (beyond the paper).
+
+    §V.E argues from two corpus sizes that "phpSAFE and RIPS should scale to
+    larger files".  This study measures it: the 2012 corpus is regenerated
+    at several size multipliers (same seeded vulnerabilities, more realistic
+    plugin bulk) and each tool's CPU time and seconds-per-kLOC are recorded.
+    Near-constant s/kLOC across scales means linear scaling. *)
+
+type point = {
+  sp_scale : float;
+  sp_files : int;
+  sp_loc : int;
+  sp_seconds : (string * float) list;  (** per tool *)
+}
+
+let default_scales = [ 0.5; 1.0; 2.0; 4.0 ]
+
+let measure ?(scales = default_scales) ?(tools = Runner.default_tools ())
+    version : point list =
+  List.map
+    (fun scale ->
+      let corpus = Corpus.generate ~scale version in
+      let files, loc = Corpus.stats corpus in
+      let seconds =
+        List.map
+          (fun (tool : Secflow.Tool.t) ->
+            let t0 = Sys.time () in
+            List.iter
+              (fun (p : Corpus.Catalog.plugin_output) ->
+                ignore
+                  (tool.Secflow.Tool.analyze_project p.Corpus.Catalog.po_project))
+              corpus.Corpus.plugins;
+            (tool.Secflow.Tool.name, Sys.time () -. t0))
+          tools
+      in
+      { sp_scale = scale; sp_files = files; sp_loc = loc; sp_seconds = seconds })
+    scales
+
+let print ppf (points : point list) =
+  Format.fprintf ppf
+    "@.== E10: scaling study (2012 corpus at several size multipliers) ==@.";
+  Format.fprintf ppf "%-7s %7s %9s" "scale" "files" "kLOC";
+  (match points with
+  | p :: _ ->
+      List.iter (fun (tool, _) -> Format.fprintf ppf " %9s (s/kLOC)" tool) p.sp_seconds
+  | [] -> ());
+  Format.fprintf ppf "@.";
+  List.iter
+    (fun p ->
+      Format.fprintf ppf "%-7.2f %7d %9.1f" p.sp_scale p.sp_files
+        (float_of_int p.sp_loc /. 1000.);
+      List.iter
+        (fun (_, s) ->
+          Format.fprintf ppf " %7.2fs (%6.4f)" s
+            (Robustness.sec_per_kloc ~seconds:s ~loc:p.sp_loc))
+        p.sp_seconds;
+      Format.fprintf ppf "@.")
+    points

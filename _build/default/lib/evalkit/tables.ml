@@ -1,0 +1,260 @@
+(** Formatting of every table and figure in the paper's evaluation section,
+    with the paper-reported values printed alongside the measured ones so
+    reproduction quality is visible at a glance. *)
+
+open Secflow
+
+let tool_names = [ "phpSAFE"; "RIPS"; "Pixy" ]
+
+(* Paper-reported Table I values: (tool, version) -> tp, fp per kind.
+   Used only for display, never for computation. *)
+let paper_table1 ~tool ~year ~kind =
+  match (tool, year, kind) with
+  | "phpSAFE", 2012, `Xss -> Some (307, 63)
+  | "phpSAFE", 2014, `Xss -> Some (374, 57)
+  | "RIPS", 2012, `Xss -> Some (134, 79)
+  | "RIPS", 2014, `Xss -> Some (288, 47)
+  | "Pixy", 2012, `Xss -> Some (50, 185)
+  | "Pixy", 2014, `Xss -> Some (20, 197)
+  | "phpSAFE", 2012, `Sqli -> Some (8, 2)
+  | "phpSAFE", 2014, `Sqli -> Some (9, 5)
+  | "RIPS", 2012, `Sqli -> Some (0, 0)
+  | "RIPS", 2014, `Sqli -> Some (0, 1)
+  | "Pixy", (2012 | 2014), `Sqli -> Some (0, 0)
+  | "phpSAFE", 2012, `Global -> Some (315, 65)
+  | "phpSAFE", 2014, `Global -> Some (387, 62)
+  | "RIPS", 2012, `Global -> Some (134, 79)
+  | "RIPS", 2014, `Global -> Some (304, 79)
+  | "Pixy", 2012, `Global -> Some (50, 187)
+  | "Pixy", 2014, `Global -> Some (20, 208)
+  | _ -> None
+
+let section ppf title =
+  Format.fprintf ppf "@.== %s ==@." title
+
+let metrics_of ev tool kind =
+  let c = Runner.classified_for ev tool in
+  let kind = match kind with `Xss -> Some Vuln.Xss | `Sqli -> Some Vuln.Sqli | `Global -> None in
+  Matching.metrics_for ?kind ~union:ev.Runner.ev_union c
+
+(** Table I — vulnerabilities of the 2012 and 2014 plugin versions. *)
+let table1 ppf ~(ev2012 : Runner.evaluation) ~(ev2014 : Runner.evaluation) =
+  section ppf
+    "TABLE I: vulnerabilities of 2012 and 2014 plugin versions (measured | paper)";
+  let print_block kind_label kind =
+    Format.fprintf ppf "@.-- %s --@." kind_label;
+    Format.fprintf ppf "%-10s %-8s %27s %27s@." "metric" "tool" "V.2012" "V.2014";
+    let row label f =
+      List.iter
+        (fun tool ->
+          let m12 = metrics_of ev2012 tool kind in
+          let m14 = metrics_of ev2014 tool kind in
+          let p12 =
+            match paper_table1 ~tool ~year:2012 ~kind with
+            | Some (tp, fp) -> f (`Paper (tp, fp))
+            | None -> "-"
+          in
+          let p14 =
+            match paper_table1 ~tool ~year:2014 ~kind with
+            | Some (tp, fp) -> f (`Paper (tp, fp))
+            | None -> "-"
+          in
+          Format.fprintf ppf "%-10s %-8s %15s | %9s %15s | %9s@." label tool
+            (f (`Measured m12)) p12
+            (f (`Measured m14)) p14)
+        tool_names
+    in
+    row "TP" (function
+      | `Measured m -> string_of_int m.Metrics.tp
+      | `Paper (tp, _) -> string_of_int tp);
+    row "FP" (function
+      | `Measured m -> string_of_int m.Metrics.fp
+      | `Paper (_, fp) -> string_of_int fp);
+    row "Precision" (function
+      | `Measured m -> Metrics.pct (Metrics.precision m)
+      | `Paper (tp, fp) ->
+          Metrics.pct (Metrics.precision (Metrics.make ~tp ~fp ~fn:0)));
+    row "Recall" (function
+      | `Measured m -> Metrics.pct (Metrics.recall m)
+      | `Paper _ -> "");
+    row "F-score" (function
+      | `Measured m -> Metrics.pct (Metrics.f_score m)
+      | `Paper _ -> "")
+  in
+  print_block "XSS" `Xss;
+  print_block "SQLi" `Sqli;
+  print_block "Global" `Global;
+  Format.fprintf ppf
+    "@.note: paper Recall/F-score use the paper's own union; see EXPERIMENTS.md@."
+
+(** Fig. 2 — tools' vulnerability detection overlap. *)
+let figure2 ppf ~(ev : Runner.evaluation) =
+  let get name = Runner.classified_for ev name in
+  let regions =
+    Venn.compute
+      ~all_real:(Corpus.real_vulns ev.Runner.ev_corpus)
+      ~phpsafe:(get "phpSAFE") ~rips:(get "RIPS") ~pixy:(get "Pixy")
+  in
+  section ppf
+    (Printf.sprintf "FIG. 2 data: detection overlap, version %s"
+       (Corpus.Plan.version_to_string ev.Runner.ev_version));
+  Format.fprintf ppf "phpSAFE only          : %d@." regions.Venn.only_phpsafe;
+  Format.fprintf ppf "RIPS only             : %d@." regions.Venn.only_rips;
+  Format.fprintf ppf "Pixy only             : %d@." regions.Venn.only_pixy;
+  Format.fprintf ppf "phpSAFE ∩ RIPS        : %d@." regions.Venn.phpsafe_rips;
+  Format.fprintf ppf "phpSAFE ∩ Pixy        : %d@." regions.Venn.phpsafe_pixy;
+  Format.fprintf ppf "RIPS ∩ Pixy           : %d@." regions.Venn.rips_pixy;
+  Format.fprintf ppf "all three             : %d@." regions.Venn.all_three;
+  Format.fprintf ppf "no tool (empty circle): %d@." regions.Venn.none;
+  Format.fprintf ppf "distinct vulnerabilities detected: %d  (paper: %s)@."
+    regions.Venn.union
+    (match ev.Runner.ev_version with
+    | Corpus.Plan.V2012 -> "394"
+    | Corpus.Plan.V2014 -> "586")
+
+(** Table II — malicious input vector types. *)
+let table2 ppf ~(ev2012 : Runner.evaluation) ~(ev2014 : Runner.evaluation) =
+  let rows =
+    Vectors.compute ~union_2012:ev2012.Runner.ev_union
+      ~union_2014:ev2014.Runner.ev_union
+  in
+  section ppf "TABLE II: malicious input vector type (measured | paper)";
+  let paper = function
+    | Vuln.Post -> (22, 43, 11)
+    | Vuln.Get -> (96, 111, 36)
+    | Vuln.Post_get_cookie -> (24, 57, 19)
+    | Vuln.Db -> (211, 363, 162)
+    | Vuln.File_function_array -> (41, 11, 4)
+  in
+  Format.fprintf ppf "%-22s %13s %13s %13s@." "Input Vectors" "V.2012" "V.2014" "Both";
+  List.iter
+    (fun (r : Vectors.row) ->
+      let p12, p14, pb = paper r.Vectors.vector in
+      Format.fprintf ppf "%-22s %5d | %5d %5d | %5d %5d | %5d@."
+        (Vuln.vector_to_string r.Vectors.vector)
+        r.Vectors.v2012 p12 r.Vectors.v2014 p14 r.Vectors.both pb)
+    rows
+
+(** Table III — detection time of all plugins in seconds. *)
+let table3 ppf ~(ev2012 : Runner.evaluation) ~(ev2014 : Runner.evaluation) =
+  section ppf "TABLE III: detection time of all plugins in seconds (measured; paper on i5 2.8GHz)";
+  let paper_time = function
+    | "phpSAFE", 2012 -> 17.87
+    | "phpSAFE", 2014 -> 180.91
+    | "RIPS", 2012 -> 69.42
+    | "RIPS", 2014 -> 178.46
+    | "Pixy", 2012 -> 49.57
+    | "Pixy", 2014 -> 106.54
+    | _ -> nan
+  in
+  let size12 = Robustness.corpus_size ev2012.Runner.ev_corpus in
+  let size14 = Robustness.corpus_size ev2014.Runner.ev_corpus in
+  Format.fprintf ppf "%-8s %18s %18s %14s@." "tool" "V.2012 (paper)" "V.2014 (paper)"
+    "s/kLOC 12/14";
+  List.iter
+    (fun tool ->
+      let r12 = Runner.run_for ev2012 tool and r14 = Runner.run_for ev2014 tool in
+      Format.fprintf ppf "%-8s %8.2f (%6.2f) %8.2f (%6.2f) %6.3f/%6.3f@." tool
+        r12.Runner.tr_seconds (paper_time (tool, 2012))
+        r14.Runner.tr_seconds (paper_time (tool, 2014))
+        (Robustness.sec_per_kloc ~seconds:r12.Runner.tr_seconds ~loc:size12.Robustness.cs_loc)
+        (Robustness.sec_per_kloc ~seconds:r14.Runner.tr_seconds ~loc:size14.Robustness.cs_loc))
+    tool_names
+
+(** §V.A — OOP/WordPress-object vulnerabilities detected per tool. *)
+let oop_summary ppf ~(ev : Runner.evaluation) =
+  section ppf
+    (Printf.sprintf "§V.A: WordPress-object (OOP) vulnerabilities, version %s"
+       (Corpus.Plan.version_to_string ev.Runner.ev_version));
+  let module SS = Set.Make (String) in
+  List.iter
+    (fun tool ->
+      let c = Runner.classified_for ev tool in
+      let oop =
+        List.filter (fun s -> Corpus.Gt.is_oop_wordpress s) c.Matching.cl_tp
+      in
+      let plugins =
+        List.fold_left
+          (fun acc (s : Corpus.Gt.seed) -> SS.add s.Corpus.Gt.plugin acc)
+          SS.empty oop
+      in
+      Format.fprintf ppf "%-8s: %d OOP vulnerabilities in %d plugins@." tool
+        (List.length oop) (SS.cardinal plugins))
+    tool_names;
+  Format.fprintf ppf "(paper: phpSAFE 151 in 10 plugins [2012], 179 in 7 [2014]; RIPS/Pixy 0)@."
+
+(** §V.D — inertia in fixing vulnerabilities. *)
+let inertia ppf ~(ev2012 : Runner.evaluation) ~(ev2014 : Runner.evaluation) =
+  let t =
+    Inertia.compute ~union_2012:ev2012.Runner.ev_union
+      ~union_2014:ev2014.Runner.ev_union
+  in
+  section ppf "§V.D: inertia in fixing vulnerabilities";
+  Format.fprintf ppf
+    "2014 vulns: %d; already disclosed in 2012: %d (%.0f%%)  [paper: 249, 42%%]@."
+    t.Inertia.total_2014 t.Inertia.persisted (100. *. t.Inertia.persisted_ratio);
+  Format.fprintf ppf
+    "persisted & easily exploitable (GET/POST/COOKIE): %d (%.0f%% of persisted)  [paper: 59, 24%%]@."
+    t.Inertia.persisted_easy (100. *. t.Inertia.persisted_easy_ratio)
+
+(** §V.E — robustness: corpus size, failed files, errors. *)
+let robustness ppf ~(ev : Runner.evaluation) =
+  let size = Robustness.corpus_size ev.Runner.ev_corpus in
+  let year = Corpus.Plan.version_year ev.Runner.ev_version in
+  section ppf (Printf.sprintf "§V.E: corpus size and robustness, version %d" year);
+  let paper_size =
+    match ev.Runner.ev_version with
+    | Corpus.Plan.V2012 -> "266 files, 89,560 LOC"
+    | Corpus.Plan.V2014 -> "356 files, 180,801 LOC"
+  in
+  Format.fprintf ppf "corpus: %d files, %d LOC  [paper: %s]@."
+    size.Robustness.cs_files size.Robustness.cs_loc paper_size;
+  List.iter
+    (fun run ->
+      let rb = Robustness.of_run run in
+      Format.fprintf ppf "%-8s: %d files failed, %d errors@." rb.Robustness.rb_tool
+        rb.Robustness.rb_failed_files rb.Robustness.rb_errors)
+    ev.Runner.ev_runs;
+  Format.fprintf ppf
+    "(paper: phpSAFE missed 1 file [2012] / 3 files [2014]; RIPS none; Pixy failed 32 files, errors 1/37)@."
+
+(** Stray false positives (detections matching no seed) — must be zero. *)
+let stray_report ppf ~(ev : Runner.evaluation) =
+  List.iter
+    (fun (c : Matching.classified) ->
+      if c.Matching.cl_stray_fp <> [] then begin
+        Format.fprintf ppf "!! %s has %d unplanned detections:@." c.Matching.cl_tool
+          (List.length c.Matching.cl_stray_fp);
+        List.iter
+          (fun (q : Matching.Qkey.t) ->
+            Format.fprintf ppf "   %s %s %s:%d@." q.Matching.Qkey.plugin
+              (Vuln.kind_to_string q.Matching.Qkey.key.Report.k_kind)
+              q.Matching.Qkey.key.Report.k_file q.Matching.Qkey.key.Report.k_line)
+          c.Matching.cl_stray_fp
+      end)
+    ev.Runner.ev_classified
+
+(** The complete evaluation report (all tables and figures).
+    [with_ablation] additionally runs the six-variant E8 study (six extra
+    whole-corpus phpSAFE runs per version). *)
+let full_report ?(with_ablation = false) ppf ~(ev2012 : Runner.evaluation)
+    ~(ev2014 : Runner.evaluation) =
+  table1 ppf ~ev2012 ~ev2014;
+  figure2 ppf ~ev:ev2012;
+  figure2 ppf ~ev:ev2014;
+  table2 ppf ~ev2012 ~ev2014;
+  oop_summary ppf ~ev:ev2012;
+  oop_summary ppf ~ev:ev2014;
+  inertia ppf ~ev2012 ~ev2014;
+  robustness ppf ~ev:ev2012;
+  robustness ppf ~ev:ev2014;
+  table3 ppf ~ev2012 ~ev2014;
+  History.print ppf
+    (History.compute ~union_2012:ev2012.Runner.ev_union
+       ~union_2014:ev2014.Runner.ev_union);
+  if with_ablation then begin
+    Ablation.print ppf ~ev:ev2012 (Ablation.run ev2012);
+    Ablation.print ppf ~ev:ev2014 (Ablation.run ev2014)
+  end;
+  stray_report ppf ~ev:ev2012;
+  stray_report ppf ~ev:ev2014

@@ -1,0 +1,46 @@
+(** Table II: distinct detected vulnerabilities classified by malicious
+    input vector, per version, plus the vulnerabilities present (and
+    detected) in both versions. *)
+
+open Secflow
+
+module S = Set.Make (String)
+
+type row = {
+  vector : Vuln.vector;
+  v2012 : int;
+  v2014 : int;
+  both : int;
+}
+
+let ids seeds =
+  List.fold_left
+    (fun acc (s : Corpus.Gt.seed) -> S.add s.Corpus.Gt.seed_id acc)
+    S.empty seeds
+
+let count_vector vec seeds =
+  List.length
+    (List.filter
+       (fun (s : Corpus.Gt.seed) -> Corpus.Gt.vector_of s = Some vec)
+       seeds)
+
+(** [union_2012] and [union_2014] are the detected unions of each version.
+    The "both" column counts 2014 vulnerabilities whose seed also existed —
+    and was detected — in the 2012 corpus. *)
+let compute ~(union_2012 : Corpus.Gt.seed list) ~(union_2014 : Corpus.Gt.seed list) :
+    row list =
+  let ids12 = ids union_2012 in
+  let persistent =
+    List.filter
+      (fun (s : Corpus.Gt.seed) -> S.mem s.Corpus.Gt.seed_id ids12)
+      union_2014
+  in
+  List.map
+    (fun vec ->
+      {
+        vector = vec;
+        v2012 = count_vector vec union_2012;
+        v2014 = count_vector vec union_2014;
+        both = count_vector vec persistent;
+      })
+    Vuln.all_vectors

@@ -1,0 +1,17 @@
+(** Table II: distinct detected vulnerabilities classified by malicious
+    input vector per version, plus those detected in both versions. *)
+
+open Secflow
+
+type row = {
+  vector : Vuln.vector;
+  v2012 : int;
+  v2014 : int;
+  both : int;  (** detected in 2014 and already detected in 2012 *)
+}
+
+val compute :
+  union_2012:Corpus.Gt.seed list ->
+  union_2014:Corpus.Gt.seed list ->
+  row list
+(** One row per {!Vuln.vector}, in the paper's order. *)

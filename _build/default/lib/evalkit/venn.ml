@@ -1,0 +1,43 @@
+(** Fig. 2: detection overlap between the three tools, as the sizes of the
+    seven Venn regions plus the "found by no tool" seeds (the paper's empty
+    circle). *)
+
+module S = Set.Make (String)
+
+type regions = {
+  only_phpsafe : int;
+  only_rips : int;
+  only_pixy : int;
+  phpsafe_rips : int;      (** in both phpSAFE and RIPS, not Pixy *)
+  phpsafe_pixy : int;
+  rips_pixy : int;
+  all_three : int;
+  none : int;              (** real vulns detected by no tool *)
+  union : int;
+}
+
+let tp_ids (c : Matching.classified) =
+  List.fold_left
+    (fun acc (s : Corpus.Gt.seed) -> S.add s.Corpus.Gt.seed_id acc)
+    S.empty c.Matching.cl_tp
+
+let compute ~(all_real : Corpus.Gt.seed list) ~phpsafe ~rips ~pixy : regions =
+  let p = tp_ids phpsafe and r = tp_ids rips and x = tp_ids pixy in
+  let union = S.union p (S.union r x) in
+  let card_filter pred = S.cardinal (S.filter pred union) in
+  let in_ s id = S.mem id s in
+  {
+    only_phpsafe = card_filter (fun id -> in_ p id && not (in_ r id) && not (in_ x id));
+    only_rips = card_filter (fun id -> in_ r id && not (in_ p id) && not (in_ x id));
+    only_pixy = card_filter (fun id -> in_ x id && not (in_ p id) && not (in_ r id));
+    phpsafe_rips = card_filter (fun id -> in_ p id && in_ r id && not (in_ x id));
+    phpsafe_pixy = card_filter (fun id -> in_ p id && in_ x id && not (in_ r id));
+    rips_pixy = card_filter (fun id -> in_ r id && in_ x id && not (in_ p id));
+    all_three = card_filter (fun id -> in_ p id && in_ r id && in_ x id);
+    none =
+      List.length
+        (List.filter
+           (fun (s : Corpus.Gt.seed) -> not (S.mem s.Corpus.Gt.seed_id union))
+           all_real);
+    union = S.cardinal union;
+  }

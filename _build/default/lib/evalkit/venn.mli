@@ -1,0 +1,22 @@
+(** Fig. 2: detection overlap between the three tools as the sizes of the
+    seven Venn regions plus the "found by no tool" count (the paper's empty
+    circle). *)
+
+type regions = {
+  only_phpsafe : int;
+  only_rips : int;
+  only_pixy : int;
+  phpsafe_rips : int;  (** in both phpSAFE and RIPS, not Pixy *)
+  phpsafe_pixy : int;
+  rips_pixy : int;
+  all_three : int;
+  none : int;          (** real vulnerabilities detected by no tool *)
+  union : int;         (** distinct vulnerabilities detected by any tool *)
+}
+
+val compute :
+  all_real:Corpus.Gt.seed list ->
+  phpsafe:Matching.classified ->
+  rips:Matching.classified ->
+  pixy:Matching.classified ->
+  regions

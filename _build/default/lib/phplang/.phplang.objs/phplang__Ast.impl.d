@@ -1,0 +1,1 @@
+lib/phplang/ast.ml: Float Format List Option String

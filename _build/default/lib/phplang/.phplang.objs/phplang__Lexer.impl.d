@@ -1,0 +1,1 @@
+lib/phplang/lexer.ml: Buffer List Option Printf String Token

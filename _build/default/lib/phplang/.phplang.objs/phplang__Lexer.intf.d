@@ -1,0 +1,1 @@
+lib/phplang/lexer.mli: Token

@@ -1,0 +1,1 @@
+lib/phplang/loc.ml: List Project String

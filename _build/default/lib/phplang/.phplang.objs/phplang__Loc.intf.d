@@ -1,0 +1,1 @@
+lib/phplang/loc.mli: Project

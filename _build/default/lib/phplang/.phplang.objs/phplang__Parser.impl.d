@@ -1,0 +1,1 @@
+lib/phplang/parser.ml: Array Ast Buffer Lexer List Printf String Token

@@ -1,0 +1,1 @@
+lib/phplang/parser.mli: Ast Token

@@ -1,0 +1,1 @@
+lib/phplang/printer.ml: Ast Buffer List Printf String

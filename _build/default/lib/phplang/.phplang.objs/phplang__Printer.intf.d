@@ -1,0 +1,1 @@
+lib/phplang/printer.mli: Ast

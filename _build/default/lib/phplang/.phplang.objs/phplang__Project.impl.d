@@ -1,0 +1,1 @@
+lib/phplang/project.ml: Ast Hashtbl List Option String

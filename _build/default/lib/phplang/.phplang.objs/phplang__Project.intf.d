@@ -1,0 +1,1 @@
+lib/phplang/project.mli: Ast

@@ -1,0 +1,1 @@
+lib/phplang/token.ml: Format List String

@@ -1,0 +1,303 @@
+(** PHP tokenizer — the [token_get_all] equivalent that phpSAFE's model
+    construction stage builds on (paper §III.B).
+
+    The lexer recognises the PHP 5 subset used by WordPress-style plugins:
+    open/close tags with inline HTML, variables, identifiers/keywords,
+    integer/float literals, single- and double-quoted strings (the latter kept
+    raw; interpolation is expanded by the parser), comments, casts and the
+    full operator set in {!Token.kind}. *)
+
+exception Error of string * int  (** message, line *)
+
+type state = {
+  src : string;
+  mutable pos : int;
+  mutable line : int;
+  mutable in_php : bool;  (* inside <?php ... ?> *)
+}
+
+let fail st msg = raise (Error (msg, st.line))
+
+let is_ident_start c =
+  (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'
+
+let is_ident_char c = is_ident_start c || (c >= '0' && c <= '9')
+let is_digit c = c >= '0' && c <= '9'
+
+let peek st i =
+  let p = st.pos + i in
+  if p < String.length st.src then Some st.src.[p] else None
+
+let looking_at st s =
+  let n = String.length s and len = String.length st.src in
+  st.pos + n <= len && String.sub st.src st.pos n = s
+
+(* Case-insensitive [looking_at], for tags and casts. *)
+let looking_at_ci st s =
+  let n = String.length s and len = String.length st.src in
+  st.pos + n <= len
+  && String.lowercase_ascii (String.sub st.src st.pos n)
+     = String.lowercase_ascii s
+
+let count_newlines s =
+  let n = ref 0 in
+  String.iter (fun c -> if c = '\n' then incr n) s;
+  !n
+
+let advance_over st s =
+  st.line <- st.line + count_newlines s;
+  st.pos <- st.pos + String.length s
+
+let take_while st pred =
+  let start = st.pos in
+  while st.pos < String.length st.src && pred st.src.[st.pos] do
+    if st.src.[st.pos] = '\n' then st.line <- st.line + 1;
+    st.pos <- st.pos + 1
+  done;
+  String.sub st.src start (st.pos - start)
+
+(* Inline HTML up to the next open tag (or EOF). *)
+let lex_inline_html st =
+  let start = st.pos and line = st.line in
+  let len = String.length st.src in
+  let rec scan i =
+    if i >= len then i
+    else if i + 1 < len && st.src.[i] = '<' && st.src.[i + 1] = '?' then i
+    else scan (i + 1)
+  in
+  let stop = scan st.pos in
+  let text = String.sub st.src start (stop - start) in
+  st.line <- st.line + count_newlines text;
+  st.pos <- stop;
+  Token.make Token.T_INLINE_HTML text line
+
+let lex_single_quoted st =
+  let line = st.line in
+  let buf = Buffer.create 16 in
+  Buffer.add_char buf '\'';
+  st.pos <- st.pos + 1;
+  let len = String.length st.src in
+  let rec scan () =
+    if st.pos >= len then fail st "unterminated single-quoted string"
+    else
+      let c = st.src.[st.pos] in
+      if c = '\n' then st.line <- st.line + 1;
+      if c = '\\' && st.pos + 1 < len then begin
+        Buffer.add_char buf c;
+        Buffer.add_char buf st.src.[st.pos + 1];
+        st.pos <- st.pos + 2;
+        scan ()
+      end
+      else begin
+        Buffer.add_char buf c;
+        st.pos <- st.pos + 1;
+        if c <> '\'' then scan ()
+      end
+  in
+  scan ();
+  Token.make Token.T_CONSTANT_STRING (Buffer.contents buf) line
+
+let lex_double_quoted st =
+  let line = st.line in
+  let buf = Buffer.create 16 in
+  Buffer.add_char buf '"';
+  st.pos <- st.pos + 1;
+  let len = String.length st.src in
+  let rec scan () =
+    if st.pos >= len then fail st "unterminated double-quoted string"
+    else
+      let c = st.src.[st.pos] in
+      if c = '\n' then st.line <- st.line + 1;
+      if c = '\\' && st.pos + 1 < len then begin
+        Buffer.add_char buf c;
+        Buffer.add_char buf st.src.[st.pos + 1];
+        st.pos <- st.pos + 2;
+        scan ()
+      end
+      else begin
+        Buffer.add_char buf c;
+        st.pos <- st.pos + 1;
+        if c <> '"' then scan ()
+      end
+  in
+  scan ();
+  Token.make Token.T_ENCAPSED_STRING (Buffer.contents buf) line
+
+let lex_number st =
+  let line = st.line in
+  let intpart = take_while st is_digit in
+  match (peek st 0, peek st 1) with
+  | Some '.', Some d when is_digit d ->
+      st.pos <- st.pos + 1;
+      let frac = take_while st is_digit in
+      Token.make Token.T_DNUMBER (intpart ^ "." ^ frac) line
+  | _ -> Token.make Token.T_LNUMBER intpart line
+
+let lex_line_comment st =
+  let line = st.line in
+  let text = take_while st (fun c -> c <> '\n') in
+  Token.make Token.T_COMMENT text line
+
+let lex_block_comment st =
+  let line = st.line in
+  let doc = looking_at st "/**" && not (looking_at st "/**/") in
+  let start = st.pos in
+  let len = String.length st.src in
+  let rec scan i =
+    if i + 1 >= len then fail st "unterminated block comment"
+    else if st.src.[i] = '*' && st.src.[i + 1] = '/' then i + 2
+    else scan (i + 1)
+  in
+  let stop = scan (st.pos + 2) in
+  let text = String.sub st.src start (stop - start) in
+  st.line <- st.line + count_newlines text;
+  st.pos <- stop;
+  Token.make (if doc then Token.T_DOC_COMMENT else Token.T_COMMENT) text line
+
+(* Cast tokens: '(' ws* typename ws* ')'. Returns None when the parenthesis
+   is not a cast. *)
+let try_lex_cast st =
+  let len = String.length st.src in
+  let rec skip_ws i = if i < len && (st.src.[i] = ' ' || st.src.[i] = '\t') then skip_ws (i + 1) else i in
+  let i = skip_ws (st.pos + 1) in
+  let j =
+    let rec scan j = if j < len && is_ident_char st.src.[j] then scan (j + 1) else j in
+    scan i
+  in
+  if j = i then None
+  else
+    let word = String.lowercase_ascii (String.sub st.src i (j - i)) in
+    let k = skip_ws j in
+    if k < len && st.src.[k] = ')' then
+      let kind =
+        match word with
+        | "int" | "integer" -> Some Token.T_INT_CAST
+        | "float" | "double" | "real" -> Some Token.T_FLOAT_CAST
+        | "string" -> Some Token.T_STRING_CAST
+        | "array" -> Some Token.T_ARRAY_CAST
+        | "bool" | "boolean" -> Some Token.T_BOOL_CAST
+        | _ -> None
+      in
+      match kind with
+      | Some kind ->
+          let lexeme = String.sub st.src st.pos (k + 1 - st.pos) in
+          let line = st.line in
+          st.pos <- k + 1;
+          Some (Token.make kind lexeme line)
+      | None -> None
+    else None
+
+let two_char_ops : (string * Token.kind) list =
+  [ ("=>", Token.T_DOUBLE_ARROW); ("->", Token.T_OBJECT_OPERATOR);
+    ("::", Token.T_DOUBLE_COLON); ("&&", Token.T_BOOLEAN_AND);
+    ("||", Token.T_BOOLEAN_OR); ("==", Token.T_IS_EQUAL);
+    ("!=", Token.T_IS_NOT_EQUAL); ("<=", Token.T_IS_SMALLER_OR_EQUAL);
+    (">=", Token.T_IS_GREATER_OR_EQUAL); ("+=", Token.T_PLUS_EQUAL);
+    ("-=", Token.T_MINUS_EQUAL); ("*=", Token.T_MUL_EQUAL);
+    ("/=", Token.T_DIV_EQUAL); (".=", Token.T_CONCAT_EQUAL);
+    ("%=", Token.T_MOD_EQUAL); ("++", Token.T_INC); ("--", Token.T_DEC) ]
+
+let punct_chars = ";,(){}[]=+-*/%.<>!?:&@|^~$"
+
+let lex_php_token st =
+  let line = st.line in
+  let c =
+    match peek st 0 with Some c -> c | None -> fail st "unexpected EOF"
+  in
+  if looking_at st "?>" then begin
+    st.pos <- st.pos + 2;
+    st.in_php <- false;
+    (* PHP consumes a single newline straight after the close tag. *)
+    (if peek st 0 = Some '\n' then begin st.line <- st.line + 1; st.pos <- st.pos + 1 end);
+    Token.make Token.T_CLOSE_TAG "?>" line
+  end
+  else if c = ' ' || c = '\t' || c = '\n' || c = '\r' then
+    let ws = take_while st (fun c -> c = ' ' || c = '\t' || c = '\n' || c = '\r') in
+    Token.make Token.T_WHITESPACE ws line
+  else if looking_at st "===" then begin
+    advance_over st "===";
+    Token.make Token.T_IS_IDENTICAL "===" line
+  end
+  else if looking_at st "!==" then begin
+    advance_over st "!==";
+    Token.make Token.T_IS_NOT_IDENTICAL "!==" line
+  end
+  else if looking_at st "//" then lex_line_comment st
+  else if c = '#' then lex_line_comment st
+  else if looking_at st "/*" then lex_block_comment st
+  else if c = '$' && (match peek st 1 with Some c1 -> is_ident_start c1 | None -> false)
+  then begin
+    st.pos <- st.pos + 1;
+    let name = take_while st is_ident_char in
+    Token.make Token.T_VARIABLE ("$" ^ name) line
+  end
+  else if is_ident_start c then begin
+    let word = take_while st is_ident_char in
+    match Token.keyword_kind word with
+    | Some k -> Token.make k word line
+    | None -> Token.make Token.T_STRING word line
+  end
+  else if is_digit c then lex_number st
+  else if c = '\'' then lex_single_quoted st
+  else if c = '"' then lex_double_quoted st
+  else if c = '(' then begin
+    match try_lex_cast st with
+    | Some t -> t
+    | None ->
+        st.pos <- st.pos + 1;
+        Token.make Token.Punct "(" line
+  end
+  else
+    let two =
+      if st.pos + 2 <= String.length st.src then
+        let s2 = String.sub st.src st.pos 2 in
+        List.assoc_opt s2 two_char_ops |> Option.map (fun k -> (s2, k))
+      else None
+    in
+    match two with
+    | Some (s2, k) ->
+        advance_over st s2;
+        Token.make k s2 line
+    | None ->
+        if String.contains punct_chars c then begin
+          st.pos <- st.pos + 1;
+          Token.make Token.Punct (String.make 1 c) line
+        end
+        else fail st (Printf.sprintf "unexpected character %C" c)
+
+(** Tokenize a full PHP source file.  Returns every token, including
+    whitespace and comments, terminated by a single {!Token.T_EOF}. *)
+let tokenize src =
+  let st = { src; pos = 0; line = 1; in_php = false } in
+  let len = String.length src in
+  let rec loop acc =
+    if st.pos >= len then List.rev (Token.make Token.T_EOF "" st.line :: acc)
+    else if not st.in_php then
+      if looking_at_ci st "<?php" then begin
+        let line = st.line in
+        advance_over st (String.sub st.src st.pos 5);
+        st.in_php <- true;
+        loop (Token.make Token.T_OPEN_TAG "<?php" line :: acc)
+      end
+      else if looking_at st "<?" then begin
+        let line = st.line in
+        advance_over st "<?";
+        st.in_php <- true;
+        loop (Token.make Token.T_OPEN_TAG "<?" line :: acc)
+      end
+      else loop (lex_inline_html st :: acc)
+    else loop (lex_php_token st :: acc)
+  in
+  loop []
+
+(** Drop whitespace and comments — phpSAFE "cleans the AST by removing
+    comments and extra whitespaces" (§III.B). *)
+let significant tokens =
+  List.filter
+    (fun (t : Token.t) ->
+      match t.Token.kind with
+      | Token.T_WHITESPACE | Token.T_COMMENT | Token.T_DOC_COMMENT -> false
+      | _ -> true)
+    tokens
+
+let tokenize_significant src = significant (tokenize src)

@@ -1,0 +1,18 @@
+(** PHP tokenizer — the [token_get_all] equivalent the analyzers build on
+    (paper §III.B). *)
+
+exception Error of string * int
+(** Lexing failure: message and 1-based line number. *)
+
+val tokenize : string -> Token.t list
+(** [tokenize src] splits a PHP source file into tokens, including
+    whitespace, comments and inline HTML, terminated by {!Token.T_EOF}.
+    Raises {!Error} on malformed input (unterminated strings/comments,
+    characters outside the supported subset). *)
+
+val significant : Token.t list -> Token.t list
+(** Drop whitespace and comment tokens — phpSAFE "cleans the AST by removing
+    comments and extra whitespaces" (§III.B). *)
+
+val tokenize_significant : string -> Token.t list
+(** [significant (tokenize src)]. *)

@@ -1,0 +1,12 @@
+(** Lines-of-code accounting for the corpus size report (paper §V.E) and
+    the seconds-per-kLOC responsiveness metric. *)
+
+val physical_lines : string -> int
+(** Physical lines in a source string (a trailing newline does not start a
+    new line). *)
+
+val count : string -> int
+(** Non-blank lines — the LOC measure reported everywhere. *)
+
+val project_loc : Project.t -> int
+(** Sum of {!count} over all files of a project. *)

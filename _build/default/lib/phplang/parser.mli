@@ -1,0 +1,19 @@
+(** Recursive-descent parser for the PHP 5 plugin subset (see {!Ast}).
+
+    Follows PHP's operator precedence and expands double-quoted string
+    interpolation ([$var], [$var->prop], [$arr[key]], [{$expr}]) into
+    {!Ast.Interp} parts. *)
+
+exception Parse_error of string * Ast.pos
+(** Parse failure with a human-readable message and source position. *)
+
+val parse_tokens : file:string -> Token.t list -> Ast.program
+(** Parse a significant-token list (see {!Lexer.significant}); [file] is
+    recorded in every position. *)
+
+val parse_source : file:string -> string -> Ast.program
+(** Tokenize and parse a complete PHP source file. *)
+
+val expr_of_string : ?file:string -> string -> Ast.expr
+(** Parse a single PHP expression given without [<?php] tags — used for
+    [{$...}] interpolation and convenient in tests. *)

@@ -1,0 +1,611 @@
+(** PHP pretty-printer: renders an {!Ast.program} back to PHP source.
+
+    The output is designed to re-parse to an equal AST (positions aside) —
+    checked by QCheck round-trip properties — and to look like hand-written
+    plugin code, since the corpus generator emits all its PHP through this
+    printer. *)
+
+let escape_single s =
+  let buf = Buffer.create (String.length s + 2) in
+  String.iter
+    (fun c ->
+      match c with
+      | '\'' -> Buffer.add_string buf "\\'"
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let escape_double s =
+  let buf = Buffer.create (String.length s + 2) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '$' -> Buffer.add_string buf "\\$"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | '{' -> Buffer.add_string buf "{"
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let float_literal f =
+  let s = Printf.sprintf "%.12g" f in
+  if String.contains s 'e' || String.contains s 'E' then
+    Printf.sprintf "%.6f" f
+  else if String.contains s '.' then s
+  else s ^ ".0"
+
+(* Precedence levels, matching the parser's grammar. *)
+let lv_assign = 1
+let lv_ternary = 2
+let lv_bool_or = 3
+let lv_bool_and = 4
+let lv_equality = 5
+let lv_relational = 6
+let lv_additive = 7
+let lv_multiplicative = 8
+let lv_unary = 9
+let lv_postfix = 10
+let lv_primary = 11
+
+let binop_level = function
+  | Ast.BoolOr -> lv_bool_or
+  | Ast.BoolAnd -> lv_bool_and
+  | Ast.Eq | Ast.Neq | Ast.Identical | Ast.NotIdentical -> lv_equality
+  | Ast.Lt | Ast.Gt | Ast.Le | Ast.Ge -> lv_relational
+  | Ast.Concat | Ast.Plus | Ast.Minus -> lv_additive
+  | Ast.Mul | Ast.Div | Ast.Mod -> lv_multiplicative
+
+let binop_sym = function
+  | Ast.Concat -> "."
+  | Ast.Plus -> "+"
+  | Ast.Minus -> "-"
+  | Ast.Mul -> "*"
+  | Ast.Div -> "/"
+  | Ast.Mod -> "%"
+  | Ast.Eq -> "=="
+  | Ast.Neq -> "!="
+  | Ast.Identical -> "==="
+  | Ast.NotIdentical -> "!=="
+  | Ast.Lt -> "<"
+  | Ast.Gt -> ">"
+  | Ast.Le -> "<="
+  | Ast.Ge -> ">="
+  | Ast.BoolAnd -> "&&"
+  | Ast.BoolOr -> "||"
+
+let cast_sym = function
+  | Ast.CastInt -> "(int)"
+  | Ast.CastFloat -> "(float)"
+  | Ast.CastString -> "(string)"
+  | Ast.CastArray -> "(array)"
+  | Ast.CastBool -> "(bool)"
+
+let include_sym = function
+  | Ast.Include -> "include"
+  | Ast.IncludeOnce -> "include_once"
+  | Ast.Require -> "require"
+  | Ast.RequireOnce -> "require_once"
+
+let vis_sym = function
+  | Ast.Public -> "public"
+  | Ast.Private -> "private"
+  | Ast.Protected -> "protected"
+
+(* leftmost leaf is a variable, as PHP's {$...} interpolation requires *)
+let rec interpolatable (e : Ast.expr) =
+  match e.Ast.e with
+  | Ast.Var _ -> true
+  | Ast.ArrayGet (b, _) | Ast.Prop (b, _) | Ast.MethodCall (b, _, _) ->
+      interpolatable b
+  | _ -> false
+
+let rec expr_level (e : Ast.expr) =
+  match e.Ast.e with
+  | Ast.Assign _ | Ast.AssignRef _ | Ast.OpAssign _ | Ast.ListAssign _
+  | Ast.PrintE _ | Ast.IncludeE _ ->
+      lv_assign
+  | Ast.Ternary _ -> lv_ternary
+  | Ast.Bin (op, _, _) -> binop_level op
+  | Ast.Un ((Ast.Not | Ast.Neg | Ast.PreInc | Ast.PreDec | Ast.Silence), _)
+  | Ast.CastE _ | Ast.New _ ->
+      lv_unary
+  | Ast.Un ((Ast.PostInc | Ast.PostDec), _)
+  | Ast.Call _ | Ast.MethodCall _ | Ast.StaticCall _ | Ast.ArrayGet _
+  | Ast.Prop _ ->
+      lv_postfix
+  | Ast.Null | Ast.True | Ast.False | Ast.Int _ | Ast.Float _ | Ast.Str _
+  | Ast.Interp _ | Ast.Var _ | Ast.StaticProp _ | Ast.ClassConst _
+  | Ast.Const _ | Ast.ArrayLit _ | Ast.Isset _ | Ast.EmptyE _ | Ast.Exit _
+  | Ast.Closure _ ->
+      lv_primary
+
+and print_expr buf prec (e : Ast.expr) =
+  let level = expr_level e in
+  let parens = level < prec in
+  if parens then Buffer.add_char buf '(';
+  (match e.Ast.e with
+  | Ast.Null -> Buffer.add_string buf "null"
+  | Ast.True -> Buffer.add_string buf "true"
+  | Ast.False -> Buffer.add_string buf "false"
+  | Ast.Int n -> Buffer.add_string buf (string_of_int n)
+  | Ast.Float f -> Buffer.add_string buf (float_literal f)
+  | Ast.Str s ->
+      Buffer.add_char buf '\'';
+      Buffer.add_string buf (escape_single s);
+      Buffer.add_char buf '\''
+  | Ast.Interp parts ->
+      (* PHP only interpolates expressions rooted at a variable ({$...});
+         anything else is spliced out of the string as a concatenation *)
+      Buffer.add_char buf '"';
+      List.iter
+        (function
+          | Ast.ILit s -> Buffer.add_string buf (escape_double s)
+          | Ast.IExpr e when interpolatable e ->
+              Buffer.add_char buf '{';
+              print_expr buf 0 e;
+              Buffer.add_char buf '}'
+          | Ast.IExpr e ->
+              Buffer.add_string buf "\" . ";
+              print_expr buf (lv_additive + 1) e;
+              Buffer.add_string buf " . \"")
+        parts;
+      Buffer.add_char buf '"'
+  | Ast.Var v -> Buffer.add_string buf v
+  | Ast.ArrayGet (a, idx) ->
+      print_expr buf lv_postfix a;
+      Buffer.add_char buf '[';
+      (match idx with Some i -> print_expr buf 0 i | None -> ());
+      Buffer.add_char buf ']'
+  | Ast.Prop (o, p) ->
+      print_expr buf lv_postfix o;
+      Buffer.add_string buf "->";
+      Buffer.add_string buf p
+  | Ast.StaticProp (c, p) ->
+      Buffer.add_string buf c;
+      Buffer.add_string buf "::";
+      Buffer.add_string buf p
+  | Ast.ClassConst (c, k) ->
+      Buffer.add_string buf c;
+      Buffer.add_string buf "::";
+      Buffer.add_string buf k
+  | Ast.Const c -> Buffer.add_string buf c
+  | Ast.ArrayLit items ->
+      Buffer.add_string buf "array(";
+      List.iteri
+        (fun i (k, v) ->
+          if i > 0 then Buffer.add_string buf ", ";
+          (match k with
+          | Some k ->
+              print_expr buf lv_ternary k;
+              Buffer.add_string buf " => "
+          | None -> ());
+          print_expr buf lv_ternary v)
+        items;
+      Buffer.add_char buf ')'
+  | Ast.Call (f, args) ->
+      Buffer.add_string buf f;
+      print_args buf args
+  | Ast.MethodCall (o, m, args) ->
+      print_expr buf lv_postfix o;
+      Buffer.add_string buf "->";
+      Buffer.add_string buf m;
+      print_args buf args
+  | Ast.StaticCall (c, m, args) ->
+      Buffer.add_string buf c;
+      Buffer.add_string buf "::";
+      Buffer.add_string buf m;
+      print_args buf args
+  | Ast.New (c, args) ->
+      Buffer.add_string buf "new ";
+      Buffer.add_string buf c;
+      print_args buf args
+  | Ast.Assign (l, r) ->
+      print_expr buf lv_ternary l;
+      Buffer.add_string buf " = ";
+      print_expr buf lv_assign r
+  | Ast.AssignRef (l, r) ->
+      print_expr buf lv_ternary l;
+      Buffer.add_string buf " =& ";
+      print_expr buf lv_assign r
+  | Ast.OpAssign (op, l, r) ->
+      print_expr buf lv_ternary l;
+      Buffer.add_char buf ' ';
+      Buffer.add_string buf (binop_sym op);
+      Buffer.add_string buf "= ";
+      print_expr buf lv_assign r
+  | Ast.Bin (op, l, r) ->
+      let lv = binop_level op in
+      print_expr buf lv l;
+      Buffer.add_char buf ' ';
+      Buffer.add_string buf (binop_sym op);
+      Buffer.add_char buf ' ';
+      print_expr buf (lv + 1) r
+  | Ast.Un (op, operand) -> (
+      match op with
+      | Ast.Not ->
+          Buffer.add_char buf '!';
+          print_expr buf lv_unary operand
+      | Ast.Neg ->
+          Buffer.add_char buf '-';
+          (* avoid "--" fusing into T_DEC *)
+          let needs_wrap =
+            match operand.Ast.e with
+            | Ast.Un ((Ast.Neg | Ast.PreDec), _) -> true
+            | _ -> false
+          in
+          if needs_wrap then begin
+            Buffer.add_char buf '(';
+            print_expr buf 0 operand;
+            Buffer.add_char buf ')'
+          end
+          else print_expr buf lv_unary operand
+      | Ast.Silence ->
+          Buffer.add_char buf '@';
+          print_expr buf lv_unary operand
+      | Ast.PreInc ->
+          Buffer.add_string buf "++";
+          print_expr buf lv_unary operand
+      | Ast.PreDec ->
+          Buffer.add_string buf "--";
+          print_expr buf lv_unary operand
+      | Ast.PostInc ->
+          print_expr buf lv_postfix operand;
+          Buffer.add_string buf "++"
+      | Ast.PostDec ->
+          print_expr buf lv_postfix operand;
+          Buffer.add_string buf "--")
+  | Ast.Ternary (c, thn, els) ->
+      print_expr buf lv_bool_or c;
+      (match thn with
+      | Some thn ->
+          Buffer.add_string buf " ? ";
+          print_expr buf 0 thn;
+          Buffer.add_string buf " : "
+      | None -> Buffer.add_string buf " ?: ");
+      print_expr buf lv_ternary els
+  | Ast.CastE (c, operand) ->
+      Buffer.add_string buf (cast_sym c);
+      Buffer.add_char buf ' ';
+      print_expr buf lv_unary operand
+  | Ast.Isset es ->
+      Buffer.add_string buf "isset(";
+      List.iteri
+        (fun i e ->
+          if i > 0 then Buffer.add_string buf ", ";
+          print_expr buf 0 e)
+        es;
+      Buffer.add_char buf ')'
+  | Ast.EmptyE e ->
+      Buffer.add_string buf "empty(";
+      print_expr buf 0 e;
+      Buffer.add_char buf ')'
+  | Ast.PrintE e ->
+      Buffer.add_string buf "print ";
+      print_expr buf lv_assign e
+  | Ast.Exit None -> Buffer.add_string buf "exit"
+  | Ast.Exit (Some e) ->
+      Buffer.add_string buf "exit(";
+      print_expr buf 0 e;
+      Buffer.add_char buf ')'
+  | Ast.IncludeE (kind, e) ->
+      Buffer.add_string buf (include_sym kind);
+      Buffer.add_char buf ' ';
+      print_expr buf lv_assign e
+  | Ast.Closure c ->
+      Buffer.add_string buf "function";
+      print_params buf c.Ast.cl_params;
+      (match c.Ast.cl_uses with
+      | [] -> ()
+      | uses ->
+          Buffer.add_string buf " use (";
+          List.iteri
+            (fun i (v, by_ref) ->
+              if i > 0 then Buffer.add_string buf ", ";
+              if by_ref then Buffer.add_char buf '&';
+              Buffer.add_string buf v)
+            uses;
+          Buffer.add_char buf ')');
+      Buffer.add_string buf " {\n";
+      print_stmts buf 1 c.Ast.cl_body;
+      Buffer.add_string buf "}"
+  | Ast.ListAssign (slots, rhs) ->
+      Buffer.add_string buf "list(";
+      List.iteri
+        (fun i slot ->
+          if i > 0 then Buffer.add_string buf ", ";
+          match slot with Some e -> print_expr buf 0 e | None -> ())
+        slots;
+      Buffer.add_string buf ") = ";
+      print_expr buf lv_assign rhs);
+  if parens then Buffer.add_char buf ')'
+
+and print_args buf args =
+  Buffer.add_char buf '(';
+  List.iteri
+    (fun i a ->
+      if i > 0 then Buffer.add_string buf ", ";
+      print_expr buf lv_ternary a)
+    args;
+  Buffer.add_char buf ')'
+
+and print_params buf params =
+  Buffer.add_char buf '(';
+  List.iteri
+    (fun i (p : Ast.param) ->
+      if i > 0 then Buffer.add_string buf ", ";
+      (match p.Ast.p_hint with
+      | Some h ->
+          Buffer.add_string buf h;
+          Buffer.add_char buf ' '
+      | None -> ());
+      if p.Ast.p_by_ref then Buffer.add_char buf '&';
+      Buffer.add_string buf p.Ast.p_name;
+      match p.Ast.p_default with
+      | Some d ->
+          Buffer.add_string buf " = ";
+          print_expr buf lv_ternary d
+      | None -> ())
+    params;
+  Buffer.add_char buf ')'
+
+and indent buf depth = Buffer.add_string buf (String.make (depth * 4) ' ')
+
+and print_block buf depth body =
+  Buffer.add_string buf "{\n";
+  print_stmts buf (depth + 1) body;
+  indent buf depth;
+  Buffer.add_string buf "}"
+
+and print_stmts buf depth stmts =
+  List.iter (fun s -> print_stmt buf depth s) stmts
+
+and print_stmt buf depth (s : Ast.stmt) =
+  match s.Ast.s with
+  | Ast.InlineHtml html ->
+      (* leave PHP mode; the lexer eats one newline right after ?> so the
+         HTML text is emitted verbatim *)
+      indent buf depth;
+      Buffer.add_string buf "?>";
+      Buffer.add_string buf html;
+      Buffer.add_string buf "<?php\n"
+  | Ast.Nop ->
+      indent buf depth;
+      Buffer.add_string buf ";\n"
+  | Ast.Expr e ->
+      indent buf depth;
+      print_expr buf 0 e;
+      Buffer.add_string buf ";\n"
+  | Ast.Echo es ->
+      indent buf depth;
+      Buffer.add_string buf "echo ";
+      List.iteri
+        (fun i e ->
+          if i > 0 then Buffer.add_string buf ", ";
+          print_expr buf 0 e)
+        es;
+      Buffer.add_string buf ";\n"
+  | Ast.If (branches, els) ->
+      indent buf depth;
+      List.iteri
+        (fun i (cond, body) ->
+          if i > 0 then Buffer.add_string buf " elseif ("
+          else Buffer.add_string buf "if (";
+          print_expr buf 0 cond;
+          Buffer.add_string buf ") ";
+          print_block buf depth body)
+        branches;
+      (match els with
+      | Some body ->
+          Buffer.add_string buf " else ";
+          print_block buf depth body
+      | None -> ());
+      Buffer.add_char buf '\n'
+  | Ast.While (cond, body) ->
+      indent buf depth;
+      Buffer.add_string buf "while (";
+      print_expr buf 0 cond;
+      Buffer.add_string buf ") ";
+      print_block buf depth body;
+      Buffer.add_char buf '\n'
+  | Ast.DoWhile (body, cond) ->
+      indent buf depth;
+      Buffer.add_string buf "do ";
+      print_block buf depth body;
+      Buffer.add_string buf " while (";
+      print_expr buf 0 cond;
+      Buffer.add_string buf ");\n"
+  | Ast.For (init, cond, update, body) ->
+      indent buf depth;
+      Buffer.add_string buf "for (";
+      print_expr_list buf init;
+      Buffer.add_string buf "; ";
+      print_expr_list buf cond;
+      Buffer.add_string buf "; ";
+      print_expr_list buf update;
+      Buffer.add_string buf ") ";
+      print_block buf depth body;
+      Buffer.add_char buf '\n'
+  | Ast.Foreach (subject, binding, body) ->
+      indent buf depth;
+      Buffer.add_string buf "foreach (";
+      print_expr buf 0 subject;
+      Buffer.add_string buf " as ";
+      (match binding with
+      | Ast.ForeachValue v -> print_expr buf 0 v
+      | Ast.ForeachKeyValue (k, v) ->
+          print_expr buf 0 k;
+          Buffer.add_string buf " => ";
+          print_expr buf 0 v);
+      Buffer.add_string buf ") ";
+      print_block buf depth body;
+      Buffer.add_char buf '\n'
+  | Ast.Switch (subject, cases) ->
+      indent buf depth;
+      Buffer.add_string buf "switch (";
+      print_expr buf 0 subject;
+      Buffer.add_string buf ") {\n";
+      List.iter
+        (fun (c : Ast.case) ->
+          indent buf (depth + 1);
+          (match c.Ast.case_guard with
+          | Some g ->
+              Buffer.add_string buf "case ";
+              print_expr buf 0 g;
+              Buffer.add_string buf ":\n"
+          | None -> Buffer.add_string buf "default:\n");
+          print_stmts buf (depth + 2) c.Ast.case_body)
+        cases;
+      indent buf depth;
+      Buffer.add_string buf "}\n"
+  | Ast.Break ->
+      indent buf depth;
+      Buffer.add_string buf "break;\n"
+  | Ast.Continue ->
+      indent buf depth;
+      Buffer.add_string buf "continue;\n"
+  | Ast.Return None ->
+      indent buf depth;
+      Buffer.add_string buf "return;\n"
+  | Ast.Return (Some e) ->
+      indent buf depth;
+      Buffer.add_string buf "return ";
+      print_expr buf 0 e;
+      Buffer.add_string buf ";\n"
+  | Ast.Global vars ->
+      indent buf depth;
+      Buffer.add_string buf "global ";
+      Buffer.add_string buf (String.concat ", " vars);
+      Buffer.add_string buf ";\n"
+  | Ast.StaticVar vars ->
+      indent buf depth;
+      Buffer.add_string buf "static ";
+      List.iteri
+        (fun i (v, init) ->
+          if i > 0 then Buffer.add_string buf ", ";
+          Buffer.add_string buf v;
+          match init with
+          | Some e ->
+              Buffer.add_string buf " = ";
+              print_expr buf lv_ternary e
+          | None -> ())
+        vars;
+      Buffer.add_string buf ";\n"
+  | Ast.Unset es ->
+      indent buf depth;
+      Buffer.add_string buf "unset(";
+      print_expr_list buf es;
+      Buffer.add_string buf ");\n"
+  | Ast.Block body ->
+      indent buf depth;
+      print_block buf depth body;
+      Buffer.add_char buf '\n'
+  | Ast.FuncDef f ->
+      indent buf depth;
+      Buffer.add_string buf "function ";
+      Buffer.add_string buf f.Ast.f_name;
+      print_params buf f.Ast.f_params;
+      Buffer.add_char buf ' ';
+      print_block buf depth f.Ast.f_body;
+      Buffer.add_char buf '\n'
+  | Ast.ClassDef c ->
+      indent buf depth;
+      Buffer.add_string buf "class ";
+      Buffer.add_string buf c.Ast.c_name;
+      (match c.Ast.c_parent with
+      | Some p ->
+          Buffer.add_string buf " extends ";
+          Buffer.add_string buf p
+      | None -> ());
+      (match c.Ast.c_implements with
+      | [] -> ()
+      | ifaces ->
+          Buffer.add_string buf " implements ";
+          Buffer.add_string buf (String.concat ", " ifaces));
+      Buffer.add_string buf " {\n";
+      List.iter
+        (fun (name, v) ->
+          indent buf (depth + 1);
+          Buffer.add_string buf "const ";
+          Buffer.add_string buf name;
+          Buffer.add_string buf " = ";
+          print_expr buf lv_ternary v;
+          Buffer.add_string buf ";\n")
+        c.Ast.c_consts;
+      List.iter
+        (fun (p : Ast.prop_def) ->
+          indent buf (depth + 1);
+          Buffer.add_string buf (vis_sym p.Ast.pr_vis);
+          if p.Ast.pr_static then Buffer.add_string buf " static";
+          Buffer.add_char buf ' ';
+          Buffer.add_string buf p.Ast.pr_name;
+          (match p.Ast.pr_default with
+          | Some d ->
+              Buffer.add_string buf " = ";
+              print_expr buf lv_ternary d
+          | None -> ());
+          Buffer.add_string buf ";\n")
+        c.Ast.c_props;
+      List.iter
+        (fun (m : Ast.method_def) ->
+          indent buf (depth + 1);
+          Buffer.add_string buf (vis_sym m.Ast.m_vis);
+          if m.Ast.m_static then Buffer.add_string buf " static";
+          Buffer.add_string buf " function ";
+          Buffer.add_string buf m.Ast.m_func.Ast.f_name;
+          print_params buf m.Ast.m_func.Ast.f_params;
+          Buffer.add_char buf ' ';
+          print_block buf (depth + 1) m.Ast.m_func.Ast.f_body;
+          Buffer.add_char buf '\n')
+        c.Ast.c_methods;
+      indent buf depth;
+      Buffer.add_string buf "}\n"
+  | Ast.Throw e ->
+      indent buf depth;
+      Buffer.add_string buf "throw ";
+      print_expr buf 0 e;
+      Buffer.add_string buf ";\n"
+  | Ast.TryCatch (body, catches) ->
+      indent buf depth;
+      Buffer.add_string buf "try ";
+      print_block buf depth body;
+      List.iter
+        (fun (c : Ast.catch) ->
+          Buffer.add_string buf " catch (";
+          Buffer.add_string buf c.Ast.catch_class;
+          Buffer.add_char buf ' ';
+          Buffer.add_string buf c.Ast.catch_var;
+          Buffer.add_string buf ") ";
+          print_block buf depth c.Ast.catch_body)
+        catches;
+      Buffer.add_char buf '\n'
+
+and print_expr_list buf es =
+  List.iteri
+    (fun i e ->
+      if i > 0 then Buffer.add_string buf ", ";
+      print_expr buf 0 e)
+    es
+
+(** Render a whole program as a PHP file, starting with [<?php]. *)
+let program_to_string (p : Ast.program) =
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf "<?php\n";
+  print_stmts buf 0 p;
+  Buffer.contents buf
+
+(** Render a single expression (without tags). *)
+let expr_to_string (e : Ast.expr) =
+  let buf = Buffer.create 64 in
+  print_expr buf 0 e;
+  Buffer.contents buf
+
+(** Render a single statement at depth 0 (without tags). *)
+let stmt_to_string (s : Ast.stmt) =
+  let buf = Buffer.create 128 in
+  print_stmt buf 0 s;
+  Buffer.contents buf

@@ -1,0 +1,24 @@
+(** Multi-file plugin model: a named collection of PHP files with
+    [include]/[require] resolution (paper §III.B). *)
+
+type file = { path : string; source : string }
+
+type t = { name : string; files : file list }
+
+val make : name:string -> file list -> t
+
+val find : t -> string -> file option
+(** Look a file up by its exact project-relative path. *)
+
+val file_count : t -> int
+
+val include_targets : Ast.program -> string list
+(** Literal include targets of a program, in source order; dynamic include
+    arguments are skipped, like the real tools do. *)
+
+val include_closure :
+  parse:(file -> Ast.program option) -> t -> string -> string list * int
+(** [include_closure ~parse t path] is the transitive include closure of
+    [path] (sorted, including [path]) together with the maximum include
+    depth.  Cycles are cut; missing files (WordPress core, typically) are
+    tolerated but still count toward the depth. *)

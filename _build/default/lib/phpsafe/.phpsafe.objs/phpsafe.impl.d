@@ -1,0 +1,1 @@
+lib/phpsafe/phpsafe.ml: Analyzer Config Config_spec Drupal Env Joomla Phplang Report_html Report_json Secflow Stats Summary Taint Wordpress

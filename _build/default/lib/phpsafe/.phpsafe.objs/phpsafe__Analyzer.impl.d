@@ -1,0 +1,1 @@
+lib/phpsafe/analyzer.ml: Config Env Hashtbl List Option Phplang Printf Report Secflow Set String Summary Taint Vuln Wordpress

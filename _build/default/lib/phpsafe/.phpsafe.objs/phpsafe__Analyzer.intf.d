@@ -1,0 +1,1 @@
+lib/phpsafe/analyzer.mli: Config Phplang Secflow

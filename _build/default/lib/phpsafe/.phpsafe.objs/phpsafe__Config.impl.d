@@ -1,0 +1,1 @@
+lib/phpsafe/config.ml: List Secflow String Vuln

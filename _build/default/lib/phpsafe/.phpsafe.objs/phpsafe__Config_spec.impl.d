@@ -1,0 +1,1 @@
+lib/phpsafe/config_spec.ml: Buffer Config Fun List Printf Secflow String Vuln

@@ -1,0 +1,1 @@
+lib/phpsafe/config_spec.mli: Config

@@ -1,0 +1,1 @@
+lib/phpsafe/drupal.ml: Config Secflow Vuln

@@ -1,0 +1,1 @@
+lib/phpsafe/env.ml: Hashtbl Set String Taint

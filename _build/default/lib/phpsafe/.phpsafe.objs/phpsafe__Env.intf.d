@@ -1,0 +1,1 @@
+lib/phpsafe/env.mli: Hashtbl Set Taint

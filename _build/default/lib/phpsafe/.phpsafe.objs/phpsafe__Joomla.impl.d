@@ -1,0 +1,1 @@
+lib/phpsafe/joomla.ml: Config Secflow Vuln

@@ -1,0 +1,1 @@
+lib/phpsafe/report_html.ml: Buffer List Phplang Printf Report Secflow String Vuln

@@ -1,0 +1,1 @@
+lib/phpsafe/report_html.mli: Secflow

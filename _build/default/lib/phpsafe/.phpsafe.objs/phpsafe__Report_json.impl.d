@@ -1,0 +1,1 @@
+lib/phpsafe/report_json.ml: Buffer Char List Phplang Printf Report Secflow String Vuln

@@ -1,0 +1,1 @@
+lib/phpsafe/stats.ml: Format List Option Phplang Set String

@@ -1,0 +1,1 @@
+lib/phpsafe/stats.mli: Format Phplang

@@ -1,0 +1,1 @@
+lib/phpsafe/summary.ml: List Option Phplang Secflow Taint Vuln

@@ -1,0 +1,1 @@
+lib/phpsafe/summary.mli: Phplang Secflow Taint Vuln

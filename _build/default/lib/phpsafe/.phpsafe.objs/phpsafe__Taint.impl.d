@@ -1,0 +1,1 @@
+lib/phpsafe/taint.ml: Format Int List Phplang Report Secflow Set Vuln

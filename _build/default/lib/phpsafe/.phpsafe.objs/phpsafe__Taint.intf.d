@@ -1,0 +1,1 @@
+lib/phpsafe/taint.mli: Format Phplang Report Secflow Set Vuln

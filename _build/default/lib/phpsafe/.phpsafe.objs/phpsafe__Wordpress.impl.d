@@ -1,0 +1,1 @@
+lib/phpsafe/wordpress.ml: Config Secflow Vuln

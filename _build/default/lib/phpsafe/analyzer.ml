@@ -1,0 +1,792 @@
+(** phpSAFE analysis stage (paper §III.C): follows the flow of tainted
+    variables from the moment they enter the plugin until they reach a
+    sensitive output, across assignments, expressions, function and method
+    calls, returns, conditionals and loops.
+
+    The walk is inter-procedural and summary-based: each user-defined
+    function or method is analyzed once, with its formal parameters bound to
+    symbolic taint; subsequent calls instantiate the recorded summary
+    (§III.C "Call of a plugin user-defined function").  OOP is handled by
+    resolving full property/method names through object→class bindings
+    (§III.E), and by the method entries in the configuration (the [$wpdb]
+    family).  Functions never called from plugin code are analyzed as entry
+    points at the end — "to reach 100% code coverage, all the functions
+    should be analyzed, even those that are never called". *)
+
+open Secflow
+module S = Set.Make (String)
+
+type budget = {
+  max_include_depth : int;
+  max_closure_loc : int;
+}
+
+(** Mirrors the paper's observed limits: phpSAFE "was unable to analyze one
+    file [2012] and three files [2014]" whose include chains "required a lot
+    of memory". *)
+let default_budget = { max_include_depth = 6; max_closure_loc = 40_000 }
+
+type options = {
+  config : Config.t;
+  budget : budget option;
+  analyze_uncalled : bool;
+      (** stage 3b: analyze functions never called from plugin code
+          (§III.C).  Disabling this is the "Pixy-style" ablation. *)
+  resolve_includes : bool;
+      (** inline [include]d files into the current analysis (§III.B).
+          Disabling also disables the memory budget, since no include
+          closure is built. *)
+  respect_guards : bool;
+      (** paper future-work extension: treat
+          [if (!is_numeric($x)) exit;] termination guards as sanitizers for
+          the guarded variable, removing the path-insensitivity false
+          positives at the cost of path reasoning. Off by default — the
+          published phpSAFE is path-insensitive. *)
+}
+
+let default_options =
+  { config = Wordpress.default_config;
+    budget = Some default_budget;
+    analyze_uncalled = true;
+    resolve_includes = true;
+    respect_guards = false }
+
+(** Numeric/type guard functions whose failure developers use to abort the
+    request; recognised only under [respect_guards]. *)
+let guard_functions = [ "is_numeric"; "ctype_digit"; "is_int"; "ctype_alnum" ]
+
+type func_info = {
+  fi_key : string;            (** lowercase "name" or "class::name" *)
+  fi_func : Phplang.Ast.func;
+  fi_class : string option;
+  fi_file : string;
+}
+
+type ctx = {
+  opts : options;
+  project : Phplang.Project.t;
+  parsed : (string, Phplang.Ast.program) Hashtbl.t;
+  funcs : (string, func_info) Hashtbl.t;
+  classes : (string, Phplang.Ast.cls) Hashtbl.t;
+  summaries : (string, Summary.t) Hashtbl.t;
+  in_progress : (string, unit) Hashtbl.t;
+  globals : (string, Taint.t) Hashtbl.t;
+  mutable findings : Report.finding list;
+  mutable reported : Report.Key_set.t;
+  mutable include_stack : S.t;  (** include cycle cut, per entry run *)
+  mutable errors : int;
+}
+
+type frame = {
+  mutable fr_ret : Taint.t;
+  mutable fr_csinks : Summary.cond_sink list;
+}
+
+(** Per-walk context: global [ctx], current scope, current file and the
+    summary frame when analyzing a function body. *)
+type actx = {
+  c : ctx;
+  env : Env.t;
+  frame : frame option;
+  file : string;
+}
+
+(* ------------------------------------------------------------------ *)
+(* Reporting                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let report a ~kind ~pos ~sink_name ~var (taint : Taint.t) =
+  let key =
+    { Report.k_kind = kind; k_file = pos.Phplang.Ast.file; k_line = pos.Phplang.Ast.line }
+  in
+  if not (Report.Key_set.mem key a.c.reported) then begin
+    a.c.reported <- Report.Key_set.add key a.c.reported;
+    let source, source_pos = Taint.source_of taint in
+    a.c.findings <-
+      {
+        Report.kind;
+        sink_pos = pos;
+        sink = sink_name;
+        variable = var;
+        source;
+        source_pos;
+        trace = List.rev taint.Taint.trace;
+      }
+      :: a.c.findings
+  end
+
+(** Check one value arriving at a sink.  Live taint is reported; symbolic
+    parameter dependencies become conditional sinks of the enclosing
+    summary. *)
+let check_sink a ~kind ~pos ~sink_name ~var (taint : Taint.t) =
+  if Taint.is_tainted kind taint then
+    report a ~kind ~pos ~sink_name ~var taint
+  else
+    match a.frame with
+    | Some frame ->
+        Taint.Int_set.iter
+          (fun i ->
+            frame.fr_csinks <-
+              { Summary.cs_param = i; cs_kind = kind; cs_sink_name = sink_name;
+                cs_pos = pos; cs_var = var }
+              :: frame.fr_csinks)
+          (Taint.deps kind taint)
+    | None -> ()
+
+(* ------------------------------------------------------------------ *)
+(* Names                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let rec name_of_expr (e : Phplang.Ast.expr) =
+  match e.Phplang.Ast.e with
+  | Phplang.Ast.Var v -> v
+  | Phplang.Ast.ArrayGet (b, _) -> name_of_expr b ^ "[...]"
+  | Phplang.Ast.Prop (b, p) -> name_of_expr b ^ "->" ^ p
+  | Phplang.Ast.StaticProp (c, p) -> c ^ "::" ^ p
+  | Phplang.Ast.Call (f, _) -> f ^ "()"
+  | Phplang.Ast.MethodCall (b, m, _) -> name_of_expr b ^ "->" ^ m ^ "()"
+  | Phplang.Ast.StaticCall (c, m, _) -> c ^ "::" ^ m ^ "()"
+  | Phplang.Ast.Interp _ -> "<string>"
+  | Phplang.Ast.Bin (Phplang.Ast.Concat, _, _) -> "<concat>"
+  | _ -> "<expr>"
+
+let lc = String.lowercase_ascii
+let method_key cls m = lc cls ^ "::" ^ lc m
+
+(* walk the parent chain to find the class defining method [m] *)
+let rec resolve_method ctx cls m =
+  match Hashtbl.find_opt ctx.classes (lc cls) with
+  | None -> None
+  | Some cdef ->
+      let has =
+        List.exists
+          (fun (md : Phplang.Ast.method_def) ->
+            String.equal (lc md.Phplang.Ast.m_func.Phplang.Ast.f_name) (lc m))
+          cdef.Phplang.Ast.c_methods
+      in
+      if has then Some cdef.Phplang.Ast.c_name
+      else
+        match cdef.Phplang.Ast.c_parent with
+        | Some parent -> resolve_method ctx parent m
+        | None -> None
+
+(* ------------------------------------------------------------------ *)
+(* Expression evaluation                                              *)
+(* ------------------------------------------------------------------ *)
+
+let rec eval a (e : Phplang.Ast.expr) : Taint.t =
+  let pos = e.Phplang.Ast.epos in
+  match e.Phplang.Ast.e with
+  | Phplang.Ast.Null | Phplang.Ast.True | Phplang.Ast.False
+  | Phplang.Ast.Int _ | Phplang.Ast.Float _ | Phplang.Ast.Str _
+  | Phplang.Ast.Const _ | Phplang.Ast.ClassConst _ ->
+      Taint.untainted
+  | Phplang.Ast.Interp parts ->
+      Taint.join_all
+        (List.map
+           (function
+             | Phplang.Ast.ILit _ -> Taint.untainted
+             | Phplang.Ast.IExpr e -> eval a e)
+           parts)
+  | Phplang.Ast.Var v -> (
+      match Config.is_superglobal_source a.c.opts.config v with
+      | Some kinds ->
+          Taint.of_source ~kinds ~source:(Vuln.Superglobal v) ~pos
+          |> Taint.push_step ~var:v ~pos ~note:"attacker-controlled input"
+      | None -> Env.get a.env v)
+  | Phplang.Ast.ArrayGet (b, idx) ->
+      Option.iter (fun i -> ignore (eval a i)) idx;
+      eval a b
+  | Phplang.Ast.Prop (b, p) -> (
+      match b.Phplang.Ast.e with
+      | Phplang.Ast.Var "$this" -> (
+          match Env.this_prop_key a.env p with
+          | Some key -> Env.get_global_key a.env key
+          | None -> Taint.untainted)
+      | Phplang.Ast.Var v ->
+          (* named property state joined with the object's own taint, so a
+             row object fetched from the database taints its columns *)
+          Taint.join (Env.get a.env (v ^ "->" ^ p)) (Env.get a.env v)
+      | _ -> eval a b)
+  | Phplang.Ast.StaticProp (cls, p) ->
+      Env.get_global_key a.env (Env.static_prop_key cls p)
+  | Phplang.Ast.ArrayLit items ->
+      Taint.join_all
+        (List.map
+           (fun (k, v) ->
+             Option.iter (fun k -> ignore (eval a k)) k;
+             eval a v)
+           items)
+  | Phplang.Ast.Assign (lhs, rhs) ->
+      let t = eval a rhs in
+      propagate_class_binding a lhs rhs;
+      assign_lval a lhs t;
+      t
+  | Phplang.Ast.AssignRef (lhs, rhs) -> (
+      (* reference assignment (the behaviour Pixy's -A flag enables,
+         §IV.B): variable-to-variable references share one cell; other
+         reference shapes degrade to taint copies *)
+      propagate_class_binding a lhs rhs;
+      match (lhs.Phplang.Ast.e, rhs.Phplang.Ast.e) with
+      | Phplang.Ast.Var l, Phplang.Ast.Var r ->
+          Env.alias a.env l r;
+          Env.get a.env r
+      | _ ->
+          let t = eval a rhs in
+          assign_lval a lhs t;
+          t)
+  | Phplang.Ast.ListAssign (slots, rhs) ->
+      let t = eval a rhs in
+      List.iter (Option.iter (fun lhs -> assign_lval a lhs t)) slots;
+      t
+  | Phplang.Ast.OpAssign (op, lhs, rhs) ->
+      let old = eval a lhs in
+      let rhs_t = eval a rhs in
+      let t =
+        match op with
+        | Phplang.Ast.Concat -> Taint.join old rhs_t
+        | _ -> Taint.scrub rhs_t  (* arithmetic result *)
+      in
+      assign_lval a lhs t;
+      t
+  | Phplang.Ast.Bin (op, l, r) -> (
+      let lt = eval a l and rt = eval a r in
+      match op with
+      | Phplang.Ast.Concat -> Taint.join lt rt
+      | Phplang.Ast.Plus | Phplang.Ast.Minus | Phplang.Ast.Mul
+      | Phplang.Ast.Div | Phplang.Ast.Mod ->
+          Taint.untainted
+      | Phplang.Ast.Eq | Phplang.Ast.Neq | Phplang.Ast.Identical
+      | Phplang.Ast.NotIdentical | Phplang.Ast.Lt | Phplang.Ast.Gt
+      | Phplang.Ast.Le | Phplang.Ast.Ge | Phplang.Ast.BoolAnd
+      | Phplang.Ast.BoolOr ->
+          Taint.untainted)
+  | Phplang.Ast.Un (op, x) -> (
+      let t = eval a x in
+      match op with
+      | Phplang.Ast.Silence -> t
+      | Phplang.Ast.Not | Phplang.Ast.Neg | Phplang.Ast.PreInc
+      | Phplang.Ast.PreDec | Phplang.Ast.PostInc | Phplang.Ast.PostDec ->
+          Taint.untainted)
+  | Phplang.Ast.Ternary (c, thn, els) ->
+      let ct = eval a c in
+      let tt = match thn with Some t -> eval a t | None -> ct in
+      let et = eval a els in
+      Taint.join tt et
+  | Phplang.Ast.CastE (cast, x) -> (
+      let t = eval a x in
+      match cast with
+      | Phplang.Ast.CastInt | Phplang.Ast.CastFloat | Phplang.Ast.CastBool ->
+          Taint.untainted
+      | Phplang.Ast.CastString | Phplang.Ast.CastArray -> t)
+  | Phplang.Ast.Isset es ->
+      List.iter (fun e -> ignore (eval a e)) es;
+      Taint.untainted
+  | Phplang.Ast.EmptyE x ->
+      ignore (eval a x);
+      Taint.untainted
+  | Phplang.Ast.PrintE x ->
+      let t = eval a x in
+      check_sink a ~kind:Vuln.Xss ~pos ~sink_name:"print" ~var:(name_of_expr x) t;
+      Taint.untainted
+  | Phplang.Ast.Exit arg ->
+      Option.iter
+        (fun x ->
+          let t = eval a x in
+          check_sink a ~kind:Vuln.Xss ~pos ~sink_name:"exit" ~var:(name_of_expr x) t)
+        arg;
+      Taint.untainted
+  | Phplang.Ast.IncludeE (_, arg) ->
+      exec_include a arg;
+      Taint.untainted
+  | Phplang.Ast.Closure cl ->
+      analyze_closure a cl;
+      Taint.untainted
+  | Phplang.Ast.Call (fname, args) -> eval_call a ~pos fname args
+  | Phplang.Ast.MethodCall (obj, m, args) -> eval_method_call a ~pos obj m args
+  | Phplang.Ast.StaticCall (cls, m, args) -> (
+      let arg_ts = List.map (eval a) args in
+      match resolve_method a.c cls m with
+      | Some owner ->
+          call_user_function a ~pos (method_key owner m) arg_ts args
+      | None -> Taint.untainted)
+  | Phplang.Ast.New (cls, args) -> (
+      let arg_ts = List.map (eval a) args in
+      match resolve_method a.c cls "__construct" with
+      | Some owner ->
+          ignore (call_user_function a ~pos (method_key owner "__construct") arg_ts args);
+          Taint.untainted
+      | None -> Taint.untainted)
+
+and propagate_class_binding a lhs rhs =
+  match (lhs.Phplang.Ast.e, rhs.Phplang.Ast.e) with
+  | Phplang.Ast.Var v, Phplang.Ast.New (cls, _) -> Env.bind_class a.env v cls
+  | Phplang.Ast.Var v, Phplang.Ast.Var w -> (
+      match Env.class_binding a.env w with
+      | Some cls -> Env.bind_class a.env v cls
+      | None -> ())
+  | _ -> ()
+
+and assign_lval a (lhs : Phplang.Ast.expr) (taint : Taint.t) =
+  let pos = lhs.Phplang.Ast.epos in
+  match lhs.Phplang.Ast.e with
+  | Phplang.Ast.Var v ->
+      let taint =
+        if Taint.interesting taint then
+          Taint.push_step taint ~var:v ~pos ~note:"assigned"
+        else taint
+      in
+      Env.set a.env v taint
+  | Phplang.Ast.ArrayGet (b, idx) ->
+      Option.iter (fun i -> ignore (eval a i)) idx;
+      assign_lval_join a b taint
+  | Phplang.Ast.Prop ({ Phplang.Ast.e = Phplang.Ast.Var "$this"; _ }, p) -> (
+      match Env.this_prop_key a.env p with
+      | Some key -> Env.set_global_key_join a.env key taint
+      | None -> ())
+  | Phplang.Ast.Prop ({ Phplang.Ast.e = Phplang.Ast.Var v; _ }, p) ->
+      Env.set a.env (v ^ "->" ^ p) taint
+  | Phplang.Ast.StaticProp (cls, p) ->
+      Env.set_global_key a.env (Env.static_prop_key cls p) taint
+  | _ -> ()
+
+(* assigning through an array slot joins into the base variable *)
+and assign_lval_join a (lhs : Phplang.Ast.expr) taint =
+  match lhs.Phplang.Ast.e with
+  | Phplang.Ast.Var v -> Env.set_join a.env v taint
+  | Phplang.Ast.ArrayGet (b, _) -> assign_lval_join a b taint
+  | Phplang.Ast.Prop ({ Phplang.Ast.e = Phplang.Ast.Var "$this"; _ }, p) -> (
+      match Env.this_prop_key a.env p with
+      | Some key -> Env.set_global_key_join a.env key taint
+      | None -> ())
+  | Phplang.Ast.Prop ({ Phplang.Ast.e = Phplang.Ast.Var v; _ }, p) ->
+      Env.set_join a.env (v ^ "->" ^ p) taint
+  | _ -> ()
+
+and eval_call a ~pos fname args =
+  let config = a.c.opts.config in
+  let arg_ts = List.map (eval a) args in
+  let arg0 () =
+    match arg_ts with t :: _ -> t | [] -> Taint.untainted
+  in
+  let arg0_name () =
+    match args with e :: _ -> name_of_expr e | [] -> "<none>"
+  in
+  (* 1. sink roles *)
+  List.iter
+    (fun (snk : Config.sink_entry) ->
+      List.iteri
+        (fun i t ->
+          let var = match List.nth_opt args i with
+            | Some e -> name_of_expr e
+            | None -> "<arg>"
+          in
+          check_sink a ~kind:snk.Config.snk_kind ~pos ~sink_name:fname ~var t)
+        arg_ts)
+    (Config.find_sinks config fname);
+  (* 2. value roles, in priority order *)
+  match Config.find_sanitizer config fname with
+  | Some san ->
+      let t = Taint.sanitize_kinds san.Config.san_kinds (arg0 ()) in
+      if Taint.interesting t || t.Taint.was_xss || t.Taint.was_sqli then
+        Taint.push_step t ~var:(arg0_name ()) ~pos
+          ~note:(Printf.sprintf "filtered by %s" fname)
+      else t
+  | None ->
+      if Config.is_revert config fname then
+        let t = Taint.revert (arg0 ()) in
+        if Taint.interesting t then
+          Taint.push_step t ~var:(arg0_name ()) ~pos
+            ~note:(Printf.sprintf "sanitization reverted by %s" fname)
+        else t
+      else (
+        match Config.find_function_source config fname with
+        | Some src ->
+            Taint.of_source ~kinds:src.Config.src_kinds
+              ~source:src.Config.src_desc ~pos
+            |> Taint.push_step ~var:(fname ^ "()") ~pos
+                 ~note:"untrusted data returned"
+        | None ->
+            if Config.is_passthrough config fname then arg0 ()
+            else if Config.is_concat_all config fname then
+              Taint.join_all arg_ts
+            else (
+              match Hashtbl.find_opt a.c.funcs (lc fname) with
+              | Some _ -> call_user_function a ~pos (lc fname) arg_ts args
+              | None -> Taint.untainted))
+
+and eval_method_call a ~pos obj m args =
+  let config = a.c.opts.config in
+  ignore (eval a obj);
+  let arg_ts = List.map (eval a) args in
+  let arg0 () = match arg_ts with t :: _ -> t | [] -> Taint.untainted in
+  let full_name obj_name = obj_name ^ "->" ^ m in
+  let obj_name = name_of_expr obj in
+  (* user-defined class methods resolve through the object's binding *)
+  let user_class =
+    match obj.Phplang.Ast.e with
+    | Phplang.Ast.Var v -> (
+        match Env.class_binding a.env v with
+        | Some cls -> resolve_method a.c cls m
+        | None -> None)
+    | _ -> None
+  in
+  match user_class with
+  | Some owner -> call_user_function a ~pos (method_key owner m) arg_ts args
+  | None ->
+      (* configuration-known methods ($wpdb family): sink, sanitizer, source *)
+      List.iter
+        (fun (snk : Config.sink_entry) ->
+          match (arg_ts, args) with
+          | t :: _, e :: _ ->
+              check_sink a ~kind:snk.Config.snk_kind ~pos
+                ~sink_name:(full_name obj_name) ~var:(name_of_expr e) t
+          | _ -> ())
+        (Config.find_method_sinks config m);
+      (match Config.find_method_sanitizer config m with
+      | Some san -> Taint.sanitize_kinds san.Config.san_kinds (arg0 ())
+      | None -> (
+          match Config.find_method_source config m with
+          | Some src ->
+              Taint.of_source ~kinds:src.Config.src_kinds
+                ~source:src.Config.src_desc ~pos
+              |> Taint.push_step ~var:(full_name obj_name ^ "()") ~pos
+                   ~note:"untrusted data returned"
+          | None -> Taint.untainted))
+
+and call_user_function a ~pos key arg_ts arg_exprs =
+  match Hashtbl.find_opt a.c.funcs key with
+  | None -> Taint.untainted
+  | Some fi ->
+      let summary =
+        match Hashtbl.find_opt a.c.summaries key with
+        | Some s -> Some s
+        | None ->
+            if Hashtbl.mem a.c.in_progress key then None (* recursion cut *)
+            else Some (analyze_function a.c fi)
+      in
+      (match summary with
+      | None -> Taint.untainted
+      | Some summary ->
+          (* fire conditional sinks with the actual argument taints *)
+          List.iter
+            (fun action ->
+              match action with
+              | `Fire ((cs : Summary.cond_sink), (arg_taint : Taint.t)) ->
+                  let arg_var =
+                    match List.nth_opt arg_exprs cs.Summary.cs_param with
+                    | Some e -> name_of_expr e
+                    | None -> "<arg>"
+                  in
+                  let t =
+                    Taint.push_step arg_taint ~var:arg_var ~pos
+                      ~note:
+                        (Printf.sprintf "passed to %s (parameter %d)" key
+                           (cs.Summary.cs_param + 1))
+                  in
+                  report a ~kind:cs.Summary.cs_kind ~pos:cs.Summary.cs_pos
+                    ~sink_name:cs.Summary.cs_sink_name ~var:cs.Summary.cs_var t
+              | `Hoist cs -> (
+                  match a.frame with
+                  | Some frame -> frame.fr_csinks <- cs :: frame.fr_csinks
+                  | None -> ()))
+            (Summary.fire_cond_sinks summary arg_ts);
+          Summary.instantiate_return summary arg_ts)
+
+and analyze_closure a (cl : Phplang.Ast.closure) =
+  (* closures are WordPress hook callbacks: analyze as an entry point with
+     the captured variables' current taint *)
+  let env = Env.create_scope ?current_class:a.env.Env.current_class a.c.globals in
+  List.iter
+    (fun (v, _by_ref) -> Env.set env v (Env.get a.env v))
+    cl.Phplang.Ast.cl_uses;
+  List.iter
+    (fun (p : Phplang.Ast.param) -> Env.set env p.Phplang.Ast.p_name Taint.untainted)
+    cl.Phplang.Ast.cl_params;
+  let sub = { a with env; frame = None } in
+  List.iter (exec_stmt sub) cl.Phplang.Ast.cl_body
+
+and analyze_function (c : ctx) (fi : func_info) : Summary.t =
+  Hashtbl.replace c.in_progress fi.fi_key ();
+  let env = Env.create_scope ?current_class:fi.fi_class c.globals in
+  List.iteri
+    (fun i (p : Phplang.Ast.param) ->
+      Option.iter (fun d -> ignore d) p.Phplang.Ast.p_default;
+      Env.set env p.Phplang.Ast.p_name (Taint.of_param i))
+    fi.fi_func.Phplang.Ast.f_params;
+  let frame = { fr_ret = Taint.untainted; fr_csinks = [] } in
+  let a = { c; env; frame = Some frame; file = fi.fi_file } in
+  List.iter (exec_stmt a) fi.fi_func.Phplang.Ast.f_body;
+  let summary =
+    { Summary.ret = frame.fr_ret; cond_sinks = List.rev frame.fr_csinks }
+  in
+  Hashtbl.remove c.in_progress fi.fi_key;
+  Hashtbl.replace c.summaries fi.fi_key summary;
+  summary
+
+and exec_include a (arg : Phplang.Ast.expr) =
+  match arg.Phplang.Ast.e with
+  | _ when not a.c.opts.resolve_includes -> ignore (eval a arg)
+  | Phplang.Ast.Str path when not (S.mem path a.c.include_stack) -> (
+      a.c.include_stack <- S.add path a.c.include_stack;
+      match Hashtbl.find_opt a.c.parsed path with
+      | Some prog ->
+          let sub = { a with file = path } in
+          List.iter (exec_stmt sub) prog
+      | None -> () (* WordPress core file or missing: skip, like the tools *))
+  | _ -> ignore (eval a arg)
+
+and exec_stmt a (s : Phplang.Ast.stmt) =
+  match s.Phplang.Ast.s with
+  | Phplang.Ast.Expr e -> ignore (eval a e)
+  | Phplang.Ast.Echo es ->
+      List.iter
+        (fun e ->
+          let t = eval a e in
+          check_sink a ~kind:Vuln.Xss ~pos:e.Phplang.Ast.epos ~sink_name:"echo"
+            ~var:(name_of_expr e) t)
+        es
+  | Phplang.Ast.If (branches, els) ->
+      (* §III.C: "Conditions and loops do not change the data flow. Only the
+         values of the variables involved are processed and updated. Also,
+         the blocks of code are parsed normally." *)
+      List.iter
+        (fun (cond, body) ->
+          ignore (eval a cond);
+          List.iter (exec_stmt a) body)
+        branches;
+      Option.iter (List.iter (exec_stmt a)) els;
+      if a.c.opts.respect_guards then apply_termination_guards a branches els
+  | Phplang.Ast.While (cond, body) ->
+      ignore (eval a cond);
+      List.iter (exec_stmt a) body
+  | Phplang.Ast.DoWhile (body, cond) ->
+      List.iter (exec_stmt a) body;
+      ignore (eval a cond)
+  | Phplang.Ast.For (init, cond, update, body) ->
+      List.iter (fun e -> ignore (eval a e)) init;
+      List.iter (fun e -> ignore (eval a e)) cond;
+      List.iter (exec_stmt a) body;
+      List.iter (fun e -> ignore (eval a e)) update
+  | Phplang.Ast.Foreach (subject, binding, body) ->
+      let t = eval a subject in
+      (match binding with
+      | Phplang.Ast.ForeachValue v -> assign_lval a v t
+      | Phplang.Ast.ForeachKeyValue (k, v) ->
+          assign_lval a k t;
+          assign_lval a v t);
+      List.iter (exec_stmt a) body
+  | Phplang.Ast.Switch (subject, cases) ->
+      ignore (eval a subject);
+      List.iter
+        (fun (c : Phplang.Ast.case) ->
+          Option.iter (fun g -> ignore (eval a g)) c.Phplang.Ast.case_guard;
+          List.iter (exec_stmt a) c.Phplang.Ast.case_body)
+        cases
+  | Phplang.Ast.Return e -> (
+      let t = match e with Some e -> eval a e | None -> Taint.untainted in
+      match a.frame with
+      | Some frame -> frame.fr_ret <- Taint.join frame.fr_ret t
+      | None -> ())
+  | Phplang.Ast.Global names -> List.iter (Env.declare_global a.env) names
+  | Phplang.Ast.StaticVar vars ->
+      List.iter
+        (fun (v, init) ->
+          let t = match init with Some e -> eval a e | None -> Taint.untainted in
+          Env.set a.env v t)
+        vars
+  | Phplang.Ast.Unset es ->
+      (* §III.C T_UNSET: "the properties of the variable are updated as
+         untainted and marked as non-vulnerable" *)
+      List.iter
+        (fun e ->
+          match e.Phplang.Ast.e with
+          | Phplang.Ast.Var v -> Env.unset a.env v
+          | _ -> ())
+        es
+  | Phplang.Ast.Block body -> List.iter (exec_stmt a) body
+  | Phplang.Ast.FuncDef _ | Phplang.Ast.ClassDef _ ->
+      () (* hoisted during model construction *)
+  | Phplang.Ast.InlineHtml _ | Phplang.Ast.Nop | Phplang.Ast.Break
+  | Phplang.Ast.Continue ->
+      ()
+  | Phplang.Ast.Throw e -> ignore (eval a e)
+  | Phplang.Ast.TryCatch (body, catches) ->
+      List.iter (exec_stmt a) body;
+      List.iter
+        (fun (c : Phplang.Ast.catch) ->
+          Env.set a.env c.Phplang.Ast.catch_var Taint.untainted;
+          List.iter (exec_stmt a) c.Phplang.Ast.catch_body)
+        catches
+
+(* [respect_guards] extension: after
+   [if (!guard($x)) { ...exit/return/throw... }] with no else, execution can
+   only continue when [guard($x)] held, so [$x] is validated. *)
+and apply_termination_guards a branches els =
+  match (branches, els) with
+  | [ (cond, body) ], None when block_terminates body -> (
+      match cond.Phplang.Ast.e with
+      | Phplang.Ast.Un
+          (Phplang.Ast.Not,
+           { Phplang.Ast.e =
+               Phplang.Ast.Call (g, [ { Phplang.Ast.e = Phplang.Ast.Var v; _ } ]);
+             _ })
+        when List.mem (lc g) guard_functions ->
+          Env.set a.env v
+            (Taint.sanitize_kinds [ Vuln.Xss; Vuln.Sqli ] (Env.get a.env v))
+      | _ -> ())
+  | _ -> ()
+
+and block_terminates (body : Phplang.Ast.stmt list) =
+  List.exists
+    (fun (s : Phplang.Ast.stmt) ->
+      match s.Phplang.Ast.s with
+      | Phplang.Ast.Return _ | Phplang.Ast.Throw _ -> true
+      | Phplang.Ast.Expr { Phplang.Ast.e = Phplang.Ast.Exit _; _ } -> true
+      | _ -> false)
+    body
+
+(* ------------------------------------------------------------------ *)
+(* Model construction (paper §III.B)                                  *)
+(* ------------------------------------------------------------------ *)
+
+let rec register_stmt ctx ~file (s : Phplang.Ast.stmt) =
+  match s.Phplang.Ast.s with
+  | Phplang.Ast.FuncDef f ->
+      let key = lc f.Phplang.Ast.f_name in
+      if not (Hashtbl.mem ctx.funcs key) then
+        Hashtbl.replace ctx.funcs key
+          { fi_key = key; fi_func = f; fi_class = None; fi_file = file };
+      List.iter (register_stmt ctx ~file) f.Phplang.Ast.f_body
+  | Phplang.Ast.ClassDef cls ->
+      if not (Hashtbl.mem ctx.classes (lc cls.Phplang.Ast.c_name)) then
+        Hashtbl.replace ctx.classes (lc cls.Phplang.Ast.c_name) cls;
+      List.iter
+        (fun (m : Phplang.Ast.method_def) ->
+          let key = method_key cls.Phplang.Ast.c_name m.Phplang.Ast.m_func.Phplang.Ast.f_name in
+          if not (Hashtbl.mem ctx.funcs key) then
+            Hashtbl.replace ctx.funcs key
+              { fi_key = key; fi_func = m.Phplang.Ast.m_func;
+                fi_class = Some cls.Phplang.Ast.c_name; fi_file = file };
+          List.iter (register_stmt ctx ~file) m.Phplang.Ast.m_func.Phplang.Ast.f_body)
+        cls.Phplang.Ast.c_methods
+  | Phplang.Ast.If (branches, els) ->
+      List.iter (fun (_, b) -> List.iter (register_stmt ctx ~file) b) branches;
+      Option.iter (List.iter (register_stmt ctx ~file)) els
+  | Phplang.Ast.While (_, b) | Phplang.Ast.DoWhile (b, _)
+  | Phplang.Ast.Foreach (_, _, b) | Phplang.Ast.Block b
+  | Phplang.Ast.For (_, _, _, b) ->
+      List.iter (register_stmt ctx ~file) b
+  | Phplang.Ast.Switch (_, cases) ->
+      List.iter
+        (fun (c : Phplang.Ast.case) ->
+          List.iter (register_stmt ctx ~file) c.Phplang.Ast.case_body)
+        cases
+  | Phplang.Ast.TryCatch (b, catches) ->
+      List.iter (register_stmt ctx ~file) b;
+      List.iter
+        (fun (c : Phplang.Ast.catch) ->
+          List.iter (register_stmt ctx ~file) c.Phplang.Ast.catch_body)
+        catches
+  | _ -> ()
+
+(* ------------------------------------------------------------------ *)
+(* Project driver                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let analyze_project ?(opts = default_options) (project : Phplang.Project.t) :
+    Report.result =
+  let ctx =
+    {
+      opts;
+      project;
+      parsed = Hashtbl.create 64;
+      funcs = Hashtbl.create 128;
+      classes = Hashtbl.create 32;
+      summaries = Hashtbl.create 128;
+      in_progress = Hashtbl.create 8;
+      globals = Hashtbl.create 64;
+      findings = [];
+      reported = Report.Key_set.empty;
+      include_stack = S.empty;
+      errors = 0;
+    }
+  in
+  (* stage 2: model construction — parse everything *)
+  let outcomes = ref [] in
+  let parse_ok = ref [] in
+  List.iter
+    (fun (f : Phplang.Project.file) ->
+      match Phplang.Parser.parse_source ~file:f.Phplang.Project.path f.Phplang.Project.source with
+      | prog ->
+          Hashtbl.replace ctx.parsed f.Phplang.Project.path prog;
+          parse_ok := f.Phplang.Project.path :: !parse_ok
+      | exception Phplang.Parser.Parse_error (msg, _) ->
+          ctx.errors <- ctx.errors + 1;
+          outcomes :=
+            (f.Phplang.Project.path, Report.Failed (Report.Parse_failure msg))
+            :: !outcomes)
+    project.Phplang.Project.files;
+  let parse_ok = List.rev !parse_ok in
+  (* memory budget: files whose include closure is too expensive fail; no
+     closure is built at all when include resolution is off *)
+  let failed_mem = Hashtbl.create 4 in
+  (match (if opts.resolve_includes then opts.budget else None) with
+  | None -> ()
+  | Some budget ->
+      List.iter
+        (fun path ->
+          let parse (f : Phplang.Project.file) =
+            Hashtbl.find_opt ctx.parsed f.Phplang.Project.path
+          in
+          let closure, depth =
+            Phplang.Project.include_closure ~parse project path
+          in
+          let closure_loc =
+            List.fold_left
+              (fun acc p ->
+                match Phplang.Project.find project p with
+                | Some f -> acc + Phplang.Loc.count f.Phplang.Project.source
+                | None -> acc)
+              0 closure
+          in
+          if depth > budget.max_include_depth
+             || closure_loc > budget.max_closure_loc
+          then begin
+            Hashtbl.replace failed_mem path ();
+            outcomes := (path, Report.Failed Report.Out_of_memory) :: !outcomes
+          end)
+        parse_ok);
+  let analyzable =
+    List.filter (fun p -> not (Hashtbl.mem failed_mem p)) parse_ok
+  in
+  (* registry (hoisting): functions and classes from analyzable files *)
+  List.iter
+    (fun path ->
+      List.iter (register_stmt ctx ~file:path) (Hashtbl.find ctx.parsed path))
+    analyzable;
+  (* stage 3a: inter-procedural analysis from each file's "main function" *)
+  List.iter
+    (fun path ->
+      ctx.include_stack <- S.singleton path;
+      let env = Env.create_toplevel ctx.globals in
+      let a = { c = ctx; env; frame = None; file = path } in
+      List.iter (exec_stmt a) (Hashtbl.find ctx.parsed path);
+      outcomes := (path, Report.Analyzed) :: !outcomes)
+    analyzable;
+  (* stage 3b: functions never called from plugin code, as entry points *)
+  if opts.analyze_uncalled then begin
+    let uncalled =
+      Hashtbl.fold
+        (fun key fi acc ->
+          if Hashtbl.mem ctx.summaries key then acc else (key, fi) :: acc)
+        ctx.funcs []
+      |> List.sort (fun (k1, _) (k2, _) -> String.compare k1 k2)
+    in
+    List.iter (fun (_, fi) -> ignore (analyze_function ctx fi)) uncalled
+  end;
+  {
+    Report.findings = List.rev ctx.findings;
+    outcomes = List.rev !outcomes;
+    errors = ctx.errors;
+  }

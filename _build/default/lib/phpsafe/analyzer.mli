@@ -1,0 +1,39 @@
+(** phpSAFE analysis stage (paper §III.C): inter-procedural, summary-based,
+    OOP-aware taint tracking from sources to sinks over whole plugin
+    projects. *)
+
+type budget = {
+  max_include_depth : int;
+  max_closure_loc : int;
+}
+
+val default_budget : budget
+(** Mirrors the paper's observed limits: phpSAFE "was unable to analyze one
+    file [2012] and three files [2014]" whose include chains "required a lot
+    of memory" (§V.E). *)
+
+type options = {
+  config : Config.t;
+  budget : budget option;
+  analyze_uncalled : bool;
+      (** analyze functions never called from plugin code (§III.C) *)
+  resolve_includes : bool;
+      (** inline included files; disabling also disables the budget *)
+  respect_guards : bool;
+      (** future-work extension: [if (!is_numeric($x)) exit;] validates
+          [$x]; off by default — the published tool is path-insensitive *)
+}
+
+val default_options : options
+(** WordPress profile, paper budget, uncalled analysis and include
+    resolution on, guard extension off. *)
+
+val guard_functions : string list
+(** Validation functions recognised under [respect_guards]. *)
+
+val analyze_project :
+  ?opts:options -> Phplang.Project.t -> Secflow.Report.result
+(** Run all four stages (§III) over a plugin project: parse every file,
+    check the include budget, build the function/class registry, execute
+    each file as an entry point, then analyze uncalled functions.  Findings
+    are de-duplicated per (kind, file, line). *)

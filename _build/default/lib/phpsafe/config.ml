@@ -1,0 +1,173 @@
+(** phpSAFE configuration stage (paper §III.A).
+
+    The configuration correlates the vulnerability classes with PHP-language
+    and CMS-framework functions, organised in the paper's four sections:
+    potentially-malicious {e sources}, {e sanitization} functions,
+    {e revert} functions (which undo sanitization, e.g. [stripslashes]) and
+    sensitive {e output} (sink) functions.  The generic entries mirror the
+    paper's [class-vulnerable-input.php] / [class-vulnerable-filter.php] /
+    [class-vulnerable_output.php] files, which were themselves "based on the
+    default configurations of the RIPS tool". *)
+
+open Secflow
+
+type source_entry = {
+  src_name : string;       (** superglobal ("$_GET"), function or method name *)
+  src_is_method : bool;    (** matched as [$obj->name(...)] when true *)
+  src_kinds : Vuln.kind list;  (** which vulnerabilities it can feed *)
+  src_desc : Vuln.source;
+}
+
+type sanitizer_entry = {
+  san_name : string;
+  san_is_method : bool;
+  san_kinds : Vuln.kind list;  (** kinds this function neutralises *)
+}
+
+type sink_entry = {
+  snk_name : string;       (** "echo" and "print" are language constructs *)
+  snk_is_method : bool;
+  snk_kind : Vuln.kind;
+}
+
+type t = {
+  name : string;
+  superglobal_sources : (string * Vuln.kind list) list;
+  function_sources : source_entry list;
+  sanitizers : sanitizer_entry list;
+  reverts : string list;    (** functions that undo sanitization *)
+  sinks : sink_entry list;
+  passthrough : string list;
+      (** builtins that propagate their (first) argument's taint unchanged:
+          [trim], [substr], ... *)
+  concat_all_args : string list;
+      (** builtins whose result joins the taint of all arguments:
+          [sprintf], [implode], [str_replace], ... *)
+}
+
+let both = [ Vuln.Xss; Vuln.Sqli ]
+let xss = [ Vuln.Xss ]
+let sqli = [ Vuln.Sqli ]
+
+let fn_source ?(is_method = false) name kinds desc =
+  { src_name = name; src_is_method = is_method; src_kinds = kinds; src_desc = desc }
+
+let sanitizer ?(is_method = false) name kinds =
+  { san_name = name; san_is_method = is_method; san_kinds = kinds }
+
+let sink ?(is_method = false) name kind =
+  { snk_name = name; snk_is_method = is_method; snk_kind = kind }
+
+(** Generic PHP configuration: detects XSS and SQLi in any PHP code,
+    framework-agnostic ("ready for detecting generic XSS and SQLi
+    vulnerabilities", §III.A). *)
+let generic_php =
+  {
+    name = "generic-php";
+    superglobal_sources =
+      [ ("$_GET", both); ("$_POST", both); ("$_COOKIE", both);
+        ("$_REQUEST", both); ("$_FILES", both); ("$_SERVER", both) ];
+    function_sources =
+      [ fn_source "file_get_contents" both (Vuln.File_read "file_get_contents");
+        fn_source "fgets" both (Vuln.File_read "fgets");
+        fn_source "fread" both (Vuln.File_read "fread");
+        fn_source "file" both (Vuln.File_read "file");
+        fn_source "fscanf" both (Vuln.File_read "fscanf");
+        fn_source "mysql_query" xss (Vuln.Database "mysql_query");
+        fn_source "mysql_fetch_assoc" xss (Vuln.Database "mysql_fetch_assoc");
+        fn_source "mysql_fetch_array" xss (Vuln.Database "mysql_fetch_array");
+        fn_source "mysql_fetch_row" xss (Vuln.Database "mysql_fetch_row");
+        fn_source "mysql_fetch_object" xss (Vuln.Database "mysql_fetch_object");
+        fn_source "mysql_result" xss (Vuln.Database "mysql_result");
+        fn_source "getenv" both (Vuln.Function_return "getenv") ];
+    sanitizers =
+      [ sanitizer "htmlspecialchars" xss;
+        sanitizer "htmlentities" xss;
+        sanitizer "strip_tags" xss;
+        sanitizer "urlencode" xss;
+        sanitizer "rawurlencode" xss;
+        sanitizer "json_encode" xss;
+        sanitizer "intval" both;
+        sanitizer "floatval" both;
+        sanitizer "abs" both;
+        sanitizer "count" both;
+        sanitizer "strlen" both;
+        sanitizer "md5" both;
+        sanitizer "sha1" both;
+        sanitizer "crc32" both;
+        sanitizer "number_format" both;
+        sanitizer "addslashes" sqli;
+        sanitizer "mysql_escape_string" sqli;
+        sanitizer "mysql_real_escape_string" sqli ];
+    reverts =
+      [ "stripslashes"; "stripcslashes"; "urldecode"; "rawurldecode";
+        "html_entity_decode"; "htmlspecialchars_decode"; "base64_decode" ];
+    sinks =
+      [ sink "echo" Vuln.Xss;
+        sink "print" Vuln.Xss;
+        sink "printf" Vuln.Xss;
+        sink "print_r" Vuln.Xss;
+        sink "vprintf" Vuln.Xss;
+        sink "die" Vuln.Xss;
+        sink "exit" Vuln.Xss;
+        sink "mysql_query" Vuln.Sqli;
+        sink "mysql_db_query" Vuln.Sqli;
+        sink "mysql_unbuffered_query" Vuln.Sqli ];
+    passthrough =
+      [ "trim"; "ltrim"; "rtrim"; "substr"; "strtolower"; "strtoupper";
+        "ucfirst"; "ucwords"; "nl2br"; "strval"; "stristr"; "strstr";
+        "wordwrap"; "chunk_split"; "strrev" ];
+    concat_all_args = [ "sprintf"; "vsprintf"; "implode"; "join"; "str_replace"; "preg_replace"; "str_pad" ];
+  }
+
+let is_superglobal_source t name = List.assoc_opt name t.superglobal_sources
+
+let find_function_source t name =
+  List.find_opt
+    (fun e -> (not e.src_is_method) && String.equal e.src_name name)
+    t.function_sources
+
+let find_method_source t name =
+  List.find_opt
+    (fun e -> e.src_is_method && String.equal e.src_name name)
+    t.function_sources
+
+let find_sanitizer t name =
+  List.find_opt
+    (fun e -> (not e.san_is_method) && String.equal e.san_name name)
+    t.sanitizers
+
+let find_method_sanitizer t name =
+  List.find_opt
+    (fun e -> e.san_is_method && String.equal e.san_name name)
+    t.sanitizers
+
+let is_revert t name = List.exists (String.equal name) t.reverts
+
+let find_sinks t name =
+  List.filter
+    (fun e -> (not e.snk_is_method) && String.equal e.snk_name name)
+    t.sinks
+
+let find_method_sinks t name =
+  List.filter
+    (fun e -> e.snk_is_method && String.equal e.snk_name name)
+    t.sinks
+
+let is_passthrough t name = List.exists (String.equal name) t.passthrough
+let is_concat_all t name = List.exists (String.equal name) t.concat_all_args
+
+(** Merge an extension profile (e.g. WordPress) into a base configuration —
+    "this ability can be easily extended to other CMSs, by adding their
+    input, filtering and sink functions to the configuration files". *)
+let extend base ext =
+  {
+    name = base.name ^ "+" ^ ext.name;
+    superglobal_sources = base.superglobal_sources @ ext.superglobal_sources;
+    function_sources = base.function_sources @ ext.function_sources;
+    sanitizers = base.sanitizers @ ext.sanitizers;
+    reverts = base.reverts @ ext.reverts;
+    sinks = base.sinks @ ext.sinks;
+    passthrough = base.passthrough @ ext.passthrough;
+    concat_all_args = base.concat_all_args @ ext.concat_all_args;
+  }

@@ -1,0 +1,193 @@
+(** Textual configuration format.
+
+    The original phpSAFE keeps its knowledge in editable configuration files
+    ([class-vulnerable-input.php], [class-vulnerable-filter.php],
+    [class-vulnerable_output.php], §III.A) so that "data for other CMSs can
+    be easily added to the configuration" without touching the tool.  This
+    module provides the same extensibility: a line-oriented spec that loads
+    into a {!Config.t} and serialises back.
+
+    Grammar (one directive per line, [#] comments):
+    {v
+    profile <name>
+    source superglobal <$NAME> <kinds>
+    source function <name> <db|file|fn> <kinds>
+    source method <name> <db|file|fn> <kinds>
+    sanitizer function <name> <kinds>
+    sanitizer method <name> <kinds>
+    revert <name>
+    sink construct|function <name> <xss|sqli>
+    sink method <name> <xss|sqli>
+    passthrough <name>
+    concat <name>
+    v}
+    where [<kinds>] is a comma-separated subset of [xss,sqli]. *)
+
+open Secflow
+
+exception Spec_error of string * int  (** message, 1-based line *)
+
+let fail line msg = raise (Spec_error (msg, line))
+
+let parse_kinds line s =
+  String.split_on_char ',' s
+  |> List.map (fun k ->
+         match String.trim (String.lowercase_ascii k) with
+         | "xss" -> Vuln.Xss
+         | "sqli" -> Vuln.Sqli
+         | other -> fail line (Printf.sprintf "unknown kind %S" other))
+
+let kinds_to_string kinds =
+  String.concat "," (List.map (fun k -> String.lowercase_ascii (Vuln.kind_to_string k)) kinds)
+
+let parse_kind line s =
+  match parse_kinds line s with
+  | [ k ] -> k
+  | _ -> fail line "expected exactly one kind"
+
+let source_desc line cls name =
+  match cls with
+  | "db" -> Vuln.Database name
+  | "file" -> Vuln.File_read name
+  | "fn" -> Vuln.Function_return name
+  | other -> fail line (Printf.sprintf "unknown source class %S (db|file|fn)" other)
+
+let desc_class = function
+  | Vuln.Database _ -> "db"
+  | Vuln.File_read _ -> "file"
+  | Vuln.Function_return _ | Vuln.Superglobal _ | Vuln.Uninitialized _
+  | Vuln.Unknown_source ->
+      "fn"
+
+(** Parse a spec into a configuration. *)
+let of_string spec : Config.t =
+  let empty =
+    {
+      Config.name = "spec";
+      superglobal_sources = [];
+      function_sources = [];
+      sanitizers = [];
+      reverts = [];
+      sinks = [];
+      passthrough = [];
+      concat_all_args = [];
+    }
+  in
+  let lines = String.split_on_char '\n' spec in
+  let config = ref empty in
+  List.iteri
+    (fun i raw ->
+      let line_no = i + 1 in
+      let line =
+        match String.index_opt raw '#' with
+        | Some at -> String.sub raw 0 at
+        | None -> raw
+      in
+      let words =
+        String.split_on_char ' ' line
+        |> List.concat_map (String.split_on_char '\t')
+        |> List.filter (fun w -> w <> "")
+      in
+      let c = !config in
+      match words with
+      | [] -> ()
+      | [ "profile"; name ] -> config := { c with Config.name }
+      | [ "source"; "superglobal"; name; kinds ] ->
+          config :=
+            { c with
+              Config.superglobal_sources =
+                c.Config.superglobal_sources @ [ (name, parse_kinds line_no kinds) ] }
+      | [ "source"; place; name; cls; kinds ] ->
+          let is_method =
+            match place with
+            | "function" -> false
+            | "method" -> true
+            | other -> fail line_no (Printf.sprintf "unknown source place %S" other)
+          in
+          let entry =
+            Config.fn_source ~is_method name (parse_kinds line_no kinds)
+              (source_desc line_no cls name)
+          in
+          config :=
+            { c with Config.function_sources = c.Config.function_sources @ [ entry ] }
+      | [ "sanitizer"; place; name; kinds ] ->
+          let is_method =
+            match place with
+            | "function" -> false
+            | "method" -> true
+            | other -> fail line_no (Printf.sprintf "unknown sanitizer place %S" other)
+          in
+          config :=
+            { c with
+              Config.sanitizers =
+                c.Config.sanitizers
+                @ [ Config.sanitizer ~is_method name (parse_kinds line_no kinds) ] }
+      | [ "revert"; name ] ->
+          config := { c with Config.reverts = c.Config.reverts @ [ name ] }
+      | [ "sink"; place; name; kind ] ->
+          let is_method =
+            match place with
+            | "construct" | "function" -> false
+            | "method" -> true
+            | other -> fail line_no (Printf.sprintf "unknown sink place %S" other)
+          in
+          config :=
+            { c with
+              Config.sinks =
+                c.Config.sinks
+                @ [ Config.sink ~is_method name (parse_kind line_no kind) ] }
+      | [ "passthrough"; name ] ->
+          config := { c with Config.passthrough = c.Config.passthrough @ [ name ] }
+      | [ "concat"; name ] ->
+          config :=
+            { c with Config.concat_all_args = c.Config.concat_all_args @ [ name ] }
+      | w :: _ -> fail line_no (Printf.sprintf "unknown directive %S" w))
+    lines;
+  !config
+
+(** Serialise a configuration back to the spec format; a fixpoint of
+    {!of_string} ∘ [to_string] up to the [db|file|fn] source classes. *)
+let to_string (c : Config.t) : string =
+  let buf = Buffer.create 1024 in
+  let line fmt = Printf.ksprintf (fun s -> Buffer.add_string buf (s ^ "\n")) fmt in
+  line "profile %s" c.Config.name;
+  List.iter
+    (fun (name, kinds) ->
+      line "source superglobal %s %s" name (kinds_to_string kinds))
+    c.Config.superglobal_sources;
+  List.iter
+    (fun (e : Config.source_entry) ->
+      line "source %s %s %s %s"
+        (if e.Config.src_is_method then "method" else "function")
+        e.Config.src_name
+        (desc_class e.Config.src_desc)
+        (kinds_to_string e.Config.src_kinds))
+    c.Config.function_sources;
+  List.iter
+    (fun (e : Config.sanitizer_entry) ->
+      line "sanitizer %s %s %s"
+        (if e.Config.san_is_method then "method" else "function")
+        e.Config.san_name
+        (kinds_to_string e.Config.san_kinds))
+    c.Config.sanitizers;
+  List.iter (fun name -> line "revert %s" name) c.Config.reverts;
+  List.iter
+    (fun (e : Config.sink_entry) ->
+      line "sink %s %s %s"
+        (if e.Config.snk_is_method then "method" else "function")
+        e.Config.snk_name
+        (String.lowercase_ascii (Vuln.kind_to_string e.Config.snk_kind)))
+    c.Config.sinks;
+  List.iter (fun name -> line "passthrough %s" name) c.Config.passthrough;
+  List.iter (fun name -> line "concat %s" name) c.Config.concat_all_args;
+  Buffer.contents buf
+
+(** Load a spec file from disk. *)
+let load path : Config.t =
+  let ic = open_in_bin path in
+  let content =
+    Fun.protect
+      ~finally:(fun () -> close_in ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  in
+  of_string content

@@ -1,0 +1,14 @@
+(** Textual configuration format — the same extensibility as the original
+    phpSAFE's editable configuration files (§III.A): a line-oriented spec
+    that loads into a {!Config.t} and serialises back.  See the
+    implementation header for the grammar. *)
+
+exception Spec_error of string * int
+(** Parse failure: message and 1-based line number. *)
+
+val of_string : string -> Config.t
+val to_string : Config.t -> string
+(** A fixpoint of [of_string ∘ to_string] up to the source classes. *)
+
+val load : string -> Config.t
+(** Load a spec file from disk. *)

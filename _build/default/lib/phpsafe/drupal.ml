@@ -1,0 +1,45 @@
+(** Drupal 7 extension profile — the paper's future work (§VI), built the
+    same way as the WordPress profile: the framework's input, filtering and
+    output functions are added to the configuration (§III.A).
+
+    Covers the Drupal 7 module idioms: [db_query]/[db_fetch_*] database
+    access, [check_plain]/[filter_xss]/[check_url] output filtering and
+    [drupal_set_message]-style output. *)
+
+open Secflow
+
+let profile : Config.t =
+  {
+    Config.name = "drupal";
+    superglobal_sources = [];
+    function_sources =
+      [ Config.fn_source "db_query" [ Vuln.Xss ] (Vuln.Database "db_query");
+        Config.fn_source "db_fetch_object" [ Vuln.Xss ]
+          (Vuln.Database "db_fetch_object");
+        Config.fn_source "db_fetch_array" [ Vuln.Xss ]
+          (Vuln.Database "db_fetch_array");
+        Config.fn_source ~is_method:true "fetchField" [ Vuln.Xss ]
+          (Vuln.Database "$result->fetchField");
+        Config.fn_source ~is_method:true "fetchAssoc" [ Vuln.Xss ]
+          (Vuln.Database "$result->fetchAssoc");
+        Config.fn_source "variable_get" [ Vuln.Xss ]
+          (Vuln.Database "variable_get") ];
+    sanitizers =
+      [ Config.sanitizer "check_plain" [ Vuln.Xss ];
+        Config.sanitizer "filter_xss" [ Vuln.Xss ];
+        Config.sanitizer "filter_xss_admin" [ Vuln.Xss ];
+        Config.sanitizer "check_url" [ Vuln.Xss ];
+        Config.sanitizer "check_markup" [ Vuln.Xss ];
+        Config.sanitizer "db_escape_table" [ Vuln.Sqli ] ];
+    reverts = [ "decode_entities" ];
+    sinks =
+      [ Config.sink "db_query" Vuln.Sqli;
+        Config.sink "db_query_range" Vuln.Sqli;
+        Config.sink "drupal_set_message" Vuln.Xss;
+        Config.sink "drupal_set_title" Vuln.Xss ];
+    passthrough = [ "t" ];
+    concat_all_args = [ "format_string" ];
+  }
+
+(** Generic PHP plus the Drupal profile. *)
+let default_config = Config.extend Config.generic_php profile

@@ -1,0 +1,117 @@
+(** Variable state — phpSAFE's [parser_variables] analogue (paper §III.C):
+    "a multidimensional associative array [containing] everything needed to
+    perform the taint analysis, like the variable name, source file name and
+    line number, the dependencies from other variables, ... the filter
+    functions applied".
+
+    A scope holds local variables; the global table is shared across files
+    (WordPress loads every plugin file into one runtime).  [global $x]
+    declarations alias a local name to the global table.  [$obj] → class
+    bindings let the analyzer resolve method calls on plugin objects.
+    Properties of [$this] are stored per-class in the global table under
+    ["Class::$prop"], so taint stored by one method is visible to others. *)
+
+module S = Set.Make (String)
+
+type t = {
+  locals : (string, Taint.t) Hashtbl.t;
+  globals : (string, Taint.t) Hashtbl.t;  (** shared project-wide *)
+  mutable declared_global : S.t;
+  top_level : bool;  (** in global scope, locals = globals *)
+  class_of : (string, string) Hashtbl.t;  (** variable -> class binding *)
+  current_class : string option;  (** class owning the method under analysis *)
+  aliases : (string, string) Hashtbl.t;
+      (** [$a =& $b] reference bindings: variable -> representative.  The
+          paper's methodology enables the same handling in Pixy via its
+          [-A] flag (§IV.B). *)
+}
+
+let create_toplevel globals =
+  {
+    locals = globals;
+    globals;
+    declared_global = S.empty;
+    top_level = true;
+    class_of = Hashtbl.create 8;
+    current_class = None;
+    aliases = Hashtbl.create 8;
+  }
+
+let create_scope ?current_class globals =
+  {
+    locals = Hashtbl.create 16;
+    globals;
+    declared_global = S.empty;
+    top_level = false;
+    class_of = Hashtbl.create 8;
+    current_class;
+    aliases = Hashtbl.create 8;
+  }
+
+let declare_global t name = t.declared_global <- S.add name t.declared_global
+
+(* follow the alias chain to the representative variable *)
+let rec representative t name =
+  match Hashtbl.find_opt t.aliases name with
+  | Some next when not (String.equal next name) -> representative t next
+  | _ -> name
+
+(** Bind [name] as a reference to [target]: both now read and write the
+    same abstract cell. *)
+let alias t name target =
+  let rep = representative t target in
+  if not (String.equal rep name) then Hashtbl.replace t.aliases name rep
+
+let table_for t name =
+  if t.top_level || S.mem name t.declared_global then t.globals else t.locals
+
+let get t name =
+  let name = representative t name in
+  match Hashtbl.find_opt (table_for t name) name with
+  | Some taint -> taint
+  | None -> Taint.untainted
+
+let mem t name =
+  let name = representative t name in
+  Hashtbl.mem (table_for t name) name
+
+let set t name taint =
+  let name = representative t name in
+  Hashtbl.replace (table_for t name) name taint
+
+(** Assigning to one array slot taints the whole array conservatively. *)
+let set_join t name taint = set t name (Taint.join (get t name) taint)
+
+(** [unset($a)] destroys only [$a]'s binding; a referenced cell stays alive
+    through its other names. *)
+let unset t name =
+  if Hashtbl.mem t.aliases name then Hashtbl.remove t.aliases name
+  else Hashtbl.remove (table_for t name) name
+
+(* -- class bindings ------------------------------------------------- *)
+
+let bind_class t var cls = Hashtbl.replace t.class_of var cls
+
+let class_binding t var =
+  match Hashtbl.find_opt t.class_of var with
+  | Some c -> Some c
+  | None -> if String.equal var "$this" then t.current_class else None
+
+(* -- $this / static properties ------------------------------------- *)
+
+let this_prop_key t prop =
+  match t.current_class with
+  | Some c -> Some (c ^ "::$" ^ prop)
+  | None -> None
+
+let static_prop_key cls prop = cls ^ "::" ^ prop
+
+let get_global_key t key =
+  match Hashtbl.find_opt t.globals key with
+  | Some taint -> taint
+  | None -> Taint.untainted
+
+let set_global_key t key taint = Hashtbl.replace t.globals key taint
+
+let set_global_key_join t key taint =
+  set_global_key t key (Taint.join (get_global_key t key) taint)

@@ -1,0 +1,56 @@
+(** Variable state — phpSAFE's [parser_variables] analogue (paper §III.C).
+
+    A scope holds locals; the shared global table models WordPress loading
+    every plugin file into one runtime.  [global $x] declarations alias a
+    name into the global table; [$this] properties are stored per class as
+    ["Class::$prop"] so taint crosses method boundaries (§III.E). *)
+
+module S : Set.S with type elt = string
+
+type t = {
+  locals : (string, Taint.t) Hashtbl.t;
+  globals : (string, Taint.t) Hashtbl.t;
+  mutable declared_global : S.t;
+  top_level : bool;
+  class_of : (string, string) Hashtbl.t;  (** variable -> class binding *)
+  current_class : string option;
+  aliases : (string, string) Hashtbl.t;
+      (** [$a =& $b] reference bindings (the Pixy [-A] analogue, §IV.B) *)
+}
+
+val create_toplevel : (string, Taint.t) Hashtbl.t -> t
+(** Global scope: locals {e are} the global table. *)
+
+val create_scope : ?current_class:string -> (string, Taint.t) Hashtbl.t -> t
+(** Fresh function/method scope sharing the given global table. *)
+
+val declare_global : t -> string -> unit
+
+val representative : t -> string -> string
+(** Follow the reference chain to the variable actually holding the cell. *)
+
+val alias : t -> string -> string -> unit
+(** [alias t a b] makes [$a] a reference to [$b]'s cell. *)
+
+val get : t -> string -> Taint.t
+val mem : t -> string -> bool
+val set : t -> string -> Taint.t -> unit
+
+val set_join : t -> string -> Taint.t -> unit
+(** Join into the current value — assigning through one array slot taints
+    the whole array conservatively. *)
+
+val unset : t -> string -> unit
+
+val bind_class : t -> string -> string -> unit
+val class_binding : t -> string -> string option
+(** [$this] resolves to [current_class]. *)
+
+val this_prop_key : t -> string -> string option
+(** Global-table key for [$this->prop], when a current class is set. *)
+
+val static_prop_key : string -> string -> string
+
+val get_global_key : t -> string -> Taint.t
+val set_global_key : t -> string -> Taint.t -> unit
+val set_global_key_join : t -> string -> Taint.t -> unit

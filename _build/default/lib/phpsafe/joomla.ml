@@ -1,0 +1,53 @@
+(** Joomla extension profile — the paper's future work ("the analysis of
+    other CMS applications like Drupal or Joomla", §VI): "this is what it
+    takes for phpSAFE to be able to analyze plugins from other CMSs"
+    (§III.A) — only the input, filtering and sink functions of the
+    framework's API need to be added to the configuration.
+
+    Covers the Joomla 2.5/3.x idioms used by components and modules:
+    [JFactory::getDbo()] database objects ([loadResult], [loadObjectList],
+    …), [JRequest]/[JInput] request accessors, [JFilterInput] and
+    [$db->quote]/[escape] filtering. *)
+
+open Secflow
+
+let profile : Config.t =
+  {
+    Config.name = "joomla";
+    superglobal_sources = [];
+    function_sources =
+      [ (* JDatabase result methods *)
+        Config.fn_source ~is_method:true "loadResult" [ Vuln.Xss ]
+          (Vuln.Database "$db->loadResult");
+        Config.fn_source ~is_method:true "loadRow" [ Vuln.Xss ]
+          (Vuln.Database "$db->loadRow");
+        Config.fn_source ~is_method:true "loadObject" [ Vuln.Xss ]
+          (Vuln.Database "$db->loadObject");
+        Config.fn_source ~is_method:true "loadObjectList" [ Vuln.Xss ]
+          (Vuln.Database "$db->loadObjectList");
+        Config.fn_source ~is_method:true "loadAssocList" [ Vuln.Xss ]
+          (Vuln.Database "$db->loadAssocList");
+        (* request accessors: attacker-controlled *)
+        Config.fn_source ~is_method:true "getVar" [ Vuln.Xss; Vuln.Sqli ]
+          (Vuln.Function_return "JRequest::getVar");
+        Config.fn_source ~is_method:true "getString" [ Vuln.Xss; Vuln.Sqli ]
+          (Vuln.Function_return "JInput->getString") ];
+    sanitizers =
+      [ (* JDatabase escaping *)
+        Config.sanitizer ~is_method:true "quote" [ Vuln.Sqli ];
+        Config.sanitizer ~is_method:true "escape" [ Vuln.Sqli ];
+        (* JFilterInput::clean and friends *)
+        Config.sanitizer ~is_method:true "clean" [ Vuln.Xss; Vuln.Sqli ];
+        Config.sanitizer ~is_method:true "getInt" [ Vuln.Xss; Vuln.Sqli ];
+        Config.sanitizer ~is_method:true "getUint" [ Vuln.Xss; Vuln.Sqli ] ];
+    reverts = [];
+    sinks =
+      [ (* query execution through the database object *)
+        Config.sink ~is_method:true "setQuery" Vuln.Sqli;
+        Config.sink ~is_method:true "execute" Vuln.Sqli ];
+    passthrough = [ "JText_" ];
+    concat_all_args = [];
+  }
+
+(** Generic PHP plus the Joomla profile. *)
+let default_config = Config.extend Config.generic_php profile

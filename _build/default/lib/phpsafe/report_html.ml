@@ -1,0 +1,120 @@
+(** HTML rendering of analysis results.
+
+    The original phpSAFE "has a web interface ... the output of the analysis
+    is presented in a web page that helps reviewing the results, including
+    the vulnerable variables, the entry point of the vulnerability in the
+    source code PHP file, the flow of the vulnerable data from variable to
+    variable" (§III).  This module renders a {!Secflow.Report.result} as a
+    self-contained HTML page with the same review aids. *)
+
+open Secflow
+
+let escape_html s =
+  let buf = Buffer.create (String.length s) in
+  String.iter
+    (fun c ->
+      match c with
+      | '<' -> Buffer.add_string buf "&lt;"
+      | '>' -> Buffer.add_string buf "&gt;"
+      | '&' -> Buffer.add_string buf "&amp;"
+      | '"' -> Buffer.add_string buf "&quot;"
+      | '\'' -> Buffer.add_string buf "&#39;"
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let style =
+  {css|
+  body { font-family: system-ui, sans-serif; margin: 2em; color: #222; }
+  h1 { font-size: 1.4em; } h2 { font-size: 1.1em; margin-top: 1.6em; }
+  .finding { border: 1px solid #ccc; border-left: 6px solid #c0392b;
+             border-radius: 4px; padding: .7em 1em; margin: 1em 0; }
+  .finding.sqli { border-left-color: #8e44ad; }
+  .kind { font-weight: bold; color: #c0392b; }
+  .finding.sqli .kind { color: #8e44ad; }
+  .loc { color: #555; font-family: monospace; }
+  .flow { margin: .5em 0 0 1em; font-family: monospace; font-size: .92em; }
+  .flow li { margin: .15em 0; }
+  .failed { color: #b9770e; }
+  .summary { background: #f4f6f7; padding: .6em 1em; border-radius: 4px; }
+  code { background: #f4f6f7; padding: 0 .25em; border-radius: 3px; }
+|css}
+
+let render_finding buf (f : Report.finding) =
+  let kind_class =
+    match f.Report.kind with Vuln.Xss -> "xss" | Vuln.Sqli -> "sqli"
+  in
+  Buffer.add_string buf (Printf.sprintf "<div class=\"finding %s\">\n" kind_class);
+  Buffer.add_string buf
+    (Printf.sprintf
+       "<span class=\"kind\">%s</span> in <span class=\"loc\">%s:%d</span> \
+        &mdash; sink <code>%s</code>, variable <code>%s</code>\n"
+       (Vuln.kind_to_string f.Report.kind)
+       (escape_html f.Report.sink_pos.Phplang.Ast.file)
+       f.Report.sink_pos.Phplang.Ast.line
+       (escape_html f.Report.sink)
+       (escape_html f.Report.variable));
+  Buffer.add_string buf
+    (Printf.sprintf
+       "<div>entry point: <code>%s</code> at <span class=\"loc\">%s:%d</span></div>\n"
+       (escape_html (Vuln.source_to_string f.Report.source))
+       (escape_html f.Report.source_pos.Phplang.Ast.file)
+       f.Report.source_pos.Phplang.Ast.line);
+  (match f.Report.trace with
+  | [] -> ()
+  | trace ->
+      Buffer.add_string buf "<div>data flow:</div>\n<ol class=\"flow\">\n";
+      List.iter
+        (fun (s : Report.step) ->
+          Buffer.add_string buf
+            (Printf.sprintf "<li><code>%s</code> @ %s:%d &mdash; %s</li>\n"
+               (escape_html s.Report.step_var)
+               (escape_html s.Report.step_pos.Phplang.Ast.file)
+               s.Report.step_pos.Phplang.Ast.line
+               (escape_html s.Report.step_note)))
+        trace;
+      Buffer.add_string buf "</ol>\n");
+  Buffer.add_string buf "</div>\n"
+
+(** Render a full analysis result as a standalone HTML page. *)
+let render ?(title = "phpSAFE analysis report") (result : Report.result) :
+    string =
+  let buf = Buffer.create 8192 in
+  Buffer.add_string buf "<!DOCTYPE html>\n<html><head><meta charset=\"utf-8\">";
+  Buffer.add_string buf
+    (Printf.sprintf "<title>%s</title><style>%s</style></head>\n<body>\n"
+       (escape_html title) style);
+  Buffer.add_string buf (Printf.sprintf "<h1>%s</h1>\n" (escape_html title));
+  let xss, sqli =
+    List.partition
+      (fun (f : Report.finding) -> f.Report.kind = Vuln.Xss)
+      result.Report.findings
+  in
+  Buffer.add_string buf
+    (Printf.sprintf
+       "<p class=\"summary\">%d file(s) processed &mdash; <b>%d XSS</b> and \
+        <b>%d SQLi</b> finding(s)%s.</p>\n"
+       (List.length result.Report.outcomes)
+       (List.length xss) (List.length sqli)
+       (match Report.failed_files result with
+       | [] -> ""
+       | fs -> Printf.sprintf ", %d file(s) not analyzed" (List.length fs)));
+  (match Report.failed_files result with
+  | [] -> ()
+  | failed ->
+      Buffer.add_string buf "<h2>Files not analyzed</h2>\n<ul>\n";
+      List.iter
+        (fun path ->
+          Buffer.add_string buf
+            (Printf.sprintf "<li class=\"failed\"><code>%s</code></li>\n"
+               (escape_html path)))
+        failed;
+      Buffer.add_string buf "</ul>\n");
+  if result.Report.findings = [] then
+    Buffer.add_string buf "<p>No vulnerabilities detected.</p>\n"
+  else begin
+    Buffer.add_string buf "<h2>Findings</h2>\n";
+    List.iter (render_finding buf) result.Report.findings
+  end;
+  Buffer.add_string buf "</body></html>\n";
+  Buffer.contents buf

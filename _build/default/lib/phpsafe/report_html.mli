@@ -1,0 +1,11 @@
+(** HTML rendering of analysis results — the counterpart of the original
+    phpSAFE's web-page output (paper §III.D): vulnerable variables, entry
+    points and the variable-to-variable data flow of each finding. *)
+
+val escape_html : string -> string
+(** Escape the HTML metacharacters (angle brackets, ampersand and both
+    quotes) for safe embedding. *)
+
+val render : ?title:string -> Secflow.Report.result -> string
+(** A self-contained HTML review page: summary counts, files that could not
+    be analyzed, and one card per finding with its data-flow trace. *)

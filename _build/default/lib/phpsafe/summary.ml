@@ -1,0 +1,89 @@
+(** Function summaries (paper §III.C, "Functions summaries — a function is
+    parsed only once. The summary of this analysis is reused in subsequent
+    calls to determine the effects on the context of the calling code").
+
+    A summary records the taint of the return value — including which formal
+    parameters flow into it — and the {e conditional sinks}: sensitive sinks
+    inside the function that fire when a given parameter is tainted.
+    Unconditional flows (source and sink both inside the function) are
+    reported during the single summary analysis itself. *)
+
+open Secflow
+
+type cond_sink = {
+  cs_param : int;            (** formal parameter index feeding the sink *)
+  cs_kind : Vuln.kind;
+  cs_sink_name : string;
+  cs_pos : Phplang.Ast.pos;  (** sink location inside the callee *)
+  cs_var : string;           (** variable name at the sink *)
+}
+
+type t = {
+  ret : Taint.t;
+      (** return-value taint; its [deps_*] fields name the flow-through
+          parameters *)
+  cond_sinks : cond_sink list;
+}
+
+let empty = { ret = Taint.untainted; cond_sinks = [] }
+
+(* Restrict a taint value to one kind's live component: the concrete flag,
+   the parameter dependencies and the provenance, but nothing of the other
+   kind.  Needed because a function may pass a parameter through for one
+   vulnerability class while sanitizing the other. *)
+let restrict_kind kind (t : Taint.t) : Taint.t =
+  match kind with
+  | Vuln.Xss ->
+      { Taint.untainted with
+        Taint.xss = t.Taint.xss;
+        deps_xss = t.Taint.deps_xss;
+        source = (if t.Taint.xss || not (Taint.Int_set.is_empty t.Taint.deps_xss)
+                  then t.Taint.source else None);
+        trace = t.Taint.trace }
+  | Vuln.Sqli ->
+      { Taint.untainted with
+        Taint.sqli = t.Taint.sqli;
+        deps_sqli = t.Taint.deps_sqli;
+        source = (if t.Taint.sqli || not (Taint.Int_set.is_empty t.Taint.deps_sqli)
+                  then t.Taint.source else None);
+        trace = t.Taint.trace }
+
+(** Instantiate the summary's return taint at a call site: the concrete part
+    carries over, and each parameter dependency imports the matching
+    argument's component for that kind — including the argument's own
+    symbolic dependencies, so flow-through composes across nested calls. *)
+let instantiate_return summary (args : Taint.t list) : Taint.t =
+  let arg i = List.nth_opt args i |> Option.value ~default:Taint.untainted in
+  let import kind deps acc =
+    Taint.Int_set.fold
+      (fun i acc -> Taint.join acc (restrict_kind kind (arg i)))
+      deps acc
+  in
+  let base =
+    { summary.ret with
+      Taint.deps_xss = Taint.Int_set.empty;
+      deps_sqli = Taint.Int_set.empty;
+      was_deps_xss = Taint.Int_set.empty;
+      was_deps_sqli = Taint.Int_set.empty }
+  in
+  let acc = import Vuln.Xss summary.ret.Taint.deps_xss Taint.untainted in
+  let acc = import Vuln.Sqli summary.ret.Taint.deps_sqli acc in
+  Taint.join base acc
+
+(** Conditional sinks triggered by a call with argument taints [args]:
+    returns the findings to report ([`Fire]) and, when an argument is itself
+    parameter-dependent (nested call during an enclosing summary analysis),
+    the hoisted conditional sinks to propagate outward ([`Hoist]). *)
+let fire_cond_sinks summary (args : Taint.t list) =
+  let arg i = List.nth_opt args i |> Option.value ~default:Taint.untainted in
+  List.concat_map
+    (fun cs ->
+      let a = arg cs.cs_param in
+      let fire = if Taint.is_tainted cs.cs_kind a then [ `Fire (cs, a) ] else [] in
+      let hoist =
+        Taint.Int_set.fold
+          (fun outer acc -> `Hoist { cs with cs_param = outer } :: acc)
+          (Taint.deps cs.cs_kind a) []
+      in
+      fire @ hoist)
+    summary.cond_sinks

@@ -1,0 +1,38 @@
+(** Function summaries (paper §III.C: "a function is parsed only once; the
+    summary of this analysis is reused in subsequent calls"). *)
+
+open Secflow
+
+type cond_sink = {
+  cs_param : int;            (** formal parameter index feeding the sink *)
+  cs_kind : Vuln.kind;
+  cs_sink_name : string;
+  cs_pos : Phplang.Ast.pos;  (** sink location inside the callee *)
+  cs_var : string;           (** variable name at the sink *)
+}
+
+type t = {
+  ret : Taint.t;
+      (** return-value taint; its [deps_*] fields name the flow-through
+          parameters *)
+  cond_sinks : cond_sink list;
+}
+
+val empty : t
+
+val restrict_kind : Vuln.kind -> Taint.t -> Taint.t
+(** One kind's live component of a taint value (flag, dependencies,
+    provenance) with the other kind removed. *)
+
+val instantiate_return : t -> Taint.t list -> Taint.t
+(** Apply a summary's return taint to concrete argument taints; argument
+    dependencies are propagated so flow-through composes across nested
+    calls. *)
+
+val fire_cond_sinks :
+  t ->
+  Taint.t list ->
+  [ `Fire of cond_sink * Taint.t | `Hoist of cond_sink ] list
+(** Conditional sinks triggered by a call: [`Fire] for live argument taint
+    (report now), [`Hoist] when the argument is itself parameter-dependent
+    (propagate into the enclosing summary). *)

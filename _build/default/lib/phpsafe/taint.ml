@@ -1,0 +1,142 @@
+(** Taint values for phpSAFE's analysis stage (paper §III.C).
+
+    A taint value records, per vulnerability kind, whether the data is
+    currently attacker-controlled, and — for the function-summary analysis —
+    {e which formal parameters} the value depends on.  Sanitization clears
+    the live bits but remembers them in the [was_*] fields so that {e revert}
+    functions ([stripslashes] & co., §III.A) can restore them, reproducing
+    phpSAFE's revert semantics. *)
+
+open Secflow
+
+module Int_set = Set.Make (Int)
+
+type t = {
+  xss : bool;
+  sqli : bool;
+  was_xss : bool;   (** tainted before sanitization (revertible) *)
+  was_sqli : bool;
+  deps_xss : Int_set.t;   (** parameter indices whose XSS taint reaches here *)
+  deps_sqli : Int_set.t;
+  was_deps_xss : Int_set.t;
+  was_deps_sqli : Int_set.t;
+  source : (Vuln.source * Phplang.Ast.pos) option;
+  trace : Report.step list;  (** most recent first; bounded *)
+}
+
+let max_trace_len = 16
+
+let untainted =
+  {
+    xss = false;
+    sqli = false;
+    was_xss = false;
+    was_sqli = false;
+    deps_xss = Int_set.empty;
+    deps_sqli = Int_set.empty;
+    was_deps_xss = Int_set.empty;
+    was_deps_sqli = Int_set.empty;
+    source = None;
+    trace = [];
+  }
+
+(** Fresh taint from a configured source. *)
+let of_source ~kinds ~source ~pos =
+  {
+    untainted with
+    xss = List.mem Vuln.Xss kinds;
+    sqli = List.mem Vuln.Sqli kinds;
+    source = Some (source, pos);
+  }
+
+(** Symbolic taint of formal parameter [i] during summary analysis. *)
+let of_param i =
+  {
+    untainted with
+    deps_xss = Int_set.singleton i;
+    deps_sqli = Int_set.singleton i;
+  }
+
+let is_tainted kind t =
+  match kind with Vuln.Xss -> t.xss | Vuln.Sqli -> t.sqli
+
+let deps kind t =
+  match kind with Vuln.Xss -> t.deps_xss | Vuln.Sqli -> t.deps_sqli
+
+let has_deps t = not (Int_set.is_empty t.deps_xss && Int_set.is_empty t.deps_sqli)
+let any_tainted t = t.xss || t.sqli
+let interesting t = any_tainted t || has_deps t
+
+let join a b =
+  {
+    xss = a.xss || b.xss;
+    sqli = a.sqli || b.sqli;
+    was_xss = a.was_xss || b.was_xss;
+    was_sqli = a.was_sqli || b.was_sqli;
+    deps_xss = Int_set.union a.deps_xss b.deps_xss;
+    deps_sqli = Int_set.union a.deps_sqli b.deps_sqli;
+    was_deps_xss = Int_set.union a.was_deps_xss b.was_deps_xss;
+    was_deps_sqli = Int_set.union a.was_deps_sqli b.was_deps_sqli;
+    source =
+      (match (a.source, b.source) with
+      | (Some _ as s), _ -> s
+      | None, s -> s);
+    trace =
+      (* keep the trace of the "more tainted" operand *)
+      (if any_tainted a || has_deps a then a.trace else b.trace);
+  }
+
+let join_all = List.fold_left join untainted
+
+(** Neutralise [kind], remembering the pre-sanitization state. *)
+let sanitize kind t =
+  match kind with
+  | Vuln.Xss ->
+      {
+        t with
+        xss = false;
+        was_xss = t.was_xss || t.xss;
+        deps_xss = Int_set.empty;
+        was_deps_xss = Int_set.union t.was_deps_xss t.deps_xss;
+      }
+  | Vuln.Sqli ->
+      {
+        t with
+        sqli = false;
+        was_sqli = t.was_sqli || t.sqli;
+        deps_sqli = Int_set.empty;
+        was_deps_sqli = Int_set.union t.was_deps_sqli t.deps_sqli;
+      }
+
+let sanitize_kinds kinds t = List.fold_left (fun t k -> sanitize k t) t kinds
+
+(** Revert function semantics: whatever was sanitized becomes live again. *)
+let revert t =
+  {
+    t with
+    xss = t.xss || t.was_xss;
+    sqli = t.sqli || t.was_sqli;
+    deps_xss = Int_set.union t.deps_xss t.was_deps_xss;
+    deps_sqli = Int_set.union t.deps_sqli t.was_deps_sqli;
+  }
+
+(** Numeric / boolean results carry no taint at all. *)
+let scrub _t = untainted
+
+let push_step ~var ~pos ~note t =
+  let step = { Report.step_var = var; step_pos = pos; step_note = note } in
+  let trace =
+    if List.length t.trace >= max_trace_len then t.trace else step :: t.trace
+  in
+  { t with trace }
+
+let source_of t =
+  match t.source with
+  | Some (s, pos) -> (s, pos)
+  | None -> (Vuln.Unknown_source, Phplang.Ast.dummy_pos)
+
+let pp ppf t =
+  Format.fprintf ppf "{xss=%b; sqli=%b; was=(%b,%b); deps=(%d,%d)}" t.xss
+    t.sqli t.was_xss t.was_sqli
+    (Int_set.cardinal t.deps_xss)
+    (Int_set.cardinal t.deps_sqli)

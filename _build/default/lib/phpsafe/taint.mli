@@ -1,0 +1,67 @@
+(** Taint values for phpSAFE's analysis stage (paper §III.C).
+
+    A value records, per vulnerability kind, whether the data is currently
+    attacker-controlled, which formal parameters it depends on (for the
+    summary analysis), and — in the [was_*] fields — what sanitization could
+    be undone by a {e revert} function such as [stripslashes] (§III.A). *)
+
+open Secflow
+
+module Int_set : Set.S with type elt = int
+
+type t = {
+  xss : bool;
+  sqli : bool;
+  was_xss : bool;   (** tainted before sanitization (revertible) *)
+  was_sqli : bool;
+  deps_xss : Int_set.t;  (** parameter indices whose XSS taint reaches here *)
+  deps_sqli : Int_set.t;
+  was_deps_xss : Int_set.t;
+  was_deps_sqli : Int_set.t;
+  source : (Vuln.source * Phplang.Ast.pos) option;
+  trace : Report.step list;  (** most recent first; bounded *)
+}
+
+val max_trace_len : int
+
+val untainted : t
+
+val of_source :
+  kinds:Vuln.kind list -> source:Vuln.source -> pos:Phplang.Ast.pos -> t
+(** Fresh taint from a configured source. *)
+
+val of_param : int -> t
+(** Symbolic taint of formal parameter [i] during summary analysis. *)
+
+val is_tainted : Vuln.kind -> t -> bool
+val deps : Vuln.kind -> t -> Int_set.t
+val has_deps : t -> bool
+val any_tainted : t -> bool
+
+val interesting : t -> bool
+(** Live taint or parameter dependencies — worth tracing. *)
+
+val join : t -> t -> t
+(** Least upper bound; keeps the first available source and the trace of the
+    "more tainted" operand. *)
+
+val join_all : t list -> t
+
+val sanitize : Vuln.kind -> t -> t
+(** Neutralise one kind, remembering the prior state for reverts. *)
+
+val sanitize_kinds : Vuln.kind list -> t -> t
+
+val revert : t -> t
+(** Revert-function semantics: whatever was sanitized becomes live again. *)
+
+val scrub : t -> t
+(** Numeric/boolean results carry no taint at all. *)
+
+val push_step : var:string -> pos:Phplang.Ast.pos -> note:string -> t -> t
+(** Append a data-flow hop to the trace (bounded by {!max_trace_len}). *)
+
+val source_of : t -> Vuln.source * Phplang.Ast.pos
+(** The recorded source, or [Unknown_source] with a dummy position. *)
+
+val pp : Format.formatter -> t -> unit

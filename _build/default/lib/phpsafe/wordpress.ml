@@ -1,0 +1,70 @@
+(** WordPress extension profile (paper §III.A, §III.E).
+
+    phpSAFE ships "out-of-the-box" with the WordPress API functions and
+    [$wpdb] class methods that act as sources, sanitizers or sinks.  This is
+    the knowledge RIPS and Pixy lack, and the reason they miss every
+    OOP/WordPress vulnerability in the evaluation ("RIPS and Pixy were not
+    able to detect any vulnerability of this kind", §V.A). *)
+
+open Secflow
+
+let profile : Config.t =
+  {
+    Config.name = "wordpress";
+    superglobal_sources = [];
+    function_sources =
+      [ (* $wpdb methods returning database rows — the entry point of the
+           paper's running example (mail-subscribe-list). *)
+        Config.fn_source ~is_method:true "get_results" [ Vuln.Xss ]
+          (Vuln.Database "$wpdb->get_results");
+        Config.fn_source ~is_method:true "get_var" [ Vuln.Xss ]
+          (Vuln.Database "$wpdb->get_var");
+        Config.fn_source ~is_method:true "get_row" [ Vuln.Xss ]
+          (Vuln.Database "$wpdb->get_row");
+        Config.fn_source ~is_method:true "get_col" [ Vuln.Xss ]
+          (Vuln.Database "$wpdb->get_col");
+        (* WordPress API functions that read likely-untrusted storage *)
+        Config.fn_source "get_option" [ Vuln.Xss ] (Vuln.Database "get_option");
+        Config.fn_source "get_post_meta" [ Vuln.Xss ]
+          (Vuln.Database "get_post_meta");
+        Config.fn_source "get_user_meta" [ Vuln.Xss ]
+          (Vuln.Database "get_user_meta");
+        Config.fn_source "get_query_var" [ Vuln.Xss; Vuln.Sqli ]
+          (Vuln.Function_return "get_query_var") ];
+    sanitizers =
+      [ Config.sanitizer "esc_html" [ Vuln.Xss ];
+        Config.sanitizer "esc_attr" [ Vuln.Xss ];
+        Config.sanitizer "esc_js" [ Vuln.Xss ];
+        Config.sanitizer "esc_url" [ Vuln.Xss ];
+        Config.sanitizer "esc_textarea" [ Vuln.Xss ];
+        Config.sanitizer "sanitize_text_field" [ Vuln.Xss; Vuln.Sqli ];
+        Config.sanitizer "sanitize_email" [ Vuln.Xss; Vuln.Sqli ];
+        Config.sanitizer "sanitize_key" [ Vuln.Xss; Vuln.Sqli ];
+        Config.sanitizer "sanitize_title" [ Vuln.Xss; Vuln.Sqli ];
+        Config.sanitizer "sanitize_file_name" [ Vuln.Xss; Vuln.Sqli ];
+        Config.sanitizer "absint" [ Vuln.Xss; Vuln.Sqli ];
+        Config.sanitizer "wp_kses" [ Vuln.Xss ];
+        Config.sanitizer "wp_kses_post" [ Vuln.Xss ];
+        Config.sanitizer "esc_sql" [ Vuln.Sqli ];
+        Config.sanitizer "like_escape" [ Vuln.Sqli ];
+        (* $wpdb->prepare builds a parameterized query *)
+        Config.sanitizer ~is_method:true "prepare" [ Vuln.Sqli ] ];
+    reverts = [ "wp_specialchars_decode" ];
+    sinks =
+      [ (* query-taking $wpdb methods are SQLi sinks *)
+        Config.sink ~is_method:true "query" Vuln.Sqli;
+        Config.sink ~is_method:true "get_results" Vuln.Sqli;
+        Config.sink ~is_method:true "get_var" Vuln.Sqli;
+        Config.sink ~is_method:true "get_row" Vuln.Sqli;
+        Config.sink ~is_method:true "get_col" Vuln.Sqli;
+        (* WP output helpers that echo their argument *)
+        Config.sink "_e" Vuln.Xss;
+        Config.sink "wp_die" Vuln.Xss ];
+    passthrough =
+      [ "__"; "apply_filters_value"; "maybe_unserialize"; "wp_unslash" ];
+    concat_all_args = [];
+  }
+
+(** The default out-of-the-box phpSAFE configuration: generic PHP plus the
+    WordPress profile. *)
+let default_config = Config.extend Config.generic_php profile

@@ -1,0 +1,1 @@
+lib/pixy/pixy.ml: Cfg Phplang Pixy_analyzer Pixy_config Pixy_taint Secflow

@@ -1,0 +1,1 @@
+lib/pixy/cfg.ml: Array List Phplang

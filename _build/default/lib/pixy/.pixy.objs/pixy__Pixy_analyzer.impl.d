@@ -1,0 +1,1 @@
+lib/pixy/pixy_analyzer.ml: Array Cfg Hashtbl List Option Phplang Pixy_config Pixy_taint Report Secflow String Vuln

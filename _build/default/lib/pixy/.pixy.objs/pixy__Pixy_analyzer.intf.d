@@ -1,0 +1,1 @@
+lib/pixy/pixy_analyzer.mli: Phplang Secflow

@@ -1,0 +1,1 @@
+lib/pixy/pixy_config.ml: List Secflow Vuln

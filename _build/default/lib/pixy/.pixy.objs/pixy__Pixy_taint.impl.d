@@ -1,0 +1,1 @@
+lib/pixy/pixy_taint.ml: List Map Phplang Pixy_config Secflow String Vuln

@@ -1,0 +1,1 @@
+lib/pixy/pixy_taint.mli: Map Phplang Secflow Vuln

@@ -1,0 +1,239 @@
+(** Control-flow graph of linked basic blocks (paper §II: the analysis
+    "performs intra- and inter-procedural analysis to create the respective
+    control flow graph, which consists of linked basic blocks and branches
+    according to conditional program flow").
+
+    Statements are kept at AST granularity inside each block; branch and
+    loop structure becomes explicit edges.  [break]/[continue]/[return]/
+    [exit] are wired to their targets. *)
+
+module A = Phplang.Ast
+
+type node = {
+  id : int;
+  mutable stmts : A.stmt list;  (** in execution order *)
+  mutable succs : int list;
+  mutable preds : int list;
+}
+
+type t = {
+  nodes : node array;
+  entry : int;
+  exit_ : int;
+}
+
+type builder = {
+  mutable rev_nodes : node list;
+  mutable count : int;
+}
+
+let new_node b =
+  let n = { id = b.count; stmts = []; succs = []; preds = [] } in
+  b.count <- b.count + 1;
+  b.rev_nodes <- n :: b.rev_nodes;
+  n
+
+let add_edge src dst =
+  if not (List.mem dst.id src.succs) then begin
+    src.succs <- dst.id :: src.succs;
+    dst.preds <- src.id :: dst.preds
+  end
+
+let append (n : node) (s : A.stmt) = n.stmts <- s :: n.stmts
+
+type loop_targets = { break_to : node; continue_to : node }
+
+(* An expression statement that certainly terminates the script. *)
+let rec is_terminator_expr (e : A.expr) =
+  match e.A.e with
+  | A.Exit _ -> true
+  | A.Assign (_, r) -> is_terminator_expr r
+  | _ -> false
+
+let mk_expr_stmt (e : A.expr) = A.mk_s ~pos:e.A.epos (A.Expr e)
+
+(** Translate [stmts] starting in block [cur]; returns the block where
+    control continues (possibly a fresh unreachable one after a jump). *)
+let rec translate b ~exit_node ~(loops : loop_targets list) cur
+    (stmts : A.stmt list) : node =
+  List.fold_left (fun cur s -> translate_one b ~exit_node ~loops cur s) cur stmts
+
+and translate_one b ~exit_node ~loops cur (s : A.stmt) : node =
+  match s.A.s with
+  | A.Expr e when is_terminator_expr e ->
+      append cur s;
+      add_edge cur exit_node;
+      new_node b (* dead continuation *)
+  | A.Expr _ | A.Echo _ | A.Global _ | A.StaticVar _ | A.Unset _
+  | A.InlineHtml _ | A.Nop ->
+      append cur s;
+      cur
+  | A.Throw _ ->
+      append cur s;
+      add_edge cur exit_node;
+      new_node b
+  | A.Return _ ->
+      append cur s;
+      add_edge cur exit_node;
+      new_node b
+  | A.Break -> (
+      match loops with
+      | { break_to; _ } :: _ ->
+          add_edge cur break_to;
+          new_node b
+      | [] -> cur)
+  | A.Continue -> (
+      match loops with
+      | { continue_to; _ } :: _ ->
+          add_edge cur continue_to;
+          new_node b
+      | [] -> cur)
+  | A.Block body -> translate b ~exit_node ~loops cur body
+  | A.If (branches, els) ->
+      let merge = new_node b in
+      (* conditions evaluate in sequence along the "false" spine *)
+      let spine =
+        List.fold_left
+          (fun spine (cond, body) ->
+            append spine (mk_expr_stmt cond);
+            let bnode = new_node b in
+            add_edge spine bnode;
+            let bend = translate b ~exit_node ~loops bnode body in
+            add_edge bend merge;
+            let next_spine = new_node b in
+            add_edge spine next_spine;
+            next_spine)
+          cur branches
+      in
+      (match els with
+      | Some body ->
+          let eend = translate b ~exit_node ~loops spine body in
+          add_edge eend merge
+      | None -> add_edge spine merge);
+      merge
+  | A.While (cond, body) ->
+      let header = new_node b in
+      add_edge cur header;
+      append header (mk_expr_stmt cond);
+      let after = new_node b in
+      let bnode = new_node b in
+      add_edge header bnode;
+      add_edge header after;
+      let loops = { break_to = after; continue_to = header } :: loops in
+      let bend = translate b ~exit_node ~loops bnode body in
+      add_edge bend header;
+      after
+  | A.DoWhile (body, cond) ->
+      let bnode = new_node b in
+      add_edge cur bnode;
+      let after = new_node b in
+      let header = new_node b in
+      let loops = { break_to = after; continue_to = header } :: loops in
+      let bend = translate b ~exit_node ~loops bnode body in
+      add_edge bend header;
+      append header (mk_expr_stmt cond);
+      add_edge header bnode;
+      add_edge header after;
+      after
+  | A.For (init, conds, updates, body) ->
+      List.iter (fun e -> append cur (mk_expr_stmt e)) init;
+      let header = new_node b in
+      add_edge cur header;
+      List.iter (fun e -> append header (mk_expr_stmt e)) conds;
+      let after = new_node b in
+      let bnode = new_node b in
+      add_edge header bnode;
+      add_edge header after;
+      let update = new_node b in
+      let loops = { break_to = after; continue_to = update } :: loops in
+      let bend = translate b ~exit_node ~loops bnode body in
+      add_edge bend update;
+      List.iter (fun e -> append update (mk_expr_stmt e)) updates;
+      add_edge update header;
+      after
+  | A.Foreach (subject, binding, body) ->
+      let header = new_node b in
+      add_edge cur header;
+      (* keep the binding as a body-less foreach; the transfer function
+         interprets it as the per-iteration assignment *)
+      append header (A.mk_s ~pos:s.A.spos (A.Foreach (subject, binding, [])));
+      let after = new_node b in
+      let bnode = new_node b in
+      add_edge header bnode;
+      add_edge header after;
+      let loops = { break_to = after; continue_to = header } :: loops in
+      let bend = translate b ~exit_node ~loops bnode body in
+      add_edge bend header;
+      after
+  | A.Switch (subject, cases) ->
+      append cur (mk_expr_stmt subject);
+      let merge = new_node b in
+      let loops = { break_to = merge; continue_to = merge } :: loops in
+      (* each case entered from the switch head; fallthrough edges chain the
+         case bodies *)
+      let ends =
+        List.map
+          (fun (c : A.case) ->
+            let cnode = new_node b in
+            add_edge cur cnode;
+            (cnode, translate b ~exit_node ~loops cnode c.A.case_body))
+          cases
+      in
+      let rec chain = function
+        | (_, e1) :: ((s2, _) :: _ as rest) ->
+            add_edge e1 s2;
+            chain rest
+        | [ (_, elast) ] -> add_edge elast merge
+        | [] -> ()
+      in
+      chain ends;
+      add_edge cur merge;
+      merge
+  | A.TryCatch (body, catches) ->
+      let merge = new_node b in
+      let tnode = new_node b in
+      add_edge cur tnode;
+      let tend = translate b ~exit_node ~loops tnode body in
+      add_edge tend merge;
+      List.iter
+        (fun (c : A.catch) ->
+          let cnode = new_node b in
+          add_edge cur cnode;
+          let cend = translate b ~exit_node ~loops cnode c.A.catch_body in
+          add_edge cend merge)
+        catches;
+      merge
+  | A.FuncDef _ | A.ClassDef _ ->
+      (* nested declarations are separate CFGs *)
+      cur
+
+(** Build the CFG of a statement list. *)
+let build (stmts : A.stmt list) : t =
+  let b = { rev_nodes = []; count = 0 } in
+  let entry = new_node b in
+  let exit_node = new_node b in
+  let last = translate b ~exit_node ~loops:[] entry stmts in
+  add_edge last exit_node;
+  let nodes =
+    List.rev b.rev_nodes |> Array.of_list
+  in
+  (* statements were accumulated in reverse *)
+  Array.iter (fun n -> n.stmts <- List.rev n.stmts) nodes;
+  { nodes; entry = entry.id; exit_ = exit_node.id }
+
+let node t id = t.nodes.(id)
+let size t = Array.length t.nodes
+
+(** Reverse-post-order worklist seed for faster convergence. *)
+let rpo t =
+  let seen = Array.make (size t) false in
+  let order = ref [] in
+  let rec dfs id =
+    if not seen.(id) then begin
+      seen.(id) <- true;
+      List.iter dfs (node t id).succs;
+      order := id :: !order
+    end
+  in
+  dfs t.entry;
+  !order

@@ -1,0 +1,30 @@
+(** Control-flow graph of linked basic blocks (paper §II).  Statements stay
+    at AST granularity inside blocks; branch/loop structure becomes explicit
+    edges, with [break]/[continue]/[return]/[exit]/[throw] wired to their
+    targets. *)
+
+type node = {
+  id : int;
+  mutable stmts : Phplang.Ast.stmt list;  (** in execution order *)
+  mutable succs : int list;
+  mutable preds : int list;
+}
+
+type t = {
+  nodes : node array;
+  entry : int;
+  exit_ : int;
+}
+
+val build : Phplang.Ast.stmt list -> t
+(** Build the CFG of a statement list.  Nested function/class declarations
+    contribute no statements (they are separate CFGs).  A body-less
+    {!Phplang.Ast.Foreach} in a loop header carries the per-iteration
+    binding. *)
+
+val node : t -> int -> node
+val size : t -> int
+
+val rpo : t -> int list
+(** Reverse post-order of the reachable nodes, starting at [entry] — the
+    worklist seed for fast dataflow convergence. *)

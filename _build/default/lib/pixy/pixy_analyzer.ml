@@ -1,0 +1,536 @@
+(** Pixy-like analyzer: flow-sensitive, intra- and inter-procedural forward
+    data-flow analysis over a CFG of basic blocks (paper §II, after
+    Jovanovic et al., S&P'06).
+
+    Behavioural model, per the paper's characterisation:
+    - {b no OOP}: any file containing object-oriented constructs fails with
+      an error message ("Pixy failed to complete the analysis on 32 files...
+      probably because it is an old tool and does not recognize OOP code",
+      §V.E);
+    - {b register_globals = 1} is assumed, so possibly-uninitialized
+      variables in the global scope count as attacker-controlled ("half of
+      the vulnerabilities it found were due to this directive", §V.A);
+    - per-file analysis, no include resolution;
+    - functions are analyzed {e only when called} — "although phpSAFE and
+      RIPS are able to detect vulnerabilities in functions that are not
+      called from the plugin code, Pixy is unable to do so" (§V.A);
+    - 2007-era knowledge: classic sanitizers only, no WordPress profile, no
+      revert modelling. *)
+
+open Secflow
+module A = Phplang.Ast
+module T = Pixy_taint
+
+(* ------------------------------------------------------------------ *)
+(* OOP detection                                                      *)
+(* ------------------------------------------------------------------ *)
+
+exception Oop of string
+
+let rec oop_expr (e : A.expr) =
+  match e.A.e with
+  | A.MethodCall _ -> raise (Oop "method call")
+  | A.New _ -> raise (Oop "object instantiation")
+  | A.Prop _ -> raise (Oop "property access")
+  | A.StaticCall _ | A.StaticProp _ | A.ClassConst _ ->
+      raise (Oop "static member access")
+  | A.Assign (l, r) | A.AssignRef (l, r) | A.OpAssign (_, l, r)
+  | A.Bin (_, l, r) ->
+      oop_expr l;
+      oop_expr r
+  | A.Un (_, x) | A.CastE (_, x) | A.EmptyE x | A.PrintE x
+  | A.IncludeE (_, x) ->
+      oop_expr x
+  | A.Ternary (c, t, e2) ->
+      oop_expr c;
+      Option.iter oop_expr t;
+      oop_expr e2
+  | A.ArrayGet (b, i) ->
+      oop_expr b;
+      Option.iter oop_expr i
+  | A.ArrayLit items ->
+      List.iter
+        (fun (k, v) ->
+          Option.iter oop_expr k;
+          oop_expr v)
+        items
+  | A.Call (_, args) -> List.iter oop_expr args
+  | A.Isset es -> List.iter oop_expr es
+  | A.Exit x -> Option.iter oop_expr x
+  | A.Interp parts ->
+      List.iter (function A.IExpr x -> oop_expr x | A.ILit _ -> ()) parts
+  | A.Closure c -> List.iter oop_stmt c.A.cl_body
+  | A.ListAssign (slots, rhs) ->
+      List.iter (Option.iter oop_expr) slots;
+      oop_expr rhs
+  | A.Null | A.True | A.False | A.Int _ | A.Float _ | A.Str _ | A.Var _
+  | A.Const _ ->
+      ()
+
+and oop_stmt (s : A.stmt) =
+  match s.A.s with
+  | A.ClassDef _ -> raise (Oop "class declaration")
+  | A.Expr e | A.Throw e -> oop_expr e
+  | A.Echo es | A.Unset es -> List.iter oop_expr es
+  | A.If (branches, els) ->
+      List.iter
+        (fun (c, b) ->
+          oop_expr c;
+          List.iter oop_stmt b)
+        branches;
+      Option.iter (List.iter oop_stmt) els
+  | A.While (c, b) ->
+      oop_expr c;
+      List.iter oop_stmt b
+  | A.DoWhile (b, c) ->
+      List.iter oop_stmt b;
+      oop_expr c
+  | A.For (i, c, u, b) ->
+      List.iter oop_expr i;
+      List.iter oop_expr c;
+      List.iter oop_expr u;
+      List.iter oop_stmt b
+  | A.Foreach (subject, binding, b) ->
+      oop_expr subject;
+      (match binding with
+      | A.ForeachValue v -> oop_expr v
+      | A.ForeachKeyValue (k, v) ->
+          oop_expr k;
+          oop_expr v);
+      List.iter oop_stmt b
+  | A.Switch (subject, cases) ->
+      oop_expr subject;
+      List.iter (fun (c : A.case) -> List.iter oop_stmt c.A.case_body) cases
+  | A.Return e -> Option.iter oop_expr e
+  | A.StaticVar vars -> List.iter (fun (_, d) -> Option.iter oop_expr d) vars
+  | A.Block b -> List.iter oop_stmt b
+  | A.FuncDef f -> List.iter oop_stmt f.A.f_body
+  | A.TryCatch (b, catches) ->
+      List.iter oop_stmt b;
+      List.iter (fun (c : A.catch) -> List.iter oop_stmt c.A.catch_body) catches
+  | A.InlineHtml _ | A.Nop | A.Break | A.Continue | A.Global _ -> ()
+
+(* ------------------------------------------------------------------ *)
+(* Analysis context                                                   *)
+(* ------------------------------------------------------------------ *)
+
+type fctx = {
+  file : string;
+  funcs : (string, A.func) Hashtbl.t;
+  mutable findings : Report.finding list;
+  mutable seen : Report.Key_set.t;
+  memo : (string, T.taint) Hashtbl.t;
+      (** return taint per (function, argument-taint signature) *)
+  mutable in_progress : string list;
+}
+
+let max_inline_depth = 8
+let max_passes = 64
+
+let report fx ~kind ~pos ~sink_name ~var (t : T.taint) =
+  let key =
+    { Report.k_kind = kind; k_file = pos.A.file; k_line = pos.A.line }
+  in
+  if not (Report.Key_set.mem key fx.seen) then begin
+    fx.seen <- Report.Key_set.add key fx.seen;
+    let source = Option.value t.T.source ~default:Vuln.Unknown_source in
+    let source_pos = Option.value t.T.spos ~default:A.dummy_pos in
+    fx.findings <-
+      { Report.kind; sink_pos = pos; sink = sink_name; variable = var;
+        source; source_pos;
+        trace =
+          [ { Report.step_var = Vuln.source_to_string source;
+              step_pos = source_pos;
+              step_note = "tainted on some program path" } ] }
+      :: fx.findings
+  end
+
+let rec name_of (e : A.expr) =
+  match e.A.e with
+  | A.Var v -> v
+  | A.ArrayGet (b, _) -> name_of b ^ "[...]"
+  | A.Call (f, _) -> f ^ "()"
+  | A.Interp _ -> "<string>"
+  | A.Bin (A.Concat, _, _) -> "<concat>"
+  | _ -> "<expr>"
+
+(* ------------------------------------------------------------------ *)
+(* Transfer function                                                  *)
+(* ------------------------------------------------------------------ *)
+
+type scope = {
+  fx : fctx;
+  global_scope : bool;
+  depth : int;
+  returns : T.taint ref;  (** accumulated return taint of this scope *)
+}
+
+let rec eval sc (st : T.state) (e : A.expr) : T.state * T.taint =
+  let pos = e.A.epos in
+  match e.A.e with
+  | A.Null | A.True | A.False | A.Int _ | A.Float _ | A.Str _ | A.Const _
+  | A.ClassConst _ ->
+      (st, T.clean)
+  | A.Interp parts ->
+      List.fold_left
+        (fun (st, acc) part ->
+          match part with
+          | A.ILit _ -> (st, acc)
+          | A.IExpr x ->
+              let st, t = eval sc st x in
+              (st, T.join acc t))
+        (st, T.clean) parts
+  | A.Var v ->
+      if Pixy_config.is_superglobal v then
+        (st, T.of_source [ Vuln.Xss; Vuln.Sqli ] (Vuln.Superglobal v) pos)
+      else (st, T.read ~global_scope:sc.global_scope st v pos)
+  | A.ArrayGet (b, i) ->
+      let st =
+        match i with
+        | Some i ->
+            let st, _ = eval sc st i in
+            st
+        | None -> st
+      in
+      eval sc st b
+  | A.Prop (b, _) -> eval sc st b  (* unreachable: OOP files fail earlier *)
+  | A.StaticProp _ | A.MethodCall _ | A.StaticCall _ | A.New _ -> (st, T.clean)
+  | A.Assign (lhs, rhs) | A.AssignRef (lhs, rhs) ->
+      let st, t = eval sc st rhs in
+      (assign sc st lhs t, t)
+  | A.ListAssign (slots, rhs) ->
+      let st, t = eval sc st rhs in
+      let st =
+        List.fold_left
+          (fun st slot ->
+            match slot with Some lv -> assign sc st lv t | None -> st)
+          st slots
+      in
+      (st, t)
+  | A.OpAssign (op, lhs, rhs) ->
+      let st, old = eval sc st lhs in
+      let st, rt = eval sc st rhs in
+      let t = match op with A.Concat -> T.join old rt | _ -> T.clean in
+      (assign sc st lhs t, t)
+  | A.Bin (A.Concat, x, y) ->
+      let st, tx = eval sc st x in
+      let st, ty = eval sc st y in
+      (st, T.join tx ty)
+  | A.Bin (_, x, y) ->
+      let st, _ = eval sc st x in
+      let st, _ = eval sc st y in
+      (st, T.clean)
+  | A.Un (A.Silence, x) -> eval sc st x
+  | A.Un (_, x) ->
+      let st, _ = eval sc st x in
+      (st, T.clean)
+  | A.Ternary (c, thn, els) ->
+      let st, ct = eval sc st c in
+      let st, tt =
+        match thn with Some t -> eval sc st t | None -> (st, ct)
+      in
+      let st, et = eval sc st els in
+      (st, T.join tt et)
+  | A.CastE ((A.CastInt | A.CastFloat | A.CastBool), x) ->
+      let st, _ = eval sc st x in
+      (st, T.clean)
+  | A.CastE ((A.CastString | A.CastArray), x) -> eval sc st x
+  | A.Isset es ->
+      let st =
+        List.fold_left
+          (fun st e ->
+            let st, _ = eval sc st e in
+            st)
+          st es
+      in
+      (st, T.clean)
+  | A.EmptyE x ->
+      let st, _ = eval sc st x in
+      (st, T.clean)
+  | A.PrintE x ->
+      let st, t = eval sc st x in
+      report sc.fx ~kind:Vuln.Xss ~pos ~sink_name:"print" ~var:(name_of x) t;
+      (st, T.clean)
+  | A.Exit (Some x) ->
+      let st, t = eval sc st x in
+      report sc.fx ~kind:Vuln.Xss ~pos ~sink_name:"exit" ~var:(name_of x) t;
+      (st, T.clean)
+  | A.Exit None -> (st, T.clean)
+  | A.IncludeE (_, x) ->
+      let st, _ = eval sc st x in
+      (st, T.clean)  (* Pixy does not resolve includes *)
+  | A.Closure _ -> (st, T.clean)
+  | A.ArrayLit items ->
+      List.fold_left
+        (fun (st, acc) (k, v) ->
+          let st =
+            match k with
+            | Some k ->
+                let st, _ = eval sc st k in
+                st
+            | None -> st
+          in
+          let st, t = eval sc st v in
+          (st, T.join acc t))
+        (st, T.clean) items
+  | A.Call (fname, args) -> eval_call sc st fname args pos
+
+and report_if_tainted sc ~kind ~pos ~sink_name arg t =
+  if T.is_tainted kind t then
+    report sc.fx ~kind ~pos ~sink_name ~var:(name_of arg) t
+  else
+    (* register_globals makes everything possibly tainted only in the global
+       scope; nothing to do otherwise *)
+    ()
+
+and eval_call sc st fname args pos : T.state * T.taint =
+  let fname_lc = String.lowercase_ascii fname in
+  (* evaluate arguments left to right *)
+  let st, arg_ts =
+    List.fold_left
+      (fun (st, acc) a ->
+        let st, t = eval sc st a in
+        (st, t :: acc))
+      (st, []) args
+  in
+  let arg_ts = List.rev arg_ts in
+  let arg0 () = match arg_ts with t :: _ -> t | [] -> T.clean in
+  (* sinks *)
+  if List.mem fname_lc Pixy_config.xss_sink_functions then
+    List.iter2
+      (fun a t -> report_if_tainted sc ~kind:Vuln.Xss ~pos ~sink_name:fname a t)
+      args arg_ts;
+  if List.mem fname_lc Pixy_config.sqli_sink_functions then (
+    match (args, arg_ts) with
+    | a :: _, t :: _ ->
+        report_if_tainted sc ~kind:Vuln.Sqli ~pos ~sink_name:fname a t
+    | _ -> ());
+  match Pixy_config.builtin fname_lc with
+  | Some (Pixy_config.Source (kinds, src)) -> (st, T.of_source kinds src pos)
+  | Some (Pixy_config.Sanitizer kinds) -> (st, T.sanitize kinds (arg0 ()))
+  | Some Pixy_config.Passthrough -> (st, arg0 ())
+  | Some Pixy_config.Join_args -> (st, T.join_all arg_ts)
+  | None -> (
+      match Hashtbl.find_opt sc.fx.funcs fname_lc with
+      | Some f when sc.depth < max_inline_depth ->
+          (st, call_function sc fname_lc f arg_ts)
+      | Some _ -> (st, T.clean)
+      | None ->
+          (* unknown (framework) function: pessimistic, taint-preserving *)
+          (st, T.join_all arg_ts))
+
+(* Inline inter-procedural analysis: run the callee's CFG with the
+   arguments' taint bound to the parameters, memoized per taint signature. *)
+and call_function sc fname (f : A.func) (arg_ts : T.taint list) : T.taint =
+  let signature =
+    fname ^ ":"
+    ^ String.concat ""
+        (List.map (fun t -> if t.T.xss then "x" else if t.T.sqli then "s" else "-") arg_ts)
+  in
+  match Hashtbl.find_opt sc.fx.memo signature with
+  | Some t -> t
+  | None ->
+      if List.mem signature sc.fx.in_progress then T.clean
+      else begin
+        sc.fx.in_progress <- signature :: sc.fx.in_progress;
+        let init =
+          List.fold_left
+            (fun st (i, (p : A.param)) ->
+              let t = List.nth_opt arg_ts i |> Option.value ~default:T.clean in
+              T.write st p.A.p_name t)
+            T.empty_state
+            (List.mapi (fun i p -> (i, p)) f.A.f_params)
+        in
+        let returns = ref T.clean in
+        let sub =
+          { fx = sc.fx; global_scope = false; depth = sc.depth + 1; returns }
+        in
+        ignore (run_dataflow sub f.A.f_body init);
+        sc.fx.in_progress <-
+          List.filter (fun s -> not (String.equal s signature)) sc.fx.in_progress;
+        Hashtbl.replace sc.fx.memo signature !returns;
+        !returns
+      end
+
+and assign sc (st : T.state) (lhs : A.expr) (t : T.taint) : T.state =
+  match lhs.A.e with
+  | A.Var v -> T.write st v t
+  | A.ArrayGet (b, i) ->
+      let st =
+        match i with
+        | Some i ->
+            let st, _ = eval sc st i in
+            st
+        | None -> st
+      in
+      assign_join sc st b t
+  | _ -> st
+
+and assign_join sc st (lhs : A.expr) t =
+  match lhs.A.e with
+  | A.Var v -> T.write_join st v t
+  | A.ArrayGet (b, _) -> assign_join sc st b t
+  | _ -> st
+
+and exec_stmt sc (st : T.state) (s : A.stmt) : T.state =
+  match s.A.s with
+  | A.Expr e ->
+      let st, _ = eval sc st e in
+      st
+  | A.Echo es ->
+      List.fold_left
+        (fun st e ->
+          let st, t = eval sc st e in
+          report_if_tainted sc ~kind:Vuln.Xss ~pos:e.A.epos ~sink_name:"echo" e t;
+          st)
+        st es
+  | A.Foreach (subject, binding, []) ->
+      let st, t = eval sc st subject in
+      let st =
+        match binding with
+        | A.ForeachValue v -> assign sc st v t
+        | A.ForeachKeyValue (k, v) -> assign sc (assign sc st k t) v t
+      in
+      st
+  | A.Global names ->
+      (* globals exist after startup: not register_globals candidates *)
+      List.fold_left
+        (fun st v ->
+          match T.VMap.find_opt v st with
+          | Some _ -> st
+          | None -> T.write st v T.clean)
+        st names
+  | A.StaticVar vars ->
+      List.fold_left
+        (fun st (v, init) ->
+          let st, t =
+            match init with
+            | Some e -> eval sc st e
+            | None -> (st, T.clean)
+          in
+          T.write st v t)
+        st vars
+  | A.Unset es ->
+      List.fold_left
+        (fun st e ->
+          match e.A.e with A.Var v -> T.write st v T.clean | _ -> st)
+        st es
+  | A.Return e ->
+      let st, t =
+        match e with Some e -> eval sc st e | None -> (st, T.clean)
+      in
+      sc.returns := T.join !(sc.returns) t;
+      st
+  | A.Throw e ->
+      let st, _ = eval sc st e in
+      st
+  | _ -> st  (* structure handled by the CFG; declarations skipped *)
+
+(* ------------------------------------------------------------------ *)
+(* Worklist solver                                                    *)
+(* ------------------------------------------------------------------ *)
+
+and run_dataflow sc (stmts : A.stmt list) (init : T.state) : T.state =
+  let cfg = Cfg.build stmts in
+  let n = Cfg.size cfg in
+  let in_states = Array.make n None in
+  let out_states = Array.make n None in
+  in_states.(cfg.Cfg.entry) <- Some init;
+  let order = Cfg.rpo cfg in
+  let changed = ref true in
+  let passes = ref 0 in
+  while !changed && !passes < max_passes do
+    changed := false;
+    incr passes;
+    List.iter
+      (fun id ->
+        let node = Cfg.node cfg id in
+        let in_state =
+          let pred_outs =
+            List.filter_map (fun p -> out_states.(p)) node.Cfg.preds
+          in
+          match (in_states.(id), pred_outs) with
+          | Some init, outs when id = cfg.Cfg.entry ->
+              List.fold_left
+                (T.join_state ~global_scope:sc.global_scope)
+                init outs
+          | _, [] -> Option.value in_states.(id) ~default:T.empty_state
+          | _, o :: rest ->
+              List.fold_left (T.join_state ~global_scope:sc.global_scope) o rest
+        in
+        let out_state =
+          List.fold_left (exec_stmt sc) in_state node.Cfg.stmts
+        in
+        let prev = out_states.(id) in
+        (match prev with
+        | Some p when T.equal_state p out_state -> ()
+        | _ ->
+            out_states.(id) <- Some out_state;
+            changed := true))
+      order
+  done;
+  Option.value out_states.(cfg.Cfg.exit_) ~default:T.empty_state
+
+(* ------------------------------------------------------------------ *)
+(* Driver                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let rec collect_funcs tbl (stmts : A.stmt list) =
+  List.iter
+    (fun (s : A.stmt) ->
+      match s.A.s with
+      | A.FuncDef f ->
+          let key = String.lowercase_ascii f.A.f_name in
+          if not (Hashtbl.mem tbl key) then Hashtbl.replace tbl key f;
+          collect_funcs tbl f.A.f_body
+      | A.If (branches, els) ->
+          List.iter (fun (_, b) -> collect_funcs tbl b) branches;
+          Option.iter (collect_funcs tbl) els
+      | A.While (_, b) | A.DoWhile (b, _) | A.Foreach (_, _, b) | A.Block b
+      | A.For (_, _, _, b) ->
+          collect_funcs tbl b
+      | A.Switch (_, cases) ->
+          List.iter (fun (c : A.case) -> collect_funcs tbl c.A.case_body) cases
+      | A.TryCatch (b, catches) ->
+          collect_funcs tbl b;
+          List.iter (fun (c : A.catch) -> collect_funcs tbl c.A.catch_body) catches
+      | _ -> ())
+    stmts
+
+let analyze_file ~file source : Report.finding list * Report.file_outcome * int =
+  match Phplang.Parser.parse_source ~file source with
+  | exception Phplang.Parser.Parse_error (msg, _) ->
+      ([], Report.Failed (Report.Parse_failure msg), 1)
+  | prog -> (
+      match List.iter oop_stmt prog with
+      | exception Oop what ->
+          ([], Report.Failed (Report.Unsupported_syntax what), 1)
+      | () ->
+          let funcs = Hashtbl.create 16 in
+          collect_funcs funcs prog;
+          let fx =
+            { file; funcs; findings = []; seen = Report.Key_set.empty;
+              memo = Hashtbl.create 32; in_progress = [] }
+          in
+          let sc =
+            { fx; global_scope = true; depth = 0; returns = ref T.clean }
+          in
+          ignore (run_dataflow sc prog T.empty_state);
+          (List.rev fx.findings, Report.Analyzed, 0))
+
+let analyze_project (project : Phplang.Project.t) : Report.result =
+  let findings = ref [] in
+  let outcomes = ref [] in
+  let errors = ref 0 in
+  List.iter
+    (fun (f : Phplang.Project.file) ->
+      let fs, outcome, errs =
+        analyze_file ~file:f.Phplang.Project.path f.Phplang.Project.source
+      in
+      errors := !errors + errs;
+      outcomes := (f.Phplang.Project.path, outcome) :: !outcomes;
+      findings := List.rev_append fs !findings)
+    project.Phplang.Project.files;
+  { Report.findings = List.rev !findings;
+    outcomes = List.rev !outcomes;
+    errors = !errors }

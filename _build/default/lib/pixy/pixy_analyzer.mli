@@ -1,0 +1,20 @@
+(** Pixy-like analyzer: flow-sensitive forward dataflow over a CFG of basic
+    blocks (paper §II, after Jovanovic et al., S&P'06), with
+    register_globals modelling, per-file analysis, called-functions-only
+    inter-procedural inlining — and hard failure on any OOP construct.
+    See the implementation header for the full behavioural model. *)
+
+exception Oop of string
+(** Raised internally when an OOP construct is encountered. *)
+
+val max_inline_depth : int
+val max_passes : int
+
+val analyze_file :
+  file:string ->
+  string ->
+  Secflow.Report.finding list * Secflow.Report.file_outcome * int
+(** Analyze one file: findings, outcome (failed with an error message when
+    the file uses OOP), error count. *)
+
+val analyze_project : Phplang.Project.t -> Secflow.Report.result

@@ -1,0 +1,44 @@
+(** Pixy knowledge base — frozen in 2007 (paper §II, §V.A: "Pixy has not
+    been updated since 2007", "half of the vulnerabilities it found were due
+    to [the register_globals] directive").
+
+    It knows the PHP 4-era builtins: classic superglobals, the standard
+    sanitizers, and the [mysql_*] family.  It has no revert modelling, no
+    WordPress knowledge, and — crucially — no OOP support at all. *)
+
+open Secflow
+
+type role =
+  | Source of Vuln.kind list * Vuln.source
+  | Sanitizer of Vuln.kind list
+  | Passthrough
+  | Join_args
+
+let builtin = function
+  | "file_get_contents" | "fgets" | "fread" | "file" ->
+      Some (Source ([ Vuln.Xss; Vuln.Sqli ], Vuln.File_read "file read"))
+  | "mysql_fetch_assoc" | "mysql_fetch_array" | "mysql_fetch_row"
+  | "mysql_result" | "mysql_query" ->
+      Some (Source ([ Vuln.Xss ], Vuln.Database "mysql"))
+  | "htmlspecialchars" | "htmlentities" | "strip_tags" | "urlencode" ->
+      Some (Sanitizer [ Vuln.Xss ])
+  | "intval" | "floatval" | "abs" | "count" | "strlen" | "md5" | "sha1" ->
+      Some (Sanitizer [ Vuln.Xss; Vuln.Sqli ])
+  | "addslashes" | "mysql_escape_string" | "mysql_real_escape_string" ->
+      Some (Sanitizer [ Vuln.Sqli ])
+  (* 2007-era Pixy does not model reverts: stripslashes just passes through *)
+  | "stripslashes" | "stripcslashes" | "trim" | "ltrim" | "rtrim" | "substr"
+  | "strtolower" | "strtoupper" | "ucfirst" | "nl2br" | "strval" ->
+      Some Passthrough
+  | "sprintf" | "implode" | "join" | "str_replace" -> Some Join_args
+  | _ -> None
+
+let superglobals = [ "$_GET"; "$_POST"; "$_COOKIE"; "$_REQUEST"; "$_SERVER" ]
+let is_superglobal v = List.mem v superglobals
+
+let xss_sink_functions = [ "printf"; "print_r" ]
+let sqli_sink_functions = [ "mysql_query"; "mysql_db_query" ]
+
+(** register_globals = 1: an uninitialized variable can be seeded from the
+    request, through GET, POST or COOKIE — hence the mixed vector. *)
+let uninitialized_source v = Vuln.Uninitialized v

@@ -1,0 +1,84 @@
+(** Pixy's taint lattice and abstract state: a flow-sensitive map from
+    variable names to taint values, joined at control-flow merge points.
+    There is no revert bookkeeping (2007-era tool).
+
+    register_globals: a variable read in the {e global scope} with no prior
+    assignment on some path may have been seeded from the request, so it is
+    treated as attacker-controlled (paper §V.A). *)
+
+open Secflow
+
+type taint = {
+  xss : bool;
+  sqli : bool;
+  source : Vuln.source option;
+  spos : Phplang.Ast.pos option;
+}
+
+let clean = { xss = false; sqli = false; source = None; spos = None }
+
+let of_source kinds source pos =
+  { xss = List.mem Vuln.Xss kinds;
+    sqli = List.mem Vuln.Sqli kinds;
+    source = Some source;
+    spos = Some pos }
+
+let uninitialized v pos =
+  of_source [ Vuln.Xss; Vuln.Sqli ] (Pixy_config.uninitialized_source v) pos
+
+let is_tainted kind t = match kind with Vuln.Xss -> t.xss | Vuln.Sqli -> t.sqli
+
+let join a b =
+  { xss = a.xss || b.xss;
+    sqli = a.sqli || b.sqli;
+    source = (match a.source with Some _ -> a.source | None -> b.source);
+    spos = (match a.source with Some _ -> a.spos | None -> b.spos) }
+
+let join_all = List.fold_left join clean
+
+let sanitize kinds t =
+  List.fold_left
+    (fun t k ->
+      match k with
+      | Vuln.Xss -> { t with xss = false }
+      | Vuln.Sqli -> { t with sqli = false })
+    t kinds
+
+(* -- abstract state -------------------------------------------------- *)
+
+module VMap = Map.Make (String)
+
+type state = taint VMap.t
+(** a variable absent from the map has never been assigned *)
+
+let empty_state : state = VMap.empty
+
+(** Read with register_globals semantics: in the global scope, an unassigned
+    variable is attacker-controllable. *)
+let read ~global_scope (st : state) v pos =
+  match VMap.find_opt v st with
+  | Some t -> t
+  | None -> if global_scope then uninitialized v pos else clean
+
+let write (st : state) v t : state = VMap.add v t st
+let write_join (st : state) v t : state =
+  VMap.add v (match VMap.find_opt v st with Some old -> join old t | None -> t) st
+
+(** Merge-point join: a variable assigned on only one incoming path is still
+    possibly uninitialized, which keeps the register_globals signal. *)
+let join_state ~global_scope (a : state) (b : state) : state =
+  VMap.merge
+    (fun v ta tb ->
+      match (ta, tb) with
+      | Some ta, Some tb -> Some (join ta tb)
+      | Some t, None | None, Some t ->
+          if global_scope then
+            Some (join t (uninitialized v Phplang.Ast.dummy_pos))
+          else Some t
+      | None, None -> None)
+    a b
+
+(** Convergence test; sources are ignored so the fixpoint terminates on the
+    boolean lattice. *)
+let equal_state (a : state) (b : state) =
+  VMap.equal (fun x y -> x.xss = y.xss && x.sqli = y.sqli) a b

@@ -1,0 +1,1 @@
+lib/rips/rips.ml: Phplang Rips_analyzer Rips_config Rips_taint Secflow

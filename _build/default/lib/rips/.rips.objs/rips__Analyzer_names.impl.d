@@ -1,0 +1,1 @@
+lib/rips/analyzer_names.ml: Phplang

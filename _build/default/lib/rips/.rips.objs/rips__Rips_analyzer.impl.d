@@ -1,0 +1,1 @@
+lib/rips/rips_analyzer.ml: Analyzer_names Array Hashtbl List Option Phplang Printf Report Rips_config Rips_taint Secflow Set String Vuln

@@ -1,0 +1,1 @@
+lib/rips/rips_analyzer.mli: Phplang Secflow

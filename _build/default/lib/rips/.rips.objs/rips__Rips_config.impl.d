@@ -1,0 +1,1 @@
+lib/rips/rips_config.ml: List Secflow Vuln

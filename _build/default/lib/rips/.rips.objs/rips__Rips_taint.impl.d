@@ -1,0 +1,1 @@
+lib/rips/rips_taint.ml: List Phplang Secflow Vuln

@@ -1,0 +1,1 @@
+lib/rips/rips_taint.mli: Phplang Secflow Vuln

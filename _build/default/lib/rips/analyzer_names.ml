@@ -1,0 +1,14 @@
+(** Human-readable names for expressions in findings. *)
+
+let rec name_of_expr (e : Phplang.Ast.expr) =
+  match e.Phplang.Ast.e with
+  | Phplang.Ast.Var v -> v
+  | Phplang.Ast.ArrayGet (b, _) -> name_of_expr b ^ "[...]"
+  | Phplang.Ast.Prop (b, p) -> name_of_expr b ^ "->" ^ p
+  | Phplang.Ast.StaticProp (c, p) -> c ^ "::" ^ p
+  | Phplang.Ast.Call (f, _) -> f ^ "()"
+  | Phplang.Ast.MethodCall (b, m, _) -> name_of_expr b ^ "->" ^ m ^ "()"
+  | Phplang.Ast.StaticCall (c, m, _) -> c ^ "::" ^ m ^ "()"
+  | Phplang.Ast.Interp _ -> "<string>"
+  | Phplang.Ast.Bin (Phplang.Ast.Concat, _, _) -> "<concat>"
+  | _ -> "<expr>"

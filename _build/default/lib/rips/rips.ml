@@ -1,0 +1,14 @@
+(** Public facade for the RIPS-like baseline analyzer. *)
+
+module Config = Rips_config
+module Taint = Rips_taint
+module Analyzer = Rips_analyzer
+
+let analyze_project = Rips_analyzer.analyze_project
+
+let analyze_source ~file source =
+  analyze_project
+    (Phplang.Project.make ~name:file [ { Phplang.Project.path = file; source } ])
+
+let tool : Secflow.Tool.t =
+  { Secflow.Tool.name = "RIPS"; analyze_project }

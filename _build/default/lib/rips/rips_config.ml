@@ -1,0 +1,59 @@
+(** RIPS knowledge base.
+
+    RIPS performs "a comprehensive analysis and simulation of built-in
+    language features, such as PHP functions" (paper §II) — it knows the PHP
+    built-in sources, sanitizers, reverts and sinks very well, but it has no
+    CMS-framework profile: WordPress API functions and [$wpdb] methods are
+    unknown to it, and it "does not parse PHP objects". *)
+
+open Secflow
+
+type role =
+  | Source of Vuln.kind list * Vuln.source
+  | Sanitizer of Vuln.kind list
+  | Revert
+  | Passthrough
+  | Join_args   (** result tainted if any argument is *)
+
+let builtin name =
+  match name with
+  (* input functions *)
+  | "file_get_contents" -> Some (Source ([ Vuln.Xss; Vuln.Sqli ], Vuln.File_read name))
+  | "fgets" | "fread" | "file" | "fscanf" ->
+      Some (Source ([ Vuln.Xss; Vuln.Sqli ], Vuln.File_read name))
+  | "getenv" -> Some (Source ([ Vuln.Xss; Vuln.Sqli ], Vuln.Function_return name))
+  | "mysql_fetch_assoc" | "mysql_fetch_array" | "mysql_fetch_row"
+  | "mysql_fetch_object" | "mysql_result" | "mysql_query" ->
+      Some (Source ([ Vuln.Xss ], Vuln.Database name))
+  (* securing functions *)
+  | "htmlspecialchars" | "htmlentities" | "strip_tags" | "urlencode"
+  | "rawurlencode" | "json_encode" ->
+      Some (Sanitizer [ Vuln.Xss ])
+  | "intval" | "floatval" | "abs" | "count" | "strlen" | "md5" | "sha1"
+  | "crc32" | "number_format" ->
+      Some (Sanitizer [ Vuln.Xss; Vuln.Sqli ])
+  | "addslashes" | "mysql_escape_string" | "mysql_real_escape_string" ->
+      Some (Sanitizer [ Vuln.Sqli ])
+  (* reverting functions *)
+  | "stripslashes" | "stripcslashes" | "urldecode" | "rawurldecode"
+  | "html_entity_decode" | "htmlspecialchars_decode" | "base64_decode" ->
+      Some Revert
+  (* taint-preserving string builtins *)
+  | "trim" | "ltrim" | "rtrim" | "substr" | "strtolower" | "strtoupper"
+  | "ucfirst" | "ucwords" | "nl2br" | "strval" | "strrev" | "wordwrap" ->
+      Some Passthrough
+  | "sprintf" | "vsprintf" | "implode" | "join" | "str_replace"
+  | "preg_replace" | "str_pad" ->
+      Some Join_args
+  | _ -> None
+
+let superglobals =
+  [ "$_GET"; "$_POST"; "$_COOKIE"; "$_REQUEST"; "$_FILES"; "$_SERVER" ]
+
+let is_superglobal v = List.mem v superglobals
+
+(** XSS sinks (language constructs handled separately by the analyzer). *)
+let xss_sink_functions = [ "printf"; "print_r"; "vprintf" ]
+
+let sqli_sink_functions =
+  [ "mysql_query"; "mysql_db_query"; "mysql_unbuffered_query" ]

@@ -1,0 +1,50 @@
+(** RIPS taint values: per-kind flags plus the revert bookkeeping RIPS's
+    "secure and unsecure PHP built-in functions" model needs.  Simpler than
+    phpSAFE's {!Phpsafe.Taint} — RIPS's backward analysis carries no
+    parameter dependency sets, because parameters are resolved by walking to
+    the call sites instead. *)
+
+open Secflow
+
+type t = {
+  xss : bool;
+  sqli : bool;
+  was_xss : bool;
+  was_sqli : bool;
+  source : Vuln.source option;
+  source_pos : Phplang.Ast.pos option;
+}
+
+let clean =
+  { xss = false; sqli = false; was_xss = false; was_sqli = false;
+    source = None; source_pos = None }
+
+let of_source kinds source pos =
+  { clean with
+    xss = List.mem Vuln.Xss kinds;
+    sqli = List.mem Vuln.Sqli kinds;
+    source = Some source;
+    source_pos = Some pos }
+
+let is_tainted kind t = match kind with Vuln.Xss -> t.xss | Vuln.Sqli -> t.sqli
+let any t = t.xss || t.sqli
+
+let join a b =
+  { xss = a.xss || b.xss;
+    sqli = a.sqli || b.sqli;
+    was_xss = a.was_xss || b.was_xss;
+    was_sqli = a.was_sqli || b.was_sqli;
+    source = (match a.source with Some _ -> a.source | None -> b.source);
+    source_pos = (match a.source with Some _ -> a.source_pos | None -> b.source_pos) }
+
+let join_all = List.fold_left join clean
+
+let sanitize kinds t =
+  List.fold_left
+    (fun t k ->
+      match k with
+      | Vuln.Xss -> { t with xss = false; was_xss = t.was_xss || t.xss }
+      | Vuln.Sqli -> { t with sqli = false; was_sqli = t.was_sqli || t.sqli })
+    t kinds
+
+let revert t = { t with xss = t.xss || t.was_xss; sqli = t.sqli || t.was_sqli }

@@ -1,0 +1,1 @@
+lib/secflow/report.ml: Format Int List Map Phplang Set String Vuln

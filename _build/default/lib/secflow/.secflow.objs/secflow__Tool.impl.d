@@ -1,0 +1,1 @@
+lib/secflow/tool.ml: Phplang Report

@@ -1,0 +1,1 @@
+lib/secflow/tool.mli: Phplang Report

@@ -1,0 +1,1 @@
+lib/secflow/vuln.mli: Format

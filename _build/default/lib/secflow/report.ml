@@ -1,0 +1,91 @@
+(** Analyzer output: findings with data-flow traces, plus per-file analysis
+    outcomes.  This is the "single repository" format the paper normalizes
+    every tool's output into (§IV.B step 5). *)
+
+(** One hop of a tainted data flow, for the §III.D review aids ("the flow of
+    the vulnerable data from variable to variable"). *)
+type step = {
+  step_var : string;      (** variable/property name, e.g. ["$row->sml_name"] *)
+  step_pos : Phplang.Ast.pos;
+  step_note : string;     (** what happened: "assigned from $_GET", ... *)
+}
+
+type finding = {
+  kind : Vuln.kind;
+  sink_pos : Phplang.Ast.pos;     (** file/line of the sensitive sink *)
+  sink : string;                  (** sink function, e.g. ["echo"] *)
+  variable : string;              (** the vulnerable variable at the sink *)
+  source : Vuln.source;           (** where the taint entered *)
+  source_pos : Phplang.Ast.pos;
+  trace : step list;              (** source-to-sink flow, in order *)
+}
+
+(** Identity used for de-duplication and ground-truth matching: a
+    vulnerability is a (kind, file, line) sink occurrence. *)
+type key = { k_kind : Vuln.kind; k_file : string; k_line : int }
+
+let key_of_finding f =
+  { k_kind = f.kind;
+    k_file = f.sink_pos.Phplang.Ast.file;
+    k_line = f.sink_pos.Phplang.Ast.line }
+
+let compare_key a b =
+  match String.compare a.k_file b.k_file with
+  | 0 -> (
+      match Int.compare a.k_line b.k_line with
+      | 0 -> Vuln.compare_kind a.k_kind b.k_kind
+      | c -> c)
+  | c -> c
+
+module Key_set = Set.Make (struct
+  type t = key
+
+  let compare = compare_key
+end)
+
+module Key_map = Map.Make (struct
+  type t = key
+
+  let compare = compare_key
+end)
+
+(** Why a file could not be analyzed (the §V.E robustness dimension). *)
+type failure_reason =
+  | Out_of_memory        (** phpSAFE: include closure exceeded its budget *)
+  | Unsupported_syntax of string  (** Pixy: OOP constructs *)
+  | Parse_failure of string
+
+type file_outcome =
+  | Analyzed
+  | Failed of failure_reason
+
+type result = {
+  findings : finding list;
+  outcomes : (string * file_outcome) list;  (** per file path *)
+  errors : int;  (** diagnostics emitted while analyzing (Pixy's "error messages") *)
+}
+
+let empty_result = { findings = []; outcomes = []; errors = 0 }
+
+(** De-duplicated finding keys of a result. *)
+let keys result =
+  List.fold_left
+    (fun acc f -> Key_set.add (key_of_finding f) acc)
+    Key_set.empty result.findings
+
+let failed_files result =
+  List.filter_map
+    (fun (path, o) -> match o with Failed _ -> Some path | Analyzed -> None)
+    result.outcomes
+
+let pp_finding ppf f =
+  Format.fprintf ppf "%a at %a: %s(%s) <- %s"
+    Vuln.pp_kind f.kind Phplang.Ast.pp_pos f.sink_pos f.sink f.variable
+    (Vuln.source_to_string f.source)
+
+let pp_trace ppf f =
+  List.iter
+    (fun s ->
+      Format.fprintf ppf "  %s @ %a: %s@." s.step_var Phplang.Ast.pp_pos
+        s.step_pos s.step_note)
+    f.trace

@@ -1,0 +1,15 @@
+(** Uniform analyzer interface: the evaluation harness drives phpSAFE, RIPS
+    and Pixy through this signature (paper §IV.B step 4). *)
+
+module type ANALYZER = sig
+  val name : string
+  val analyze_project : Phplang.Project.t -> Report.result
+end
+
+(** First-class analyzer, convenient for lists of tools. *)
+type t = {
+  name : string;
+  analyze_project : Phplang.Project.t -> Report.result;
+}
+
+val of_module : (module ANALYZER) -> t

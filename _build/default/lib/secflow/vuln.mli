@@ -1,0 +1,41 @@
+(** Vulnerability taxonomy shared by all three analyzers and the evaluation
+    harness. *)
+
+(** The two vulnerability classes phpSAFE detects (paper §I). *)
+type kind = Xss | Sqli
+
+val kind_to_string : kind -> string
+val pp_kind : Format.formatter -> kind -> unit
+val equal_kind : kind -> kind -> bool
+val compare_kind : kind -> kind -> int
+
+(** Malicious input-vector classes of Table II, in the paper's order —
+    graded by how easily an attacker controls the source (§V.C). *)
+type vector =
+  | Post
+  | Get
+  | Post_get_cookie
+  | Db
+  | File_function_array
+
+val all_vectors : vector list
+val vector_to_string : vector -> string
+val pp_vector : Format.formatter -> vector -> unit
+
+val vector_is_direct : vector -> bool
+(** Directly manipulable (GET/POST/COOKIE) — the "very easy to exploit"
+    class of the §V.D inertia analysis. *)
+
+(** Where tainted data enters the plugin. *)
+type source =
+  | Superglobal of string       (** e.g. ["$_GET"] *)
+  | Database of string          (** producing function/method *)
+  | File_read of string
+  | Function_return of string
+  | Uninitialized of string     (** register_globals-style *)
+  | Unknown_source
+
+val source_to_string : source -> string
+
+val vector_of_source : source -> vector
+(** The Table II class a source falls into. *)

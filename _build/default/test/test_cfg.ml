@@ -1,0 +1,113 @@
+(** CFG construction tests: block structure, edges for each control
+    construct, jump wiring and reverse post-order. *)
+
+module A = Phplang.Ast
+module Cfg = Pixy.Cfg
+
+let build src =
+  Cfg.build (Phplang.Parser.parse_source ~file:"t.php" ("<?php\n" ^ src))
+
+let reachable cfg =
+  let seen = Hashtbl.create 16 in
+  let rec go id =
+    if not (Hashtbl.mem seen id) then begin
+      Hashtbl.add seen id ();
+      List.iter go (Cfg.node cfg id).Cfg.succs
+    end
+  in
+  go cfg.Cfg.entry;
+  Hashtbl.length seen
+
+let exit_reachable cfg =
+  let seen = Hashtbl.create 16 in
+  let rec go id =
+    if not (Hashtbl.mem seen id) then begin
+      Hashtbl.add seen id ();
+      List.iter go (Cfg.node cfg id).Cfg.succs
+    end
+  in
+  go cfg.Cfg.entry;
+  Hashtbl.mem seen cfg.Cfg.exit_
+
+let case name f = Alcotest.test_case name `Quick f
+
+let cases =
+  [
+    case "straight-line code is one path" (fun () ->
+        let cfg = build "$a = 1;\n$b = 2;\necho $b;" in
+        Alcotest.(check bool) "exit reachable" true (exit_reachable cfg);
+        let entry = Cfg.node cfg cfg.Cfg.entry in
+        Alcotest.(check int) "all stmts in entry" 3 (List.length entry.Cfg.stmts));
+    case "if creates branch and merge" (fun () ->
+        let cfg = build "if ($c) {\n$a = 1;\n}\necho $a;" in
+        let entry = Cfg.node cfg cfg.Cfg.entry in
+        Alcotest.(check int) "entry has two successors" 2
+          (List.length entry.Cfg.succs);
+        Alcotest.(check bool) "exit reachable" true (exit_reachable cfg));
+    case "if-else: both branches reach the merge" (fun () ->
+        let cfg = build "if ($c) {\n$a = 1;\n} else {\n$a = 2;\n}\necho $a;" in
+        Alcotest.(check bool) "exit reachable" true (exit_reachable cfg));
+    case "while has a back edge" (fun () ->
+        let cfg = build "while ($c) {\n$a = 1;\n}" in
+        let has_back =
+          Array.exists
+            (fun (n : Cfg.node) ->
+              List.exists (fun s -> s < n.Cfg.id) n.Cfg.succs)
+            cfg.Cfg.nodes
+        in
+        Alcotest.(check bool) "back edge exists" true has_back);
+    case "return jumps to exit" (fun () ->
+        let cfg = build "return 1;\necho 'dead';" in
+        let entry = Cfg.node cfg cfg.Cfg.entry in
+        Alcotest.(check (list int)) "entry -> exit" [ cfg.Cfg.exit_ ]
+          entry.Cfg.succs);
+    case "exit() jumps to exit node" (fun () ->
+        let cfg = build "$a = 1;\nexit;\necho $a;" in
+        let entry = Cfg.node cfg cfg.Cfg.entry in
+        Alcotest.(check (list int)) "entry -> exit" [ cfg.Cfg.exit_ ]
+          entry.Cfg.succs);
+    case "break wires to loop exit" (fun () ->
+        let cfg = build "while ($c) {\nbreak;\n$x = 1;\n}\necho 'after';" in
+        Alcotest.(check bool) "exit reachable" true (exit_reachable cfg));
+    case "continue wires to header" (fun () ->
+        let cfg = build "while ($c) {\ncontinue;\n}\necho 'after';" in
+        Alcotest.(check bool) "exit reachable" true (exit_reachable cfg));
+    case "foreach header carries the binding" (fun () ->
+        let cfg = build "foreach ($xs as $v) {\necho $v;\n}" in
+        let has_binding =
+          Array.exists
+            (fun (n : Cfg.node) ->
+              List.exists
+                (fun (s : A.stmt) ->
+                  match s.A.s with A.Foreach (_, _, []) -> true | _ -> false)
+                n.Cfg.stmts)
+            cfg.Cfg.nodes
+        in
+        Alcotest.(check bool) "binding present" true has_binding);
+    case "switch cases fall through" (fun () ->
+        let cfg =
+          build "switch ($m) {\ncase 1:\n$a = 1;\ncase 2:\n$a = 2;\nbreak;\n}"
+        in
+        Alcotest.(check bool) "exit reachable" true (exit_reachable cfg));
+    case "declarations produce no statements" (fun () ->
+        let cfg = build "function f() {\necho 1;\n}\nclass A {\n}" in
+        let total =
+          Array.fold_left
+            (fun acc (n : Cfg.node) -> acc + List.length n.Cfg.stmts)
+            0 cfg.Cfg.nodes
+        in
+        Alcotest.(check int) "no statements" 0 total);
+    case "rpo starts at entry and is complete for reachable nodes" (fun () ->
+        let cfg = build "if ($c) {\n$a = 1;\n} else {\n$b = 2;\n}\nwhile ($d) {\n$e = 3;\n}" in
+        let order = Cfg.rpo cfg in
+        Alcotest.(check int) "first is entry" cfg.Cfg.entry (List.hd order);
+        Alcotest.(check int) "covers reachable nodes" (reachable cfg)
+          (List.length order));
+    case "try-catch: body and handlers both flow to merge" (fun () ->
+        let cfg =
+          build "try {\n$a = 1;\n} catch (E $e) {\n$a = 2;\n}\necho $a;"
+        in
+        Alcotest.(check bool) "exit reachable" true (exit_reachable cfg));
+  ]
+
+let () = Alcotest.run "cfg" [ ("construction", cases) ]

@@ -1,0 +1,112 @@
+(** Behaviour tests for the Joomla and Drupal profiles (paper §VI future
+    work): phpSAFE analyzes plugins from other CMSs once their functions are
+    in the configuration — and NOT before. *)
+
+open Secflow
+
+let with_config config src =
+  let opts = { Phpsafe.default_options with Phpsafe.config } in
+  Phpsafe.analyze_source ~opts ~file:"t.php" ("<?php\n" ^ src)
+
+let count config src = List.length (with_config config src).Report.findings
+
+let kinds config src =
+  (with_config config src).Report.findings
+  |> List.map (fun (f : Report.finding) -> Vuln.kind_to_string f.Report.kind)
+  |> List.sort compare
+
+let case name f = Alcotest.test_case name `Quick f
+
+let joomla_src_xss =
+  "$db = JFactory::getDbo();\n$rows = $db->loadObjectList();\nforeach ($rows as $r) {\necho $r->title;\n}"
+
+let joomla_src_sqli =
+  "$id = $_GET['id'];\n$db->setQuery(\"SELECT * FROM #__content WHERE id = $id\");"
+
+let joomla_cases =
+  [
+    case "Joomla loadObjectList rows are tainted" (fun () ->
+        Alcotest.(check int) "found" 1
+          (count Phpsafe.Joomla.default_config joomla_src_xss));
+    case "WordPress profile misses the Joomla idiom" (fun () ->
+        Alcotest.(check int) "missed" 0
+          (count Phpsafe.Wordpress.default_config joomla_src_xss));
+    case "Joomla setQuery is a SQLi sink" (fun () ->
+        Alcotest.(check (list string)) "sqli" [ "SQLi" ]
+          (kinds Phpsafe.Joomla.default_config joomla_src_sqli));
+    case "Joomla $db->quote sanitizes SQLi" (fun () ->
+        Alcotest.(check int) "clean" 0
+          (count Phpsafe.Joomla.default_config
+             "$id = $db->quote($_GET['id']);\n$db->setQuery(\"SELECT $id\");"));
+    case "JFilterInput::clean via an instance sanitizes" (fun () ->
+        Alcotest.(check int) "clean" 0
+          (count Phpsafe.Joomla.default_config
+             "$safe = $filter->clean($_GET['q']);\necho $safe;"));
+    case "request accessor getVar is a source" (fun () ->
+        Alcotest.(check int) "found" 1
+          (count Phpsafe.Joomla.default_config
+             "$v = $input->getVar('task');\necho $v;"));
+  ]
+
+let drupal_src_xss =
+  "$res = db_query('SELECT title FROM {node}');\n$row = db_fetch_object($res);\necho $row->title;"
+
+let drupal_cases =
+  [
+    case "Drupal db_query results are tainted" (fun () ->
+        Alcotest.(check int) "found" 1
+          (count Phpsafe.Drupal.default_config drupal_src_xss));
+    case "check_plain sanitizes XSS" (fun () ->
+        Alcotest.(check int) "clean" 0
+          (count Phpsafe.Drupal.default_config
+             "echo check_plain($_GET['q']);"));
+    case "filter_xss sanitizes XSS" (fun () ->
+        Alcotest.(check int) "clean" 0
+          (count Phpsafe.Drupal.default_config
+             "echo filter_xss($_GET['q']);"));
+    case "db_query is a SQLi sink" (fun () ->
+        Alcotest.(check (list string)) "kinds include sqli" [ "SQLi" ]
+          (kinds Phpsafe.Drupal.default_config
+             "$id = $_POST['nid'];\n$x = db_query(\"SELECT /*q*/ $id\");"));
+    case "drupal_set_message is an XSS sink" (fun () ->
+        Alcotest.(check int) "found" 1
+          (count Phpsafe.Drupal.default_config
+             "drupal_set_message('Saved: ' . $_GET['name']);"));
+    case "decode_entities reverts sanitization" (fun () ->
+        Alcotest.(check int) "revert" 1
+          (count Phpsafe.Drupal.default_config
+             "$s = check_plain($_GET['x']);\necho decode_entities($s);"));
+    case "WordPress profile misses the Drupal idiom" (fun () ->
+        (* db_query is unknown to the WP profile as a source; only the
+           generic mysql_* family is *)
+        Alcotest.(check int) "missed" 0
+          (count Phpsafe.Wordpress.default_config drupal_src_xss));
+  ]
+
+let cross_cases =
+  [
+    case "profiles are additive over generic PHP" (fun () ->
+        (* generic superglobal detection works under every profile *)
+        List.iter
+          (fun config ->
+            Alcotest.(check int) "generic xss" 1
+              (count config "echo $_GET['x'];"))
+          [ Phpsafe.Wordpress.default_config; Phpsafe.Joomla.default_config;
+            Phpsafe.Drupal.default_config; Phpsafe.Config.generic_php ]);
+    case "a combined multi-CMS configuration works" (fun () ->
+        let all =
+          Phpsafe.Config.extend
+            (Phpsafe.Config.extend Phpsafe.Wordpress.default_config
+               Phpsafe.Joomla.profile)
+            Phpsafe.Drupal.profile
+        in
+        Alcotest.(check int) "wp idiom" 1
+          (count all "$v = $wpdb->get_var('q');\necho $v;");
+        Alcotest.(check int) "joomla idiom" 1 (count all joomla_src_xss);
+        Alcotest.(check int) "drupal idiom" 1 (count all drupal_src_xss));
+  ]
+
+let () =
+  Alcotest.run "cms-profiles"
+    [ ("joomla", joomla_cases); ("drupal", drupal_cases);
+      ("composition", cross_cases) ]

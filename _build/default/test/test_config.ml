@@ -1,0 +1,190 @@
+(** Configuration stage tests (§III.A): lookups in the generic PHP profile,
+    the WordPress extension and profile merging. *)
+
+open Secflow
+module C = Phpsafe.Config
+
+let generic = C.generic_php
+let wp = Phpsafe.Wordpress.default_config
+
+let case name f = Alcotest.test_case name `Quick f
+
+let generic_cases =
+  [
+    case "superglobals are sources for both kinds" (fun () ->
+        match C.is_superglobal_source generic "$_GET" with
+        | Some kinds ->
+            Alcotest.(check int) "both kinds" 2 (List.length kinds)
+        | None -> Alcotest.fail "$_GET missing");
+    case "$_SERVER is a source" (fun () ->
+        Alcotest.(check bool) "present" true
+          (C.is_superglobal_source generic "$_SERVER" <> None));
+    case "$wpdb is not a superglobal" (fun () ->
+        Alcotest.(check bool) "absent" true
+          (C.is_superglobal_source generic "$wpdb" = None));
+    case "file functions are sources" (fun () ->
+        Alcotest.(check bool) "fgets" true
+          (C.find_function_source generic "fgets" <> None);
+        Alcotest.(check bool) "file_get_contents" true
+          (C.find_function_source generic "file_get_contents" <> None));
+    case "htmlspecialchars sanitizes XSS only" (fun () ->
+        match C.find_sanitizer generic "htmlspecialchars" with
+        | Some s ->
+            Alcotest.(check bool) "xss" true (List.mem Vuln.Xss s.C.san_kinds);
+            Alcotest.(check bool) "not sqli" false
+              (List.mem Vuln.Sqli s.C.san_kinds)
+        | None -> Alcotest.fail "missing sanitizer");
+    case "intval sanitizes both" (fun () ->
+        match C.find_sanitizer generic "intval" with
+        | Some s -> Alcotest.(check int) "kinds" 2 (List.length s.C.san_kinds)
+        | None -> Alcotest.fail "missing");
+    case "stripslashes is a revert" (fun () ->
+        Alcotest.(check bool) "revert" true (C.is_revert generic "stripslashes"));
+    case "echo is an XSS sink" (fun () ->
+        match C.find_sinks generic "echo" with
+        | [ s ] -> Alcotest.(check bool) "xss" true (s.C.snk_kind = Vuln.Xss)
+        | _ -> Alcotest.fail "echo sink missing");
+    case "mysql_query is both sink and source" (fun () ->
+        Alcotest.(check bool) "sink" true (C.find_sinks generic "mysql_query" <> []);
+        Alcotest.(check bool) "source" true
+          (C.find_function_source generic "mysql_query" <> None));
+    case "trim is passthrough, sprintf joins args" (fun () ->
+        Alcotest.(check bool) "trim" true (C.is_passthrough generic "trim");
+        Alcotest.(check bool) "sprintf" true (C.is_concat_all generic "sprintf"));
+  ]
+
+let wordpress_cases =
+  [
+    case "esc_html known only to the WP profile" (fun () ->
+        Alcotest.(check bool) "generic lacks it" true
+          (C.find_sanitizer generic "esc_html" = None);
+        Alcotest.(check bool) "wp has it" true
+          (C.find_sanitizer wp "esc_html" <> None));
+    case "get_results is a method source in WP profile" (fun () ->
+        Alcotest.(check bool) "method source" true
+          (C.find_method_source wp "get_results" <> None);
+        Alcotest.(check bool) "not a plain function source" true
+          (C.find_function_source wp "get_results" = None));
+    case "query method is a SQLi sink" (fun () ->
+        match C.find_method_sinks wp "query" with
+        | [ s ] -> Alcotest.(check bool) "sqli" true (s.C.snk_kind = Vuln.Sqli)
+        | _ -> Alcotest.fail "method sink missing");
+    case "prepare is a method sanitizer for SQLi" (fun () ->
+        match C.find_method_sanitizer wp "prepare" with
+        | Some s ->
+            Alcotest.(check bool) "sqli" true (List.mem Vuln.Sqli s.C.san_kinds)
+        | None -> Alcotest.fail "missing");
+    case "extend merges every section" (fun () ->
+        let merged = C.extend generic Phpsafe.Wordpress.profile in
+        Alcotest.(check bool) "generic sink kept" true
+          (C.find_sinks merged "echo" <> []);
+        Alcotest.(check bool) "wp sanitizer added" true
+          (C.find_sanitizer merged "esc_attr" <> None);
+        Alcotest.(check bool) "name composed" true
+          (String.length merged.C.name
+           > String.length generic.C.name));
+    case "default config is generic + wordpress" (fun () ->
+        Alcotest.(check bool) "has generic" true
+          (C.find_sanitizer wp "htmlspecialchars" <> None);
+        Alcotest.(check bool) "has wp" true (C.find_sanitizer wp "absint" <> None));
+  ]
+
+(* -- textual configuration format (§III.A config files) -------------- *)
+
+let sample_spec =
+  {spec|# test profile
+profile my-cms
+source superglobal $_GET xss,sqli
+source function fetch_feed fn xss
+source method load_rows db xss
+sanitizer function clean_html xss
+sanitizer method bind sqli
+revert undo_escape
+sink function render_raw xss
+sink method run_sql sqli
+passthrough decorate
+concat combine
+|spec}
+
+let spec_cases =
+  [
+    case "spec parses every directive" (fun () ->
+        let c = Phpsafe.Config_spec.of_string sample_spec in
+        Alcotest.(check string) "name" "my-cms" c.C.name;
+        Alcotest.(check bool) "superglobal" true
+          (C.is_superglobal_source c "$_GET" <> None);
+        Alcotest.(check bool) "fn source" true
+          (C.find_function_source c "fetch_feed" <> None);
+        Alcotest.(check bool) "method source" true
+          (C.find_method_source c "load_rows" <> None);
+        Alcotest.(check bool) "sanitizer" true (C.find_sanitizer c "clean_html" <> None);
+        Alcotest.(check bool) "method sanitizer" true
+          (C.find_method_sanitizer c "bind" <> None);
+        Alcotest.(check bool) "revert" true (C.is_revert c "undo_escape");
+        Alcotest.(check bool) "sink" true (C.find_sinks c "render_raw" <> []);
+        Alcotest.(check bool) "method sink" true (C.find_method_sinks c "run_sql" <> []);
+        Alcotest.(check bool) "passthrough" true (C.is_passthrough c "decorate");
+        Alcotest.(check bool) "concat" true (C.is_concat_all c "combine"));
+    case "spec round-trips through to_string" (fun () ->
+        let c = Phpsafe.Config_spec.of_string sample_spec in
+        let again = Phpsafe.Config_spec.of_string (Phpsafe.Config_spec.to_string c) in
+        Alcotest.(check string) "name" c.C.name again.C.name;
+        Alcotest.(check int) "sources" (List.length c.C.function_sources)
+          (List.length again.C.function_sources);
+        Alcotest.(check int) "sinks" (List.length c.C.sinks)
+          (List.length again.C.sinks);
+        Alcotest.(check bool) "same lookups" true
+          (C.is_revert again "undo_escape" && C.is_passthrough again "decorate"));
+    case "builtin profiles survive the spec round trip" (fun () ->
+        List.iter
+          (fun profile ->
+            let again =
+              Phpsafe.Config_spec.of_string (Phpsafe.Config_spec.to_string profile)
+            in
+            Alcotest.(check int) (profile.C.name ^ " sanitizers")
+              (List.length profile.C.sanitizers)
+              (List.length again.C.sanitizers);
+            Alcotest.(check int) (profile.C.name ^ " sinks")
+              (List.length profile.C.sinks)
+              (List.length again.C.sinks);
+            Alcotest.(check int) (profile.C.name ^ " sources")
+              (List.length profile.C.function_sources)
+              (List.length again.C.function_sources))
+          [ C.generic_php; Phpsafe.Wordpress.default_config;
+            Phpsafe.Joomla.default_config; Phpsafe.Drupal.default_config ]);
+    case "a spec-loaded profile drives the analyzer" (fun () ->
+        let c =
+          Phpsafe.Config_spec.of_string
+            "source superglobal $_GET xss\nsink function show xss\n"
+        in
+        let opts = { Phpsafe.default_options with Phpsafe.config = c } in
+        let r =
+          Phpsafe.analyze_source ~opts ~file:"t.php" "<?php show($_GET['x']);"
+        in
+        Alcotest.(check int) "custom sink fires" 1
+          (List.length r.Secflow.Report.findings));
+    case "errors carry the line number" (fun () ->
+        (try
+           ignore (Phpsafe.Config_spec.of_string "profile x\nbogus directive\n");
+           Alcotest.fail "expected Spec_error"
+         with Phpsafe.Config_spec.Spec_error (_, line) ->
+           Alcotest.(check int) "line" 2 line);
+        try
+          ignore (Phpsafe.Config_spec.of_string "source superglobal $_GET magic\n");
+          Alcotest.fail "expected Spec_error"
+        with Phpsafe.Config_spec.Spec_error (msg, _) ->
+          Alcotest.(check bool) "mentions the kind" true
+            (String.length msg > 0));
+    case "comments and blank lines are ignored" (fun () ->
+        let c =
+          Phpsafe.Config_spec.of_string
+            "# header\n\n  \nrevert undo # trailing comment\n"
+        in
+        Alcotest.(check bool) "revert parsed" true (C.is_revert c "undo"));
+  ]
+
+let () =
+  Alcotest.run "config"
+    [ ("generic PHP profile", generic_cases);
+      ("WordPress profile", wordpress_cases);
+      ("spec format", spec_cases) ]

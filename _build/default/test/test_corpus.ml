@@ -1,0 +1,391 @@
+(** Corpus tests: determinism, paper-calibrated sizes, ground-truth
+    integrity, plan invariants, and — most importantly — the per-pattern
+    detectability contract: each seeded pattern, in its planned placement,
+    is detected by exactly the tools the calibration assumes. *)
+
+open Secflow
+
+let case name f = Alcotest.test_case name `Quick f
+
+(* ------------------------------------------------------------------ *)
+(* Detectability contract                                             *)
+(* ------------------------------------------------------------------ *)
+
+(* Build a one-instance plugin and report which tools detect the seed.
+   [variant_salt] perturbs the per-instance RNG (via the plugin name that
+   seeds it) so different pattern variants are exercised. *)
+let detected_by ?(variant_salt = 0) pattern vector placement : string =
+  let inst =
+    { Corpus.Plan.in_id = "x001"; in_pattern = pattern; in_vector = vector;
+      in_placement = placement; in_plugin = 0; in_persistent = false }
+  in
+  Corpus.Filler.reset ();
+  let built =
+    Corpus.Builder.build ~version:Corpus.Plan.V2012
+      ~plugin_name:(Printf.sprintf "test-plugin-%d" variant_salt)
+      ~plugin_seed:7 ~instances:[ inst ] ~extra_files:0 ~file_quota:60
+  in
+  let seed =
+    match built.Corpus.Builder.seeds with
+    | [ s ] -> s
+    | seeds -> Alcotest.failf "expected 1 seed, got %d" (List.length seeds)
+  in
+  let key = Corpus.Gt.key_of seed in
+  [ ("P", Phpsafe.tool); ("R", Rips.tool); ("X", Pixy.tool) ]
+  |> List.filter_map (fun (short, (tool : Tool.t)) ->
+         let r = tool.Tool.analyze_project built.Corpus.Builder.project in
+         if Report.Key_set.mem key (Report.keys r) then Some short else None)
+  |> String.concat ""
+
+(* the contract must hold for EVERY variant a pattern can instantiate to,
+   so the calibration cannot drift when variants are added *)
+let variant_salts = [ 0; 1; 2; 3; 4; 5; 6; 7 ]
+
+let contract name pattern vector placement expected =
+  case ("contract: " ^ name) (fun () ->
+      List.iter
+        (fun salt ->
+          Alcotest.(check string)
+            (Printf.sprintf "%s (variant salt %d)" name salt)
+            expected
+            (detected_by ~variant_salt:salt pattern vector placement))
+        variant_salts)
+
+let contract_cases =
+  let open Corpus.Plan in
+  [
+    contract "direct echo in a clean file: all three tools" P_direct Vuln.Get
+      Clean_file "PRX";
+    contract "direct echo in an OOP file: Pixy fails the file" P_direct
+      Vuln.Get Oop_file "PR";
+    contract "direct echo in a deep file: RIPS only" P_direct Vuln.Get
+      Deep_file "R";
+    contract "procedural db chain: phpSAFE and RIPS" P_db_proc Vuln.Db
+      Oop_file "PR";
+    contract "file read: phpSAFE and RIPS" P_file_proc
+      Vuln.File_function_array Oop_file "PR";
+    contract "register_globals echo: Pixy only" P_rg Vuln.Post_get_cookie
+      Clean_file "X";
+    contract "uncalled hook: phpSAFE and RIPS, not Pixy" P_uncalled Vuln.Get
+      Oop_file "PR";
+    contract "inter-procedural in a clean file: all three" P_interproc
+      Vuln.Get Clean_file "PRX";
+    contract "wpdb OOP XSS: phpSAFE only (paper headline)" P_wpdb_xss Vuln.Db
+      Oop_file "P";
+    contract "wpdb SQLi: phpSAFE only" P_wpdb_sqli Vuln.Get Oop_file "P";
+    contract "method echo: phpSAFE only" P_method Vuln.Get Oop_file "P";
+    contract "method db chain: phpSAFE only" P_method_db Vuln.Db Oop_file "P";
+    contract "method file read: phpSAFE only" P_method_file
+      Vuln.File_function_array Oop_file "P";
+    contract "property store/show flow: phpSAFE only" P_method_prop Vuln.Get
+      Oop_file "P";
+    contract "call_user_func: invisible to every tool (empty circle)"
+      P_dynamic Vuln.Get Oop_file "";
+    contract "numeric guard trap: FP in all three" T_guard Vuln.Get
+      Clean_file "PRX";
+    contract "WP sanitizer trap: FP in RIPS and Pixy only" T_wp_san Vuln.Get
+      Clean_file "RX";
+    contract "revert trap: FP in phpSAFE and RIPS only" T_revert Vuln.Get
+      Oop_file "PR";
+    contract "uninit-include trap: FP in Pixy only" T_uninit
+      Vuln.Post_get_cookie Clean_file "X";
+    contract "prepared query: true negative everywhere" T_prepare_ok Vuln.Get
+      Oop_file "";
+    contract "guard before wpdb query: phpSAFE FP only" T_sqli_guard_wpdb
+      Vuln.Get Oop_file "P";
+    contract "guard before mysql_query: phpSAFE and RIPS FP" T_sqli_guard_proc
+      Vuln.Post Oop_file "PR";
+    contract "standard sanitizer: true negative everywhere" T_san_ok Vuln.Get
+      Clean_file "";
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Corpus-level invariants                                            *)
+(* ------------------------------------------------------------------ *)
+
+module SS = Set.Make (String)
+
+let corpus_cases =
+  [
+    case "deterministic generation" (fun () ->
+        let a = Corpus.generate Corpus.Plan.V2012 in
+        let b = Corpus.generate Corpus.Plan.V2012 in
+        Alcotest.(check bool) "seeds equal" true (a.Corpus.seeds = b.Corpus.seeds);
+        let src c =
+          List.concat_map
+            (fun (p : Corpus.Catalog.plugin_output) ->
+              List.map
+                (fun (f : Phplang.Project.file) -> f.Phplang.Project.source)
+                p.Corpus.Catalog.po_project.Phplang.Project.files)
+            c.Corpus.plugins
+        in
+        Alcotest.(check bool) "sources equal" true (src a = src b));
+    case "file counts match the paper corpus" (fun () ->
+        let f12, _ = Corpus.stats (Corpus.generate Corpus.Plan.V2012) in
+        let f14, _ = Corpus.stats (Corpus.generate Corpus.Plan.V2014) in
+        Alcotest.(check int) "2012 files" 266 f12;
+        Alcotest.(check int) "2014 files" 356 f14);
+    case "LOC within 5% of the paper corpus" (fun () ->
+        let _, l12 = Corpus.stats (Corpus.generate Corpus.Plan.V2012) in
+        let _, l14 = Corpus.stats (Corpus.generate Corpus.Plan.V2014) in
+        let close target got =
+          Float.abs (float_of_int (got - target)) /. float_of_int target < 0.05
+        in
+        Alcotest.(check bool) "2012 loc" true (close 89_560 l12);
+        Alcotest.(check bool) "2014 loc" true (close 180_801 l14));
+    case "every generated file parses" (fun () ->
+        let c = Corpus.generate Corpus.Plan.V2012 in
+        List.iter
+          (fun (p : Corpus.Catalog.plugin_output) ->
+            List.iter
+              (fun (f : Phplang.Project.file) ->
+                ignore
+                  (Phplang.Parser.parse_source ~file:f.Phplang.Project.path
+                     f.Phplang.Project.source))
+              p.Corpus.Catalog.po_project.Phplang.Project.files)
+          c.Corpus.plugins);
+    case "seed ids are unique per version" (fun () ->
+        let c = Corpus.generate Corpus.Plan.V2014 in
+        let ids = List.map (fun (s : Corpus.Gt.seed) -> s.Corpus.Gt.seed_id) c.Corpus.seeds in
+        Alcotest.(check int) "no duplicates" (List.length ids)
+          (SS.cardinal (SS.of_list ids)));
+    case "persistent 2014 seeds existed in 2012" (fun () ->
+        let c12 = Corpus.generate Corpus.Plan.V2012 in
+        let c14 = Corpus.generate Corpus.Plan.V2014 in
+        let ids12 =
+          SS.of_list
+            (List.map (fun (s : Corpus.Gt.seed) -> s.Corpus.Gt.seed_id) c12.Corpus.seeds)
+        in
+        let carried =
+          List.filter
+            (fun (s : Corpus.Gt.seed) ->
+              String.length s.Corpus.Gt.seed_id > 0
+              && s.Corpus.Gt.seed_id.[0] = 's')
+            c14.Corpus.seeds
+        in
+        Alcotest.(check bool) "has carried seeds" true (carried <> []);
+        List.iter
+          (fun (s : Corpus.Gt.seed) ->
+            if not (SS.mem s.Corpus.Gt.seed_id ids12) then
+              Alcotest.failf "carried seed %s missing from 2012" s.Corpus.Gt.seed_id)
+          carried);
+    case "persistent seeds stay in the same plugin" (fun () ->
+        let plugin_of c =
+          List.fold_left
+            (fun m (s : Corpus.Gt.seed) ->
+              (s.Corpus.Gt.seed_id, s.Corpus.Gt.plugin) :: m)
+            []
+            c.Corpus.seeds
+        in
+        let m12 = plugin_of (Corpus.generate Corpus.Plan.V2012) in
+        let m14 = plugin_of (Corpus.generate Corpus.Plan.V2014) in
+        List.iter
+          (fun (id, plugin14) ->
+            if id.[0] = 's' then
+              match List.assoc_opt id m12 with
+              | Some plugin12 ->
+                  if plugin12 <> plugin14 then
+                    Alcotest.failf "seed %s moved %s -> %s" id plugin12 plugin14
+              | None -> ())
+          m14);
+    case "sink lines hold their marker exactly once" (fun () ->
+        let c = Corpus.generate Corpus.Plan.V2012 in
+        List.iter
+          (fun (p : Corpus.Catalog.plugin_output) ->
+            List.iter
+              (fun (s : Corpus.Gt.seed) ->
+                match
+                  Phplang.Project.find p.Corpus.Catalog.po_project s.Corpus.Gt.file
+                with
+                | None -> Alcotest.failf "file %s missing" s.Corpus.Gt.file
+                | Some f ->
+                    let line =
+                      List.nth
+                        (String.split_on_char '\n' f.Phplang.Project.source)
+                        (s.Corpus.Gt.line - 1)
+                    in
+                    let marker = Corpus.Gt.marker s.Corpus.Gt.seed_id in
+                    let found =
+                      let rec scan i =
+                        i + String.length marker <= String.length line
+                        && (String.sub line i (String.length marker) = marker
+                           || scan (i + 1))
+                      in
+                      scan 0
+                    in
+                    if not found then
+                      Alcotest.failf "marker for %s not on line %d of %s"
+                        s.Corpus.Gt.seed_id s.Corpus.Gt.line s.Corpus.Gt.file)
+              p.Corpus.Catalog.po_seeds)
+          c.Corpus.plugins);
+    case "19 OOP plugins, 35 total (paper §V.A)" (fun () ->
+        Alcotest.(check int) "plugins" 35 (Array.length Corpus.Catalog.plugin_names);
+        Alcotest.(check int) "oop" 19 (List.length Corpus.Plan.oop_plugins);
+        Alcotest.(check int) "procedural" 16 (List.length Corpus.Plan.proc_plugins);
+        Alcotest.(check int) "total" Corpus.Plan.plugin_count
+          (List.length Corpus.Plan.oop_plugins + List.length Corpus.Plan.proc_plugins));
+    case "plan: 2012 real vulnerabilities total 400 (394 detectable + 6 hidden)"
+      (fun () ->
+        let c = Corpus.generate Corpus.Plan.V2012 in
+        Alcotest.(check int) "real" 400 (List.length (Corpus.real_vulns c)));
+    case "plan: 2014 real vulnerabilities total 594 (586 + 8 hidden)" (fun () ->
+        let c = Corpus.generate Corpus.Plan.V2014 in
+        Alcotest.(check int) "real" 594 (List.length (Corpus.real_vulns c)));
+    case "wpdb vulnerabilities concentrated per the paper (10 then 7 plugins)"
+      (fun () ->
+        let plugins version =
+          Corpus.generate version |> Corpus.real_vulns
+          |> List.filter Corpus.Gt.is_oop_wordpress
+          |> List.map (fun (s : Corpus.Gt.seed) -> s.Corpus.Gt.plugin)
+          |> SS.of_list |> SS.cardinal
+        in
+        Alcotest.(check int) "2012" 10 (plugins Corpus.Plan.V2012);
+        Alcotest.(check int) "2014" 7 (plugins Corpus.Plan.V2014));
+    case "scale multiplies bulk but not the seeded vulnerabilities" (fun () ->
+        let base = Corpus.generate Corpus.Plan.V2012 in
+        let big = Corpus.generate ~scale:2.0 Corpus.Plan.V2012 in
+        let _, loc_base = Corpus.stats base in
+        let files_big, loc_big = Corpus.stats big in
+        Alcotest.(check bool) "loc roughly doubles" true
+          (let r = float_of_int loc_big /. float_of_int loc_base in
+           r > 1.8 && r < 2.2);
+        Alcotest.(check int) "files double" 532 files_big;
+        Alcotest.(check int) "same seeds" (List.length base.Corpus.seeds)
+          (List.length big.Corpus.seeds);
+        Alcotest.(check bool) "same seed ids" true
+          (List.for_all2
+             (fun (a : Corpus.Gt.seed) (b : Corpus.Gt.seed) ->
+               a.Corpus.Gt.seed_id = b.Corpus.Gt.seed_id)
+             base.Corpus.seeds big.Corpus.seeds));
+    case "deep plugins carry an include chain" (fun () ->
+        let c = Corpus.generate Corpus.Plan.V2014 in
+        let deep_names =
+          List.map
+            (fun i -> Corpus.Catalog.plugin_names.(i))
+            (Corpus.Plan.deep_plugins Corpus.Plan.V2014)
+        in
+        List.iter
+          (fun name ->
+            let p =
+              List.find
+                (fun (p : Corpus.Catalog.plugin_output) ->
+                  p.Corpus.Catalog.po_name = name)
+                c.Corpus.plugins
+            in
+            Alcotest.(check bool)
+              (name ^ " has engine file") true
+              (Phplang.Project.find p.Corpus.Catalog.po_project "core/engine.php"
+               <> None))
+          deep_names);
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Analytic plan invariants: the calibration arithmetic of DESIGN.md,
+   checked directly on the instance lists.                             *)
+(* ------------------------------------------------------------------ *)
+
+let count_insts version pred =
+  List.length (List.filter pred (Corpus.Plan.instances version))
+
+let is_vuln (i : Corpus.Plan.inst) =
+  match i.Corpus.Plan.in_pattern with
+  | Corpus.Plan.T_guard | Corpus.Plan.T_wp_san | Corpus.Plan.T_revert
+  | Corpus.Plan.T_uninit | Corpus.Plan.T_prepare_ok
+  | Corpus.Plan.T_sqli_guard_wpdb | Corpus.Plan.T_sqli_guard_proc
+  | Corpus.Plan.T_san_ok ->
+      false
+  | _ -> true
+
+let plan_cases =
+  [
+    case "bucket arithmetic solves Table I (2012)" (fun () ->
+        let v = Corpus.Plan.V2012 in
+        let clean =
+          count_insts v (fun i ->
+              is_vuln i && i.Corpus.Plan.in_placement = Corpus.Plan.Clean_file
+              && i.Corpus.Plan.in_pattern <> Corpus.Plan.P_rg)
+        in
+        let rg = count_insts v (fun i -> i.Corpus.Plan.in_pattern = Corpus.Plan.P_rg) in
+        let deep =
+          count_insts v (fun i ->
+              is_vuln i && i.Corpus.Plan.in_placement = Corpus.Plan.Deep_file)
+        in
+        Alcotest.(check int) "C (all three)" 26 clean;
+        Alcotest.(check int) "E (Pixy only)" 24 rg;
+        Alcotest.(check int) "D (RIPS only)" 55 deep);
+    case "vulnerability totals per version" (fun () ->
+        Alcotest.(check int) "2012" 400 (count_insts Corpus.Plan.V2012 is_vuln);
+        Alcotest.(check int) "2014" 594 (count_insts Corpus.Plan.V2014 is_vuln));
+    case "trap totals reproduce the paper FP columns" (fun () ->
+        (* phpSAFE FP 2012 = guard 40 + revert 23 + sqli-guard-wpdb 2 = 65 *)
+        let v = Corpus.Plan.V2012 in
+        let n p = count_insts v (fun i -> i.Corpus.Plan.in_pattern = p) in
+        Alcotest.(check int) "guard traps" 40 (n Corpus.Plan.T_guard);
+        Alcotest.(check int) "revert traps" 23 (n Corpus.Plan.T_revert);
+        Alcotest.(check int) "wpdb sqli guards" 2 (n Corpus.Plan.T_sqli_guard_wpdb);
+        Alcotest.(check int) "wp sanitizer traps" 16 (n Corpus.Plan.T_wp_san);
+        Alcotest.(check int) "uninit traps" 131 (n Corpus.Plan.T_uninit));
+    case "persistent 2014 instances keep 2012 ids and attributes" (fun () ->
+        let old = Corpus.Plan.instances Corpus.Plan.V2012 in
+        let idx =
+          List.map (fun (i : Corpus.Plan.inst) -> (i.Corpus.Plan.in_id, i)) old
+        in
+        List.iter
+          (fun (i : Corpus.Plan.inst) ->
+            if i.Corpus.Plan.in_persistent then
+              match List.assoc_opt i.Corpus.Plan.in_id idx with
+              | None ->
+                  Alcotest.failf "persistent %s missing in 2012" i.Corpus.Plan.in_id
+              | Some o ->
+                  Alcotest.(check bool)
+                    (i.Corpus.Plan.in_id ^ " same pattern/plugin") true
+                    (o.Corpus.Plan.in_pattern = i.Corpus.Plan.in_pattern
+                    && o.Corpus.Plan.in_plugin = i.Corpus.Plan.in_plugin
+                    && o.Corpus.Plan.in_vector = i.Corpus.Plan.in_vector))
+          (Corpus.Plan.instances Corpus.Plan.V2014));
+    case "wpdb seeds sit only in the designated plugins" (fun () ->
+        List.iter
+          (fun v ->
+            let allowed = Corpus.Plan.wpdb_plugins v in
+            List.iter
+              (fun (i : Corpus.Plan.inst) ->
+                match i.Corpus.Plan.in_pattern with
+                | Corpus.Plan.P_wpdb_xss | Corpus.Plan.P_wpdb_sqli ->
+                    if not (List.mem i.Corpus.Plan.in_plugin allowed) then
+                      Alcotest.failf "wpdb seed %s in plugin %d"
+                        i.Corpus.Plan.in_id i.Corpus.Plan.in_plugin
+                | _ -> ())
+              (Corpus.Plan.instances v))
+          [ Corpus.Plan.V2012; Corpus.Plan.V2014 ]);
+    case "deep seeds sit only in the deep plugins" (fun () ->
+        List.iter
+          (fun v ->
+            let allowed = Corpus.Plan.deep_plugins v in
+            List.iter
+              (fun (i : Corpus.Plan.inst) ->
+                if i.Corpus.Plan.in_placement = Corpus.Plan.Deep_file
+                   && not (List.mem i.Corpus.Plan.in_plugin allowed)
+                then
+                  Alcotest.failf "deep seed %s in plugin %d" i.Corpus.Plan.in_id
+                    i.Corpus.Plan.in_plugin)
+              (Corpus.Plan.instances v))
+          [ Corpus.Plan.V2012; Corpus.Plan.V2014 ]);
+    case "clean placements only in procedural plugins" (fun () ->
+        List.iter
+          (fun v ->
+            List.iter
+              (fun (i : Corpus.Plan.inst) ->
+                if i.Corpus.Plan.in_placement = Corpus.Plan.Clean_file
+                   && i.Corpus.Plan.in_plugin < 19
+                then
+                  Alcotest.failf "clean seed %s in OOP plugin %d"
+                    i.Corpus.Plan.in_id i.Corpus.Plan.in_plugin)
+              (Corpus.Plan.instances v))
+          [ Corpus.Plan.V2012; Corpus.Plan.V2014 ]);
+  ]
+
+let () =
+  Alcotest.run "corpus"
+    [ ("detectability contract", contract_cases);
+      ("plan invariants", plan_cases);
+      ("corpus invariants", corpus_cases) ]

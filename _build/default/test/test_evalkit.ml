@@ -1,0 +1,305 @@
+(** Evaluation-harness tests: metric formulas, finding↔seed matching,
+    Venn region algebra, input-vector classification and inertia, all on
+    small hand-built inputs. *)
+
+open Secflow
+
+let case name f = Alcotest.test_case name `Quick f
+
+let metrics_cases =
+  [
+    case "precision/recall/f-score formulas" (fun () ->
+        let m = Evalkit.Metrics.make ~tp:8 ~fp:2 ~fn:0 in
+        Alcotest.(check (float 1e-9)) "precision" 0.8 (Evalkit.Metrics.precision m);
+        Alcotest.(check (float 1e-9)) "recall" 1.0 (Evalkit.Metrics.recall m);
+        Alcotest.(check (float 1e-6)) "f-score" (2. *. 0.8 /. 1.8)
+          (Evalkit.Metrics.f_score m));
+    case "degenerate cases are NaN" (fun () ->
+        let m = Evalkit.Metrics.make ~tp:0 ~fp:0 ~fn:0 in
+        Alcotest.(check bool) "precision nan" true
+          (Float.is_nan (Evalkit.Metrics.precision m));
+        Alcotest.(check bool) "recall nan" true
+          (Float.is_nan (Evalkit.Metrics.recall m));
+        Alcotest.(check string) "pct" "-" (Evalkit.Metrics.pct nan));
+    case "paper Table I row reproduces: phpSAFE XSS 2012" (fun () ->
+        (* TP 307, FP 63 -> 83% precision; TP 307, FN 55 -> 85% recall *)
+        let m = Evalkit.Metrics.make ~tp:307 ~fp:63 ~fn:55 in
+        Alcotest.(check string) "precision" "83%"
+          (Evalkit.Metrics.pct (Evalkit.Metrics.precision m));
+        Alcotest.(check string) "recall" "85%"
+          (Evalkit.Metrics.pct (Evalkit.Metrics.recall m)));
+    case "add and zero" (fun () ->
+        let a = Evalkit.Metrics.make ~tp:1 ~fp:2 ~fn:3 in
+        let s = Evalkit.Metrics.add a Evalkit.Metrics.zero in
+        Alcotest.(check int) "tp" 1 s.Evalkit.Metrics.tp;
+        Alcotest.(check int) "fn" 3 s.Evalkit.Metrics.fn);
+  ]
+
+(* -- hand-built seeds and findings ----------------------------------- *)
+
+let seed ?(plugin = "p1") ?(kind = Vuln.Xss) ?(vector = Vuln.Get) ?(real = true)
+    ~id ~file ~line () : Corpus.Gt.seed =
+  {
+    Corpus.Gt.seed_id = id;
+    pattern = "test";
+    label =
+      (if real then Corpus.Gt.Real_vuln { kind; vector; oop_wordpress = false }
+       else Corpus.Gt.Fp_trap { kind; why = "trap" });
+    plugin;
+    file;
+    line;
+  }
+
+let finding ?(kind = Vuln.Xss) ~file ~line () : Report.finding =
+  {
+    Report.kind;
+    sink_pos = { Phplang.Ast.file; line };
+    sink = "echo";
+    variable = "$x";
+    source = Vuln.Superglobal "$_GET";
+    source_pos = Phplang.Ast.dummy_pos;
+    trace = [];
+  }
+
+let output tool (per_plugin : (string * Report.finding list) list) :
+    Evalkit.Matching.tool_output =
+  {
+    Evalkit.Matching.to_tool = tool;
+    to_results =
+      List.map
+        (fun (plugin, fs) ->
+          (plugin, { Report.findings = fs; outcomes = []; errors = 0 }))
+        per_plugin;
+  }
+
+let matching_cases =
+  [
+    case "classify: tp, trap fp, stray fp" (fun () ->
+        let seeds =
+          [ seed ~id:"v1" ~file:"a.php" ~line:3 ();
+            seed ~id:"t1" ~file:"a.php" ~line:9 ~real:false () ]
+        in
+        let out =
+          output "T"
+            [ ("p1",
+               [ finding ~file:"a.php" ~line:3 ();
+                 finding ~file:"a.php" ~line:9 ();
+                 finding ~file:"a.php" ~line:99 () ]) ]
+        in
+        let c = Evalkit.Matching.classify ~seeds out in
+        Alcotest.(check int) "tp" 1 (List.length c.Evalkit.Matching.cl_tp);
+        Alcotest.(check int) "trap fp" 1 (List.length c.Evalkit.Matching.cl_trap_fp);
+        Alcotest.(check int) "stray fp" 1 (List.length c.Evalkit.Matching.cl_stray_fp));
+    case "kind must match for a hit" (fun () ->
+        let seeds = [ seed ~id:"v1" ~kind:Vuln.Sqli ~file:"a.php" ~line:3 () ] in
+        let out = output "T" [ ("p1", [ finding ~kind:Vuln.Xss ~file:"a.php" ~line:3 () ]) ] in
+        let c = Evalkit.Matching.classify ~seeds out in
+        Alcotest.(check int) "no tp" 0 (List.length c.Evalkit.Matching.cl_tp);
+        Alcotest.(check int) "stray" 1 (List.length c.Evalkit.Matching.cl_stray_fp));
+    case "same file/line in another plugin does not match" (fun () ->
+        let seeds = [ seed ~plugin:"p1" ~id:"v1" ~file:"a.php" ~line:3 () ] in
+        let out = output "T" [ ("p2", [ finding ~file:"a.php" ~line:3 () ]) ] in
+        let c = Evalkit.Matching.classify ~seeds out in
+        Alcotest.(check int) "no tp" 0 (List.length c.Evalkit.Matching.cl_tp));
+    case "duplicate findings count once" (fun () ->
+        let seeds = [ seed ~id:"v1" ~file:"a.php" ~line:3 () ] in
+        let out =
+          output "T"
+            [ ("p1",
+               [ finding ~file:"a.php" ~line:3 (); finding ~file:"a.php" ~line:3 () ]) ]
+        in
+        let c = Evalkit.Matching.classify ~seeds out in
+        Alcotest.(check int) "tp once" 1 (List.length c.Evalkit.Matching.cl_tp));
+    case "union-based FN (paper convention)" (fun () ->
+        let s1 = seed ~id:"v1" ~file:"a.php" ~line:1 () in
+        let s2 = seed ~id:"v2" ~file:"a.php" ~line:2 () in
+        let seeds = [ s1; s2 ] in
+        let c1 =
+          Evalkit.Matching.classify ~seeds
+            (output "A" [ ("p1", [ finding ~file:"a.php" ~line:1 () ]) ])
+        in
+        let c2 =
+          Evalkit.Matching.classify ~seeds
+            (output "B" [ ("p1", [ finding ~file:"a.php" ~line:2 () ]) ])
+        in
+        let union = Evalkit.Matching.detected_union [ c1; c2 ] in
+        Alcotest.(check int) "union of 2" 2 (List.length union);
+        let m = Evalkit.Matching.metrics_for ~union c1 in
+        Alcotest.(check int) "tp" 1 m.Evalkit.Metrics.tp;
+        Alcotest.(check int) "fn = union minus own tp" 1 m.Evalkit.Metrics.fn);
+    case "metrics_for restricted by kind" (fun () ->
+        let s1 = seed ~id:"v1" ~kind:Vuln.Xss ~file:"a.php" ~line:1 () in
+        let s2 = seed ~id:"v2" ~kind:Vuln.Sqli ~file:"a.php" ~line:2 () in
+        let c =
+          Evalkit.Matching.classify ~seeds:[ s1; s2 ]
+            (output "A"
+               [ ("p1",
+                  [ finding ~kind:Vuln.Xss ~file:"a.php" ~line:1 ();
+                    finding ~kind:Vuln.Sqli ~file:"a.php" ~line:2 () ]) ])
+        in
+        let union = Evalkit.Matching.detected_union [ c ] in
+        let mx = Evalkit.Matching.metrics_for ~kind:Vuln.Xss ~union c in
+        Alcotest.(check int) "xss tp" 1 mx.Evalkit.Metrics.tp;
+        let ms = Evalkit.Matching.metrics_for ~kind:Vuln.Sqli ~union c in
+        Alcotest.(check int) "sqli tp" 1 ms.Evalkit.Metrics.tp);
+  ]
+
+let venn_cases =
+  [
+    case "regions partition the union" (fun () ->
+        let mk_seed id line = seed ~id ~file:"a.php" ~line () in
+        let all = List.init 6 (fun i -> mk_seed (Printf.sprintf "v%d" i) (i + 1)) in
+        let classify tool lines =
+          Evalkit.Matching.classify ~seeds:all
+            (output tool
+               [ ("p1", List.map (fun l -> finding ~file:"a.php" ~line:l ()) lines) ])
+        in
+        (* P: 1,2,3  R: 2,3,4  X: 3,5 ; seed 6 undetected *)
+        let p = classify "P" [ 1; 2; 3 ]
+        and r = classify "R" [ 2; 3; 4 ]
+        and x = classify "X" [ 3; 5 ] in
+        let v = Evalkit.Venn.compute ~all_real:all ~phpsafe:p ~rips:r ~pixy:x in
+        Alcotest.(check int) "only P" 1 v.Evalkit.Venn.only_phpsafe;
+        Alcotest.(check int) "only R" 1 v.Evalkit.Venn.only_rips;
+        Alcotest.(check int) "only X" 1 v.Evalkit.Venn.only_pixy;
+        Alcotest.(check int) "P∩R" 1 v.Evalkit.Venn.phpsafe_rips;
+        Alcotest.(check int) "P∩X" 0 v.Evalkit.Venn.phpsafe_pixy;
+        Alcotest.(check int) "R∩X" 0 v.Evalkit.Venn.rips_pixy;
+        Alcotest.(check int) "all three" 1 v.Evalkit.Venn.all_three;
+        Alcotest.(check int) "none" 1 v.Evalkit.Venn.none;
+        Alcotest.(check int) "union" 5 v.Evalkit.Venn.union;
+        let sum =
+          v.Evalkit.Venn.only_phpsafe + v.Evalkit.Venn.only_rips
+          + v.Evalkit.Venn.only_pixy + v.Evalkit.Venn.phpsafe_rips
+          + v.Evalkit.Venn.phpsafe_pixy + v.Evalkit.Venn.rips_pixy
+          + v.Evalkit.Venn.all_three
+        in
+        Alcotest.(check int) "regions sum to union" v.Evalkit.Venn.union sum);
+  ]
+
+let vector_inertia_cases =
+  [
+    case "vector classification of sources" (fun () ->
+        Alcotest.(check string) "GET"
+          "GET" (Vuln.vector_to_string (Vuln.vector_of_source (Vuln.Superglobal "$_GET")));
+        Alcotest.(check string) "POST"
+          "POST" (Vuln.vector_to_string (Vuln.vector_of_source (Vuln.Superglobal "$_POST")));
+        Alcotest.(check string) "cookie is mixed" "POST/GET/COOKIE"
+          (Vuln.vector_to_string (Vuln.vector_of_source (Vuln.Superglobal "$_COOKIE")));
+        Alcotest.(check string) "db" "DB"
+          (Vuln.vector_to_string (Vuln.vector_of_source (Vuln.Database "x")));
+        Alcotest.(check string) "file" "File/Function/Array"
+          (Vuln.vector_to_string (Vuln.vector_of_source (Vuln.File_read "fgets"))));
+    case "direct vectors per the paper's easy-to-exploit class" (fun () ->
+        Alcotest.(check bool) "GET" true (Vuln.vector_is_direct Vuln.Get);
+        Alcotest.(check bool) "POST" true (Vuln.vector_is_direct Vuln.Post);
+        Alcotest.(check bool) "mixed" true (Vuln.vector_is_direct Vuln.Post_get_cookie);
+        Alcotest.(check bool) "DB" false (Vuln.vector_is_direct Vuln.Db);
+        Alcotest.(check bool) "file" false
+          (Vuln.vector_is_direct Vuln.File_function_array));
+    case "table II rows and the both column" (fun () ->
+        let u12 =
+          [ seed ~id:"a" ~vector:Vuln.Get ~file:"f" ~line:1 ();
+            seed ~id:"b" ~vector:Vuln.Db ~file:"f" ~line:2 () ]
+        in
+        let u14 =
+          [ seed ~id:"a" ~vector:Vuln.Get ~file:"f" ~line:5 ();
+            seed ~id:"c" ~vector:Vuln.Get ~file:"f" ~line:6 ();
+            seed ~id:"d" ~vector:Vuln.Db ~file:"f" ~line:7 () ]
+        in
+        let rows = Evalkit.Vectors.compute ~union_2012:u12 ~union_2014:u14 in
+        let get_row v =
+          List.find (fun (r : Evalkit.Vectors.row) -> r.Evalkit.Vectors.vector = v) rows
+        in
+        let g = get_row Vuln.Get in
+        Alcotest.(check int) "get 2012" 1 g.Evalkit.Vectors.v2012;
+        Alcotest.(check int) "get 2014" 2 g.Evalkit.Vectors.v2014;
+        Alcotest.(check int) "get both" 1 g.Evalkit.Vectors.both;
+        let d = get_row Vuln.Db in
+        Alcotest.(check int) "db both" 0 d.Evalkit.Vectors.both);
+    case "inertia ratios" (fun () ->
+        let u12 = [ seed ~id:"a" ~vector:Vuln.Get ~file:"f" ~line:1 () ] in
+        let u14 =
+          [ seed ~id:"a" ~vector:Vuln.Get ~file:"f" ~line:2 ();
+            seed ~id:"b" ~vector:Vuln.Db ~file:"f" ~line:3 () ]
+        in
+        let t = Evalkit.Inertia.compute ~union_2012:u12 ~union_2014:u14 in
+        Alcotest.(check int) "total" 2 t.Evalkit.Inertia.total_2014;
+        Alcotest.(check int) "persisted" 1 t.Evalkit.Inertia.persisted;
+        Alcotest.(check (float 1e-9)) "ratio" 0.5 t.Evalkit.Inertia.persisted_ratio;
+        Alcotest.(check int) "easy" 1 t.Evalkit.Inertia.persisted_easy);
+    case "sec/kLOC responsiveness" (fun () ->
+        Alcotest.(check (float 1e-9)) "unit" 0.5
+          (Evalkit.Robustness.sec_per_kloc ~seconds:1.0 ~loc:2000));
+    case "per-plugin history join" (fun () ->
+        let u12 =
+          [ seed ~plugin:"alpha" ~id:"a" ~file:"f" ~line:1 ();
+            seed ~plugin:"alpha" ~id:"b" ~file:"f" ~line:2 ();
+            seed ~plugin:"beta" ~id:"c" ~file:"f" ~line:3 () ]
+        in
+        let u14 =
+          [ seed ~plugin:"alpha" ~id:"a" ~file:"f" ~line:9 ();
+            seed ~plugin:"alpha" ~id:"d" ~file:"f" ~line:10 () ]
+        in
+        let rows = Evalkit.History.compute ~union_2012:u12 ~union_2014:u14 in
+        let alpha =
+          List.find
+            (fun (r : Evalkit.History.plugin_history) ->
+              r.Evalkit.History.ph_plugin = "alpha")
+            rows
+        in
+        Alcotest.(check int) "alpha 2012" 2 alpha.Evalkit.History.ph_2012;
+        Alcotest.(check int) "alpha 2014" 2 alpha.Evalkit.History.ph_2014;
+        Alcotest.(check int) "alpha fixed" 1 alpha.Evalkit.History.ph_fixed;
+        Alcotest.(check int) "alpha persisted" 1 alpha.Evalkit.History.ph_persisted;
+        Alcotest.(check int) "alpha introduced" 1 alpha.Evalkit.History.ph_introduced;
+        let beta =
+          List.find
+            (fun (r : Evalkit.History.plugin_history) ->
+              r.Evalkit.History.ph_plugin = "beta")
+            rows
+        in
+        Alcotest.(check int) "beta fixed everything" 1 beta.Evalkit.History.ph_fixed;
+        Alcotest.(check int) "beta 2014" 0 beta.Evalkit.History.ph_2014;
+        let fixed, persisted, introduced = Evalkit.History.totals rows in
+        Alcotest.(check (triple int int int)) "totals" (2, 1, 1)
+          (fixed, persisted, introduced));
+  ]
+
+let harness_cases =
+  [
+    case "scaling harness measures every tool at every scale" (fun () ->
+        (* one tiny scale keeps this fast; full scales run in the bench *)
+        let points =
+          Evalkit.Scaling.measure ~scales:[ 0.25 ] Corpus.Plan.V2012
+        in
+        match points with
+        | [ p ] ->
+            Alcotest.(check (float 1e-9)) "scale" 0.25 p.Evalkit.Scaling.sp_scale;
+            Alcotest.(check int) "three tools" 3
+              (List.length p.Evalkit.Scaling.sp_seconds);
+            Alcotest.(check bool) "loc shrank" true
+              (p.Evalkit.Scaling.sp_loc < 50_000);
+            List.iter
+              (fun (_, s) ->
+                Alcotest.(check bool) "non-negative time" true (s >= 0.))
+              p.Evalkit.Scaling.sp_seconds
+        | _ -> Alcotest.fail "expected one point");
+    case "ablation variants are distinct and complete" (fun () ->
+        let names =
+          List.map
+            (fun (v : Evalkit.Ablation.variant) -> v.Evalkit.Ablation.ab_name)
+            Evalkit.Ablation.variants
+        in
+        Alcotest.(check int) "six variants" 6 (List.length names);
+        Alcotest.(check int) "unique names" 6
+          (List.length (List.sort_uniq compare names)));
+  ]
+
+let () =
+  Alcotest.run "evalkit"
+    [ ("metrics", metrics_cases);
+      ("matching", matching_cases);
+      ("venn", venn_cases);
+      ("vectors and inertia", vector_inertia_cases);
+      ("study harnesses", harness_cases) ]

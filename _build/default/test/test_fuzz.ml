@@ -1,0 +1,264 @@
+(** Robustness fuzzing: all three analyzers must terminate without raising
+    on arbitrary generated programs (including OOP constructs, loops,
+    recursion-prone call graphs and weird-but-valid strings), and must be
+    deterministic — same source, same findings.  This is the §IV.A
+    "robustness" requirement made executable. *)
+
+open QCheck2
+module A = Phplang.Ast
+
+let e d = A.mk_e d
+let s d = A.mk_s d
+
+let var_pool = [| "$a"; "$b"; "$row"; "$wpdb"; "$data"; "$out" |]
+let fn_pool =
+  [| "render"; "fetch_rows"; "helper"; "htmlspecialchars"; "esc_html";
+     "intval"; "stripslashes"; "mysql_query"; "trim"; "unknown_api" |]
+let cls_pool = [| "Widget"; "Model"; "Helper" |]
+let key_pool = [| "id"; "page"; "q" |]
+
+let pick pool = Gen.map (fun i -> pool.(i)) (Gen.int_bound (Array.length pool - 1))
+
+let gen_expr : A.expr Gen.t =
+  Gen.sized_size (Gen.int_bound 20)
+    (Gen.fix (fun self n ->
+         let leaf =
+           Gen.oneof
+             [ Gen.map (fun v -> e (A.Var v)) (pick var_pool);
+               Gen.map (fun k -> e (A.ArrayGet (e (A.Var "$_GET"), Some (e (A.Str k)))))
+                 (pick key_pool);
+               Gen.map (fun k -> e (A.ArrayGet (e (A.Var "$_POST"), Some (e (A.Str k)))))
+                 (pick key_pool);
+               Gen.map (fun x -> e (A.Str x))
+                 (Gen.oneofl [ "lit"; "<b>"; "it's"; "a\"b"; "" ]);
+               Gen.map (fun i -> e (A.Int i)) Gen.nat ]
+         in
+         if n <= 0 then leaf
+         else
+           let sub = self (n / 2) in
+           Gen.oneof
+             [ leaf;
+               Gen.map2 (fun a b -> e (A.Bin (A.Concat, a, b))) sub sub;
+               Gen.map2 (fun a b -> e (A.Bin (A.Plus, a, b))) sub sub;
+               Gen.map2 (fun f args -> e (A.Call (f, args)))
+                 (pick fn_pool)
+                 (Gen.list_size (Gen.int_bound 2) sub);
+               Gen.map3 (fun v m args -> e (A.MethodCall (e (A.Var v), m, args)))
+                 (pick var_pool)
+                 (Gen.oneofl [ "get_results"; "query"; "run"; "prepare" ])
+                 (Gen.list_size (Gen.int_bound 2) sub);
+               Gen.map2 (fun c args -> e (A.New (c, args)))
+                 (pick cls_pool)
+                 (Gen.list_size (Gen.int_bound 1) sub);
+               Gen.map2 (fun v p -> e (A.Prop (e (A.Var v), p)))
+                 (pick var_pool)
+                 (Gen.oneofl [ "name"; "value" ]);
+               Gen.map3 (fun c a b -> e (A.Ternary (c, Some a, b))) sub sub sub;
+               Gen.map2 (fun v rhs -> e (A.Assign (e (A.Var v), rhs)))
+                 (pick var_pool) sub;
+               Gen.map (fun x -> e (A.Un (A.Not, x))) sub;
+               Gen.map (fun x -> e (A.CastE (A.CastInt, x))) sub ]))
+
+let gen_stmt : A.stmt Gen.t =
+  Gen.sized_size (Gen.int_bound 14)
+    (Gen.fix (fun self n ->
+         let simple =
+           Gen.oneof
+             [ Gen.map (fun x -> s (A.Expr x)) gen_expr;
+               Gen.map (fun x -> s (A.Echo [ x ])) gen_expr;
+               Gen.map (fun x -> s (A.Return (Some x))) gen_expr;
+               Gen.map (fun v -> s (A.Global [ v ])) (pick var_pool);
+               Gen.map (fun v -> s (A.Unset [ e (A.Var v) ])) (pick var_pool);
+               Gen.return (s A.Break);
+               Gen.return (s A.Continue);
+               Gen.return (s (A.Expr (e (A.Exit None)))) ]
+         in
+         if n <= 0 then simple
+         else
+           let body = Gen.list_size (Gen.int_range 1 3) (self (n / 2)) in
+           Gen.oneof
+             [ simple;
+               Gen.map2 (fun c b -> s (A.If ([ (c, b) ], None))) gen_expr body;
+               Gen.map3 (fun c b1 b2 -> s (A.If ([ (c, b1) ], Some b2)))
+                 gen_expr body body;
+               Gen.map2 (fun c b -> s (A.While (c, b))) gen_expr body;
+               Gen.map3
+                 (fun subj v b ->
+                   s (A.Foreach (subj, A.ForeachValue (e (A.Var v)), b)))
+                 gen_expr (pick var_pool) body;
+               Gen.map2
+                 (fun name b ->
+                   s (A.FuncDef
+                        { A.f_name = name;
+                          f_params =
+                            [ { A.p_name = "$arg"; p_default = None;
+                                p_by_ref = false; p_hint = None } ];
+                          f_body = b; f_pos = A.dummy_pos }))
+                 (pick fn_pool) body;
+               Gen.map2
+                 (fun cls b ->
+                   s (A.ClassDef
+                        { A.c_name = cls; c_parent = None; c_implements = [];
+                          c_consts = []; c_props = [];
+                          c_methods =
+                            [ { A.m_vis = A.Public; m_static = false;
+                                m_func =
+                                  { A.f_name = "run"; f_params = [];
+                                    f_body = b; f_pos = A.dummy_pos } } ];
+                          c_pos = A.dummy_pos }))
+                 (pick cls_pool) body ]))
+
+let gen_source : string Gen.t =
+  Gen.map
+    (fun stmts -> Phplang.Printer.program_to_string stmts)
+    (Gen.list_size (Gen.int_range 1 8) gen_stmt)
+
+let tools : (string * (file:string -> string -> Secflow.Report.result)) list =
+  [ ("phpSAFE", Phpsafe.analyze_source ?opts:None);
+    ("RIPS", Rips.analyze_source);
+    ("Pixy", Pixy.analyze_source) ]
+
+let finding_keys (r : Secflow.Report.result) =
+  List.map
+    (fun (f : Secflow.Report.finding) ->
+      (f.Secflow.Report.kind, f.Secflow.Report.sink_pos.A.file,
+       f.Secflow.Report.sink_pos.A.line))
+    r.Secflow.Report.findings
+  |> List.sort compare
+
+let no_crash =
+  List.map
+    (fun (name, analyze) ->
+      Test.make
+        ~name:(name ^ " never crashes on generated programs")
+        ~count:120 ~print:(fun src -> src) gen_source
+        (fun src ->
+          match analyze ~file:"fuzz.php" src with
+          | _ -> true
+          | exception exn ->
+              QCheck2.Test.fail_reportf "%s raised %s on:\n%s" name
+                (Printexc.to_string exn) src))
+    tools
+
+let deterministic =
+  List.map
+    (fun (name, analyze) ->
+      Test.make
+        ~name:(name ^ " is deterministic")
+        ~count:60 ~print:(fun src -> src) gen_source
+        (fun src ->
+          finding_keys (analyze ~file:"fuzz.php" src)
+          = finding_keys (analyze ~file:"fuzz.php" src)))
+    tools
+
+let sound_on_clean =
+  (* a program with no taint source yields no findings in phpSAFE/RIPS;
+     Pixy may still flag register_globals reads, so it is excluded *)
+  let gen_clean =
+    Gen.map
+      (fun stmts -> Phplang.Printer.program_to_string stmts)
+      (Gen.list_size (Gen.int_range 1 5)
+         (Gen.map
+            (fun lit -> s (A.Echo [ e (A.Str lit) ]))
+            (Gen.oneofl [ "a"; "<p>x</p>"; "done" ])))
+  in
+  [ Test.make ~name:"no sources, no findings (phpSAFE & RIPS)" ~count:40
+      gen_clean
+      (fun src ->
+        List.for_all
+          (fun (name, analyze) ->
+            name = "Pixy"
+            || (analyze ~file:"clean.php" src).Secflow.Report.findings = [])
+          tools) ]
+
+(* ------------------------------------------------------------------ *)
+(* Differential property: on the procedural common subset -- no OOP, no
+   user functions, no unknown (framework) functions -- phpSAFE and RIPS
+   report exactly the same findings.  Their differences in the paper come
+   *only* from OOP support, the WordPress profile, cross-file analysis
+   and robustness policies; this property pins that down.               *)
+(* ------------------------------------------------------------------ *)
+
+let known_fns =
+  (* functions both tools model identically *)
+  [| "htmlspecialchars"; "intval"; "trim"; "strip_tags"; "stripslashes";
+     "sprintf"; "mysql_fetch_assoc"; "mysql_query" |]
+
+let gen_common_expr : A.expr Gen.t =
+  Gen.sized_size (Gen.int_bound 10)
+    (Gen.fix (fun self n ->
+         let leaf =
+           Gen.oneof
+             [ Gen.map (fun v -> e (A.Var v)) (pick var_pool);
+               Gen.map
+                 (fun k -> e (A.ArrayGet (e (A.Var "$_GET"), Some (e (A.Str k)))))
+                 (pick key_pool);
+               Gen.map
+                 (fun k -> e (A.ArrayGet (e (A.Var "$_POST"), Some (e (A.Str k)))))
+                 (pick key_pool);
+               Gen.map (fun x -> e (A.Str x)) (Gen.oneofl [ "lit"; "<b>"; "" ]);
+               Gen.map (fun i -> e (A.Int i)) Gen.nat ]
+         in
+         if n <= 0 then leaf
+         else
+           let sub = self (n / 2) in
+           Gen.oneof
+             [ leaf;
+               Gen.map2 (fun a b -> e (A.Bin (A.Concat, a, b))) sub sub;
+               Gen.map2 (fun f args -> e (A.Call (f, args)))
+                 (pick known_fns)
+                 (Gen.map (fun a -> [ a ]) sub);
+               Gen.map3 (fun c a b -> e (A.Ternary (c, Some a, b))) sub sub sub;
+               Gen.map (fun x -> e (A.CastE (A.CastInt, x))) sub ]))
+
+let gen_common_stmt : A.stmt Gen.t =
+  Gen.sized_size (Gen.int_bound 8)
+    (Gen.fix (fun self n ->
+         let simple =
+           Gen.oneof
+             [ Gen.map2 (fun v rhs -> s (A.Expr (e (A.Assign (e (A.Var v), rhs)))))
+                 (pick var_pool) gen_common_expr;
+               Gen.map2
+                 (fun v rhs -> s (A.Expr (e (A.OpAssign (A.Concat, e (A.Var v), rhs)))))
+                 (pick var_pool) gen_common_expr;
+               Gen.map (fun x -> s (A.Echo [ x ])) gen_common_expr;
+               Gen.map (fun v -> s (A.Unset [ e (A.Var v) ])) (pick var_pool) ]
+         in
+         if n <= 0 then simple
+         else
+           let body = Gen.list_size (Gen.int_range 1 3) (self (n / 2)) in
+           Gen.oneof
+             [ simple;
+               Gen.map2 (fun c b -> s (A.If ([ (c, b) ], None))) gen_common_expr body;
+               Gen.map3 (fun c b1 b2 -> s (A.If ([ (c, b1) ], Some b2)))
+                 gen_common_expr body body;
+               Gen.map2 (fun c b -> s (A.While (c, b))) gen_common_expr body;
+               Gen.map3
+                 (fun subj v b ->
+                   s (A.Foreach (subj, A.ForeachValue (e (A.Var v)), b)))
+                 gen_common_expr (pick var_pool) body ]))
+
+let gen_common_source : string Gen.t =
+  Gen.map
+    (fun stmts -> Phplang.Printer.program_to_string stmts)
+    (Gen.list_size (Gen.int_range 1 10) gen_common_stmt)
+
+let differential =
+  [ Test.make
+      ~name:"phpSAFE = RIPS on the procedural common subset"
+      ~count:300 ~print:(fun src -> src) gen_common_source
+      (fun src ->
+        let p = finding_keys (Phpsafe.analyze_source ~file:"d.php" src) in
+        let r = finding_keys (Rips.analyze_source ~file:"d.php" src) in
+        if p = r then true
+        else
+          QCheck2.Test.fail_reportf
+            "divergence on:\n%s\nphpSAFE: %d findings, RIPS: %d findings" src
+            (List.length p) (List.length r)) ]
+
+let () =
+  Alcotest.run "fuzz"
+    [ ("no crashes", List.map QCheck_alcotest.to_alcotest no_crash);
+      ("determinism", List.map QCheck_alcotest.to_alcotest deterministic);
+      ("clean programs", List.map QCheck_alcotest.to_alcotest sound_on_clean);
+      ("differential", List.map QCheck_alcotest.to_alcotest differential) ]

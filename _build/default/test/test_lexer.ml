@@ -1,0 +1,160 @@
+(** Lexer unit tests: token kinds, lexemes, line numbers, string handling,
+    comments, casts, operators and PHP tag transitions. *)
+
+open Phplang
+
+let lex src = Lexer.tokenize_significant src
+
+let kinds src =
+  lex src
+  |> List.filter_map (fun (t : Token.t) ->
+         if t.Token.kind = Token.T_EOF then None else Some t.Token.kind)
+
+let lexemes src =
+  lex src
+  |> List.filter_map (fun (t : Token.t) ->
+         if t.Token.kind = Token.T_EOF then None else Some t.Token.lexeme)
+
+let check_kinds name src expected =
+  Alcotest.test_case name `Quick (fun () ->
+      let got = kinds src |> List.map Token.name in
+      let want = List.map Token.name expected in
+      Alcotest.(check (list string)) name want got)
+
+let t = Token.T_OPEN_TAG
+
+let cases =
+  [
+    check_kinds "open tag and variable" "<?php $x;"
+      [ t; Token.T_VARIABLE; Token.Punct ];
+    check_kinds "superglobal name" "<?php $_GET;"
+      [ t; Token.T_VARIABLE; Token.Punct ];
+    check_kinds "keywords case-insensitive" "<?php IF Else WHILE;"
+      [ t; Token.T_IF; Token.T_ELSE; Token.T_WHILE; Token.Punct ];
+    check_kinds "die is exit" "<?php die;" [ t; Token.T_EXIT; Token.Punct ];
+    check_kinds "identifier vs keyword" "<?php echoes;"
+      [ t; Token.T_STRING; Token.Punct ];
+    check_kinds "integers and floats" "<?php 42 3.14;"
+      [ t; Token.T_LNUMBER; Token.T_DNUMBER; Token.Punct ];
+    check_kinds "single-quoted string" "<?php 'abc';"
+      [ t; Token.T_CONSTANT_STRING; Token.Punct ];
+    check_kinds "double-quoted string" "<?php \"a $b c\";"
+      [ t; Token.T_ENCAPSED_STRING; Token.Punct ];
+    check_kinds "object operator" "<?php $a->b;"
+      [ t; Token.T_VARIABLE; Token.T_OBJECT_OPERATOR; Token.T_STRING; Token.Punct ];
+    check_kinds "double colon" "<?php A::b;"
+      [ t; Token.T_STRING; Token.T_DOUBLE_COLON; Token.T_STRING; Token.Punct ];
+    check_kinds "comparison operators" "<?php 1 == 2 === 3 != 4 !== 5;"
+      [ t; Token.T_LNUMBER; Token.T_IS_EQUAL; Token.T_LNUMBER;
+        Token.T_IS_IDENTICAL; Token.T_LNUMBER; Token.T_IS_NOT_EQUAL;
+        Token.T_LNUMBER; Token.T_IS_NOT_IDENTICAL; Token.T_LNUMBER; Token.Punct ];
+    check_kinds "compound assignment" "<?php $a .= $b;"
+      [ t; Token.T_VARIABLE; Token.T_CONCAT_EQUAL; Token.T_VARIABLE; Token.Punct ];
+    check_kinds "increment" "<?php $i++;"
+      [ t; Token.T_VARIABLE; Token.T_INC; Token.Punct ];
+    check_kinds "boolean operators" "<?php $a && $b || $c;"
+      [ t; Token.T_VARIABLE; Token.T_BOOLEAN_AND; Token.T_VARIABLE;
+        Token.T_BOOLEAN_OR; Token.T_VARIABLE; Token.Punct ];
+    check_kinds "logical keywords" "<?php $a and $b or $c;"
+      [ t; Token.T_VARIABLE; Token.T_LOGICAL_AND; Token.T_VARIABLE;
+        Token.T_LOGICAL_OR; Token.T_VARIABLE; Token.Punct ];
+    check_kinds "int cast" "<?php (int) $x;"
+      [ t; Token.T_INT_CAST; Token.T_VARIABLE; Token.Punct ];
+    check_kinds "cast with inner spaces" "<?php ( integer ) $x;"
+      [ t; Token.T_INT_CAST; Token.T_VARIABLE; Token.Punct ];
+    check_kinds "parens not cast" "<?php (intdiv) ;"
+      [ t; Token.Punct; Token.T_STRING; Token.Punct; Token.Punct ];
+    check_kinds "double arrow" "<?php array('a' => 1);"
+      [ t; Token.T_ARRAY; Token.Punct; Token.T_CONSTANT_STRING; Token.T_DOUBLE_ARROW;
+        Token.T_LNUMBER; Token.Punct; Token.Punct ];
+    check_kinds "close tag to inline html"
+      "<?php $x; ?>hello<?php $y;"
+      [ t; Token.T_VARIABLE; Token.Punct; Token.T_CLOSE_TAG; Token.T_INLINE_HTML;
+        t; Token.T_VARIABLE; Token.Punct ];
+  ]
+
+let line_cases =
+  [
+    Alcotest.test_case "line numbers track newlines" `Quick (fun () ->
+        let tokens = lex "<?php\n$a;\n\n$b;" in
+        let var_lines =
+          List.filter_map
+            (fun (tok : Token.t) ->
+              if tok.Token.kind = Token.T_VARIABLE then Some tok.Token.line
+              else None)
+            tokens
+        in
+        Alcotest.(check (list int)) "lines" [ 2; 4 ] var_lines);
+    Alcotest.test_case "lines inside strings" `Quick (fun () ->
+        let tokens = lex "<?php $a = 'x\ny';\n$b;" in
+        let b_line =
+          List.find_map
+            (fun (tok : Token.t) ->
+              if tok.Token.lexeme = "$b" then Some tok.Token.line else None)
+            tokens
+        in
+        Alcotest.(check (option int)) "line of $b" (Some 3) b_line);
+    Alcotest.test_case "comments removed by significant" `Quick (fun () ->
+        let got = lexemes "<?php // line\n/* block */ # hash\n$x;" in
+        Alcotest.(check (list string)) "tokens" [ "<?php"; "$x"; ";" ] got);
+    Alcotest.test_case "doc comment kind" `Quick (fun () ->
+        let all = Lexer.tokenize "<?php /** doc */ $x;" in
+        let has_doc =
+          List.exists
+            (fun (tok : Token.t) -> tok.Token.kind = Token.T_DOC_COMMENT)
+            all
+        in
+        Alcotest.(check bool) "has doc comment" true has_doc);
+    Alcotest.test_case "escaped quote in string" `Quick (fun () ->
+        let got = lexemes "<?php 'it\\'s';" in
+        Alcotest.(check (list string)) "tokens" [ "<?php"; "'it\\'s'"; ";" ] got);
+    Alcotest.test_case "escaped dquote in string" `Quick (fun () ->
+        let got = lexemes "<?php \"a\\\"b\";" in
+        Alcotest.(check (list string)) "tokens" [ "<?php"; "\"a\\\"b\""; ";" ] got);
+    Alcotest.test_case "unterminated string raises" `Quick (fun () ->
+        Alcotest.check_raises "error"
+          (Lexer.Error ("unterminated single-quoted string", 1))
+          (fun () -> ignore (lex "<?php 'oops")));
+    Alcotest.test_case "unterminated block comment raises" `Quick (fun () ->
+        Alcotest.check_raises "error"
+          (Lexer.Error ("unterminated block comment", 1))
+          (fun () -> ignore (lex "<?php /* oops")));
+    Alcotest.test_case "unexpected char raises" `Quick (fun () ->
+        try
+          ignore (lex "<?php `cmd`;");
+          Alcotest.fail "expected Lexer.Error"
+        with Lexer.Error (_, _) -> ());
+    Alcotest.test_case "html before open tag" `Quick (fun () ->
+        let tokens = lex "<html><?php $x;" in
+        match tokens with
+        | first :: _ ->
+            Alcotest.(check string) "first kind" "T_INLINE_HTML"
+              (Token.name first.Token.kind)
+        | [] -> Alcotest.fail "no tokens");
+    Alcotest.test_case "token_name mirrors PHP" `Quick (fun () ->
+        Alcotest.(check string) "variable" "T_VARIABLE"
+          (Token.name Token.T_VARIABLE);
+        Alcotest.(check string) "paamayim"
+          "T_DOUBLE_COLON" (Token.name Token.T_DOUBLE_COLON);
+        Alcotest.(check string) "constant string" "T_CONSTANT_ENCAPSED_STRING"
+          (Token.name Token.T_CONSTANT_STRING));
+    Alcotest.test_case "keyword lookup" `Quick (fun () ->
+        Alcotest.(check bool) "foreach" true
+          (Token.keyword_kind "FOREACH" = Some Token.T_FOREACH);
+        Alcotest.(check bool) "not a keyword" true
+          (Token.keyword_kind "foo" = None));
+    Alcotest.test_case "close tag eats one newline" `Quick (fun () ->
+        let tokens = lex "<?php ?>\nhtml" in
+        let html =
+          List.find_map
+            (fun (tok : Token.t) ->
+              if tok.Token.kind = Token.T_INLINE_HTML then Some tok.Token.lexeme
+              else None)
+            tokens
+        in
+        Alcotest.(check (option string)) "html content" (Some "html") html);
+  ]
+
+let () =
+  Alcotest.run "lexer"
+    [ ("token kinds", cases); ("positions and edge cases", line_cases) ]

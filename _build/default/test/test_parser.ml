@@ -1,0 +1,223 @@
+(** Parser unit tests: statement/expression coverage, PHP operator
+    precedence, string interpolation expansion, class parsing and error
+    reporting. *)
+
+open Phplang
+
+let parse src = Parser.parse_source ~file:"t.php" src
+let pe src = Parser.expr_of_string src
+
+(* compare via the printer so failures are readable *)
+let expr_str = Alcotest.testable Fmt.string String.equal
+
+let check_expr name src expected =
+  Alcotest.test_case name `Quick (fun () ->
+      Alcotest.check expr_str name expected (Printer.expr_to_string (pe src)))
+
+let check_stmt name src expected =
+  Alcotest.test_case name `Quick (fun () ->
+      match parse ("<?php " ^ src) with
+      | [ stmt ] ->
+          Alcotest.check expr_str name expected
+            (String.trim (Printer.stmt_to_string stmt))
+      | stmts ->
+          Alcotest.failf "%s: expected 1 statement, got %d" name
+            (List.length stmts))
+
+let precedence_cases =
+  [
+    (* PHP's classic low-precedence logical keywords: `$a = $b or die()`
+       parses as `($a = $b) or die()` *)
+    Alcotest.test_case "assignment binds tighter than `or`" `Quick (fun () ->
+        match (pe "$a = $b or exit").Ast.e with
+        | Ast.Bin (Ast.BoolOr, { Ast.e = Ast.Assign _; _ }, { Ast.e = Ast.Exit None; _ }) ->
+            ()
+        | _ -> Alcotest.fail "expected (assign) or (exit)");
+    Alcotest.test_case "assignment binds tighter than `and`" `Quick (fun () ->
+        match (pe "$ok = f() and g()").Ast.e with
+        | Ast.Bin (Ast.BoolAnd, { Ast.e = Ast.Assign _; _ }, { Ast.e = Ast.Call ("g", []); _ }) ->
+            ()
+        | _ -> Alcotest.fail "expected (assign) and (call)");
+    Alcotest.test_case "|| binds tighter than assignment" `Quick (fun () ->
+        match (pe "$a = $b || $c").Ast.e with
+        | Ast.Assign (_, { Ast.e = Ast.Bin (Ast.BoolOr, _, _); _ }) -> ()
+        | _ -> Alcotest.fail "expected assign of (or)");
+    check_expr "concat binds tighter than comparison" "$a . $b == $c"
+      "$a . $b == $c";
+    check_expr "mul before add" "1 + 2 * 3" "1 + 2 * 3";
+    check_expr "explicit parens preserved where needed" "(1 + 2) * 3"
+      "(1 + 2) * 3";
+    check_expr "assignment is right-associative" "$a = $b = 1" "$a = $b = 1";
+    check_expr "ternary" "$a ? 1 : 2" "$a ? 1 : 2";
+    check_expr "elvis" "$a ?: 2" "$a ?: 2";
+    check_expr "boolean and/or precedence" "$a || $b && $c" "$a || $b && $c";
+    check_expr "not binds tight" "!$a && $b" "!$a && $b";
+    check_expr "unary minus" "-$a + $b" "-$a + $b";
+    check_expr "postfix chain" "$a->b->c" "$a->b->c";
+    check_expr "method then index" "$a->b('x')[0]" "$a->b('x')[0]";
+    check_expr "cast then concat" "(int) $a . $b" "(int) $a . $b";
+    check_expr "silence operator" "@$a" "@$a";
+    check_expr "array get on call result" "f()[1]" "f()[1]";
+  ]
+
+let check_parses name src =
+  Alcotest.test_case name `Quick (fun () -> ignore (parse src))
+
+let ast_cases =
+  [
+    check_stmt "echo multiple" "echo $a, $b;" "echo $a, $b;";
+    check_stmt "if elseif else" "if ($a) { f(); } elseif ($b) { g(); } else { h(); }"
+      "if ($a) {\n    f();\n} elseif ($b) {\n    g();\n} else {\n    h();\n}";
+    check_stmt "else-if normalized to elseif"
+      "if ($a) { f(); } else if ($b) { g(); }"
+      "if ($a) {\n    f();\n} elseif ($b) {\n    g();\n}";
+    check_stmt "while" "while ($a) { f(); }" "while ($a) {\n    f();\n}";
+    check_stmt "do while" "do { f(); } while ($a);"
+      "do {\n    f();\n} while ($a);";
+    check_stmt "for" "for ($i = 0; $i < 5; $i++) { f(); }"
+      "for ($i = 0; $i < 5; $i++) {\n    f();\n}";
+    check_stmt "foreach value" "foreach ($a as $v) { f(); }"
+      "foreach ($a as $v) {\n    f();\n}";
+    check_stmt "foreach key value" "foreach ($a as $k => $v) { f(); }"
+      "foreach ($a as $k => $v) {\n    f();\n}";
+    check_stmt "global" "global $wpdb, $post;" "global $wpdb, $post;";
+    check_stmt "static vars" "static $n = 0;" "static $n = 0;";
+    check_stmt "unset" "unset($a, $b);" "unset($a, $b);";
+    check_stmt "return value" "return $a . $b;" "return $a . $b;";
+    check_stmt "throw" "throw new Exception('x');" "throw new Exception('x');";
+    check_stmt "single-stmt if body" "if ($a) f();" "if ($a) {\n    f();\n}";
+    check_parses "switch with cases and default"
+      "<?php switch ($a) { case 1: f(); break; case 2: g(); break; default: h(); }";
+    check_parses "try catch" "<?php try { f(); } catch (Exception $e) { g(); }";
+    check_parses "closure with use"
+      "<?php $f = function($a) use ($b, &$c) { return $a; };";
+    check_parses "list assignment" "<?php list($a, , $b) = f();";
+    check_parses "include family"
+      "<?php include 'a.php'; include_once 'b.php'; require 'c.php'; require_once 'd.php';";
+    check_parses "exit variants" "<?php exit; exit(); exit(1); die('x');";
+    check_parses "by-ref param and call" "<?php function f(&$x) {} f(&$y);";
+    check_parses "default params" "<?php function f($a = 1, $b = array()) {}";
+    check_parses "type-hinted param" "<?php function f(WP_Widget $w, array $a) {}";
+    check_parses "reference assignment" "<?php $a =& $b;";
+    check_parses "nested function declarations"
+      "<?php function outer() { function inner() { return 1; } }";
+    check_parses "statement ends at close tag" "<?php echo $a ?>";
+  ]
+
+let interp_cases =
+  [
+    Alcotest.test_case "simple $var interpolation" `Quick (fun () ->
+        match (pe "\"a $x b\"").Ast.e with
+        | Ast.Interp [ Ast.ILit "a "; Ast.IExpr { Ast.e = Ast.Var "$x"; _ };
+                       Ast.ILit " b" ] ->
+            ()
+        | _ -> Alcotest.fail "unexpected interp structure");
+    Alcotest.test_case "property interpolation" `Quick (fun () ->
+        match (pe "\"$obj->name\"").Ast.e with
+        | Ast.Interp [ Ast.IExpr { Ast.e = Ast.Prop ({ Ast.e = Ast.Var "$obj"; _ }, "name"); _ } ] ->
+            ()
+        | _ -> Alcotest.fail "unexpected structure");
+    Alcotest.test_case "array key interpolation" `Quick (fun () ->
+        match (pe "\"$a[key]\"").Ast.e with
+        | Ast.Interp
+            [ Ast.IExpr
+                { Ast.e = Ast.ArrayGet ({ Ast.e = Ast.Var "$a"; _ },
+                                        Some { Ast.e = Ast.Str "key"; _ }); _ } ] ->
+            ()
+        | _ -> Alcotest.fail "unexpected structure");
+    Alcotest.test_case "braced expression interpolation" `Quick (fun () ->
+        match (pe "\"x{$wpdb->prefix}y\"").Ast.e with
+        | Ast.Interp
+            [ Ast.ILit "x";
+              Ast.IExpr { Ast.e = Ast.Prop ({ Ast.e = Ast.Var "$wpdb"; _ }, "prefix"); _ };
+              Ast.ILit "y" ] ->
+            ()
+        | _ -> Alcotest.fail "unexpected structure");
+    Alcotest.test_case "no interpolation folds to Str" `Quick (fun () ->
+        match (pe "\"plain\"").Ast.e with
+        | Ast.Str "plain" -> ()
+        | _ -> Alcotest.fail "expected Str");
+    Alcotest.test_case "escapes decoded" `Quick (fun () ->
+        match (pe "\"a\\n\\t\\\"\\$b\"").Ast.e with
+        | Ast.Str "a\n\t\"$b" -> ()
+        | _ -> Alcotest.fail "expected decoded Str");
+    Alcotest.test_case "single-quote escapes" `Quick (fun () ->
+        match (pe "'it\\'s \\\\'").Ast.e with
+        | Ast.Str "it's \\" -> ()
+        | _ -> Alcotest.fail "expected decoded Str");
+  ]
+
+let class_cases =
+  [
+    Alcotest.test_case "class structure" `Quick (fun () ->
+        let src =
+          "<?php class A extends B implements C, D {\n\
+           const K = 1;\n\
+           public $p = 'x';\n\
+           private static $q;\n\
+           public function m($a) { return $a; }\n\
+           protected static function n() {}\n\
+           }"
+        in
+        match parse src with
+        | [ { Ast.s = Ast.ClassDef c; _ } ] ->
+            Alcotest.(check string) "name" "A" c.Ast.c_name;
+            Alcotest.(check (option string)) "parent" (Some "B") c.Ast.c_parent;
+            Alcotest.(check (list string)) "implements" [ "C"; "D" ] c.Ast.c_implements;
+            Alcotest.(check int) "consts" 1 (List.length c.Ast.c_consts);
+            Alcotest.(check int) "props" 2 (List.length c.Ast.c_props);
+            Alcotest.(check int) "methods" 2 (List.length c.Ast.c_methods);
+            let m = List.hd c.Ast.c_methods in
+            Alcotest.(check bool) "m not static" false m.Ast.m_static;
+            let n = List.nth c.Ast.c_methods 1 in
+            Alcotest.(check bool) "n static" true n.Ast.m_static
+        | _ -> Alcotest.fail "expected a single class");
+    Alcotest.test_case "var keyword means public" `Quick (fun () ->
+        match parse "<?php class A { var $x; }" with
+        | [ { Ast.s = Ast.ClassDef c; _ } ] ->
+            let p = List.hd c.Ast.c_props in
+            Alcotest.(check bool) "public" true (p.Ast.pr_vis = Ast.Public)
+        | _ -> Alcotest.fail "expected class");
+    Alcotest.test_case "interface methods have empty bodies" `Quick (fun () ->
+        match parse "<?php interface I { public function f($a); }" with
+        | [ { Ast.s = Ast.ClassDef c; _ } ] ->
+            let m = List.hd c.Ast.c_methods in
+            Alcotest.(check int) "empty body" 0 (List.length m.Ast.m_func.Ast.f_body)
+        | _ -> Alcotest.fail "expected interface-as-class");
+    Alcotest.test_case "new without parens" `Quick (fun () ->
+        match (pe "new Foo").Ast.e with
+        | Ast.New ("Foo", []) -> ()
+        | _ -> Alcotest.fail "expected New");
+  ]
+
+let error_cases =
+  [
+    Alcotest.test_case "missing semicolon" `Quick (fun () ->
+        try
+          ignore (parse "<?php $a = 1 $b = 2;");
+          Alcotest.fail "expected Parse_error"
+        with Parser.Parse_error (_, _) -> ());
+    Alcotest.test_case "unclosed brace" `Quick (fun () ->
+        try
+          ignore (parse "<?php function f() { echo 1;");
+          Alcotest.fail "expected Parse_error"
+        with Parser.Parse_error (_, _) -> ());
+    Alcotest.test_case "error carries position" `Quick (fun () ->
+        try ignore (parse "<?php\n\n$a = ;")
+        with Parser.Parse_error (_, pos) ->
+          Alcotest.(check int) "line" 3 pos.Ast.line);
+    Alcotest.test_case "positions recorded on statements" `Quick (fun () ->
+        match parse "<?php\necho $a;\n$b = 1;" with
+        | [ s1; s2 ] ->
+            Alcotest.(check int) "echo line" 2 s1.Ast.spos.Ast.line;
+            Alcotest.(check int) "assign line" 3 s2.Ast.spos.Ast.line
+        | _ -> Alcotest.fail "expected 2 statements");
+  ]
+
+let () =
+  Alcotest.run "parser"
+    [ ("precedence", precedence_cases);
+      ("statements", ast_cases);
+      ("interpolation", interp_cases);
+      ("classes", class_cases);
+      ("errors and positions", error_cases) ]

@@ -1,0 +1,382 @@
+(** phpSAFE analyzer behaviour tests, organised by the paper's §III.C token
+    rules, §III.E OOP support, function summaries, includes and the memory
+    budget. *)
+
+open Secflow
+
+let analyze src = Phpsafe.analyze_source ~file:"t.php" ("<?php\n" ^ src)
+
+let findings src =
+  (analyze src).Report.findings
+  |> List.map (fun (f : Report.finding) ->
+         (f.Report.kind, f.Report.sink_pos.Phplang.Ast.line))
+
+(* line numbers below are 1-based on [src], i.e. after the injected tag *)
+let expect name src expected =
+  Alcotest.test_case name `Quick (fun () ->
+      let got =
+        findings src
+        |> List.map (fun (k, l) -> Printf.sprintf "%s@%d" (Vuln.kind_to_string k) (l - 1))
+        |> List.sort compare
+      in
+      Alcotest.(check (list string)) name (List.sort compare expected) got)
+
+let flow_cases =
+  [
+    expect "direct superglobal echo" "echo $_GET['x'];" [ "XSS@1" ];
+    expect "assignment propagates" "$a = $_GET['x'];\necho $a;" [ "XSS@2" ];
+    expect "copy chains propagate" "$a = $_POST['x'];\n$b = $a;\n$c = $b;\necho $c;"
+      [ "XSS@4" ];
+    expect "concat keeps taint" "$a = 'x' . $_GET['y'] . 'z';\necho $a;" [ "XSS@2" ];
+    expect "concat-assign keeps taint" "$a = 'x';\n$a .= $_GET['y'];\necho $a;"
+      [ "XSS@3" ];
+    expect "arithmetic scrubs" "$a = $_GET['x'] + 1;\necho $a;" [];
+    expect "comparison scrubs" "$a = $_GET['x'] == 'y';\necho $a;" [];
+    expect "int cast scrubs" "$a = (int) $_GET['x'];\necho $a;" [];
+    expect "string cast keeps" "$a = (string) $_GET['x'];\necho $a;" [ "XSS@2" ];
+    expect "interpolation carries taint" "$x = $_GET['q'];\necho \"<div>$x</div>\";"
+      [ "XSS@2" ];
+    expect "ternary joins branches" "$a = $_GET['f'] ? $_GET['v'] : 'd';\necho $a;"
+      [ "XSS@2" ];
+    expect "isset guard form still tainted"
+      "$a = isset($_GET['v']) ? $_GET['v'] : '';\necho $a;" [ "XSS@2" ];
+    expect "array element taints whole array"
+      "$a = array();\n$a['k'] = $_GET['x'];\necho $a['other'];" [ "XSS@3" ];
+    expect "array literal with tainted item"
+      "$a = array('k' => $_GET['x']);\necho $a['k'];" [ "XSS@2" ];
+    expect "list assignment" "list($a, $b) = array($_GET['x'], 1);\necho $b;"
+      [ "XSS@2" ];
+    expect "unset clears taint (T_UNSET rule)"
+      "$a = $_GET['x'];\nunset($a);\necho $a;" [];
+    expect "foreach taints bound variable"
+      "$rows = array($_GET['x']);\nforeach ($rows as $r) {\necho $r;\n}"
+      [ "XSS@3" ];
+    expect "foreach key-value" "$rows = array($_POST['x']);\nforeach ($rows as $k => $v) {\necho $v;\n}"
+      [ "XSS@3" ];
+    expect "loops do not change data flow (while)"
+      "$a = $_GET['x'];\nwhile ($i < 3) {\necho $a;\n$i++;\n}" [ "XSS@3" ];
+    expect "echo of multiple args reports each"
+      "echo $_GET['a'], $_GET['b'];" [ "XSS@1" ];
+    (* same sink line: de-duplicated by (kind, file, line) *)
+    expect "print expression is a sink" "print $_GET['x'];" [ "XSS@1" ];
+    expect "exit message is a sink" "exit($_GET['x']);" [ "XSS@1" ];
+    expect "printf is a sink" "printf('%s', $_COOKIE['x']);" [ "XSS@1" ];
+    expect "sequential branch execution (paper semantics)"
+      "if ($c) {\n$a = $_GET['x'];\n} else {\n$a = 'safe';\n}\necho $a;" [];
+    expect "taint survives if no later overwrite"
+      "if ($c) {\n$a = $_GET['x'];\necho $a;\n}" [ "XSS@3" ];
+  ]
+
+let sanitizer_cases =
+  [
+    expect "htmlspecialchars cleans XSS" "echo htmlspecialchars($_GET['x']);" [];
+    expect "esc_html (WordPress) cleans XSS" "echo esc_html($_GET['x']);" [];
+    expect "intval cleans both" "$a = intval($_GET['x']);\necho $a;\n$wpdb->query(\"q $a\");" [];
+    expect "sanitizer does not clean other kind"
+      "$a = htmlspecialchars($_GET['x']);\n$wpdb->query(\"SELECT $a\");"
+      [ "SQLi@2" ];
+    expect "revert reinstates taint"
+      "$a = htmlspecialchars($_GET['x']);\n$b = stripslashes($a);\necho $b;"
+      [ "XSS@3" ];
+    expect "revert without prior sanitization keeps taint"
+      "$a = stripslashes($_GET['x']);\necho $a;" [ "XSS@2" ];
+    expect "passthrough builtin keeps taint" "echo trim($_GET['x']);" [ "XSS@1" ];
+    expect "sprintf joins all args" "echo sprintf('%s-%s', 'a', $_GET['x']);"
+      [ "XSS@1" ];
+    expect "unknown function returns untainted"
+      "$a = some_unknown_fn($_GET['x']);\necho $a;" [];
+    expect "guard trap is reported (path-insensitive)"
+      "$n = $_GET['n'];\nif (!is_numeric($n)) { exit; }\necho $n;" [ "XSS@3" ];
+  ]
+
+let interproc_cases =
+  [
+    expect "taint through parameter into sink"
+      "function f($m) {\necho $m;\n}\nf($_GET['x']);" [ "XSS@2" ];
+    expect "clean call does not fire the sink"
+      "function f($m) {\necho $m;\n}\nf('hello');" [];
+    expect "taint through return value"
+      "function f($m) {\nreturn '<b>' . $m;\n}\necho f($_POST['x']);" [ "XSS@4" ];
+    expect "function sanitizing its argument"
+      "function f($m) {\nreturn htmlspecialchars($m);\n}\necho f($_GET['x']);" [];
+    expect "source inside callee reaches caller sink"
+      "function f() {\nreturn $_GET['x'];\n}\necho f();" [ "XSS@4" ];
+    expect "two-level call chain"
+      "function inner($a) {\nreturn $a;\n}\nfunction outer($b) {\nreturn inner($b);\n}\necho outer($_GET['x']);"
+      [ "XSS@7" ];
+    expect "nested conditional sink (hoisting)"
+      "function show($t) {\necho $t;\n}\nfunction relay($u) {\nshow($u);\n}\nrelay($_GET['x']);"
+      [ "XSS@2" ];
+    expect "recursion terminates without findings"
+      "function f($a) {\nreturn f($a);\n}\necho f($_GET['x']);" [];
+    expect "recursion with internal sink"
+      "function f($a) {\necho $a;\nreturn f($a);\n}\nf($_GET['x']);" [ "XSS@2" ];
+    expect "uncalled function analyzed as entry point"
+      "function hook() {\necho $_COOKIE['c'];\n}" [ "XSS@2" ];
+    expect "uncalled function params are untainted"
+      "function hook($arg) {\necho $arg;\n}" [];
+    expect "closure body analyzed"
+      "$cb = function() {\necho $_GET['x'];\n};" [ "XSS@2" ];
+    expect "closure captures current taint"
+      "$t = $_GET['x'];\n$cb = function() use ($t) {\necho $t;\n};" [ "XSS@3" ];
+    expect "static variable initialization"
+      "function f() {\nstatic $s = 'x';\necho $s;\n}\nf();" [];
+    expect "global declaration shares state"
+      "$g = $_GET['x'];\nfunction f() {\nglobal $g;\necho $g;\n}\nf();" [ "XSS@4" ];
+  ]
+
+let oop_cases =
+  [
+    expect "wpdb get_results is an XSS source (paper §III.E)"
+      "$rows = $wpdb->get_results('SELECT * FROM sml');\nforeach ($rows as $row) {\necho $row->sml_name;\n}"
+      [ "XSS@3" ];
+    expect "wpdb get_var source" "$v = $wpdb->get_var('SELECT x');\necho $v;"
+      [ "XSS@2" ];
+    expect "wpdb query is a SQLi sink"
+      "$id = $_GET['id'];\n$wpdb->query(\"DELETE WHERE id = $id\");" [ "SQLi@2" ];
+    expect "wpdb get_results also a SQLi sink"
+      "$q = $_POST['q'];\n$wpdb->get_results(\"SELECT $q\");"
+      [ "SQLi@2" ];
+    expect "wpdb prepare sanitizes SQLi"
+      "$wpdb->query($wpdb->prepare('SELECT %s', $_GET['x']));" [];
+    expect "method of user class with internal source"
+      "class W {\npublic function render() {\necho $_GET['f'];\n}\n}" [ "XSS@3" ];
+    expect "taint through method parameter"
+      "class W {\npublic function show($t) {\necho $t;\n}\n}\n$w = new W();\n$w->show($_GET['x']);"
+      [ "XSS@3" ];
+    expect "property store and echo across methods (§III.E full names)"
+      "class F {\npublic $d;\npublic function capture() {\n$this->d = $_GET['x'];\n}\npublic function display() {\necho $this->d;\n}\n}"
+      [ "XSS@7" ];
+    expect "static method call"
+      "class S {\npublic static function go($t) {\necho $t;\n}\n}\nS::go($_POST['x']);"
+      [ "XSS@3" ];
+    expect "static property flow"
+      "class C {\npublic static $v;\n}\nC::$v = $_GET['x'];\necho C::$v;" [ "XSS@5" ];
+    expect "inherited method resolution"
+      "class Base {\npublic function emit($t) {\necho $t;\n}\n}\nclass Child extends Base {\n}\n$c = new Child();\n$c->emit($_GET['x']);"
+      [ "XSS@3" ];
+    expect "constructor analyzed on new"
+      "class K {\npublic function __construct($t) {\necho $t;\n}\n}\nnew K($_GET['x']);"
+      [ "XSS@3" ];
+    expect "object row property inherits object taint"
+      "$row = $wpdb->get_row('SELECT 1');\necho $row->title;" [ "XSS@2" ];
+    expect "class binding copied through assignment"
+      "class W {\npublic function show($t) {\necho $t;\n}\n}\n$a = new W();\n$b = $a;\n$b->show($_GET['x']);"
+      [ "XSS@3" ];
+    expect "unknown method returns untainted"
+      "$v = $mailer->fetch_subject();\necho $v;" [];
+  ]
+
+let project_cases =
+  [
+    Alcotest.test_case "include resolves across files" `Quick (fun () ->
+        let project =
+          Phplang.Project.make ~name:"p"
+            [ { Phplang.Project.path = "main.php";
+                source = "<?php\n$t = $_GET['x'];\ninclude 'view.php';\n" };
+              { Phplang.Project.path = "view.php";
+                source = "<?php\necho $t;\n" } ]
+        in
+        let r = Phpsafe.analyze_project project in
+        Alcotest.(check int) "one finding" 1 (List.length r.Report.findings);
+        let f = List.hd r.Report.findings in
+        Alcotest.(check string) "in view.php" "view.php"
+          f.Report.sink_pos.Phplang.Ast.file);
+    Alcotest.test_case "missing include is skipped" `Quick (fun () ->
+        let r =
+          Phpsafe.analyze_source ~file:"t.php"
+            "<?php include 'wp-load.php'; echo $_GET['x'];"
+        in
+        Alcotest.(check int) "finding survives" 1 (List.length r.Report.findings));
+    Alcotest.test_case "include cycles terminate" `Quick (fun () ->
+        let project =
+          Phplang.Project.make ~name:"p"
+            [ { Phplang.Project.path = "a.php";
+                source = "<?php include 'b.php'; echo $_GET['a'];" };
+              { Phplang.Project.path = "b.php";
+                source = "<?php include 'a.php'; echo $_GET['b'];" } ]
+        in
+        let r = Phpsafe.analyze_project project in
+        Alcotest.(check bool) "completes with findings" true
+          (List.length r.Report.findings >= 2));
+    Alcotest.test_case "deep include chain exhausts the memory budget" `Quick
+      (fun () ->
+        let chain n =
+          List.init n (fun i ->
+              let next =
+                if i + 1 < n then
+                  Printf.sprintf "<?php include 'c%d.php';" (i + 1)
+                else "<?php $x = 1;"
+              in
+              { Phplang.Project.path = Printf.sprintf "c%d.php" i; source = next })
+        in
+        let files =
+          { Phplang.Project.path = "main.php";
+            source = "<?php include 'c0.php'; echo $_GET['x'];" }
+          :: chain 7
+        in
+        let r = Phpsafe.analyze_project (Phplang.Project.make ~name:"p" files) in
+        let failed = Report.failed_files r in
+        Alcotest.(check (list string)) "only main fails" [ "main.php" ] failed;
+        (* the vulnerability in the failed file is missed *)
+        Alcotest.(check int) "no findings" 0 (List.length r.Report.findings));
+    Alcotest.test_case "budget can be disabled" `Quick (fun () ->
+        let files =
+          [ { Phplang.Project.path = "main.php";
+              source = "<?php include 'c0.php'; echo $_GET['x'];" } ]
+          @ List.init 8 (fun i ->
+                let next =
+                  if i < 7 then Printf.sprintf "<?php include 'c%d.php';" (i + 1)
+                  else "<?php $y = 1;"
+                in
+                { Phplang.Project.path = Printf.sprintf "c%d.php" i; source = next })
+        in
+        let opts = { Phpsafe.default_options with Phpsafe.budget = None } in
+        let r =
+          Phpsafe.analyze_project ~opts (Phplang.Project.make ~name:"p" files)
+        in
+        Alcotest.(check int) "no failed files" 0
+          (List.length (Report.failed_files r));
+        Alcotest.(check int) "finding recovered" 1 (List.length r.Report.findings));
+    Alcotest.test_case "parse failure recorded" `Quick (fun () ->
+        let r = Phpsafe.analyze_source ~file:"bad.php" "<?php $a = ;" in
+        Alcotest.(check int) "failed" 1 (List.length (Report.failed_files r)));
+    Alcotest.test_case "findings carry trace back to the source" `Quick
+      (fun () ->
+        let r =
+          Phpsafe.analyze_source ~file:"t.php"
+            "<?php\n$a = $_GET['x'];\n$b = $a;\necho $b;"
+        in
+        match r.Report.findings with
+        | [ f ] ->
+            Alcotest.(check bool) "trace non-empty" true (f.Report.trace <> []);
+            let first = List.hd f.Report.trace in
+            Alcotest.(check string) "starts at the source" "$_GET"
+              first.Report.step_var
+        | _ -> Alcotest.fail "expected exactly one finding");
+    Alcotest.test_case "duplicate sink reported once" `Quick (fun () ->
+        let r =
+          Phpsafe.analyze_source ~file:"t.php"
+            "<?php\nfunction f($a) {\necho $a;\n}\nf($_GET['x']);\nf($_GET['y']);"
+        in
+        Alcotest.(check int) "one deduplicated finding" 1
+          (List.length r.Report.findings));
+  ]
+
+(* -- analyzer option flags (ablation switches) ----------------------- *)
+
+let analyze_with opts src =
+  Phpsafe.analyze_source ~opts ~file:"t.php" ("<?php\n" ^ src)
+
+let reference_cases =
+  [
+    expect "write through a reference taints the other name"
+      "$a = 'safe';\n$b =& $a;\n$b = $_GET['x'];\necho $a;" [ "XSS@4" ];
+    expect "reference to an already-tainted variable"
+      "$a = $_GET['x'];\n$b =& $a;\necho $b;" [ "XSS@3" ];
+    expect "sanitizing through one alias cleans the cell"
+      "$a = $_GET['x'];\n$b =& $a;\n$b = htmlspecialchars($b);\necho $a;" [];
+    expect "unset breaks only the unset name"
+      "$a = $_GET['x'];\n$b =& $a;\nunset($b);\necho $a;" [ "XSS@4" ];
+    expect "alias chains resolve transitively"
+      "$a = 'safe';\n$b =& $a;\n$c =& $b;\n$c = $_GET['x'];\necho $a;"
+      [ "XSS@5" ];
+  ]
+
+let option_cases =
+  [
+    Alcotest.test_case "analyze_uncalled=false skips hook functions" `Quick
+      (fun () ->
+        let opts = { Phpsafe.default_options with Phpsafe.analyze_uncalled = false } in
+        let r = analyze_with opts "function hook() {\necho $_GET['x'];\n}" in
+        Alcotest.(check int) "no findings" 0 (List.length r.Report.findings);
+        (* called code is unaffected *)
+        let r2 = analyze_with opts "echo $_GET['x'];" in
+        Alcotest.(check int) "top-level still found" 1
+          (List.length r2.Report.findings));
+    Alcotest.test_case "resolve_includes=false loses local-scope include flows"
+      `Quick (fun () ->
+        (* a template include inside a function sees the function's locals;
+           without resolution that flow is gone (top-level flows survive via
+           the shared global state, which models WordPress loading every
+           plugin file into one runtime) *)
+        let project =
+          Phplang.Project.make ~name:"p"
+            [ { Phplang.Project.path = "main.php";
+                source =
+                  "<?php function render() { $t = $_GET['x']; include 'view.php'; } render();" };
+              { Phplang.Project.path = "view.php"; source = "<?php echo $t;" } ]
+        in
+        let with_inc = Phpsafe.analyze_project project in
+        Alcotest.(check int) "found with resolution" 1
+          (List.length with_inc.Report.findings);
+        let opts = { Phpsafe.default_options with Phpsafe.resolve_includes = false } in
+        let without = Phpsafe.analyze_project ~opts project in
+        Alcotest.(check int) "lost without resolution" 0
+          (List.length without.Report.findings));
+    Alcotest.test_case "resolve_includes=false disables the memory budget"
+      `Quick (fun () ->
+        let opts = { Phpsafe.default_options with Phpsafe.resolve_includes = false } in
+        let files =
+          { Phplang.Project.path = "main.php";
+            source = "<?php include 'c0.php'; echo $_GET['x'];" }
+          :: List.init 8 (fun i ->
+                 let next =
+                   if i < 7 then Printf.sprintf "<?php include 'c%d.php';" (i + 1)
+                   else "<?php $y = 1;"
+                 in
+                 { Phplang.Project.path = Printf.sprintf "c%d.php" i; source = next })
+        in
+        let r = Phpsafe.analyze_project ~opts (Phplang.Project.make ~name:"p" files) in
+        Alcotest.(check int) "no failures" 0 (List.length (Report.failed_files r));
+        Alcotest.(check int) "finding recovered" 1 (List.length r.Report.findings));
+    Alcotest.test_case "respect_guards removes the numeric-guard FP" `Quick
+      (fun () ->
+        let opts = { Phpsafe.default_options with Phpsafe.respect_guards = true } in
+        let src = "$n = $_GET['n'];\nif (!is_numeric($n)) { exit; }\necho $n;" in
+        let r = analyze_with opts src in
+        Alcotest.(check int) "guarded echo is clean" 0
+          (List.length r.Report.findings);
+        (* and the default stays path-insensitive like the paper's tool *)
+        let r2 = analyze_with Phpsafe.default_options src in
+        Alcotest.(check int) "default still flags it" 1
+          (List.length r2.Report.findings));
+    Alcotest.test_case "respect_guards needs a terminating branch" `Quick
+      (fun () ->
+        let opts = { Phpsafe.default_options with Phpsafe.respect_guards = true } in
+        let r =
+          analyze_with opts
+            "$n = $_GET['n'];\nif (!is_numeric($n)) { $n = $n . '!'; }\necho $n;"
+        in
+        Alcotest.(check int) "non-terminating branch keeps taint" 1
+          (List.length r.Report.findings));
+    Alcotest.test_case "respect_guards ignores unknown guards" `Quick (fun () ->
+        let opts = { Phpsafe.default_options with Phpsafe.respect_guards = true } in
+        let r =
+          analyze_with opts
+            "$n = $_GET['n'];\nif (!my_check($n)) { exit; }\necho $n;"
+        in
+        Alcotest.(check int) "unknown guard keeps taint" 1
+          (List.length r.Report.findings));
+    Alcotest.test_case "generic config loses WordPress detections" `Quick
+      (fun () ->
+        let opts =
+          { Phpsafe.default_options with Phpsafe.config = Phpsafe.Config.generic_php }
+        in
+        let r =
+          analyze_with opts
+            "$v = $wpdb->get_var('SELECT x');\necho $v;\necho esc_html($_GET['q']);"
+        in
+        (* loses the $wpdb source, and esc_html is unknown (returns clean) *)
+        Alcotest.(check int) "no findings" 0 (List.length r.Report.findings));
+  ]
+
+let () =
+  Alcotest.run "phpsafe"
+    [ ("data flow (§III.C)", flow_cases);
+      ("sanitizers and reverts (§III.A)", sanitizer_cases);
+      ("inter-procedural and summaries", interproc_cases);
+      ("OOP support (§III.E)", oop_cases);
+      ("projects, includes, budget", project_cases);
+      ("references (=& aliasing)", reference_cases);
+      ("option flags (ablation switches)", option_cases) ]

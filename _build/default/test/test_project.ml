@@ -1,0 +1,92 @@
+(** Project model and LOC accounting tests: include-target extraction,
+    transitive closure with cycles, and the line-counting rules. *)
+
+open Phplang
+
+let parse ~file src = Parser.parse_source ~file src
+
+let file path source = { Project.path; source }
+
+let case name f = Alcotest.test_case name `Quick f
+
+let include_cases =
+  [
+    case "literal include targets in order" (fun () ->
+        let prog =
+          parse ~file:"a.php"
+            "<?php include 'x.php'; require_once 'y.php'; if ($c) { include 'z.php'; }"
+        in
+        Alcotest.(check (list string)) "targets" [ "x.php"; "y.php"; "z.php" ]
+          (Project.include_targets prog));
+    case "dynamic includes are skipped" (fun () ->
+        let prog = parse ~file:"a.php" "<?php include $path; include 'ok.php';" in
+        Alcotest.(check (list string)) "targets" [ "ok.php" ]
+          (Project.include_targets prog));
+    case "includes found inside functions and classes" (fun () ->
+        let prog =
+          parse ~file:"a.php"
+            "<?php function f() { include 'in-fn.php'; } class C { public function m() { include 'in-m.php'; } }"
+        in
+        Alcotest.(check (list string)) "targets" [ "in-fn.php"; "in-m.php" ]
+          (Project.include_targets prog));
+    case "closure depth and membership" (fun () ->
+        let p =
+          Project.make ~name:"p"
+            [ file "a.php" "<?php include 'b.php';";
+              file "b.php" "<?php include 'c.php';";
+              file "c.php" "<?php $x = 1;" ]
+        in
+        let parse_file (f : Project.file) =
+          Some (parse ~file:f.Project.path f.Project.source)
+        in
+        let closure, depth = Project.include_closure ~parse:parse_file p "a.php" in
+        Alcotest.(check (list string)) "closure" [ "a.php"; "b.php"; "c.php" ] closure;
+        Alcotest.(check int) "depth" 2 depth);
+    case "closure cuts cycles" (fun () ->
+        let p =
+          Project.make ~name:"p"
+            [ file "a.php" "<?php include 'b.php';";
+              file "b.php" "<?php include 'a.php';" ]
+        in
+        let parse_file (f : Project.file) =
+          Some (parse ~file:f.Project.path f.Project.source)
+        in
+        let closure, _depth = Project.include_closure ~parse:parse_file p "a.php" in
+        Alcotest.(check (list string)) "closure" [ "a.php"; "b.php" ] closure);
+    case "missing include files are tolerated" (fun () ->
+        let p = Project.make ~name:"p" [ file "a.php" "<?php include 'wp-load.php';" ] in
+        let parse_file (f : Project.file) =
+          Some (parse ~file:f.Project.path f.Project.source)
+        in
+        let closure, depth = Project.include_closure ~parse:parse_file p "a.php" in
+        Alcotest.(check int) "closure size" 2 (List.length closure);
+        Alcotest.(check int) "depth counts the attempt" 1 depth);
+    case "find and file_count" (fun () ->
+        let p = Project.make ~name:"p" [ file "a.php" "x"; file "b.php" "y" ] in
+        Alcotest.(check int) "count" 2 (Project.file_count p);
+        Alcotest.(check bool) "find hit" true (Project.find p "a.php" <> None);
+        Alcotest.(check bool) "find miss" true (Project.find p "c.php" = None));
+  ]
+
+let loc_cases =
+  [
+    case "count skips blank lines" (fun () ->
+        Alcotest.(check int) "loc" 3 (Loc.count "a\n\nb\n   \nc"));
+    case "count of empty string" (fun () ->
+        Alcotest.(check int) "loc" 0 (Loc.count ""));
+    case "physical lines" (fun () ->
+        Alcotest.(check int) "lines" 3 (Loc.physical_lines "a\nb\nc");
+        Alcotest.(check int) "trailing newline" 3 (Loc.physical_lines "a\nb\nc\n");
+        Alcotest.(check int) "empty" 0 (Loc.physical_lines ""));
+    case "tabs and spaces are blank" (fun () ->
+        Alcotest.(check int) "loc" 1 (Loc.count "\t \r\nreal"));
+    case "project_loc sums files" (fun () ->
+        let p =
+          Project.make ~name:"p" [ file "a.php" "x\ny"; file "b.php" "z" ]
+        in
+        Alcotest.(check int) "total" 3 (Loc.project_loc p));
+  ]
+
+let () =
+  Alcotest.run "project"
+    [ ("includes", include_cases); ("loc", loc_cases) ]

@@ -1,0 +1,126 @@
+(** Taint lattice tests: unit laws for sources, sanitize, revert and the
+    dependency machinery, plus QCheck algebraic properties of [join]. *)
+
+open Secflow
+module T = Phpsafe.Taint
+
+let pos = Phplang.Ast.dummy_pos
+let xss_src = T.of_source ~kinds:[ Vuln.Xss ] ~source:(Vuln.Superglobal "$_GET") ~pos
+let both_src =
+  T.of_source ~kinds:[ Vuln.Xss; Vuln.Sqli ] ~source:(Vuln.Superglobal "$_POST") ~pos
+
+let unit_cases =
+  [
+    Alcotest.test_case "untainted is clean" `Quick (fun () ->
+        Alcotest.(check bool) "xss" false (T.is_tainted Vuln.Xss T.untainted);
+        Alcotest.(check bool) "sqli" false (T.is_tainted Vuln.Sqli T.untainted);
+        Alcotest.(check bool) "not interesting" false (T.interesting T.untainted));
+    Alcotest.test_case "source taints its kinds only" `Quick (fun () ->
+        Alcotest.(check bool) "xss" true (T.is_tainted Vuln.Xss xss_src);
+        Alcotest.(check bool) "sqli" false (T.is_tainted Vuln.Sqli xss_src));
+    Alcotest.test_case "sanitize clears a kind" `Quick (fun () ->
+        let t = T.sanitize Vuln.Xss both_src in
+        Alcotest.(check bool) "xss off" false (T.is_tainted Vuln.Xss t);
+        Alcotest.(check bool) "sqli kept" true (T.is_tainted Vuln.Sqli t));
+    Alcotest.test_case "revert restores sanitized taint" `Quick (fun () ->
+        let t = T.revert (T.sanitize Vuln.Xss xss_src) in
+        Alcotest.(check bool) "xss back" true (T.is_tainted Vuln.Xss t));
+    Alcotest.test_case "revert on never-tainted is a no-op" `Quick (fun () ->
+        let t = T.revert T.untainted in
+        Alcotest.(check bool) "still clean" false (T.any_tainted t));
+    Alcotest.test_case "sanitize both kinds" `Quick (fun () ->
+        let t = T.sanitize_kinds [ Vuln.Xss; Vuln.Sqli ] both_src in
+        Alcotest.(check bool) "clean" false (T.any_tainted t);
+        let r = T.revert t in
+        Alcotest.(check bool) "revert restores both" true
+          (T.is_tainted Vuln.Xss r && T.is_tainted Vuln.Sqli r));
+    Alcotest.test_case "scrub drops everything" `Quick (fun () ->
+        let t = T.scrub both_src in
+        Alcotest.(check bool) "clean" false (T.interesting t));
+    Alcotest.test_case "param deps flow through join" `Quick (fun () ->
+        let t = T.join (T.of_param 0) (T.of_param 2) in
+        Alcotest.(check int) "two deps" 2 (T.Int_set.cardinal (T.deps Vuln.Xss t));
+        Alcotest.(check bool) "interesting" true (T.interesting t);
+        Alcotest.(check bool) "not concretely tainted" false (T.any_tainted t));
+    Alcotest.test_case "sanitize clears deps for that kind" `Quick (fun () ->
+        let t = T.sanitize Vuln.Xss (T.of_param 1) in
+        Alcotest.(check bool) "xss deps gone" true
+          (T.Int_set.is_empty (T.deps Vuln.Xss t));
+        Alcotest.(check bool) "sqli deps kept" false
+          (T.Int_set.is_empty (T.deps Vuln.Sqli t)));
+    Alcotest.test_case "revert restores deps" `Quick (fun () ->
+        let t = T.revert (T.sanitize Vuln.Xss (T.of_param 1)) in
+        Alcotest.(check bool) "deps back" false
+          (T.Int_set.is_empty (T.deps Vuln.Xss t)));
+    Alcotest.test_case "join keeps first source" `Quick (fun () ->
+        let j = T.join xss_src both_src in
+        let src, _ = T.source_of j in
+        Alcotest.(check string) "source" "$_GET" (Vuln.source_to_string src));
+    Alcotest.test_case "trace is bounded" `Quick (fun () ->
+        let t = ref xss_src in
+        for i = 1 to 50 do
+          t := T.push_step !t ~var:(Printf.sprintf "$v%d" i) ~pos ~note:"hop"
+        done;
+        Alcotest.(check bool) "bounded" true
+          (List.length !t.T.trace <= T.max_trace_len));
+  ]
+
+(* -- QCheck: join is a semilattice on the flag component ------------- *)
+
+open QCheck2
+
+let gen_taint : T.t Gen.t =
+  let open Gen in
+  let* xss = bool and* sqli = bool and* wx = bool and* ws = bool in
+  let* d1 = int_bound 3 and* d2 = int_bound 3 in
+  let* sanitized = bool in
+  let base =
+    {
+      T.untainted with
+      T.xss;
+      sqli;
+      was_xss = wx;
+      was_sqli = ws;
+      deps_xss = T.Int_set.of_list [ d1 ];
+      deps_sqli = T.Int_set.of_list [ d2 ];
+    }
+  in
+  return (if sanitized then T.sanitize Vuln.Xss base else base)
+
+let flags t =
+  ( t.T.xss, t.T.sqli, t.T.was_xss, t.T.was_sqli,
+    T.Int_set.elements t.T.deps_xss, T.Int_set.elements t.T.deps_sqli )
+
+let props =
+  [
+    Test.make ~name:"join commutes (flags)" ~count:300
+      (Gen.pair gen_taint gen_taint)
+      (fun (a, b) -> flags (T.join a b) = flags (T.join b a));
+    Test.make ~name:"join associates (flags)" ~count:300
+      (Gen.triple gen_taint gen_taint gen_taint)
+      (fun (a, b, c) ->
+        flags (T.join a (T.join b c)) = flags (T.join (T.join a b) c));
+    Test.make ~name:"join is idempotent" ~count:300 gen_taint (fun a ->
+        flags (T.join a a) = flags a);
+    Test.make ~name:"untainted is identity for join" ~count:300 gen_taint
+      (fun a -> flags (T.join a T.untainted) = flags a);
+    Test.make ~name:"sanitize then revert restores live taint" ~count:300
+      gen_taint (fun a ->
+        let restored = T.revert (T.sanitize Vuln.Xss a) in
+        (* revert may only grow the taint: everything live before is live after *)
+        (not a.T.xss) || restored.T.xss);
+    Test.make ~name:"sanitize is idempotent" ~count:300 gen_taint (fun a ->
+        flags (T.sanitize Vuln.Xss (T.sanitize Vuln.Xss a))
+        = flags (T.sanitize Vuln.Xss a));
+    Test.make ~name:"join monotone wrt taintedness" ~count:300
+      (Gen.pair gen_taint gen_taint)
+      (fun (a, b) ->
+        let j = T.join a b in
+        (T.is_tainted Vuln.Xss a || T.is_tainted Vuln.Xss b)
+        = T.is_tainted Vuln.Xss j);
+  ]
+
+let () =
+  Alcotest.run "taint"
+    [ ("laws", unit_cases);
+      ("qcheck semilattice", List.map QCheck_alcotest.to_alcotest props) ]
