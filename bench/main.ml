@@ -39,9 +39,40 @@ let detection_time (tool : Secflow.Tool.t) corpus =
   done;
   (Sys.time () -. t0) /. float_of_int timed_runs
 
-(* Precomputed evaluations reused by the report and the fast benches. *)
-let ev2012 = Evalkit.Runner.evaluate Corpus.Plan.V2012
-let ev2014 = Evalkit.Runner.evaluate Corpus.Plan.V2014
+(* Domain pool for the parallel driver ($PHPSAFE_JOBS overrides sizing). *)
+let pool = Sched.create ()
+
+(* Precomputed evaluations reused by the report and the fast benches,
+   computed through the parallel driver (results are identical to the
+   sequential path; only timing differs). *)
+let ev2012, stats2012 =
+  Evalkit.Runner.evaluate_with_stats ~pool Corpus.Plan.V2012
+let ev2014, stats2014 =
+  Evalkit.Runner.evaluate_with_stats ~pool Corpus.Plan.V2014
+
+(* Whole-corpus wall-clock comparison: the six Table III runs (tool ×
+   version) once sequentially, once fanned out across the pool. *)
+let sequential_vs_parallel () =
+  let items =
+    List.concat_map
+      (fun (tool : Secflow.Tool.t) ->
+        [ (tool, corpus12); (tool, corpus14) ])
+      tools
+  in
+  let work (tool, corpus) = ignore (run_tool_on tool corpus) in
+  let wall f =
+    let t0 = Sched.now () in
+    f ();
+    Sched.now () -. t0
+  in
+  let seq = wall (fun () -> List.iter work items) in
+  let par = wall (fun () -> ignore (Sched.map ~pool work items)) in
+  Format.printf
+    "@.== Table III whole-corpus runs: sequential vs parallel wall clock ==@.";
+  Format.printf
+    "sequential: %6.2fs   parallel (%d domains): %6.2fs   speedup: %.2fx@."
+    seq (Sched.size pool) par
+    (if par > 0. then seq /. par else nan)
 
 (* ------------------------------------------------------------------ *)
 (* Bechamel tests: one per table / figure                              *)
@@ -162,6 +193,10 @@ let () =
       Format.printf "%-8s  V.2012: %6.2f s   V.2014: %6.2f s@."
         tool.Secflow.Tool.name t12 t14)
     tools;
+  sequential_vs_parallel ();
+  Format.printf "@.== scheduler / parse-cache instrumentation ==@.";
+  Format.printf "-- version 2012 --@.%a" Sched.pp_stats stats2012;
+  Format.printf "-- version 2014 --@.%a" Sched.pp_stats stats2014;
   (* E10: scaling study *)
   Evalkit.Scaling.print Format.std_formatter
     (Evalkit.Scaling.measure Corpus.Plan.V2012);

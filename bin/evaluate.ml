@@ -1,14 +1,40 @@
 (** Runs the full paper evaluation (both corpus versions, all three tools)
     and prints every table and figure of §V with the paper-reported values
-    alongside. *)
+    alongside.
+
+    The (tool × plugin) analysis grid fans out across a domain pool; size
+    it with [--jobs N] (or [-j N]), or the [PHPSAFE_JOBS] environment
+    variable, defaulting to the machine's recommended domain count.  The
+    tables are byte-identical whatever the pool size — only wall time
+    changes. *)
+
+let jobs_from_argv () =
+  let rec scan = function
+    | ("--jobs" | "-j") :: n :: rest -> (
+        match int_of_string_opt n with
+        | Some n when n >= 1 -> Some n
+        | _ -> scan rest)
+    | _ :: rest -> scan rest
+    | [] -> None
+  in
+  scan (Array.to_list Sys.argv)
 
 let () =
-  let ev2012, ev2014 =
-    Evalkit.evaluate_and_report ~with_ablation:true Format.std_formatter
+  let pool =
+    match jobs_from_argv () with
+    | Some size -> Sched.create ~size ()
+    | None -> Sched.create ()
   in
+  let ev2012, st2012 = Evalkit.Runner.evaluate_with_stats ~pool Corpus.Plan.V2012 in
+  let ev2014, st2014 = Evalkit.Runner.evaluate_with_stats ~pool Corpus.Plan.V2014 in
+  Evalkit.Tables.full_report ~with_ablation:true Format.std_formatter ~ev2012
+    ~ev2014;
   Format.printf "@.-- version 2012 --@.";
   Evalkit.Pattern_report.print Format.std_formatter
     (Evalkit.Pattern_report.compute ev2012);
   Format.printf "@.-- version 2014 --@.";
   Evalkit.Pattern_report.print Format.std_formatter
-    (Evalkit.Pattern_report.compute ev2014)
+    (Evalkit.Pattern_report.compute ev2014);
+  Format.printf "@.== scheduler / parse-cache instrumentation ==@.";
+  Format.printf "-- version 2012 --@.%a" Sched.pp_stats st2012;
+  Format.printf "-- version 2014 --@.%a" Sched.pp_stats st2014

@@ -33,9 +33,53 @@ let run_tool (tool : Secflow.Tool.t) (corpus : Corpus.t) : tool_run =
     tr_seconds = seconds;
   }
 
-let evaluate ?(tools = default_tools ()) version : evaluation =
+(** Parallel fan-out: the unit of work is one [analyze_project] call (the
+    analyzers keep all mutable state in per-run contexts), so the
+    (tool × plugin) grid is scheduled dynamically across the pool.
+    [Sched.map] returns results in input order, so regrouping them per tool
+    reproduces the sequential output exactly — findings, outcomes and
+    classification are byte-identical; only the timing fields differ.
+    [tr_seconds] becomes the summed per-item wall time, the closest
+    parallel analogue of the sequential CPU measurement. *)
+let run_tools_parallel ~pool tools (corpus : Corpus.t) : tool_run list =
+  let items =
+    List.concat_map
+      (fun (tool : Secflow.Tool.t) ->
+        List.map (fun p -> (tool, p)) corpus.Corpus.plugins)
+      tools
+  in
+  let results =
+    Sched.map ~pool
+      (fun ((tool : Secflow.Tool.t), (p : Corpus.Catalog.plugin_output)) ->
+        let t0 = Sched.now () in
+        let r = tool.Secflow.Tool.analyze_project p.Corpus.Catalog.po_project in
+        (tool.Secflow.Tool.name, p.Corpus.Catalog.po_name, r,
+         Sched.now () -. t0))
+      items
+  in
+  List.map
+    (fun (tool : Secflow.Tool.t) ->
+      let mine =
+        List.filter
+          (fun (tn, _, _, _) -> String.equal tn tool.Secflow.Tool.name)
+          results
+      in
+      {
+        tr_output =
+          { Matching.to_tool = tool.Secflow.Tool.name;
+            to_results = List.map (fun (_, pn, r, _) -> (pn, r)) mine };
+        tr_seconds =
+          List.fold_left (fun acc (_, _, _, s) -> acc +. s) 0. mine;
+      })
+    tools
+
+let evaluate ?(tools = default_tools ()) ?pool version : evaluation =
   let corpus = Corpus.generate version in
-  let runs = List.map (fun t -> run_tool t corpus) tools in
+  let runs =
+    match pool with
+    | None -> List.map (fun t -> run_tool t corpus) tools
+    | Some pool -> run_tools_parallel ~pool tools corpus
+  in
   let classified =
     List.map
       (fun r -> Matching.classify ~seeds:corpus.Corpus.seeds r.tr_output)
@@ -49,6 +93,32 @@ let evaluate ?(tools = default_tools ()) version : evaluation =
     ev_classified = classified;
     ev_union = union;
   }
+
+(** [evaluate] plus the {!Sched.stats} instrumentation of the run: work-item
+    count, parse-cache hit/miss delta and wall time, overall and per tool. *)
+let evaluate_with_stats ?(tools = default_tools ()) ?pool version :
+    evaluation * Sched.stats =
+  let cache = Phplang.Project.Parse_cache.shared in
+  let hits0 = Phplang.Project.Parse_cache.hits cache in
+  let misses0 = Phplang.Project.Parse_cache.misses cache in
+  let t0 = Sched.now () in
+  let ev = evaluate ~tools ?pool version in
+  let wall = Sched.now () -. t0 in
+  let stats =
+    {
+      Sched.st_pool_size =
+        (match pool with Some p -> Sched.size p | None -> 1);
+      st_work_items = List.length tools * List.length ev.ev_corpus.Corpus.plugins;
+      st_files_parsed = Phplang.Project.Parse_cache.misses cache - misses0;
+      st_cache_hits = Phplang.Project.Parse_cache.hits cache - hits0;
+      st_wall_total = wall;
+      st_wall_per_tool =
+        List.map
+          (fun r -> (r.tr_output.Matching.to_tool, r.tr_seconds))
+          ev.ev_runs;
+    }
+  in
+  (ev, stats)
 
 let classified_for ev tool_name =
   List.find

@@ -19,9 +19,29 @@ val default_tools : unit -> Secflow.Tool.t list
 
 val run_tool : Secflow.Tool.t -> Corpus.t -> tool_run
 
-val evaluate : ?tools:Secflow.Tool.t list -> Corpus.Plan.version -> evaluation
+val run_tools_parallel :
+  pool:Sched.pool -> Secflow.Tool.t list -> Corpus.t -> tool_run list
+(** Fan the (tool × plugin) grid out across the pool's domains.  The reduce
+    is deterministic: findings, outcomes and per-plugin ordering are
+    identical to running {!run_tool} sequentially; only the timing fields
+    differ ([tr_seconds] is summed per-item wall time). *)
+
+val evaluate :
+  ?tools:Secflow.Tool.t list ->
+  ?pool:Sched.pool ->
+  Corpus.Plan.version ->
+  evaluation
 (** Generate the corpus, run every tool, classify against ground truth and
-    compute the detected union. *)
+    compute the detected union.  With [~pool] the (tool × plugin) work items
+    run in parallel across domains; without it the driver is the original
+    sequential fold.  Both produce identical results modulo timing. *)
+
+val evaluate_with_stats :
+  ?tools:Secflow.Tool.t list ->
+  ?pool:Sched.pool ->
+  Corpus.Plan.version ->
+  evaluation * Sched.stats
+(** [evaluate] plus scheduler/parse-cache instrumentation for the run. *)
 
 val classified_for : evaluation -> string -> Matching.classified
 (** Lookup by tool name; raises [Not_found] for unknown tools. *)

@@ -83,8 +83,12 @@ let lex_single_quoted st =
       let c = st.src.[st.pos] in
       if c = '\n' then st.line <- st.line + 1;
       if c = '\\' && st.pos + 1 < len then begin
+        (* the escaped character is consumed too: a backslash-newline must
+           still advance the line counter *)
+        let c2 = st.src.[st.pos + 1] in
+        if c2 = '\n' then st.line <- st.line + 1;
         Buffer.add_char buf c;
-        Buffer.add_char buf st.src.[st.pos + 1];
+        Buffer.add_char buf c2;
         st.pos <- st.pos + 2;
         scan ()
       end
@@ -109,8 +113,12 @@ let lex_double_quoted st =
       let c = st.src.[st.pos] in
       if c = '\n' then st.line <- st.line + 1;
       if c = '\\' && st.pos + 1 < len then begin
+        (* the escaped character is consumed too: a backslash-newline must
+           still advance the line counter *)
+        let c2 = st.src.[st.pos + 1] in
+        if c2 = '\n' then st.line <- st.line + 1;
         Buffer.add_char buf c;
-        Buffer.add_char buf st.src.[st.pos + 1];
+        Buffer.add_char buf c2;
         st.pos <- st.pos + 2;
         scan ()
       end
@@ -123,15 +131,62 @@ let lex_double_quoted st =
   scan ();
   Token.make Token.T_ENCAPSED_STRING (Buffer.contents buf) line
 
+let is_hex_digit c =
+  is_digit c || (c >= 'a' && c <= 'f') || (c >= 'A' && c <= 'F')
+
+let is_bin_digit c = c = '0' || c = '1'
+
+(* Integer and float literals: decimal and leading-zero octal integers,
+   0x../0b.. hex and binary, d.d floats and exponent notation (1e3, 1.5E-2,
+   2e+10).  A trailing 'e' with no digits is not an exponent — "5en" stays
+   T_LNUMBER "5" followed by an identifier, like PHP. *)
 let lex_number st =
   let line = st.line in
-  let intpart = take_while st is_digit in
-  match (peek st 0, peek st 1) with
-  | Some '.', Some d when is_digit d ->
-      st.pos <- st.pos + 1;
-      let frac = take_while st is_digit in
-      Token.make Token.T_DNUMBER (intpart ^ "." ^ frac) line
-  | _ -> Token.make Token.T_LNUMBER intpart line
+  let prefixed prefix_len pred =
+    let start = st.pos in
+    st.pos <- st.pos + prefix_len;
+    ignore (take_while st pred);
+    Token.make Token.T_LNUMBER (String.sub st.src start (st.pos - start)) line
+  in
+  if (looking_at_ci st "0x")
+     && (match peek st 2 with Some c -> is_hex_digit c | None -> false)
+  then prefixed 2 is_hex_digit
+  else if (looking_at_ci st "0b")
+          && (match peek st 2 with Some c -> is_bin_digit c | None -> false)
+  then prefixed 2 is_bin_digit
+  else begin
+    let intpart = take_while st is_digit in
+    let frac =
+      match (peek st 0, peek st 1) with
+      | Some '.', Some d when is_digit d ->
+          st.pos <- st.pos + 1;
+          Some (take_while st is_digit)
+      | _ -> None
+    in
+    let expo =
+      match peek st 0 with
+      | Some ('e' | 'E') ->
+          let signed = match peek st 1 with Some ('+' | '-') -> true | _ -> false in
+          let first_digit = if signed then peek st 2 else peek st 1 in
+          (match first_digit with
+          | Some d when is_digit d ->
+              let start = st.pos in
+              st.pos <- st.pos + (if signed then 2 else 1);
+              ignore (take_while st is_digit);
+              Some (String.sub st.src start (st.pos - start))
+          | _ -> None)
+      | _ -> None
+    in
+    match (frac, expo) with
+    | None, None -> Token.make Token.T_LNUMBER intpart line
+    | _ ->
+        let lexeme =
+          intpart
+          ^ (match frac with Some f -> "." ^ f | None -> "")
+          ^ (match expo with Some e -> e | None -> "")
+        in
+        Token.make Token.T_DNUMBER lexeme line
+  end
 
 let lex_line_comment st =
   let line = st.line in

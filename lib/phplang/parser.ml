@@ -74,6 +74,23 @@ let decode_single lexeme =
   done;
   Buffer.contents buf
 
+(* PHP integer-literal semantics: 0x../0b.. are hex/binary (OCaml's
+   [int_of_string] already reads those), a leading zero means octal
+   ("0755" is 493), anything else is decimal.  Malformed octal like "08"
+   falls back to decimal, the closest to PHP 5's silent truncation that
+   keeps the literal's value recognisable. *)
+let int_of_lnumber lexeme =
+  let is_octal_digit c = c >= '0' && c <= '7' in
+  let len = String.length lexeme in
+  if len > 1 && lexeme.[0] = '0' then
+    match lexeme.[1] with
+    | 'x' | 'X' | 'b' | 'B' -> int_of_string lexeme
+    | _ ->
+        let body = String.sub lexeme 1 (len - 1) in
+        if String.for_all is_octal_digit body then int_of_string ("0o" ^ body)
+        else int_of_string lexeme
+  else int_of_string lexeme
+
 let is_ident_start c =
   (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'
 
@@ -385,7 +402,7 @@ and parse_primary st =
   match t.Token.kind with
   | Token.T_LNUMBER ->
       ignore (advance st);
-      Ast.mk_e ~pos (Ast.Int (int_of_string t.Token.lexeme))
+      Ast.mk_e ~pos (Ast.Int (int_of_lnumber t.Token.lexeme))
   | Token.T_DNUMBER ->
       ignore (advance st);
       Ast.mk_e ~pos (Ast.Float (float_of_string t.Token.lexeme))

@@ -108,6 +108,101 @@ let include_targets (prog : Ast.program) : string list =
   List.iter visit_stmt prog;
   List.rev !acc
 
+(* ------------------------------------------------------------------ *)
+(* Memoized parsing                                                   *)
+(* ------------------------------------------------------------------ *)
+
+(** Content-keyed parse memoization shared by every analyzer.  A file's AST
+    depends only on its path (recorded in positions) and its source text, so
+    entries are keyed by path + source digest and can be shared across
+    plugins, analyzers and domains: each distinct file is parsed exactly
+    once per process, the second and third tool reuse the first tool's
+    work.
+
+    Domain safety: the table is guarded by a mutex, and a miss publishes an
+    [In_progress] marker before parsing outside the lock, so concurrent
+    requests for the same file wait on the condition variable instead of
+    parsing twice — the "exactly once" stats guarantee holds under
+    parallelism. *)
+module Parse_cache = struct
+  type entry =
+    | In_progress
+    | Done of (Ast.program, string) result
+
+  type t = {
+    table : (string * string, entry) Hashtbl.t;  (** (path, digest) *)
+    lock : Mutex.t;
+    cond : Condition.t;
+    hits : int Atomic.t;
+    misses : int Atomic.t;
+  }
+
+  let create () =
+    {
+      table = Hashtbl.create 256;
+      lock = Mutex.create ();
+      cond = Condition.create ();
+      hits = Atomic.make 0;
+      misses = Atomic.make 0;
+    }
+
+  (** Process-wide default used by the analyzers. *)
+  let shared = create ()
+
+  (* Global kill switch, for A/B-testing the cache (test_sched) and for
+     memory-constrained runs; flip only from a quiescent main domain. *)
+  let enabled_flag = Atomic.make true
+  let set_enabled b = Atomic.set enabled_flag b
+  let enabled () = Atomic.get enabled_flag
+
+  let hits t = Atomic.get t.hits
+  let misses t = Atomic.get t.misses
+
+  let clear t =
+    Mutex.lock t.lock;
+    Hashtbl.reset t.table;
+    Mutex.unlock t.lock;
+    Atomic.set t.hits 0;
+    Atomic.set t.misses 0
+
+  let memo t key parse =
+    Mutex.lock t.lock;
+    let rec await () =
+      match Hashtbl.find_opt t.table key with
+      | Some (Done v) ->
+          Mutex.unlock t.lock;
+          Atomic.incr t.hits;
+          v
+      | Some In_progress ->
+          Condition.wait t.cond t.lock;
+          await ()
+      | None ->
+          Hashtbl.replace t.table key In_progress;
+          Mutex.unlock t.lock;
+          let v = parse () in
+          Mutex.lock t.lock;
+          Hashtbl.replace t.table key (Done v);
+          Condition.broadcast t.cond;
+          Mutex.unlock t.lock;
+          Atomic.incr t.misses;
+          v
+    in
+    await ()
+end
+
+(** Parse [f], memoized in [cache] (default: {!Parse_cache.shared}) unless
+    the cache is globally disabled.  [Error msg] is a parse failure — cached
+    too, so a broken file is diagnosed once, not once per tool. *)
+let parse_file ?(cache = Parse_cache.shared) (f : file) :
+    (Ast.program, string) result =
+  let parse () =
+    match Parser.parse_source ~file:f.path f.source with
+    | prog -> Ok prog
+    | exception Parser.Parse_error (msg, _) -> Error msg
+  in
+  if not (Parse_cache.enabled ()) then parse ()
+  else Parse_cache.memo cache (f.path, Digest.string f.source) parse
+
 (** Transitive include closure of [path] within project [t], parsed on
     demand with [parse].  Returns the set of reachable paths (including
     [path] itself) and the maximum include depth encountered.  Cycles are

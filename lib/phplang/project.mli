@@ -12,6 +12,41 @@ val find : t -> string -> file option
 
 val file_count : t -> int
 
+(** Content-keyed parse memoization shared by analyzers and domains:
+    entries are keyed by file path + source digest, so each distinct file
+    is parsed exactly once per process even when three tools (or several
+    domains) visit it.  Safe to use concurrently: the table is
+    mutex-guarded and concurrent misses for the same key parse only once. *)
+module Parse_cache : sig
+  type t
+
+  val create : unit -> t
+
+  val shared : t
+  (** Process-wide default cache used by {!parse_file}. *)
+
+  val set_enabled : bool -> unit
+  (** Globally enable/disable memoization ([true] initially).  Flip only
+      from the main domain while no analysis is running. *)
+
+  val enabled : unit -> bool
+
+  val hits : t -> int
+  (** Parses avoided because the entry was already cached. *)
+
+  val misses : t -> int
+  (** Actual parses performed through this cache. *)
+
+  val clear : t -> unit
+  (** Drop all entries and reset the hit/miss counters. *)
+end
+
+val parse_file :
+  ?cache:Parse_cache.t -> file -> (Ast.program, string) result
+(** Parse one project file, memoized in [cache] (default
+    {!Parse_cache.shared}) unless the cache is disabled.  [Error msg] is a
+    parse failure; failures are cached too. *)
+
 val include_targets : Ast.program -> string list
 (** Literal include targets of a program, in source order; dynamic include
     arguments are skipped, like the real tools do. *)

@@ -72,7 +72,7 @@ type ctx = {
   in_progress : (string, unit) Hashtbl.t;
   globals : (string, Taint.t) Hashtbl.t;
   mutable findings : Report.finding list;
-  mutable reported : Report.Key_set.t;
+  mutable reported : Report.Occurrence_set.t;
   mutable include_stack : S.t;  (** include cycle cut, per entry run *)
   mutable errors : int;
 }
@@ -96,11 +96,15 @@ type actx = {
 (* ------------------------------------------------------------------ *)
 
 let report a ~kind ~pos ~sink_name ~var (taint : Taint.t) =
-  let key =
-    { Report.k_kind = kind; k_file = pos.Phplang.Ast.file; k_line = pos.Phplang.Ast.line }
+  let occ =
+    { Report.o_key =
+        { Report.k_kind = kind; k_file = pos.Phplang.Ast.file;
+          k_line = pos.Phplang.Ast.line };
+      o_sink = sink_name;
+      o_var = var }
   in
-  if not (Report.Key_set.mem key a.c.reported) then begin
-    a.c.reported <- Report.Key_set.add key a.c.reported;
+  if not (Report.Occurrence_set.mem occ a.c.reported) then begin
+    a.c.reported <- Report.Occurrence_set.add occ a.c.reported;
     let source, source_pos = Taint.source_of taint in
     a.c.findings <-
       {
@@ -707,7 +711,7 @@ let analyze_project ?(opts = default_options) (project : Phplang.Project.t) :
       in_progress = Hashtbl.create 8;
       globals = Hashtbl.create 64;
       findings = [];
-      reported = Report.Key_set.empty;
+      reported = Report.Occurrence_set.empty;
       include_stack = S.empty;
       errors = 0;
     }
@@ -717,11 +721,11 @@ let analyze_project ?(opts = default_options) (project : Phplang.Project.t) :
   let parse_ok = ref [] in
   List.iter
     (fun (f : Phplang.Project.file) ->
-      match Phplang.Parser.parse_source ~file:f.Phplang.Project.path f.Phplang.Project.source with
-      | prog ->
+      match Phplang.Project.parse_file f with
+      | Ok prog ->
           Hashtbl.replace ctx.parsed f.Phplang.Project.path prog;
           parse_ok := f.Phplang.Project.path :: !parse_ok
-      | exception Phplang.Parser.Parse_error (msg, _) ->
+      | Error msg ->
           ctx.errors <- ctx.errors + 1;
           outcomes :=
             (f.Phplang.Project.path, Report.Failed (Report.Parse_failure msg))

@@ -498,10 +498,9 @@ let rec collect_funcs tbl (stmts : A.stmt list) =
     stmts
 
 let analyze_file ~file source : Report.finding list * Report.file_outcome * int =
-  match Phplang.Parser.parse_source ~file source with
-  | exception Phplang.Parser.Parse_error (msg, _) ->
-      ([], Report.Failed (Report.Parse_failure msg), 1)
-  | prog -> (
+  match Phplang.Project.parse_file { Phplang.Project.path = file; source } with
+  | Error msg -> ([], Report.Failed (Report.Parse_failure msg), 1)
+  | Ok prog -> (
       match List.iter oop_stmt prog with
       | exception Oop what ->
           ([], Report.Failed (Report.Unsupported_syntax what), 1)

@@ -522,11 +522,11 @@ and resolve_with_binding st ~visited ~depth ~binding callee j rexpr =
 let name = "RIPS"
 
 let analyze_file ~file source : Report.finding list * Report.file_outcome * int =
-  match Phplang.Parser.parse_source ~file source with
-  | exception Phplang.Parser.Parse_error (msg, _) ->
+  match Phplang.Project.parse_file { Phplang.Project.path = file; source } with
+  | Error msg ->
       (* RIPS is robust: a parse problem is reported but does not abort *)
       ([], Report.Failed (Report.Parse_failure msg), 1)
-  | prog ->
+  | Ok prog ->
       let st = build_fstate ~file prog in
       let findings =
         List.filter_map

@@ -1,0 +1,76 @@
+(** Domain-based work scheduler — see sched.mli. *)
+
+type pool = { pool_size : int }
+
+let default_size () =
+  let from_env =
+    match Sys.getenv_opt "PHPSAFE_JOBS" with
+    | Some s -> int_of_string_opt (String.trim s)
+    | None -> None
+  in
+  match from_env with
+  | Some n when n >= 1 -> n
+  | _ -> max 1 (Domain.recommended_domain_count () - 1)
+
+let create ?size () =
+  let n = match size with Some n -> max 1 n | None -> default_size () in
+  { pool_size = n }
+
+let size p = p.pool_size
+
+let map ~pool f items =
+  let arr = Array.of_list items in
+  let n = Array.length arr in
+  if n = 0 then []
+  else if pool.pool_size <= 1 || n = 1 then List.map f items
+  else begin
+    let results = Array.make n None in
+    let next = Atomic.make 0 in
+    let worker () =
+      let rec loop () =
+        let i = Atomic.fetch_and_add next 1 in
+        if i < n then begin
+          (results.(i) <-
+             Some (match f arr.(i) with v -> Ok v | exception e -> Error e));
+          loop ()
+        end
+      in
+      loop ()
+    in
+    let helpers = min (pool.pool_size - 1) (n - 1) in
+    let domains = Array.init helpers (fun _ -> Domain.spawn worker) in
+    worker ();
+    Array.iter Domain.join domains;
+    (* deterministic reduce: results come back in input order, and the
+       first failure in input order wins *)
+    Array.to_list results
+    |> List.map (function
+         | Some (Ok v) -> v
+         | Some (Error e) -> raise e
+         | None -> assert false (* every index < n was claimed *))
+  end
+
+let now () = Unix.gettimeofday ()
+
+type stats = {
+  st_pool_size : int;
+  st_work_items : int;
+  st_files_parsed : int;
+  st_cache_hits : int;
+  st_wall_total : float;
+  st_wall_per_tool : (string * float) list;
+}
+
+let pp_stats ppf s =
+  Format.fprintf ppf
+    "scheduler: %d domain(s), %d work item(s), %.2fs wall@." s.st_pool_size
+    s.st_work_items s.st_wall_total;
+  Format.fprintf ppf
+    "parse cache: %d file(s) parsed, %d hit(s) (%.0f%% hit rate)@."
+    s.st_files_parsed s.st_cache_hits
+    (let total = s.st_files_parsed + s.st_cache_hits in
+     if total = 0 then 0. else 100. *. float_of_int s.st_cache_hits /. float_of_int total);
+  List.iter
+    (fun (tool, secs) ->
+      Format.fprintf ppf "  %-8s %6.2fs item wall time@." tool secs)
+    s.st_wall_per_tool

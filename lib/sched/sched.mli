@@ -1,0 +1,51 @@
+(** Domain-based work scheduler for the analysis drivers.
+
+    The analyzers keep all mutable state in per-run contexts, so one
+    [analyze_project] call is an independent unit of work; this module fans
+    such units out across a fixed-size pool of OCaml 5 domains while keeping
+    the reduce deterministic: {!map} returns results in input order, so the
+    parallel driver produces byte-identical tables to the sequential one. *)
+
+type pool
+(** A fixed-size worker pool.  The pool only records its size; domains are
+    spawned per {!map} call and joined before it returns, so a pool value
+    can be shared freely and never leaks threads. *)
+
+val default_size : unit -> int
+(** Pool size used when none is given: [$PHPSAFE_JOBS] if set to a positive
+    integer, otherwise [Domain.recommended_domain_count () - 1], clamped to
+    at least 1. *)
+
+val create : ?size:int -> unit -> pool
+(** [create ()] sizes the pool with {!default_size}; [~size] overrides it
+    (clamped to ≥ 1).  Size 1 means strictly sequential execution on the
+    calling domain. *)
+
+val size : pool -> int
+
+val map : pool:pool -> ('a -> 'b) -> 'a list -> 'b list
+(** [map ~pool f items] applies [f] to every item, using up to
+    [size pool - 1] extra domains plus the calling domain, and returns the
+    results in input order.  Work is distributed dynamically (an atomic
+    next-item counter), so stragglers don't idle the pool.  If any [f]
+    raises, the first exception in input order is re-raised after all
+    domains have joined. *)
+
+val now : unit -> float
+(** Wall-clock seconds ([Unix.gettimeofday]); the timing base for
+    {!stats}. *)
+
+(** Instrumentation for one evaluation run, printed by [bin/evaluate] and
+    [bench/main]: how much work there was, how well the parse cache did and
+    where the wall time went. *)
+type stats = {
+  st_pool_size : int;
+  st_work_items : int;  (** (tool × plugin) analysis units scheduled *)
+  st_files_parsed : int;  (** parse-cache misses, i.e. actual parses *)
+  st_cache_hits : int;  (** parses avoided by the shared cache *)
+  st_wall_total : float;  (** wall-clock seconds for the whole fan-out *)
+  st_wall_per_tool : (string * float) list;
+      (** summed per-item wall seconds, per tool *)
+}
+
+val pp_stats : Format.formatter -> stats -> unit

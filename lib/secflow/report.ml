@@ -49,6 +49,30 @@ module Key_map = Map.Make (struct
   let compare = compare_key
 end)
 
+(** Finer identity used for in-analyzer de-duplication: positions only
+    carry file/line, so two distinct sinks on one line ([echo $a; echo $b;])
+    share a {!key}; keeping the sink name and vulnerable variable apart
+    stops them collapsing into a single finding.  Ground-truth matching
+    still uses the coarse (kind, file, line) {!key}. *)
+type occurrence = { o_key : key; o_sink : string; o_var : string }
+
+let occurrence_of_finding f =
+  { o_key = key_of_finding f; o_sink = f.sink; o_var = f.variable }
+
+let compare_occurrence a b =
+  match compare_key a.o_key b.o_key with
+  | 0 -> (
+      match String.compare a.o_sink b.o_sink with
+      | 0 -> String.compare a.o_var b.o_var
+      | c -> c)
+  | c -> c
+
+module Occurrence_set = Set.Make (struct
+  type t = occurrence
+
+  let compare = compare_occurrence
+end)
+
 (** Why a file could not be analyzed (the §V.E robustness dimension). *)
 type failure_reason =
   | Out_of_memory        (** phpSAFE: include closure exceeded its budget *)

@@ -118,13 +118,17 @@ let tools : (string * (file:string -> string -> Secflow.Report.result)) list =
     ("RIPS", Rips.analyze_source);
     ("Pixy", Pixy.analyze_source) ]
 
+(* Detection identity is the de-duplicated (kind, file, line) key set, as in
+   ground-truth matching: phpSAFE keeps two distinct sinks on one line as
+   two findings while RIPS collapses them, but both count as one
+   detection. *)
 let finding_keys (r : Secflow.Report.result) =
   List.map
     (fun (f : Secflow.Report.finding) ->
       (f.Secflow.Report.kind, f.Secflow.Report.sink_pos.A.file,
        f.Secflow.Report.sink_pos.A.line))
     r.Secflow.Report.findings
-  |> List.sort compare
+  |> List.sort_uniq compare
 
 let no_crash =
   List.map

@@ -73,6 +73,48 @@ let cases =
         t; Token.T_VARIABLE; Token.Punct ];
   ]
 
+let number_cases =
+  [
+    Alcotest.test_case "hex literal is one integer token" `Quick (fun () ->
+        Alcotest.(check (list string)) "lexemes" [ "<?php"; "0x1F"; ";" ]
+          (lexemes "<?php 0x1F;");
+        Alcotest.(check (list string)) "kinds"
+          [ "T_OPEN_TAG"; "T_LNUMBER"; "PUNCT" ]
+          (kinds "<?php 0x1F;" |> List.map Token.name));
+    Alcotest.test_case "uppercase hex prefix" `Quick (fun () ->
+        Alcotest.(check (list string)) "lexemes" [ "<?php"; "0Xff"; ";" ]
+          (lexemes "<?php 0Xff;"));
+    Alcotest.test_case "binary literal" `Quick (fun () ->
+        Alcotest.(check (list string)) "lexemes" [ "<?php"; "0b1011"; ";" ]
+          (lexemes "<?php 0b1011;"));
+    Alcotest.test_case "octal literal stays one token" `Quick (fun () ->
+        Alcotest.(check (list string)) "lexemes" [ "<?php"; "0755"; ";" ]
+          (lexemes "<?php 0755;"));
+    Alcotest.test_case "bare 0x is integer then identifier" `Quick (fun () ->
+        Alcotest.(check (list string)) "kinds"
+          [ "T_OPEN_TAG"; "T_LNUMBER"; "T_STRING"; "PUNCT" ]
+          (kinds "<?php 0xg;" |> List.map Token.name));
+    Alcotest.test_case "exponent float" `Quick (fun () ->
+        Alcotest.(check (list string)) "kinds"
+          [ "T_OPEN_TAG"; "T_DNUMBER"; "PUNCT" ]
+          (kinds "<?php 1e3;" |> List.map Token.name);
+        Alcotest.(check (list string)) "lexemes" [ "<?php"; "1e3"; ";" ]
+          (lexemes "<?php 1e3;"));
+    Alcotest.test_case "signed exponent with fraction" `Quick (fun () ->
+        Alcotest.(check (list string)) "lexemes" [ "<?php"; "1.5E-2"; ";" ]
+          (lexemes "<?php 1.5E-2;");
+        Alcotest.(check (list string)) "plus sign" [ "<?php"; "2e+10"; ";" ]
+          (lexemes "<?php 2e+10;"));
+    Alcotest.test_case "trailing e is not an exponent" `Quick (fun () ->
+        Alcotest.(check (list string)) "kinds"
+          [ "T_OPEN_TAG"; "T_LNUMBER"; "T_STRING"; "PUNCT" ]
+          (kinds "<?php 5en;" |> List.map Token.name));
+    Alcotest.test_case "plain integers and floats still lex" `Quick (fun () ->
+        Alcotest.(check (list string)) "kinds"
+          [ "T_OPEN_TAG"; "T_LNUMBER"; "T_DNUMBER"; "PUNCT" ]
+          (kinds "<?php 42 3.14;" |> List.map Token.name));
+  ]
+
 let line_cases =
   [
     Alcotest.test_case "line numbers track newlines" `Quick (fun () ->
@@ -85,6 +127,28 @@ let line_cases =
             tokens
         in
         Alcotest.(check (list int)) "lines" [ 2; 4 ] var_lines);
+    Alcotest.test_case "backslash-newline in single-quoted string keeps lines"
+      `Quick (fun () ->
+        (* regression: the escape branch consumes two characters; the
+           consumed newline must still bump the line counter *)
+        let tokens = lex "<?php $a = 'x\\\ny';\n$b;" in
+        let b_line =
+          List.find_map
+            (fun (tok : Token.t) ->
+              if tok.Token.lexeme = "$b" then Some tok.Token.line else None)
+            tokens
+        in
+        Alcotest.(check (option int)) "line of $b" (Some 3) b_line);
+    Alcotest.test_case "backslash-newline in double-quoted string keeps lines"
+      `Quick (fun () ->
+        let tokens = lex "<?php $a = \"x\\\ny\";\n$b;" in
+        let b_line =
+          List.find_map
+            (fun (tok : Token.t) ->
+              if tok.Token.lexeme = "$b" then Some tok.Token.line else None)
+            tokens
+        in
+        Alcotest.(check (option int)) "line of $b" (Some 3) b_line);
     Alcotest.test_case "lines inside strings" `Quick (fun () ->
         let tokens = lex "<?php $a = 'x\ny';\n$b;" in
         let b_line =
@@ -157,4 +221,6 @@ let line_cases =
 
 let () =
   Alcotest.run "lexer"
-    [ ("token kinds", cases); ("positions and edge cases", line_cases) ]
+    [ ("token kinds", cases);
+      ("numeric literals", number_cases);
+      ("positions and edge cases", line_cases) ]

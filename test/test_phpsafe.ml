@@ -261,6 +261,28 @@ let project_cases =
         in
         Alcotest.(check int) "one deduplicated finding" 1
           (List.length r.Report.findings));
+    Alcotest.test_case "two distinct sinks on one line both reported" `Quick
+      (fun () ->
+        (* regression: dedup used to key findings by (kind, file, line)
+           only, collapsing echo $a and echo $b into one finding *)
+        let r =
+          Phpsafe.analyze_source ~file:"t.php"
+            "<?php\n$a = $_GET['a'];\n$b = $_GET['b'];\necho $a; echo $b;"
+        in
+        let vars =
+          List.map (fun (f : Report.finding) -> f.Report.variable)
+            r.Report.findings
+          |> List.sort compare
+        in
+        Alcotest.(check (list string)) "both variables" [ "$a"; "$b" ] vars);
+    Alcotest.test_case "identical sink occurrence still deduplicated" `Quick
+      (fun () ->
+        let r =
+          Phpsafe.analyze_source ~file:"t.php"
+            "<?php\nfunction f($a) {\necho $a;\n}\nf($_GET['x']);\nf($_GET['y']);"
+        in
+        Alcotest.(check int) "still one finding" 1
+          (List.length r.Report.findings));
   ]
 
 (* -- analyzer option flags (ablation switches) ----------------------- *)

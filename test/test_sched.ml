@@ -1,0 +1,108 @@
+(** Scheduler and parse-cache tests: the parallel evaluation driver must
+    reproduce the sequential results exactly (the determinism guarantee the
+    tables rely on), and the shared content-keyed parse cache must be
+    transparent — identical results with it on or off, each distinct file
+    parsed exactly once per run, the other tools hitting the cache. *)
+
+module Cache = Phplang.Project.Parse_cache
+
+(* Everything but the timing fields, which legitimately differ run to run. *)
+let normalize (ev : Evalkit.Runner.evaluation) =
+  ( ev.Evalkit.Runner.ev_version,
+    List.map
+      (fun (r : Evalkit.Runner.tool_run) -> r.Evalkit.Runner.tr_output)
+      ev.Evalkit.Runner.ev_runs,
+    ev.Evalkit.Runner.ev_classified,
+    ev.Evalkit.Runner.ev_union )
+
+let case = Alcotest.test_case
+
+let map_cases =
+  [
+    case "map preserves input order" `Quick (fun () ->
+        let pool = Sched.create ~size:4 () in
+        let items = List.init 100 Fun.id in
+        Alcotest.(check (list int)) "squares in order"
+          (List.map (fun i -> i * i) items)
+          (Sched.map ~pool (fun i -> i * i) items));
+    case "map on empty and singleton lists" `Quick (fun () ->
+        let pool = Sched.create ~size:4 () in
+        Alcotest.(check (list int)) "empty" [] (Sched.map ~pool succ []);
+        Alcotest.(check (list int)) "singleton" [ 2 ] (Sched.map ~pool succ [ 1 ]));
+    case "exceptions propagate from workers" `Quick (fun () ->
+        let pool = Sched.create ~size:4 () in
+        Alcotest.check_raises "first failure re-raised" Exit (fun () ->
+            ignore
+              (Sched.map ~pool
+                 (fun i -> if i = 7 then raise Exit else i)
+                 (List.init 20 Fun.id))));
+    case "size clamps to at least one" `Quick (fun () ->
+        Alcotest.(check int) "size 0 clamps" 1 (Sched.size (Sched.create ~size:0 ()));
+        Alcotest.(check bool) "default is >= 1" true
+          (Sched.size (Sched.create ()) >= 1));
+  ]
+
+let parallel_equals_sequential version name =
+  case name `Quick (fun () ->
+      let seq = Evalkit.Runner.evaluate version in
+      let par = Evalkit.Runner.evaluate ~pool:(Sched.create ~size:4 ()) version in
+      Alcotest.(check bool) "parallel output equals sequential" true
+        (normalize seq = normalize par))
+
+let driver_cases =
+  [
+    parallel_equals_sequential Corpus.Plan.V2012 "V2012 corpus plan";
+    parallel_equals_sequential Corpus.Plan.V2014 "V2014 corpus plan";
+  ]
+
+let distinct_files (corpus : Corpus.t) =
+  let module SS = Set.Make (String) in
+  List.fold_left
+    (fun acc (p : Corpus.Catalog.plugin_output) ->
+      List.fold_left
+        (fun acc (f : Phplang.Project.file) ->
+          SS.add
+            (f.Phplang.Project.path ^ "\x00" ^ Digest.string f.Phplang.Project.source)
+            acc)
+        acc p.Corpus.Catalog.po_project.Phplang.Project.files)
+    SS.empty corpus.Corpus.plugins
+  |> SS.cardinal
+
+let cache_cases =
+  [
+    case "each file parsed once, the other tools hit the cache" `Quick
+      (fun () ->
+        Cache.clear Cache.shared;
+        let ev = Evalkit.Runner.evaluate Corpus.Plan.V2012 in
+        Alcotest.(check int) "files parsed = distinct project files"
+          (distinct_files ev.Evalkit.Runner.ev_corpus)
+          (Cache.misses Cache.shared);
+        Alcotest.(check bool) "cache hits > 0" true (Cache.hits Cache.shared > 0));
+    case "results identical with the cache disabled" `Quick (fun () ->
+        let cached = Evalkit.Runner.evaluate Corpus.Plan.V2012 in
+        Cache.set_enabled false;
+        let uncached =
+          Fun.protect
+            ~finally:(fun () -> Cache.set_enabled true)
+            (fun () -> Evalkit.Runner.evaluate Corpus.Plan.V2012)
+        in
+        Alcotest.(check bool) "same evaluation" true
+          (normalize cached = normalize uncached));
+    case "parallel run still parses each file once" `Quick (fun () ->
+        Cache.clear Cache.shared;
+        let ev =
+          Evalkit.Runner.evaluate ~pool:(Sched.create ~size:4 ())
+            Corpus.Plan.V2012
+        in
+        Alcotest.(check int) "files parsed = distinct project files"
+          (distinct_files ev.Evalkit.Runner.ev_corpus)
+          (Cache.misses Cache.shared));
+  ]
+
+let () =
+  Alcotest.run "sched"
+    [
+      ("Sched.map", map_cases);
+      ("parallel driver determinism", driver_cases);
+      ("parse cache", cache_cases);
+    ]
