@@ -6,7 +6,14 @@
     it with [--jobs N] (or [-j N]), or the [PHPSAFE_JOBS] environment
     variable, defaulting to the machine's recommended domain count.  The
     tables are byte-identical whatever the pool size — only wall time
-    changes. *)
+    changes.
+
+    Observability: [--trace out.json] writes a Chrome trace-event file (one
+    track per domain; open in Perfetto) and [--metrics out.json] a metrics
+    JSON with per-tool × per-stage wall times and counters (parse-cache hit
+    rate, summaries built, findings pre/post-dedup, ...).  Either flag also
+    prints the human summary to stderr; stdout stays byte-identical with or
+    without them. *)
 
 let jobs_from_argv () =
   let rec scan = function
@@ -19,12 +26,24 @@ let jobs_from_argv () =
   in
   scan (Array.to_list Sys.argv)
 
+let path_opt_from_argv flag =
+  let rec scan = function
+    | f :: path :: _ when String.equal f flag -> Some path
+    | _ :: rest -> scan rest
+    | [] -> None
+  in
+  scan (Array.to_list Sys.argv)
+
 let () =
+  let trace_out = path_opt_from_argv "--trace" in
+  let metrics_out = path_opt_from_argv "--metrics" in
+  if trace_out <> None || metrics_out <> None then Obs.set_enabled true;
   let pool =
     match jobs_from_argv () with
     | Some size -> Sched.create ~size ()
     | None -> Sched.create ()
   in
+  Obs.set_gauge "sched.pool_size" (float_of_int (Sched.size pool));
   let ev2012, st2012 = Evalkit.Runner.evaluate_with_stats ~pool Corpus.Plan.V2012 in
   let ev2014, st2014 = Evalkit.Runner.evaluate_with_stats ~pool Corpus.Plan.V2014 in
   Evalkit.Tables.full_report ~with_ablation:true Format.std_formatter ~ev2012
@@ -37,4 +56,18 @@ let () =
     (Evalkit.Pattern_report.compute ev2014);
   Format.printf "@.== scheduler / parse-cache instrumentation ==@.";
   Format.printf "-- version 2012 --@.%a" Sched.pp_stats st2012;
-  Format.printf "-- version 2014 --@.%a" Sched.pp_stats st2014
+  Format.printf "-- version 2014 --@.%a" Sched.pp_stats st2014;
+  if Obs.enabled () then begin
+    let snap = Obs.snapshot () in
+    (match trace_out with
+    | Some path ->
+        Obs.write_file path (Obs.trace_json snap);
+        Format.eprintf "trace written to %s (open in https://ui.perfetto.dev)@." path
+    | None -> ());
+    (match metrics_out with
+    | Some path ->
+        Obs.write_file path (Obs.metrics_json snap);
+        Format.eprintf "metrics written to %s@." path
+    | None -> ());
+    Format.eprintf "%a" Obs.pp_summary snap
+  end

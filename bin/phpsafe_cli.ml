@@ -43,7 +43,9 @@ let kind_filter = function
   | "all" -> None
   | other -> failwith ("unknown vulnerability kind: " ^ other)
 
-let run target kinds show_trace tool_name quiet html_out json_out config_path show_stats =
+let run target kinds show_trace tool_name quiet html_out json_out config_path
+    show_stats trace_out metrics_out =
+  if trace_out <> None || metrics_out <> None then Obs.set_enabled true;
   let project = project_of_target target in
   if show_stats then
     Format.printf "project stats: %a@." Phpsafe.Stats.pp
@@ -122,7 +124,31 @@ let run target kinds show_trace tool_name quiet html_out json_out config_path sh
       write_file path html;
       Format.printf "HTML report written to %s@." path
   | None -> ());
-  if findings = [] then 0 else 1
+  if Obs.enabled () then begin
+    let snap = Obs.snapshot () in
+    (match trace_out with
+    | Some path ->
+        Obs.write_file path (Obs.trace_json snap);
+        Format.eprintf "trace written to %s (open in https://ui.perfetto.dev)@."
+          path
+    | None -> ());
+    (match metrics_out with
+    | Some path ->
+        Obs.write_file path (Obs.metrics_json snap);
+        Format.eprintf "metrics written to %s@." path
+    | None -> ())
+  end;
+  (* CI-friendly exit status: 2 = some file could not be analyzed,
+     1 = findings remain after the --kind filter, 0 = clean scan *)
+  let any_failed =
+    List.exists
+      (fun (_, outcome) ->
+        match outcome with
+        | Secflow.Report.Failed _ -> true
+        | Secflow.Report.Analyzed -> false)
+      result.Secflow.Report.outcomes
+  in
+  if any_failed then 2 else if findings <> [] then 1 else 0
 
 open Cmdliner
 
@@ -136,7 +162,21 @@ let kinds =
 
 let trace =
   let doc = "Print the tainted data-flow trace of each finding." in
-  Arg.(value & flag & info [ "t"; "trace" ] ~doc)
+  Arg.(value & flag & info [ "t"; "flow-trace" ] ~doc)
+
+let trace_out =
+  let doc =
+    "Write a Chrome trace-event JSON of the analysis (per-stage spans, one
+     track per domain) to $(docv); open it in https://ui.perfetto.dev."
+  in
+  Arg.(value & opt (some string) None & info [ "trace" ] ~docv:"FILE" ~doc)
+
+let metrics_out =
+  let doc =
+    "Write machine-readable metrics JSON (stage wall times, parse-cache
+     hit rate, summaries built, findings pre/post-dedup) to $(docv)."
+  in
+  Arg.(value & opt (some string) None & info [ "metrics" ] ~docv:"FILE" ~doc)
 
 let tool =
   let doc = "Analyzer to run: phpsafe (default), rips or pixy." in
@@ -166,10 +206,16 @@ let config_path =
 
 let cmd =
   let doc = "static XSS/SQLi analysis for PHP plugins (phpSAFE reproduction)" in
-  let info = Cmd.info "phpsafe" ~version:"1.0.0" ~doc in
+  let exits =
+    Cmd.Exit.info 0 ~doc:"on a clean scan (no findings, every file analyzed)."
+    :: Cmd.Exit.info 1 ~doc:"when findings remain after the $(b,--kind) filter."
+    :: Cmd.Exit.info 2 ~doc:"when any file's analysis outcome is a failure."
+    :: Cmd.Exit.defaults
+  in
+  let info = Cmd.info "phpsafe" ~version:"1.0.0" ~doc ~exits in
   Cmd.v info
     Term.(
       const run $ target $ kinds $ trace $ tool $ quiet $ html_out $ json_out
-      $ config_path $ show_stats)
+      $ config_path $ show_stats $ trace_out $ metrics_out)
 
 let () = exit (Cmd.eval' cmd)

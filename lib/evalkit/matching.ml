@@ -48,6 +48,7 @@ type classified = {
 }
 
 let classify ~(seeds : Corpus.Gt.seed list) (out : tool_output) : classified =
+  Obs.span "evalkit.matching" @@ fun () ->
   let index =
     List.fold_left
       (fun m s -> Qmap.add (qkey_of_seed s) s m)

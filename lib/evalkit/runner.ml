@@ -1,10 +1,15 @@
 (** Drives the three analyzers over a corpus version and collects raw
-    results plus CPU time (paper §IV.B step 4: automated execution of each
-    tool on all plugin files; §V.E responsiveness). *)
+    results plus wall time (paper §IV.B step 4: automated execution of each
+    tool on all plugin files; §V.E responsiveness).
+
+    All timing goes through {!Obs.Clock} (monotonic wall clock).  The old
+    [Sys.time] measurement was process CPU time, which sums across domains
+    and over-reported "wall" time by up to the pool size under [--jobs > 1];
+    Table III / E4 / E10 now report true wall seconds in both modes. *)
 
 type tool_run = {
   tr_output : Matching.tool_output;
-  tr_seconds : float;  (** CPU seconds to analyze the whole corpus *)
+  tr_seconds : float;  (** wall seconds to analyze the whole corpus *)
 }
 
 type evaluation = {
@@ -19,15 +24,16 @@ let default_tools () : Secflow.Tool.t list =
   [ Phpsafe.tool; Rips.tool; Pixy.tool ]
 
 let run_tool (tool : Secflow.Tool.t) (corpus : Corpus.t) : tool_run =
-  let t0 = Sys.time () in
+  let t0 = Obs.Clock.now () in
   let results =
     List.map
       (fun (p : Corpus.Catalog.plugin_output) ->
-        (p.Corpus.Catalog.po_name,
-         tool.Secflow.Tool.analyze_project p.Corpus.Catalog.po_project))
+        Obs.span ("evalkit.run." ^ tool.Secflow.Tool.name) (fun () ->
+            (p.Corpus.Catalog.po_name,
+             tool.Secflow.Tool.analyze_project p.Corpus.Catalog.po_project)))
       corpus.Corpus.plugins
   in
-  let seconds = Sys.time () -. t0 in
+  let seconds = Obs.Clock.now () -. t0 in
   {
     tr_output = { Matching.to_tool = tool.Secflow.Tool.name; to_results = results };
     tr_seconds = seconds;
@@ -51,10 +57,13 @@ let run_tools_parallel ~pool tools (corpus : Corpus.t) : tool_run list =
   let results =
     Sched.map ~pool
       (fun ((tool : Secflow.Tool.t), (p : Corpus.Catalog.plugin_output)) ->
-        let t0 = Sched.now () in
-        let r = tool.Secflow.Tool.analyze_project p.Corpus.Catalog.po_project in
-        (tool.Secflow.Tool.name, p.Corpus.Catalog.po_name, r,
-         Sched.now () -. t0))
+        Obs.span ("evalkit.run." ^ tool.Secflow.Tool.name) (fun () ->
+            let t0 = Obs.Clock.now () in
+            let r =
+              tool.Secflow.Tool.analyze_project p.Corpus.Catalog.po_project
+            in
+            (tool.Secflow.Tool.name, p.Corpus.Catalog.po_name, r,
+             Obs.Clock.now () -. t0)))
       items
   in
   List.map
@@ -74,13 +83,14 @@ let run_tools_parallel ~pool tools (corpus : Corpus.t) : tool_run list =
     tools
 
 let evaluate ?(tools = default_tools ()) ?pool version : evaluation =
-  let corpus = Corpus.generate version in
+  let corpus = Obs.span "evalkit.corpus" (fun () -> Corpus.generate version) in
   let runs =
     match pool with
     | None -> List.map (fun t -> run_tool t corpus) tools
     | Some pool -> run_tools_parallel ~pool tools corpus
   in
   let classified =
+    Obs.span "evalkit.classify" @@ fun () ->
     List.map
       (fun r -> Matching.classify ~seeds:corpus.Corpus.seeds r.tr_output)
       runs
@@ -101,9 +111,9 @@ let evaluate_with_stats ?(tools = default_tools ()) ?pool version :
   let cache = Phplang.Project.Parse_cache.shared in
   let hits0 = Phplang.Project.Parse_cache.hits cache in
   let misses0 = Phplang.Project.Parse_cache.misses cache in
-  let t0 = Sched.now () in
+  let t0 = Obs.Clock.now () in
   let ev = evaluate ~tools ?pool version in
-  let wall = Sched.now () -. t0 in
+  let wall = Obs.Clock.now () -. t0 in
   let stats =
     {
       Sched.st_pool_size =

@@ -1,9 +1,11 @@
 (** Drives the analyzers over a corpus version and collects raw results and
-    CPU time (paper §IV.B step 4, §V.E responsiveness). *)
+    wall time (paper §IV.B step 4, §V.E responsiveness).  Timing is
+    {!Obs.Clock} monotonic wall seconds, correct under [--jobs > 1] where
+    the old [Sys.time] CPU measurement over-reported. *)
 
 type tool_run = {
   tr_output : Matching.tool_output;
-  tr_seconds : float;  (** CPU seconds to analyze the whole corpus *)
+  tr_seconds : float;  (** wall seconds to analyze the whole corpus *)
 }
 
 type evaluation = {

@@ -1,4 +1,4 @@
-(** E10 — scaling study: per-tool CPU time and seconds/kLOC on corpora
+(** E10 — scaling study: per-tool wall time and seconds/kLOC on corpora
     regenerated at several size multipliers (the measured form of §V.E's
     "should scale to larger files"). *)
 

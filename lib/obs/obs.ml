@@ -1,0 +1,324 @@
+(** Observability subsystem — see obs.mli for the contract. *)
+
+module Clock = struct
+  let now_ns () = Monotonic_clock.now ()
+  let now () = Int64.to_float (Monotonic_clock.now ()) /. 1e9
+end
+
+type span_agg = { sa_name : string; sa_count : int; sa_total_ns : int64 }
+
+type event = {
+  ev_domain : int;
+  ev_seq : int;
+  ev_name : string;
+  ev_depth : int;
+  ev_start_ns : int64;
+  ev_dur_ns : int64;
+}
+
+type snapshot = {
+  sn_counters : (string * int) list;
+  sn_gauges : (string * float) list;
+  sn_spans : span_agg list;
+  sn_events : event list;
+}
+
+(* ------------------------------------------------------------------ *)
+(* Recording state                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let enabled_flag = Atomic.make false
+let epoch_ns = Atomic.make 0L
+
+(** One per domain, reached through [Domain.DLS]: owning-domain writes need
+    no lock.  The registry only adds buffers (under its mutex); merging
+    reads them from a quiescent main domain. *)
+type buffer = {
+  buf_domain : int;
+  mutable buf_events : event list;  (** reversed *)
+  mutable buf_depth : int;  (** open spans on this domain *)
+  mutable buf_seq : int;
+  buf_counters : (string, int ref) Hashtbl.t;
+  buf_spans : (string, int ref * int64 ref) Hashtbl.t;
+}
+
+let registry : buffer list ref = ref []
+let registry_lock = Mutex.create ()
+
+let buffer_key =
+  Domain.DLS.new_key (fun () ->
+      let b =
+        {
+          buf_domain = (Domain.self () :> int);
+          buf_events = [];
+          buf_depth = 0;
+          buf_seq = 0;
+          buf_counters = Hashtbl.create 32;
+          buf_spans = Hashtbl.create 32;
+        }
+      in
+      Mutex.lock registry_lock;
+      registry := b :: !registry;
+      Mutex.unlock registry_lock;
+      b)
+
+let buffer () = Domain.DLS.get buffer_key
+
+let gauges : (string, float) Hashtbl.t = Hashtbl.create 16
+let gauges_lock = Mutex.create ()
+
+(* ------------------------------------------------------------------ *)
+(* Recording API                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let enabled () = Atomic.get enabled_flag
+
+let set_enabled b =
+  if b && not (Atomic.get enabled_flag) then
+    Atomic.set epoch_ns (Clock.now_ns ());
+  Atomic.set enabled_flag b
+
+let reset () =
+  Mutex.lock registry_lock;
+  List.iter
+    (fun b ->
+      b.buf_events <- [];
+      b.buf_depth <- 0;
+      b.buf_seq <- 0;
+      Hashtbl.reset b.buf_counters;
+      Hashtbl.reset b.buf_spans)
+    !registry;
+  Mutex.unlock registry_lock;
+  Mutex.lock gauges_lock;
+  Hashtbl.reset gauges;
+  Mutex.unlock gauges_lock;
+  Atomic.set epoch_ns (Clock.now_ns ())
+
+let add name n =
+  if Atomic.get enabled_flag then begin
+    let b = buffer () in
+    match Hashtbl.find_opt b.buf_counters name with
+    | Some r -> r := !r + n
+    | None -> Hashtbl.replace b.buf_counters name (ref n)
+  end
+
+let incr name = add name 1
+
+let set_gauge name v =
+  if Atomic.get enabled_flag then begin
+    Mutex.lock gauges_lock;
+    Hashtbl.replace gauges name v;
+    Mutex.unlock gauges_lock
+  end
+
+let record_span b name ~depth ~t0 =
+  let t1 = Clock.now_ns () in
+  let dur = Int64.sub t1 t0 in
+  b.buf_depth <- depth;
+  b.buf_seq <- b.buf_seq + 1;
+  b.buf_events <-
+    {
+      ev_domain = b.buf_domain;
+      ev_seq = b.buf_seq;
+      ev_name = name;
+      ev_depth = depth;
+      ev_start_ns = Int64.sub t0 (Atomic.get epoch_ns);
+      ev_dur_ns = dur;
+    }
+    :: b.buf_events;
+  match Hashtbl.find_opt b.buf_spans name with
+  | Some (count, total) ->
+      Stdlib.incr count;
+      total := Int64.add !total dur
+  | None -> Hashtbl.replace b.buf_spans name (ref 1, ref dur)
+
+let span name f =
+  if not (Atomic.get enabled_flag) then f ()
+  else begin
+    let b = buffer () in
+    let depth = b.buf_depth in
+    b.buf_depth <- depth + 1;
+    let t0 = Clock.now_ns () in
+    match f () with
+    | v ->
+        record_span b name ~depth ~t0;
+        v
+    | exception e ->
+        record_span b name ~depth ~t0;
+        raise e
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Snapshot merge                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let by_name (a, _) (b, _) = String.compare a b
+
+let snapshot () =
+  Mutex.lock registry_lock;
+  let buffers = !registry in
+  Mutex.unlock registry_lock;
+  let counters = Hashtbl.create 32 in
+  let spans = Hashtbl.create 32 in
+  let events = ref [] in
+  List.iter
+    (fun b ->
+      Hashtbl.iter
+        (fun name r ->
+          match Hashtbl.find_opt counters name with
+          | Some acc -> acc := !acc + !r
+          | None -> Hashtbl.replace counters name (ref !r))
+        b.buf_counters;
+      Hashtbl.iter
+        (fun name (count, total) ->
+          match Hashtbl.find_opt spans name with
+          | Some (c, t) ->
+              c := !c + !count;
+              t := Int64.add !t !total
+          | None -> Hashtbl.replace spans name (ref !count, ref !total))
+        b.buf_spans;
+      events := List.rev_append b.buf_events !events)
+    buffers;
+  Mutex.lock gauges_lock;
+  let gs = Hashtbl.fold (fun k v acc -> (k, v) :: acc) gauges [] in
+  Mutex.unlock gauges_lock;
+  {
+    sn_counters =
+      Hashtbl.fold (fun k r acc -> (k, !r) :: acc) counters []
+      |> List.sort by_name;
+    sn_gauges = List.sort by_name gs;
+    sn_spans =
+      Hashtbl.fold
+        (fun k (c, t) acc ->
+          { sa_name = k; sa_count = !c; sa_total_ns = !t } :: acc)
+        spans []
+      |> List.sort (fun a b -> String.compare a.sa_name b.sa_name);
+    sn_events =
+      List.sort
+        (fun a b ->
+          match compare a.ev_domain b.ev_domain with
+          | 0 -> compare a.ev_seq b.ev_seq
+          | c -> c)
+        !events;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Exporters                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let ns_to_s ns = Int64.to_float ns /. 1e9
+let ns_to_us ns = Int64.to_float ns /. 1e3
+
+let pp_summary ppf s =
+  Format.fprintf ppf "== observability summary ==@.";
+  if s.sn_gauges <> [] then begin
+    Format.fprintf ppf "gauges:@.";
+    List.iter
+      (fun (name, v) -> Format.fprintf ppf "  %-40s %12.2f@." name v)
+      s.sn_gauges
+  end;
+  if s.sn_counters <> [] then begin
+    Format.fprintf ppf "counters:@.";
+    List.iter
+      (fun (name, v) -> Format.fprintf ppf "  %-40s %12d@." name v)
+      s.sn_counters
+  end;
+  if s.sn_spans <> [] then begin
+    Format.fprintf ppf "spans:%42s %10s %10s@." "count" "total" "mean";
+    List.iter
+      (fun a ->
+        let total = ns_to_s a.sa_total_ns in
+        Format.fprintf ppf "  %-40s %7d %9.3fs %8.3fms@." a.sa_name a.sa_count
+          total
+          (if a.sa_count = 0 then 0. else total *. 1e3 /. float_of_int a.sa_count))
+      s.sn_spans
+  end
+
+(* Minimal JSON writer: the only strings we emit are span/counter names and
+   fixed keys, but escape defensively anyway. *)
+let json_escape s =
+  let buf = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let category_of name =
+  match String.index_opt name '.' with
+  | Some i -> String.sub name 0 i
+  | None -> name
+
+let trace_json s =
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf "{\"traceEvents\":[";
+  let first = ref true in
+  let emit fmt =
+    Printf.ksprintf
+      (fun piece ->
+        if not !first then Buffer.add_char buf ',';
+        first := false;
+        Buffer.add_string buf piece)
+      fmt
+  in
+  emit
+    "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":1,\"tid\":0,\"args\":{\"name\":\"phpsafe\"}}";
+  let module IS = Set.Make (Int) in
+  let domains =
+    List.fold_left (fun acc e -> IS.add e.ev_domain acc) IS.empty s.sn_events
+  in
+  IS.iter
+    (fun d ->
+      emit
+        "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":%d,\"args\":{\"name\":\"domain %d\"}}"
+        d d)
+    domains;
+  List.iter
+    (fun e ->
+      emit
+        "{\"name\":\"%s\",\"cat\":\"%s\",\"ph\":\"X\",\"pid\":1,\"tid\":%d,\"ts\":%.3f,\"dur\":%.3f}"
+        (json_escape e.ev_name)
+        (json_escape (category_of e.ev_name))
+        e.ev_domain (ns_to_us e.ev_start_ns) (ns_to_us e.ev_dur_ns))
+    s.sn_events;
+  Buffer.add_string buf "],\"displayTimeUnit\":\"ms\"}";
+  Buffer.contents buf
+
+let metrics_json s =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf "{\"schema\":\"phpsafe-obs/1\",\"gauges\":{";
+  List.iteri
+    (fun i (name, v) ->
+      if i > 0 then Buffer.add_char buf ',';
+      Buffer.add_string buf (Printf.sprintf "\"%s\":%.6f" (json_escape name) v))
+    s.sn_gauges;
+  Buffer.add_string buf "},\"counters\":{";
+  List.iteri
+    (fun i (name, v) ->
+      if i > 0 then Buffer.add_char buf ',';
+      Buffer.add_string buf (Printf.sprintf "\"%s\":%d" (json_escape name) v))
+    s.sn_counters;
+  Buffer.add_string buf "},\"spans\":{";
+  List.iteri
+    (fun i a ->
+      if i > 0 then Buffer.add_char buf ',';
+      Buffer.add_string buf
+        (Printf.sprintf "\"%s\":{\"count\":%d,\"total_s\":%.9f}"
+           (json_escape a.sa_name) a.sa_count (ns_to_s a.sa_total_ns)))
+    s.sn_spans;
+  Buffer.add_string buf "}}";
+  Buffer.contents buf
+
+let write_file path contents =
+  let oc = open_out_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc contents)

@@ -1067,7 +1067,8 @@ and parse_tokens ~file tokens : Ast.program =
 
 (** Parse a full PHP source file. *)
 and parse_source ~file src : Ast.program =
-  parse_tokens ~file (Lexer.tokenize_significant src)
+  let tokens = Obs.span "phplang.lex" (fun () -> Lexer.tokenize_significant src) in
+  Obs.span "phplang.parse" (fun () -> parse_tokens ~file tokens)
 
 (** Parse a single expression given as PHP text (no [<?php] tag). *)
 and expr_of_string ?(file = "<expr>") src : Ast.expr =

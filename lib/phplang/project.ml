@@ -172,6 +172,7 @@ module Parse_cache = struct
       | Some (Done v) ->
           Mutex.unlock t.lock;
           Atomic.incr t.hits;
+          Obs.incr "phplang.parse_cache.hit";
           v
       | Some In_progress ->
           Condition.wait t.cond t.lock;
@@ -185,6 +186,7 @@ module Parse_cache = struct
           Condition.broadcast t.cond;
           Mutex.unlock t.lock;
           Atomic.incr t.misses;
+          Obs.incr "phplang.parse_cache.miss";
           v
     in
     await ()
@@ -208,6 +210,7 @@ let parse_file ?(cache = Parse_cache.shared) (f : file) :
     [path] itself) and the maximum include depth encountered.  Cycles are
     cut; missing files are ignored (WordPress core files, typically). *)
 let include_closure ~parse t path =
+  Obs.span "phplang.includes" @@ fun () ->
   let visited = Hashtbl.create 16 in
   let max_depth = ref 0 in
   let rec go depth p =

@@ -103,7 +103,9 @@ let report a ~kind ~pos ~sink_name ~var (taint : Taint.t) =
       o_sink = sink_name;
       o_var = var }
   in
+  Obs.incr "phpsafe.findings.pre_dedup";
   if not (Report.Occurrence_set.mem occ a.c.reported) then begin
+    Obs.incr "phpsafe.findings.post_dedup";
     a.c.reported <- Report.Occurrence_set.add occ a.c.reported;
     let source, source_pos = Taint.source_of taint in
     a.c.findings <-
@@ -511,6 +513,7 @@ and analyze_closure a (cl : Phplang.Ast.closure) =
   List.iter (exec_stmt sub) cl.Phplang.Ast.cl_body
 
 and analyze_function (c : ctx) (fi : func_info) : Summary.t =
+  Obs.incr "phpsafe.summaries.built";
   Hashtbl.replace c.in_progress fi.fi_key ();
   let env = Env.create_scope ?current_class:fi.fi_class c.globals in
   List.iteri
@@ -700,7 +703,10 @@ let rec register_stmt ctx ~file (s : Phplang.Ast.stmt) =
 
 let analyze_project ?(opts = default_options) (project : Phplang.Project.t) :
     Report.result =
+  (* stage 1 (§III.A): configuration — the run context carrying the sink/
+     source/sanitizer model *)
   let ctx =
+    Obs.span "phpsafe.config" @@ fun () ->
     {
       opts;
       project;
@@ -716,79 +722,88 @@ let analyze_project ?(opts = default_options) (project : Phplang.Project.t) :
       errors = 0;
     }
   in
-  (* stage 2: model construction — parse everything *)
   let outcomes = ref [] in
-  let parse_ok = ref [] in
-  List.iter
-    (fun (f : Phplang.Project.file) ->
-      match Phplang.Project.parse_file f with
-      | Ok prog ->
-          Hashtbl.replace ctx.parsed f.Phplang.Project.path prog;
-          parse_ok := f.Phplang.Project.path :: !parse_ok
-      | Error msg ->
-          ctx.errors <- ctx.errors + 1;
-          outcomes :=
-            (f.Phplang.Project.path, Report.Failed (Report.Parse_failure msg))
-            :: !outcomes)
-    project.Phplang.Project.files;
-  let parse_ok = List.rev !parse_ok in
-  (* memory budget: files whose include closure is too expensive fail; no
-     closure is built at all when include resolution is off *)
-  let failed_mem = Hashtbl.create 4 in
-  (match (if opts.resolve_includes then opts.budget else None) with
-  | None -> ()
-  | Some budget ->
+  (* stage 2 (§III.B): model construction — parse everything, check the
+     include budget, hoist the function/class registry *)
+  let analyzable =
+    Obs.span "phpsafe.model" @@ fun () ->
+    let parse_ok = ref [] in
+    List.iter
+      (fun (f : Phplang.Project.file) ->
+        match Phplang.Project.parse_file f with
+        | Ok prog ->
+            Hashtbl.replace ctx.parsed f.Phplang.Project.path prog;
+            parse_ok := f.Phplang.Project.path :: !parse_ok
+        | Error msg ->
+            ctx.errors <- ctx.errors + 1;
+            outcomes :=
+              (f.Phplang.Project.path, Report.Failed (Report.Parse_failure msg))
+              :: !outcomes)
+      project.Phplang.Project.files;
+    let parse_ok = List.rev !parse_ok in
+    (* memory budget: files whose include closure is too expensive fail; no
+       closure is built at all when include resolution is off *)
+    let failed_mem = Hashtbl.create 4 in
+    (match (if opts.resolve_includes then opts.budget else None) with
+    | None -> ()
+    | Some budget ->
+        List.iter
+          (fun path ->
+            let parse (f : Phplang.Project.file) =
+              Hashtbl.find_opt ctx.parsed f.Phplang.Project.path
+            in
+            let closure, depth =
+              Phplang.Project.include_closure ~parse project path
+            in
+            let closure_loc =
+              List.fold_left
+                (fun acc p ->
+                  match Phplang.Project.find project p with
+                  | Some f -> acc + Phplang.Loc.count f.Phplang.Project.source
+                  | None -> acc)
+                0 closure
+            in
+            if depth > budget.max_include_depth
+               || closure_loc > budget.max_closure_loc
+            then begin
+              Obs.incr "phpsafe.files.failed_budget";
+              Hashtbl.replace failed_mem path ();
+              outcomes := (path, Report.Failed Report.Out_of_memory) :: !outcomes
+            end)
+          parse_ok);
+    let analyzable =
+      List.filter (fun p -> not (Hashtbl.mem failed_mem p)) parse_ok
+    in
+    (* registry (hoisting): functions and classes from analyzable files *)
+    List.iter
+      (fun path ->
+        List.iter (register_stmt ctx ~file:path) (Hashtbl.find ctx.parsed path))
+      analyzable;
+    analyzable
+  in
+  (* stage 3 (§III.C): inter-procedural analysis from each file's "main
+     function", then uncalled functions as entry points *)
+  Obs.span "phpsafe.analysis" (fun () ->
       List.iter
         (fun path ->
-          let parse (f : Phplang.Project.file) =
-            Hashtbl.find_opt ctx.parsed f.Phplang.Project.path
-          in
-          let closure, depth =
-            Phplang.Project.include_closure ~parse project path
-          in
-          let closure_loc =
-            List.fold_left
-              (fun acc p ->
-                match Phplang.Project.find project p with
-                | Some f -> acc + Phplang.Loc.count f.Phplang.Project.source
-                | None -> acc)
-              0 closure
-          in
-          if depth > budget.max_include_depth
-             || closure_loc > budget.max_closure_loc
-          then begin
-            Hashtbl.replace failed_mem path ();
-            outcomes := (path, Report.Failed Report.Out_of_memory) :: !outcomes
-          end)
-        parse_ok);
-  let analyzable =
-    List.filter (fun p -> not (Hashtbl.mem failed_mem p)) parse_ok
-  in
-  (* registry (hoisting): functions and classes from analyzable files *)
-  List.iter
-    (fun path ->
-      List.iter (register_stmt ctx ~file:path) (Hashtbl.find ctx.parsed path))
-    analyzable;
-  (* stage 3a: inter-procedural analysis from each file's "main function" *)
-  List.iter
-    (fun path ->
-      ctx.include_stack <- S.singleton path;
-      let env = Env.create_toplevel ctx.globals in
-      let a = { c = ctx; env; frame = None; file = path } in
-      List.iter (exec_stmt a) (Hashtbl.find ctx.parsed path);
-      outcomes := (path, Report.Analyzed) :: !outcomes)
-    analyzable;
-  (* stage 3b: functions never called from plugin code, as entry points *)
-  if opts.analyze_uncalled then begin
-    let uncalled =
-      Hashtbl.fold
-        (fun key fi acc ->
-          if Hashtbl.mem ctx.summaries key then acc else (key, fi) :: acc)
-        ctx.funcs []
-      |> List.sort (fun (k1, _) (k2, _) -> String.compare k1 k2)
-    in
-    List.iter (fun (_, fi) -> ignore (analyze_function ctx fi)) uncalled
-  end;
+          ctx.include_stack <- S.singleton path;
+          let env = Env.create_toplevel ctx.globals in
+          let a = { c = ctx; env; frame = None; file = path } in
+          List.iter (exec_stmt a) (Hashtbl.find ctx.parsed path);
+          outcomes := (path, Report.Analyzed) :: !outcomes)
+        analyzable;
+      if opts.analyze_uncalled then begin
+        let uncalled =
+          Hashtbl.fold
+            (fun key fi acc ->
+              if Hashtbl.mem ctx.summaries key then acc else (key, fi) :: acc)
+            ctx.funcs []
+          |> List.sort (fun (k1, _) (k2, _) -> String.compare k1 k2)
+        in
+        List.iter (fun (_, fi) -> ignore (analyze_function ctx fi)) uncalled
+      end);
+  (* stage 4 (§III.D): results *)
+  Obs.span "phpsafe.results" @@ fun () ->
   {
     Report.findings = List.rev ctx.findings;
     outcomes = List.rev !outcomes;

@@ -469,6 +469,7 @@ and run_dataflow sc (stmts : A.stmt list) (init : T.state) : T.state =
             changed := true))
       order
   done;
+  Obs.add "pixy.fixpoint.passes" !passes;
   Option.value out_states.(cfg.Cfg.exit_) ~default:T.empty_state
 
 (* ------------------------------------------------------------------ *)
@@ -501,12 +502,17 @@ let analyze_file ~file source : Report.finding list * Report.file_outcome * int 
   match Phplang.Project.parse_file { Phplang.Project.path = file; source } with
   | Error msg -> ([], Report.Failed (Report.Parse_failure msg), 1)
   | Ok prog -> (
-      match List.iter oop_stmt prog with
+      (* model stage: the OOP gate plus the callable registry *)
+      match
+        Obs.span "pixy.model" (fun () ->
+            List.iter oop_stmt prog;
+            let funcs = Hashtbl.create 16 in
+            collect_funcs funcs prog;
+            funcs)
+      with
       | exception Oop what ->
           ([], Report.Failed (Report.Unsupported_syntax what), 1)
-      | () ->
-          let funcs = Hashtbl.create 16 in
-          collect_funcs funcs prog;
+      | funcs ->
           let fx =
             { file; funcs; findings = []; seen = Report.Key_set.empty;
               memo = Hashtbl.create 32; in_progress = [] }
@@ -514,7 +520,8 @@ let analyze_file ~file source : Report.finding list * Report.file_outcome * int 
           let sc =
             { fx; global_scope = true; depth = 0; returns = ref T.clean }
           in
-          ignore (run_dataflow sc prog T.empty_state);
+          Obs.span "pixy.analysis" (fun () ->
+              ignore (run_dataflow sc prog T.empty_state));
           (List.rev fx.findings, Report.Analyzed, 0))
 
 let analyze_project (project : Phplang.Project.t) : Report.result =

@@ -527,8 +527,9 @@ let analyze_file ~file source : Report.finding list * Report.file_outcome * int 
       (* RIPS is robust: a parse problem is reported but does not abort *)
       ([], Report.Failed (Report.Parse_failure msg), 1)
   | Ok prog ->
-      let st = build_fstate ~file prog in
+      let st = Obs.span "rips.model" (fun () -> build_fstate ~file prog) in
       let findings =
+        Obs.span "rips.analysis" @@ fun () ->
         List.filter_map
           (fun so ->
             let scope = scope_by_id st so.so_scope in
@@ -576,8 +577,10 @@ let analyze_project (project : Phplang.Project.t) : Report.result =
       outcomes := (f.Phplang.Project.path, outcome) :: !outcomes;
       List.iter
         (fun finding ->
+          Obs.incr "rips.findings.pre_dedup";
           let key = Report.key_of_finding finding in
           if not (Report.Key_set.mem key !seen) then begin
+            Obs.incr "rips.findings.post_dedup";
             seen := Report.Key_set.add key !seen;
             findings := finding :: !findings
           end)

@@ -2,15 +2,27 @@
 
 type pool = { pool_size : int }
 
+let recommended () = max 1 (Domain.recommended_domain_count () - 1)
+
+let warned_invalid_jobs = Atomic.make false
+
 let default_size () =
-  let from_env =
-    match Sys.getenv_opt "PHPSAFE_JOBS" with
-    | Some s -> int_of_string_opt (String.trim s)
-    | None -> None
-  in
-  match from_env with
-  | Some n when n >= 1 -> n
-  | _ -> max 1 (Domain.recommended_domain_count () - 1)
+  match Sys.getenv_opt "PHPSAFE_JOBS" with
+  | None -> recommended ()
+  | Some s when String.trim s = "" -> recommended ()
+  | Some s -> (
+      match int_of_string_opt (String.trim s) with
+      | Some n when n >= 1 -> n
+      | _ ->
+          (* invalid or non-positive: fall back, but say so once *)
+          let fb = recommended () in
+          if not (Atomic.exchange warned_invalid_jobs true) then
+            Printf.eprintf
+              "sched: ignoring invalid PHPSAFE_JOBS=%S (expected a positive \
+               integer); using %d job(s)\n\
+               %!"
+              s fb;
+          fb)
 
 let create ?size () =
   let n = match size with Some n -> max 1 n | None -> default_size () in
@@ -19,19 +31,26 @@ let create ?size () =
 let size p = p.pool_size
 
 let map ~pool f items =
+  Obs.span "sched.map" @@ fun () ->
   let arr = Array.of_list items in
   let n = Array.length arr in
   if n = 0 then []
-  else if pool.pool_size <= 1 || n = 1 then List.map f items
+  else if pool.pool_size <= 1 || n = 1 then
+    Obs.span "sched.worker" (fun () ->
+        List.map (fun x -> Obs.span "sched.item" (fun () -> f x)) items)
   else begin
     let results = Array.make n None in
     let next = Atomic.make 0 in
     let worker () =
+      Obs.span "sched.worker" @@ fun () ->
       let rec loop () =
         let i = Atomic.fetch_and_add next 1 in
         if i < n then begin
           (results.(i) <-
-             Some (match f arr.(i) with v -> Ok v | exception e -> Error e));
+             Some
+               (match Obs.span "sched.item" (fun () -> f arr.(i)) with
+               | v -> Ok v
+               | exception e -> Error e));
           loop ()
         end
       in
@@ -49,8 +68,6 @@ let map ~pool f items =
          | Some (Error e) -> raise e
          | None -> assert false (* every index < n was claimed *))
   end
-
-let now () = Unix.gettimeofday ()
 
 type stats = {
   st_pool_size : int;

@@ -14,7 +14,9 @@ type pool
 val default_size : unit -> int
 (** Pool size used when none is given: [$PHPSAFE_JOBS] if set to a positive
     integer, otherwise [Domain.recommended_domain_count () - 1], clamped to
-    at least 1. *)
+    at least 1.  An invalid or non-positive [$PHPSAFE_JOBS] value falls back
+    to the recommended count and emits a one-time warning on stderr naming
+    the bad value; an empty value counts as unset. *)
 
 val create : ?size:int -> unit -> pool
 (** [create ()] sizes the pool with {!default_size}; [~size] overrides it
@@ -29,11 +31,14 @@ val map : pool:pool -> ('a -> 'b) -> 'a list -> 'b list
     results in input order.  Work is distributed dynamically (an atomic
     next-item counter), so stragglers don't idle the pool.  If any [f]
     raises, the first exception in input order is re-raised after all
-    domains have joined. *)
+    domains have joined.
 
-val now : unit -> float
-(** Wall-clock seconds ([Unix.gettimeofday]); the timing base for
-    {!stats}. *)
+    Observability: when {!Obs} recording is on, the whole call is a
+    [sched.map] span, each execution context (the calling domain and every
+    spawned worker) a [sched.worker] span on its own trace track, and each
+    work item a [sched.item] span — so per-worker idle time is
+    [sched.worker] minus [sched.item] on that track.  Timing now lives in
+    [Obs.Clock] (monotonic wall clock); the old [Sched.now] is gone. *)
 
 (** Instrumentation for one evaluation run, printed by [bin/evaluate] and
     [bench/main]: how much work there was, how well the parse cache did and

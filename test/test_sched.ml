@@ -42,6 +42,90 @@ let map_cases =
           (Sched.size (Sched.create ()) >= 1));
   ]
 
+(* PHPSAFE_JOBS handling in [Sched.default_size]: valid values are honored,
+   invalid ones fall back to the recommended size with a single stderr
+   warning naming the bad value. *)
+
+let with_jobs_env value f =
+  let old = Sys.getenv_opt "PHPSAFE_JOBS" in
+  Unix.putenv "PHPSAFE_JOBS" value;
+  Fun.protect
+    (* the empty string is treated as unset by default_size *)
+    ~finally:(fun () -> Unix.putenv "PHPSAFE_JOBS" (Option.value old ~default:""))
+    f
+
+let capture_stderr f =
+  flush stderr;
+  let saved = Unix.dup Unix.stderr in
+  let tmp = Filename.temp_file "sched_stderr" ".log" in
+  let fd = Unix.openfile tmp [ Unix.O_WRONLY; Unix.O_TRUNC ] 0o600 in
+  Unix.dup2 fd Unix.stderr;
+  Unix.close fd;
+  let result =
+    Fun.protect
+      ~finally:(fun () ->
+        flush stderr;
+        Unix.dup2 saved Unix.stderr;
+        Unix.close saved)
+      f
+  in
+  let ic = open_in_bin tmp in
+  let contents =
+    Fun.protect
+      ~finally:(fun () -> close_in ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  in
+  Sys.remove tmp;
+  (result, contents)
+
+let count_occurrences ~needle haystack =
+  let nl = String.length needle and hl = String.length haystack in
+  let rec go i acc =
+    if i + nl > hl then acc
+    else if String.sub haystack i nl = needle then go (i + nl) (acc + 1)
+    else go (i + 1) acc
+  in
+  if nl = 0 then 0 else go 0 0
+
+let jobs_env_cases =
+  [
+    case "valid PHPSAFE_JOBS sets the pool size silently" `Quick (fun () ->
+        let size, err =
+          capture_stderr (fun () ->
+              with_jobs_env "3" (fun () -> Sched.size (Sched.create ())))
+        in
+        Alcotest.(check int) "pool size" 3 size;
+        Alcotest.(check string) "no warning" "" err);
+    case "empty PHPSAFE_JOBS is treated as unset" `Quick (fun () ->
+        let size, err =
+          capture_stderr (fun () ->
+              with_jobs_env "  " (fun () -> Sched.size (Sched.create ())))
+        in
+        Alcotest.(check bool) "falls back to >= 1" true (size >= 1);
+        Alcotest.(check string) "no warning" "" err);
+    (* single case so the one-time warning's ordering is under our control *)
+    case "invalid PHPSAFE_JOBS warns once and falls back" `Quick (fun () ->
+        let (size1, size2), err =
+          capture_stderr (fun () ->
+              let s1 =
+                with_jobs_env "banana" (fun () -> Sched.size (Sched.create ()))
+              in
+              let s2 =
+                with_jobs_env "0" (fun () -> Sched.size (Sched.create ()))
+              in
+              (s1, s2))
+        in
+        Alcotest.(check bool) "garbage falls back to >= 1" true (size1 >= 1);
+        Alcotest.(check bool) "non-positive falls back to >= 1" true (size2 >= 1);
+        Alcotest.(check int) "warned exactly once across both"
+          1
+          (count_occurrences ~needle:"invalid PHPSAFE_JOBS" err);
+        Alcotest.(check bool) "warning names the bad value" true
+          (count_occurrences ~needle:"\"banana\"" err = 1);
+        Alcotest.(check bool) "warning names the fallback" true
+          (count_occurrences ~needle:"job(s)" err = 1));
+  ]
+
 let parallel_equals_sequential version name =
   case name `Quick (fun () ->
       let seq = Evalkit.Runner.evaluate version in
@@ -103,6 +187,7 @@ let () =
   Alcotest.run "sched"
     [
       ("Sched.map", map_cases);
+      ("PHPSAFE_JOBS", jobs_env_cases);
       ("parallel driver determinism", driver_cases);
       ("parse cache", cache_cases);
     ]
