@@ -34,7 +34,33 @@ let path_opt_from_argv flag =
   in
   scan (Array.to_list Sys.argv)
 
+let int_opt_from_argv flag =
+  match path_opt_from_argv flag with
+  | None -> None
+  | Some v -> (
+      match int_of_string_opt v with
+      | Some n when n >= 1 -> Some n
+      | _ ->
+          Printf.eprintf "evaluate: ignoring invalid %s=%S\n%!" flag v;
+          None)
+
+(* Resource budgets (Secflow.Budget): parser nesting fuel, Pixy fixpoint
+   pass cap, include-closure caps.  Exhaustion degrades the affected file
+   to a Failed (Budget_exhausted _) row in the §V.E table. *)
+let budget_from_argv () =
+  let d = Secflow.Budget.default in
+  let get flag default = Option.value (int_opt_from_argv flag) ~default in
+  {
+    Secflow.Budget.parse_depth =
+      get "--budget-parse-depth" d.Secflow.Budget.parse_depth;
+    fixpoint_passes =
+      get "--budget-fixpoint-passes" d.Secflow.Budget.fixpoint_passes;
+    include_depth = get "--budget-include-depth" d.Secflow.Budget.include_depth;
+    include_files = get "--budget-include-files" d.Secflow.Budget.include_files;
+  }
+
 let () =
+  Secflow.Budget.set (budget_from_argv ());
   let trace_out = path_opt_from_argv "--trace" in
   let metrics_out = path_opt_from_argv "--metrics" in
   if trace_out <> None || metrics_out <> None then Obs.set_enabled true;

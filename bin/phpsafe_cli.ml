@@ -44,7 +44,8 @@ let kind_filter = function
   | other -> failwith ("unknown vulnerability kind: " ^ other)
 
 let run target kinds show_trace tool_name quiet html_out json_out config_path
-    show_stats trace_out metrics_out =
+    show_stats trace_out metrics_out budget =
+  Secflow.Budget.set budget;
   if trace_out <> None || metrics_out <> None then Obs.set_enabled true;
   let project = project_of_target target in
   if show_stats then
@@ -91,6 +92,9 @@ let run target kinds show_trace tool_name quiet html_out json_out config_path
               | Secflow.Report.Out_of_memory -> "include closure exceeds memory budget"
               | Secflow.Report.Unsupported_syntax what -> "unsupported: " ^ what
               | Secflow.Report.Parse_failure msg -> "parse failure: " ^ msg
+              | Secflow.Report.Crashed msg -> "analysis crashed: " ^ msg
+              | Secflow.Report.Budget_exhausted msg ->
+                  "resource budget exhausted: " ^ msg
             in
             Format.printf "  ! could not analyze %s (%s)@." path why)
       result.Secflow.Report.outcomes
@@ -204,6 +208,50 @@ let config_path =
   in
   Arg.(value & opt (some string) None & info [ "config" ] ~docv:"FILE" ~doc)
 
+(* Resource budgets (Secflow.Budget): every exhaustion degrades the file to
+   a Failed (Budget_exhausted _) outcome instead of crashing or hanging. *)
+let budget =
+  let default = Secflow.Budget.default in
+  let parse_depth =
+    let doc =
+      "Parser nesting-depth fuel: expressions/statements nested deeper than
+       $(docv) levels fail the file with a budget-exhausted outcome."
+    in
+    Arg.(
+      value
+      & opt int default.Secflow.Budget.parse_depth
+      & info [ "budget-parse-depth" ] ~docv:"N" ~doc)
+  in
+  let fixpoint_passes =
+    let doc =
+      "Cap on Pixy dataflow fixpoint passes; hitting it keeps the (over-
+       approximate) findings but reports the file as budget-exhausted."
+    in
+    Arg.(
+      value
+      & opt int default.Secflow.Budget.fixpoint_passes
+      & info [ "budget-fixpoint-passes" ] ~docv:"N" ~doc)
+  in
+  let include_depth =
+    let doc = "Include-closure chain-depth safety cap." in
+    Arg.(
+      value
+      & opt int default.Secflow.Budget.include_depth
+      & info [ "budget-include-depth" ] ~docv:"N" ~doc)
+  in
+  let include_files =
+    let doc = "Include-closure size safety cap (files per closure)." in
+    Arg.(
+      value
+      & opt int default.Secflow.Budget.include_files
+      & info [ "budget-include-files" ] ~docv:"N" ~doc)
+  in
+  let mk parse_depth fixpoint_passes include_depth include_files =
+    { Secflow.Budget.parse_depth; fixpoint_passes; include_depth;
+      include_files }
+  in
+  Term.(const mk $ parse_depth $ fixpoint_passes $ include_depth $ include_files)
+
 let cmd =
   let doc = "static XSS/SQLi analysis for PHP plugins (phpSAFE reproduction)" in
   let exits =
@@ -216,6 +264,6 @@ let cmd =
   Cmd.v info
     Term.(
       const run $ target $ kinds $ trace $ tool $ quiet $ html_out $ json_out
-      $ config_path $ show_stats $ trace_out $ metrics_out)
+      $ config_path $ show_stats $ trace_out $ metrics_out $ budget)
 
 let () = exit (Cmd.eval' cmd)

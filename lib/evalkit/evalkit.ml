@@ -25,3 +25,4 @@ let evaluate_and_report ?with_ablation ?pool ppf =
 module History = History
 module Scaling = Scaling
 module Pattern_report = Pattern_report
+module Faults = Faults

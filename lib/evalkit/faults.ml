@@ -1,0 +1,145 @@
+(** Deterministic fault injection for the robustness harness — see
+    faults.mli. *)
+
+type kind =
+  | Truncate
+  | Corrupt_bytes
+  | Unterminated_string
+  | Unterminated_heredoc
+  | Deep_nesting
+  | Include_cycle
+  | Binary_blob
+  | Empty_file
+
+let all_kinds =
+  [ Truncate; Corrupt_bytes; Unterminated_string; Unterminated_heredoc;
+    Deep_nesting; Include_cycle; Binary_blob; Empty_file ]
+
+let kind_label = function
+  | Truncate -> "truncate"
+  | Corrupt_bytes -> "corrupt-bytes"
+  | Unterminated_string -> "unterminated-string"
+  | Unterminated_heredoc -> "unterminated-heredoc"
+  | Deep_nesting -> "deep-nesting"
+  | Include_cycle -> "include-cycle"
+  | Binary_blob -> "binary-blob"
+  | Empty_file -> "empty-file"
+
+(* Pick the file the fault lands on.  Plugins always have at least one
+   file; an empty project passes through untouched. *)
+let pick_victim rng (files : Phplang.Project.file list) =
+  match files with
+  | [] -> None
+  | _ -> Some (Corpus.Prng.int rng (List.length files))
+
+let replace_nth files idx f =
+  List.mapi
+    (fun i (file : Phplang.Project.file) -> if i = idx then f file else file)
+    files
+
+let truncate rng (src : string) =
+  let len = String.length src in
+  String.sub src 0 (Corpus.Prng.int rng (max 1 len))
+
+let corrupt_bytes rng (src : string) =
+  if String.length src = 0 then src
+  else begin
+    let b = Bytes.of_string src in
+    let hits = 1 + Corpus.Prng.int rng 8 in
+    for _ = 1 to hits do
+      Bytes.set b
+        (Corpus.Prng.int rng (Bytes.length b))
+        (Char.chr (Corpus.Prng.int rng 256))
+    done;
+    Bytes.to_string b
+  end
+
+let unterminated_string rng src =
+  let quote = if Corpus.Prng.bool rng then '"' else '\'' in
+  Printf.sprintf "%s\n$oops = %cnever closed" src quote
+
+let unterminated_heredoc src =
+  src ^ "\n$oops = <<<EOT\nthis heredoc never terminates"
+
+(* Exceed the parser's nesting fuel: a deeply parenthesised expression plus
+   a prefix-operator chain, both of which recurse in the parser. *)
+let deep_nesting src =
+  let n = Phplang.Parser.nesting_limit () + 64 in
+  String.concat ""
+    [ src; "\n$deep = "; String.make n '('; "1"; String.make n ')';
+      ";\n$bang = "; String.make n '!'; "1;" ]
+
+let binary_blob rng =
+  let len = 64 + Corpus.Prng.int rng 448 in
+  String.init len (fun _ -> Char.chr (Corpus.Prng.int rng 256))
+
+let mutate rng kind (project : Phplang.Project.t) : Phplang.Project.t =
+  let files = project.Phplang.Project.files in
+  let name = project.Phplang.Project.name ^ "+" ^ kind_label kind in
+  match pick_victim rng files with
+  | None -> project
+  | Some idx ->
+      let files =
+        match kind with
+        | Truncate ->
+            replace_nth files idx (fun f ->
+                { f with Phplang.Project.source = truncate rng f.source })
+        | Corrupt_bytes ->
+            replace_nth files idx (fun f ->
+                { f with Phplang.Project.source = corrupt_bytes rng f.source })
+        | Unterminated_string ->
+            replace_nth files idx (fun f ->
+                { f with
+                  Phplang.Project.source = unterminated_string rng f.source })
+        | Unterminated_heredoc ->
+            replace_nth files idx (fun f ->
+                { f with
+                  Phplang.Project.source = unterminated_heredoc f.source })
+        | Deep_nesting ->
+            replace_nth files idx (fun f ->
+                { f with Phplang.Project.source = deep_nesting f.source })
+        | Include_cycle ->
+            (* two fresh mutually-including files, wired into an existing
+               file so the cycle is reachable from a real entry point *)
+            let victim = List.nth files idx in
+            [ { Phplang.Project.path = "fault_cycle_a.php";
+                source =
+                  Printf.sprintf
+                    "<?php include 'fault_cycle_b.php'; include '%s';"
+                    victim.Phplang.Project.path };
+              { Phplang.Project.path = "fault_cycle_b.php";
+                source = "<?php include 'fault_cycle_a.php';" } ]
+            @ replace_nth files idx (fun f ->
+                  { f with
+                    Phplang.Project.source =
+                      f.source ^ "\ninclude 'fault_cycle_a.php';" })
+        | Binary_blob ->
+            replace_nth files idx (fun f ->
+                { f with Phplang.Project.source = binary_blob rng })
+        | Empty_file ->
+            replace_nth files idx (fun f ->
+                { f with Phplang.Project.source = "" })
+      in
+      Phplang.Project.make ~name files
+
+let mutants ~seed ~count (project : Phplang.Project.t) :
+    (kind * Phplang.Project.t) list =
+  let base = Corpus.Prng.create seed in
+  let n_kinds = List.length all_kinds in
+  (* explicit loop: [split] advances [base], so derivation order matters
+     for reproducibility ([List.init]'s application order is unspecified) *)
+  let rec go i acc =
+    if i >= count then List.rev acc
+    else begin
+      let rng = Corpus.Prng.split base ~salt:i in
+      let kind = List.nth all_kinds (i mod n_kinds) in
+      let m = mutate rng kind project in
+      let m =
+        { m with
+          Phplang.Project.name = m.Phplang.Project.name ^ "#" ^ string_of_int i
+        }
+      in
+      go (i + 1) ((kind, m) :: acc)
+    end
+  in
+  go 0 []

@@ -7,19 +7,36 @@ type tool_robustness = {
   rb_tool : string;
   rb_failed_files : int;
   rb_errors : int;
+  rb_unresolved_includes : int;
+  rb_by_reason : (string * int) list;
 }
 
 let of_run (run : Runner.tool_run) : tool_robustness =
-  let failed, errors =
-    List.fold_left
-      (fun (f, e) (_plugin, (result : Report.result)) ->
-        (f + List.length (Report.failed_files result), e + result.Report.errors))
-      (0, 0) run.Runner.tr_output.Matching.to_results
-  in
+  let failed = ref 0 and errors = ref 0 and unresolved = ref 0 in
+  let by_reason = Hashtbl.create 8 in
+  List.iter
+    (fun (_plugin, (result : Report.result)) ->
+      errors := !errors + result.Report.errors;
+      unresolved := !unresolved + result.Report.unresolved_includes;
+      List.iter
+        (fun (_path, outcome) ->
+          match outcome with
+          | Report.Analyzed -> ()
+          | Report.Failed reason ->
+              incr failed;
+              let label = Report.failure_label reason in
+              Hashtbl.replace by_reason label
+                (1 + Option.value (Hashtbl.find_opt by_reason label) ~default:0))
+        result.Report.outcomes)
+    run.Runner.tr_output.Matching.to_results;
   {
     rb_tool = run.Runner.tr_output.Matching.to_tool;
-    rb_failed_files = failed;
-    rb_errors = errors;
+    rb_failed_files = !failed;
+    rb_errors = !errors;
+    rb_unresolved_includes = !unresolved;
+    rb_by_reason =
+      Hashtbl.fold (fun k v acc -> (k, v) :: acc) by_reason []
+      |> List.sort compare;
   }
 
 type corpus_size = { cs_files : int; cs_loc : int }

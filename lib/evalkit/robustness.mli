@@ -5,6 +5,13 @@ type tool_robustness = {
   rb_tool : string;
   rb_failed_files : int;
   rb_errors : int;
+  rb_unresolved_includes : int;
+      (** include targets that resolved to no project file, summed over
+          plugins — the signal {!Phplang.Project.include_closure} counts
+          instead of silently dropping *)
+  rb_by_reason : (string * int) list;
+      (** failed files per {!Secflow.Report.failure_label}, sorted by
+          label — the failure taxonomy behind [rb_failed_files] *)
 }
 
 val of_run : Runner.tool_run -> tool_robustness

@@ -23,14 +23,35 @@ type evaluation = {
 let default_tools () : Secflow.Tool.t list =
   [ Phpsafe.tool; Rips.tool; Pixy.tool ]
 
+(* Last-resort crash containment for one (tool, plugin) work item: the
+   analyzers have their own per-file barriers, so anything arriving here is
+   a whole-project abort (a tool bug, OOM, ...).  Degrading it to a result
+   with every file [Failed (Crashed _)] keeps the §V.E accounting intact
+   and — because the sequential and parallel drivers share this function —
+   byte-identical at any pool size. *)
+let crashed_result (p : Corpus.Catalog.plugin_output) exn =
+  Obs.incr "evalkit.plugins.crashed";
+  Secflow.Report.crashed_result
+    ~files:
+      (List.map
+         (fun (f : Phplang.Project.file) -> f.Phplang.Project.path)
+         p.Corpus.Catalog.po_project.Phplang.Project.files)
+    (Printexc.to_string exn)
+
 let run_tool (tool : Secflow.Tool.t) (corpus : Corpus.t) : tool_run =
   let t0 = Obs.Clock.now () in
   let results =
     List.map
       (fun (p : Corpus.Catalog.plugin_output) ->
         Obs.span ("evalkit.run." ^ tool.Secflow.Tool.name) (fun () ->
-            (p.Corpus.Catalog.po_name,
-             tool.Secflow.Tool.analyze_project p.Corpus.Catalog.po_project)))
+            let r =
+              match
+                tool.Secflow.Tool.analyze_project p.Corpus.Catalog.po_project
+              with
+              | r -> r
+              | exception exn -> crashed_result p exn
+            in
+            (p.Corpus.Catalog.po_name, r)))
       corpus.Corpus.plugins
   in
   let seconds = Obs.Clock.now () -. t0 in
@@ -55,7 +76,7 @@ let run_tools_parallel ~pool tools (corpus : Corpus.t) : tool_run list =
       tools
   in
   let results =
-    Sched.map ~pool
+    Sched.map_result ~pool
       (fun ((tool : Secflow.Tool.t), (p : Corpus.Catalog.plugin_output)) ->
         Obs.span ("evalkit.run." ^ tool.Secflow.Tool.name) (fun () ->
             let t0 = Obs.Clock.now () in
@@ -65,6 +86,18 @@ let run_tools_parallel ~pool tools (corpus : Corpus.t) : tool_run list =
             (tool.Secflow.Tool.name, p.Corpus.Catalog.po_name, r,
              Obs.Clock.now () -. t0)))
       items
+    |> List.map2
+         (fun ((tool : Secflow.Tool.t), p) outcome ->
+           match outcome with
+           | Ok item -> item
+           | Error (exn, _bt) ->
+               (* per-item isolation: this (tool, plugin) crashed; the other
+                  items' results are all still in the list *)
+               ( tool.Secflow.Tool.name,
+                 p.Corpus.Catalog.po_name,
+                 crashed_result p exn,
+                 0. ))
+         items
   in
   List.map
     (fun (tool : Secflow.Tool.t) ->

@@ -20,13 +20,19 @@ val default_tools : unit -> Secflow.Tool.t list
 (** phpSAFE, RIPS, Pixy — the paper's §IV.B tool set. *)
 
 val run_tool : Secflow.Tool.t -> Corpus.t -> tool_run
+(** Sequential driver.  Crash containment: a tool whose [analyze_project]
+    raises on some plugin yields a result with every file of that plugin
+    [Failed (Crashed _)] — the remaining plugins are still analyzed. *)
 
 val run_tools_parallel :
   pool:Sched.pool -> Secflow.Tool.t list -> Corpus.t -> tool_run list
-(** Fan the (tool × plugin) grid out across the pool's domains.  The reduce
-    is deterministic: findings, outcomes and per-plugin ordering are
-    identical to running {!run_tool} sequentially; only the timing fields
-    differ ([tr_seconds] is summed per-item wall time). *)
+(** Fan the (tool × plugin) grid out across the pool's domains via
+    {!Sched.map_result}, so a crashing work item degrades to the same
+    all-files-[Failed (Crashed _)] result as in {!run_tool} while every
+    other item keeps its output.  The reduce is deterministic: findings,
+    outcomes and per-plugin ordering are identical to running {!run_tool}
+    sequentially; only the timing fields differ ([tr_seconds] is summed
+    per-item wall time, 0 for a crashed item). *)
 
 val evaluate :
   ?tools:Secflow.Tool.t list ->

@@ -212,8 +212,25 @@ let robustness ppf ~(ev : Runner.evaluation) =
   List.iter
     (fun run ->
       let rb = Robustness.of_run run in
-      Format.fprintf ppf "%-8s: %d files failed, %d errors@." rb.Robustness.rb_tool
-        rb.Robustness.rb_failed_files rb.Robustness.rb_errors)
+      let breakdown =
+        match rb.Robustness.rb_by_reason with
+        | [] -> ""
+        | reasons ->
+            Printf.sprintf " (%s)"
+              (String.concat ", "
+                 (List.map
+                    (fun (label, n) -> Printf.sprintf "%s: %d" label n)
+                    reasons))
+      in
+      let unresolved =
+        if rb.Robustness.rb_unresolved_includes = 0 then ""
+        else
+          Printf.sprintf ", %d unresolved include(s)"
+            rb.Robustness.rb_unresolved_includes
+      in
+      Format.fprintf ppf "%-8s: %d files failed%s, %d errors%s@."
+        rb.Robustness.rb_tool rb.Robustness.rb_failed_files breakdown
+        rb.Robustness.rb_errors unresolved)
     ev.Runner.ev_runs;
   Format.fprintf ppf
     "(paper: phpSAFE missed 1 file [2012] / 3 files [2014]; RIPS none; Pixy failed 32 files, errors 1/37)@."

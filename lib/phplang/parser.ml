@@ -9,10 +9,23 @@
     ["SELECT * FROM " . $wpdb->prefix . "sml"]. *)
 
 exception Parse_error of string * Ast.pos
+exception Depth_exceeded of string * Ast.pos
+
+(* Nesting-depth fuel: bounds recursion in [parse_expr]/[parse_unary]/
+   [parse_stmt] so pathological inputs ("((((...))))", "!!!!...1") abort
+   with {!Depth_exceeded} long before the OCaml stack is at risk.  The
+   limit is process-global (an [Atomic.t], so parallel drivers may tune it
+   once up front) and deliberately generous: real plugin code nests a few
+   dozen levels at most. *)
+let default_nesting_limit = 512
+let nesting_fuel = Atomic.make default_nesting_limit
+let set_nesting_limit n = Atomic.set nesting_fuel (max 16 n)
+let nesting_limit () = Atomic.get nesting_fuel
 
 type state = {
   tokens : Token.t array;
   mutable cur : int;
+  mutable depth : int;
   file : string;
 }
 
@@ -23,6 +36,18 @@ let peek2 st =
   else None
 
 let here st = pos_of st (peek st)
+
+(* [Depth_exceeded] aborts the whole parse and the state is then discarded,
+   so [deepen]'s increment needs no exception-safe restore — the paired
+   decrement in the wrappers below only matters on the success path. *)
+let deepen st =
+  st.depth <- st.depth + 1;
+  let fuel = Atomic.get nesting_fuel in
+  if st.depth > fuel then
+    raise
+      (Depth_exceeded
+         ( Printf.sprintf "nesting depth exceeds the budget of %d" fuel,
+           here st ))
 
 let fail st msg =
   let t = peek st in
@@ -100,7 +125,11 @@ let is_ident_char c = is_ident_start c || (c >= '0' && c <= '9')
 (* Expressions                                                        *)
 (* ------------------------------------------------------------------ *)
 
-let rec parse_expr st : Ast.expr = parse_logical_low st
+let rec parse_expr st : Ast.expr =
+  deepen st;
+  let e = parse_logical_low st in
+  st.depth <- st.depth - 1;
+  e
 
 (* or / xor — lowest precedence *)
 and parse_logical_low st =
@@ -282,6 +311,14 @@ and parse_multiplicative st =
   loop lhs
 
 and parse_unary st =
+  (* guarded separately from [parse_expr]: prefix-operator chains recurse
+     through [parse_unary] without ever re-entering [parse_expr] *)
+  deepen st;
+  let e = parse_unary_body st in
+  st.depth <- st.depth - 1;
+  e
+
+and parse_unary_body st =
   let t = peek st in
   let pos = pos_of st t in
   match t.Token.kind with
@@ -698,6 +735,12 @@ and parse_body st : Ast.stmt list =
   if check_punct st '{' then parse_braced_block st else [ parse_stmt st ]
 
 and parse_stmt st : Ast.stmt =
+  deepen st;
+  let s = parse_stmt_body st in
+  st.depth <- st.depth - 1;
+  s
+
+and parse_stmt_body st : Ast.stmt =
   let t = peek st in
   let pos = pos_of st t in
   let mk desc = Ast.mk_s ~pos desc in
@@ -1054,7 +1097,7 @@ and parse_class st pos is_interface =
 (* ------------------------------------------------------------------ *)
 
 and parse_tokens ~file tokens : Ast.program =
-  let st = { tokens = Array.of_list tokens; cur = 0; file } in
+  let st = { tokens = Array.of_list tokens; cur = 0; depth = 0; file } in
   let rec loop acc =
     if check st Token.T_EOF then List.rev acc
     else if check st Token.T_OPEN_TAG then begin
@@ -1073,7 +1116,7 @@ and parse_source ~file src : Ast.program =
 (** Parse a single expression given as PHP text (no [<?php] tag). *)
 and expr_of_string ?(file = "<expr>") src : Ast.expr =
   let tokens = Lexer.significant (Lexer.tokenize ("<?php " ^ src ^ ";")) in
-  let st = { tokens = Array.of_list tokens; cur = 0; file } in
+  let st = { tokens = Array.of_list tokens; cur = 0; depth = 0; file } in
   ignore (eat st Token.T_OPEN_TAG);
   let e = parse_expr st in
   e

@@ -7,6 +7,23 @@
 exception Parse_error of string * Ast.pos
 (** Parse failure with a human-readable message and source position. *)
 
+exception Depth_exceeded of string * Ast.pos
+(** Raised when expression/statement nesting exceeds the fuel limit (see
+    {!set_nesting_limit}) — a resource-budget exhaustion, distinct from a
+    syntax error, so callers can report it as such. *)
+
+val default_nesting_limit : int
+(** The built-in nesting-depth budget (512 levels). *)
+
+val set_nesting_limit : int -> unit
+(** Set the process-global nesting-depth fuel for all subsequent parses
+    (clamped to ≥ 16).  Bounds recursion in the expression, prefix-operator
+    and statement parsers so pathological inputs raise {!Depth_exceeded}
+    instead of overflowing the OCaml stack. *)
+
+val nesting_limit : unit -> int
+(** The nesting-depth fuel currently in force. *)
+
 val parse_tokens : file:string -> Token.t list -> Ast.program
 (** Parse a significant-token list (see {!Lexer.significant}); [file] is
     recorded in every position. *)

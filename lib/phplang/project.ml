@@ -112,6 +112,15 @@ let include_targets (prog : Ast.program) : string list =
 (* Memoized parsing                                                   *)
 (* ------------------------------------------------------------------ *)
 
+(** Why a parse failed — analyzers map [Syntax] to a parse-failure outcome
+    and [Over_budget] to a resource-budget one in the §V.E robustness
+    table. *)
+type parse_error =
+  | Syntax of string  (** the lexer or parser rejected the input *)
+  | Over_budget of string  (** the nesting-depth fuel ran out *)
+
+let parse_error_message = function Syntax m | Over_budget m -> m
+
 (** Content-keyed parse memoization shared by every analyzer.  A file's AST
     depends only on its path (recorded in positions) and its source text, so
     entries are keyed by path + source digest and can be shared across
@@ -127,7 +136,7 @@ let include_targets (prog : Ast.program) : string list =
 module Parse_cache = struct
   type entry =
     | In_progress
-    | Done of (Ast.program, string) result
+    | Done of (Ast.program, parse_error) result
 
   type t = {
     table : (string * string, entry) Hashtbl.t;  (** (path, digest) *)
@@ -177,48 +186,86 @@ module Parse_cache = struct
       | Some In_progress ->
           Condition.wait t.cond t.lock;
           await ()
-      | None ->
+      | None -> (
           Hashtbl.replace t.table key In_progress;
           Mutex.unlock t.lock;
-          let v = parse () in
-          Mutex.lock t.lock;
-          Hashtbl.replace t.table key (Done v);
-          Condition.broadcast t.cond;
-          Mutex.unlock t.lock;
-          Atomic.incr t.misses;
-          Obs.incr "phplang.parse_cache.miss";
-          v
+          match parse () with
+          | v ->
+              Mutex.lock t.lock;
+              Hashtbl.replace t.table key (Done v);
+              Condition.broadcast t.cond;
+              Mutex.unlock t.lock;
+              Atomic.incr t.misses;
+              Obs.incr "phplang.parse_cache.miss";
+              v
+          | exception e ->
+              (* Exception safety: drop the [In_progress] marker and wake
+                 the waiters, otherwise they block on the condition
+                 variable forever.  The entry is simply retried by the
+                 next caller — "parsed exactly once" only holds for
+                 parses that return. *)
+              let bt = Printexc.get_raw_backtrace () in
+              Mutex.lock t.lock;
+              Hashtbl.remove t.table key;
+              Condition.broadcast t.cond;
+              Mutex.unlock t.lock;
+              Obs.incr "phplang.parse_cache.aborted";
+              Printexc.raise_with_backtrace e bt)
     in
     await ()
 end
 
 (** Parse [f], memoized in [cache] (default: {!Parse_cache.shared}) unless
-    the cache is globally disabled.  [Error msg] is a parse failure — cached
-    too, so a broken file is diagnosed once, not once per tool. *)
+    the cache is globally disabled.  [Error _] is a parse failure — cached
+    too, so a broken file is diagnosed once, not once per tool.  Lexer
+    errors, parse errors and nesting-budget exhaustion all land here as
+    structured {!parse_error}s; only genuinely unexpected exceptions (a
+    front-end bug) escape, and those the analyzers' crash barriers catch. *)
 let parse_file ?(cache = Parse_cache.shared) (f : file) :
-    (Ast.program, string) result =
+    (Ast.program, parse_error) result =
   let parse () =
     match Parser.parse_source ~file:f.path f.source with
     | prog -> Ok prog
-    | exception Parser.Parse_error (msg, _) -> Error msg
+    | exception Parser.Parse_error (msg, _) -> Error (Syntax msg)
+    | exception Lexer.Error (msg, line) ->
+        Error (Syntax (Printf.sprintf "lexical error on line %d: %s" line msg))
+    | exception Parser.Depth_exceeded (msg, _) -> Error (Over_budget msg)
   in
   if not (Parse_cache.enabled ()) then parse ()
   else Parse_cache.memo cache (f.path, Digest.string f.source) parse
 
+(** Result of {!include_closure} — see the .mli for field semantics. *)
+type closure = {
+  cl_paths : string list;
+  cl_max_depth : int;
+  cl_unresolved : int;
+  cl_truncated : bool;
+}
+
 (** Transitive include closure of [path] within project [t], parsed on
-    demand with [parse].  Returns the set of reachable paths (including
-    [path] itself) and the maximum include depth encountered.  Cycles are
-    cut; missing files are ignored (WordPress core files, typically). *)
-let include_closure ~parse t path =
+    demand with [parse].  Cycles are cut by the visited set; missing files
+    (WordPress core, typically) are tolerated, counted as unresolved and
+    still part of the closure.  [max_depth]/[max_files] are safety caps:
+    when either is hit the walk stops expanding and the closure is marked
+    truncated instead of recursing without bound. *)
+let include_closure ?(max_depth = max_int) ?(max_files = max_int) ~parse t
+    path =
   Obs.span "phplang.includes" @@ fun () ->
   let visited = Hashtbl.create 16 in
-  let max_depth = ref 0 in
+  let deepest = ref 0 in
+  let unresolved = ref 0 in
+  let truncated = ref false in
   let rec go depth p =
-    if not (Hashtbl.mem visited p) then begin
+    if Hashtbl.mem visited p then ()
+    else if depth > max_depth || Hashtbl.length visited >= max_files then
+      truncated := true
+    else begin
       Hashtbl.add visited p ();
-      if depth > !max_depth then max_depth := depth;
+      if depth > !deepest then deepest := depth;
       match find t p with
-      | None -> ()
+      | None ->
+          incr unresolved;
+          Obs.incr "phplang.includes.unresolved"
       | Some f -> (
           match parse f with
           | Some prog -> List.iter (go (depth + 1)) (include_targets prog)
@@ -226,5 +273,10 @@ let include_closure ~parse t path =
     end
   in
   go 0 path;
-  (Hashtbl.fold (fun k () acc -> k :: acc) visited [] |> List.sort compare,
-   !max_depth)
+  {
+    cl_paths =
+      Hashtbl.fold (fun k () acc -> k :: acc) visited [] |> List.sort compare;
+    cl_max_depth = !deepest;
+    cl_unresolved = !unresolved;
+    cl_truncated = !truncated;
+  }

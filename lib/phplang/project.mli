@@ -12,6 +12,15 @@ val find : t -> string -> file option
 
 val file_count : t -> int
 
+(** Why a parse failed.  [Syntax] is a lexer/parser rejection; [Over_budget]
+    means the nesting-depth fuel (see {!Parser.set_nesting_limit}) ran out —
+    analyzers report the two differently in the robustness table. *)
+type parse_error =
+  | Syntax of string
+  | Over_budget of string
+
+val parse_error_message : parse_error -> string
+
 (** Content-keyed parse memoization shared by analyzers and domains:
     entries are keyed by file path + source digest, so each distinct file
     is parsed exactly once per process even when three tools (or several
@@ -24,6 +33,18 @@ module Parse_cache : sig
 
   val shared : t
   (** Process-wide default cache used by {!parse_file}. *)
+
+  val memo :
+    t ->
+    string * string ->
+    (unit -> (Ast.program, parse_error) result) ->
+    (Ast.program, parse_error) result
+  (** [memo t (path, digest) parse] returns the cached entry for the key,
+      or runs [parse] (outside the lock, publishing an in-progress marker
+      so concurrent requests wait rather than parse twice) and caches its
+      result.  Exception-safe: if [parse] raises, the marker is removed,
+      waiters are woken (the next caller retries), and the exception is
+      re-raised with its backtrace. *)
 
   val set_enabled : bool -> unit
   (** Globally enable/disable memoization ([true] initially).  Flip only
@@ -42,18 +63,40 @@ module Parse_cache : sig
 end
 
 val parse_file :
-  ?cache:Parse_cache.t -> file -> (Ast.program, string) result
+  ?cache:Parse_cache.t -> file -> (Ast.program, parse_error) result
 (** Parse one project file, memoized in [cache] (default
-    {!Parse_cache.shared}) unless the cache is disabled.  [Error msg] is a
-    parse failure; failures are cached too. *)
+    {!Parse_cache.shared}) unless the cache is disabled.  [Error _] is a
+    structured parse failure (lexical/syntax error or nesting-budget
+    exhaustion); failures are cached too. *)
 
 val include_targets : Ast.program -> string list
 (** Literal include targets of a program, in source order; dynamic include
     arguments are skipped, like the real tools do. *)
 
+(** Result of {!include_closure}. *)
+type closure = {
+  cl_paths : string list;
+      (** reachable paths, sorted, including the entry file and unresolved
+          targets *)
+  cl_max_depth : int;  (** maximum include depth encountered *)
+  cl_unresolved : int;
+      (** distinct include targets not present in the project (WordPress
+          core files, typically) — each bumps the
+          [phplang.includes.unresolved] counter *)
+  cl_truncated : bool;
+      (** true when a [max_depth]/[max_files] cap stopped the walk *)
+}
+
 val include_closure :
-  parse:(file -> Ast.program option) -> t -> string -> string list * int
+  ?max_depth:int ->
+  ?max_files:int ->
+  parse:(file -> Ast.program option) ->
+  t ->
+  string ->
+  closure
 (** [include_closure ~parse t path] is the transitive include closure of
-    [path] (sorted, including [path]) together with the maximum include
-    depth.  Cycles are cut; missing files (WordPress core, typically) are
-    tolerated but still count toward the depth. *)
+    [path].  Cycles are cut; missing files are tolerated but counted as
+    unresolved (and still part of the closure, as before).  [max_depth]
+    bounds the include-chain depth and [max_files] the closure size (both
+    default to unlimited); exceeding either stops the walk and marks the
+    closure truncated — the caller reports that as a budget exhaustion. *)

@@ -723,6 +723,7 @@ let analyze_project ?(opts = default_options) (project : Phplang.Project.t) :
     }
   in
   let outcomes = ref [] in
+  let unresolved = ref S.empty in
   (* stage 2 (§III.B): model construction — parse everything, check the
      include budget, hoist the function/class registry *)
   let analyzable =
@@ -734,11 +735,15 @@ let analyze_project ?(opts = default_options) (project : Phplang.Project.t) :
         | Ok prog ->
             Hashtbl.replace ctx.parsed f.Phplang.Project.path prog;
             parse_ok := f.Phplang.Project.path :: !parse_ok
-        | Error msg ->
+        | Error err ->
             ctx.errors <- ctx.errors + 1;
+            let reason =
+              match err with
+              | Phplang.Project.Syntax msg -> Report.Parse_failure msg
+              | Phplang.Project.Over_budget msg -> Report.Budget_exhausted msg
+            in
             outcomes :=
-              (f.Phplang.Project.path, Report.Failed (Report.Parse_failure msg))
-              :: !outcomes)
+              (f.Phplang.Project.path, Report.fail reason) :: !outcomes)
       project.Phplang.Project.files;
     let parse_ok = List.rev !parse_ok in
     (* memory budget: files whose include closure is too expensive fail; no
@@ -747,28 +752,47 @@ let analyze_project ?(opts = default_options) (project : Phplang.Project.t) :
     (match (if opts.resolve_includes then opts.budget else None) with
     | None -> ()
     | Some budget ->
+        let safety = Budget.get () in
         List.iter
           (fun path ->
             let parse (f : Phplang.Project.file) =
               Hashtbl.find_opt ctx.parsed f.Phplang.Project.path
             in
-            let closure, depth =
-              Phplang.Project.include_closure ~parse project path
+            let closure =
+              Phplang.Project.include_closure
+                ~max_depth:safety.Budget.include_depth
+                ~max_files:safety.Budget.include_files ~parse project path
             in
             let closure_loc =
               List.fold_left
                 (fun acc p ->
                   match Phplang.Project.find project p with
                   | Some f -> acc + Phplang.Loc.count f.Phplang.Project.source
-                  | None -> acc)
-                0 closure
+                  | None ->
+                      unresolved := S.add p !unresolved;
+                      acc)
+                0 closure.Phplang.Project.cl_paths
             in
-            if depth > budget.max_include_depth
-               || closure_loc > budget.max_closure_loc
+            if closure.Phplang.Project.cl_truncated then begin
+              (* the safety cap fired before the paper's modeling budget
+                 could even be measured — a budget exhaustion, not the
+                 paper's out-of-memory behaviour *)
+              Obs.incr "phpsafe.files.failed_budget";
+              Hashtbl.replace failed_mem path ();
+              outcomes :=
+                (path,
+                 Report.fail
+                   (Report.Budget_exhausted
+                      "include closure exceeds the depth/size safety cap"))
+                :: !outcomes
+            end
+            else if closure.Phplang.Project.cl_max_depth
+                    > budget.max_include_depth
+                    || closure_loc > budget.max_closure_loc
             then begin
               Obs.incr "phpsafe.files.failed_budget";
               Hashtbl.replace failed_mem path ();
-              outcomes := (path, Report.Failed Report.Out_of_memory) :: !outcomes
+              outcomes := (path, Report.fail Report.Out_of_memory) :: !outcomes
             end)
           parse_ok);
     let analyzable =
@@ -781,6 +805,22 @@ let analyze_project ?(opts = default_options) (project : Phplang.Project.t) :
       analyzable;
     analyzable
   in
+  (* crash barrier: an exception escaping the taint walk poisons only the
+     file that triggered it, never the project run *)
+  let mark_file_crashed path exn =
+    ctx.errors <- ctx.errors + 1;
+    Obs.incr "phpsafe.files.crashed";
+    match List.assoc_opt path !outcomes with
+    | Some (Report.Failed _) -> ()
+    | Some Report.Analyzed | None ->
+        let outcome = Report.fail (Report.Crashed (Printexc.to_string exn)) in
+        if List.mem_assoc path !outcomes then
+          outcomes :=
+            List.map
+              (fun (p, o) -> if String.equal p path then (p, outcome) else (p, o))
+              !outcomes
+        else outcomes := (path, outcome) :: !outcomes
+  in
   (* stage 3 (§III.C): inter-procedural analysis from each file's "main
      function", then uncalled functions as entry points *)
   Obs.span "phpsafe.analysis" (fun () ->
@@ -789,8 +829,9 @@ let analyze_project ?(opts = default_options) (project : Phplang.Project.t) :
           ctx.include_stack <- S.singleton path;
           let env = Env.create_toplevel ctx.globals in
           let a = { c = ctx; env; frame = None; file = path } in
-          List.iter (exec_stmt a) (Hashtbl.find ctx.parsed path);
-          outcomes := (path, Report.Analyzed) :: !outcomes)
+          match List.iter (exec_stmt a) (Hashtbl.find ctx.parsed path) with
+          | () -> outcomes := (path, Report.Analyzed) :: !outcomes
+          | exception exn -> mark_file_crashed path exn)
         analyzable;
       if opts.analyze_uncalled then begin
         let uncalled =
@@ -800,7 +841,12 @@ let analyze_project ?(opts = default_options) (project : Phplang.Project.t) :
             ctx.funcs []
           |> List.sort (fun (k1, _) (k2, _) -> String.compare k1 k2)
         in
-        List.iter (fun (_, fi) -> ignore (analyze_function ctx fi)) uncalled
+        List.iter
+          (fun (_, fi) ->
+            match analyze_function ctx fi with
+            | _ -> ()
+            | exception exn -> mark_file_crashed fi.fi_file exn)
+          uncalled
       end);
   (* stage 4 (§III.D): results *)
   Obs.span "phpsafe.results" @@ fun () ->
@@ -808,4 +854,5 @@ let analyze_project ?(opts = default_options) (project : Phplang.Project.t) :
     Report.findings = List.rev ctx.findings;
     outcomes = List.rev !outcomes;
     errors = ctx.errors;
+    unresolved_includes = S.cardinal !unresolved;
   }

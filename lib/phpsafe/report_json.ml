@@ -95,6 +95,8 @@ let of_outcome (path, outcome) =
         ("failed", "include closure exceeds memory budget")
     | Report.Failed (Report.Unsupported_syntax what) -> ("failed", what)
     | Report.Failed (Report.Parse_failure msg) -> ("failed", msg)
+    | Report.Failed (Report.Crashed msg) -> ("crashed", msg)
+    | Report.Failed (Report.Budget_exhausted msg) -> ("budget-exhausted", msg)
   in
   J_obj
     [ ("file", J_string path); ("status", J_string status);

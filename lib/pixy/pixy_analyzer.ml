@@ -122,10 +122,13 @@ type fctx = {
   memo : (string, T.taint) Hashtbl.t;
       (** return taint per (function, argument-taint signature) *)
   mutable in_progress : string list;
+  mutable over_budget : bool;
+      (** a dataflow fixpoint hit the pass budget before converging — the
+          states computed so far are kept (over-approximate result) but the
+          file is reported as budget-exhausted *)
 }
 
 let max_inline_depth = 8
-let max_passes = 64
 
 let report fx ~kind ~pos ~sink_name ~var (t : T.taint) =
   let key =
@@ -439,6 +442,7 @@ and run_dataflow sc (stmts : A.stmt list) (init : T.state) : T.state =
   let order = Cfg.rpo cfg in
   let changed = ref true in
   let passes = ref 0 in
+  let max_passes = (Budget.get ()).Budget.fixpoint_passes in
   while !changed && !passes < max_passes do
     changed := false;
     incr passes;
@@ -470,6 +474,12 @@ and run_dataflow sc (stmts : A.stmt list) (init : T.state) : T.state =
       order
   done;
   Obs.add "pixy.fixpoint.passes" !passes;
+  if !changed then begin
+    (* the pass budget ran out before a fixpoint: the last states stand as
+       an over-approximation, and the file is flagged instead of looping *)
+    sc.fx.over_budget <- true;
+    Obs.incr "pixy.fixpoint.exhausted"
+  end;
   Option.value out_states.(cfg.Cfg.exit_) ~default:T.empty_state
 
 (* ------------------------------------------------------------------ *)
@@ -498,9 +508,13 @@ let rec collect_funcs tbl (stmts : A.stmt list) =
       | _ -> ())
     stmts
 
-let analyze_file ~file source : Report.finding list * Report.file_outcome * int =
+let analyze_file_exn ~file source :
+    Report.finding list * Report.file_outcome * int =
   match Phplang.Project.parse_file { Phplang.Project.path = file; source } with
-  | Error msg -> ([], Report.Failed (Report.Parse_failure msg), 1)
+  | Error (Phplang.Project.Syntax msg) ->
+      ([], Report.fail (Report.Parse_failure msg), 1)
+  | Error (Phplang.Project.Over_budget msg) ->
+      ([], Report.fail (Report.Budget_exhausted msg), 1)
   | Ok prog -> (
       (* model stage: the OOP gate plus the callable registry *)
       match
@@ -511,18 +525,33 @@ let analyze_file ~file source : Report.finding list * Report.file_outcome * int 
             funcs)
       with
       | exception Oop what ->
-          ([], Report.Failed (Report.Unsupported_syntax what), 1)
+          ([], Report.fail (Report.Unsupported_syntax what), 1)
       | funcs ->
           let fx =
             { file; funcs; findings = []; seen = Report.Key_set.empty;
-              memo = Hashtbl.create 32; in_progress = [] }
+              memo = Hashtbl.create 32; in_progress = []; over_budget = false }
           in
           let sc =
             { fx; global_scope = true; depth = 0; returns = ref T.clean }
           in
           Obs.span "pixy.analysis" (fun () ->
               ignore (run_dataflow sc prog T.empty_state));
-          (List.rev fx.findings, Report.Analyzed, 0))
+          if fx.over_budget then
+            ( List.rev fx.findings,
+              Report.fail
+                (Report.Budget_exhausted
+                   "dataflow fixpoint pass budget exhausted"),
+              1 )
+          else (List.rev fx.findings, Report.Analyzed, 0))
+
+(* Crash barrier: any exception escaping the solver or the evaluator fails
+   this file only, never the project run. *)
+let analyze_file ~file source =
+  match analyze_file_exn ~file source with
+  | result -> result
+  | exception exn ->
+      Obs.incr "pixy.files.crashed";
+      ([], Report.fail (Report.Crashed (Printexc.to_string exn)), 1)
 
 let analyze_project (project : Phplang.Project.t) : Report.result =
   let findings = ref [] in
@@ -539,4 +568,5 @@ let analyze_project (project : Phplang.Project.t) : Report.result =
     project.Phplang.Project.files;
   { Report.findings = List.rev !findings;
     outcomes = List.rev !outcomes;
-    errors = !errors }
+    errors = !errors;
+    unresolved_includes = 0 }

@@ -8,7 +8,9 @@ exception Oop of string
 (** Raised internally when an OOP construct is encountered. *)
 
 val max_inline_depth : int
-val max_passes : int
+(** The fixpoint pass cap moved to [Secflow.Budget.fixpoint_passes];
+    exhausting it degrades the file to an over-approximate result reported
+    as [Failed (Budget_exhausted _)] instead of iterating further. *)
 
 val analyze_file :
   file:string ->

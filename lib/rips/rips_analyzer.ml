@@ -521,11 +521,14 @@ and resolve_with_binding st ~visited ~depth ~binding callee j rexpr =
 
 let name = "RIPS"
 
-let analyze_file ~file source : Report.finding list * Report.file_outcome * int =
+let analyze_file_exn ~file source :
+    Report.finding list * Report.file_outcome * int =
   match Phplang.Project.parse_file { Phplang.Project.path = file; source } with
-  | Error msg ->
+  | Error (Phplang.Project.Syntax msg) ->
       (* RIPS is robust: a parse problem is reported but does not abort *)
-      ([], Report.Failed (Report.Parse_failure msg), 1)
+      ([], Report.fail (Report.Parse_failure msg), 1)
+  | Error (Phplang.Project.Over_budget msg) ->
+      ([], Report.fail (Report.Budget_exhausted msg), 1)
   | Ok prog ->
       let st = Obs.span "rips.model" (fun () -> build_fstate ~file prog) in
       let findings =
@@ -563,6 +566,15 @@ let analyze_file ~file source : Report.finding list * Report.file_outcome * int 
       in
       (findings, Report.Analyzed, 0)
 
+(* Crash barrier: any exception escaping the backward resolution (a
+   resolver bug, stack exhaustion, ...) fails this file only. *)
+let analyze_file ~file source =
+  match analyze_file_exn ~file source with
+  | result -> result
+  | exception exn ->
+      Obs.incr "rips.files.crashed";
+      ([], Report.fail (Report.Crashed (Printexc.to_string exn)), 1)
+
 let analyze_project (project : Phplang.Project.t) : Report.result =
   let findings = ref [] in
   let outcomes = ref [] in
@@ -588,4 +600,5 @@ let analyze_project (project : Phplang.Project.t) : Report.result =
     project.Phplang.Project.files;
   { Report.findings = List.rev !findings;
     outcomes = List.rev !outcomes;
-    errors = !errors }
+    errors = !errors;
+    unresolved_includes = 0 }

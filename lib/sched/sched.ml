@@ -30,14 +30,21 @@ let create ?size () =
 
 let size p = p.pool_size
 
-let map ~pool f items =
+let run_item f x =
+  match Obs.span "sched.item" (fun () -> f x) with
+  | v -> Ok v
+  | exception e ->
+      let bt = Printexc.get_raw_backtrace () in
+      Obs.incr "sched.items.crashed";
+      Error (e, bt)
+
+let map_result ~pool f items =
   Obs.span "sched.map" @@ fun () ->
   let arr = Array.of_list items in
   let n = Array.length arr in
   if n = 0 then []
   else if pool.pool_size <= 1 || n = 1 then
-    Obs.span "sched.worker" (fun () ->
-        List.map (fun x -> Obs.span "sched.item" (fun () -> f x)) items)
+    Obs.span "sched.worker" (fun () -> List.map (run_item f) items)
   else begin
     let results = Array.make n None in
     let next = Atomic.make 0 in
@@ -46,11 +53,7 @@ let map ~pool f items =
       let rec loop () =
         let i = Atomic.fetch_and_add next 1 in
         if i < n then begin
-          (results.(i) <-
-             Some
-               (match Obs.span "sched.item" (fun () -> f arr.(i)) with
-               | v -> Ok v
-               | exception e -> Error e));
+          results.(i) <- Some (run_item f arr.(i));
           loop ()
         end
       in
@@ -60,14 +63,19 @@ let map ~pool f items =
     let domains = Array.init helpers (fun _ -> Domain.spawn worker) in
     worker ();
     Array.iter Domain.join domains;
-    (* deterministic reduce: results come back in input order, and the
-       first failure in input order wins *)
+    (* deterministic reduce: results come back in input order *)
     Array.to_list results
     |> List.map (function
-         | Some (Ok v) -> v
-         | Some (Error e) -> raise e
+         | Some r -> r
          | None -> assert false (* every index < n was claimed *))
   end
+
+let map ~pool f items =
+  (* fail-fast wrapper: the first failure in input order wins *)
+  map_result ~pool f items
+  |> List.map (function
+       | Ok v -> v
+       | Error (e, bt) -> Printexc.raise_with_backtrace e bt)
 
 type stats = {
   st_pool_size : int;

@@ -25,13 +25,26 @@ val create : ?size:int -> unit -> pool
 
 val size : pool -> int
 
-val map : pool:pool -> ('a -> 'b) -> 'a list -> 'b list
-(** [map ~pool f items] applies [f] to every item, using up to
+val map_result :
+  pool:pool ->
+  ('a -> 'b) ->
+  'a list ->
+  ('b, exn * Printexc.raw_backtrace) result list
+(** [map_result ~pool f items] applies [f] to every item, using up to
     [size pool - 1] extra domains plus the calling domain, and returns the
     results in input order.  Work is distributed dynamically (an atomic
-    next-item counter), so stragglers don't idle the pool.  If any [f]
-    raises, the first exception in input order is re-raised after all
-    domains have joined.
+    next-item counter), so stragglers don't idle the pool.
+
+    Each item is isolated: an [f] that raises yields [Error (exn, bt)] for
+    that item (with the backtrace captured at the raise site) while every
+    other item still produces its result — one poisoned input cannot abort
+    the whole fan-out.  Crashed items bump the [sched.items.crashed]
+    counter. *)
+
+val map : pool:pool -> ('a -> 'b) -> 'a list -> 'b list
+(** Fail-fast wrapper over {!map_result}: returns the plain results in
+    input order; if any [f] raised, re-raises the first exception in input
+    order (with its original backtrace) after all domains have joined.
 
     Observability: when {!Obs} recording is on, the whole call is a
     [sched.map] span, each execution context (the calling domain and every

@@ -1,0 +1,36 @@
+(** Process-global resource budgets — see budget.mli. *)
+
+type t = {
+  parse_depth : int;
+  fixpoint_passes : int;
+  include_depth : int;
+  include_files : int;
+}
+
+let default =
+  {
+    parse_depth = Phplang.Parser.default_nesting_limit;
+    fixpoint_passes = 64;
+    include_depth = 64;
+    include_files = 4096;
+  }
+
+let current = Atomic.make default
+
+let get () = Atomic.get current
+
+let set b =
+  let b =
+    {
+      parse_depth = max 16 b.parse_depth;
+      fixpoint_passes = max 1 b.fixpoint_passes;
+      include_depth = max 1 b.include_depth;
+      include_files = max 1 b.include_files;
+    }
+  in
+  Atomic.set current b;
+  (* the parser cannot see this module (it sits below secflow), so the
+     nesting fuel is pushed down rather than pulled *)
+  Phplang.Parser.set_nesting_limit b.parse_depth
+
+let reset () = set default

@@ -78,18 +78,56 @@ type failure_reason =
   | Out_of_memory        (** phpSAFE: include closure exceeded its budget *)
   | Unsupported_syntax of string  (** Pixy: OOP constructs *)
   | Parse_failure of string
+  | Crashed of string
+      (** an exception escaped the analyzer and was contained by its crash
+          barrier — the analysis aborted but the run survives *)
+  | Budget_exhausted of string
+      (** a resource budget (parser nesting fuel, fixpoint pass cap,
+          include-closure cap — see {!Budget}) ran out; the result may be
+          partial/over-approximate *)
+
+(** Stable label for a failure reason, used for per-reason [Obs] counters
+    and report breakdowns. *)
+let failure_label = function
+  | Out_of_memory -> "out_of_memory"
+  | Unsupported_syntax _ -> "unsupported_syntax"
+  | Parse_failure _ -> "parse_failure"
+  | Crashed _ -> "crashed"
+  | Budget_exhausted _ -> "budget_exhausted"
 
 type file_outcome =
   | Analyzed
   | Failed of failure_reason
 
+(** [fail reason] is [Failed reason], bumping the per-reason
+    [secflow.failed.<label>] counter — the one constructor every analyzer
+    barrier goes through, so the robustness metrics see each failure
+    exactly once. *)
+let fail reason =
+  Obs.incr ("secflow.failed." ^ failure_label reason);
+  Failed reason
+
 type result = {
   findings : finding list;
   outcomes : (string * file_outcome) list;  (** per file path *)
   errors : int;  (** diagnostics emitted while analyzing (Pixy's "error messages") *)
+  unresolved_includes : int;
+      (** distinct include targets that resolved to no project file —
+          WordPress core references, typically (§V.E context) *)
 }
 
-let empty_result = { findings = []; outcomes = []; errors = 0 }
+let empty_result =
+  { findings = []; outcomes = []; errors = 0; unresolved_includes = 0 }
+
+(** The result an analyzer's crash barrier reports when the whole project
+    analysis died: every file [Failed (Crashed msg)], one error. *)
+let crashed_result ~files msg =
+  {
+    findings = [];
+    outcomes = List.map (fun path -> (path, fail (Crashed msg))) files;
+    errors = 1;
+    unresolved_includes = 0;
+  }
 
 (** De-duplicated finding keys of a result. *)
 let keys result =

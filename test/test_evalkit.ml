@@ -68,7 +68,7 @@ let output tool (per_plugin : (string * Report.finding list) list) :
     to_results =
       List.map
         (fun (plugin, fs) ->
-          (plugin, { Report.findings = fs; outcomes = []; errors = 0 }))
+          (plugin, { Report.findings = fs; outcomes = []; errors = 0; unresolved_includes = 0 }))
         per_plugin;
   }
 

@@ -39,9 +39,12 @@ let include_cases =
         let parse_file (f : Project.file) =
           Some (parse ~file:f.Project.path f.Project.source)
         in
-        let closure, depth = Project.include_closure ~parse:parse_file p "a.php" in
-        Alcotest.(check (list string)) "closure" [ "a.php"; "b.php"; "c.php" ] closure;
-        Alcotest.(check int) "depth" 2 depth);
+        let cl = Project.include_closure ~parse:parse_file p "a.php" in
+        Alcotest.(check (list string)) "closure" [ "a.php"; "b.php"; "c.php" ]
+          cl.Project.cl_paths;
+        Alcotest.(check int) "depth" 2 cl.Project.cl_max_depth;
+        Alcotest.(check int) "no unresolved" 0 cl.Project.cl_unresolved;
+        Alcotest.(check bool) "not truncated" false cl.Project.cl_truncated);
     case "closure cuts cycles" (fun () ->
         let p =
           Project.make ~name:"p"
@@ -51,16 +54,18 @@ let include_cases =
         let parse_file (f : Project.file) =
           Some (parse ~file:f.Project.path f.Project.source)
         in
-        let closure, _depth = Project.include_closure ~parse:parse_file p "a.php" in
-        Alcotest.(check (list string)) "closure" [ "a.php"; "b.php" ] closure);
+        let cl = Project.include_closure ~parse:parse_file p "a.php" in
+        Alcotest.(check (list string)) "closure" [ "a.php"; "b.php" ]
+          cl.Project.cl_paths);
     case "missing include files are tolerated" (fun () ->
         let p = Project.make ~name:"p" [ file "a.php" "<?php include 'wp-load.php';" ] in
         let parse_file (f : Project.file) =
           Some (parse ~file:f.Project.path f.Project.source)
         in
-        let closure, depth = Project.include_closure ~parse:parse_file p "a.php" in
-        Alcotest.(check int) "closure size" 2 (List.length closure);
-        Alcotest.(check int) "depth counts the attempt" 1 depth);
+        let cl = Project.include_closure ~parse:parse_file p "a.php" in
+        Alcotest.(check int) "closure size" 2 (List.length cl.Project.cl_paths);
+        Alcotest.(check int) "depth counts the attempt" 1 cl.Project.cl_max_depth;
+        Alcotest.(check int) "unresolved counted" 1 cl.Project.cl_unresolved);
     case "find and file_count" (fun () ->
         let p = Project.make ~name:"p" [ file "a.php" "x"; file "b.php" "y" ] in
         Alcotest.(check int) "count" 2 (Project.file_count p);
@@ -87,6 +92,69 @@ let loc_cases =
         Alcotest.(check int) "total" 3 (Loc.project_loc p));
   ]
 
+(* Regression for the memo deadlock: a [parse] thunk that raised used to
+   leave the In_progress marker in the table forever, so every later caller
+   for the same key blocked on the condition variable.  Now the marker is
+   removed and waiters are woken; the next caller retries. *)
+let cache_cases =
+  [
+    case "a raising parse doesn't poison the cache entry" (fun () ->
+        let cache = Project.Parse_cache.create () in
+        let key = ("crash.php", "digest") in
+        (match
+           Project.Parse_cache.memo cache key (fun () -> failwith "boom")
+         with
+        | _ -> Alcotest.fail "memo should re-raise"
+        | exception Failure _ -> ());
+        (* the key is free again: the next memo runs its thunk *)
+        let ran = ref false in
+        (match
+           Project.Parse_cache.memo cache key (fun () ->
+               ran := true;
+               Error (Project.Syntax "after crash"))
+         with
+        | Error (Project.Syntax "after crash") -> ()
+        | _ -> Alcotest.fail "expected the retried thunk's result");
+        Alcotest.(check bool) "thunk ran" true !ran);
+    case "waiters on a raising parse unblock" (fun () ->
+        let cache = Project.Parse_cache.create () in
+        let key = ("slow.php", "digest") in
+        let others_may_finish = Semaphore.Binary.make false in
+        (* domain 1 holds the In_progress marker, then raises *)
+        let crasher =
+          Domain.spawn (fun () ->
+              match
+                Project.Parse_cache.memo cache key (fun () ->
+                    Semaphore.Binary.release others_may_finish;
+                    Unix.sleepf 0.05;
+                    raise Exit)
+              with
+              | _ -> false
+              | exception Exit -> true)
+        in
+        (* domains 2..4 pile up on the same key while the marker is live;
+           before the fix they blocked forever once the parse raised *)
+        Semaphore.Binary.acquire others_may_finish;
+        let waiters =
+          List.init 3 (fun i ->
+              Domain.spawn (fun () ->
+                  Project.Parse_cache.memo cache key (fun () ->
+                      Error (Project.Syntax ("waiter " ^ string_of_int i)))))
+        in
+        Alcotest.(check bool) "crasher saw its exception" true
+          (Domain.join crasher);
+        List.iter
+          (fun d ->
+            match Domain.join d with
+            | Error (Project.Syntax _) -> ()
+            | _ -> Alcotest.fail "waiter should see a retried Error")
+          waiters);
+  ]
+
 let () =
   Alcotest.run "project"
-    [ ("includes", include_cases); ("loc", loc_cases) ]
+    [
+      ("includes", include_cases);
+      ("loc", loc_cases);
+      ("parse cache", cache_cases);
+    ]

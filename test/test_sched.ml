@@ -42,6 +42,48 @@ let map_cases =
           (Sched.size (Sched.create ()) >= 1));
   ]
 
+(* Per-item crash isolation in [map_result]: a raising item yields [Error]
+   in its input position while every other item still computes. *)
+let map_result_cases =
+  [
+    case "one poisoned item doesn't abort the rest" `Quick (fun () ->
+        let pool = Sched.create ~size:4 () in
+        let results =
+          Sched.map_result ~pool
+            (fun i -> if i mod 10 = 7 then failwith "poison" else i * i)
+            (List.init 50 Fun.id)
+        in
+        Alcotest.(check int) "one result per item" 50 (List.length results);
+        List.iteri
+          (fun i r ->
+            match r with
+            | Ok v when i mod 10 <> 7 ->
+                Alcotest.(check int) "square in order" (i * i) v
+            | Error (Failure _, _) when i mod 10 = 7 -> ()
+            | Ok _ -> Alcotest.failf "item %d should have crashed" i
+            | Error (e, _) ->
+                Alcotest.failf "item %d: unexpected %s" i
+                  (Printexc.to_string e))
+          results);
+    case "map_result on a sequential pool isolates too" `Quick (fun () ->
+        let pool = Sched.create ~size:1 () in
+        match
+          Sched.map_result ~pool
+            (fun i -> if i = 1 then raise Exit else i)
+            [ 0; 1; 2 ]
+        with
+        | [ Ok 0; Error (Exit, _); Ok 2 ] -> ()
+        | _ -> Alcotest.fail "expected Ok 0 / Error Exit / Ok 2");
+    case "all-crash input yields all Errors" `Quick (fun () ->
+        let pool = Sched.create ~size:4 () in
+        let results =
+          Sched.map_result ~pool (fun _ -> raise Not_found) (List.init 8 Fun.id)
+        in
+        Alcotest.(check bool) "all Error" true
+          (List.for_all (function Error (Not_found, _) -> true | _ -> false)
+             results));
+  ]
+
 (* PHPSAFE_JOBS handling in [Sched.default_size]: valid values are honored,
    invalid ones fall back to the recommended size with a single stderr
    warning naming the bad value. *)
@@ -187,6 +229,7 @@ let () =
   Alcotest.run "sched"
     [
       ("Sched.map", map_cases);
+      ("Sched.map_result", map_result_cases);
       ("PHPSAFE_JOBS", jobs_env_cases);
       ("parallel driver determinism", driver_cases);
       ("parse cache", cache_cases);
