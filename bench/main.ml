@@ -220,6 +220,9 @@ let () =
   (* E10: scaling study *)
   Evalkit.Scaling.print Format.std_formatter
     (Evalkit.Scaling.measure Corpus.Plan.V2012);
+  (* E11: context-sensitivity precision delta *)
+  Evalkit.Context_delta.print Format.std_formatter
+    (Evalkit.Context_delta.run ());
   let tests =
     table1_test :: figure2_test :: table2_test :: inertia_test :: corpus_test
     :: table3_tests

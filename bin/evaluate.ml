@@ -13,7 +13,11 @@
     JSON with per-tool × per-stage wall times and counters (parse-cache hit
     rate, summaries built, findings pre/post-dedup, ...).  Either flag also
     prints the human summary to stderr; stdout stays byte-identical with or
-    without them. *)
+    without them.
+
+    [--contexts] appends experiment E11: the precision delta of phpSAFE's
+    sink-context-sensitive sanitization pass over the dedicated context
+    suite.  Without the flag the output is unchanged. *)
 
 let jobs_from_argv () =
   let rec scan = function
@@ -83,6 +87,11 @@ let () =
   Format.printf "@.== scheduler / parse-cache instrumentation ==@.";
   Format.printf "-- version 2012 --@.%a" Sched.pp_stats st2012;
   Format.printf "-- version 2014 --@.%a" Sched.pp_stats st2014;
+  (* E11 is opt-in so the default stdout stays byte-identical; the delta
+     run itself is sequential, so its table does not depend on --jobs *)
+  if Array.exists (String.equal "--contexts") Sys.argv then
+    Evalkit.Context_delta.print Format.std_formatter
+      (Evalkit.Context_delta.run ());
   if Obs.enabled () then begin
     let snap = Obs.snapshot () in
     (match trace_out with

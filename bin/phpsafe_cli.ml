@@ -44,7 +44,7 @@ let kind_filter = function
   | other -> failwith ("unknown vulnerability kind: " ^ other)
 
 let run target kinds show_trace tool_name quiet html_out json_out config_path
-    show_stats trace_out metrics_out budget =
+    show_stats trace_out metrics_out budget contexts =
   Secflow.Budget.set budget;
   if trace_out <> None || metrics_out <> None then Obs.set_enabled true;
   let project = project_of_target target in
@@ -53,17 +53,25 @@ let run target kinds show_trace tool_name quiet html_out json_out config_path
       (Phpsafe.Stats.of_project project);
   let tool =
     match String.lowercase_ascii tool_name with
-    | "phpsafe" -> (
-        match config_path with
-        | None -> Phpsafe.tool
-        | Some path ->
-            (* custom configuration profile, merged over generic PHP so the
-               language builtins stay known (paper §III.A extensibility) *)
-            let custom = Phpsafe.Config_spec.load path in
-            let config = Phpsafe.Config.extend Phpsafe.Config.generic_php custom in
-            let opts = { Phpsafe.default_options with Phpsafe.config } in
-            { Secflow.Tool.name = "phpSAFE";
-              analyze_project = (fun p -> Phpsafe.analyze_project ~opts p) })
+    | "phpsafe" ->
+        let base =
+          match config_path with
+          | None -> Phpsafe.default_options
+          | Some path ->
+              (* custom configuration profile, merged over generic PHP so the
+                 language builtins stay known (paper §III.A extensibility) *)
+              let custom = Phpsafe.Config_spec.load path in
+              List.iter
+                (fun w -> Format.eprintf "phpsafe: config warning: %s@." w)
+                (Phpsafe.Config_spec.validate custom);
+              let config =
+                Phpsafe.Config.extend Phpsafe.Config.generic_php custom
+              in
+              { Phpsafe.default_options with Phpsafe.config }
+        in
+        let opts = { base with Phpsafe.infer_contexts = contexts } in
+        { Secflow.Tool.name = "phpSAFE";
+          analyze_project = (fun p -> Phpsafe.analyze_project ~opts p) }
     | "rips" -> Rips.tool
     | "pixy" -> Pixy.tool
     | other -> failwith ("unknown tool: " ^ other)
@@ -202,6 +210,15 @@ let show_stats =
   let doc = "Print project statistics (files, tokens, functions, sinks, ...)." in
   Arg.(value & flag & info [ "stats" ] ~doc)
 
+let contexts =
+  let doc =
+    "Infer the output context of each sink occurrence (HTML body, quoted or
+     unquoted attribute, URL, script string; quoted/numeric/identifier SQL
+     position) and accept only sanitizers adequate for it; only meaningful
+     with --tool phpsafe."
+  in
+  Arg.(value & flag & info [ "contexts" ] ~doc)
+
 let config_path =
   let doc =
     "Extend the phpSAFE configuration with a spec file (see      Phpsafe.Config_spec); only meaningful with --tool phpsafe."
@@ -264,6 +281,7 @@ let cmd =
   Cmd.v info
     Term.(
       const run $ target $ kinds $ trace $ tool $ quiet $ html_out $ json_out
-      $ config_path $ show_stats $ trace_out $ metrics_out $ budget)
+      $ config_path $ show_stats $ trace_out $ metrics_out $ budget
+      $ contexts)
 
 let () = exit (Cmd.eval' cmd)

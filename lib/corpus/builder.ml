@@ -48,6 +48,11 @@ let build_piece ~(inst : Plan.inst) ~rng : Pattern.piece =
   | Plan.T_sqli_guard_wpdb -> Pattern.sqli_guard_wpdb_trap ~id ~rng
   | Plan.T_sqli_guard_proc -> Pattern.sqli_guard_proc_trap ~id ~rng
   | Plan.T_san_ok -> Pattern.san_ok_trap ~id ~rng
+  | Plan.P_ctx_attr -> Pattern.ctx_attr_unquoted ~id ~rng ~vector:inst.Plan.in_vector
+  | Plan.P_ctx_js -> Pattern.ctx_js_string ~id ~rng ~vector:inst.Plan.in_vector
+  | Plan.P_ctx_sql_num -> Pattern.ctx_sql_numeric ~id ~rng ~vector:inst.Plan.in_vector
+  | Plan.T_ctx_revert_body -> Pattern.ctx_revert_body_foil ~id ~rng
+  | Plan.T_ctx_revert_attr -> Pattern.ctx_revert_attr_foil ~id ~rng
 
 let chunk size xs =
   let rec go acc cur n = function

@@ -10,6 +10,7 @@ module Filler = Filler
 module Plan = Plan
 module Builder = Builder
 module Catalog = Catalog
+module Context_suite = Context_suite
 
 type version = Plan.version = V2012 | V2014
 

@@ -388,3 +388,79 @@ let san_ok_trap ~id ~rng:_ =
   no_defaults
     [ echo1 (concat (s (open_tag id "i")) (call "htmlspecialchars" [ get ("h" ^ id) ])) ]
     (trap Vuln.Xss "standard sanitizer, nobody should flag")
+
+(* ------------------------------------------------------------------ *)
+(* Context-sensitivity suite (experiment E11)                          *)
+(* ------------------------------------------------------------------ *)
+
+(** Context mismatch: [htmlspecialchars] output lands in an {e unquoted}
+    attribute value.  The encoding keeps spaces, so
+    [value=x onfocus=alert(1)] still injects — the sanitizer is inadequate
+    for the context, and only the [--contexts] pass flags it. *)
+let ctx_attr_unquoted ~id ~rng ~vector =
+  let src = source_of_vector rng vector in
+  let x = v ("$val_" ^ id) in
+  let field = Prng.pick rng [ "value"; "placeholder"; "title" ] in
+  no_defaults
+    [ expr (assign x (call "htmlspecialchars" [ src ]));
+      echo1
+        (concat3
+           (s (Printf.sprintf "<input class=\"%s\" type=text %s=" (mk id) field))
+           x (s ">")) ]
+    (vuln Vuln.Xss vector)
+
+(** Context mismatch: [htmlspecialchars] into a single-quoted JavaScript
+    string.  The default flags leave [']/[\\]/newlines alone, so the string
+    can be broken out of inside [<script>]. *)
+let ctx_js_string ~id ~rng ~vector =
+  let src = source_of_vector rng vector in
+  let x = v ("$q_" ^ id) in
+  no_defaults
+    [ expr (assign x (call "htmlspecialchars" [ src ]));
+      echo1
+        (concat3
+           (s (Printf.sprintf "<script>/* %s */ var q = '" (mk id)))
+           x (s "';</script>")) ]
+    (vuln Vuln.Xss vector)
+
+(** Context mismatch: [addslashes] into a {e numeric} SQL position — there
+    is no quote to escape out of, so [1 OR 1=1] passes straight through. *)
+let ctx_sql_numeric ~id ~rng ~vector =
+  let src = source_of_vector rng vector in
+  let x = v ("$id_" ^ id) in
+  let table = Prng.pick rng [ "items"; "members"; "orders" ] in
+  no_defaults
+    [ expr (assign x (call "addslashes" [ src ]));
+      expr
+        (call "mysql_query"
+           [ concat
+               (s
+                  (Printf.sprintf "UPDATE %s SET flag = 1 /* %s */ WHERE id = "
+                     table (mk id)))
+               x ]) ]
+    (vuln Vuln.Sqli vector)
+
+(** Adequate-sanitizer foil: [stripslashes] after [htmlspecialchars] echoed
+    into the element body.  The flat revert model re-taints and flags it;
+    the context pass knows [stripslashes] only undoes slash escaping, so
+    [htmlspecialchars] stays applied and is adequate for the body. *)
+let ctx_revert_body_foil ~id ~rng:_ =
+  let x = v ("$clean_" ^ id) in
+  no_defaults
+    [ expr (assign x (call "htmlspecialchars" [ get ("cb" ^ id) ]));
+      expr (assign x (call "stripslashes" [ x ]));
+      echo1 (concat3 (s (open_tag id "p")) x (s (close_tag "p"))) ]
+    (trap Vuln.Xss "stripslashes does not undo htmlspecialchars (body)")
+
+(** Same foil into a properly double-quoted attribute value, where
+    [htmlspecialchars] (which escapes the double quote) is also adequate. *)
+let ctx_revert_attr_foil ~id ~rng:_ =
+  let x = v ("$attr_" ^ id) in
+  no_defaults
+    [ expr (assign x (call "htmlspecialchars" [ get ("ca" ^ id) ]));
+      expr (assign x (call "stripslashes" [ x ]));
+      echo1
+        (concat3
+           (s (Printf.sprintf "<input class=\"%s\" value=\"" (mk id)))
+           x (s "\">")) ]
+    (trap Vuln.Xss "htmlspecialchars adequate for a quoted attribute")

@@ -50,6 +50,13 @@ type pkind =
   | T_sqli_guard_wpdb  (** guard before $wpdb query (phpSAFE FP) *)
   | T_sqli_guard_proc  (** guard before mysql_query (phpSAFE+RIPS FP) *)
   | T_san_ok       (** htmlspecialchars true negative *)
+  (* context-sensitivity suite (experiment E11) — these kinds appear only in
+     Context_suite, never in the calibrated 2012/2014 plans above *)
+  | P_ctx_attr     (** htmlspecialchars into an unquoted attribute *)
+  | P_ctx_js       (** htmlspecialchars into a <script> string *)
+  | P_ctx_sql_num  (** addslashes into a numeric SQL position *)
+  | T_ctx_revert_body  (** stripslashes-after-htmlspecialchars foil, body *)
+  | T_ctx_revert_attr  (** same foil into a quoted attribute *)
 
 let pkind_name = function
   | P_direct -> "direct-echo"
@@ -73,6 +80,11 @@ let pkind_name = function
   | T_sqli_guard_wpdb -> "trap-sqli-guard-wpdb"
   | T_sqli_guard_proc -> "trap-sqli-guard-proc"
   | T_san_ok -> "trap-sanitized-ok"
+  | P_ctx_attr -> "ctx-attr-unquoted"
+  | P_ctx_js -> "ctx-js-string"
+  | P_ctx_sql_num -> "ctx-sql-numeric"
+  | T_ctx_revert_body -> "trap-ctx-revert-body"
+  | T_ctx_revert_attr -> "trap-ctx-revert-attr"
 
 type placement = Clean_file | Oop_file | Deep_file
 

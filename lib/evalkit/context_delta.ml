@@ -1,0 +1,108 @@
+(** E11: precision/recall delta of the sink-context-sensitive sanitization
+    pass ([--contexts], DESIGN.md) over the dedicated context suite
+    ({!Corpus.Context_suite}).
+
+    phpSAFE runs twice on the same suite — once with the paper's flat
+    (context-free) sanitizer model, once with [infer_contexts] — and both
+    runs are classified against the suite's exact ground truth.  The delta
+    splits into:
+
+    - {b new true positives}: real context mismatches (inadequate sanitizer
+      for the inferred sink context) the flat model accepts as sanitized;
+    - {b removed false positives}: adequate-sanitizer foils the flat revert
+      model flags.
+
+    Both runs are sequential ({!Runner.run_tool}), so the table is
+    byte-identical at any [--jobs] setting. *)
+
+type t = {
+  cd_reals : int;                        (** real seeds in the suite *)
+  cd_foils : int;                        (** FP-trap seeds in the suite *)
+  cd_default : Matching.classified;
+  cd_ctx : Matching.classified;
+  cd_default_metrics : Metrics.t;
+  cd_ctx_metrics : Metrics.t;
+  cd_new_tp : Corpus.Gt.seed list;       (** TP under ctx, missed by default *)
+  cd_removed_fp : Corpus.Gt.seed list;   (** FP under default, clean under ctx *)
+}
+
+let seed_mem (s : Corpus.Gt.seed) seeds =
+  List.exists
+    (fun (s' : Corpus.Gt.seed) ->
+      String.equal s.Corpus.Gt.seed_id s'.Corpus.Gt.seed_id)
+    seeds
+
+let by_id =
+  List.sort (fun (a : Corpus.Gt.seed) b ->
+      String.compare a.Corpus.Gt.seed_id b.Corpus.Gt.seed_id)
+
+let run () : t =
+  let suite = Corpus.Context_suite.generate () in
+  let d = Phpsafe.default_options in
+  let run_variant name opts =
+    let tool : Secflow.Tool.t =
+      {
+        Secflow.Tool.name = name;
+        analyze_project = (fun p -> Phpsafe.analyze_project ~opts p);
+      }
+    in
+    let run = Runner.run_tool tool suite in
+    Matching.classify ~seeds:suite.Corpus.seeds run.Runner.tr_output
+  in
+  let cl_default = run_variant "phpSAFE (flat)" d in
+  let cl_ctx =
+    run_variant "phpSAFE (--contexts)" { d with Phpsafe.infer_contexts = true }
+  in
+  (* the suite's ground truth is exact, so recall is measured against all
+     real seeds rather than a detected union *)
+  let union =
+    List.filter Corpus.Gt.is_real suite.Corpus.seeds
+  in
+  {
+    cd_reals = List.length union;
+    cd_foils =
+      List.length suite.Corpus.seeds - List.length union;
+    cd_default = cl_default;
+    cd_ctx = cl_ctx;
+    cd_default_metrics = Matching.metrics_for ~union cl_default;
+    cd_ctx_metrics = Matching.metrics_for ~union cl_ctx;
+    cd_new_tp =
+      by_id
+        (List.filter
+           (fun s -> not (seed_mem s cl_default.Matching.cl_tp))
+           cl_ctx.Matching.cl_tp);
+    cd_removed_fp =
+      by_id
+        (List.filter
+           (fun s -> not (seed_mem s cl_ctx.Matching.cl_trap_fp))
+           cl_default.Matching.cl_trap_fp);
+  }
+
+let pp_seed_ids ppf seeds =
+  Format.fprintf ppf "%s"
+    (String.concat ", "
+       (List.map
+          (fun (s : Corpus.Gt.seed) ->
+            Printf.sprintf "%s/%s" s.Corpus.Gt.seed_id s.Corpus.Gt.pattern)
+          seeds))
+
+let print ppf (t : t) =
+  Format.fprintf ppf
+    "@.== E11: context-sensitive sanitization (--contexts) precision delta ==@.";
+  Format.fprintf ppf
+    "context suite: %d seeded sinks (%d real context mismatches, %d \
+     adequate-sanitizer foils)@."
+    (t.cd_reals + t.cd_foils) t.cd_reals t.cd_foils;
+  Format.fprintf ppf "%-22s %5s %5s %5s %6s %6s@." "variant" "TP" "FP" "FN"
+    "Prec" "Rec";
+  List.iter
+    (fun ((cl : Matching.classified), (m : Metrics.t)) ->
+      Format.fprintf ppf "%-22s %5d %5d %5d %6s %6s@." cl.Matching.cl_tool
+        m.Metrics.tp m.Metrics.fp m.Metrics.fn
+        (Metrics.pct (Metrics.precision m))
+        (Metrics.pct (Metrics.recall m)))
+    [ (t.cd_default, t.cd_default_metrics); (t.cd_ctx, t.cd_ctx_metrics) ];
+  Format.fprintf ppf "new true positives (context mismatch): %d [%a]@."
+    (List.length t.cd_new_tp) pp_seed_ids t.cd_new_tp;
+  Format.fprintf ppf "removed false positives (adequate sanitizer): %d [%a]@."
+    (List.length t.cd_removed_fp) pp_seed_ids t.cd_removed_fp

@@ -1,0 +1,18 @@
+(** E11: precision/recall delta of the sink-context-sensitive sanitization
+    pass ([--contexts]) over the dedicated {!Corpus.Context_suite}.  Runs
+    phpSAFE twice (flat vs context-aware) sequentially, so the printed
+    table is byte-identical at any [--jobs] setting. *)
+
+type t = {
+  cd_reals : int;                        (** real seeds in the suite *)
+  cd_foils : int;                        (** FP-trap seeds in the suite *)
+  cd_default : Matching.classified;
+  cd_ctx : Matching.classified;
+  cd_default_metrics : Metrics.t;
+  cd_ctx_metrics : Metrics.t;
+  cd_new_tp : Corpus.Gt.seed list;       (** TP under ctx, missed by default *)
+  cd_removed_fp : Corpus.Gt.seed list;   (** FP under default, clean under ctx *)
+}
+
+val run : unit -> t
+val print : Format.formatter -> t -> unit

@@ -1,0 +1,175 @@
+(** String-shape analysis for sink arguments: flattens the literal structure
+    of an expression ([Str] / double-quoted [Interp] / [Concat] chains) into
+    an ordered list of constant fragments and dynamic holes, then classifies
+    where a hole lands inside the constant text by lightweight HTML or SQL
+    lexing of the fragments before it.  The phpSAFE context-inference pass
+    ([--contexts]) uses this to decide which sanitizers are adequate at each
+    sink occurrence. *)
+
+(** One element of the flattened string: either constant text known at
+    analysis time or a dynamic sub-expression (a hole). *)
+type piece = Lit of string | Dyn of Ast.expr
+
+(** [pieces e] flattens [e]'s literal structure.  String/numeric literals
+    and the constant parts of interpolated strings become [Lit]s;
+    concatenation chains and interpolations are walked recursively; any
+    other expression is an opaque [Dyn] hole. *)
+let rec pieces (e : Ast.expr) : piece list =
+  match e.Ast.e with
+  | Ast.Str s -> [ Lit s ]
+  | Ast.Int n -> [ Lit (string_of_int n) ]
+  | Ast.Float f -> [ Lit (Printf.sprintf "%g" f) ]
+  | Ast.Interp parts ->
+      List.concat_map
+        (function Ast.ILit s -> [ Lit s ] | Ast.IExpr e -> pieces e)
+        parts
+  | Ast.Bin (Ast.Concat, a, b) -> pieces a @ pieces b
+  | _ -> [ Dyn e ]
+
+(** HTML output position of a hole, judged from the constant prefix.  When
+    no constant text precedes the hole the classification defaults to
+    [H_body] — the flat (context-free) behaviour. *)
+type html_ctx = H_body | H_attr_quoted | H_attr_unquoted | H_url | H_js_string
+
+(** SQL position of a hole.  An empty prefix defaults to [S_quoted] so that
+    sinks with no literal structure keep the flat verdict. *)
+type sql_ctx = S_quoted | S_numeric | S_identifier
+
+let is_space c = c = ' ' || c = '\t' || c = '\n' || c = '\r'
+
+(** [classify_html prefix] runs a small HTML tokenizer over the constant
+    text preceding a hole and reports where the hole lands: element body,
+    quoted/unquoted attribute value, URL attribute ([href]/[src]/...) or a
+    string inside a [<script>] block.  Intentionally lightweight: tracks
+    tag/attribute/quote state and [<script>] sections, nothing more. *)
+let classify_html prefix =
+  let n = String.length prefix in
+  let in_tag = ref false and closing = ref false in
+  let tag = Buffer.create 8 and attr = Buffer.create 8 in
+  let tag_done = ref false in
+  let after_eq = ref false and quote = ref None in
+  let in_script = ref false and js_quote = ref None in
+  let i = ref 0 in
+  while !i < n do
+    let c = prefix.[!i] in
+    if !in_script then begin
+      if
+        c = '<'
+        && !i + 8 <= n
+        && String.lowercase_ascii (String.sub prefix !i 8) = "</script"
+      then begin
+        in_script := false;
+        js_quote := None;
+        let j = ref (!i + 8) in
+        while !j < n && prefix.[!j] <> '>' do incr j done;
+        i := !j
+      end
+      else begin
+        match !js_quote with
+        | Some q -> if c = '\\' then incr i else if c = q then js_quote := None
+        | None -> if c = '\'' || c = '"' then js_quote := Some c
+      end
+    end
+    else if not !in_tag then begin
+      if c = '<' then begin
+        in_tag := true;
+        closing := false;
+        tag_done := false;
+        Buffer.clear tag;
+        Buffer.clear attr;
+        after_eq := false;
+        quote := None;
+        if !i + 1 < n && prefix.[!i + 1] = '/' then begin
+          closing := true;
+          incr i
+        end
+      end
+    end
+    else begin
+      match !quote with
+      | Some q ->
+          if c = q then begin
+            quote := None;
+            after_eq := false;
+            Buffer.clear attr
+          end
+      | None ->
+          if c = '>' then begin
+            in_tag := false;
+            if
+              (not !closing)
+              && String.lowercase_ascii (Buffer.contents tag) = "script"
+            then in_script := true
+          end
+          else if c = '"' || c = '\'' then begin
+            if !after_eq then quote := Some c
+          end
+          else if c = '=' then after_eq := true
+          else if is_space c then begin
+            if !after_eq then after_eq := false;
+            if !tag_done then Buffer.clear attr;
+            tag_done := true
+          end
+          else if not !tag_done then Buffer.add_char tag c
+          else if not !after_eq then Buffer.add_char attr c
+      (* characters of an unquoted attribute value are consumed silently *)
+    end;
+    incr i
+  done;
+  let url_attr =
+    match String.lowercase_ascii (Buffer.contents attr) with
+    | "href" | "src" | "action" | "formaction" -> true
+    | _ -> false
+  in
+  if !in_script then H_js_string
+  else if !in_tag then
+    if !quote <> None then (if url_attr then H_url else H_attr_quoted)
+    else if !after_eq then (if url_attr then H_url else H_attr_unquoted)
+    else H_attr_unquoted
+  else H_body
+
+(** [classify_sql prefix] tracks SQL quote state over the constant text
+    before a hole; outside quotes the trailing token decides between a
+    numeric position (after [=], [(], an arithmetic operator, ...) and an
+    identifier position (after [FROM], [ORDER BY], [JOIN], ...). *)
+let classify_sql prefix =
+  let n = String.length prefix in
+  let quote = ref None in
+  let i = ref 0 in
+  while !i < n do
+    let c = prefix.[!i] in
+    (match !quote with
+    | Some q -> if c = '\\' then incr i else if c = q then quote := None
+    | None -> if c = '\'' || c = '"' || c = '`' then quote := Some c);
+    incr i
+  done;
+  match !quote with
+  | Some _ -> S_quoted
+  | None ->
+      let j = ref (n - 1) in
+      while !j >= 0 && is_space prefix.[!j] do decr j done;
+      if !j < 0 then S_quoted (* no constant text: keep the flat verdict *)
+      else
+        let last = prefix.[!j] in
+        if
+          last = '=' || last = '<' || last = '>' || last = '(' || last = ','
+          || last = '+' || last = '-' || last = '*' || last = '/'
+        then S_numeric
+        else begin
+          let e = !j in
+          let s = ref e in
+          let is_word c =
+            (c >= 'a' && c <= 'z')
+            || (c >= 'A' && c <= 'Z')
+            || (c >= '0' && c <= '9')
+            || c = '_'
+          in
+          while !s >= 0 && is_word prefix.[!s] do decr s done;
+          let w =
+            String.lowercase_ascii (String.sub prefix (!s + 1) (e - !s))
+          in
+          match w with
+          | "by" | "from" | "into" | "update" | "table" | "join" | "select" ->
+              S_identifier
+          | _ -> S_numeric
+        end

@@ -1,0 +1,25 @@
+(** String-shape analysis for sink arguments: flatten the literal structure
+    of an expression and classify where a dynamic hole lands inside the
+    surrounding constant HTML or SQL text.  Used by the phpSAFE
+    context-inference pass ([--contexts]). *)
+
+(** Constant fragment or dynamic hole of a flattened string expression. *)
+type piece = Lit of string | Dyn of Ast.expr
+
+(** Flatten [Str] / [Interp] / [Concat] structure (numeric literals become
+    text too); any other expression is an opaque [Dyn] hole. *)
+val pieces : Ast.expr -> piece list
+
+(** HTML output position of a hole.  Empty prefix defaults to [H_body]. *)
+type html_ctx = H_body | H_attr_quoted | H_attr_unquoted | H_url | H_js_string
+
+(** SQL position of a hole.  Empty prefix defaults to [S_quoted]. *)
+type sql_ctx = S_quoted | S_numeric | S_identifier
+
+(** Classify the position after the given constant HTML prefix: element
+    body, quoted/unquoted attribute, URL attribute or [<script>] string. *)
+val classify_html : string -> html_ctx
+
+(** Classify the position after the given constant SQL prefix: inside a
+    quoted string, numeric position or identifier position. *)
+val classify_sql : string -> sql_ctx

@@ -42,6 +42,14 @@ type options = {
           the guarded variable, removing the path-insensitivity false
           positives at the cost of path reasoning. Off by default — the
           published phpSAFE is path-insensitive. *)
+  infer_contexts : bool;
+      (** §VI future-work extension ([--contexts]): infer the output
+          context of each sink occurrence from the literal text around the
+          tainted value ({!Phplang.Strshape}) and accept only sanitizers
+          adequate for that context ({!Config.adequate}).  Sanitizer calls
+          then record their name instead of clearing the taint, and the
+          verdict moves to the sink.  Off by default — the published
+          phpSAFE is context-insensitive. *)
 }
 
 let default_options =
@@ -49,7 +57,8 @@ let default_options =
     budget = Some default_budget;
     analyze_uncalled = true;
     resolve_includes = true;
-    respect_guards = false }
+    respect_guards = false;
+    infer_contexts = false }
 
 (** Numeric/type guard functions whose failure developers use to abort the
     request; recognised only under [respect_guards]. *)
@@ -95,7 +104,7 @@ type actx = {
 (* Reporting                                                          *)
 (* ------------------------------------------------------------------ *)
 
-let report a ~kind ~pos ~sink_name ~var (taint : Taint.t) =
+let report a ?context ~kind ~pos ~sink_name ~var (taint : Taint.t) =
   let occ =
     { Report.o_key =
         { Report.k_kind = kind; k_file = pos.Phplang.Ast.file;
@@ -117,6 +126,9 @@ let report a ~kind ~pos ~sink_name ~var (taint : Taint.t) =
         source;
         source_pos;
         trace = List.rev taint.Taint.trace;
+        context;
+        sanitizers_applied = Taint.San_set.elements (Taint.applied kind taint);
+        trace_truncated = taint.Taint.trace_truncated;
       }
       :: a.c.findings
   end
@@ -134,10 +146,40 @@ let check_sink a ~kind ~pos ~sink_name ~var (taint : Taint.t) =
           (fun i ->
             frame.fr_csinks <-
               { Summary.cs_param = i; cs_kind = kind; cs_sink_name = sink_name;
-                cs_pos = pos; cs_var = var }
+                cs_pos = pos; cs_var = var; cs_context = None;
+                cs_sans = Taint.no_sans }
               :: frame.fr_csinks)
           (Taint.deps kind taint)
     | None -> ()
+
+(* ------------------------------------------------------------------ *)
+(* Context inference (--contexts, §VI future work)                    *)
+(* ------------------------------------------------------------------ *)
+
+let ctx_on a = a.c.opts.infer_contexts
+
+(** Map the string-shape classification of the constant text before a sink
+    hole to the report-level context taxonomy. *)
+let infer_context kind prefix =
+  match kind with
+  | Vuln.Xss -> (
+      match Phplang.Strshape.classify_html prefix with
+      | Phplang.Strshape.H_body -> Context.Html_body
+      | Phplang.Strshape.H_attr_quoted -> Context.Html_attr_quoted
+      | Phplang.Strshape.H_attr_unquoted -> Context.Html_attr_unquoted
+      | Phplang.Strshape.H_url -> Context.Url
+      | Phplang.Strshape.H_js_string -> Context.Js_string)
+  | Vuln.Sqli -> (
+      match Phplang.Strshape.classify_sql prefix with
+      | Phplang.Strshape.S_quoted -> Context.Sql_quoted_string
+      | Phplang.Strshape.S_numeric -> Context.Sql_numeric
+      | Phplang.Strshape.S_identifier -> Context.Sql_identifier)
+
+(** Did the value pass through a sanitizer adequate for context [ctxt]? *)
+let adequately_sanitized config kind ctxt (taint : Taint.t) =
+  Taint.San_set.exists
+    (fun name -> Config.adequate config ~name ctxt)
+    (Taint.applied kind taint)
 
 (* ------------------------------------------------------------------ *)
 (* Names                                                              *)
@@ -292,14 +334,22 @@ let rec eval a (e : Phplang.Ast.expr) : Taint.t =
       ignore (eval a x);
       Taint.untainted
   | Phplang.Ast.PrintE x ->
-      let t = eval a x in
-      check_sink a ~kind:Vuln.Xss ~pos ~sink_name:"print" ~var:(name_of_expr x) t;
+      if ctx_on a then
+        ignore (check_sink_ctx a ~pos ~targets:[ (Vuln.Xss, "print") ] x)
+      else begin
+        let t = eval a x in
+        check_sink a ~kind:Vuln.Xss ~pos ~sink_name:"print" ~var:(name_of_expr x) t
+      end;
       Taint.untainted
   | Phplang.Ast.Exit arg ->
       Option.iter
         (fun x ->
-          let t = eval a x in
-          check_sink a ~kind:Vuln.Xss ~pos ~sink_name:"exit" ~var:(name_of_expr x) t)
+          if ctx_on a then
+            ignore (check_sink_ctx a ~pos ~targets:[ (Vuln.Xss, "exit") ] x)
+          else begin
+            let t = eval a x in
+            check_sink a ~kind:Vuln.Xss ~pos ~sink_name:"exit" ~var:(name_of_expr x) t
+          end)
         arg;
       Taint.untainted
   | Phplang.Ast.IncludeE (_, arg) ->
@@ -323,6 +373,49 @@ let rec eval a (e : Phplang.Ast.expr) : Taint.t =
           ignore (call_user_function a ~pos (method_key owner "__construct") arg_ts args);
           Taint.untainted
       | None -> Taint.untainted)
+
+(* Context-mode sink check: evaluate the sink argument piecewise (each
+   dynamic hole exactly once — [Strshape.pieces] only decomposes
+   side-effect-free literal structure), infer each hole's output context
+   from the constant prefix, and report a tainted hole only when none of
+   its applied sanitizers is adequate for that context.  Parameter-
+   dependent holes register conditional sinks carrying the context and the
+   sanitizer delta.  Returns the joined taint of the whole argument, so
+   callers use this INSTEAD of [eval] on the sink argument. *)
+and check_sink_ctx a ~pos ~targets (e : Phplang.Ast.expr) : Taint.t =
+  let prefix = Buffer.create 64 in
+  let acc = ref Taint.untainted in
+  List.iter
+    (function
+      | Phplang.Strshape.Lit s -> Buffer.add_string prefix s
+      | Phplang.Strshape.Dyn sub ->
+          let t = eval a sub in
+          let var = name_of_expr sub in
+          let p = Buffer.contents prefix in
+          List.iter
+            (fun (kind, sink_name) ->
+              let ctxt = infer_context kind p in
+              if Taint.is_tainted kind t then begin
+                if not (adequately_sanitized a.c.opts.config kind ctxt t) then
+                  report a ~context:ctxt ~kind ~pos ~sink_name ~var t
+              end
+              else
+                match a.frame with
+                | Some frame ->
+                    Taint.Int_set.iter
+                      (fun i ->
+                        frame.fr_csinks <-
+                          { Summary.cs_param = i; cs_kind = kind;
+                            cs_sink_name = sink_name; cs_pos = pos;
+                            cs_var = var; cs_context = Some ctxt;
+                            cs_sans = t.Taint.sans }
+                          :: frame.fr_csinks)
+                      (Taint.deps kind t)
+                | None -> ())
+            targets;
+          acc := Taint.join !acc t)
+    (Phplang.Strshape.pieces e);
+  !acc
 
 and propagate_class_binding a lhs rhs =
   match (lhs.Phplang.Ast.e, rhs.Phplang.Ast.e) with
@@ -371,36 +464,62 @@ and assign_lval_join a (lhs : Phplang.Ast.expr) taint =
 
 and eval_call a ~pos fname args =
   let config = a.c.opts.config in
-  let arg_ts = List.map (eval a) args in
+  let sinks = Config.find_sinks config fname in
+  (* 1. sink roles.  In context mode the sink arguments are evaluated
+     piecewise by [check_sink_ctx] (still exactly once each) so that every
+     hole gets its inferred output context. *)
+  let arg_ts =
+    if ctx_on a && sinks <> [] then
+      let targets =
+        List.map
+          (fun (snk : Config.sink_entry) -> (snk.Config.snk_kind, fname))
+          sinks
+      in
+      List.map (fun e -> check_sink_ctx a ~pos ~targets e) args
+    else begin
+      let arg_ts = List.map (eval a) args in
+      List.iter
+        (fun (snk : Config.sink_entry) ->
+          List.iteri
+            (fun i t ->
+              let var = match List.nth_opt args i with
+                | Some e -> name_of_expr e
+                | None -> "<arg>"
+              in
+              check_sink a ~kind:snk.Config.snk_kind ~pos ~sink_name:fname ~var t)
+            arg_ts)
+        sinks;
+      arg_ts
+    end
+  in
   let arg0 () =
     match arg_ts with t :: _ -> t | [] -> Taint.untainted
   in
   let arg0_name () =
     match args with e :: _ -> name_of_expr e | [] -> "<none>"
   in
-  (* 1. sink roles *)
-  List.iter
-    (fun (snk : Config.sink_entry) ->
-      List.iteri
-        (fun i t ->
-          let var = match List.nth_opt args i with
-            | Some e -> name_of_expr e
-            | None -> "<arg>"
-          in
-          check_sink a ~kind:snk.Config.snk_kind ~pos ~sink_name:fname ~var t)
-        arg_ts)
-    (Config.find_sinks config fname);
   (* 2. value roles, in priority order *)
   match Config.find_sanitizer config fname with
   | Some san ->
-      let t = Taint.sanitize_kinds san.Config.san_kinds (arg0 ()) in
+      let t =
+        if ctx_on a then
+          (* keep the live bits; the verdict happens at the sink *)
+          Taint.record_sanitizer ~name:fname san.Config.san_kinds (arg0 ())
+        else Taint.sanitize_kinds san.Config.san_kinds (arg0 ())
+      in
       if Taint.interesting t || t.Taint.was_xss || t.Taint.was_sqli then
         Taint.push_step t ~var:(arg0_name ()) ~pos
           ~note:(Printf.sprintf "filtered by %s" fname)
       else t
   | None ->
       if Config.is_revert config fname then
-        let t = Taint.revert (arg0 ()) in
+        let t =
+          if ctx_on a then
+            Taint.revert_named
+              ~undoes:(Config.revert_undoes config fname)
+              (arg0 ())
+          else Taint.revert (arg0 ())
+        in
         if Taint.interesting t then
           Taint.push_step t ~var:(arg0_name ()) ~pos
             ~note:(Printf.sprintf "sanitization reverted by %s" fname)
@@ -424,8 +543,6 @@ and eval_call a ~pos fname args =
 and eval_method_call a ~pos obj m args =
   let config = a.c.opts.config in
   ignore (eval a obj);
-  let arg_ts = List.map (eval a) args in
-  let arg0 () = match arg_ts with t :: _ -> t | [] -> Taint.untainted in
   let full_name obj_name = obj_name ^ "->" ^ m in
   let obj_name = name_of_expr obj in
   (* user-defined class methods resolve through the object's binding *)
@@ -437,10 +554,27 @@ and eval_method_call a ~pos obj m args =
         | None -> None)
     | _ -> None
   in
-  match user_class with
-  | Some owner -> call_user_function a ~pos (method_key owner m) arg_ts args
-  | None ->
-      (* configuration-known methods ($wpdb family): sink, sanitizer, source *)
+  let msinks =
+    match user_class with
+    | Some _ -> []
+    | None -> Config.find_method_sinks config m
+  in
+  (* method sinks check their first (query) argument; in context mode that
+     argument is evaluated piecewise by [check_sink_ctx] *)
+  let arg_ts =
+    if ctx_on a && msinks <> [] then
+      match args with
+      | e :: rest ->
+          let targets =
+            List.map
+              (fun (snk : Config.sink_entry) ->
+                (snk.Config.snk_kind, full_name obj_name))
+              msinks
+          in
+          check_sink_ctx a ~pos ~targets e :: List.map (eval a) rest
+      | [] -> []
+    else begin
+      let arg_ts = List.map (eval a) args in
       List.iter
         (fun (snk : Config.sink_entry) ->
           match (arg_ts, args) with
@@ -448,9 +582,20 @@ and eval_method_call a ~pos obj m args =
               check_sink a ~kind:snk.Config.snk_kind ~pos
                 ~sink_name:(full_name obj_name) ~var:(name_of_expr e) t
           | _ -> ())
-        (Config.find_method_sinks config m);
+        msinks;
+      arg_ts
+    end
+  in
+  let arg0 () = match arg_ts with t :: _ -> t | [] -> Taint.untainted in
+  match user_class with
+  | Some owner -> call_user_function a ~pos (method_key owner m) arg_ts args
+  | None ->
+      (* configuration-known methods ($wpdb family): sink, sanitizer, source *)
       (match Config.find_method_sanitizer config m with
-      | Some san -> Taint.sanitize_kinds san.Config.san_kinds (arg0 ())
+      | Some san ->
+          if ctx_on a then
+            Taint.record_sanitizer ~name:m san.Config.san_kinds (arg0 ())
+          else Taint.sanitize_kinds san.Config.san_kinds (arg0 ())
       | None -> (
           match Config.find_method_source config m with
           | Some src ->
@@ -479,19 +624,42 @@ and call_user_function a ~pos key arg_ts arg_exprs =
             (fun action ->
               match action with
               | `Fire ((cs : Summary.cond_sink), (arg_taint : Taint.t)) ->
-                  let arg_var =
-                    match List.nth_opt arg_exprs cs.Summary.cs_param with
-                    | Some e -> name_of_expr e
-                    | None -> "<arg>"
+                  (* context mode: replay the callee's sanitizer delta on
+                     the argument and test adequacy against the context
+                     inferred at the callee's sink *)
+                  let arg_taint =
+                    if ctx_on a then
+                      { arg_taint with
+                        Taint.sans =
+                          Taint.compose_sans ~outer:arg_taint.Taint.sans
+                            ~inner:cs.Summary.cs_sans }
+                    else arg_taint
                   in
-                  let t =
-                    Taint.push_step arg_taint ~var:arg_var ~pos
-                      ~note:
-                        (Printf.sprintf "passed to %s (parameter %d)" key
-                           (cs.Summary.cs_param + 1))
+                  let suppressed =
+                    ctx_on a
+                    && (match cs.Summary.cs_context with
+                       | Some ctxt ->
+                           adequately_sanitized a.c.opts.config
+                             cs.Summary.cs_kind ctxt arg_taint
+                       | None -> false)
                   in
-                  report a ~kind:cs.Summary.cs_kind ~pos:cs.Summary.cs_pos
-                    ~sink_name:cs.Summary.cs_sink_name ~var:cs.Summary.cs_var t
+                  if not suppressed then begin
+                    let arg_var =
+                      match List.nth_opt arg_exprs cs.Summary.cs_param with
+                      | Some e -> name_of_expr e
+                      | None -> "<arg>"
+                    in
+                    let t =
+                      Taint.push_step arg_taint ~var:arg_var ~pos
+                        ~note:
+                          (Printf.sprintf "passed to %s (parameter %d)" key
+                             (cs.Summary.cs_param + 1))
+                    in
+                    report a ?context:cs.Summary.cs_context
+                      ~kind:cs.Summary.cs_kind ~pos:cs.Summary.cs_pos
+                      ~sink_name:cs.Summary.cs_sink_name ~var:cs.Summary.cs_var
+                      t
+                  end
               | `Hoist cs -> (
                   match a.frame with
                   | Some frame -> frame.fr_csinks <- cs :: frame.fr_csinks
@@ -549,9 +717,15 @@ and exec_stmt a (s : Phplang.Ast.stmt) =
   | Phplang.Ast.Echo es ->
       List.iter
         (fun e ->
-          let t = eval a e in
-          check_sink a ~kind:Vuln.Xss ~pos:e.Phplang.Ast.epos ~sink_name:"echo"
-            ~var:(name_of_expr e) t)
+          if ctx_on a then
+            ignore
+              (check_sink_ctx a ~pos:e.Phplang.Ast.epos
+                 ~targets:[ (Vuln.Xss, "echo") ] e)
+          else begin
+            let t = eval a e in
+            check_sink a ~kind:Vuln.Xss ~pos:e.Phplang.Ast.epos ~sink_name:"echo"
+              ~var:(name_of_expr e) t
+          end)
         es
   | Phplang.Ast.If (branches, els) ->
       (* §III.C: "Conditions and loops do not change the data flow. Only the

@@ -22,11 +22,15 @@ type options = {
   respect_guards : bool;
       (** future-work extension: [if (!is_numeric($x)) exit;] validates
           [$x]; off by default — the published tool is path-insensitive *)
+  infer_contexts : bool;
+      (** future-work extension ([--contexts]): infer the output context of
+          each sink occurrence and accept only sanitizers adequate for it;
+          off by default — the published tool is context-insensitive *)
 }
 
 val default_options : options
 (** WordPress profile, paper budget, uncalled analysis and include
-    resolution on, guard extension off. *)
+    resolution on, guard and context extensions off. *)
 
 val guard_functions : string list
 (** Validation functions recognised under [respect_guards]. *)

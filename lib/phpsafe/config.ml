@@ -22,6 +22,10 @@ type sanitizer_entry = {
   san_name : string;
   san_is_method : bool;
   san_kinds : Vuln.kind list;  (** kinds this function neutralises *)
+  san_contexts : Context.t list;
+      (** output contexts the sanitizer is adequate for; defaults to every
+          context of [san_kinds] (the flat, context-free behaviour).  Only
+          consulted by the context-inference pass ([--contexts]). *)
 }
 
 type sink_entry = {
@@ -52,11 +56,32 @@ let sqli = [ Vuln.Sqli ]
 let fn_source ?(is_method = false) name kinds desc =
   { src_name = name; src_is_method = is_method; src_kinds = kinds; src_desc = desc }
 
-let sanitizer ?(is_method = false) name kinds =
-  { san_name = name; san_is_method = is_method; san_kinds = kinds }
+let sanitizer ?(is_method = false) ?contexts name kinds =
+  let contexts =
+    match contexts with Some cs -> cs | None -> Context.all_for_kinds kinds
+  in
+  { san_name = name; san_is_method = is_method; san_kinds = kinds;
+    san_contexts = contexts }
 
 let sink ?(is_method = false) name kind =
   { snk_name = name; snk_is_method = is_method; snk_kind = kind }
+
+(* Adequacy matrix for the generic sanitizers (context pass, §VI future
+   work).  [htmlspecialchars] without ENT_QUOTES leaves single quotes alone
+   and never helps outside quotes, so it covers the HTML body and
+   double-quoted attributes only; URL-encoders make any attribute or JS
+   string safe but are no HTML-body escape; [addslashes] & co. only matter
+   inside a quoted SQL string — a numeric or identifier position ignores
+   the added backslashes entirely. *)
+let html_text_ctx = [ Context.Html_body; Context.Html_attr_quoted ]
+let html_body_ctx = [ Context.Html_body ]
+
+let url_enc_ctx =
+  [ Context.Url; Context.Html_attr_quoted; Context.Html_attr_unquoted;
+    Context.Js_string ]
+
+let js_ctx = [ Context.Js_string ]
+let sql_quoted_ctx = [ Context.Sql_quoted_string ]
 
 (** Generic PHP configuration: detects XSS and SQLi in any PHP code,
     framework-agnostic ("ready for detecting generic XSS and SQLi
@@ -81,12 +106,12 @@ let generic_php =
         fn_source "mysql_result" xss (Vuln.Database "mysql_result");
         fn_source "getenv" both (Vuln.Function_return "getenv") ];
     sanitizers =
-      [ sanitizer "htmlspecialchars" xss;
-        sanitizer "htmlentities" xss;
-        sanitizer "strip_tags" xss;
-        sanitizer "urlencode" xss;
-        sanitizer "rawurlencode" xss;
-        sanitizer "json_encode" xss;
+      [ sanitizer "htmlspecialchars" xss ~contexts:html_text_ctx;
+        sanitizer "htmlentities" xss ~contexts:html_text_ctx;
+        sanitizer "strip_tags" xss ~contexts:html_body_ctx;
+        sanitizer "urlencode" xss ~contexts:url_enc_ctx;
+        sanitizer "rawurlencode" xss ~contexts:url_enc_ctx;
+        sanitizer "json_encode" xss ~contexts:js_ctx;
         sanitizer "intval" both;
         sanitizer "floatval" both;
         sanitizer "abs" both;
@@ -96,9 +121,9 @@ let generic_php =
         sanitizer "sha1" both;
         sanitizer "crc32" both;
         sanitizer "number_format" both;
-        sanitizer "addslashes" sqli;
-        sanitizer "mysql_escape_string" sqli;
-        sanitizer "mysql_real_escape_string" sqli ];
+        sanitizer "addslashes" sqli ~contexts:sql_quoted_ctx;
+        sanitizer "mysql_escape_string" sqli ~contexts:sql_quoted_ctx;
+        sanitizer "mysql_real_escape_string" sqli ~contexts:sql_quoted_ctx ];
     reverts =
       [ "stripslashes"; "stripcslashes"; "urldecode"; "rawurldecode";
         "html_entity_decode"; "htmlspecialchars_decode"; "base64_decode" ];
@@ -156,6 +181,42 @@ let find_method_sinks t name =
 
 let is_passthrough t name = List.exists (String.equal name) t.passthrough
 let is_concat_all t name = List.exists (String.equal name) t.concat_all_args
+
+(** Contexts sanitizer [name] is adequate for, searching function and
+    method entries alike (the applied-sanitizer set at a sink only carries
+    names).  Unknown names are adequate nowhere. *)
+let sanitizer_contexts t name =
+  match List.find_opt (fun e -> String.equal e.san_name name) t.sanitizers with
+  | Some e -> e.san_contexts
+  | None -> []
+
+(** [adequate t ~name ctx]: is sanitizer [name] adequate for output
+    context [ctx]? *)
+let adequate t ~name ctx =
+  List.exists (Context.equal ctx) (sanitizer_contexts t name)
+
+(* Which applied sanitizers each revert function undoes (context pass).
+   Decoders undo exactly their encoding family; [base64_decode] (and any
+   revert we have no model for) conservatively undoes everything. *)
+let slash_escapers =
+  [ "addslashes"; "mysql_escape_string"; "mysql_real_escape_string";
+    "esc_sql"; "like_escape" ]
+
+let html_escapers =
+  [ "htmlspecialchars"; "htmlentities"; "esc_html"; "esc_attr";
+    "esc_textarea"; "check_plain" ]
+
+let url_encoders = [ "urlencode"; "rawurlencode"; "esc_url"; "check_url" ]
+
+(** The set of applied sanitizers revert function [name] undoes. *)
+let revert_undoes _t name =
+  match name with
+  | "stripslashes" | "stripcslashes" -> `Named slash_escapers
+  | "html_entity_decode" | "htmlspecialchars_decode"
+  | "wp_specialchars_decode" | "decode_entities" ->
+      `Named html_escapers
+  | "urldecode" | "rawurldecode" -> `Named url_encoders
+  | _ -> `All
 
 (** Merge an extension profile (e.g. WordPress) into a base configuration —
     "this ability can be easily extended to other CMSs, by adding their

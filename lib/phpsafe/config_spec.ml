@@ -13,15 +13,19 @@
     source superglobal <$NAME> <kinds>
     source function <name> <db|file|fn> <kinds>
     source method <name> <db|file|fn> <kinds>
-    sanitizer function <name> <kinds>
-    sanitizer method <name> <kinds>
+    sanitizer function <name> <kinds> [ctx=<contexts>]
+    sanitizer method <name> <kinds> [ctx=<contexts>]
     revert <name>
     sink construct|function <name> <xss|sqli>
     sink method <name> <xss|sqli>
     passthrough <name>
     concat <name>
     v}
-    where [<kinds>] is a comma-separated subset of [xss,sqli]. *)
+    where [<kinds>] is a comma-separated subset of [xss,sqli] and the
+    optional [ctx=<contexts>] narrows a sanitizer's adequacy to a
+    comma-separated list of output contexts ([html-body],
+    [sql-quoted-string], ... — see {!Secflow.Context}); without it the
+    sanitizer is adequate in every context of its kinds. *)
 
 open Secflow
 
@@ -44,6 +48,19 @@ let parse_kind line s =
   match parse_kinds line s with
   | [ k ] -> k
   | _ -> fail line "expected exactly one kind"
+
+let parse_contexts line s =
+  String.split_on_char ',' s
+  |> List.map (fun c ->
+         let c = String.trim (String.lowercase_ascii c) in
+         match
+           List.find_opt (fun ctx -> String.equal (Context.to_string ctx) c)
+             Context.all
+         with
+         | Some ctx -> ctx
+         | None -> fail line (Printf.sprintf "unknown context %S" c))
+
+let contexts_to_string cs = String.concat "," (List.map Context.to_string cs)
 
 let source_desc line cls name =
   match cls with
@@ -110,18 +127,29 @@ let of_string spec : Config.t =
           in
           config :=
             { c with Config.function_sources = c.Config.function_sources @ [ entry ] }
-      | [ "sanitizer"; place; name; kinds ] ->
+      | "sanitizer" :: place :: name :: kinds :: rest ->
           let is_method =
             match place with
             | "function" -> false
             | "method" -> true
             | other -> fail line_no (Printf.sprintf "unknown sanitizer place %S" other)
           in
+          let contexts =
+            match rest with
+            | [] -> None
+            | [ ctx ] when String.length ctx > 4 && String.sub ctx 0 4 = "ctx="
+              ->
+                Some
+                  (parse_contexts line_no
+                     (String.sub ctx 4 (String.length ctx - 4)))
+            | _ -> fail line_no "expected [ctx=<contexts>] after the kinds"
+          in
           config :=
             { c with
               Config.sanitizers =
                 c.Config.sanitizers
-                @ [ Config.sanitizer ~is_method name (parse_kinds line_no kinds) ] }
+                @ [ Config.sanitizer ~is_method ?contexts name
+                      (parse_kinds line_no kinds) ] }
       | [ "revert"; name ] ->
           config := { c with Config.reverts = c.Config.reverts @ [ name ] }
       | [ "sink"; place; name; kind ] ->
@@ -165,10 +193,20 @@ let to_string (c : Config.t) : string =
     c.Config.function_sources;
   List.iter
     (fun (e : Config.sanitizer_entry) ->
-      line "sanitizer %s %s %s"
+      let default_ctx = Context.all_for_kinds e.Config.san_kinds in
+      let ctx_suffix =
+        (* only spell out a narrowed adequacy; the default is implied *)
+        if
+          List.sort compare e.Config.san_contexts
+          = List.sort compare default_ctx
+        then ""
+        else " ctx=" ^ contexts_to_string e.Config.san_contexts
+      in
+      line "sanitizer %s %s %s%s"
         (if e.Config.san_is_method then "method" else "function")
         e.Config.san_name
-        (kinds_to_string e.Config.san_kinds))
+        (kinds_to_string e.Config.san_kinds)
+        ctx_suffix)
     c.Config.sanitizers;
   List.iter (fun name -> line "revert %s" name) c.Config.reverts;
   List.iter
@@ -181,6 +219,80 @@ let to_string (c : Config.t) : string =
   List.iter (fun name -> line "passthrough %s" name) c.Config.passthrough;
   List.iter (fun name -> line "concat %s" name) c.Config.concat_all_args;
   Buffer.contents buf
+
+(* -- profile validation --------------------------------------------------- *)
+
+let place is_method = if is_method then "method" else "function"
+
+let dups to_name entries =
+  let tbl = Hashtbl.create 16 in
+  List.filter_map
+    (fun e ->
+      let n = to_name e in
+      if Hashtbl.mem tbl n then Some n
+      else begin
+        Hashtbl.add tbl n ();
+        None
+      end)
+    entries
+
+(** Sanity-check a profile and return a list of human-readable warnings:
+    duplicate entries within a section, and names registered both as a
+    source and as a sanitizer for the same vulnerability kind (one of the
+    two is certainly a configuration mistake — the analyzer would both
+    taint and clear at the same call).  An empty list means the profile is
+    coherent; the builtin profiles all are. *)
+let validate (c : Config.t) : string list =
+  let warnings = ref [] in
+  let warn fmt = Printf.ksprintf (fun s -> warnings := s :: !warnings) fmt in
+  List.iter
+    (fun n -> warn "duplicate superglobal source %s" n)
+    (dups fst c.Config.superglobal_sources);
+  List.iter
+    (fun (p, n) -> warn "duplicate %s source %s" p n)
+    (dups
+       (fun (e : Config.source_entry) ->
+         (place e.Config.src_is_method, e.Config.src_name))
+       c.Config.function_sources);
+  List.iter
+    (fun (p, n) -> warn "duplicate %s sanitizer %s" p n)
+    (dups
+       (fun (e : Config.sanitizer_entry) ->
+         (place e.Config.san_is_method, e.Config.san_name))
+       c.Config.sanitizers);
+  List.iter (fun n -> warn "duplicate revert %s" n) (dups Fun.id c.Config.reverts);
+  List.iter
+    (fun (p, n, k) ->
+      warn "duplicate %s sink %s (%s)" p n (Vuln.kind_to_string k))
+    (dups
+       (fun (e : Config.sink_entry) ->
+         (place e.Config.snk_is_method, e.Config.snk_name, e.Config.snk_kind))
+       c.Config.sinks);
+  List.iter
+    (fun n -> warn "duplicate passthrough %s" n)
+    (dups Fun.id c.Config.passthrough);
+  List.iter
+    (fun n -> warn "duplicate concat %s" n)
+    (dups Fun.id c.Config.concat_all_args);
+  (* a name that both introduces and clears the same kind of taint *)
+  List.iter
+    (fun (s : Config.source_entry) ->
+      List.iter
+        (fun (san : Config.sanitizer_entry) ->
+          if
+            String.equal s.Config.src_name san.Config.san_name
+            && Bool.equal s.Config.src_is_method san.Config.san_is_method
+          then
+            List.iter
+              (fun k ->
+                if List.exists (Vuln.equal_kind k) san.Config.san_kinds then
+                  warn "%s %s is both a source and a sanitizer for %s"
+                    (place s.Config.src_is_method)
+                    s.Config.src_name (Vuln.kind_to_string k))
+              s.Config.src_kinds)
+        c.Config.sanitizers)
+    c.Config.function_sources;
+  List.rev !warnings
 
 (** Load a spec file from disk. *)
 let load path : Config.t =

@@ -10,5 +10,11 @@ val of_string : string -> Config.t
 val to_string : Config.t -> string
 (** A fixpoint of [of_string ∘ to_string] up to the source classes. *)
 
+val validate : Config.t -> string list
+(** Sanity-check a profile: human-readable warnings for duplicate entries
+    within a section and for names registered both as a source and as a
+    sanitizer for the same vulnerability kind.  Empty for a coherent
+    profile (all builtin profiles validate cleanly). *)
+
 val load : string -> Config.t
 (** Load a spec file from disk. *)

@@ -25,12 +25,20 @@ let profile : Config.t =
         Config.fn_source "variable_get" [ Vuln.Xss ]
           (Vuln.Database "variable_get") ];
     sanitizers =
-      [ Config.sanitizer "check_plain" [ Vuln.Xss ];
-        Config.sanitizer "filter_xss" [ Vuln.Xss ];
-        Config.sanitizer "filter_xss_admin" [ Vuln.Xss ];
-        Config.sanitizer "check_url" [ Vuln.Xss ];
-        Config.sanitizer "check_markup" [ Vuln.Xss ];
-        Config.sanitizer "db_escape_table" [ Vuln.Sqli ] ];
+      [ Config.sanitizer "check_plain" [ Vuln.Xss ]
+          ~contexts:[ Context.Html_body; Context.Html_attr_quoted ];
+        Config.sanitizer "filter_xss" [ Vuln.Xss ]
+          ~contexts:[ Context.Html_body ];
+        Config.sanitizer "filter_xss_admin" [ Vuln.Xss ]
+          ~contexts:[ Context.Html_body ];
+        Config.sanitizer "check_url" [ Vuln.Xss ]
+          ~contexts:
+            [ Context.Url; Context.Html_attr_quoted; Context.Html_body ];
+        Config.sanitizer "check_markup" [ Vuln.Xss ]
+          ~contexts:[ Context.Html_body ];
+        (* escapes a table/column name — the one identifier-safe escape *)
+        Config.sanitizer "db_escape_table" [ Vuln.Sqli ]
+          ~contexts:[ Context.Sql_identifier ] ];
     reverts = [ "decode_entities" ];
     sinks =
       [ Config.sink "db_query" Vuln.Sqli;

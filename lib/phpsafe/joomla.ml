@@ -33,9 +33,13 @@ let profile : Config.t =
         Config.fn_source ~is_method:true "getString" [ Vuln.Xss; Vuln.Sqli ]
           (Vuln.Function_return "JInput->getString") ];
     sanitizers =
-      [ (* JDatabase escaping *)
-        Config.sanitizer ~is_method:true "quote" [ Vuln.Sqli ];
-        Config.sanitizer ~is_method:true "escape" [ Vuln.Sqli ];
+      [ (* JDatabase escaping: [quote] wraps its result in quotes, so the
+           quoted literal also works where a number is expected; [escape]
+           only helps inside a string the caller already quoted *)
+        Config.sanitizer ~is_method:true "quote" [ Vuln.Sqli ]
+          ~contexts:[ Context.Sql_quoted_string; Context.Sql_numeric ];
+        Config.sanitizer ~is_method:true "escape" [ Vuln.Sqli ]
+          ~contexts:[ Context.Sql_quoted_string ];
         (* JFilterInput::clean and friends *)
         Config.sanitizer ~is_method:true "clean" [ Vuln.Xss; Vuln.Sqli ];
         Config.sanitizer ~is_method:true "getInt" [ Vuln.Xss; Vuln.Sqli ];

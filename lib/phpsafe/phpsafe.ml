@@ -20,6 +20,7 @@ type options = Analyzer.options = {
   analyze_uncalled : bool;
   resolve_includes : bool;
   respect_guards : bool;
+  infer_contexts : bool;
 }
 
 let default_options = Analyzer.default_options

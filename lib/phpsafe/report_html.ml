@@ -60,6 +60,23 @@ let render_finding buf (f : Report.finding) =
        (escape_html (Vuln.source_to_string f.Report.source))
        (escape_html f.Report.source_pos.Phplang.Ast.file)
        f.Report.source_pos.Phplang.Ast.line);
+  (match f.Report.context with
+  | Some c ->
+      Buffer.add_string buf
+        (Printf.sprintf
+           "<div>sink context: <code class=\"context\">%s</code></div>\n"
+           (escape_html (Context.to_string c)))
+  | None -> ());
+  (match f.Report.sanitizers_applied with
+  | [] -> ()
+  | sans ->
+      Buffer.add_string buf
+        (Printf.sprintf
+           "<div>sanitizers applied (inadequate for this context): %s</div>\n"
+           (String.concat ", "
+              (List.map
+                 (fun s -> Printf.sprintf "<code>%s</code>" (escape_html s))
+                 sans))));
   (match f.Report.trace with
   | [] -> ()
   | trace ->
@@ -73,6 +90,10 @@ let render_finding buf (f : Report.finding) =
                s.Report.step_pos.Phplang.Ast.line
                (escape_html s.Report.step_note)))
         trace;
+      if f.Report.trace_truncated then
+        Buffer.add_string buf
+          "<li class=\"truncated\"><em>&hellip; flow continues; later steps \
+           dropped at the analyzer's step cap</em></li>\n";
       Buffer.add_string buf "</ol>\n");
   Buffer.add_string buf "</div>\n"
 

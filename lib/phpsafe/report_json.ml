@@ -76,16 +76,25 @@ let of_step (s : Report.step) =
       ("note", J_string s.Report.step_note) ]
 
 let of_finding (f : Report.finding) =
+  let context_fields =
+    match f.Report.context with
+    | Some c -> [ ("context", J_string (Context.to_string c)) ]
+    | None -> []
+  in
   J_obj
-    [ ("kind", J_string (Vuln.kind_to_string f.Report.kind));
-      ("sink", J_string f.Report.sink);
-      ("variable", J_string f.Report.variable);
-      ("location", of_pos f.Report.sink_pos);
-      ("source", J_string (Vuln.source_to_string f.Report.source));
-      ("sourceLocation", of_pos f.Report.source_pos);
-      ("vector",
-       J_string (Vuln.vector_to_string (Vuln.vector_of_source f.Report.source)));
-      ("dataFlow", J_list (List.map of_step f.Report.trace)) ]
+    ([ ("kind", J_string (Vuln.kind_to_string f.Report.kind));
+       ("sink", J_string f.Report.sink);
+       ("variable", J_string f.Report.variable);
+       ("location", of_pos f.Report.sink_pos);
+       ("source", J_string (Vuln.source_to_string f.Report.source));
+       ("sourceLocation", of_pos f.Report.source_pos);
+       ("vector",
+        J_string (Vuln.vector_to_string (Vuln.vector_of_source f.Report.source))) ]
+    @ context_fields
+    @ [ ("sanitizersApplied",
+         J_list (List.map (fun s -> J_string s) f.Report.sanitizers_applied));
+        ("dataFlow", J_list (List.map of_step f.Report.trace));
+        ("dataFlowTruncated", J_bool f.Report.trace_truncated) ])
 
 let of_outcome (path, outcome) =
   let status, detail =

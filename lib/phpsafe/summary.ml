@@ -16,6 +16,11 @@ type cond_sink = {
   cs_sink_name : string;
   cs_pos : Phplang.Ast.pos;  (** sink location inside the callee *)
   cs_var : string;           (** variable name at the sink *)
+  cs_context : Context.t option;
+      (** output context inferred at the callee's sink (context pass) *)
+  cs_sans : Taint.sans;
+      (** sanitizer delta the callee applied on the param-to-sink path;
+          replayed on the caller argument's own set when the sink fires *)
 }
 
 type t = {
@@ -37,16 +42,20 @@ let restrict_kind kind (t : Taint.t) : Taint.t =
       { Taint.untainted with
         Taint.xss = t.Taint.xss;
         deps_xss = t.Taint.deps_xss;
+        sans = t.Taint.sans;
         source = (if t.Taint.xss || not (Taint.Int_set.is_empty t.Taint.deps_xss)
                   then t.Taint.source else None);
-        trace = t.Taint.trace }
+        trace = t.Taint.trace;
+        trace_truncated = t.Taint.trace_truncated }
   | Vuln.Sqli ->
       { Taint.untainted with
         Taint.sqli = t.Taint.sqli;
         deps_sqli = t.Taint.deps_sqli;
+        sans = t.Taint.sans;
         source = (if t.Taint.sqli || not (Taint.Int_set.is_empty t.Taint.deps_sqli)
                   then t.Taint.source else None);
-        trace = t.Taint.trace }
+        trace = t.Taint.trace;
+        trace_truncated = t.Taint.trace_truncated }
 
 (** Instantiate the summary's return taint at a call site: the concrete part
     carries over, and each parameter dependency imports the matching
@@ -56,7 +65,16 @@ let instantiate_return summary (args : Taint.t list) : Taint.t =
   let arg i = List.nth_opt args i |> Option.value ~default:Taint.untainted in
   let import kind deps acc =
     Taint.Int_set.fold
-      (fun i acc -> Taint.join acc (restrict_kind kind (arg i)))
+      (fun i acc ->
+        let a = restrict_kind kind (arg i) in
+        (* replay the callee's sanitizer delta on the imported argument *)
+        let a =
+          { a with
+            Taint.sans =
+              Taint.compose_sans ~outer:a.Taint.sans
+                ~inner:summary.ret.Taint.sans }
+        in
+        Taint.join acc a)
       deps acc
   in
   let base =
@@ -81,8 +99,14 @@ let fire_cond_sinks summary (args : Taint.t list) =
       let a = arg cs.cs_param in
       let fire = if Taint.is_tainted cs.cs_kind a then [ `Fire (cs, a) ] else [] in
       let hoist =
+        (* the hoisted sink's delta includes what already happened to the
+           argument inside this callee's caller *)
+        let hoisted_sans =
+          Taint.compose_sans ~outer:a.Taint.sans ~inner:cs.cs_sans
+        in
         Taint.Int_set.fold
-          (fun outer acc -> `Hoist { cs with cs_param = outer } :: acc)
+          (fun outer acc ->
+            `Hoist { cs with cs_param = outer; cs_sans = hoisted_sans } :: acc)
           (Taint.deps cs.cs_kind a) []
       in
       fire @ hoist)

@@ -9,6 +9,10 @@ type cond_sink = {
   cs_sink_name : string;
   cs_pos : Phplang.Ast.pos;  (** sink location inside the callee *)
   cs_var : string;           (** variable name at the sink *)
+  cs_context : Context.t option;
+      (** output context inferred at the callee's sink (context pass) *)
+  cs_sans : Taint.sans;
+      (** sanitizer delta the callee applied on the param-to-sink path *)
 }
 
 type t = {

@@ -10,6 +10,30 @@
 open Secflow
 
 module Int_set = Set.Make (Int)
+module San_set = Set.Make (String)
+
+(** Sanitizer-set tracking for the context-inference pass ([--contexts],
+    §VI future work).  Instead of a per-kind boolean, the value carries the
+    {e names} of the sanitizers it passed through; the verdict at the sink
+    intersects this set with the sanitizers adequate for the inferred
+    output context.  The record is also a {e delta}: [undone]/[undone_all]
+    remember which previously-applied sanitizers a revert function undid,
+    so function summaries can replay the effect on caller arguments
+    ({!compose_sans}). *)
+type sans = {
+  applied_xss : San_set.t;   (** XSS sanitizers the value passed through *)
+  applied_sqli : San_set.t;
+  undone : San_set.t;        (** sanitizer names undone by a revert *)
+  undone_all : bool;         (** a revert with unknown scope undid them all *)
+}
+
+let no_sans =
+  {
+    applied_xss = San_set.empty;
+    applied_sqli = San_set.empty;
+    undone = San_set.empty;
+    undone_all = false;
+  }
 
 type t = {
   xss : bool;
@@ -20,8 +44,10 @@ type t = {
   deps_sqli : Int_set.t;
   was_deps_xss : Int_set.t;
   was_deps_sqli : Int_set.t;
+  sans : sans;              (** sanitizer set (context pass only) *)
   source : (Vuln.source * Phplang.Ast.pos) option;
   trace : Report.step list;  (** most recent first; bounded *)
+  trace_truncated : bool;    (** [trace] hit {!max_trace_len}; steps dropped *)
 }
 
 let max_trace_len = 16
@@ -36,8 +62,10 @@ let untainted =
     deps_sqli = Int_set.empty;
     was_deps_xss = Int_set.empty;
     was_deps_sqli = Int_set.empty;
+    sans = no_sans;
     source = None;
     trace = [];
+    trace_truncated = false;
   }
 
 (** Fresh taint from a configured source. *)
@@ -67,7 +95,33 @@ let has_deps t = not (Int_set.is_empty t.deps_xss && Int_set.is_empty t.deps_sql
 let any_tainted t = t.xss || t.sqli
 let interesting t = any_tainted t || has_deps t
 
+(** Is [kind]'s component of the value live or parameter-dependent — i.e.
+    does its sanitizer set mean anything? *)
+let relevant kind t = is_tainted kind t || not (Int_set.is_empty (deps kind t))
+
+(* Joined applied set: a sanitizer protects the join only if it protects
+   every contributing component, so when both sides matter we intersect. *)
+let join_applied rel_a rel_b a b =
+  if rel_a && rel_b then San_set.inter a b
+  else if rel_a then a
+  else if rel_b then b
+  else San_set.empty
+
+let join_sans a b =
+  {
+    applied_xss =
+      join_applied (relevant Vuln.Xss a) (relevant Vuln.Xss b)
+        a.sans.applied_xss b.sans.applied_xss;
+    applied_sqli =
+      join_applied (relevant Vuln.Sqli a) (relevant Vuln.Sqli b)
+        a.sans.applied_sqli b.sans.applied_sqli;
+    undone = San_set.union a.sans.undone b.sans.undone;
+    undone_all = a.sans.undone_all || b.sans.undone_all;
+  }
+
 let join a b =
+  (* keep the trace (and its truncation flag) of the "more tainted" operand *)
+  let a_leads = any_tainted a || has_deps a in
   {
     xss = a.xss || b.xss;
     sqli = a.sqli || b.sqli;
@@ -77,13 +131,13 @@ let join a b =
     deps_sqli = Int_set.union a.deps_sqli b.deps_sqli;
     was_deps_xss = Int_set.union a.was_deps_xss b.was_deps_xss;
     was_deps_sqli = Int_set.union a.was_deps_sqli b.was_deps_sqli;
+    sans = join_sans a b;
     source =
       (match (a.source, b.source) with
       | (Some _ as s), _ -> s
       | None, s -> s);
-    trace =
-      (* keep the trace of the "more tainted" operand *)
-      (if any_tainted a || has_deps a then a.trace else b.trace);
+    trace = (if a_leads then a.trace else b.trace);
+    trace_truncated = (if a_leads then a.trace_truncated else b.trace_truncated);
   }
 
 let join_all = List.fold_left join untainted
@@ -123,12 +177,85 @@ let revert t =
 (** Numeric / boolean results carry no taint at all. *)
 let scrub _t = untainted
 
+(* -- sanitizer-set operations (context pass) ------------------------------
+
+   In context mode a sanitizer call does NOT clear the live bits: it adds
+   its name to the per-kind applied set and the verdict is deferred to the
+   sink, where the set is intersected with the sanitizers adequate for the
+   inferred output context. *)
+
+let applied kind t =
+  match kind with
+  | Vuln.Xss -> t.sans.applied_xss
+  | Vuln.Sqli -> t.sans.applied_sqli
+
+(** Record that the value passed through sanitizer [name] for [kinds],
+    keeping the live taint bits (the sink decides adequacy). *)
+let record_sanitizer ~name kinds t =
+  let add k s = if List.mem k kinds then San_set.add name s else s in
+  {
+    t with
+    sans =
+      {
+        t.sans with
+        applied_xss = add Vuln.Xss t.sans.applied_xss;
+        applied_sqli = add Vuln.Sqli t.sans.applied_sqli;
+      };
+  }
+
+(** Revert-function semantics on the sanitizer set: remove exactly the
+    sanitizers the revert undoes ([`Named]), or every applied sanitizer when
+    its scope is unknown ([`All], e.g. [base64_decode]).  The undone names
+    are remembered so {!compose_sans} can replay the effect on caller
+    arguments across a function-summary boundary. *)
+let revert_named ~undoes t =
+  match undoes with
+  | `All ->
+      {
+        t with
+        sans =
+          {
+            applied_xss = San_set.empty;
+            applied_sqli = San_set.empty;
+            undone = t.sans.undone;
+            undone_all = true;
+          };
+      }
+  | `Named names ->
+      let rm = San_set.of_list names in
+      {
+        t with
+        sans =
+          {
+            applied_xss = San_set.diff t.sans.applied_xss rm;
+            applied_sqli = San_set.diff t.sans.applied_sqli rm;
+            undone = San_set.union t.sans.undone rm;
+            undone_all = t.sans.undone_all;
+          };
+      }
+
+(** [compose_sans ~outer ~inner] replays the delta [inner] (what a callee
+    did to a value, parameters starting from {!no_sans}) on top of [outer]
+    (what the caller argument had already been through): the callee's
+    reverts strip the caller's applied sanitizers, then the callee's own
+    applications are added. *)
+let compose_sans ~outer ~inner =
+  let strip s =
+    if inner.undone_all then San_set.empty else San_set.diff s inner.undone
+  in
+  {
+    applied_xss = San_set.union (strip outer.applied_xss) inner.applied_xss;
+    applied_sqli = San_set.union (strip outer.applied_sqli) inner.applied_sqli;
+    undone = San_set.union outer.undone inner.undone;
+    undone_all = outer.undone_all || inner.undone_all;
+  }
+
 let push_step ~var ~pos ~note t =
   let step = { Report.step_var = var; step_pos = pos; step_note = note } in
-  let trace =
-    if List.length t.trace >= max_trace_len then t.trace else step :: t.trace
-  in
-  { t with trace }
+  if List.length t.trace >= max_trace_len then
+    (* mark the drop instead of losing it silently *)
+    { t with trace_truncated = true }
+  else { t with trace = step :: t.trace }
 
 let source_of t =
   match t.source with

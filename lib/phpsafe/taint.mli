@@ -8,6 +8,20 @@
 open Secflow
 
 module Int_set : Set.S with type elt = int
+module San_set : Set.S with type elt = string
+
+(** Sanitizer-set tracking for the context-inference pass ([--contexts]):
+    which sanitizers the value passed through per kind, plus the delta
+    information ([undone]/[undone_all]) needed to replay revert effects on
+    caller arguments across function-summary boundaries. *)
+type sans = {
+  applied_xss : San_set.t;   (** XSS sanitizers the value passed through *)
+  applied_sqli : San_set.t;
+  undone : San_set.t;        (** sanitizer names undone by a revert *)
+  undone_all : bool;         (** a revert with unknown scope undid them all *)
+}
+
+val no_sans : sans
 
 type t = {
   xss : bool;
@@ -18,8 +32,10 @@ type t = {
   deps_sqli : Int_set.t;
   was_deps_xss : Int_set.t;
   was_deps_sqli : Int_set.t;
+  sans : sans;              (** sanitizer set (context pass only) *)
   source : (Vuln.source * Phplang.Ast.pos) option;
   trace : Report.step list;  (** most recent first; bounded *)
+  trace_truncated : bool;    (** [trace] hit {!max_trace_len}; steps dropped *)
 }
 
 val max_trace_len : int
@@ -58,8 +74,30 @@ val revert : t -> t
 val scrub : t -> t
 (** Numeric/boolean results carry no taint at all. *)
 
+val relevant : Vuln.kind -> t -> bool
+(** [kind]'s component is live or parameter-dependent — its sanitizer set
+    means something. *)
+
+val applied : Vuln.kind -> t -> San_set.t
+(** Sanitizers the value passed through for [kind]. *)
+
+val record_sanitizer : name:string -> Vuln.kind list -> t -> t
+(** Context-mode sanitizer call: add [name] to the applied set per kind,
+    keeping the live taint bits (adequacy is decided at the sink). *)
+
+val revert_named : undoes:[ `All | `Named of string list ] -> t -> t
+(** Context-mode revert call: remove exactly the named sanitizers from the
+    applied sets (or all of them for [`All]), remembering what was undone
+    for {!compose_sans}. *)
+
+val compose_sans : outer:sans -> inner:sans -> sans
+(** Replay the callee delta [inner] on top of the caller argument's [outer]
+    sanitizer state: reverts strip first, then the callee's own
+    applications are added. *)
+
 val push_step : var:string -> pos:Phplang.Ast.pos -> note:string -> t -> t
-(** Append a data-flow hop to the trace (bounded by {!max_trace_len}). *)
+(** Append a data-flow hop to the trace (bounded by {!max_trace_len});
+    sets [trace_truncated] instead of silently dropping at the cap. *)
 
 val source_of : t -> Vuln.source * Phplang.Ast.pos
 (** The recorded source, or [Unknown_source] with a dummy position. *)

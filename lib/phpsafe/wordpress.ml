@@ -32,21 +32,31 @@ let profile : Config.t =
         Config.fn_source "get_query_var" [ Vuln.Xss; Vuln.Sqli ]
           (Vuln.Function_return "get_query_var") ];
     sanitizers =
-      [ Config.sanitizer "esc_html" [ Vuln.Xss ];
-        Config.sanitizer "esc_attr" [ Vuln.Xss ];
-        Config.sanitizer "esc_js" [ Vuln.Xss ];
-        Config.sanitizer "esc_url" [ Vuln.Xss ];
-        Config.sanitizer "esc_textarea" [ Vuln.Xss ];
+      [ (* esc_html/esc_attr escape quotes too (ENT_QUOTES), but still
+           cannot protect an unquoted attribute or a script block *)
+        Config.sanitizer "esc_html" [ Vuln.Xss ]
+          ~contexts:[ Context.Html_body; Context.Html_attr_quoted ];
+        Config.sanitizer "esc_attr" [ Vuln.Xss ]
+          ~contexts:[ Context.Html_body; Context.Html_attr_quoted ];
+        Config.sanitizer "esc_js" [ Vuln.Xss ] ~contexts:[ Context.Js_string ];
+        Config.sanitizer "esc_url" [ Vuln.Xss ]
+          ~contexts:
+            [ Context.Url; Context.Html_attr_quoted; Context.Html_body ];
+        Config.sanitizer "esc_textarea" [ Vuln.Xss ]
+          ~contexts:[ Context.Html_body ];
         Config.sanitizer "sanitize_text_field" [ Vuln.Xss; Vuln.Sqli ];
         Config.sanitizer "sanitize_email" [ Vuln.Xss; Vuln.Sqli ];
         Config.sanitizer "sanitize_key" [ Vuln.Xss; Vuln.Sqli ];
         Config.sanitizer "sanitize_title" [ Vuln.Xss; Vuln.Sqli ];
         Config.sanitizer "sanitize_file_name" [ Vuln.Xss; Vuln.Sqli ];
         Config.sanitizer "absint" [ Vuln.Xss; Vuln.Sqli ];
-        Config.sanitizer "wp_kses" [ Vuln.Xss ];
-        Config.sanitizer "wp_kses_post" [ Vuln.Xss ];
-        Config.sanitizer "esc_sql" [ Vuln.Sqli ];
-        Config.sanitizer "like_escape" [ Vuln.Sqli ];
+        Config.sanitizer "wp_kses" [ Vuln.Xss ] ~contexts:[ Context.Html_body ];
+        Config.sanitizer "wp_kses_post" [ Vuln.Xss ]
+          ~contexts:[ Context.Html_body ];
+        Config.sanitizer "esc_sql" [ Vuln.Sqli ]
+          ~contexts:[ Context.Sql_quoted_string ];
+        Config.sanitizer "like_escape" [ Vuln.Sqli ]
+          ~contexts:[ Context.Sql_quoted_string ];
         (* $wpdb->prepare builds a parameterized query *)
         Config.sanitizer ~is_method:true "prepare" [ Vuln.Sqli ] ];
     reverts = [ "wp_specialchars_decode" ];

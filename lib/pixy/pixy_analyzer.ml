@@ -144,7 +144,8 @@ let report fx ~kind ~pos ~sink_name ~var (t : T.taint) =
         trace =
           [ { Report.step_var = Vuln.source_to_string source;
               step_pos = source_pos;
-              step_note = "tainted on some program path" } ] }
+              step_note = "tainted on some program path" } ];
+        context = None; sanitizers_applied = []; trace_truncated = false }
       :: fx.findings
   end
 

@@ -560,6 +560,9 @@ let analyze_file_exn ~file source :
                     [ { Report.step_var = Vuln.source_to_string source;
                         step_pos = source_pos;
                         step_note = "tainted source (backward-resolved)" } ];
+                  context = None;
+                  sanitizers_applied = [];
+                  trace_truncated = false;
                 }
             else None)
           st.sinks

@@ -1,0 +1,46 @@
+(** Sink output-context taxonomy (paper §VI future work): *where* tainted
+    data lands inside the text a sink emits.  A sanitizer is only adequate
+    for some contexts — [htmlspecialchars] without [ENT_QUOTES] protects an
+    HTML body or a double-quoted attribute, but not an unquoted attribute;
+    [addslashes] only helps inside a quoted SQL string, never in a numeric
+    position.  The context-sensitive verdict pass intersects the sanitizers
+    applied to a value with the context inferred at the sink. *)
+
+type t =
+  (* XSS output contexts *)
+  | Html_body           (** element content: [<p>HERE</p>] *)
+  | Html_attr_quoted    (** inside a ["..."] or ['...'] attribute value *)
+  | Html_attr_unquoted  (** attribute value with no quotes: [value=HERE] *)
+  | Url                 (** inside a URL attribute ([href]/[src]) or query *)
+  | Js_string           (** inside a string literal in a [<script>] block *)
+  (* SQLi output contexts *)
+  | Sql_quoted_string   (** inside ['...'] or ["..."] in a SQL statement *)
+  | Sql_numeric         (** numeric position: [WHERE id = HERE] *)
+  | Sql_identifier      (** table/column position: [ORDER BY HERE] *)
+
+(** The vulnerability kind a context belongs to. *)
+let kind = function
+  | Html_body | Html_attr_quoted | Html_attr_unquoted | Url | Js_string ->
+      Vuln.Xss
+  | Sql_quoted_string | Sql_numeric | Sql_identifier -> Vuln.Sqli
+
+let all =
+  [ Html_body; Html_attr_quoted; Html_attr_unquoted; Url; Js_string;
+    Sql_quoted_string; Sql_numeric; Sql_identifier ]
+
+let all_for_kind k = List.filter (fun c -> Vuln.equal_kind (kind c) k) all
+let all_for_kinds kinds = List.concat_map all_for_kind kinds
+
+let to_string = function
+  | Html_body -> "html-body"
+  | Html_attr_quoted -> "html-attr-quoted"
+  | Html_attr_unquoted -> "html-attr-unquoted"
+  | Url -> "url"
+  | Js_string -> "js-string"
+  | Sql_quoted_string -> "sql-quoted-string"
+  | Sql_numeric -> "sql-numeric"
+  | Sql_identifier -> "sql-identifier"
+
+let equal (a : t) b = a = b
+let compare (a : t) b = compare a b
+let pp ppf c = Format.pp_print_string ppf (to_string c)

@@ -18,6 +18,15 @@ type finding = {
   source : Vuln.source;           (** where the taint entered *)
   source_pos : Phplang.Ast.pos;
   trace : step list;              (** source-to-sink flow, in order *)
+  context : Context.t option;
+      (** inferred output context at the sink, when the analyzer ran its
+          context-inference pass (phpSAFE [--contexts]) *)
+  sanitizers_applied : string list;
+      (** sanitizer functions the value passed through on its way to the
+          sink (sorted); only populated by the context-inference pass *)
+  trace_truncated : bool;
+      (** [trace] hit the analyzer's step cap and older steps were
+          dropped — the flow shown is incomplete *)
 }
 
 (** Identity used for de-duplication and ground-truth matching: a

@@ -183,8 +183,130 @@ let spec_cases =
         Alcotest.(check bool) "revert parsed" true (C.is_revert c "undo"));
   ]
 
+(* -- sanitizer contexts and validation ------------------------------- *)
+
+let context_cases =
+  let open Secflow.Context in
+  [
+    case "htmlspecialchars adequate for body and quoted attribute only"
+      (fun () ->
+        let ad ctx = C.adequate wp ~name:"htmlspecialchars" ctx in
+        Alcotest.(check bool) "body" true (ad Html_body);
+        Alcotest.(check bool) "quoted attr" true (ad Html_attr_quoted);
+        Alcotest.(check bool) "unquoted attr" false (ad Html_attr_unquoted);
+        Alcotest.(check bool) "js string" false (ad Js_string);
+        Alcotest.(check bool) "url" false (ad Url));
+    case "intval adequate in every context" (fun () ->
+        List.iter
+          (fun ctx ->
+            Alcotest.(check bool) (to_string ctx) true
+              (C.adequate wp ~name:"intval" ctx))
+          all);
+    case "addslashes adequate only in a quoted SQL string" (fun () ->
+        Alcotest.(check bool) "quoted" true
+          (C.adequate wp ~name:"addslashes" Sql_quoted_string);
+        Alcotest.(check bool) "numeric" false
+          (C.adequate wp ~name:"addslashes" Sql_numeric);
+        Alcotest.(check bool) "identifier" false
+          (C.adequate wp ~name:"addslashes" Sql_identifier));
+    case "unknown sanitizer is adequate nowhere" (fun () ->
+        Alcotest.(check bool) "no contexts" true
+          (C.sanitizer_contexts wp "no_such_fn" = []));
+    case "spec ctx= clause parses and round-trips" (fun () ->
+        let c =
+          Phpsafe.Config_spec.of_string
+            "sanitizer function esc_text xss ctx=html-body,html-attr-quoted\n"
+        in
+        Alcotest.(check bool) "restricted" true
+          (C.adequate c ~name:"esc_text" Html_body
+          && not (C.adequate c ~name:"esc_text" Html_attr_unquoted));
+        let again = Phpsafe.Config_spec.of_string (Phpsafe.Config_spec.to_string c) in
+        Alcotest.(check bool) "round-trip keeps the restriction" true
+          (C.adequate again ~name:"esc_text" Html_body
+          && not (C.adequate again ~name:"esc_text" Html_attr_unquoted)));
+    case "spec rejects an unknown context name" (fun () ->
+        try
+          ignore
+            (Phpsafe.Config_spec.of_string
+               "sanitizer function f xss ctx=html-wat\n");
+          Alcotest.fail "expected Spec_error"
+        with Phpsafe.Config_spec.Spec_error (_, line) ->
+          Alcotest.(check int) "line" 1 line);
+    case "builtin context matrix survives the spec round trip" (fun () ->
+        List.iter
+          (fun profile ->
+            let again =
+              Phpsafe.Config_spec.of_string (Phpsafe.Config_spec.to_string profile)
+            in
+            List.iter
+              (fun (s : C.sanitizer_entry) ->
+                Alcotest.(check (list string))
+                  (profile.C.name ^ "/" ^ s.C.san_name)
+                  (List.sort String.compare (List.map to_string s.C.san_contexts))
+                  (List.sort String.compare
+                     (List.map to_string
+                        (C.sanitizer_contexts again s.C.san_name))))
+              (List.filter (fun (s : C.sanitizer_entry) -> not s.C.san_is_method)
+                 profile.C.sanitizers))
+          [ C.generic_php; Phpsafe.Wordpress.default_config;
+            Phpsafe.Joomla.default_config; Phpsafe.Drupal.default_config ]);
+  ]
+
+let contains hay needle =
+  let hl = String.length hay and nl = String.length needle in
+  let rec go i = i + nl <= hl && (String.sub hay i nl = needle || go (i + 1)) in
+  go 0
+
+let validate_cases =
+  [
+    case "builtin profiles validate cleanly" (fun () ->
+        List.iter
+          (fun profile ->
+            Alcotest.(check (list string)) profile.C.name []
+              (Phpsafe.Config_spec.validate profile))
+          [ C.generic_php; Phpsafe.Wordpress.default_config;
+            Phpsafe.Joomla.default_config; Phpsafe.Drupal.default_config ]);
+    case "duplicate sanitizer entries are reported" (fun () ->
+        let c =
+          Phpsafe.Config_spec.of_string
+            "sanitizer function clean xss\nsanitizer function clean xss\n"
+        in
+        match Phpsafe.Config_spec.validate c with
+        | [ w ] ->
+            Alcotest.(check bool) "names the entry" true
+              (String.length w > 0
+              && contains w "clean")
+        | ws -> Alcotest.failf "expected 1 warning, got %d" (List.length ws));
+    case "duplicate sinks and sources are reported" (fun () ->
+        let c =
+          Phpsafe.Config_spec.of_string
+            "sink function show xss\nsink function show xss\n\
+             source superglobal $_GET xss\nsource superglobal $_GET sqli\n"
+        in
+        Alcotest.(check int) "two warnings" 2
+          (List.length (Phpsafe.Config_spec.validate c)));
+    case "source-and-sanitizer conflicts are reported" (fun () ->
+        let c =
+          Phpsafe.Config_spec.of_string
+            "source function fetch fn xss\nsanitizer function fetch xss\n"
+        in
+        Alcotest.(check bool) "conflict reported" true
+          (List.exists
+             (fun w -> contains w "both a source and a sanitizer")
+             (Phpsafe.Config_spec.validate c)));
+    case "same name for different kinds is not a conflict" (fun () ->
+        let c =
+          Phpsafe.Config_spec.of_string
+            "source function fetch fn xss\nsanitizer function fetch sqli\n"
+        in
+        Alcotest.(check (list string)) "clean" []
+          (Phpsafe.Config_spec.validate c));
+  ]
+
 let () =
   Alcotest.run "config"
     [ ("generic PHP profile", generic_cases);
       ("WordPress profile", wordpress_cases);
-      ("spec format", spec_cases) ]
+      ("spec format", spec_cases);
+      ("sanitizer contexts (--contexts)", context_cases);
+      ("validation", validate_cases) ]

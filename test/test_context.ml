@@ -1,0 +1,78 @@
+(** E11 ground-truth tests: the context-sensitive sanitization pass
+    ([--contexts]) must both find context-mismatch vulnerabilities the flat
+    analysis misses (new TPs) and exonerate the properly-quoted foils the
+    flat analysis flags (removed FPs) — the two halves of the precision
+    delta claimed in EXPERIMENTS.md E11. *)
+
+module Cd = Evalkit.Context_delta
+module Gt = Corpus.Gt
+
+let case name f = Alcotest.test_case name `Quick f
+
+(* Running the suite is cheap (2 small plugins); compute it once. *)
+let delta = lazy (Cd.run ())
+
+let cases =
+  [
+    case "suite composition matches the generator" (fun () ->
+        let d = Lazy.force delta in
+        Alcotest.(check bool) "has reals" true (d.Cd.cd_reals > 0);
+        Alcotest.(check bool) "has foils" true (d.Cd.cd_foils > 0));
+    case "--contexts finds context-mismatch TPs the flat pass misses"
+      (fun () ->
+        let d = Lazy.force delta in
+        Alcotest.(check bool) "at least one new TP" true
+          (List.length d.Cd.cd_new_tp >= 1);
+        List.iter
+          (fun s ->
+            Alcotest.(check bool)
+              (s.Gt.seed_id ^ " is a real seed")
+              true (Gt.is_real s))
+          d.Cd.cd_new_tp);
+    case "--contexts removes foil FPs the flat pass reports" (fun () ->
+        let d = Lazy.force delta in
+        Alcotest.(check bool) "at least one removed FP" true
+          (List.length d.Cd.cd_removed_fp >= 1);
+        List.iter
+          (fun s ->
+            Alcotest.(check bool)
+              (s.Gt.seed_id ^ " is a foil")
+              false (Gt.is_real s))
+          d.Cd.cd_removed_fp);
+    case "context pass strictly improves precision and recall" (fun () ->
+        let d = Lazy.force delta in
+        let module M = Evalkit.Metrics in
+        Alcotest.(check bool) "precision up" true
+          (M.precision d.Cd.cd_ctx_metrics
+          > M.precision d.Cd.cd_default_metrics
+          || Float.is_nan (M.precision d.Cd.cd_default_metrics));
+        Alcotest.(check bool) "recall up" true
+          (M.recall d.Cd.cd_ctx_metrics > M.recall d.Cd.cd_default_metrics));
+    case "every new TP names a context-mismatch pattern" (fun () ->
+        let d = Lazy.force delta in
+        List.iter
+          (fun s ->
+            Alcotest.(check bool)
+              (s.Gt.seed_id ^ "/" ^ s.Gt.pattern)
+              true
+              (List.mem s.Gt.pattern
+                 [ "ctx-attr-unquoted"; "ctx-js-string"; "ctx-sql-numeric" ]))
+          d.Cd.cd_new_tp);
+    case "every removed FP names a revert foil" (fun () ->
+        let d = Lazy.force delta in
+        List.iter
+          (fun s ->
+            Alcotest.(check bool)
+              (s.Gt.seed_id ^ "/" ^ s.Gt.pattern)
+              true
+              (List.mem s.Gt.pattern
+                 [ "trap-ctx-revert-body"; "trap-ctx-revert-attr" ]))
+          d.Cd.cd_removed_fp);
+    case "the printed table is deterministic across runs" (fun () ->
+        let render d = Format.asprintf "%a" Cd.print d in
+        Alcotest.(check string) "identical output"
+          (render (Cd.run ()))
+          (render (Cd.run ())));
+  ]
+
+let () = Alcotest.run "context delta" [ ("E11 (--contexts)", cases) ]

@@ -59,6 +59,9 @@ let finding ?(kind = Vuln.Xss) ~file ~line () : Report.finding =
     source = Vuln.Superglobal "$_GET";
     source_pos = Phplang.Ast.dummy_pos;
     trace = [];
+    context = None;
+    sanitizers_applied = [];
+    trace_truncated = false;
   }
 
 let output tool (per_plugin : (string * Report.finding list) list) :

@@ -393,6 +393,99 @@ let option_cases =
         Alcotest.(check int) "no findings" 0 (List.length r.Report.findings));
   ]
 
+(* -- sink-context-sensitive sanitization (--contexts) ---------------- *)
+
+let ctx_opts = { Phpsafe.default_options with Phpsafe.infer_contexts = true }
+
+let expect_with opts name src expected =
+  Alcotest.test_case name `Quick (fun () ->
+      let got =
+        (analyze_with opts src).Report.findings
+        |> List.map (fun (f : Report.finding) ->
+               Printf.sprintf "%s@%d" (Vuln.kind_to_string f.Report.kind)
+                 (f.Report.sink_pos.Phplang.Ast.line - 1))
+        |> List.sort compare
+      in
+      Alcotest.(check (list string)) name (List.sort compare expected) got)
+
+let expect_ctx name src expected = expect_with ctx_opts name src expected
+
+let context_cases =
+  [
+    (* context mismatches the flat model accepts as sanitized *)
+    expect_ctx "htmlspecialchars inadequate in unquoted attribute"
+      "$a = htmlspecialchars($_GET['x']);\necho \"<input value=\" . $a . \">\";"
+      [ "XSS@2" ];
+    expect_with Phpsafe.default_options
+      "flat model accepts the unquoted attribute"
+      "$a = htmlspecialchars($_GET['x']);\necho \"<input value=\" . $a . \">\";"
+      [];
+    expect_ctx "htmlspecialchars inadequate in a script string"
+      "echo \"<script>var q = '\" . htmlspecialchars($_GET['q']) . \"';</script>\";"
+      [ "XSS@1" ];
+    expect_ctx "addslashes inadequate in a numeric SQL position"
+      "$id = addslashes($_GET['id']);\nmysql_query(\"UPDATE t SET f = 1 WHERE id = \" . $id);"
+      [ "SQLi@2" ];
+    (* adequate sanitizers stay accepted *)
+    expect_ctx "htmlspecialchars adequate in the body"
+      "echo '<p>' . htmlspecialchars($_GET['x']) . '</p>';" [];
+    expect_ctx "htmlspecialchars adequate in a quoted attribute"
+      "echo '<input value=\"' . htmlspecialchars($_GET['x']) . '\">';" [];
+    expect_ctx "addslashes adequate in a quoted SQL string"
+      "mysql_query(\"SELECT * FROM t WHERE name = '\" . addslashes($_GET['n']) . \"'\");"
+      [];
+    expect_ctx "intval adequate everywhere"
+      "echo \"<input value=\" . intval($_GET['x']) . \">\";" [];
+    expect_ctx "unsanitized sink still reported with a context"
+      "echo \"<input value=\" . $_GET['x'] . \">\";" [ "XSS@1" ];
+    (* revert exactness: stripslashes clears only the slash escapers *)
+    expect_ctx "stripslashes does not undo htmlspecialchars"
+      "$a = htmlspecialchars($_GET['x']);\n$a = stripslashes($a);\necho '<p>' . $a . '</p>';"
+      [];
+    expect_with Phpsafe.default_options "flat revert model still flags it"
+      "$a = htmlspecialchars($_GET['x']);\n$a = stripslashes($a);\necho '<p>' . $a . '</p>';"
+      [ "XSS@3" ];
+    expect_ctx "stripslashes does undo addslashes"
+      "$a = addslashes($_GET['n']);\n$a = stripslashes($a);\nmysql_query(\"SELECT * FROM t WHERE name = '\" . $a . \"'\");"
+      [ "SQLi@3" ];
+    (* sanitizer sets compose across function-summary boundaries *)
+    expect_ctx "callee-applied sanitizer survives a caller stripslashes"
+      "function enc_v($v) { return htmlspecialchars($v); }\n$a = enc_v($_GET['x']);\n$a = stripslashes($a);\necho '<p>' . $a . '</p>';"
+      [];
+    expect_ctx "callee-applied addslashes undone by caller stripslashes"
+      "function esc_v($v) { return addslashes($v); }\n$q = esc_v($_POST['n']);\n$q = stripslashes($q);\nmysql_query(\"SELECT * FROM t WHERE name = '\" . $q . \"'\");"
+      [ "SQLi@4" ];
+    expect_ctx "conditional sink fires on context mismatch"
+      "function show_v($v) {\necho \"<input value=\" . $v . \">\";\n}\nshow_v(htmlspecialchars($_GET['x']));"
+      [ "XSS@2" ];
+    expect_ctx "conditional sink suppressed when adequate"
+      "function put_v($v) {\necho '<p>' . $v . '</p>';\n}\nput_v(htmlspecialchars($_GET['x']));"
+      [];
+    Alcotest.test_case "finding carries context and sanitizer set" `Quick
+      (fun () ->
+        let r =
+          analyze_with ctx_opts
+            "$a = htmlspecialchars($_GET['x']);\necho \"<input value=\" . $a . \">\";"
+        in
+        match r.Report.findings with
+        | [ f ] ->
+            Alcotest.(check (option string)) "context"
+              (Some "html-attr-unquoted")
+              (Option.map Context.to_string f.Report.context);
+            Alcotest.(check (list string)) "sanitizers"
+              [ "htmlspecialchars" ] f.Report.sanitizers_applied
+        | fs -> Alcotest.failf "expected 1 finding, got %d" (List.length fs));
+    Alcotest.test_case "flat mode leaves the new fields empty" `Quick
+      (fun () ->
+        let r = analyze "echo $_GET['x'];" in
+        match r.Report.findings with
+        | [ f ] ->
+            Alcotest.(check bool) "no context" true (f.Report.context = None);
+            Alcotest.(check (list string)) "no sanitizers" []
+              f.Report.sanitizers_applied
+        | fs -> Alcotest.failf "expected 1 finding, got %d" (List.length fs));
+  ]
+
 let () =
   Alcotest.run "phpsafe"
     [ ("data flow (§III.C)", flow_cases);
@@ -401,4 +494,5 @@ let () =
       ("OOP support (§III.E)", oop_cases);
       ("projects, includes, budget", project_cases);
       ("references (=& aliasing)", reference_cases);
-      ("option flags (ablation switches)", option_cases) ]
+      ("option flags (ablation switches)", option_cases);
+      ("sink contexts (--contexts)", context_cases) ]

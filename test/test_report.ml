@@ -58,6 +58,35 @@ let html_cases =
         in
         Alcotest.(check bool) "escaped title" true
           (contains html "<title>scan &lt;x&gt;</title>"));
+    case "truncated traces are marked, complete ones are not" (fun () ->
+        let truncated =
+          { sample_result with
+            Report.findings =
+              List.map
+                (fun f -> { f with Report.trace_truncated = true })
+                sample_result.Report.findings }
+        in
+        let html = Phpsafe.Report_html.render truncated in
+        Alcotest.(check bool) "note present" true
+          (contains html "later steps dropped");
+        let html' = Phpsafe.Report_html.render sample_result in
+        Alcotest.(check bool) "absent when complete" false
+          (contains html' "later steps dropped"));
+    case "context and applied sanitizers render when present" (fun () ->
+        let opts =
+          { Phpsafe.default_options with Phpsafe.infer_contexts = true }
+        in
+        let r =
+          Phpsafe.analyze_source ~opts ~file:"ctx.php"
+            "<?php\n$v = htmlspecialchars($_GET['x']);\necho \"<input value=\" . $v . \">\";"
+        in
+        let html = Phpsafe.Report_html.render r in
+        Alcotest.(check bool) "context shown" true
+          (contains html "sink context");
+        Alcotest.(check bool) "context value" true
+          (contains html "html-attr-unquoted");
+        Alcotest.(check bool) "sanitizer set shown" true
+          (contains html "htmlspecialchars"));
   ]
 
 let text_cases =

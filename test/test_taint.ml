@@ -63,6 +63,110 @@ let unit_cases =
         done;
         Alcotest.(check bool) "bounded" true
           (List.length !t.T.trace <= T.max_trace_len));
+    Alcotest.test_case "truncation is marked, not silent" `Quick (fun () ->
+        let t = ref xss_src in
+        for i = 1 to T.max_trace_len + 5 do
+          t := T.push_step !t ~var:(Printf.sprintf "$v%d" i) ~pos ~note:"hop"
+        done;
+        Alcotest.(check bool) "flag set at the cap" true !t.T.trace_truncated;
+        let short =
+          T.push_step xss_src ~var:"$v" ~pos ~note:"hop"
+        in
+        Alcotest.(check bool) "short trace unflagged" false
+          short.T.trace_truncated);
+    Alcotest.test_case "join carries the truncation flag with the trace" `Quick
+      (fun () ->
+        let long = ref xss_src in
+        for i = 1 to T.max_trace_len + 1 do
+          long := T.push_step !long ~var:(Printf.sprintf "$v%d" i) ~pos ~note:"hop"
+        done;
+        let j = T.join !long T.untainted in
+        Alcotest.(check bool) "tainted side leads" true j.T.trace_truncated);
+  ]
+
+(* -- sanitizer-set tracking (context pass, --contexts) --------------- *)
+
+let names set = T.San_set.elements set
+
+let sans_cases =
+  [
+    Alcotest.test_case "record_sanitizer keeps taint live" `Quick (fun () ->
+        let t = T.record_sanitizer ~name:"htmlspecialchars" [ Vuln.Xss ] xss_src in
+        Alcotest.(check bool) "still live" true (T.is_tainted Vuln.Xss t);
+        Alcotest.(check (list string)) "applied xss" [ "htmlspecialchars" ]
+          (names (T.applied Vuln.Xss t));
+        Alcotest.(check (list string)) "sqli untouched" []
+          (names (T.applied Vuln.Sqli t)));
+    Alcotest.test_case "revert_named removes exactly the named set" `Quick
+      (fun () ->
+        let t =
+          both_src
+          |> T.record_sanitizer ~name:"htmlspecialchars" [ Vuln.Xss ]
+          |> T.record_sanitizer ~name:"addslashes" [ Vuln.Sqli ]
+          |> T.revert_named ~undoes:(`Named [ "addslashes"; "esc_sql" ])
+        in
+        Alcotest.(check (list string)) "xss applied survives"
+          [ "htmlspecialchars" ]
+          (names (T.applied Vuln.Xss t));
+        Alcotest.(check (list string)) "sqli applied cleared" []
+          (names (T.applied Vuln.Sqli t)));
+    Alcotest.test_case "revert_named `All clears every applied set" `Quick
+      (fun () ->
+        let t =
+          both_src
+          |> T.record_sanitizer ~name:"htmlspecialchars" [ Vuln.Xss ]
+          |> T.record_sanitizer ~name:"addslashes" [ Vuln.Sqli ]
+          |> T.revert_named ~undoes:`All
+        in
+        Alcotest.(check (list string)) "xss empty" []
+          (names (T.applied Vuln.Xss t));
+        Alcotest.(check (list string)) "sqli empty" []
+          (names (T.applied Vuln.Sqli t));
+        Alcotest.(check bool) "undone_all" true t.T.sans.T.undone_all);
+    Alcotest.test_case "compose_sans replays the callee delta" `Quick
+      (fun () ->
+        (* caller arg passed through htmlspecialchars; callee stripslashed it
+           and applied intval *)
+        let outer =
+          (T.record_sanitizer ~name:"htmlspecialchars" [ Vuln.Xss ] xss_src)
+            .T.sans
+        in
+        let inner =
+          (T.of_param 0
+          |> T.revert_named ~undoes:(`Named [ "htmlspecialchars" ])
+          |> T.record_sanitizer ~name:"intval" [ Vuln.Xss ])
+            .T.sans
+        in
+        let composed = T.compose_sans ~outer ~inner in
+        Alcotest.(check (list string)) "stripped then applied" [ "intval" ]
+          (T.San_set.elements composed.T.applied_xss));
+    Alcotest.test_case "compose_sans with undone_all strips everything" `Quick
+      (fun () ->
+        let outer =
+          (T.record_sanitizer ~name:"htmlspecialchars" [ Vuln.Xss ] xss_src)
+            .T.sans
+        in
+        let inner = (T.revert_named ~undoes:`All (T.of_param 0)).T.sans in
+        let composed = T.compose_sans ~outer ~inner in
+        Alcotest.(check (list string)) "empty" []
+          (T.San_set.elements composed.T.applied_xss));
+    Alcotest.test_case "join intersects applied sets of relevant sides" `Quick
+      (fun () ->
+        let a =
+          xss_src
+          |> T.record_sanitizer ~name:"htmlspecialchars" [ Vuln.Xss ]
+          |> T.record_sanitizer ~name:"intval" [ Vuln.Xss ]
+        in
+        let b = T.record_sanitizer ~name:"intval" [ Vuln.Xss ] xss_src in
+        Alcotest.(check (list string)) "intersection" [ "intval" ]
+          (names (T.applied Vuln.Xss (T.join a b))));
+    Alcotest.test_case "join ignores an irrelevant side's empty set" `Quick
+      (fun () ->
+        let a = T.record_sanitizer ~name:"htmlspecialchars" [ Vuln.Xss ] xss_src in
+        Alcotest.(check (list string)) "kept" [ "htmlspecialchars" ]
+          (names (T.applied Vuln.Xss (T.join a T.untainted)));
+        Alcotest.(check (list string)) "kept (sym)" [ "htmlspecialchars" ]
+          (names (T.applied Vuln.Xss (T.join T.untainted a))));
   ]
 
 (* -- QCheck: join is a semilattice on the flag component ------------- *)
@@ -123,4 +227,5 @@ let props =
 let () =
   Alcotest.run "taint"
     [ ("laws", unit_cases);
+      ("sanitizer sets (--contexts)", sans_cases);
       ("qcheck semilattice", List.map QCheck_alcotest.to_alcotest props) ]
