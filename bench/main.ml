@@ -31,6 +31,19 @@ let trace_out = path_opt_from_argv "--trace"
 let metrics_out = path_opt_from_argv "--metrics"
 let () = if trace_out <> None || metrics_out <> None then Obs.set_enabled true
 
+(* Persistent cache root (--cache-dir DIR / --no-cache, as on bin/evaluate)
+   and the machine-readable results file (--json FILE, schema
+   phpsafe-bench/1). *)
+let json_out = path_opt_from_argv "--json"
+let no_cache = Array.exists (String.equal "--no-cache") Sys.argv
+
+let () =
+  if no_cache then Phplang.Store.set_root None
+  else
+    match path_opt_from_argv "--cache-dir" with
+    | Some dir -> Phplang.Store.set_root (Some dir)
+    | None -> ()
+
 (* ------------------------------------------------------------------ *)
 (* Shared fixtures                                                    *)
 (* ------------------------------------------------------------------ *)
@@ -71,7 +84,8 @@ let ev2014, stats2014 =
   Evalkit.Runner.evaluate_with_stats ~pool Corpus.Plan.V2014
 
 (* Whole-corpus wall-clock comparison: the six Table III runs (tool ×
-   version) once sequentially, once fanned out across the pool. *)
+   version) once sequentially, once fanned out across the pool.  Returns
+   (sequential, parallel) wall seconds for the --json results file. *)
 let sequential_vs_parallel () =
   let items =
     List.concat_map
@@ -92,7 +106,8 @@ let sequential_vs_parallel () =
   Format.printf
     "sequential: %6.2fs   parallel (%d domains): %6.2fs   speedup: %.2fx@."
     seq (Sched.size pool) par
-    (if par > 0. then seq /. par else nan)
+    (if par > 0. then seq /. par else nan);
+  (seq, par)
 
 (* ------------------------------------------------------------------ *)
 (* Bechamel tests: one per table / figure                              *)
@@ -199,6 +214,64 @@ let print_bench_results results =
 (* Main                                                               *)
 (* ------------------------------------------------------------------ *)
 
+(* ------------------------------------------------------------------ *)
+(* --json FILE: machine-readable results (schema phpsafe-bench/1)      *)
+(* ------------------------------------------------------------------ *)
+
+let write_json path ~table3 ~seq_par ~e12 =
+  let b = Buffer.create 4096 in
+  let bpf fmt = Printf.bprintf b fmt in
+  bpf "{\n  \"schema\": \"phpsafe-bench/1\",\n";
+  bpf "  \"jobs\": %d,\n" (Sched.size pool);
+  bpf "  \"cache_enabled\": %b,\n" (Phplang.Store.enabled ());
+  let seq, par = seq_par in
+  bpf "  \"wall\": {\n    \"sequential_s\": %.6f,\n    \"parallel_s\": %.6f,\n"
+    seq par;
+  bpf "    \"table3\": {";
+  List.iteri
+    (fun i (name, t12, t14) ->
+      bpf "%s\n      \"%s\": {\"v2012_s\": %.6f, \"v2014_s\": %.6f}"
+        (if i = 0 then "" else ",") name t12 t14)
+    table3;
+  bpf "\n    }\n  },\n";
+  bpf "  \"cache\": {\n    \"namespaces\": {";
+  List.iteri
+    (fun i (s : Phplang.Store.stats) ->
+      let lookups = s.Phplang.Store.hits + s.Phplang.Store.misses in
+      bpf
+        "%s\n      \"%s\": {\"hits\": %d, \"misses\": %d, \"stores\": %d, \
+         \"hit_rate\": %.4f}"
+        (if i = 0 then "" else ",")
+        s.Phplang.Store.ns s.Phplang.Store.hits s.Phplang.Store.misses
+        s.Phplang.Store.stores
+        (if lookups > 0 then
+           float_of_int s.Phplang.Store.hits /. float_of_int lookups
+         else 0.)
+    )
+    (Phplang.Store.counters ());
+  bpf "\n    }\n  },\n";
+  (match e12 with
+  | None -> bpf "  \"e12\": null\n"
+  | Some (r : Evalkit.Incremental.report) ->
+      bpf "  \"e12\": {\n    \"files_2014\": %d,\n" r.Evalkit.Incremental.ir_files_2014;
+      bpf "    \"cold_total_s\": %.6f,\n    \"warm_total_s\": %.6f,\n"
+        r.Evalkit.Incremental.ir_cold_total r.Evalkit.Incremental.ir_warm_total;
+      bpf "    \"tools\": {";
+      List.iteri
+        (fun i (p : Evalkit.Incremental.tool_point) ->
+          bpf
+            "%s\n      \"%s\": {\"cold_s\": %.6f, \"warm_s\": %.6f, \
+             \"warm_replays\": %d, \"reused_from_2012\": %d}"
+            (if i = 0 then "" else ",")
+            p.Evalkit.Incremental.ip_tool p.Evalkit.Incremental.ip_cold_s
+            p.Evalkit.Incremental.ip_warm_s p.Evalkit.Incremental.ip_warm_hits
+            p.Evalkit.Incremental.ip_reused)
+        r.Evalkit.Incremental.ir_points;
+      bpf "\n    }\n  }\n");
+  bpf "}\n";
+  Obs.write_file path (Buffer.contents b);
+  Format.eprintf "bench results written to %s@." path
+
 let () =
   Format.printf "phpSAFE reproduction — full evaluation + benchmarks@.";
   Evalkit.Tables.full_report ~with_ablation:true Format.std_formatter ~ev2012
@@ -206,14 +279,17 @@ let () =
   Format.printf
     "@.== TABLE III (paper protocol): wall time, average of %d runs ==@."
     timed_runs;
-  List.iter
-    (fun (tool : Secflow.Tool.t) ->
-      let t12 = detection_time tool corpus12 in
-      let t14 = detection_time tool corpus14 in
-      Format.printf "%-8s  V.2012: %6.2f s   V.2014: %6.2f s@."
-        tool.Secflow.Tool.name t12 t14)
-    tools;
-  sequential_vs_parallel ();
+  let table3 =
+    List.map
+      (fun (tool : Secflow.Tool.t) ->
+        let t12 = detection_time tool corpus12 in
+        let t14 = detection_time tool corpus14 in
+        Format.printf "%-8s  V.2012: %6.2f s   V.2014: %6.2f s@."
+          tool.Secflow.Tool.name t12 t14;
+        (tool.Secflow.Tool.name, t12, t14))
+      tools
+  in
+  let seq_par = sequential_vs_parallel () in
   Format.printf "@.== scheduler / parse-cache instrumentation ==@.";
   Format.printf "-- version 2012 --@.%a" Sched.pp_stats stats2012;
   Format.printf "-- version 2014 --@.%a" Sched.pp_stats stats2014;
@@ -223,6 +299,19 @@ let () =
   (* E11: context-sensitivity precision delta *)
   Evalkit.Context_delta.print Format.std_formatter
     (Evalkit.Context_delta.run ());
+  (* E12: incremental re-analysis against the persistent cache (runs in its
+     own temporary cache directories; skipped only under --no-cache) *)
+  let e12 =
+    if no_cache then None
+    else begin
+      let r = Evalkit.Incremental.measure ~corpus12 ~corpus14 () in
+      Evalkit.Incremental.print Format.std_formatter r;
+      Some r
+    end
+  in
+  Option.iter (fun path -> write_json path ~table3 ~seq_par ~e12) json_out;
+  if Phplang.Store.enabled () then
+    Format.eprintf "%a" Phplang.Store.pp_counters ();
   let tests =
     table1_test :: figure2_test :: table2_test :: inertia_test :: corpus_test
     :: table3_tests

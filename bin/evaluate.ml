@@ -63,8 +63,21 @@ let budget_from_argv () =
     include_files = get "--budget-include-files" d.Secflow.Budget.include_files;
   }
 
+(* Persistent cache root: [--cache-dir DIR] overrides [PHPSAFE_CACHE_DIR];
+   [--no-cache] disables the disk tier entirely.  The tables on stdout are
+   byte-identical with or without a cache — only wall time and the cache
+   counters on stderr change. *)
+let cache_setup () =
+  if Array.exists (String.equal "--no-cache") Sys.argv then
+    Phplang.Store.set_root None
+  else
+    match path_opt_from_argv "--cache-dir" with
+    | Some dir -> Phplang.Store.set_root (Some dir)
+    | None -> ()
+
 let () =
   Secflow.Budget.set (budget_from_argv ());
+  cache_setup ();
   let trace_out = path_opt_from_argv "--trace" in
   let metrics_out = path_opt_from_argv "--metrics" in
   if trace_out <> None || metrics_out <> None then Obs.set_enabled true;
@@ -92,6 +105,10 @@ let () =
   if Array.exists (String.equal "--contexts") Sys.argv then
     Evalkit.Context_delta.print Format.std_formatter
       (Evalkit.Context_delta.run ());
+  (* cache counters go to stderr: stdout must stay byte-identical whether
+     the run was cold, warm or uncached *)
+  if Phplang.Store.enabled () then
+    Format.eprintf "%a" Phplang.Store.pp_counters ();
   if Obs.enabled () then begin
     let snap = Obs.snapshot () in
     (match trace_out with

@@ -44,8 +44,12 @@ let kind_filter = function
   | other -> failwith ("unknown vulnerability kind: " ^ other)
 
 let run target kinds show_trace tool_name quiet html_out json_out config_path
-    show_stats trace_out metrics_out budget contexts =
+    show_stats trace_out metrics_out budget contexts cache_dir no_cache =
   Secflow.Budget.set budget;
+  (* persistent analysis cache: --cache-dir overrides PHPSAFE_CACHE_DIR,
+     --no-cache disables both; findings are identical either way *)
+  if no_cache then Phplang.Store.set_root None
+  else Option.iter (fun d -> Phplang.Store.set_root (Some d)) cache_dir;
   if trace_out <> None || metrics_out <> None then Obs.set_enabled true;
   let project = project_of_target target in
   if show_stats then
@@ -150,6 +154,8 @@ let run target kinds show_trace tool_name quiet html_out json_out config_path
         Format.eprintf "metrics written to %s@." path
     | None -> ())
   end;
+  if Phplang.Store.enabled () then
+    Format.eprintf "%a" Phplang.Store.pp_counters ();
   (* CI-friendly exit status: 2 = some file could not be analyzed,
      1 = findings remain after the --kind filter, 0 = clean scan *)
   let any_failed =
@@ -219,6 +225,19 @@ let contexts =
   in
   Arg.(value & flag & info [ "contexts" ] ~doc)
 
+let cache_dir =
+  let doc =
+    "Keep a persistent content-addressed analysis cache (parse artifacts,
+     function summaries, per-file results) under $(docv); reused across
+     runs, shared between processes.  Defaults to $(b,PHPSAFE_CACHE_DIR)
+     when set.  Findings are byte-identical with or without it."
+  in
+  Arg.(value & opt (some string) None & info [ "cache-dir" ] ~docv:"DIR" ~doc)
+
+let no_cache =
+  let doc = "Ignore $(b,PHPSAFE_CACHE_DIR) and run without the disk cache." in
+  Arg.(value & flag & info [ "no-cache" ] ~doc)
+
 let config_path =
   let doc =
     "Extend the phpSAFE configuration with a spec file (see      Phpsafe.Config_spec); only meaningful with --tool phpsafe."
@@ -282,6 +301,6 @@ let cmd =
     Term.(
       const run $ target $ kinds $ trace $ tool $ quiet $ html_out $ json_out
       $ config_path $ show_stats $ trace_out $ metrics_out $ budget
-      $ contexts)
+      $ contexts $ cache_dir $ no_cache)
 
 let () = exit (Cmd.eval' cmd)

@@ -1,21 +1,32 @@
 (** Assembles one synthetic plugin (one version) from its planned pattern
     instances: groups instances into files by placement, pads every file
     with benign filler to its LOC quota, prints the ASTs to PHP source, and
-    resolves the ground-truth sink lines via the markers. *)
+    resolves the ground-truth sink lines via the markers.
+
+    Cross-version file identity: instances that persist from 2012 into 2014
+    are chunked into their own files (sorted by id), ahead of the
+    version-specific ones, and those files are padded to the {e 2012}
+    quota with filler drawn from a per-file RNG seeded by (plugin, path).
+    A carried file therefore prints byte-identically in both corpus
+    versions, so the content-addressed analysis cache reuses its 2012
+    results when analyzing 2014. *)
 
 module A = Phplang.Ast
 
 type pending_file = {
   pf_path : string;
   pf_kind : [ `Clean | `Oop | `Deep | `Chain | `Defaults | `Main | `Extra ];
+  pf_carried : bool;
+      (** identical content in both corpus versions: padded to the 2012
+          quota *)
   mutable pf_stmts : A.stmt list;  (** reversed chunks *)
   mutable pf_seeds : (Plan.inst * Gt.label) list;
   mutable pf_approx_lines : int;
 }
 
-let new_file path kind =
-  { pf_path = path; pf_kind = kind; pf_stmts = []; pf_seeds = [];
-    pf_approx_lines = 0 }
+let new_file ~carried path kind =
+  { pf_path = path; pf_kind = kind; pf_carried = carried; pf_stmts = [];
+    pf_seeds = []; pf_approx_lines = 0 }
 
 let add_stmts pf stmts ~lines =
   pf.pf_stmts <- List.rev_append stmts pf.pf_stmts;
@@ -23,8 +34,11 @@ let add_stmts pf stmts ~lines =
 
 let defaults_path = "includes/defaults.php"
 
+let defaults_extra_path = "includes/defaults-extra.php"
+
 (** Instantiate a pattern; returns the piece. *)
-let build_piece ~(inst : Plan.inst) ~rng : Pattern.piece =
+let build_piece ?(defaults_file = defaults_path) ~(inst : Plan.inst) ~rng () :
+    Pattern.piece =
   let id = inst.Plan.in_id in
   match inst.Plan.in_pattern with
   | Plan.P_direct -> Pattern.direct_echo ~id ~rng ~vector:inst.Plan.in_vector
@@ -43,7 +57,7 @@ let build_piece ~(inst : Plan.inst) ~rng : Pattern.piece =
   | Plan.T_guard -> Pattern.guard_trap ~id ~rng
   | Plan.T_wp_san -> Pattern.wp_san_trap ~id ~rng
   | Plan.T_revert -> Pattern.revert_trap ~id ~rng
-  | Plan.T_uninit -> Pattern.uninit_trap ~id ~rng ~defaults_file:defaults_path
+  | Plan.T_uninit -> Pattern.uninit_trap ~id ~rng ~defaults_file
   | Plan.T_prepare_ok -> Pattern.prepare_ok_trap ~id ~rng
   | Plan.T_sqli_guard_wpdb -> Pattern.sqli_guard_wpdb_trap ~id ~rng
   | Plan.T_sqli_guard_proc -> Pattern.sqli_guard_proc_trap ~id ~rng
@@ -68,30 +82,54 @@ let chunk size xs =
     [max_include_depth] budget, so exactly the deep file fails. *)
 let chain_len = 7
 
+(** Instances per clean (resp. options, OOP) file. *)
+let clean_chunk = 7
+
+let uninit_chunk = 9
+
+let oop_chunk = 7
+
 type built = {
   project : Phplang.Project.t;
   seeds : Gt.seed list;
 }
 
-let build ~version ~plugin_name ~plugin_seed ~(instances : Plan.inst list)
-    ~extra_files ~file_quota : built =
-  let rng = Prng.create plugin_seed in
+let build ~version ~plugin_name ~(instances : Plan.inst list)
+    ~(carried : Plan.inst -> bool) ~extra_files ~carried_extra_files
+    ~chains_carried ~file_quota ~carried_file_quota : built =
   let files : pending_file list ref = ref [] in
   let push f =
     files := f :: !files;
     f
+  in
+  (* per-file determinism: names and filler depend only on (plugin, path),
+     never on how much of the corpus was generated before this file *)
+  let scope_tag path =
+    Printf.sprintf "%x" (Hashtbl.hash (plugin_name, path) land 0xFFFFFF)
+  in
+  let file_rng path salt =
+    Prng.create (Hashtbl.hash (plugin_name, path, salt))
   in
   let defaults_file = ref None in
   let get_defaults () =
     match !defaults_file with
     | Some f -> f
     | None ->
-        let f = push (new_file defaults_path `Defaults) in
+        let f = push (new_file ~carried:true defaults_path `Defaults) in
         defaults_file := Some f;
         f
   in
+  let defaults_extra_file = ref None in
+  let get_defaults_extra () =
+    match !defaults_extra_file with
+    | Some f -> f
+    | None ->
+        let f = push (new_file ~carried:false defaults_extra_path `Defaults) in
+        defaults_extra_file := Some f;
+        f
+  in
   (* --- main file --- *)
-  let main = push (new_file (plugin_name ^ ".php") `Main) in
+  let main = push (new_file ~carried:true (plugin_name ^ ".php") `Main) in
   (* --- group instances --- *)
   let clean_insts, oop_insts, deep_insts =
     List.fold_left
@@ -109,55 +147,145 @@ let build ~version ~plugin_name ~plugin_seed ~(instances : Plan.inst list)
   let uninit, clean_rest =
     List.partition (fun i -> i.Plan.in_pattern = Plan.T_uninit) clean_insts
   in
-  let place_instances pf insts =
+  (* persistent instances first, sorted by id: both corpus versions chunk
+     them identically, so the resulting files match across versions *)
+  let split insts =
+    let pers, fresh = List.partition carried insts in
+    ( List.sort
+        (fun (a : Plan.inst) b -> String.compare a.Plan.in_id b.Plan.in_id)
+        pers,
+      fresh )
+  in
+  let place_instances ?defaults_dest pf insts =
     List.iter
       (fun (i : Plan.inst) ->
         let irng = Prng.create (Hashtbl.hash (i.Plan.in_id, plugin_name)) in
-        let piece = build_piece ~inst:i ~rng:irng in
+        let defaults_file =
+          match defaults_dest with
+          | Some (path, _) -> path
+          | None -> defaults_path
+        in
+        let piece = build_piece ~defaults_file ~inst:i ~rng:irng () in
         add_stmts pf piece.Pattern.stmts ~lines:(4 * 1);
         (match piece.Pattern.defaults with
         | [] -> ()
-        | d -> add_stmts (get_defaults ()) d ~lines:(List.length d));
+        | d ->
+            let dest =
+              match defaults_dest with
+              | Some (_, get) -> get ()
+              | None -> get_defaults ()
+            in
+            add_stmts dest d ~lines:(List.length d));
         pf.pf_seeds <- (i, piece.Pattern.label) :: pf.pf_seeds)
       insts
   in
-  List.iteri
-    (fun k group ->
-      let pf = push (new_file (Printf.sprintf "admin/page%d.php" (k + 1)) `Clean) in
-      place_instances pf group)
-    (chunk 7 clean_rest);
+  let pers_clean, new_clean = split clean_rest in
+  let pers_clean_chunks = chunk clean_chunk pers_clean in
   List.iteri
     (fun k group ->
       let pf =
-        push (new_file (Printf.sprintf "admin/options%d.php" (k + 1)) `Clean)
+        push
+          (new_file ~carried:true
+             (Printf.sprintf "admin/page%d.php" (k + 1))
+             `Clean)
+      in
+      place_instances pf group)
+    pers_clean_chunks;
+  List.iteri
+    (fun k group ->
+      let pf =
+        push
+          (new_file ~carried:false
+             (Printf.sprintf "admin/page%d.php"
+                (List.length pers_clean_chunks + k + 1))
+             `Clean)
+      in
+      place_instances pf group)
+    (chunk clean_chunk new_clean);
+  let pers_uninit, new_uninit = split uninit in
+  let pers_uninit_chunks = chunk uninit_chunk pers_uninit in
+  List.iteri
+    (fun k group ->
+      let pf =
+        push
+          (new_file ~carried:true
+             (Printf.sprintf "admin/options%d.php" (k + 1))
+             `Clean)
       in
       ignore (get_defaults ());
       add_stmts pf [ Dsl.require_once defaults_path ] ~lines:1;
-      place_instances pf group)
-    (chunk 9 uninit);
+      place_instances ~defaults_dest:(defaults_path, get_defaults) pf group)
+    pers_uninit_chunks;
   List.iteri
     (fun k group ->
-      let pf = push (new_file (Printf.sprintf "inc/module%d.php" (k + 1)) `Oop) in
-      (* OOP marker: guarantees Pixy fails this file *)
-      let marker = Filler.oop_marker rng in
-      add_stmts pf marker.Filler.u_stmts ~lines:marker.Filler.u_lines;
+      let pf =
+        push
+          (new_file ~carried:false
+             (Printf.sprintf "admin/options%d.php"
+                (List.length pers_uninit_chunks + k + 1))
+             `Clean)
+      in
+      ignore (get_defaults_extra ());
+      add_stmts pf [ Dsl.require_once defaults_extra_path ] ~lines:1;
+      place_instances
+        ~defaults_dest:(defaults_extra_path, get_defaults_extra)
+        pf group)
+    (chunk uninit_chunk new_uninit);
+  let add_oop_marker pf =
+    (* OOP marker: guarantees Pixy fails this file *)
+    Filler.set_scope (scope_tag pf.pf_path);
+    let marker = Filler.oop_marker (file_rng pf.pf_path "marker") in
+    add_stmts pf marker.Filler.u_stmts ~lines:marker.Filler.u_lines
+  in
+  let pers_oop, new_oop = split oop_insts in
+  let pers_oop_chunks = chunk oop_chunk pers_oop in
+  List.iteri
+    (fun k group ->
+      let pf =
+        push
+          (new_file ~carried:true
+             (Printf.sprintf "inc/module%d.php" (k + 1))
+             `Oop)
+      in
+      add_oop_marker pf;
       place_instances pf group)
-    (chunk 7 oop_insts);
+    pers_oop_chunks;
+  List.iteri
+    (fun k group ->
+      let pf =
+        push
+          (new_file ~carried:false
+             (Printf.sprintf "inc/module%d.php"
+                (List.length pers_oop_chunks + k + 1))
+             `Oop)
+      in
+      add_oop_marker pf;
+      place_instances pf group)
+    (chunk oop_chunk new_oop);
   (match deep_insts with
   | [] -> ()
   | deep ->
-      let engine = push (new_file "core/engine.php" `Deep) in
-      let marker = Filler.oop_marker rng in
-      add_stmts engine marker.Filler.u_stmts ~lines:marker.Filler.u_lines;
+      let engine = push (new_file ~carried:false "core/engine.php" `Deep) in
+      add_oop_marker engine;
       add_stmts engine [ Dsl.inc "core/chain1.php" ] ~lines:1;
       place_instances engine deep;
       for k = 1 to chain_len do
-        let pf = push (new_file (Printf.sprintf "core/chain%d.php" k) `Chain) in
+        let pf =
+          push
+            (new_file ~carried:chains_carried
+               (Printf.sprintf "core/chain%d.php" k)
+               `Chain)
+        in
         if k < chain_len then
           add_stmts pf [ Dsl.inc (Printf.sprintf "core/chain%d.php" (k + 1)) ] ~lines:1
       done);
   for k = 1 to extra_files do
-    ignore (push (new_file (Printf.sprintf "lib/extra%d.php" k) `Extra))
+    ignore
+      (push
+         (new_file
+            ~carried:(k <= carried_extra_files)
+            (Printf.sprintf "lib/extra%d.php" k)
+            `Extra))
   done;
   ignore main;
   (* --- pad every file with filler to its quota --- *)
@@ -165,7 +293,10 @@ let build ~version ~plugin_name ~plugin_seed ~(instances : Plan.inst list)
   List.iter
     (fun pf ->
       let allow_oop = match pf.pf_kind with `Oop | `Deep -> true | _ -> false in
-      let want = max 0 (file_quota - pf.pf_approx_lines) in
+      let quota = if pf.pf_carried then carried_file_quota else file_quota in
+      let want = max 0 (quota - pf.pf_approx_lines) in
+      Filler.set_scope (scope_tag pf.pf_path);
+      let rng = file_rng pf.pf_path "fill" in
       let units = Filler.fill rng ~allow_oop ~lines:want in
       List.iter (fun u -> add_stmts pf u.Filler.u_stmts ~lines:u.Filler.u_lines) units)
     all_files;

@@ -1,18 +1,37 @@
 (** Assembles one synthetic plugin (one version) from its planned pattern
     instances: groups instances into files by placement, pads every file
     with benign filler to a LOC quota, prints the ASTs, and resolves the
-    ground-truth sink lines via the markers. *)
+    ground-truth sink lines via the markers.
+
+    Instances that persist across versions are chunked into their own
+    files, padded to the carried quota with per-file-seeded filler, so a
+    carried file prints byte-identically in both corpus versions. *)
 
 val defaults_path : string
-(** Path of the per-plugin defaults file the uninit traps include. *)
+(** Path of the per-plugin defaults file the persistent uninit traps
+    include. *)
+
+val defaults_extra_path : string
+(** Defaults file for the version-specific uninit traps — kept separate so
+    the carried defaults file stays identical across versions. *)
 
 val chain_len : int
 (** Length of the include chain behind a deep file — one more than
     phpSAFE's [max_include_depth] budget, so exactly the deep file fails. *)
 
-val build_piece : inst:Plan.inst -> rng:Prng.t -> Pattern.piece
+val clean_chunk : int
+(** Instances per clean file. *)
+
+val uninit_chunk : int
+(** Uninit traps per options file. *)
+
+val oop_chunk : int
+(** Instances per OOP file. *)
+
+val build_piece :
+  ?defaults_file:string -> inst:Plan.inst -> rng:Prng.t -> unit -> Pattern.piece
 (** Instantiate one pattern (exposed for the detectability-contract
-    tests). *)
+    tests).  [defaults_file] is the path named in uninit-trap labels. *)
 
 type built = {
   project : Phplang.Project.t;
@@ -22,10 +41,19 @@ type built = {
 val build :
   version:Plan.version ->
   plugin_name:string ->
-  plugin_seed:int ->
   instances:Plan.inst list ->
+  carried:(Plan.inst -> bool) ->
   extra_files:int ->
+  carried_extra_files:int ->
+  chains_carried:bool ->
   file_quota:int ->
+  carried_file_quota:int ->
   built
-(** Build the plugin.  Persistent instances generate identical code in both
-    versions because the per-instance RNG is seeded from (id, plugin). *)
+(** Build the plugin.  [carried] marks the instances that persist across
+    versions: they are chunked first (sorted by id) into files padded to
+    [carried_file_quota]; everything else fills version-specific files
+    padded to [file_quota].  The first [carried_extra_files] padding-only
+    extra files and (when [chains_carried]) the include-chain files also
+    use the carried quota.  Per-instance and per-file RNGs are seeded from
+    (id, plugin) and (plugin, path), so carried files print identically in
+    both corpus versions. *)

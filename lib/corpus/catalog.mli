@@ -16,9 +16,21 @@ type corpus = {
   seeds : Gt.seed list;  (** all plugins *)
 }
 
-val base_file_count : Plan.inst list -> int
+type plugin_layout = {
+  pl_files : int;  (** base files (before padding-only extras) *)
+  pl_carried : int;
+      (** base files identical in both corpus versions (extras counted
+          separately) *)
+}
+
+val plugin_layout :
+  carried:(Plan.inst -> bool) ->
+  chains_carried:bool ->
+  Plan.inst list ->
+  plugin_layout
 (** Mirror of the builder's file layout, used to size the padding that
-    brings the corpus to the paper's file counts. *)
+    brings the corpus to the paper's file counts and to apportion the LOC
+    quota between carried and version-specific files. *)
 
 val generate : ?scale:float -> Plan.version -> corpus
 (** Deterministic generation.  [scale] multiplies the corpus bulk (files

@@ -67,8 +67,9 @@ let generate () : Catalog.corpus =
            let name = plugin_names.(k) in
            let { Builder.project; seeds } =
              Builder.build ~version:Plan.V2014 ~plugin_name:name
-               ~plugin_seed:(9000 + k) ~instances:insts ~extra_files:0
-               ~file_quota
+               ~instances:insts ~carried:(fun _ -> false) ~extra_files:0
+               ~carried_extra_files:0 ~chains_carried:false ~file_quota
+               ~carried_file_quota:file_quota
            in
            { Catalog.po_name = name; po_project = project; po_seeds = seeds })
          per_plugin)

@@ -15,14 +15,37 @@ type unit_ = {
   u_has_oop : bool;  (** contains a class declaration *)
 }
 
-let counter = ref 0
+(* Fresh names are scoped per generated file: the builder calls
+   {!set_scope} with a tag derived from (plugin, path) before emitting a
+   file's units, and names embed that tag plus a per-scope counter.  This
+   keeps names unique across the whole plugin (distinct tags) while making
+   a file's content a function of the file alone — the same file generated
+   for the 2012 and the 2014 corpus prints byte-identically, which is what
+   lets the cross-version analysis cache reuse it. *)
+let scopes : (string, int ref) Hashtbl.t = Hashtbl.create 64
+
+let current = ref (ref 0, "g")
+
+let set_scope tag =
+  let c =
+    match Hashtbl.find_opt scopes tag with
+    | Some c -> c
+    | None ->
+        let c = ref 0 in
+        Hashtbl.add scopes tag c;
+        c
+  in
+  current := (c, tag)
 
 let fresh prefix =
-  incr counter;
-  Printf.sprintf "%s_%d" prefix !counter
+  let c, tag = !current in
+  incr c;
+  Printf.sprintf "%s_%s_%d" prefix tag !c
 
 (* reset between corpus builds for determinism *)
-let reset () = counter := 0
+let reset () =
+  Hashtbl.reset scopes;
+  current := (ref 0, "g")
 
 let words =
   [| "gallery"; "widget"; "feed"; "panel"; "layout"; "option"; "cache";

@@ -10,8 +10,14 @@ type unit_ = {
 }
 
 val reset : unit -> unit
-(** Reset the fresh-name counter; call once per corpus build for
+(** Reset the fresh-name scopes; call once per corpus build for
     determinism. *)
+
+val set_scope : string -> unit
+(** Scope subsequent fresh names under [tag] (a short string derived from
+    the plugin and file path).  Names embed the tag plus a per-scope
+    counter, so a file's content depends only on the file — not on how
+    many files were generated before it. *)
 
 val any : Prng.t -> allow_oop:bool -> unit_
 val fill : Prng.t -> allow_oop:bool -> lines:int -> unit_ list

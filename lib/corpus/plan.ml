@@ -291,6 +291,26 @@ let instances_2014 () : inst list =
 
 let instances = function V2012 -> instances_2012 () | V2014 -> instances_2014 ()
 
+module SS = Set.Make (String)
+
+(** Ids of the 2012 instances that persist into 2014.  The builder chunks
+    these into their own files (in both versions) so that a carried file's
+    content is identical across versions and the cross-version analysis
+    cache can reuse its results. *)
+let persistent_ids : unit -> SS.t =
+  let memo = ref None in
+  fun () ->
+    match !memo with
+    | Some s -> s
+    | None ->
+        let s =
+          List.fold_left
+            (fun acc i -> if i.in_persistent then SS.add i.in_id acc else acc)
+            SS.empty (instances_2014 ())
+        in
+        memo := Some s;
+        s
+
 (* -- corpus size targets (paper §V.E) -------------------------------- *)
 
 let target_files = function V2012 -> 266 | V2014 -> 356

@@ -1,0 +1,14 @@
+(** Content digests for the incremental-analysis cache — see digest.ml. *)
+
+val string : string -> string
+(** Raw 16-byte MD5 (same as [Stdlib.Digest.string]). *)
+
+val hex : string -> string
+(** Lowercase hex MD5 of a string — safe to use as a file name. *)
+
+val structural : 'a -> string
+(** Hex MD5 of the value's [Marshal] bytes.  The value must be
+    closure-free; structurally equal values digest equal. *)
+
+val combine : string list -> string
+(** Order-sensitive digest of a list of strings. *)

@@ -231,8 +231,29 @@ let parse_file ?(cache = Parse_cache.shared) (f : file) :
         Error (Syntax (Printf.sprintf "lexical error on line %d: %s" line msg))
     | exception Parser.Depth_exceeded (msg, _) -> Error (Over_budget msg)
   in
-  if not (Parse_cache.enabled ()) then parse ()
-  else Parse_cache.memo cache (f.path, Digest.string f.source) parse
+  (* Disk tier ({!Store}): the parse artifact depends on the path (recorded
+     in positions), the source bytes and the parser nesting fuel
+     ([--budget-parse-depth]); nothing else reaches the front end.  The
+     disk lookup sits inside the in-memory memo's miss path, so the
+     exactly-once-per-process guarantee is untouched — a disk hit simply
+     replaces the parse work by an unmarshal. *)
+  let parse_via_store () =
+    if not (Store.enabled ()) then parse ()
+    else begin
+      let key =
+        Digest.combine
+          [ f.path; Digest.hex f.source; string_of_int (Parser.nesting_limit ()) ]
+      in
+      match Store.get ~ns:"parse" ~key with
+      | Some v -> v
+      | None ->
+          let v = parse () in
+          Store.put ~ns:"parse" ~key v;
+          v
+    end
+  in
+  if not (Parse_cache.enabled ()) then parse_via_store ()
+  else Parse_cache.memo cache (f.path, Digest.string f.source) parse_via_store
 
 (** Result of {!include_closure} — see the .mli for field semantics. *)
 type closure = {

@@ -1,0 +1,202 @@
+(** Persistent content-addressed artifact store — the disk tier behind the
+    parse, summary and analysis-result caches.
+
+    Layout: [<root>/v<N>/<ns>/<k0k1>/<key>] where [key] is a hex digest and
+    [k0k1] its first two characters (fan-out).  Each entry is a small
+    framed file:
+
+    {v
+    phpsafe-store <format-version>
+    <hex digest of payload>
+    <payload: Marshal bytes>
+    v}
+
+    The frame makes reads safe: the payload is only unmarshalled after its
+    digest verifies, so truncated, corrupt or foreign files — and entries
+    written by an older format version, which live under a different
+    [v<N>] directory — degrade to a miss, never to an error or a segfault.
+    Writes go through a temp file in the destination directory and an
+    atomic [rename], so concurrent readers (other domains or processes)
+    only ever observe complete entries.
+
+    The store is process-global, like {!Secflow.Budget}: the drivers point
+    it at a directory once ([--cache-dir DIR], or the [PHPSAFE_CACHE_DIR]
+    environment variable) before analysis starts.  With no root configured
+    every operation is a no-op and the pipeline behaves exactly as an
+    uncached build. *)
+
+(** Bump when any marshalled artifact type (ASTs, summaries, findings) or
+    the frame format changes: old entries become invisible, not invalid. *)
+let format_version = 3
+
+let magic = "phpsafe-store"
+
+let env_root () =
+  match Sys.getenv_opt "PHPSAFE_CACHE_DIR" with
+  | None -> None
+  | Some s ->
+      let s = String.trim s in
+      if s = "" then None else Some s
+
+let root_ref : string option Atomic.t = Atomic.make (env_root ())
+
+let set_root r = Atomic.set root_ref r
+let root () = Atomic.get root_ref
+let enabled () = root () <> None
+
+(* ------------------------------------------------------------------ *)
+(* Hit / miss / store accounting, per namespace                        *)
+(* ------------------------------------------------------------------ *)
+
+type counter = { mutable hit : int; mutable miss : int; mutable store : int }
+
+let counters_lock = Mutex.create ()
+let counters_tbl : (string, counter) Hashtbl.t = Hashtbl.create 8
+
+let counter_for ns =
+  Mutex.lock counters_lock;
+  let c =
+    match Hashtbl.find_opt counters_tbl ns with
+    | Some c -> c
+    | None ->
+        let c = { hit = 0; miss = 0; store = 0 } in
+        Hashtbl.replace counters_tbl ns c;
+        c
+  in
+  Mutex.unlock counters_lock;
+  c
+
+let count ns what =
+  let c = counter_for ns in
+  Mutex.lock counters_lock;
+  (match what with
+  | `Hit -> c.hit <- c.hit + 1
+  | `Miss -> c.miss <- c.miss + 1
+  | `Store -> c.store <- c.store + 1);
+  Mutex.unlock counters_lock;
+  Obs.incr
+    (Printf.sprintf "cache.%s.%s" ns
+       (match what with `Hit -> "hit" | `Miss -> "miss" | `Store -> "store"))
+
+type stats = { ns : string; hits : int; misses : int; stores : int }
+
+let counters () =
+  Mutex.lock counters_lock;
+  let out =
+    Hashtbl.fold
+      (fun ns c acc ->
+        { ns; hits = c.hit; misses = c.miss; stores = c.store } :: acc)
+      counters_tbl []
+  in
+  Mutex.unlock counters_lock;
+  List.sort (fun a b -> String.compare a.ns b.ns) out
+
+let reset_counters () =
+  Mutex.lock counters_lock;
+  Hashtbl.reset counters_tbl;
+  Mutex.unlock counters_lock
+
+let pp_counters ppf () =
+  List.iter
+    (fun s ->
+      let looked_up = s.hits + s.misses in
+      Format.fprintf ppf
+        "cache %-8s %6d hit(s) / %6d miss(es) (%3.0f%% hit rate), %6d \
+         store(s)@."
+        s.ns s.hits s.misses
+        (if looked_up = 0 then 0.
+         else 100. *. float_of_int s.hits /. float_of_int looked_up)
+        s.stores)
+    (counters ())
+
+(* ------------------------------------------------------------------ *)
+(* Paths and I/O                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let mkdir_p dir =
+  let rec go d =
+    if d = "" || d = "." || d = "/" || Sys.file_exists d then ()
+    else begin
+      go (Filename.dirname d);
+      try Sys.mkdir d 0o755 with Sys_error _ -> ()
+    end
+  in
+  go dir
+
+(** [<root>/v<N>/<ns>/<k0k1>] and the entry path inside it.  Keys are hex
+    digests; anything shorter than two characters gets a flat directory. *)
+let entry_path ~root ~ns ~key =
+  let fan = if String.length key >= 2 then String.sub key 0 2 else "_" in
+  let dir =
+    List.fold_left Filename.concat root
+      [ Printf.sprintf "v%d" format_version; ns; fan ]
+  in
+  (dir, Filename.concat dir key)
+
+let read_all path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+(** Parse and verify the frame; [None] on any mismatch. *)
+let decode (content : string) : 'a option =
+  match String.index_opt content '\n' with
+  | None -> None
+  | Some nl1 -> (
+      let header = String.sub content 0 nl1 in
+      if header <> Printf.sprintf "%s %d" magic format_version then None
+      else
+        match String.index_from_opt content (nl1 + 1) '\n' with
+        | None -> None
+        | Some nl2 ->
+            let digest = String.sub content (nl1 + 1) (nl2 - nl1 - 1) in
+            let payload =
+              String.sub content (nl2 + 1) (String.length content - nl2 - 1)
+            in
+            if not (String.equal digest (Digest.hex payload)) then None
+            else
+              (* digest verified: the payload is byte-identical to what
+                 [put] marshalled, so unmarshalling it is safe *)
+              Some (Marshal.from_string payload 0))
+
+let get ~ns ~key : 'a option =
+  match root () with
+  | None -> None
+  | Some root -> (
+      let _, path = entry_path ~root ~ns ~key in
+      let data =
+        Obs.span "cache.io.read" @@ fun () ->
+        match read_all path with
+        | content -> decode content
+        | exception _ -> None
+      in
+      match data with
+      | Some v ->
+          count ns `Hit;
+          Some v
+      | None ->
+          count ns `Miss;
+          None)
+
+let put ~ns ~key (v : 'a) : unit =
+  match root () with
+  | None -> ()
+  | Some root -> (
+      try
+        Obs.span "cache.io.write" @@ fun () ->
+        let dir, path = entry_path ~root ~ns ~key in
+        mkdir_p dir;
+        let payload = Marshal.to_string v [] in
+        let tmp = Filename.temp_file ~temp_dir:dir ".wip" ".tmp" in
+        let oc = open_out_bin tmp in
+        Fun.protect
+          ~finally:(fun () -> close_out_noerr oc)
+          (fun () ->
+            Printf.fprintf oc "%s %d\n%s\n%s" magic format_version
+              (Digest.hex payload) payload);
+        Sys.rename tmp path;
+        count ns `Store
+      with _ ->
+        (* a full disk or unwritable root degrades to "not cached" *)
+        Obs.incr (Printf.sprintf "cache.%s.store_failed" ns))

@@ -1,0 +1,38 @@
+(** Persistent content-addressed artifact store — see store.ml for the
+    on-disk frame, layout and safety guarantees. *)
+
+val format_version : int
+(** Version stamp of the on-disk format; entries written under any other
+    version are invisible (a miss). *)
+
+val set_root : string option -> unit
+(** Point the store at a directory (created on demand), or disable it with
+    [None].  Call from the main domain before analysis starts. *)
+
+val root : unit -> string option
+
+val enabled : unit -> bool
+(** [true] when a root directory is configured.  The initial root comes
+    from [PHPSAFE_CACHE_DIR] when set and non-empty. *)
+
+val get : ns:string -> key:string -> 'a option
+(** Look up an entry.  [None] when the store is disabled, the entry is
+    absent, was written by another format version, or fails verification
+    (corrupt/truncated files are misses, never errors).  The caller must
+    only read back values under the same [ns]/[key] discipline used to
+    [put] them — the type is not checked beyond the digest frame. *)
+
+val put : ns:string -> key:string -> 'a -> unit
+(** Persist an entry (atomically: temp file + rename).  The value must be
+    closure-free.  I/O failures are swallowed; the entry is simply not
+    cached. *)
+
+type stats = { ns : string; hits : int; misses : int; stores : int }
+
+val counters : unit -> stats list
+(** Per-namespace hit/miss/store counts since start (or the last
+    {!reset_counters}), sorted by namespace. *)
+
+val reset_counters : unit -> unit
+
+val pp_counters : Format.formatter -> unit -> unit

@@ -71,6 +71,33 @@ type func_info = {
   fi_file : string;
 }
 
+(* ------------------------------------------------------------------ *)
+(* Incremental analysis cache (see DESIGN.md "Incremental analysis")  *)
+(* ------------------------------------------------------------------ *)
+
+(** Per-function metadata for the summary cache. *)
+type fmeta = {
+  fm_digest : string;  (** structural digest of the function body (incl. positions) *)
+  fm_callees : string list;  (** lowercase names of called user functions *)
+  fm_pure : bool;
+      (** body free of anything that couples it to state outside its
+          parameters and the configuration: no [global], no property or
+          static-property access, no method calls / [new] / static calls,
+          no closures, no includes.  Only pure functions (transitively)
+          have cacheable summaries. *)
+  mutable fm_key : string option option;
+      (** memoized summary-cache key; [Some None] = not cacheable *)
+}
+
+(** Per-run state of the incremental cache, present only when a
+    {!Phplang.Store} root is configured. *)
+type icache = {
+  ic_file_fp : string;  (** fingerprint for per-file result entries *)
+  ic_sum_fp : string;   (** fingerprint for summary entries *)
+  ic_meta : (string, fmeta) Hashtbl.t;  (** function key -> metadata *)
+  ic_cacheable : (string, bool) Hashtbl.t;  (** transitive purity memo *)
+}
+
 type ctx = {
   opts : options;
   project : Phplang.Project.t;
@@ -84,6 +111,10 @@ type ctx = {
   mutable reported : Report.Occurrence_set.t;
   mutable include_stack : S.t;  (** include cycle cut, per entry run *)
   mutable errors : int;
+  mutable sum_log : (string * Summary.t) list;
+      (** summaries in publication order — the incremental cache uses the
+          log to attribute nested summary work to the call that caused it *)
+  cache : icache option;
 }
 
 type frame = {
@@ -151,6 +182,255 @@ let check_sink a ~kind ~pos ~sink_name ~var (taint : Taint.t) =
               :: frame.fr_csinks)
           (Taint.deps kind taint)
     | None -> ()
+
+(* ------------------------------------------------------------------ *)
+(* Incremental cache: replay and keys                                 *)
+(* ------------------------------------------------------------------ *)
+
+(** Re-emit a cached finding through the same de-duplication gate as
+    {!report}, so replayed and live findings interleave exactly as in the
+    cold run that recorded them. *)
+let replay_finding (c : ctx) (f : Report.finding) =
+  let occ = Report.occurrence_of_finding f in
+  Obs.incr "phpsafe.findings.pre_dedup";
+  if not (Report.Occurrence_set.mem occ c.reported) then begin
+    Obs.incr "phpsafe.findings.post_dedup";
+    c.reported <- Report.Occurrence_set.add occ c.reported;
+    c.findings <- f :: c.findings
+  end
+
+(** Scan a function body for the summary cache: collect the names of
+    called user functions and decide purity (see {!fmeta.fm_pure}). *)
+let scan_func (fn : Phplang.Ast.func) : bool * string list =
+  let module A = Phplang.Ast in
+  let pure = ref true in
+  let callees = ref S.empty in
+  let impure () = pure := false in
+  let rec expr (e : A.expr) =
+    match e.A.e with
+    | A.Call (g, args) ->
+        callees := S.add (String.lowercase_ascii g) !callees;
+        List.iter expr args
+    | A.MethodCall (o, _, args) ->
+        impure ();
+        expr o;
+        List.iter expr args
+    | A.New (_, args) | A.StaticCall (_, _, args) ->
+        impure ();
+        List.iter expr args
+    | A.Prop (x, _) ->
+        impure ();
+        expr x
+    | A.StaticProp _ ->
+        impure ()
+    | A.Closure cl ->
+        impure ();
+        List.iter stmt cl.A.cl_body
+    | A.IncludeE (_, arg) ->
+        impure ();
+        expr arg
+    | A.Assign (l, r) | A.AssignRef (l, r) | A.OpAssign (_, l, r)
+    | A.Bin (_, l, r) ->
+        expr l;
+        expr r
+    | A.Un (_, x) | A.CastE (_, x) | A.EmptyE x | A.PrintE x -> expr x
+    | A.Ternary (cnd, t, e2) ->
+        expr cnd;
+        Option.iter expr t;
+        expr e2
+    | A.ArrayGet (a, i) ->
+        expr a;
+        Option.iter expr i
+    | A.ArrayLit items ->
+        List.iter
+          (fun (k, v) ->
+            Option.iter expr k;
+            expr v)
+          items
+    | A.Isset es -> List.iter expr es
+    | A.Exit e -> Option.iter expr e
+    | A.ListAssign (slots, rhs) ->
+        List.iter (Option.iter expr) slots;
+        expr rhs
+    | A.Interp parts ->
+        List.iter (function A.IExpr x -> expr x | A.ILit _ -> ()) parts
+    | A.Null | A.True | A.False | A.Int _ | A.Float _ | A.Str _ | A.Var _
+    | A.ClassConst _ | A.Const _ ->
+        ()
+  and stmt (s : A.stmt) =
+    match s.A.s with
+    | A.Expr e | A.Throw e -> expr e
+    | A.Echo es | A.Unset es -> List.iter expr es
+    | A.Global _ -> impure ()
+    | A.If (branches, els) ->
+        List.iter
+          (fun (c, b) ->
+            expr c;
+            List.iter stmt b)
+          branches;
+        Option.iter (List.iter stmt) els
+    | A.While (c, b) ->
+        expr c;
+        List.iter stmt b
+    | A.DoWhile (b, c) ->
+        List.iter stmt b;
+        expr c
+    | A.For (i, c, u, b) ->
+        List.iter expr i;
+        List.iter expr c;
+        List.iter expr u;
+        List.iter stmt b
+    | A.Foreach (subject, binding, b) ->
+        expr subject;
+        (match binding with
+        | A.ForeachValue v -> expr v
+        | A.ForeachKeyValue (k, v) ->
+            expr k;
+            expr v);
+        List.iter stmt b
+    | A.Switch (subject, cases) ->
+        expr subject;
+        List.iter
+          (fun (c : A.case) ->
+            Option.iter expr c.A.case_guard;
+            List.iter stmt c.A.case_body)
+          cases
+    | A.Return e -> Option.iter expr e
+    | A.StaticVar vars -> List.iter (fun (_, d) -> Option.iter expr d) vars
+    | A.Block b -> List.iter stmt b
+    | A.FuncDef f -> List.iter stmt f.A.f_body
+    | A.ClassDef _ -> impure ()
+    | A.TryCatch (b, catches) ->
+        List.iter stmt b;
+        List.iter (fun (c : A.catch) -> List.iter stmt c.A.catch_body) catches
+    | A.InlineHtml _ | A.Nop | A.Break | A.Continue -> ()
+  in
+  List.iter stmt fn.Phplang.Ast.f_body;
+  (!pure, S.elements !callees)
+
+(** Function metadata, computed on first demand (warm runs that replay
+    every file never pay for the body scans). *)
+let meta ic (funcs : (string, func_info) Hashtbl.t) key : fmeta option =
+  match Hashtbl.find_opt ic.ic_meta key with
+  | Some m -> Some m
+  | None -> (
+      match Hashtbl.find_opt funcs key with
+      | None -> None
+      | Some fi ->
+          let pure, callees = scan_func fi.fi_func in
+          let m =
+            {
+              fm_digest = Phplang.Digest.structural fi.fi_func;
+              fm_callees = callees;
+              fm_pure = pure;
+              fm_key = None;
+            }
+          in
+          Hashtbl.replace ic.ic_meta key m;
+          Some m)
+
+(** Transitive purity: a summary is cacheable when its own body is pure
+    and every user function it (transitively) calls is too.  Recursion is
+    resolved coinductively — a cycle of pure bodies is cacheable. *)
+let rec cacheable ic funcs key =
+  match Hashtbl.find_opt ic.ic_cacheable key with
+  | Some b -> b
+  | None -> (
+      match meta ic funcs key with
+      | None -> true (* not a user function: behaviour fixed by the config *)
+      | Some m ->
+          if not m.fm_pure then begin
+            Hashtbl.replace ic.ic_cacheable key false;
+            false
+          end
+          else begin
+            (* coinductive assumption for the cycle *)
+            Hashtbl.replace ic.ic_cacheable key true;
+            let ok = List.for_all (cacheable ic funcs) m.fm_callees in
+            Hashtbl.replace ic.ic_cacheable key ok;
+            ok
+          end)
+
+(** Summary-cache key of [key]: covers the configuration slice, the body
+    digest and the body digests of every user function transitively
+    reachable from it — editing a callee invalidates exactly the callers
+    whose summaries could observe the edit.  [None] when not cacheable. *)
+let summary_key ic funcs key : string option =
+  match meta ic funcs key with
+  | None -> None
+  | Some m -> (
+      match m.fm_key with
+      | Some k -> k
+      | None ->
+          let k =
+            if not (cacheable ic funcs key) then None
+            else begin
+              (* transitive dependency set over the registry call graph *)
+              let seen = Hashtbl.create 8 in
+              let rec walk k =
+                if not (Hashtbl.mem seen k) then begin
+                  Hashtbl.add seen k ();
+                  match meta ic funcs k with
+                  | None -> ()
+                  | Some m -> List.iter walk m.fm_callees
+                end
+              in
+              List.iter walk m.fm_callees;
+              let deps =
+                Hashtbl.fold
+                  (fun k () acc ->
+                    if String.equal k key then acc
+                    else
+                      match Hashtbl.find_opt ic.ic_meta k with
+                      | Some dm -> (k ^ "=" ^ dm.fm_digest) :: acc
+                      | None -> acc)
+                  seen []
+                |> List.sort String.compare
+              in
+              Some
+                (Phplang.Digest.combine
+                   (("summary:" ^ ic.ic_sum_fp) :: (key ^ "=" ^ m.fm_digest)
+                   :: deps))
+            end
+          in
+          m.fm_key <- Some k;
+          k)
+
+(** What the summary cache persists: the summary, the findings emitted
+    while it was being built (a sink inside the body fed directly by a
+    superglobal reports immediately), and every summary published during
+    the analysis (nested callees), so a hit restores the exact state a
+    cold analysis would have left. *)
+type summary_entry = {
+  se_summary : Summary.t;
+  se_findings : Report.finding list;
+  se_published : (string * Summary.t) list;
+}
+
+(** One uncalled-entry-point record inside a per-file entry. *)
+type uncalled_rec = {
+  ur_findings : Report.finding list;
+  ur_crashed : string option;  (** exception text when the walk crashed *)
+}
+
+(** What the per-file result cache persists for one analyzable file: the
+    findings its entry walk emitted (post-dedup, in emission order), its
+    outcome after the walk, and — for the uncalled stage — which functions
+    defined in it ended up called (their effects are inside some file's
+    findings already) vs. analyzed as uncalled entry points. *)
+type file_entry = {
+  ue_findings : Report.finding list;
+  ue_outcome : Report.file_outcome;
+  ue_called : string list;
+  ue_uncalled : (string * uncalled_rec) list;
+}
+
+(** Cold-run bookkeeping for a file entry being recorded. *)
+type pending = {
+  mutable pd_findings : Report.finding list;
+  mutable pd_outcome : Report.file_outcome;
+  mutable pd_uncalled : (string * uncalled_rec) list;  (** reversed *)
+}
 
 (* ------------------------------------------------------------------ *)
 (* Context inference (--contexts, §VI future work)                    *)
@@ -614,7 +894,7 @@ and call_user_function a ~pos key arg_ts arg_exprs =
         | Some s -> Some s
         | None ->
             if Hashtbl.mem a.c.in_progress key then None (* recursion cut *)
-            else Some (analyze_function a.c fi)
+            else Some (obtain_summary a.c fi)
       in
       (match summary with
       | None -> Taint.untainted
@@ -680,6 +960,45 @@ and analyze_closure a (cl : Phplang.Ast.closure) =
   let sub = { a with env; frame = None } in
   List.iter (exec_stmt sub) cl.Phplang.Ast.cl_body
 
+(** {!analyze_function} behind the summary cache: a hit replays the
+    recorded findings and publishes the recorded summaries instead of
+    walking the body; a miss walks it and persists the delta.  Impure
+    functions (and cache-off runs) go straight to the walk. *)
+and obtain_summary (c : ctx) (fi : func_info) : Summary.t =
+  match c.cache with
+  | None -> analyze_function c fi
+  | Some ic -> (
+      match summary_key ic c.funcs fi.fi_key with
+      | None -> analyze_function c fi
+      | Some key -> (
+          match Phplang.Store.get ~ns:"summary" ~key with
+          | Some (e : summary_entry) ->
+              List.iter (replay_finding c) e.se_findings;
+              List.iter
+                (fun (k, s) ->
+                  if not (Hashtbl.mem c.summaries k) then begin
+                    Hashtbl.replace c.summaries k s;
+                    c.sum_log <- (k, s) :: c.sum_log
+                  end)
+                e.se_published;
+              e.se_summary
+          | None ->
+              let findings0 = List.length c.findings in
+              let log0 = List.length c.sum_log in
+              let s = analyze_function c fi in
+              let rec take k l =
+                if k <= 0 then []
+                else match l with [] -> [] | x :: tl -> x :: take (k - 1) tl
+              in
+              let delta l n = List.rev (take (List.length l - n) l) in
+              Phplang.Store.put ~ns:"summary" ~key
+                {
+                  se_summary = s;
+                  se_findings = delta c.findings findings0;
+                  se_published = delta c.sum_log log0;
+                };
+              s))
+
 and analyze_function (c : ctx) (fi : func_info) : Summary.t =
   Obs.incr "phpsafe.summaries.built";
   Hashtbl.replace c.in_progress fi.fi_key ();
@@ -697,6 +1016,7 @@ and analyze_function (c : ctx) (fi : func_info) : Summary.t =
   in
   Hashtbl.remove c.in_progress fi.fi_key;
   Hashtbl.replace c.summaries fi.fi_key summary;
+  c.sum_log <- (fi.fi_key, summary) :: c.sum_log;
   summary
 
 and exec_include a (arg : Phplang.Ast.expr) =
@@ -878,9 +1198,35 @@ let rec register_stmt ctx ~file (s : Phplang.Ast.stmt) =
 let analyze_project ?(opts = default_options) (project : Phplang.Project.t) :
     Report.result =
   (* stage 1 (§III.A): configuration — the run context carrying the sink/
-     source/sanitizer model *)
+     source/sanitizer model, plus the incremental-cache fingerprints when a
+     cache root is configured.  The file fingerprint covers the whole
+     option record (profile, [--contexts], guards, the modeling budget)
+     and the slice of the safety {!Budget} phpSAFE consults; the summary
+     fingerprint deliberately excludes the include caps — function bodies
+     with includes are never cached, so [--budget-include-*] must not
+     invalidate summaries. *)
   let ctx =
     Obs.span "phpsafe.config" @@ fun () ->
+    let cache =
+      if not (Cache.enabled ()) then None
+      else
+        let b = Budget.get () in
+        Some
+          {
+            ic_file_fp =
+              Phplang.Digest.structural
+                ( "phpSAFE-file",
+                  opts,
+                  ( b.Budget.parse_depth,
+                    b.Budget.include_depth,
+                    b.Budget.include_files ) );
+            ic_sum_fp =
+              Phplang.Digest.structural
+                ("phpSAFE-summary", opts, b.Budget.parse_depth);
+            ic_meta = Hashtbl.create 64;
+            ic_cacheable = Hashtbl.create 64;
+          }
+    in
     {
       opts;
       project;
@@ -894,10 +1240,15 @@ let analyze_project ?(opts = default_options) (project : Phplang.Project.t) :
       reported = Report.Occurrence_set.empty;
       include_stack = S.empty;
       errors = 0;
+      sum_log = [];
+      cache;
     }
   in
   let outcomes = ref [] in
   let unresolved = ref S.empty in
+  let closures : (string, Phplang.Project.closure) Hashtbl.t =
+    Hashtbl.create 64
+  in
   (* stage 2 (§III.B): model construction — parse everything, check the
      include budget, hoist the function/class registry *)
   let analyzable =
@@ -920,23 +1271,31 @@ let analyze_project ?(opts = default_options) (project : Phplang.Project.t) :
               (f.Phplang.Project.path, Report.fail reason) :: !outcomes)
       project.Phplang.Project.files;
     let parse_ok = List.rev !parse_ok in
-    (* memory budget: files whose include closure is too expensive fail; no
-       closure is built at all when include resolution is off *)
+    (* include closures: needed for the memory budget and for the result
+       cache's closure digests; walked once, used by both.  No closure is
+       built at all when include resolution is off. *)
+    if opts.resolve_includes && (opts.budget <> None || ctx.cache <> None)
+    then begin
+      let safety = Budget.get () in
+      List.iter
+        (fun path ->
+          let parse (f : Phplang.Project.file) =
+            Hashtbl.find_opt ctx.parsed f.Phplang.Project.path
+          in
+          Hashtbl.replace closures path
+            (Phplang.Project.include_closure
+               ~max_depth:safety.Budget.include_depth
+               ~max_files:safety.Budget.include_files ~parse project path))
+        parse_ok
+    end;
+    (* memory budget: files whose include closure is too expensive fail *)
     let failed_mem = Hashtbl.create 4 in
     (match (if opts.resolve_includes then opts.budget else None) with
     | None -> ()
     | Some budget ->
-        let safety = Budget.get () in
         List.iter
           (fun path ->
-            let parse (f : Phplang.Project.file) =
-              Hashtbl.find_opt ctx.parsed f.Phplang.Project.path
-            in
-            let closure =
-              Phplang.Project.include_closure
-                ~max_depth:safety.Budget.include_depth
-                ~max_files:safety.Budget.include_files ~parse project path
-            in
+            let closure = Hashtbl.find closures path in
             let closure_loc =
               List.fold_left
                 (fun acc p ->
@@ -981,13 +1340,13 @@ let analyze_project ?(opts = default_options) (project : Phplang.Project.t) :
   in
   (* crash barrier: an exception escaping the taint walk poisons only the
      file that triggered it, never the project run *)
-  let mark_file_crashed path exn =
+  let mark_file_crashed_msg path msg =
     ctx.errors <- ctx.errors + 1;
     Obs.incr "phpsafe.files.crashed";
     match List.assoc_opt path !outcomes with
     | Some (Report.Failed _) -> ()
     | Some Report.Analyzed | None ->
-        let outcome = Report.fail (Report.Crashed (Printexc.to_string exn)) in
+        let outcome = Report.fail (Report.Crashed msg) in
         if List.mem_assoc path !outcomes then
           outcomes :=
             List.map
@@ -995,17 +1354,95 @@ let analyze_project ?(opts = default_options) (project : Phplang.Project.t) :
               !outcomes
         else outcomes := (path, outcome) :: !outcomes
   in
+  let mark_file_crashed path exn =
+    mark_file_crashed_msg path (Printexc.to_string exn)
+  in
+  (* per-file result cache key: everything the entry walk can observe —
+     the fingerprint (configuration + budget slice), the file itself, and
+     the source digest of every file in its include closure (missing
+     closure members are part of the key by name, so creating one later
+     invalidates).  Calls are assumed to resolve within the closure, as in
+     the paper's per-file + includes model. *)
+  let unit_key ic path =
+    let closure_part =
+      if not opts.resolve_includes then [ "no-includes" ]
+      else
+        match Hashtbl.find_opt closures path with
+        | None -> [ "no-closure" ]
+        | Some cl ->
+            (if cl.Phplang.Project.cl_truncated then "truncated" else "full")
+            :: List.map
+                 (fun p ->
+                   match Phplang.Project.find project p with
+                   | Some f ->
+                       p ^ "=" ^ Phplang.Digest.hex f.Phplang.Project.source
+                   | None -> p ^ "=<missing>")
+                 cl.Phplang.Project.cl_paths
+    in
+    let source =
+      match Phplang.Project.find project path with
+      | Some f -> Phplang.Digest.hex f.Phplang.Project.source
+      | None -> "<missing>"
+    in
+    Phplang.Digest.combine
+      (("unit:" ^ ic.ic_file_fp) :: path :: source :: closure_part)
+  in
+  let ukeys : (string, string) Hashtbl.t = Hashtbl.create 64 in
+  let replayed : (string, file_entry) Hashtbl.t = Hashtbl.create 64 in
+  let pendings : (string, pending) Hashtbl.t = Hashtbl.create 64 in
+  let findings_delta n0 =
+    let rec take k l =
+      if k <= 0 then []
+      else match l with [] -> [] | x :: tl -> x :: take (k - 1) tl
+    in
+    List.rev (take (List.length ctx.findings - n0) ctx.findings)
+  in
   (* stage 3 (§III.C): inter-procedural analysis from each file's "main
-     function", then uncalled functions as entry points *)
+     function", then uncalled functions as entry points.  With a cache
+     root configured, each file either replays its recorded entry (same
+     findings, same outcome, no walk) or is walked live and recorded. *)
   Obs.span "phpsafe.analysis" (fun () ->
       List.iter
         (fun path ->
-          ctx.include_stack <- S.singleton path;
-          let env = Env.create_toplevel ctx.globals in
-          let a = { c = ctx; env; frame = None; file = path } in
-          match List.iter (exec_stmt a) (Hashtbl.find ctx.parsed path) with
-          | () -> outcomes := (path, Report.Analyzed) :: !outcomes
-          | exception exn -> mark_file_crashed path exn)
+          let entry =
+            match ctx.cache with
+            | None -> None
+            | Some ic ->
+                let key = unit_key ic path in
+                Hashtbl.replace ukeys path key;
+                (Cache.find ~key : file_entry option)
+          in
+          match entry with
+          | Some e ->
+              Obs.incr "cache.result.replayed.phpSAFE";
+              Hashtbl.replace replayed path e;
+              List.iter (replay_finding ctx) e.ue_findings;
+              (match e.ue_outcome with
+              | Report.Analyzed -> ()
+              | Report.Failed _ -> ctx.errors <- ctx.errors + 1);
+              outcomes := (path, e.ue_outcome) :: !outcomes
+          | None ->
+              let n0 =
+                if ctx.cache = None then 0 else List.length ctx.findings
+              in
+              ctx.include_stack <- S.singleton path;
+              let env = Env.create_toplevel ctx.globals in
+              let a = { c = ctx; env; frame = None; file = path } in
+              (match
+                 List.iter (exec_stmt a) (Hashtbl.find ctx.parsed path)
+               with
+              | () -> outcomes := (path, Report.Analyzed) :: !outcomes
+              | exception exn -> mark_file_crashed path exn);
+              if ctx.cache <> None then
+                Hashtbl.replace pendings path
+                  {
+                    pd_findings = findings_delta n0;
+                    pd_outcome =
+                      (match List.assoc_opt path !outcomes with
+                      | Some o -> o
+                      | None -> Report.Analyzed);
+                    pd_uncalled = [];
+                  })
         analyzable;
       if opts.analyze_uncalled then begin
         let uncalled =
@@ -1015,13 +1452,67 @@ let analyze_project ?(opts = default_options) (project : Phplang.Project.t) :
             ctx.funcs []
           |> List.sort (fun (k1, _) (k2, _) -> String.compare k1 k2)
         in
+        let analyze_live fkey fi =
+          let n0 = if ctx.cache = None then 0 else List.length ctx.findings in
+          let crashed =
+            match obtain_summary ctx fi with
+            | _ -> None
+            | exception exn ->
+                mark_file_crashed fi.fi_file exn;
+                Some (Printexc.to_string exn)
+          in
+          match Hashtbl.find_opt pendings fi.fi_file with
+          | Some pd ->
+              pd.pd_uncalled <-
+                (fkey, { ur_findings = findings_delta n0; ur_crashed = crashed })
+                :: pd.pd_uncalled
+          | None -> ()
+        in
         List.iter
-          (fun (_, fi) ->
-            match analyze_function ctx fi with
-            | _ -> ()
-            | exception exn -> mark_file_crashed fi.fi_file exn)
+          (fun (fkey, fi) ->
+            match Hashtbl.find_opt replayed fi.fi_file with
+            | Some e -> (
+                match List.assoc_opt fkey e.ue_uncalled with
+                | Some ur -> (
+                    List.iter (replay_finding ctx) ur.ur_findings;
+                    match ur.ur_crashed with
+                    | Some msg -> mark_file_crashed_msg fi.fi_file msg
+                    | None -> ())
+                | None ->
+                    (* recorded as called: its effects replay from the
+                       entries of the files that called it *)
+                    if not (List.mem fkey e.ue_called) then analyze_live fkey fi)
+            | None -> analyze_live fkey fi)
           uncalled
       end);
+  (* persist the entries recorded this run *)
+  (match ctx.cache with
+  | None -> ()
+  | Some _ ->
+      Hashtbl.iter
+        (fun path (pd : pending) ->
+          let ue_uncalled = List.rev pd.pd_uncalled in
+          let ue_called =
+            Hashtbl.fold
+              (fun fkey (fi : func_info) acc ->
+                if
+                  String.equal fi.fi_file path
+                  && Hashtbl.mem ctx.summaries fkey
+                  && not (List.mem_assoc fkey ue_uncalled)
+                then fkey :: acc
+                else acc)
+              ctx.funcs []
+            |> List.sort String.compare
+          in
+          Cache.store
+            ~key:(Hashtbl.find ukeys path)
+            {
+              ue_findings = pd.pd_findings;
+              ue_outcome = pd.pd_outcome;
+              ue_called;
+              ue_uncalled;
+            })
+        pendings);
   (* stage 4 (§III.D): results *)
   Obs.span "phpsafe.results" @@ fun () ->
   {

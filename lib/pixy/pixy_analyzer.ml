@@ -554,20 +554,19 @@ let analyze_file ~file source =
       Obs.incr "pixy.files.crashed";
       ([], Report.fail (Report.Crashed (Printexc.to_string exn)), 1)
 
+(* Per-file result-cache fingerprint: Pixy consults the parser nesting
+   fuel and the dataflow fixpoint pass cap; the include caps are
+   irrelevant (it never resolves includes), so [--budget-include-*]
+   leaves Pixy entries valid. *)
+let cache_fingerprint () =
+  let b = Budget.get () in
+  Phplang.Digest.combine
+    [ "Pixy";
+      string_of_int b.Budget.parse_depth;
+      string_of_int b.Budget.fixpoint_passes ]
+
 let analyze_project (project : Phplang.Project.t) : Report.result =
-  let findings = ref [] in
-  let outcomes = ref [] in
-  let errors = ref 0 in
-  List.iter
-    (fun (f : Phplang.Project.file) ->
-      let fs, outcome, errs =
-        analyze_file ~file:f.Phplang.Project.path f.Phplang.Project.source
-      in
-      errors := !errors + errs;
-      outcomes := (f.Phplang.Project.path, outcome) :: !outcomes;
-      findings := List.rev_append fs !findings)
-    project.Phplang.Project.files;
-  { Report.findings = List.rev !findings;
-    outcomes = List.rev !outcomes;
-    errors = !errors;
-    unresolved_includes = 0 }
+  Cache.file_loop ~tool:"Pixy" ~fingerprint:(cache_fingerprint ()) ~dedup:`None
+    ~analyze:(fun (f : Phplang.Project.file) ->
+      analyze_file ~file:f.Phplang.Project.path f.Phplang.Project.source)
+    project

@@ -578,30 +578,17 @@ let analyze_file ~file source =
       Obs.incr "rips.files.crashed";
       ([], Report.fail (Report.Crashed (Printexc.to_string exn)), 1)
 
+(* Per-file result-cache fingerprint: RIPS has no runtime configuration;
+   of the process-global {!Budget} it only (indirectly) consults the
+   parser nesting fuel.  The sink work budget is a compile-time constant,
+   covered by {!Phplang.Store.format_version}. *)
+let cache_fingerprint () =
+  Phplang.Digest.combine
+    [ name; string_of_int (Budget.get ()).Budget.parse_depth ]
+
 let analyze_project (project : Phplang.Project.t) : Report.result =
-  let findings = ref [] in
-  let outcomes = ref [] in
-  let errors = ref 0 in
-  let seen = ref Report.Key_set.empty in
-  List.iter
-    (fun (f : Phplang.Project.file) ->
-      let fs, outcome, errs =
-        analyze_file ~file:f.Phplang.Project.path f.Phplang.Project.source
-      in
-      errors := !errors + errs;
-      outcomes := (f.Phplang.Project.path, outcome) :: !outcomes;
-      List.iter
-        (fun finding ->
-          Obs.incr "rips.findings.pre_dedup";
-          let key = Report.key_of_finding finding in
-          if not (Report.Key_set.mem key !seen) then begin
-            Obs.incr "rips.findings.post_dedup";
-            seen := Report.Key_set.add key !seen;
-            findings := finding :: !findings
-          end)
-        fs)
-    project.Phplang.Project.files;
-  { Report.findings = List.rev !findings;
-    outcomes = List.rev !outcomes;
-    errors = !errors;
-    unresolved_includes = 0 }
+  Cache.file_loop ~tool:name ~fingerprint:(cache_fingerprint ())
+    ~dedup:(`By_key "rips.findings")
+    ~analyze:(fun (f : Phplang.Project.file) ->
+      analyze_file ~file:f.Phplang.Project.path f.Phplang.Project.source)
+    project

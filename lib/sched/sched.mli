@@ -26,6 +26,7 @@ val create : ?size:int -> unit -> pool
 val size : pool -> int
 
 val map_result :
+  ?chunk:int ->
   pool:pool ->
   ('a -> 'b) ->
   'a list ->
@@ -33,15 +34,23 @@ val map_result :
 (** [map_result ~pool f items] applies [f] to every item, using up to
     [size pool - 1] extra domains plus the calling domain, and returns the
     results in input order.  Work is distributed dynamically (an atomic
-    next-item counter), so stragglers don't idle the pool.
+    next-chunk counter), so stragglers don't idle the pool.
+
+    [chunk] sets how many consecutive items a worker claims per counter
+    increment (clamped to ≥ 1).  The default is automatic: 1 item while
+    there are fewer than 4 items per pool slot (small grids stay maximally
+    balanced), then [n / (4 × size)] so long lists of cheap items amortize
+    the contended counter while still leaving ~4 chunks per slot for load
+    balancing.  Chunking never affects results or their order — only which
+    worker computes what.
 
     Each item is isolated: an [f] that raises yields [Error (exn, bt)] for
     that item (with the backtrace captured at the raise site) while every
     other item still produces its result — one poisoned input cannot abort
     the whole fan-out.  Crashed items bump the [sched.items.crashed]
-    counter. *)
+    counter; each claimed chunk bumps [sched.chunks.claimed]. *)
 
-val map : pool:pool -> ('a -> 'b) -> 'a list -> 'b list
+val map : ?chunk:int -> pool:pool -> ('a -> 'b) -> 'a list -> 'b list
 (** Fail-fast wrapper over {!map_result}: returns the plain results in
     input order; if any [f] raised, re-raises the first exception in input
     order (with its original backtrace) after all domains have joined.

@@ -23,7 +23,10 @@ let detected_by ?(variant_salt = 0) pattern vector placement : string =
   let built =
     Corpus.Builder.build ~version:Corpus.Plan.V2012
       ~plugin_name:(Printf.sprintf "test-plugin-%d" variant_salt)
-      ~plugin_seed:7 ~instances:[ inst ] ~extra_files:0 ~file_quota:60
+      ~instances:[ inst ]
+      ~carried:(fun _ -> false)
+      ~extra_files:0 ~carried_extra_files:0 ~chains_carried:false
+      ~file_quota:60 ~carried_file_quota:60
   in
   let seed =
     match built.Corpus.Builder.seeds with

@@ -217,6 +217,46 @@ let line_cases =
             tokens
         in
         Alcotest.(check (option string)) "html content" (Some "html") html);
+    Alcotest.test_case "recurring lexemes are interned" `Quick (fun () ->
+        (* every repeat of an ident/keyword/variable/whitespace lexeme must
+           return the retained first occurrence: physical equality within a
+           file, and the lexer.intern.hits counter records each avoided
+           allocation *)
+        let src = "<?php echo $x; echo $x; echo $x;" in
+        Obs.set_enabled true;
+        Obs.reset ();
+        let tokens = Lexer.tokenize src in
+        let snap = Obs.snapshot () in
+        Obs.set_enabled false;
+        let hits =
+          match List.assoc_opt "lexer.intern.hits" snap.Obs.sn_counters with
+          | Some n -> n
+          | None -> 0
+        in
+        (* 2 extra "echo", 2 "$x", repeated single-space whitespace: >= 4 *)
+        Alcotest.(check bool) "intern hits recorded" true (hits >= 4);
+        let lexemes_of kind =
+          List.filter_map
+            (fun (t : Token.t) ->
+              if t.Token.kind = kind then Some t.Token.lexeme else None)
+            tokens
+        in
+        (match lexemes_of Token.T_ECHO with
+        | first :: rest ->
+            List.iter
+              (fun l ->
+                Alcotest.(check bool) "echo shares one allocation" true
+                  (l == first))
+              rest
+        | [] -> Alcotest.fail "no echo tokens");
+        match lexemes_of Token.T_VARIABLE with
+        | first :: rest ->
+            List.iter
+              (fun l ->
+                Alcotest.(check bool) "$x shares one allocation" true
+                  (l == first))
+              rest
+        | [] -> Alcotest.fail "no variable tokens");
   ]
 
 let () =

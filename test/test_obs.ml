@@ -244,15 +244,21 @@ let span_cases =
 (* Determinism across pool sizes                                      *)
 (* ------------------------------------------------------------------ *)
 
-(* Span names recorded under Sched.map depend on the pool size (worker
-   count) — everything else must merge identically. *)
+(* Spans and counters recorded under Sched.map depend on the pool size
+   (worker count, chunks claimed) — everything else must merge
+   identically. *)
+let is_sched name =
+  String.length name >= 6 && String.sub name 0 6 = "sched."
+
 let non_sched_spans (s : Obs.snapshot) =
   List.filter_map
     (fun a ->
-      if String.length a.Obs.sa_name >= 6 && String.sub a.Obs.sa_name 0 6 = "sched."
-      then None
+      if is_sched a.Obs.sa_name then None
       else Some (a.Obs.sa_name, a.Obs.sa_count))
     s.Obs.sn_spans
+
+let non_sched_counters (s : Obs.snapshot) =
+  List.filter (fun (name, _) -> not (is_sched name)) s.Obs.sn_counters
 
 let measured_evaluation ?pool version =
   Cache.clear Cache.shared;
@@ -270,8 +276,8 @@ let determinism_cases =
                 Corpus.Plan.V2012
             in
             Alcotest.(check (list (pair string int)))
-              "counters identical at any pool size" seq.Obs.sn_counters
-              par.Obs.sn_counters;
+              "counters identical at any pool size outside sched.*"
+              (non_sched_counters seq) (non_sched_counters par);
             Alcotest.(check (list (pair string int)))
               "span counts identical outside sched.*" (non_sched_spans seq)
               (non_sched_spans par);

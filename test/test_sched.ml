@@ -40,6 +40,32 @@ let map_cases =
         Alcotest.(check int) "size 0 clamps" 1 (Sched.size (Sched.create ~size:0 ()));
         Alcotest.(check bool) "default is >= 1" true
           (Sched.size (Sched.create ()) >= 1));
+    case "chunked dispatch preserves order at every chunk size" `Quick
+      (fun () ->
+        let pool = Sched.create ~size:4 () in
+        let items = List.init 103 Fun.id in
+        let expect = List.map (fun i -> i * 3) items in
+        List.iter
+          (fun chunk ->
+            Alcotest.(check (list int))
+              (Printf.sprintf "chunk=%d" chunk)
+              expect
+              (Sched.map ~chunk ~pool (fun i -> i * 3) items))
+          [ 1; 2; 7; 50; 103; 1000 ]);
+    case "chunked dispatch isolates crashes at their index" `Quick (fun () ->
+        let pool = Sched.create ~size:3 () in
+        let results =
+          Sched.map_result ~chunk:5 ~pool
+            (fun i -> if i = 13 then raise Exit else i)
+            (List.init 40 Fun.id)
+        in
+        List.iteri
+          (fun i r ->
+            match r with
+            | Ok v when i <> 13 -> Alcotest.(check int) "in order" i v
+            | Error (Exit, _) when i = 13 -> ()
+            | _ -> Alcotest.failf "unexpected result at %d" i)
+          results);
   ]
 
 (* Per-item crash isolation in [map_result]: a raising item yields [Error]
