@@ -218,7 +218,7 @@ let print_bench_results results =
 (* --json FILE: machine-readable results (schema phpsafe-bench/1)      *)
 (* ------------------------------------------------------------------ *)
 
-let write_json path ~table3 ~seq_par ~e12 =
+let write_json path ~table3 ~seq_par ~e13 ~e12 =
   let b = Buffer.create 4096 in
   let bpf fmt = Printf.bprintf b fmt in
   bpf "{\n  \"schema\": \"phpsafe-bench/1\",\n";
@@ -250,6 +250,18 @@ let write_json path ~table3 ~seq_par ~e12 =
     )
     (Phplang.Store.counters ());
   bpf "\n    }\n  },\n";
+  (let (t : Evalkit.Flow_delta.t) = e13 in
+   let variant key (m : Evalkit.Metrics.t) =
+     bpf "    \"%s\": {\"tp\": %d, \"fp\": %d, \"fn\": %d},\n" key
+       m.Evalkit.Metrics.tp m.Evalkit.Metrics.fp m.Evalkit.Metrics.fn
+   in
+   bpf "  \"e13\": {\n    \"reals\": %d,\n    \"foils\": %d,\n"
+     t.Evalkit.Flow_delta.fd_reals t.Evalkit.Flow_delta.fd_foils;
+   variant "flat" t.Evalkit.Flow_delta.fd_flat_metrics;
+   variant "flow" t.Evalkit.Flow_delta.fd_flow_metrics;
+   bpf "    \"new_tp\": %d,\n    \"removed_fp\": %d\n  },\n"
+     (List.length t.Evalkit.Flow_delta.fd_new_tp)
+     (List.length t.Evalkit.Flow_delta.fd_removed_fp));
   (match e12 with
   | None -> bpf "  \"e12\": null\n"
   | Some (r : Evalkit.Incremental.report) ->
@@ -299,6 +311,9 @@ let () =
   (* E11: context-sensitivity precision delta *)
   Evalkit.Context_delta.print Format.std_formatter
     (Evalkit.Context_delta.run ());
+  (* E13: flow-sensitivity precision delta *)
+  let e13 = Evalkit.Flow_delta.run () in
+  Evalkit.Flow_delta.print Format.std_formatter e13;
   (* E12: incremental re-analysis against the persistent cache (runs in its
      own temporary cache directories; skipped only under --no-cache) *)
   let e12 =
@@ -309,7 +324,7 @@ let () =
       Some r
     end
   in
-  Option.iter (fun path -> write_json path ~table3 ~seq_par ~e12) json_out;
+  Option.iter (fun path -> write_json path ~table3 ~seq_par ~e13 ~e12) json_out;
   if Phplang.Store.enabled () then
     Format.eprintf "%a" Phplang.Store.pp_counters ();
   let tests =

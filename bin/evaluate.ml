@@ -17,7 +17,9 @@
 
     [--contexts] appends experiment E11: the precision delta of phpSAFE's
     sink-context-sensitive sanitization pass over the dedicated context
-    suite.  Without the flag the output is unchanged. *)
+    suite.  [--flow] appends experiment E13: the precision delta of the
+    flow-sensitive body walk over the dedicated flow suite.  Without the
+    flags the output is unchanged. *)
 
 let jobs_from_argv () =
   let rec scan = function
@@ -105,6 +107,9 @@ let () =
   if Array.exists (String.equal "--contexts") Sys.argv then
     Evalkit.Context_delta.print Format.std_formatter
       (Evalkit.Context_delta.run ());
+  (* E13 mirrors E11: opt-in, sequential, --jobs-independent *)
+  if Array.exists (String.equal "--flow") Sys.argv then
+    Evalkit.Flow_delta.print Format.std_formatter (Evalkit.Flow_delta.run ());
   (* cache counters go to stderr: stdout must stay byte-identical whether
      the run was cold, warm or uncached *)
   if Phplang.Store.enabled () then

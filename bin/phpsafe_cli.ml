@@ -44,7 +44,7 @@ let kind_filter = function
   | other -> failwith ("unknown vulnerability kind: " ^ other)
 
 let run target kinds show_trace tool_name quiet html_out json_out config_path
-    show_stats trace_out metrics_out budget contexts cache_dir no_cache =
+    show_stats trace_out metrics_out budget contexts flow cache_dir no_cache =
   Secflow.Budget.set budget;
   (* persistent analysis cache: --cache-dir overrides PHPSAFE_CACHE_DIR,
      --no-cache disables both; findings are identical either way *)
@@ -73,7 +73,11 @@ let run target kinds show_trace tool_name quiet html_out json_out config_path
               in
               { Phpsafe.default_options with Phpsafe.config }
         in
-        let opts = { base with Phpsafe.infer_contexts = contexts } in
+        let opts =
+          { base with
+            Phpsafe.infer_contexts = contexts;
+            Phpsafe.flow_sensitive = flow }
+        in
         { Secflow.Tool.name = "phpSAFE";
           analyze_project = (fun p -> Phpsafe.analyze_project ~opts p) }
     | "rips" -> Rips.tool
@@ -225,6 +229,15 @@ let contexts =
   in
   Arg.(value & flag & info [ "contexts" ] ~doc)
 
+let flow =
+  let doc =
+    "Run body walks flow-sensitively over a control-flow graph: sanitization
+     applied on one branch of a conditional no longer suppresses findings on
+     the unsanitized branch, and loops re-generate taint assigned after a
+     sink; only meaningful with --tool phpsafe."
+  in
+  Arg.(value & flag & info [ "flow" ] ~doc)
+
 let cache_dir =
   let doc =
     "Keep a persistent content-addressed analysis cache (parse artifacts,
@@ -301,6 +314,6 @@ let cmd =
     Term.(
       const run $ target $ kinds $ trace $ tool $ quiet $ html_out $ json_out
       $ config_path $ show_stats $ trace_out $ metrics_out $ budget
-      $ contexts $ cache_dir $ no_cache)
+      $ contexts $ flow $ cache_dir $ no_cache)
 
 let () = exit (Cmd.eval' cmd)

@@ -67,6 +67,10 @@ let build_piece ?(defaults_file = defaults_path) ~(inst : Plan.inst) ~rng () :
   | Plan.P_ctx_sql_num -> Pattern.ctx_sql_numeric ~id ~rng ~vector:inst.Plan.in_vector
   | Plan.T_ctx_revert_body -> Pattern.ctx_revert_body_foil ~id ~rng
   | Plan.T_ctx_revert_attr -> Pattern.ctx_revert_attr_foil ~id ~rng
+  | Plan.P_flow_branch -> Pattern.flow_branch_echo ~id ~rng ~vector:inst.Plan.in_vector
+  | Plan.P_flow_loop -> Pattern.flow_loop_echo ~id ~rng ~vector:inst.Plan.in_vector
+  | Plan.P_flow_coalesce -> Pattern.flow_coalesce_echo ~id ~rng ~vector:inst.Plan.in_vector
+  | Plan.T_flow_exit -> Pattern.flow_exit_trap ~id ~rng
 
 let chunk size xs =
   let rec go acc cur n = function

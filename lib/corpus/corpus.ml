@@ -11,6 +11,7 @@ module Plan = Plan
 module Builder = Builder
 module Catalog = Catalog
 module Context_suite = Context_suite
+module Flow_suite = Flow_suite
 
 type version = Plan.version = V2012 | V2014
 

@@ -41,6 +41,7 @@ let neq a c = e (A.Bin (A.Neq, a, c))
 let not_ a = e (A.Un (A.Not, a))
 let incr_ a = e (A.Un (A.PostInc, a))
 let ternary c t f = e (A.Ternary (c, Some t, f))
+let coalesce a c = e (A.Bin (A.Coalesce, a, c))
 let isset xs = e (A.Isset xs)
 let exit_ = e (A.Exit None)
 let cast_int x = e (A.CastE (A.CastInt, x))

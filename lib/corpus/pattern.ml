@@ -464,3 +464,63 @@ let ctx_revert_attr_foil ~id ~rng:_ =
            (s (Printf.sprintf "<input class=\"%s\" value=\"" (mk id)))
            x (s "\">")) ]
     (trap Vuln.Xss "htmlspecialchars adequate for a quoted attribute")
+
+(* ------------------------------------------------------------------ *)
+(* Flow-sensitivity suite (experiment E13)                             *)
+(* ------------------------------------------------------------------ *)
+
+(** Branch-carried taint: the superglobal lands in [then], the [else]
+    overwrites the variable with a harmless value.  The flat walk (§III.C:
+    "conditions and loops do not change the data flow") executes both
+    bodies in order, so the clean overwrite wins and the sink looks safe —
+    only the flow join keeps the tainted branch alive. *)
+let flow_branch_echo ~id ~rng ~vector =
+  let src = source_of_vector rng vector in
+  let x = v ("$msg_" ^ id) in
+  let clean =
+    if Prng.bool rng then s "(none)" else call "htmlspecialchars" [ src ]
+  in
+  no_defaults
+    [ if_else (isset [ src ]) [ expr (assign x src) ] [ expr (assign x clean) ];
+      echo1 (concat3 (s (open_tag id "p")) x (s (close_tag "p"))) ]
+    (vuln Vuln.Xss vector)
+
+(** Loop-carried taint: the sink sits {e before} the tainted assignment in
+    the body, so only the back edge feeds taint to it; the flat single walk
+    reaches the sink while the variable is still clean. *)
+let flow_loop_echo ~id ~rng ~vector =
+  let src = source_of_vector rng vector in
+  let w = v ("$row_" ^ id) and n = v ("$i_" ^ id) in
+  no_defaults
+    [ expr (assign w (s "ready"));
+      expr (assign n (i 0));
+      while_ (lt n (i 3))
+        [ echo1 (concat3 (s (open_tag id "li")) w (s (close_tag "li")));
+          expr (assign w src);
+          expr (incr_ n) ] ]
+    (vuln Vuln.Xss vector)
+
+(** Straight-line [??] default: both the flat and the flow walk must keep
+    this one — it pins down that the null-coalescing operator carries taint
+    from its left operand through the calibrated printer path. *)
+let flow_coalesce_echo ~id ~rng ~vector =
+  let src = source_of_vector rng vector in
+  let x = v ("$view_" ^ id) in
+  no_defaults
+    [ expr (assign x (coalesce src (s "overview")));
+      echo1 (concat3 (s (open_tag id "b")) x (s (close_tag "b"))) ]
+    (vuln Vuln.Xss vector)
+
+(** Exiting-branch foil: the value is sanitized, a branch re-assigns it
+    tainted but leaves through [exit], so the sink only ever sees the
+    sanitized value at runtime.  The flat walk ignores the control flow,
+    keeps the tainted overwrite and flags the sink; in the CFG the exiting
+    branch never reaches the join, so the flow pass stays quiet. *)
+let flow_exit_trap ~id ~rng:_ =
+  let x = v ("$out_" ^ id) in
+  let raw = get ("fx" ^ id) in
+  no_defaults
+    [ expr (assign x (call "htmlspecialchars" [ raw ]));
+      if_ (call "headers_sent" []) [ expr (assign x raw); expr exit_ ];
+      echo1 (concat3 (s (open_tag id "div")) x (s (close_tag "div"))) ]
+    (trap Vuln.Xss "tainted overwrite only in an exiting branch")

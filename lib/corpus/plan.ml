@@ -57,6 +57,13 @@ type pkind =
   | P_ctx_sql_num  (** addslashes into a numeric SQL position *)
   | T_ctx_revert_body  (** stripslashes-after-htmlspecialchars foil, body *)
   | T_ctx_revert_attr  (** same foil into a quoted attribute *)
+  (* flow-sensitivity suite (experiment E13) — these kinds appear only in
+     Flow_suite, never in the calibrated 2012/2014 plans above *)
+  | P_flow_branch  (** tainted in one branch, overwritten clean in the other *)
+  | P_flow_loop    (** loop-carried taint reaching a sink on the back edge *)
+  | P_flow_coalesce  (** ??-defaulted superglobal echoed *)
+  | T_flow_exit    (** sanitized value, tainted re-assign only in an exiting
+                       branch *)
 
 let pkind_name = function
   | P_direct -> "direct-echo"
@@ -85,6 +92,10 @@ let pkind_name = function
   | P_ctx_sql_num -> "ctx-sql-numeric"
   | T_ctx_revert_body -> "trap-ctx-revert-body"
   | T_ctx_revert_attr -> "trap-ctx-revert-attr"
+  | P_flow_branch -> "flow-branch-taint"
+  | P_flow_loop -> "flow-loop-carried"
+  | P_flow_coalesce -> "flow-coalesce-default"
+  | T_flow_exit -> "trap-flow-exit-branch"
 
 type placement = Clean_file | Oop_file | Deep_file
 

@@ -1,11 +1,15 @@
-(** Control-flow graph of linked basic blocks (paper §II: the analysis
-    "performs intra- and inter-procedural analysis to create the respective
-    control flow graph, which consists of linked basic blocks and branches
-    according to conditional program flow").
+(** Tool-agnostic control-flow graph of linked basic blocks over
+    {!Phplang.Ast} (paper §II: the analysis "performs intra- and
+    inter-procedural analysis to create the respective control flow graph,
+    which consists of linked basic blocks and branches according to
+    conditional program flow").
 
     Statements are kept at AST granularity inside each block; branch and
     loop structure becomes explicit edges.  [break]/[continue]/[return]/
-    [exit] are wired to their targets. *)
+    [exit] are wired to their targets.
+
+    Grew out of Pixy's CFG; now shared by every analyzer that wants a
+    flow-sensitive pass (see {!Fixpoint}). *)
 
 module A = Phplang.Ast
 

@@ -1,7 +1,7 @@
-(** Control-flow graph of linked basic blocks (paper §II).  Statements stay
-    at AST granularity inside blocks; branch/loop structure becomes explicit
-    edges, with [break]/[continue]/[return]/[exit]/[throw] wired to their
-    targets. *)
+(** Tool-agnostic control-flow graph of linked basic blocks over
+    {!Phplang.Ast} (paper §II).  Statements stay at AST granularity inside
+    blocks; branch/loop structure becomes explicit edges, with
+    [break]/[continue]/[return]/[exit]/[throw] wired to their targets. *)
 
 type node = {
   id : int;

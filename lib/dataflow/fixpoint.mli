@@ -1,0 +1,26 @@
+(** Generic forward dataflow engine over {!Cfg}, parameterized by the
+    client's lattice and transfer function.  The iteration discipline is
+    exactly Pixy's pre-extraction solver, so clients that plug in the same
+    lattice reproduce its results byte for byte. *)
+
+type 'st config = {
+  init : 'st;  (** in-state of the entry node *)
+  bottom : 'st;  (** state of nodes with no computed predecessors *)
+  join : 'st -> 'st -> 'st;
+  equal : 'st -> 'st -> bool;  (** convergence test *)
+  transfer : 'st -> Phplang.Ast.stmt -> 'st;
+      (** may carry side effects; runs once per node visit, every pass, so
+          effectful clients must de-duplicate and keep their state
+          monotonically ascending *)
+  max_passes : int;  (** pass budget; exhaustion over-approximates *)
+}
+
+type 'st result = {
+  exit_state : 'st;  (** out-state of the CFG's exit node *)
+  out_states : 'st option array;
+      (** per-node out-states; [None] for nodes never reached *)
+  passes : int;
+  converged : bool;  (** [false] when [max_passes] ran out first *)
+}
+
+val solve : 'st config -> Cfg.t -> 'st result

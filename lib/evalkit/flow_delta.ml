@@ -1,0 +1,104 @@
+(** E13: precision/recall delta of the flow-sensitive body walk ([--flow],
+    DESIGN.md) over the dedicated flow suite ({!Corpus.Flow_suite}).
+
+    phpSAFE runs twice on the same suite — once with the paper's flat
+    sequential walk (§III.C: "conditions and loops do not change the data
+    flow"), once with [flow_sensitive] — and both runs are classified
+    against the suite's exact ground truth.  The delta splits into:
+
+    - {b new true positives}: branch- and loop-carried taint the flat
+      last-write-wins walk loses before the sink;
+    - {b removed false positives}: exiting-branch foils where the flat walk
+      keeps a tainted overwrite the CFG never joins back.
+
+    Both runs are sequential ({!Runner.run_tool}), so the table is
+    byte-identical at any [--jobs] setting. *)
+
+type t = {
+  fd_reals : int;                        (** real seeds in the suite *)
+  fd_foils : int;                        (** FP-trap seeds in the suite *)
+  fd_flat : Matching.classified;
+  fd_flow : Matching.classified;
+  fd_flat_metrics : Metrics.t;
+  fd_flow_metrics : Metrics.t;
+  fd_new_tp : Corpus.Gt.seed list;       (** TP under flow, missed by flat *)
+  fd_removed_fp : Corpus.Gt.seed list;   (** FP under flat, clean under flow *)
+}
+
+let seed_mem (s : Corpus.Gt.seed) seeds =
+  List.exists
+    (fun (s' : Corpus.Gt.seed) ->
+      String.equal s.Corpus.Gt.seed_id s'.Corpus.Gt.seed_id)
+    seeds
+
+let by_id =
+  List.sort (fun (a : Corpus.Gt.seed) b ->
+      String.compare a.Corpus.Gt.seed_id b.Corpus.Gt.seed_id)
+
+let run () : t =
+  let suite = Corpus.Flow_suite.generate () in
+  let d = Phpsafe.default_options in
+  let run_variant name opts =
+    let tool : Secflow.Tool.t =
+      {
+        Secflow.Tool.name = name;
+        analyze_project = (fun p -> Phpsafe.analyze_project ~opts p);
+      }
+    in
+    let run = Runner.run_tool tool suite in
+    Matching.classify ~seeds:suite.Corpus.seeds run.Runner.tr_output
+  in
+  let cl_flat = run_variant "phpSAFE (flat)" d in
+  let cl_flow =
+    run_variant "phpSAFE (--flow)" { d with Phpsafe.flow_sensitive = true }
+  in
+  (* the suite's ground truth is exact, so recall is measured against all
+     real seeds rather than a detected union *)
+  let union = List.filter Corpus.Gt.is_real suite.Corpus.seeds in
+  {
+    fd_reals = List.length union;
+    fd_foils = List.length suite.Corpus.seeds - List.length union;
+    fd_flat = cl_flat;
+    fd_flow = cl_flow;
+    fd_flat_metrics = Matching.metrics_for ~union cl_flat;
+    fd_flow_metrics = Matching.metrics_for ~union cl_flow;
+    fd_new_tp =
+      by_id
+        (List.filter
+           (fun s -> not (seed_mem s cl_flat.Matching.cl_tp))
+           cl_flow.Matching.cl_tp);
+    fd_removed_fp =
+      by_id
+        (List.filter
+           (fun s -> not (seed_mem s cl_flow.Matching.cl_trap_fp))
+           cl_flat.Matching.cl_trap_fp);
+  }
+
+let pp_seed_ids ppf seeds =
+  Format.fprintf ppf "%s"
+    (String.concat ", "
+       (List.map
+          (fun (s : Corpus.Gt.seed) ->
+            Printf.sprintf "%s/%s" s.Corpus.Gt.seed_id s.Corpus.Gt.pattern)
+          seeds))
+
+let print ppf (t : t) =
+  Format.fprintf ppf
+    "@.== E13: flow-sensitive sanitization (--flow) precision delta ==@.";
+  Format.fprintf ppf
+    "flow suite: %d seeded sinks (%d real flow-carried flaws, %d \
+     exiting-branch foils)@."
+    (t.fd_reals + t.fd_foils) t.fd_reals t.fd_foils;
+  Format.fprintf ppf "%-22s %5s %5s %5s %6s %6s@." "variant" "TP" "FP" "FN"
+    "Prec" "Rec";
+  List.iter
+    (fun ((cl : Matching.classified), (m : Metrics.t)) ->
+      Format.fprintf ppf "%-22s %5d %5d %5d %6s %6s@." cl.Matching.cl_tool
+        m.Metrics.tp m.Metrics.fp m.Metrics.fn
+        (Metrics.pct (Metrics.precision m))
+        (Metrics.pct (Metrics.recall m)))
+    [ (t.fd_flat, t.fd_flat_metrics); (t.fd_flow, t.fd_flow_metrics) ];
+  Format.fprintf ppf "new true positives (flow-carried taint): %d [%a]@."
+    (List.length t.fd_new_tp) pp_seed_ids t.fd_new_tp;
+  Format.fprintf ppf "removed false positives (exiting branch): %d [%a]@."
+    (List.length t.fd_removed_fp) pp_seed_ids t.fd_removed_fp

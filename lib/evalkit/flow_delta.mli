@@ -1,0 +1,18 @@
+(** E13: precision/recall delta of the flow-sensitive body walk ([--flow])
+    over the dedicated {!Corpus.Flow_suite}.  Runs phpSAFE twice (flat vs
+    flow-sensitive) sequentially, so the printed table is byte-identical at
+    any [--jobs] setting. *)
+
+type t = {
+  fd_reals : int;                        (** real seeds in the suite *)
+  fd_foils : int;                        (** FP-trap seeds in the suite *)
+  fd_flat : Matching.classified;
+  fd_flow : Matching.classified;
+  fd_flat_metrics : Metrics.t;
+  fd_flow_metrics : Metrics.t;
+  fd_new_tp : Corpus.Gt.seed list;       (** TP under flow, missed by flat *)
+  fd_removed_fp : Corpus.Gt.seed list;   (** FP under flat, clean under flow *)
+}
+
+val run : unit -> t
+val print : Format.formatter -> t -> unit

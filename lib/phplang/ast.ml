@@ -14,6 +14,7 @@ type binop =
   | Eq | Neq | Identical | NotIdentical
   | Lt | Gt | Le | Ge
   | BoolAnd | BoolOr
+  | Coalesce  (** [??] — value-selecting, so taint flows from both sides *)
 
 type unop = Not | Neg | PreInc | PreDec | PostInc | PostDec | Silence
 

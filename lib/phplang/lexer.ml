@@ -277,7 +277,75 @@ let two_char_ops : (string * Token.kind) list =
     (">=", Token.T_IS_GREATER_OR_EQUAL); ("+=", Token.T_PLUS_EQUAL);
     ("-=", Token.T_MINUS_EQUAL); ("*=", Token.T_MUL_EQUAL);
     ("/=", Token.T_DIV_EQUAL); (".=", Token.T_CONCAT_EQUAL);
-    ("%=", Token.T_MOD_EQUAL); ("++", Token.T_INC); ("--", Token.T_DEC) ]
+    ("%=", Token.T_MOD_EQUAL); ("++", Token.T_INC); ("--", Token.T_DEC);
+    ("??", Token.T_COALESCE) ]
+
+(* Heredoc / nowdoc literals (PHP 5 closing rule: the label starts in
+   column 0, optionally followed by a single [;]).  [<<<EOT] and
+   [<<<"EOT"] interpolate (T_HEREDOC); [<<<'EOT'] does not (T_NOWDOC).
+   Unlike the quoted-string tokens, the lexeme is the {e raw body} with no
+   quote framing — the parser feeds it to its interpolation scanner (or
+   takes it verbatim for a nowdoc), so bodies containing quotes or
+   backslashes survive unharmed.  Bodies are not interned: each one is
+   unique, so interning would only grow the table. *)
+let lex_heredoc st =
+  let line = st.line in
+  let len = String.length st.src in
+  st.pos <- st.pos + 3;
+  while st.pos < len && (st.src.[st.pos] = ' ' || st.src.[st.pos] = '\t') do
+    st.pos <- st.pos + 1
+  done;
+  let quote =
+    match peek st 0 with
+    | Some (('\'' | '"') as q) ->
+        st.pos <- st.pos + 1;
+        Some q
+    | _ -> None
+  in
+  let label = take_while st is_ident_char in
+  if String.equal label "" then fail st "heredoc: missing label after <<<";
+  (match quote with
+  | Some q ->
+      if peek st 0 = Some q then st.pos <- st.pos + 1
+      else fail st "heredoc: unterminated label quote"
+  | None -> ());
+  if peek st 0 = Some '\r' then st.pos <- st.pos + 1;
+  (match peek st 0 with
+  | Some '\n' ->
+      st.line <- st.line + 1;
+      st.pos <- st.pos + 1
+  | _ -> fail st "heredoc: label must be followed by a newline");
+  let body_start = st.pos in
+  let n = String.length label in
+  (* find the line that starts with the closing label *)
+  let rec find_close i =
+    if i >= len then fail st "unterminated heredoc"
+    else if
+      i + n <= len
+      && String.sub st.src i n = label
+      && (i + n = len
+          ||
+          match st.src.[i + n] with ';' | '\n' | '\r' -> true | _ -> false)
+    then i
+    else
+      let rec eol j = if j < len && st.src.[j] <> '\n' then eol (j + 1) else j in
+      let j = eol i in
+      if j >= len then fail st "unterminated heredoc" else find_close (j + 1)
+  in
+  let close = find_close st.pos in
+  (* the newline that precedes the closing label belongs to the delimiter,
+     not the body *)
+  let body_end =
+    if close > body_start && st.src.[close - 1] = '\n' then
+      if close - 1 > body_start && st.src.[close - 2] = '\r' then close - 2
+      else close - 1
+    else close
+  in
+  let body = String.sub st.src body_start (body_end - body_start) in
+  st.line <- st.line + count_newlines (String.sub st.src body_start (close - body_start));
+  st.pos <- close + n;
+  let kind = if quote = Some '\'' then Token.T_NOWDOC else Token.T_HEREDOC in
+  Token.make kind body line
 
 let punct_chars = ";,(){}[]=+-*/%.<>!?:&@|^~$"
 
@@ -322,6 +390,7 @@ let lex_php_token st =
   else if is_digit c then lex_number st
   else if c = '\'' then lex_single_quoted st
   else if c = '"' then lex_double_quoted st
+  else if looking_at st "<<<" then lex_heredoc st
   else if c = '(' then begin
     match try_lex_cast st with
     | Some t -> t
@@ -363,6 +432,13 @@ let tokenize src =
         advance_over st (String.sub st.src st.pos 5);
         st.in_php <- true;
         loop (Token.make Token.T_OPEN_TAG "<?php" line :: acc)
+      end
+      else if looking_at st "<?=" then begin
+        (* short echo tag: open-tag + echo in one token *)
+        let line = st.line in
+        advance_over st "<?=";
+        st.in_php <- true;
+        loop (Token.make Token.T_OPEN_TAG_WITH_ECHO "<?=" line :: acc)
       end
       else if looking_at st "<?" then begin
         let line = st.line in

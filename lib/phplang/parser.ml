@@ -196,7 +196,7 @@ and parse_assignment st =
   | _ -> lhs
 
 and parse_ternary st =
-  let cond = parse_bool_or st in
+  let cond = parse_coalesce st in
   if check_punct st '?' then begin
     let t = advance st in
     if skip_punct_if st ':' then
@@ -209,6 +209,16 @@ and parse_ternary st =
       Ast.mk_e ~pos:(pos_of st t) (Ast.Ternary (cond, Some thn, els))
   end
   else cond
+
+(* ?? — between the ternary and ||, right-associative as in PHP *)
+and parse_coalesce st =
+  let lhs = parse_bool_or st in
+  if check st Token.T_COALESCE then begin
+    let t = advance st in
+    let rhs = parse_coalesce st in
+    Ast.mk_e ~pos:(pos_of st t) (Ast.Bin (Ast.Coalesce, lhs, rhs))
+  end
+  else lhs
 
 and parse_bool_or st =
   let lhs = parse_bool_and st in
@@ -449,6 +459,14 @@ and parse_primary st =
   | Token.T_ENCAPSED_STRING ->
       ignore (advance st);
       parse_interp st t
+  | Token.T_NOWDOC ->
+      (* <<<'EOT': no interpolation, the raw body is the literal *)
+      ignore (advance st);
+      Ast.mk_e ~pos (Ast.Str t.Token.lexeme)
+  | Token.T_HEREDOC ->
+      (* <<<EOT: interpolates exactly like a double-quoted body *)
+      ignore (advance st);
+      parse_interp_body st ~pos t.Token.lexeme
   | Token.T_NULL ->
       ignore (advance st);
       Ast.mk_e ~pos Ast.Null
@@ -587,6 +605,11 @@ and parse_array_items st opener closer =
 and parse_interp st (tok : Token.t) : Ast.expr =
   let pos = pos_of st tok in
   let body = String.sub tok.Token.lexeme 1 (String.length tok.Token.lexeme - 2) in
+  parse_interp_body st ~pos body
+
+(* Shared by double-quoted strings (quotes already stripped) and heredoc
+   bodies (raw, never quote-framed). *)
+and parse_interp_body st ~pos body : Ast.expr =
   let n = String.length body in
   let parts = ref [] in
   let lit = Buffer.create 16 in
@@ -749,7 +772,8 @@ and parse_stmt_body st : Ast.stmt =
       ignore (advance st);
       mk Ast.Nop
   | Token.Punct when t.Token.lexeme = "{" -> mk (Ast.Block (parse_braced_block st))
-  | Token.T_ECHO ->
+  | Token.T_ECHO | Token.T_OPEN_TAG_WITH_ECHO ->
+      (* <?= is an open-tag + echo in one token *)
       ignore (advance st);
       let rec loop acc =
         let e = parse_expr st in

@@ -42,17 +42,19 @@ let float_literal f =
 (* Precedence levels, matching the parser's grammar. *)
 let lv_assign = 1
 let lv_ternary = 2
-let lv_bool_or = 3
-let lv_bool_and = 4
-let lv_equality = 5
-let lv_relational = 6
-let lv_additive = 7
-let lv_multiplicative = 8
-let lv_unary = 9
-let lv_postfix = 10
-let lv_primary = 11
+let lv_coalesce = 3
+let lv_bool_or = 4
+let lv_bool_and = 5
+let lv_equality = 6
+let lv_relational = 7
+let lv_additive = 8
+let lv_multiplicative = 9
+let lv_unary = 10
+let lv_postfix = 11
+let lv_primary = 12
 
 let binop_level = function
+  | Ast.Coalesce -> lv_coalesce
   | Ast.BoolOr -> lv_bool_or
   | Ast.BoolAnd -> lv_bool_and
   | Ast.Eq | Ast.Neq | Ast.Identical | Ast.NotIdentical -> lv_equality
@@ -77,6 +79,7 @@ let binop_sym = function
   | Ast.Ge -> ">="
   | Ast.BoolAnd -> "&&"
   | Ast.BoolOr -> "||"
+  | Ast.Coalesce -> "??"
 
 let cast_sym = function
   | Ast.CastInt -> "(int)"
@@ -218,6 +221,11 @@ and print_expr buf prec (e : Ast.expr) =
       Buffer.add_string buf (binop_sym op);
       Buffer.add_string buf "= ";
       print_expr buf lv_assign r
+  | Ast.Bin (Ast.Coalesce, l, r) ->
+      (* ?? is right-associative, so the left operand needs the parens *)
+      print_expr buf (lv_coalesce + 1) l;
+      Buffer.add_string buf " ?? ";
+      print_expr buf lv_coalesce r
   | Ast.Bin (op, l, r) ->
       let lv = binop_level op in
       print_expr buf lv l;
@@ -260,7 +268,7 @@ and print_expr buf prec (e : Ast.expr) =
           print_expr buf lv_postfix operand;
           Buffer.add_string buf "--")
   | Ast.Ternary (c, thn, els) ->
-      print_expr buf lv_bool_or c;
+      print_expr buf lv_coalesce c;
       (match thn with
       | Some thn ->
           Buffer.add_string buf " ? ";

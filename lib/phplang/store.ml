@@ -27,7 +27,9 @@
 
 (** Bump when any marshalled artifact type (ASTs, summaries, findings) or
     the frame format changes: old entries become invisible, not invalid. *)
-let format_version = 3
+(* v4: Ast.Coalesce extends the binop type, so marshalled ASTs (and the
+   summaries/findings derived from them) from v3 are incompatible. *)
+let format_version = 4
 
 let magic = "phpsafe-store"
 

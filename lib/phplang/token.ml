@@ -6,6 +6,7 @@
 
 type kind =
   | T_OPEN_TAG            (* <?php *)
+  | T_OPEN_TAG_WITH_ECHO  (* <?= *)
   | T_CLOSE_TAG           (* ?> *)
   | T_INLINE_HTML         (* raw HTML between tags *)
   | T_VARIABLE            (* $foo *)
@@ -14,6 +15,8 @@ type kind =
   | T_DNUMBER             (* float literal *)
   | T_CONSTANT_STRING     (* 'single quoted' (T_CONSTANT_ENCAPSED_STRING) *)
   | T_ENCAPSED_STRING     (* "double quoted with $interpolation" *)
+  | T_HEREDOC             (* <<<EOT body (raw, interpolated) *)
+  | T_NOWDOC              (* <<<'EOT' body (raw, no interpolation) *)
   | T_IF
   | T_ELSE
   | T_ELSEIF
@@ -79,6 +82,7 @@ type kind =
   | T_MOD_EQUAL           (* %= *)
   | T_INC                 (* ++ *)
   | T_DEC                 (* -- *)
+  | T_COALESCE            (* ?? *)
   | T_INT_CAST            (* (int) / (integer) *)
   | T_FLOAT_CAST          (* (float) / (double) *)
   | T_STRING_CAST         (* (string) *)
@@ -104,6 +108,7 @@ let make kind lexeme line = { kind; lexeme; line }
 (** [token_name] equivalent: the PHP-style identifier of a token kind. *)
 let name = function
   | T_OPEN_TAG -> "T_OPEN_TAG"
+  | T_OPEN_TAG_WITH_ECHO -> "T_OPEN_TAG_WITH_ECHO"
   | T_CLOSE_TAG -> "T_CLOSE_TAG"
   | T_INLINE_HTML -> "T_INLINE_HTML"
   | T_VARIABLE -> "T_VARIABLE"
@@ -112,6 +117,8 @@ let name = function
   | T_DNUMBER -> "T_DNUMBER"
   | T_CONSTANT_STRING -> "T_CONSTANT_ENCAPSED_STRING"
   | T_ENCAPSED_STRING -> "T_ENCAPSED_STRING"
+  | T_HEREDOC -> "T_HEREDOC"
+  | T_NOWDOC -> "T_NOWDOC"
   | T_IF -> "T_IF"
   | T_ELSE -> "T_ELSE"
   | T_ELSEIF -> "T_ELSEIF"
@@ -177,6 +184,7 @@ let name = function
   | T_MOD_EQUAL -> "T_MOD_EQUAL"
   | T_INC -> "T_INC"
   | T_DEC -> "T_DEC"
+  | T_COALESCE -> "T_COALESCE"
   | T_INT_CAST -> "T_INT_CAST"
   | T_FLOAT_CAST -> "T_DOUBLE_CAST"
   | T_STRING_CAST -> "T_STRING_CAST"

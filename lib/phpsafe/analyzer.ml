@@ -15,6 +15,7 @@
 
 open Secflow
 module S = Set.Make (String)
+module SMap = Map.Make (String)
 
 type budget = {
   max_include_depth : int;
@@ -50,6 +51,15 @@ type options = {
           then record their name instead of clearing the taint, and the
           verdict moves to the sink.  Off by default — the published
           phpSAFE is context-insensitive. *)
+  flow_sensitive : bool;
+      (** [--flow] extension: run every body walk (file entries, function
+          and closure bodies) over the shared {!Dataflow.Cfg} with a
+          fixpoint instead of one straight-line pass, so sanitization
+          applied on one branch of an [if] no longer suppresses findings on
+          the other branch, and loop back-edges re-generate taint assigned
+          after a sink.  Off by default — the published phpSAFE processes
+          conditionals and loops flow-insensitively (§III.C "Conditions and
+          loops do not change the data flow"). *)
 }
 
 let default_options =
@@ -58,7 +68,8 @@ let default_options =
     analyze_uncalled = true;
     resolve_includes = true;
     respect_guards = false;
-    infer_contexts = false }
+    infer_contexts = false;
+    flow_sensitive = false }
 
 (** Numeric/type guard functions whose failure developers use to abort the
     request; recognised only under [respect_guards]. *)
@@ -481,6 +492,29 @@ let rec name_of_expr (e : Phplang.Ast.expr) =
 let lc = String.lowercase_ascii
 let method_key cls m = lc cls ^ "::" ^ lc m
 
+(* Structural equality of conditional sinks; sanitizer sets need their own
+   equality (tree shapes differ for equal sets). *)
+let cond_sink_same (a : Summary.cond_sink) (b : Summary.cond_sink) =
+  a.Summary.cs_param = b.Summary.cs_param
+  && a.Summary.cs_kind = b.Summary.cs_kind
+  && String.equal a.Summary.cs_sink_name b.Summary.cs_sink_name
+  && a.Summary.cs_pos = b.Summary.cs_pos
+  && String.equal a.Summary.cs_var b.Summary.cs_var
+  && a.Summary.cs_context = b.Summary.cs_context
+  && Taint.San_set.equal a.Summary.cs_sans.Taint.applied_xss
+       b.Summary.cs_sans.Taint.applied_xss
+  && Taint.San_set.equal a.Summary.cs_sans.Taint.applied_sqli
+       b.Summary.cs_sans.Taint.applied_sqli
+  && Taint.San_set.equal a.Summary.cs_sans.Taint.undone
+       b.Summary.cs_sans.Taint.undone
+  && a.Summary.cs_sans.Taint.undone_all = b.Summary.cs_sans.Taint.undone_all
+
+let dedup_cond_sinks css =
+  List.fold_left
+    (fun acc cs -> if List.exists (cond_sink_same cs) acc then acc else cs :: acc)
+    [] css
+  |> List.rev
+
 (* walk the parent chain to find the class defining method [m] *)
 let rec resolve_method ctx cls m =
   match Hashtbl.find_opt ctx.classes (lc cls) with
@@ -581,6 +615,8 @@ let rec eval a (e : Phplang.Ast.expr) : Taint.t =
       let lt = eval a l and rt = eval a r in
       match op with
       | Phplang.Ast.Concat -> Taint.join lt rt
+      (* ?? selects one operand's value, so taint flows from both sides *)
+      | Phplang.Ast.Coalesce -> Taint.join lt rt
       | Phplang.Ast.Plus | Phplang.Ast.Minus | Phplang.Ast.Mul
       | Phplang.Ast.Div | Phplang.Ast.Mod ->
           Taint.untainted
@@ -958,7 +994,7 @@ and analyze_closure a (cl : Phplang.Ast.closure) =
     (fun (p : Phplang.Ast.param) -> Env.set env p.Phplang.Ast.p_name Taint.untainted)
     cl.Phplang.Ast.cl_params;
   let sub = { a with env; frame = None } in
-  List.iter (exec_stmt sub) cl.Phplang.Ast.cl_body
+  exec_body sub cl.Phplang.Ast.cl_body
 
 (** {!analyze_function} behind the summary cache: a hit replays the
     recorded findings and publishes the recorded summaries instead of
@@ -1010,10 +1046,14 @@ and analyze_function (c : ctx) (fi : func_info) : Summary.t =
     fi.fi_func.Phplang.Ast.f_params;
   let frame = { fr_ret = Taint.untainted; fr_csinks = [] } in
   let a = { c; env; frame = Some frame; file = fi.fi_file } in
-  List.iter (exec_stmt a) fi.fi_func.Phplang.Ast.f_body;
-  let summary =
-    { Summary.ret = frame.fr_ret; cond_sinks = List.rev frame.fr_csinks }
+  exec_body a fi.fi_func.Phplang.Ast.f_body;
+  let cond_sinks = List.rev frame.fr_csinks in
+  let cond_sinks =
+    (* flow mode replays the body once per fixpoint pass, registering the
+       same conditional sinks repeatedly; keep the first of each *)
+    if c.opts.flow_sensitive then dedup_cond_sinks cond_sinks else cond_sinks
   in
+  let summary = { Summary.ret = frame.fr_ret; cond_sinks } in
   Hashtbl.remove c.in_progress fi.fi_key;
   Hashtbl.replace c.summaries fi.fi_key summary;
   c.sum_log <- (fi.fi_key, summary) :: c.sum_log;
@@ -1022,14 +1062,70 @@ and analyze_function (c : ctx) (fi : func_info) : Summary.t =
 and exec_include a (arg : Phplang.Ast.expr) =
   match arg.Phplang.Ast.e with
   | _ when not a.c.opts.resolve_includes -> ignore (eval a arg)
-  | Phplang.Ast.Str path when not (S.mem path a.c.include_stack) -> (
+  | Phplang.Ast.Str path when not (S.mem path a.c.include_stack) ->
       a.c.include_stack <- S.add path a.c.include_stack;
-      match Hashtbl.find_opt a.c.parsed path with
+      (match Hashtbl.find_opt a.c.parsed path with
       | Some prog ->
           let sub = { a with file = path } in
           List.iter (exec_stmt sub) prog
-      | None -> () (* WordPress core file or missing: skip, like the tools *))
+      | None -> () (* WordPress core file or missing: skip, like the tools *));
+      (* flow mode re-executes the include on every fixpoint pass so its
+         effects stay part of the ascending state; flat mode keeps the
+         once-per-entry semantics (the stack doubles as the cycle cut
+         within one pass either way) *)
+      if a.c.opts.flow_sensitive then
+        a.c.include_stack <- S.remove path a.c.include_stack
   | _ -> ignore (eval a arg)
+
+(* Body roots (file entries, function and closure bodies) go through here:
+   one straight-line pass in the published phpSAFE, a CFG fixpoint under
+   [--flow]. *)
+and exec_body a (stmts : Phplang.Ast.stmt list) =
+  if a.c.opts.flow_sensitive then exec_body_flow a stmts
+  else List.iter (exec_stmt a) stmts
+
+(* Flow-sensitive walk: the abstract state is a snapshot of the scope's
+   local table (at top level, the shared global table), joined per variable
+   at CFG merge points, so a sanitizer applied on one branch is killed at
+   the join when the other branch kept the taint, and a loop back-edge
+   re-generates taint assigned after a sink.
+
+   The transfer function is the ordinary [exec_stmt] walk, replayed every
+   pass, so its side effects need the usual fixpoint discipline:
+   - findings de-duplicate through [report]'s occurrence set, and states
+     only ascend (taint bits grow, applied-sanitizer sets shrink), so a
+     finding emitted on an early pass is also justified by the final
+     states;
+   - conditional sinks accumulated in the frame are de-duplicated when the
+     summary is built ({!analyze_function});
+   - [fr_ret] joins monotonically across passes. *)
+and exec_body_flow a stmts =
+  let module F = Dataflow.Fixpoint in
+  let cfg = Dataflow.Cfg.build stmts in
+  let snapshot () = Hashtbl.fold SMap.add a.env.Env.locals SMap.empty in
+  let restore st =
+    Hashtbl.reset a.env.Env.locals;
+    SMap.iter (Hashtbl.replace a.env.Env.locals) st
+  in
+  let res =
+    F.solve
+      {
+        F.init = snapshot ();
+        bottom = SMap.empty;
+        join = SMap.union (fun _ x y -> Some (Taint.join x y));
+        equal = SMap.equal Taint.equal_modulo_trace;
+        transfer =
+          (fun st s ->
+            restore st;
+            exec_stmt a s;
+            snapshot ());
+        max_passes = (Budget.get ()).Budget.fixpoint_passes;
+      }
+      cfg
+  in
+  Obs.add "phpsafe.flow.passes" res.F.passes;
+  if not res.F.converged then Obs.incr "phpsafe.flow.exhausted";
+  restore res.F.exit_state
 
 and exec_stmt a (s : Phplang.Ast.stmt) =
   match s.Phplang.Ast.s with
@@ -1200,17 +1296,22 @@ let analyze_project ?(opts = default_options) (project : Phplang.Project.t) :
   (* stage 1 (§III.A): configuration — the run context carrying the sink/
      source/sanitizer model, plus the incremental-cache fingerprints when a
      cache root is configured.  The file fingerprint covers the whole
-     option record (profile, [--contexts], guards, the modeling budget)
-     and the slice of the safety {!Budget} phpSAFE consults; the summary
-     fingerprint deliberately excludes the include caps — function bodies
-     with includes are never cached, so [--budget-include-*] must not
-     invalidate summaries. *)
+     option record (profile, [--contexts], [--flow], guards, the modeling
+     budget) and the slice of the safety {!Budget} phpSAFE consults; the
+     summary fingerprint deliberately excludes the include caps — function
+     bodies with includes are never cached, so [--budget-include-*] must
+     not invalidate summaries.  The fixpoint-pass cap is consulted only by
+     the [--flow] walk (which also runs inside function bodies), so it
+     joins both fingerprints exactly when that mode is on. *)
   let ctx =
     Obs.span "phpsafe.config" @@ fun () ->
     let cache =
       if not (Cache.enabled ()) then None
       else
         let b = Budget.get () in
+        let flow_passes =
+          if opts.flow_sensitive then b.Budget.fixpoint_passes else 0
+        in
         Some
           {
             ic_file_fp =
@@ -1219,10 +1320,11 @@ let analyze_project ?(opts = default_options) (project : Phplang.Project.t) :
                   opts,
                   ( b.Budget.parse_depth,
                     b.Budget.include_depth,
-                    b.Budget.include_files ) );
+                    b.Budget.include_files ),
+                  flow_passes );
             ic_sum_fp =
               Phplang.Digest.structural
-                ("phpSAFE-summary", opts, b.Budget.parse_depth);
+                ("phpSAFE-summary", opts, b.Budget.parse_depth, flow_passes);
             ic_meta = Hashtbl.create 64;
             ic_cacheable = Hashtbl.create 64;
           }
@@ -1428,9 +1530,7 @@ let analyze_project ?(opts = default_options) (project : Phplang.Project.t) :
               ctx.include_stack <- S.singleton path;
               let env = Env.create_toplevel ctx.globals in
               let a = { c = ctx; env; frame = None; file = path } in
-              (match
-                 List.iter (exec_stmt a) (Hashtbl.find ctx.parsed path)
-               with
+              (match exec_body a (Hashtbl.find ctx.parsed path) with
               | () -> outcomes := (path, Report.Analyzed) :: !outcomes
               | exception exn -> mark_file_crashed path exn);
               if ctx.cache <> None then

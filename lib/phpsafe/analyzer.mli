@@ -26,6 +26,11 @@ type options = {
       (** future-work extension ([--contexts]): infer the output context of
           each sink occurrence and accept only sanitizers adequate for it;
           off by default — the published tool is context-insensitive *)
+  flow_sensitive : bool;
+      (** [--flow] extension: body walks run over the shared {!Dataflow.Cfg}
+          with a fixpoint, killing branch-local sanitization at joins and
+          re-generating taint around loop back-edges; off by default — the
+          published tool is flow-insensitive over conditionals and loops *)
 }
 
 val default_options : options

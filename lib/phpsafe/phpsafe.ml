@@ -21,6 +21,7 @@ type options = Analyzer.options = {
   resolve_includes : bool;
   respect_guards : bool;
   infer_contexts : bool;
+  flow_sensitive : bool;
 }
 
 let default_options = Analyzer.default_options

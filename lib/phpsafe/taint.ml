@@ -142,6 +142,22 @@ let join a b =
 
 let join_all = List.fold_left join untainted
 
+(** Structural equality ignoring the provenance fields ([source], [trace],
+    [trace_truncated]): they carry positions that may differ between join
+    orders without changing the verdict.  This is the convergence test of
+    the flow-sensitive fixpoint ([--flow]). *)
+let equal_modulo_trace a b =
+  a.xss = b.xss && a.sqli = b.sqli
+  && a.was_xss = b.was_xss && a.was_sqli = b.was_sqli
+  && Int_set.equal a.deps_xss b.deps_xss
+  && Int_set.equal a.deps_sqli b.deps_sqli
+  && Int_set.equal a.was_deps_xss b.was_deps_xss
+  && Int_set.equal a.was_deps_sqli b.was_deps_sqli
+  && San_set.equal a.sans.applied_xss b.sans.applied_xss
+  && San_set.equal a.sans.applied_sqli b.sans.applied_sqli
+  && San_set.equal a.sans.undone b.sans.undone
+  && a.sans.undone_all = b.sans.undone_all
+
 (** Neutralise [kind], remembering the pre-sanitization state. *)
 let sanitize kind t =
   match kind with

@@ -63,6 +63,10 @@ val join : t -> t -> t
 
 val join_all : t list -> t
 
+val equal_modulo_trace : t -> t -> bool
+(** Structural equality ignoring the provenance fields ([source], [trace],
+    [trace_truncated]) — the flow-sensitive fixpoint's convergence test. *)
+
 val sanitize : Vuln.kind -> t -> t
 (** Neutralise one kind, remembering the prior state for reverts. *)
 

@@ -2,7 +2,7 @@
 
 module Config = Pixy_config
 module Taint = Pixy_taint
-module Cfg = Cfg
+module Cfg = Dataflow.Cfg
 module Analyzer = Pixy_analyzer
 
 let analyze_project = Pixy_analyzer.analyze_project

@@ -20,6 +20,7 @@
 open Secflow
 module A = Phplang.Ast
 module T = Pixy_taint
+module Cfg = Dataflow.Cfg
 
 (* ------------------------------------------------------------------ *)
 (* OOP detection                                                      *)
@@ -216,7 +217,8 @@ let rec eval sc (st : T.state) (e : A.expr) : T.state * T.taint =
       let st, rt = eval sc st rhs in
       let t = match op with A.Concat -> T.join old rt | _ -> T.clean in
       (assign sc st lhs t, t)
-  | A.Bin (A.Concat, x, y) ->
+  (* ?? yields one operand's value, so both sides contribute taint *)
+  | A.Bin ((A.Concat | A.Coalesce), x, y) ->
       let st, tx = eval sc st x in
       let st, ty = eval sc st y in
       (st, T.join tx ty)
@@ -431,57 +433,31 @@ and exec_stmt sc (st : T.state) (s : A.stmt) : T.state =
   | _ -> st  (* structure handled by the CFG; declarations skipped *)
 
 (* ------------------------------------------------------------------ *)
-(* Worklist solver                                                    *)
+(* Worklist solver — Pixy's taint as a config of the shared engine    *)
 (* ------------------------------------------------------------------ *)
 
 and run_dataflow sc (stmts : A.stmt list) (init : T.state) : T.state =
   let cfg = Cfg.build stmts in
-  let n = Cfg.size cfg in
-  let in_states = Array.make n None in
-  let out_states = Array.make n None in
-  in_states.(cfg.Cfg.entry) <- Some init;
-  let order = Cfg.rpo cfg in
-  let changed = ref true in
-  let passes = ref 0 in
-  let max_passes = (Budget.get ()).Budget.fixpoint_passes in
-  while !changed && !passes < max_passes do
-    changed := false;
-    incr passes;
-    List.iter
-      (fun id ->
-        let node = Cfg.node cfg id in
-        let in_state =
-          let pred_outs =
-            List.filter_map (fun p -> out_states.(p)) node.Cfg.preds
-          in
-          match (in_states.(id), pred_outs) with
-          | Some init, outs when id = cfg.Cfg.entry ->
-              List.fold_left
-                (T.join_state ~global_scope:sc.global_scope)
-                init outs
-          | _, [] -> Option.value in_states.(id) ~default:T.empty_state
-          | _, o :: rest ->
-              List.fold_left (T.join_state ~global_scope:sc.global_scope) o rest
-        in
-        let out_state =
-          List.fold_left (exec_stmt sc) in_state node.Cfg.stmts
-        in
-        let prev = out_states.(id) in
-        (match prev with
-        | Some p when T.equal_state p out_state -> ()
-        | _ ->
-            out_states.(id) <- Some out_state;
-            changed := true))
-      order
-  done;
-  Obs.add "pixy.fixpoint.passes" !passes;
-  if !changed then begin
+  let res =
+    Dataflow.Fixpoint.solve
+      {
+        Dataflow.Fixpoint.init;
+        bottom = T.empty_state;
+        join = T.join_state ~global_scope:sc.global_scope;
+        equal = T.equal_state;
+        transfer = exec_stmt sc;
+        max_passes = (Budget.get ()).Budget.fixpoint_passes;
+      }
+      cfg
+  in
+  Obs.add "pixy.fixpoint.passes" res.Dataflow.Fixpoint.passes;
+  if not res.Dataflow.Fixpoint.converged then begin
     (* the pass budget ran out before a fixpoint: the last states stand as
        an over-approximation, and the file is flagged instead of looping *)
     sc.fx.over_budget <- true;
     Obs.incr "pixy.fixpoint.exhausted"
   end;
-  Option.value out_states.(cfg.Cfg.exit_) ~default:T.empty_state
+  res.Dataflow.Fixpoint.exit_state
 
 (* ------------------------------------------------------------------ *)
 (* Driver                                                             *)

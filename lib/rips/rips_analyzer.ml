@@ -328,7 +328,8 @@ let rec resolve st ~visited ~depth (scope : scope) (idx : int) (e : A.expr) :
         Rips_taint.join (resolve_here lhs) (resolve_here rhs)
     | A.OpAssign (_, _, _) -> Rips_taint.clean
     | A.ListAssign (_, rhs) -> resolve_here rhs
-    | A.Bin (A.Concat, x, y) -> Rips_taint.join (resolve_here x) (resolve_here y)
+    | A.Bin ((A.Concat | A.Coalesce), x, y) ->
+        Rips_taint.join (resolve_here x) (resolve_here y)
     | A.Bin (_, _, _) -> Rips_taint.clean
     | A.Un (A.Silence, x) -> resolve_here x
     | A.Un (_, _) -> Rips_taint.clean
@@ -474,7 +475,7 @@ and resolve_with_binding st ~visited ~depth ~binding callee j rexpr =
                 resolve st ~visited ~depth:(depth + 1) caller_scope caller_idx arg
             | None -> Rips_taint.clean)
         | None -> Rips_taint.clean)
-    | A.Bin (A.Concat, x, y) ->
+    | A.Bin ((A.Concat | A.Coalesce), x, y) ->
         Rips_taint.join (subst_resolve scope idx x) (subst_resolve scope idx y)
     | A.Interp parts ->
         Rips_taint.join_all

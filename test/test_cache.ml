@@ -177,6 +177,43 @@ let opts_cases =
         in
         Alcotest.(check int) "no context-free entry reused" 0 hits;
         Alcotest.(check bool) "analyzed afresh" true (misses > 0));
+    case "--flow toggle misses instead of reusing" `Quick (fun () ->
+        with_cache_dir @@ fun _dir ->
+        ignore (Phpsafe.analyze_project (p ()));
+        let flow =
+          { Phpsafe.default_options with Phpsafe.flow_sensitive = true }
+        in
+        let _, hits, misses =
+          result_delta (fun () -> Phpsafe.analyze_project ~opts:flow (p ()))
+        in
+        Alcotest.(check int) "no flat entry reused" 0 hits;
+        Alcotest.(check bool) "analyzed afresh" true (misses > 0);
+        let _, hits2, _ =
+          result_delta (fun () -> Phpsafe.analyze_project ~opts:flow (p ()))
+        in
+        Alcotest.(check bool) "same mode replays" true (hits2 > 0));
+    case "fixpoint cap joins phpSAFE's key only under --flow" `Quick
+      (fun () ->
+        (* the flow walk consults [fixpoint_passes], so bumping the cap
+           must invalidate flow-mode entries — while flat-mode entries
+           stay insensitive to it (asserted in the budget-slice case) *)
+        with_cache_dir @@ fun _dir ->
+        let d = Secflow.Budget.default in
+        Fun.protect ~finally:Secflow.Budget.reset @@ fun () ->
+        Secflow.Budget.set d;
+        let flow =
+          { Phpsafe.default_options with Phpsafe.flow_sensitive = true }
+        in
+        ignore (Phpsafe.analyze_project ~opts:flow (p ()));
+        Secflow.Budget.set
+          { d with
+            Secflow.Budget.fixpoint_passes = d.Secflow.Budget.fixpoint_passes + 1
+          };
+        let _, hits, misses =
+          result_delta (fun () -> Phpsafe.analyze_project ~opts:flow (p ()))
+        in
+        Alcotest.(check int) "flow entries invalidated" 0 hits;
+        Alcotest.(check bool) "analyzed afresh" true (misses > 0));
   ]
 
 (* --budget-* invalidation is per analyzer: only the tools whose key covers

@@ -1,0 +1,99 @@
+(** E13 ground-truth tests: the flow-sensitive body walk ([--flow]) must
+    both find the branch- and loop-carried taint the flat walk loses (new
+    TPs) and exonerate the exiting-branch foils the flat walk flags
+    (removed FPs) — the two halves of the precision delta claimed in
+    EXPERIMENTS.md E13. *)
+
+module Fd = Evalkit.Flow_delta
+module Gt = Corpus.Gt
+
+let case name f = Alcotest.test_case name `Quick f
+
+(* Running the suite is cheap (2 small plugins); compute it once. *)
+let delta = lazy (Fd.run ())
+
+let cases =
+  [
+    case "suite composition matches the generator" (fun () ->
+        let d = Lazy.force delta in
+        Alcotest.(check bool) "has reals" true (d.Fd.fd_reals > 0);
+        Alcotest.(check bool) "has foils" true (d.Fd.fd_foils > 0));
+    case "--flow finds the flow-carried TPs the flat walk misses" (fun () ->
+        let d = Lazy.force delta in
+        Alcotest.(check bool) "at least one new TP" true
+          (List.length d.Fd.fd_new_tp >= 1);
+        List.iter
+          (fun s ->
+            Alcotest.(check bool)
+              (s.Gt.seed_id ^ " is a real seed")
+              true (Gt.is_real s))
+          d.Fd.fd_new_tp);
+    case "--flow removes every exiting-branch foil FP" (fun () ->
+        let d = Lazy.force delta in
+        Alcotest.(check bool) "at least one removed FP" true
+          (List.length d.Fd.fd_removed_fp >= 1);
+        (* the acceptance bar: the flow walk removes every seeded foil the
+           flat walk flags, i.e. the flow run has zero trap FPs *)
+        Alcotest.(check int) "no trap FP left under --flow" 0
+          (List.length d.Fd.fd_flow.Evalkit.Matching.cl_trap_fp);
+        List.iter
+          (fun s ->
+            Alcotest.(check bool)
+              (s.Gt.seed_id ^ " is a foil")
+              false (Gt.is_real s))
+          d.Fd.fd_removed_fp);
+    case "--flow keeps every seeded TP (full recall, full precision)"
+      (fun () ->
+        let d = Lazy.force delta in
+        let module M = Evalkit.Metrics in
+        Alcotest.(check int) "all reals found" d.Fd.fd_reals
+          d.Fd.fd_flow_metrics.M.tp;
+        Alcotest.(check int) "no FN" 0 d.Fd.fd_flow_metrics.M.fn;
+        Alcotest.(check int) "no FP" 0 d.Fd.fd_flow_metrics.M.fp);
+    case "every new TP names a flow-carried pattern" (fun () ->
+        let d = Lazy.force delta in
+        List.iter
+          (fun s ->
+            Alcotest.(check bool)
+              (s.Gt.seed_id ^ "/" ^ s.Gt.pattern)
+              true
+              (List.mem s.Gt.pattern
+                 [ "flow-branch-taint"; "flow-loop-carried" ]))
+          d.Fd.fd_new_tp);
+    case "every removed FP names the exiting-branch foil" (fun () ->
+        let d = Lazy.force delta in
+        List.iter
+          (fun s ->
+            Alcotest.(check string)
+              (s.Gt.seed_id ^ "/" ^ s.Gt.pattern)
+              "trap-flow-exit-branch" s.Gt.pattern)
+          d.Fd.fd_removed_fp);
+    case "raw heredoc and <?= seeds are kept by both variants" (fun () ->
+        let d = Lazy.force delta in
+        let raw =
+          List.filter
+            (fun (s : Gt.seed) ->
+              List.mem s.Gt.pattern
+                [ "flow-heredoc-sqli"; "flow-short-echo-xss" ])
+            (Lazy.force delta).Fd.fd_flat.Evalkit.Matching.cl_tp
+        in
+        Alcotest.(check bool) "flat keeps the raw seeds" true
+          (List.length raw >= 2);
+        List.iter
+          (fun (s : Gt.seed) ->
+            Alcotest.(check bool)
+              (s.Gt.seed_id ^ " kept under --flow")
+              true
+              (List.exists
+                 (fun (s' : Gt.seed) ->
+                   String.equal s.Gt.seed_id s'.Gt.seed_id)
+                 d.Fd.fd_flow.Evalkit.Matching.cl_tp))
+          raw);
+    case "the printed table is deterministic across runs" (fun () ->
+        let render d = Format.asprintf "%a" Fd.print d in
+        Alcotest.(check string) "identical output"
+          (render (Fd.run ()))
+          (render (Fd.run ())));
+  ]
+
+let () = Alcotest.run "flow delta" [ ("E13 (--flow)", cases) ]

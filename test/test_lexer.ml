@@ -259,8 +259,64 @@ let line_cases =
         | [] -> Alcotest.fail "no variable tokens");
   ]
 
+(* heredoc/nowdoc, <?= and ?? — the PHP front-end gap regressions *)
+let frontend_cases =
+  [
+    check_kinds "null coalescing operator" "<?php $a ?? $b;"
+      [ t; Token.T_VARIABLE; Token.T_COALESCE; Token.T_VARIABLE; Token.Punct ];
+    check_kinds "ternary hook is still punct" "<?php $a ? $b : $c;"
+      [ t; Token.T_VARIABLE; Token.Punct; Token.T_VARIABLE; Token.Punct;
+        Token.T_VARIABLE; Token.Punct ];
+    check_kinds "short echo tag" "<?= $x; ?>"
+      [ Token.T_OPEN_TAG_WITH_ECHO; Token.T_VARIABLE; Token.Punct;
+        Token.T_CLOSE_TAG ];
+    Alcotest.test_case "heredoc lexeme is the raw body" `Quick (fun () ->
+        let tokens = lex "<?php $a = <<<EOT\nsay \"hi\" $name\nEOT;\n" in
+        let body =
+          List.find_map
+            (fun (tok : Token.t) ->
+              if tok.Token.kind = Token.T_HEREDOC then Some tok.Token.lexeme
+              else None)
+            tokens
+        in
+        Alcotest.(check (option string)) "body" (Some "say \"hi\" $name") body);
+    Alcotest.test_case "double-quoted label is a heredoc" `Quick (fun () ->
+        let tokens = lex "<?php $a = <<<\"EOT\"\nbody\nEOT;\n" in
+        let kinds =
+          List.filter
+            (fun (tok : Token.t) -> tok.Token.kind = Token.T_HEREDOC)
+            tokens
+        in
+        Alcotest.(check int) "one heredoc" 1 (List.length kinds));
+    Alcotest.test_case "nowdoc keeps $ verbatim" `Quick (fun () ->
+        let tokens = lex "<?php $a = <<<'EOT'\nraw $x body\nEOT;\n" in
+        let body =
+          List.find_map
+            (fun (tok : Token.t) ->
+              if tok.Token.kind = Token.T_NOWDOC then Some tok.Token.lexeme
+              else None)
+            tokens
+        in
+        Alcotest.(check (option string)) "body" (Some "raw $x body") body);
+    Alcotest.test_case "heredoc advances line numbers" `Quick (fun () ->
+        let tokens = lex "<?php $a = <<<EOT\nl1\nl2\nEOT;\n$b;" in
+        let b_line =
+          List.find_map
+            (fun (tok : Token.t) ->
+              if tok.Token.lexeme = "$b" then Some tok.Token.line else None)
+            tokens
+        in
+        Alcotest.(check (option int)) "line of $b" (Some 5) b_line);
+    Alcotest.test_case "unterminated heredoc raises" `Quick (fun () ->
+        try
+          ignore (lex "<?php $a = <<<EOT\nno close\n");
+          Alcotest.fail "expected Lexer.Error"
+        with Lexer.Error (_, _) -> ());
+  ]
+
 let () =
   Alcotest.run "lexer"
     [ ("token kinds", cases);
       ("numeric literals", number_cases);
-      ("positions and edge cases", line_cases) ]
+      ("positions and edge cases", line_cases);
+      ("front-end gaps (heredoc, <?=, ??)", frontend_cases) ]

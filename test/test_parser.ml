@@ -214,10 +214,94 @@ let error_cases =
         | _ -> Alcotest.fail "expected 2 statements");
   ]
 
+(* heredoc/nowdoc, <?= and ?? — the PHP front-end gap regressions *)
+let frontend_cases =
+  [
+    check_expr "null coalescing round-trips" "$a ?? $b" "$a ?? $b";
+    Alcotest.test_case "?? is right-associative" `Quick (fun () ->
+        match (pe "$a ?? $b ?? $c").Ast.e with
+        | Ast.Bin
+            ( Ast.Coalesce,
+              { Ast.e = Ast.Var "$a"; _ },
+              { Ast.e = Ast.Bin (Ast.Coalesce, _, _); _ } ) ->
+            ()
+        | _ -> Alcotest.fail "expected $a ?? ($b ?? $c)");
+    check_expr "left-nested ?? keeps its parens" "($a ?? $b) ?? $c"
+      "($a ?? $b) ?? $c";
+    Alcotest.test_case "|| binds tighter than ??" `Quick (fun () ->
+        match (pe "$a || $b ?? $c").Ast.e with
+        | Ast.Bin
+            ( Ast.Coalesce,
+              { Ast.e = Ast.Bin (Ast.BoolOr, _, _); _ },
+              { Ast.e = Ast.Var "$c"; _ } ) ->
+            ()
+        | _ -> Alcotest.fail "expected ($a || $b) ?? $c");
+    Alcotest.test_case "?? binds tighter than ternary" `Quick (fun () ->
+        match (pe "$a ?? $b ? 'x' : 'y'").Ast.e with
+        | Ast.Ternary ({ Ast.e = Ast.Bin (Ast.Coalesce, _, _); _ }, Some _, _) ->
+            ()
+        | _ -> Alcotest.fail "expected ($a ?? $b) ? 'x' : 'y'");
+    check_expr "elvis still parses next to ??" "$a ?: $b ?? $c"
+      "$a ?: $b ?? $c";
+    Alcotest.test_case "heredoc interpolates like a dquoted body" `Quick
+      (fun () ->
+        match parse "<?php $a = <<<EOT\nhello $n!\nEOT;\n" with
+        | [ { Ast.s =
+                Ast.Expr
+                  { Ast.e =
+                      Ast.Assign
+                        ( _,
+                          { Ast.e =
+                              Ast.Interp
+                                [ Ast.ILit "hello ";
+                                  Ast.IExpr { Ast.e = Ast.Var "$n"; _ };
+                                  Ast.ILit "!" ];
+                            _ } );
+                    _ };
+              _ } ] ->
+            ()
+        | _ -> Alcotest.fail "unexpected heredoc structure");
+    Alcotest.test_case "plain heredoc folds to Str" `Quick (fun () ->
+        match parse "<?php $a = <<<EOT\njust text\nEOT;\n" with
+        | [ { Ast.s =
+                Ast.Expr
+                  { Ast.e = Ast.Assign (_, { Ast.e = Ast.Str "just text"; _ });
+                    _ };
+              _ } ] ->
+            ()
+        | _ -> Alcotest.fail "expected Str");
+    Alcotest.test_case "nowdoc never interpolates" `Quick (fun () ->
+        match parse "<?php $a = <<<'EOT'\nraw $x\nEOT;\n" with
+        | [ { Ast.s =
+                Ast.Expr
+                  { Ast.e = Ast.Assign (_, { Ast.e = Ast.Str "raw $x"; _ }); _ };
+              _ } ] ->
+            ()
+        | _ -> Alcotest.fail "expected verbatim Str");
+    Alcotest.test_case "<?= is an echo statement" `Quick (fun () ->
+        (* the trailing ?> contributes an (empty) inline-html statement *)
+        match parse "<?= $x ?>" with
+        | { Ast.s = Ast.Echo [ { Ast.e = Ast.Var "$x"; _ } ]; _ } :: rest
+          when List.for_all
+                 (fun (s : Ast.stmt) ->
+                   match s.Ast.s with Ast.InlineHtml _ -> true | _ -> false)
+                 rest ->
+            ()
+        | _ -> Alcotest.fail "expected echo of $x");
+    Alcotest.test_case "<?= after html keeps both" `Quick (fun () ->
+        match parse "<b><?= $x; ?></b>" with
+        | [ { Ast.s = Ast.InlineHtml "<b>"; _ };
+            { Ast.s = Ast.Echo [ { Ast.e = Ast.Var "$x"; _ } ]; _ };
+            { Ast.s = Ast.InlineHtml "</b>"; _ } ] ->
+            ()
+        | _ -> Alcotest.fail "expected html / echo / html");
+  ]
+
 let () =
   Alcotest.run "parser"
     [ ("precedence", precedence_cases);
       ("statements", ast_cases);
       ("interpolation", interp_cases);
       ("classes", class_cases);
-      ("errors and positions", error_cases) ]
+      ("errors and positions", error_cases);
+      ("front-end gaps (heredoc, <?=, ??)", frontend_cases) ]

@@ -115,9 +115,25 @@ let oop_cases =
         Alcotest.(check int) "one failure" 1 (List.length (Report.failed_files r)));
   ]
 
+(* heredoc/nowdoc, <?= and ?? reaching the dataflow engine end to end *)
+let frontend_cases =
+  [
+    expect "heredoc interpolation reaches a SQL sink"
+      "$id = $_GET['id'];\n$q = <<<SQL\nSELECT $id\nSQL;\nmysql_query($q);"
+      [ "SQLi@5" ];
+    expect "nowdoc body stays a literal"
+      "$id = $_GET['id'];\n$q = <<<'SQL'\nSELECT $id\nSQL;\nmysql_query($q);"
+      [];
+    expect "short echo tag is an XSS sink" "?>\n<?= $_GET['x'] ?>" [ "XSS@2" ];
+    expect "?? joins taint from both operands"
+      "$a = $_GET['x'] ?? 'd';\necho $a;" [ "XSS@2" ];
+    expect "?? of two literals is clean" "$a = 'x' ?? 'y';\necho $a;" [];
+  ]
+
 let () =
   Alcotest.run "pixy"
     [ ("flow-sensitive dataflow", dataflow_cases);
+      ("front-end gaps (heredoc, <?=, ??)", frontend_cases);
       ("register_globals", register_globals_cases);
       ("inter-procedural", interproc_cases);
       ("OOP failure policy", oop_cases) ]

@@ -132,9 +132,25 @@ let robustness_cases =
           (List.length r.Report.findings <= 1));
   ]
 
+(* heredoc/nowdoc, <?= and ?? reaching the backward resolver end to end *)
+let frontend_cases =
+  [
+    expect "heredoc interpolation reaches a SQL sink"
+      "$id = $_GET['id'];\n$q = <<<SQL\nSELECT $id\nSQL;\nmysql_query($q);"
+      [ "SQLi@5" ];
+    expect "nowdoc body stays a literal"
+      "$id = $_GET['id'];\n$q = <<<'SQL'\nSELECT $id\nSQL;\nmysql_query($q);"
+      [];
+    expect "short echo tag is an XSS sink" "?>\n<?= $_GET['x'] ?>" [ "XSS@2" ];
+    expect "?? joins taint from both operands"
+      "$a = $_GET['x'] ?? 'd';\necho $a;" [ "XSS@2" ];
+    expect "?? of two literals is clean" "$a = 'x' ?? 'y';\necho $a;" [];
+  ]
+
 let () =
   Alcotest.run "rips"
     [ ("backward resolution", backward_cases);
+      ("front-end gaps (heredoc, <?=, ??)", frontend_cases);
       ("inter-procedural", interproc_cases);
       ("OOP blindness", oop_cases);
       ("robustness", robustness_cases) ]
