@@ -218,7 +218,7 @@ let print_bench_results results =
 (* --json FILE: machine-readable results (schema phpsafe-bench/1)      *)
 (* ------------------------------------------------------------------ *)
 
-let write_json path ~table3 ~seq_par ~e13 ~e12 =
+let write_json path ~table3 ~seq_par ~e13 ~e12 ~e14 =
   let b = Buffer.create 4096 in
   let bpf fmt = Printf.bprintf b fmt in
   bpf "{\n  \"schema\": \"phpsafe-bench/1\",\n";
@@ -263,7 +263,7 @@ let write_json path ~table3 ~seq_par ~e13 ~e12 =
      (List.length t.Evalkit.Flow_delta.fd_new_tp)
      (List.length t.Evalkit.Flow_delta.fd_removed_fp));
   (match e12 with
-  | None -> bpf "  \"e12\": null\n"
+  | None -> bpf "  \"e12\": null,\n"
   | Some (r : Evalkit.Incremental.report) ->
       bpf "  \"e12\": {\n    \"files_2014\": %d,\n" r.Evalkit.Incremental.ir_files_2014;
       bpf "    \"cold_total_s\": %.6f,\n    \"warm_total_s\": %.6f,\n"
@@ -279,7 +279,25 @@ let write_json path ~table3 ~seq_par ~e13 ~e12 =
             p.Evalkit.Incremental.ip_warm_s p.Evalkit.Incremental.ip_warm_hits
             p.Evalkit.Incremental.ip_reused)
         r.Evalkit.Incremental.ir_points;
-      bpf "\n    }\n  }\n");
+      bpf "\n    }\n  },\n");
+  (match e14 with
+  | None -> bpf "  \"e14\": null\n"
+  | Some (r : Evalkit.Serve_bench.report) ->
+      let pass key (p : Evalkit.Serve_bench.pass) last =
+        bpf
+          "    \"%s\": {\"wall_s\": %.6f, \"rps\": %.3f, \"p50_ms\": %.3f, \
+           \"p99_ms\": %.3f}%s\n"
+          key p.Evalkit.Serve_bench.sp_wall_s p.Evalkit.Serve_bench.sp_rps
+          p.Evalkit.Serve_bench.sp_p50_ms p.Evalkit.Serve_bench.sp_p99_ms
+          (if last then "" else ",")
+      in
+      bpf "  \"e14\": {\n    \"protocol\": \"%s\",\n" Serve.Protocol.version;
+      bpf "    \"requests\": %d,\n    \"clients\": %d,\n    \"jobs\": %d,\n"
+        r.Evalkit.Serve_bench.sb_requests r.Evalkit.Serve_bench.sb_clients
+        r.Evalkit.Serve_bench.sb_jobs;
+      pass "cold" r.Evalkit.Serve_bench.sb_cold false;
+      pass "warm" r.Evalkit.Serve_bench.sb_warm true;
+      bpf "  }\n");
   bpf "}\n";
   Obs.write_file path (Buffer.contents b);
   Format.eprintf "bench results written to %s@." path
@@ -324,7 +342,19 @@ let () =
       Some r
     end
   in
-  Option.iter (fun path -> write_json path ~table3 ~seq_par ~e13 ~e12) json_out;
+  (* E14: sustained-throughput serving over the phpsafe-serve/1 protocol
+     (its own temporary cache and socket dirs; skipped under --no-cache) *)
+  let e14 =
+    if no_cache then None
+    else begin
+      let r = Evalkit.Serve_bench.measure ~corpus:corpus12 () in
+      Evalkit.Serve_bench.print Format.std_formatter r;
+      Some r
+    end
+  in
+  Option.iter
+    (fun path -> write_json path ~table3 ~seq_par ~e13 ~e12 ~e14)
+    json_out;
   if Phplang.Store.enabled () then
     Format.eprintf "%a" Phplang.Store.pp_counters ();
   let tests =

@@ -5,84 +5,51 @@
     each finding — the CLI counterpart of the web interface described in
     paper §III. *)
 
-let read_file path =
-  let ic = open_in_bin path in
-  Fun.protect
-    ~finally:(fun () -> close_in ic)
-    (fun () -> really_input_string ic (in_channel_length ic))
+let kind_filter kinds =
+  match Serve.Scan.kind_of_string kinds with
+  | Ok k -> k
+  | Error msg -> failwith msg
 
-let rec collect_php_files dir =
-  Sys.readdir dir |> Array.to_list |> List.sort String.compare
-  |> List.concat_map (fun entry ->
-         let path = Filename.concat dir entry in
-         if Sys.is_directory path then collect_php_files path
-         else if Filename.check_suffix entry ".php" then [ path ]
-         else [])
-
-let project_of_target target =
-  if Sys.is_directory target then
-    let files = collect_php_files target in
-    let strip path =
-      let prefix = target ^ Filename.dir_sep in
-      if String.length path > String.length prefix
-         && String.sub path 0 (String.length prefix) = prefix
-      then String.sub path (String.length prefix) (String.length path - String.length prefix)
-      else path
-    in
-    Phplang.Project.make ~name:(Filename.basename target)
-      (List.map
-         (fun p -> { Phplang.Project.path = strip p; source = read_file p })
-         files)
-  else
-    Phplang.Project.make ~name:(Filename.basename target)
-      [ { Phplang.Project.path = Filename.basename target; source = read_file target } ]
-
-let kind_filter = function
-  | "xss" -> Some Secflow.Vuln.Xss
-  | "sqli" -> Some Secflow.Vuln.Sqli
-  | "all" -> None
-  | other -> failwith ("unknown vulnerability kind: " ^ other)
-
-let run target kinds show_trace tool_name quiet html_out json_out config_path
-    show_stats trace_out metrics_out budget contexts flow cache_dir no_cache =
+let run target kinds show_trace tool_name quiet format html_out json_out
+    config_path show_stats trace_out metrics_out budget contexts flow
+    cache_dir no_cache =
   Secflow.Budget.set budget;
   (* persistent analysis cache: --cache-dir overrides PHPSAFE_CACHE_DIR,
      --no-cache disables both; findings are identical either way *)
   if no_cache then Phplang.Store.set_root None
   else Option.iter (fun d -> Phplang.Store.set_root (Some d)) cache_dir;
   if trace_out <> None || metrics_out <> None then Obs.set_enabled true;
-  let project = project_of_target target in
+  let project = Phplang.Project.load target in
   if show_stats then
     Format.printf "project stats: %a@." Phpsafe.Stats.pp
       (Phpsafe.Stats.of_project project);
   let tool =
-    match String.lowercase_ascii tool_name with
-    | "phpsafe" ->
-        let base =
-          match config_path with
-          | None -> Phpsafe.default_options
-          | Some path ->
-              (* custom configuration profile, merged over generic PHP so the
-                 language builtins stay known (paper §III.A extensibility) *)
-              let custom = Phpsafe.Config_spec.load path in
-              List.iter
-                (fun w -> Format.eprintf "phpsafe: config warning: %s@." w)
-                (Phpsafe.Config_spec.validate custom);
-              let config =
-                Phpsafe.Config.extend Phpsafe.Config.generic_php custom
-              in
-              { Phpsafe.default_options with Phpsafe.config }
-        in
+    match (String.lowercase_ascii tool_name, config_path) with
+    | "phpsafe", Some path ->
+        (* custom configuration profile, merged over generic PHP so the
+           language builtins stay known (paper §III.A extensibility) *)
+        let custom = Phpsafe.Config_spec.load path in
+        List.iter
+          (fun w -> Format.eprintf "phpsafe: config warning: %s@." w)
+          (Phpsafe.Config_spec.validate custom);
+        let config = Phpsafe.Config.extend Phpsafe.Config.generic_php custom in
         let opts =
-          { base with
+          { Phpsafe.default_options with
+            Phpsafe.config;
             Phpsafe.infer_contexts = contexts;
             Phpsafe.flow_sensitive = flow }
         in
         { Secflow.Tool.name = "phpSAFE";
           analyze_project = (fun p -> Phpsafe.analyze_project ~opts p) }
-    | "rips" -> Rips.tool
-    | "pixy" -> Pixy.tool
-    | other -> failwith ("unknown tool: " ^ other)
+    | _, _ -> (
+        (* the same construction the serving daemon uses, so a scan here and
+           a scan there produce byte-identical reports *)
+        match
+          Serve.Scan.tool_of
+            { Serve.Scan.tool = tool_name; kind = None; contexts; flow }
+        with
+        | Ok t -> t
+        | Error msg -> failwith msg)
   in
   let result = tool.Secflow.Tool.analyze_project project in
   let wanted = kind_filter kinds in
@@ -94,33 +61,45 @@ let run target kinds show_trace tool_name quiet html_out json_out config_path
         | Some k -> Secflow.Vuln.equal_kind f.Secflow.Report.kind k)
       result.Secflow.Report.findings
   in
-  if not quiet then begin
-    Format.printf "%s: analyzed %d files of %s@." tool.Secflow.Tool.name
-      (List.length result.Secflow.Report.outcomes)
-      project.Phplang.Project.name;
-    List.iter
-      (fun (path, outcome) ->
-        match outcome with
-        | Secflow.Report.Analyzed -> ()
-        | Secflow.Report.Failed reason ->
-            let why =
-              match reason with
-              | Secflow.Report.Out_of_memory -> "include closure exceeds memory budget"
-              | Secflow.Report.Unsupported_syntax what -> "unsupported: " ^ what
-              | Secflow.Report.Parse_failure msg -> "parse failure: " ^ msg
-              | Secflow.Report.Crashed msg -> "analysis crashed: " ^ msg
-              | Secflow.Report.Budget_exhausted msg ->
-                  "resource budget exhausted: " ^ msg
-            in
-            Format.printf "  ! could not analyze %s (%s)@." path why)
-      result.Secflow.Report.outcomes
-  end;
-  List.iter
-    (fun f ->
-      Format.printf "%a@." Secflow.Report.pp_finding f;
-      if show_trace then Format.printf "%a" Secflow.Report.pp_trace f)
-    findings;
-  Format.printf "%d finding(s)@." (List.length findings);
+  (match format with
+  | "json" ->
+      (* the shared machine-readable encoding, byte-identical to the
+         [report] document in a phpsafe_serve scan reply *)
+      print_string
+        (Secflow.Report.to_json ~tool:tool.Secflow.Tool.name
+           { result with Secflow.Report.findings });
+      print_newline ()
+  | "text" ->
+      if not quiet then begin
+        Format.printf "%s: analyzed %d files of %s@." tool.Secflow.Tool.name
+          (List.length result.Secflow.Report.outcomes)
+          project.Phplang.Project.name;
+        List.iter
+          (fun (path, outcome) ->
+            match outcome with
+            | Secflow.Report.Analyzed -> ()
+            | Secflow.Report.Failed reason ->
+                let why =
+                  match reason with
+                  | Secflow.Report.Out_of_memory ->
+                      "include closure exceeds memory budget"
+                  | Secflow.Report.Unsupported_syntax what ->
+                      "unsupported: " ^ what
+                  | Secflow.Report.Parse_failure msg -> "parse failure: " ^ msg
+                  | Secflow.Report.Crashed msg -> "analysis crashed: " ^ msg
+                  | Secflow.Report.Budget_exhausted msg ->
+                      "resource budget exhausted: " ^ msg
+                in
+                Format.printf "  ! could not analyze %s (%s)@." path why)
+          result.Secflow.Report.outcomes
+      end;
+      List.iter
+        (fun f ->
+          Format.printf "%a@." Secflow.Report.pp_finding f;
+          if show_trace then Format.printf "%a" Secflow.Report.pp_trace f)
+        findings;
+      Format.printf "%d finding(s)@." (List.length findings)
+  | other -> failwith ("unknown output format: " ^ other));
   let write_file path contents =
     let oc = open_out_bin path in
     Fun.protect
@@ -207,6 +186,14 @@ let tool =
 let quiet =
   let doc = "Only print findings." in
   Arg.(value & flag & info [ "q"; "quiet" ] ~doc)
+
+let format =
+  let doc =
+    "Report format on stdout: $(b,text) (default) or $(b,json) — the
+     machine-readable phpsafe-report/1 document, byte-identical to the
+     report in a $(b,phpsafe_serve) scan reply for the same inputs."
+  in
+  Arg.(value & opt string "text" & info [ "format" ] ~docv:"FORMAT" ~doc)
 
 let html_out =
   let doc = "Also write an HTML review page (the paper's web output) to $(docv)." in
@@ -312,8 +299,8 @@ let cmd =
   let info = Cmd.info "phpsafe" ~version:"1.0.0" ~doc ~exits in
   Cmd.v info
     Term.(
-      const run $ target $ kinds $ trace $ tool $ quiet $ html_out $ json_out
-      $ config_path $ show_stats $ trace_out $ metrics_out $ budget
+      const run $ target $ kinds $ trace $ tool $ quiet $ format $ html_out
+      $ json_out $ config_path $ show_stats $ trace_out $ metrics_out $ budget
       $ contexts $ flow $ cache_dir $ no_cache)
 
 let () = exit (Cmd.eval' cmd)

@@ -1,0 +1,305 @@
+(** phpsafe_serve — the analysis-as-a-service daemon and its client.
+
+    [phpsafe_serve serve] runs the daemon (warm caches, batching, admission
+    control; see [Serve.Daemon]).  [scan], [status], [metrics] and
+    [shutdown] are the matching socket client: one [phpsafe-serve/1] frame
+    out, one reply in.  A [scan]'s printed report and exit code mirror
+    [phpsafe_cli --format json] byte for byte. *)
+
+module Json = Secflow.Json
+
+let default_socket = "/tmp/phpsafe-serve.sock"
+
+let parse_tcp spec =
+  match String.rindex_opt spec ':' with
+  | None -> failwith ("--tcp expects HOST:PORT, got: " ^ spec)
+  | Some i -> (
+      let host = String.sub spec 0 i in
+      let port = String.sub spec (i + 1) (String.length spec - i - 1) in
+      match int_of_string_opt port with
+      | Some p when p > 0 && p < 65536 -> Serve.Daemon.Tcp (host, p)
+      | _ -> failwith ("--tcp expects HOST:PORT, got: " ^ spec))
+
+let listen_of socket tcp =
+  match tcp with
+  | Some spec -> parse_tcp spec
+  | None -> Serve.Daemon.Unix_sock socket
+
+(* ------------------------------------------------------------------ *)
+(* Client side                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let connect listen =
+  let fd, addr =
+    match listen with
+    | Serve.Daemon.Unix_sock path ->
+        ( Unix.socket ~cloexec:true Unix.PF_UNIX Unix.SOCK_STREAM 0,
+          Unix.ADDR_UNIX path )
+    | Serve.Daemon.Tcp (host, port) ->
+        ( Unix.socket ~cloexec:true Unix.PF_INET Unix.SOCK_STREAM 0,
+          Unix.ADDR_INET ((Unix.gethostbyname host).Unix.h_addr_list.(0), port)
+        )
+  in
+  (try Unix.connect fd addr
+   with Unix.Unix_error (err, _, _) ->
+     prerr_endline
+       (Printf.sprintf "phpsafe_serve: cannot connect: %s"
+          (Unix.error_message err));
+     exit 3);
+  fd
+
+let roundtrip listen payload =
+  let fd = connect listen in
+  Fun.protect
+    ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+    (fun () ->
+      Serve.Protocol.write_frame fd payload;
+      match Serve.Protocol.read_frame fd with
+      | Serve.Protocol.Frame reply -> reply
+      | Serve.Protocol.Eof ->
+          prerr_endline "phpsafe_serve: server closed the connection";
+          exit 3
+      | Serve.Protocol.Oversized n ->
+          prerr_endline
+            (Printf.sprintf "phpsafe_serve: oversized reply (%d bytes)" n);
+          exit 3)
+
+(* Mirror phpsafe_cli's exit-code contract from the report document:
+   2 = some file failed, 1 = findings present, 0 = clean. *)
+let exit_code_of_report raw =
+  match Json.parse raw with
+  | Error _ -> 0
+  | Ok doc ->
+      let failed =
+        Option.bind (Json.member "summary" doc) (Json.member "failedFiles")
+        |> fun o -> Option.bind o Json.to_int_opt |> Option.value ~default:0
+      in
+      let findings =
+        Option.bind (Json.member "findings" doc) Json.to_list_opt
+        |> Option.value ~default:[]
+      in
+      if failed > 0 then 2 else if findings <> [] then 1 else 0
+
+let run_scan socket tcp target tool_name kinds contexts flow tenant id budget =
+  let listen = listen_of socket tcp in
+  let kind =
+    match Serve.Scan.kind_of_string kinds with
+    | Ok k -> k
+    | Error msg -> failwith msg
+  in
+  let req =
+    { Serve.Protocol.sr_id = id;
+      sr_tenant = tenant;
+      sr_project = Phplang.Project.load target;
+      sr_opts = { Serve.Scan.tool = tool_name; kind; contexts; flow };
+      sr_budget = budget }
+  in
+  let reply = roundtrip listen (Serve.Protocol.encode_scan_request req) in
+  match Serve.Protocol.scan_report_of_reply reply with
+  | Ok report ->
+      print_string report;
+      print_newline ();
+      exit_code_of_report report
+  | Error msg ->
+      prerr_endline ("phpsafe_serve: " ^ msg);
+      3
+
+let run_simple op socket tcp id =
+  let listen = listen_of socket tcp in
+  let reply =
+    roundtrip listen (Serve.Protocol.encode_simple_request ~op ?id ())
+  in
+  print_string reply;
+  print_newline ();
+  0
+
+(* ------------------------------------------------------------------ *)
+(* Server side                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let run_serve socket tcp jobs max_queue max_inflight max_frame_bytes prune_age
+    cache_dir no_cache =
+  if no_cache then Phplang.Store.set_root None
+  else Option.iter (fun d -> Phplang.Store.set_root (Some d)) cache_dir;
+  let cfg =
+    { (Serve.Daemon.default_config (listen_of socket tcp)) with
+      Serve.Daemon.jobs;
+      max_queue;
+      max_inflight;
+      max_frame_bytes;
+      prune_age_s = prune_age }
+  in
+  Serve.Daemon.run cfg;
+  0
+
+(* ------------------------------------------------------------------ *)
+(* Command line                                                        *)
+(* ------------------------------------------------------------------ *)
+
+open Cmdliner
+
+let socket =
+  let doc = "Unix socket path of the daemon." in
+  Arg.(
+    value & opt string default_socket & info [ "socket" ] ~docv:"PATH" ~doc)
+
+let tcp =
+  let doc = "Use TCP at $(docv) instead of a Unix socket." in
+  Arg.(value & opt (some string) None & info [ "tcp" ] ~docv:"HOST:PORT" ~doc)
+
+let id =
+  let doc = "Request id, echoed verbatim in the reply." in
+  Arg.(value & opt (some string) None & info [ "id" ] ~docv:"ID" ~doc)
+
+let budget =
+  let default = Secflow.Budget.default in
+  let parse_depth =
+    let doc = "Parser nesting-depth fuel for this request." in
+    Arg.(
+      value
+      & opt int default.Secflow.Budget.parse_depth
+      & info [ "budget-parse-depth" ] ~docv:"N" ~doc)
+  in
+  let fixpoint_passes =
+    let doc = "Cap on Pixy dataflow fixpoint passes for this request." in
+    Arg.(
+      value
+      & opt int default.Secflow.Budget.fixpoint_passes
+      & info [ "budget-fixpoint-passes" ] ~docv:"N" ~doc)
+  in
+  let include_depth =
+    let doc = "Include-closure chain-depth safety cap." in
+    Arg.(
+      value
+      & opt int default.Secflow.Budget.include_depth
+      & info [ "budget-include-depth" ] ~docv:"N" ~doc)
+  in
+  let include_files =
+    let doc = "Include-closure size safety cap (files per closure)." in
+    Arg.(
+      value
+      & opt int default.Secflow.Budget.include_files
+      & info [ "budget-include-files" ] ~docv:"N" ~doc)
+  in
+  let mk parse_depth fixpoint_passes include_depth include_files =
+    { Secflow.Budget.parse_depth; fixpoint_passes; include_depth;
+      include_files }
+  in
+  Term.(
+    const mk $ parse_depth $ fixpoint_passes $ include_depth $ include_files)
+
+let serve_cmd =
+  let doc = "run the analysis daemon until a shutdown request arrives" in
+  let jobs =
+    let doc = "Worker-pool size (default: Sched.default_size)." in
+    Arg.(value & opt (some int) None & info [ "jobs" ] ~docv:"N" ~doc)
+  in
+  let max_queue =
+    let doc =
+      "Queued-scan cap; a scan arriving over it is shed with an
+       $(b,overloaded) reply."
+    in
+    Arg.(value & opt int 64 & info [ "max-queue" ] ~docv:"N" ~doc)
+  in
+  let max_inflight =
+    let doc = "Batch-size cap (default: 4 × jobs)." in
+    Arg.(value & opt (some int) None & info [ "max-inflight" ] ~docv:"N" ~doc)
+  in
+  let max_frame_bytes =
+    let doc = "Per-frame size cap; oversized frames are refused." in
+    Arg.(
+      value
+      & opt int Serve.Protocol.default_max_frame_bytes
+      & info [ "max-frame-bytes" ] ~docv:"BYTES" ~doc)
+  in
+  let prune_age =
+    let doc =
+      "Prune store entries older than $(docv) seconds at batch boundaries,
+       bounding the disk cache of a long-running daemon."
+    in
+    Arg.(
+      value & opt (some float) None & info [ "prune-age" ] ~docv:"SECONDS" ~doc)
+  in
+  let cache_dir =
+    let doc =
+      "Persistent analysis cache directory (defaults to
+       $(b,PHPSAFE_CACHE_DIR) when set)."
+    in
+    Arg.(value & opt (some string) None & info [ "cache-dir" ] ~docv:"DIR" ~doc)
+  in
+  let no_cache =
+    let doc = "Run without the persistent disk cache." in
+    Arg.(value & flag & info [ "no-cache" ] ~doc)
+  in
+  Cmd.v
+    (Cmd.info "serve" ~doc)
+    Term.(
+      const run_serve $ socket $ tcp $ jobs $ max_queue $ max_inflight
+      $ max_frame_bytes $ prune_age $ cache_dir $ no_cache)
+
+let scan_cmd =
+  let doc =
+    "scan a PHP file or plugin directory through the daemon; prints the
+     phpsafe-report/1 document (byte-identical to
+     $(b,phpsafe_cli --format json)) and exits 0/1/2 like phpsafe_cli"
+  in
+  let target =
+    let doc = "PHP file or plugin directory to analyze." in
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"TARGET" ~doc)
+  in
+  let tool =
+    let doc = "Analyzer to run: phpsafe (default), rips or pixy." in
+    Arg.(value & opt string "phpsafe" & info [ "tool" ] ~docv:"TOOL" ~doc)
+  in
+  let kinds =
+    let doc = "Vulnerability kinds to report: xss, sqli or all." in
+    Arg.(value & opt string "all" & info [ "k"; "kind" ] ~docv:"KIND" ~doc)
+  in
+  let contexts =
+    let doc = "Sink-context-sensitive sanitizer verification." in
+    Arg.(value & flag & info [ "contexts" ] ~doc)
+  in
+  let flow =
+    let doc = "Flow-sensitive body walks over a control-flow graph." in
+    Arg.(value & flag & info [ "flow" ] ~doc)
+  in
+  let tenant =
+    let doc =
+      "Cache-namespace label for this request ([A-Za-z0-9_.-]); tenants
+       never share cache entries."
+    in
+    Arg.(value & opt (some string) None & info [ "tenant" ] ~docv:"NAME" ~doc)
+  in
+  let exits =
+    Cmd.Exit.info 0 ~doc:"on a clean scan."
+    :: Cmd.Exit.info 1 ~doc:"when findings remain after the $(b,--kind) filter."
+    :: Cmd.Exit.info 2 ~doc:"when any file's analysis outcome is a failure."
+    :: Cmd.Exit.info 3 ~doc:"on a transport failure or a server error reply."
+    :: Cmd.Exit.defaults
+  in
+  Cmd.v
+    (Cmd.info "scan" ~doc ~exits)
+    Term.(
+      const run_scan $ socket $ tcp $ target $ tool $ kinds $ contexts $ flow
+      $ tenant $ id $ budget)
+
+let simple_cmd name doc =
+  let runner = run_simple name in
+  Cmd.v (Cmd.info name ~doc) Term.(const runner $ socket $ tcp $ id)
+
+let cmd =
+  let doc = "phpSAFE analysis-as-a-service daemon and client" in
+  let info = Cmd.info "phpsafe_serve" ~version:"1.0.0" ~doc in
+  Cmd.group info
+    [ serve_cmd;
+      scan_cmd;
+      simple_cmd "status"
+        "print the daemon's status reply (queue depth, served/shed totals,
+         per-namespace store usage)";
+      simple_cmd "metrics"
+        "print the daemon's metrics reply (counters, gauges, latency
+         histogram, per-namespace cache hit rates)";
+      simple_cmd "shutdown"
+        "ask the daemon to drain every queued and in-flight scan and exit" ]
+
+let () = exit (Cmd.eval' cmd)

@@ -27,5 +27,6 @@ let evaluate_and_report ?with_ablation ?pool ppf =
 module History = History
 module Scaling = Scaling
 module Incremental = Incremental
+module Serve_bench = Serve_bench
 module Pattern_report = Pattern_report
 module Faults = Faults

@@ -301,3 +301,45 @@ let include_closure ?(max_depth = max_int) ?(max_files = max_int) ~parse t
     cl_unresolved = !unresolved;
     cl_truncated = !truncated;
   }
+
+(* ------------------------------------------------------------------ *)
+(* Loading a project from the filesystem                              *)
+(* ------------------------------------------------------------------ *)
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let rec collect_php_files dir =
+  Sys.readdir dir |> Array.to_list |> List.sort String.compare
+  |> List.concat_map (fun entry ->
+         let path = Filename.concat dir entry in
+         if Sys.is_directory path then collect_php_files path
+         else if Filename.check_suffix entry ".php" then [ path ]
+         else [])
+
+(** Load a target from disk: a directory becomes a project of all its
+    [.php] files (deterministic order: lexicographic per directory level,
+    paths relative to the target), a single file a one-file project.  This
+    is the one target reader shared by [phpsafe_cli] and the
+    [phpsafe_serve] client, so both build byte-identical projects — the
+    precondition for their reports being byte-identical. *)
+let load target =
+  if Sys.is_directory target then
+    let files = collect_php_files target in
+    let strip path =
+      let prefix = target ^ Filename.dir_sep in
+      if
+        String.length path > String.length prefix
+        && String.sub path 0 (String.length prefix) = prefix
+      then String.sub path (String.length prefix)
+             (String.length path - String.length prefix)
+      else path
+    in
+    make ~name:(Filename.basename target)
+      (List.map (fun p -> { path = strip p; source = read_file p }) files)
+  else
+    make ~name:(Filename.basename target)
+      [ { path = Filename.basename target; source = read_file target } ]

@@ -100,3 +100,11 @@ val include_closure :
     bounds the include-chain depth and [max_files] the closure size (both
     default to unlimited); exceeding either stops the walk and marks the
     closure truncated — the caller reports that as a budget exhaustion. *)
+
+val load : string -> t
+(** [load target] reads a project from disk: a directory becomes a project
+    of all its [.php] files (recursive, lexicographically sorted per
+    level, paths relative to the target), a plain file a one-file project;
+    the project name is the target's basename.  Shared by [phpsafe_cli]
+    and the [phpsafe_serve] client so both sides build identical projects
+    from the same target.  Raises [Sys_error] on unreadable paths. *)

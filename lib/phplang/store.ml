@@ -47,6 +47,47 @@ let root () = Atomic.get root_ref
 let enabled () = root () <> None
 
 (* ------------------------------------------------------------------ *)
+(* Tenant namespacing                                                 *)
+(* ------------------------------------------------------------------ *)
+
+(* The serving daemon isolates cache entries per tenant by prefixing every
+   namespace with "<tenant>/" for the duration of one request's analysis.
+   The prefix lives in domain-local storage: a [Sched] worker domain sets
+   it around its work item, so concurrently-running requests for different
+   tenants never see each other's prefix.  With no tenant set (the CLI,
+   the evaluation drivers, tenant-less requests) namespaces are exactly as
+   before. *)
+
+let tenant_key : string option Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> None)
+
+let valid_tenant t =
+  t <> ""
+  && String.for_all
+       (fun c ->
+         match c with
+         | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' | '-' | '.' -> true
+         | _ -> false)
+       t
+  && t <> "." && t <> ".."
+
+let with_tenant tenant f =
+  (match tenant with
+  | Some t when not (valid_tenant t) ->
+      invalid_arg (Printf.sprintf "Store.with_tenant: invalid tenant %S" t)
+  | _ -> ());
+  let old = Domain.DLS.get tenant_key in
+  Domain.DLS.set tenant_key tenant;
+  Fun.protect ~finally:(fun () -> Domain.DLS.set tenant_key old) f
+
+(** The namespace as seen by the disk layout and the counters: tenant
+    prefix applied ("/" nests a per-tenant directory level on disk). *)
+let effective_ns ns =
+  match Domain.DLS.get tenant_key with
+  | None -> ns
+  | Some t -> t ^ "/" ^ ns
+
+(* ------------------------------------------------------------------ *)
 (* Hit / miss / store accounting, per namespace                        *)
 (* ------------------------------------------------------------------ *)
 
@@ -166,6 +207,7 @@ let get ~ns ~key : 'a option =
   match root () with
   | None -> None
   | Some root -> (
+      let ns = effective_ns ns in
       let _, path = entry_path ~root ~ns ~key in
       let data =
         Obs.span "cache.io.read" @@ fun () ->
@@ -185,6 +227,7 @@ let put ~ns ~key (v : 'a) : unit =
   match root () with
   | None -> ()
   | Some root -> (
+      let ns = effective_ns ns in
       try
         Obs.span "cache.io.write" @@ fun () ->
         let dir, path = entry_path ~root ~ns ~key in
@@ -202,3 +245,73 @@ let put ~ns ~key (v : 'a) : unit =
       with _ ->
         (* a full disk or unwritable root degrades to "not cached" *)
         Obs.incr (Printf.sprintf "cache.%s.store_failed" ns))
+
+(* ------------------------------------------------------------------ *)
+(* Disk-tier accounting and pruning                                   *)
+(* ------------------------------------------------------------------ *)
+
+type disk_stats = { ds_ns : string; ds_entries : int; ds_bytes : int }
+
+(** Walk every regular file under the active version directory, calling
+    [f ns path st] with the entry's namespace (the directory components
+    between [v<N>] and the two-character fan-out level, so per-tenant
+    namespaces come back as ["tenant/parse"]). *)
+let iter_entries ~root f =
+  let vdir = Filename.concat root (Printf.sprintf "v%d" format_version) in
+  let rec walk ns_rev dir =
+    match Sys.readdir dir with
+    | exception Sys_error _ -> ()
+    | entries ->
+        Array.sort String.compare entries;
+        Array.iter
+          (fun entry ->
+            let path = Filename.concat dir entry in
+            match Unix.lstat path with
+            | exception Unix.Unix_error _ -> ()
+            | st -> (
+                match st.Unix.st_kind with
+                | Unix.S_DIR -> walk (entry :: ns_rev) path
+                | Unix.S_REG ->
+                    (* the file's parent is the fan-out level, not part of
+                       the namespace *)
+                    let ns =
+                      match ns_rev with
+                      | [] -> "_"
+                      | _ :: above -> String.concat "/" (List.rev above)
+                    in
+                    f ns path st
+                | _ -> ()))
+          entries
+  in
+  if Sys.file_exists vdir then walk [] vdir
+
+let stats () : disk_stats list =
+  match root () with
+  | None -> []
+  | Some root ->
+      let tbl : (string, int * int) Hashtbl.t = Hashtbl.create 8 in
+      iter_entries ~root (fun ns _path st ->
+          let entries, bytes =
+            Option.value ~default:(0, 0) (Hashtbl.find_opt tbl ns)
+          in
+          Hashtbl.replace tbl ns (entries + 1, bytes + st.Unix.st_size));
+      Hashtbl.fold
+        (fun ns (entries, bytes) acc ->
+          { ds_ns = ns; ds_entries = entries; ds_bytes = bytes } :: acc)
+        tbl []
+      |> List.sort (fun a b -> String.compare a.ds_ns b.ds_ns)
+
+let prune ~max_age_s () =
+  match root () with
+  | None -> 0
+  | Some root ->
+      let cutoff = Unix.time () -. max_age_s in
+      let removed = ref 0 in
+      iter_entries ~root (fun _ns path st ->
+          if st.Unix.st_mtime < cutoff then
+            match Sys.remove path with
+            | () ->
+                incr removed;
+                Obs.incr "cache.pruned"
+            | exception Sys_error _ -> ());
+      !removed

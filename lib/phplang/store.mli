@@ -36,3 +36,34 @@ val counters : unit -> stats list
 val reset_counters : unit -> unit
 
 val pp_counters : Format.formatter -> unit -> unit
+
+(** {1 Tenant namespacing} *)
+
+val with_tenant : string option -> (unit -> 'a) -> 'a
+(** [with_tenant (Some t) f] runs [f] with every namespace prefixed as
+    ["t/<ns>"] — on disk a per-tenant directory level, in the counters a
+    per-tenant namespace — so the serving daemon's tenants never share
+    cache entries.  The prefix is domain-local: set it inside the worker
+    that analyzes one request and concurrent requests for other tenants
+    are unaffected.  [with_tenant None f] runs [f] with plain namespaces.
+    Tenant names are restricted to [A-Za-z0-9_.-] (and must not be ["."]
+    or [".."]); anything else raises [Invalid_argument]. *)
+
+val valid_tenant : string -> bool
+
+(** {1 Disk-tier accounting} — a long-running daemon's view of how much
+    the store holds, and the lever that keeps it bounded. *)
+
+type disk_stats = { ds_ns : string; ds_entries : int; ds_bytes : int }
+
+val stats : unit -> disk_stats list
+(** Per-namespace entry count and payload bytes of the active format
+    version on disk, sorted by namespace (per-tenant namespaces appear as
+    ["tenant/ns"]).  Empty when the store is disabled. *)
+
+val prune : max_age_s:float -> unit -> int
+(** [prune ~max_age_s ()] removes every entry whose mtime is older than
+    [max_age_s] seconds, returning how many were removed (each also bumps
+    the [cache.pruned] counter).  Concurrent readers are safe: a pruned
+    entry is simply a future miss.  Stale [.tmp] write droppings age out
+    the same way. *)

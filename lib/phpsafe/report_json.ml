@@ -3,133 +3,10 @@
     store the results in other formats or distribute them over the
     network").
 
-    The layout loosely follows SARIF's run/result/location nesting while
-    staying dependency-free. *)
+    The encoder itself now lives in {!Secflow.Report.to_json} so the CLI's
+    [--format json] output and the [phpsafe_serve] daemon's scan replies
+    share one verbatim encoding; this module remains as the phpSAFE-facing
+    entry point. *)
 
-open Secflow
-
-(* -- minimal JSON writer -------------------------------------------- *)
-
-let escape_json s =
-  let buf = Buffer.create (String.length s + 2) in
-  String.iter
-    (fun c ->
-      match c with
-      | '"' -> Buffer.add_string buf "\\\""
-      | '\\' -> Buffer.add_string buf "\\\\"
-      | '\n' -> Buffer.add_string buf "\\n"
-      | '\r' -> Buffer.add_string buf "\\r"
-      | '\t' -> Buffer.add_string buf "\\t"
-      | c when Char.code c < 0x20 ->
-          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
-      | c -> Buffer.add_char buf c)
-    s;
-  Buffer.contents buf
-
-type json =
-  | J_string of string
-  | J_int of int
-  | J_bool of bool
-  | J_list of json list
-  | J_obj of (string * json) list
-
-let rec write buf = function
-  | J_string s ->
-      Buffer.add_char buf '"';
-      Buffer.add_string buf (escape_json s);
-      Buffer.add_char buf '"'
-  | J_int n -> Buffer.add_string buf (string_of_int n)
-  | J_bool b -> Buffer.add_string buf (if b then "true" else "false")
-  | J_list items ->
-      Buffer.add_char buf '[';
-      List.iteri
-        (fun i item ->
-          if i > 0 then Buffer.add_char buf ',';
-          write buf item)
-        items;
-      Buffer.add_char buf ']'
-  | J_obj fields ->
-      Buffer.add_char buf '{';
-      List.iteri
-        (fun i (k, v) ->
-          if i > 0 then Buffer.add_char buf ',';
-          write buf (J_string k);
-          Buffer.add_char buf ':';
-          write buf v)
-        fields;
-      Buffer.add_char buf '}'
-
-let to_string j =
-  let buf = Buffer.create 4096 in
-  write buf j;
-  Buffer.contents buf
-
-(* -- result encoding ------------------------------------------------- *)
-
-let of_pos (p : Phplang.Ast.pos) =
-  J_obj [ ("file", J_string p.Phplang.Ast.file); ("line", J_int p.Phplang.Ast.line) ]
-
-let of_step (s : Report.step) =
-  J_obj
-    [ ("variable", J_string s.Report.step_var);
-      ("location", of_pos s.Report.step_pos);
-      ("note", J_string s.Report.step_note) ]
-
-let of_finding (f : Report.finding) =
-  let context_fields =
-    match f.Report.context with
-    | Some c -> [ ("context", J_string (Context.to_string c)) ]
-    | None -> []
-  in
-  J_obj
-    ([ ("kind", J_string (Vuln.kind_to_string f.Report.kind));
-       ("sink", J_string f.Report.sink);
-       ("variable", J_string f.Report.variable);
-       ("location", of_pos f.Report.sink_pos);
-       ("source", J_string (Vuln.source_to_string f.Report.source));
-       ("sourceLocation", of_pos f.Report.source_pos);
-       ("vector",
-        J_string (Vuln.vector_to_string (Vuln.vector_of_source f.Report.source))) ]
-    @ context_fields
-    @ [ ("sanitizersApplied",
-         J_list (List.map (fun s -> J_string s) f.Report.sanitizers_applied));
-        ("dataFlow", J_list (List.map of_step f.Report.trace));
-        ("dataFlowTruncated", J_bool f.Report.trace_truncated) ])
-
-let of_outcome (path, outcome) =
-  let status, detail =
-    match outcome with
-    | Report.Analyzed -> ("analyzed", "")
-    | Report.Failed Report.Out_of_memory ->
-        ("failed", "include closure exceeds memory budget")
-    | Report.Failed (Report.Unsupported_syntax what) -> ("failed", what)
-    | Report.Failed (Report.Parse_failure msg) -> ("failed", msg)
-    | Report.Failed (Report.Crashed msg) -> ("crashed", msg)
-    | Report.Failed (Report.Budget_exhausted msg) -> ("budget-exhausted", msg)
-  in
-  J_obj
-    [ ("file", J_string path); ("status", J_string status);
-      ("detail", J_string detail) ]
-
-(** Encode a result as a JSON document. *)
-let encode ?(tool = "phpSAFE") (result : Report.result) : json =
-  let xss, sqli =
-    List.partition
-      (fun (f : Report.finding) -> f.Report.kind = Vuln.Xss)
-      result.Report.findings
-  in
-  J_obj
-    [ ("tool", J_string tool);
-      ("schema", J_string "phpsafe-report/1");
-      ("summary",
-       J_obj
-         [ ("files", J_int (List.length result.Report.outcomes));
-           ("failedFiles", J_int (List.length (Report.failed_files result)));
-           ("xss", J_int (List.length xss));
-           ("sqli", J_int (List.length sqli));
-           ("errors", J_int result.Report.errors) ]);
-      ("findings", J_list (List.map of_finding result.Report.findings));
-      ("files", J_list (List.map of_outcome result.Report.outcomes)) ]
-
-(** Render a result as a JSON string. *)
-let render ?tool result = to_string (encode ?tool result)
+(** Render a result as a JSON string (schema [phpsafe-report/1]). *)
+let render ?tool result = Secflow.Report.to_json ?tool result

@@ -2,7 +2,41 @@
 
 type pool = { pool_size : int }
 
-let recommended () = max 1 (Domain.recommended_domain_count () - 1)
+(* Cgroup-v2 CPU quota, for the oversubscribed-host case: a container
+   pinned to "200000 100000" (2 CPUs) still sees the machine's full core
+   count through [Domain.recommended_domain_count] on some kernels, and a
+   long-running daemon sized to raw cores would thrash.  The quota file's
+   first field is the per-period budget in microseconds ("max" = none),
+   the second the period; whole CPUs = ceil(quota / period). *)
+let parse_cpu_quota line =
+  match String.split_on_char ' ' (String.trim line) with
+  | [ "max"; _ ] | [ "max" ] -> None
+  | [ quota; period ] -> (
+      match (int_of_string_opt quota, int_of_string_opt period) with
+      | Some q, Some p when q > 0 && p > 0 -> Some ((q + p - 1) / p)
+      | _ -> None)
+  | _ -> None
+
+let cpu_quota () =
+  match open_in "/sys/fs/cgroup/cpu.max" with
+  | exception Sys_error _ -> None
+  | ic ->
+      Fun.protect
+        ~finally:(fun () -> close_in_noerr ic)
+        (fun () ->
+          match input_line ic with
+          | line -> parse_cpu_quota line
+          | exception End_of_file -> None)
+
+let recommended () =
+  (* capped at the recommended domain count, never raw CPU count, and at
+     the cgroup CPU quota when the host is oversubscribed *)
+  let cap =
+    match cpu_quota () with
+    | Some q -> min q (Domain.recommended_domain_count ())
+    | None -> Domain.recommended_domain_count ()
+  in
+  max 1 (min cap (Domain.recommended_domain_count () - 1))
 
 let warned_invalid_jobs = Atomic.make false
 

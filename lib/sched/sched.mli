@@ -13,10 +13,21 @@ type pool
 
 val default_size : unit -> int
 (** Pool size used when none is given: [$PHPSAFE_JOBS] if set to a positive
-    integer, otherwise [Domain.recommended_domain_count () - 1], clamped to
-    at least 1.  An invalid or non-positive [$PHPSAFE_JOBS] value falls back
-    to the recommended count and emits a one-time warning on stderr naming
-    the bad value; an empty value counts as unset. *)
+    integer, otherwise [Domain.recommended_domain_count () - 1], capped at
+    [Domain.recommended_domain_count ()] and — on hosts running under a
+    cgroup-v2 CPU quota (containers, oversubscribed CI) — at the quota in
+    whole CPUs, clamped to at least 1.  An invalid or non-positive
+    [$PHPSAFE_JOBS] value falls back to that default and emits a one-time
+    warning on stderr naming the bad value; an empty value counts as
+    unset.  An explicitly valid [$PHPSAFE_JOBS] is always trusted. *)
+
+val parse_cpu_quota : string -> int option
+(** Parse one line of [/sys/fs/cgroup/cpu.max] ("<quota|max> <period>",
+    microseconds) into a whole-CPU budget, rounding up; [None] for "max"
+    (no quota) or malformed input.  Exposed for tests. *)
+
+val cpu_quota : unit -> int option
+(** The host's cgroup-v2 CPU quota in whole CPUs, when one applies. *)
 
 val create : ?size:int -> unit -> pool
 (** [create ()] sizes the pool with {!default_size}; [~size] overrides it

@@ -1,0 +1,48 @@
+(** Minimal dependency-free JSON: a value type, a deterministic writer and
+    a defensive parser.
+
+    The writer is the one encoding every machine-readable findings surface
+    shares — [Secflow.Report.to_json], [phpsafe_cli --format json] and the
+    [phpsafe_serve] daemon all go through it, which is what makes their
+    outputs byte-identical for the same result.  Field order is the order
+    of the association list; no whitespace is emitted, so two structurally
+    equal values always render to the same bytes.
+
+    The parser exists for the serving layer's request decoding.  It is
+    strict (one complete value, nothing but whitespace after it) and
+    defensive: nesting is fuel-limited so a crafted deeply-nested payload
+    returns [Error _] instead of overflowing the stack. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | List of t list
+  | Obj of (string * t) list
+
+val to_string : t -> string
+(** Render without any whitespace.  [Float] values render with [%.17g]
+    (shortest round-trippable is not needed here; non-finite floats render
+    as [null] to stay inside the JSON grammar). *)
+
+val escape : string -> string
+(** The writer's string-body escaping (no surrounding quotes), exposed for
+    code that splices raw JSON fragments around an encoded string. *)
+
+val parse : ?max_depth:int -> string -> (t, string) result
+(** Parse one complete JSON document ([max_depth] defaults to 512 nesting
+    levels).  Numbers without ['.'], exponent, or overflow parse as [Int],
+    everything else as [Float].  [\uXXXX] escapes decode to UTF-8
+    (surrogate pairs combined; lone surrogates are an error). *)
+
+(** {1 Accessors} — tolerant field navigation for decoded requests. *)
+
+val member : string -> t -> t option
+(** Field of an [Obj]; [None] on missing field or non-object. *)
+
+val to_string_opt : t -> string option
+val to_int_opt : t -> int option
+val to_bool_opt : t -> bool option
+val to_list_opt : t -> t list option

@@ -160,3 +160,79 @@ let pp_trace ppf f =
       Format.fprintf ppf "  %s @ %a: %s@." s.step_var Phplang.Ast.pp_pos
         s.step_pos s.step_note)
     f.trace
+
+(* ------------------------------------------------------------------ *)
+(* Machine-readable encoding (schema phpsafe-report/1)                 *)
+(* ------------------------------------------------------------------ *)
+
+(* This is the one findings encoder every machine surface shares:
+   [phpsafe_cli --format json] / [--json FILE], the phpsafe_serve daemon's
+   scan replies and the HTML report's JSON sibling all emit exactly these
+   bytes for the same result, so byte-identity between the CLI and the
+   daemon reduces to both calling [to_json].  The layout loosely follows
+   SARIF's run/result/location nesting while staying dependency-free. *)
+
+let json_of_pos (p : Phplang.Ast.pos) =
+  Json.Obj
+    [ ("file", Json.String p.Phplang.Ast.file);
+      ("line", Json.Int p.Phplang.Ast.line) ]
+
+let json_of_step (s : step) =
+  Json.Obj
+    [ ("variable", Json.String s.step_var);
+      ("location", json_of_pos s.step_pos);
+      ("note", Json.String s.step_note) ]
+
+let json_of_finding (f : finding) =
+  let context_fields =
+    match f.context with
+    | Some c -> [ ("context", Json.String (Context.to_string c)) ]
+    | None -> []
+  in
+  Json.Obj
+    ([ ("kind", Json.String (Vuln.kind_to_string f.kind));
+       ("sink", Json.String f.sink);
+       ("variable", Json.String f.variable);
+       ("location", json_of_pos f.sink_pos);
+       ("source", Json.String (Vuln.source_to_string f.source));
+       ("sourceLocation", json_of_pos f.source_pos);
+       ("vector",
+        Json.String (Vuln.vector_to_string (Vuln.vector_of_source f.source))) ]
+    @ context_fields
+    @ [ ("sanitizersApplied",
+         Json.List (List.map (fun s -> Json.String s) f.sanitizers_applied));
+        ("dataFlow", Json.List (List.map json_of_step f.trace));
+        ("dataFlowTruncated", Json.Bool f.trace_truncated) ])
+
+let json_of_outcome (path, outcome) =
+  let status, detail =
+    match outcome with
+    | Analyzed -> ("analyzed", "")
+    | Failed Out_of_memory -> ("failed", "include closure exceeds memory budget")
+    | Failed (Unsupported_syntax what) -> ("failed", what)
+    | Failed (Parse_failure msg) -> ("failed", msg)
+    | Failed (Crashed msg) -> ("crashed", msg)
+    | Failed (Budget_exhausted msg) -> ("budget-exhausted", msg)
+  in
+  Json.Obj
+    [ ("file", Json.String path); ("status", Json.String status);
+      ("detail", Json.String detail) ]
+
+let to_json_value ?(tool = "phpSAFE") (result : result) : Json.t =
+  let xss, sqli =
+    List.partition (fun (f : finding) -> f.kind = Vuln.Xss) result.findings
+  in
+  Json.Obj
+    [ ("tool", Json.String tool);
+      ("schema", Json.String "phpsafe-report/1");
+      ("summary",
+       Json.Obj
+         [ ("files", Json.Int (List.length result.outcomes));
+           ("failedFiles", Json.Int (List.length (failed_files result)));
+           ("xss", Json.Int (List.length xss));
+           ("sqli", Json.Int (List.length sqli));
+           ("errors", Json.Int result.errors) ]);
+      ("findings", Json.List (List.map json_of_finding result.findings));
+      ("files", Json.List (List.map json_of_outcome result.outcomes)) ]
+
+let to_json ?tool result = Json.to_string (to_json_value ?tool result)

@@ -1,0 +1,52 @@
+(** The analysis-as-a-service daemon.
+
+    A long-running server that keeps the in-memory parse memo and the
+    persistent {!Phplang.Store} tiers warm across requests, listens on a
+    Unix or TCP socket for {!Protocol} frames, and executes scans through
+    a {!Sched} pool:
+
+    - {b batching}: one scheduler thread drains the queue into batches of
+      same-budget requests (budgets are process-global, so a batch shares
+      one {!Secflow.Budget.set}) and fans each batch out with
+      [Sched.map_result] — per-request crash isolation included;
+    - {b admission control}: at most [max_queue] requests wait and at most
+      [max_inflight] execute; a scan arriving over capacity is shed with a
+      structured [overloaded] reply instead of queueing without bound;
+    - {b tenancy}: a request's [tenant] label prefixes every cache
+      namespace for its analysis ({!Phplang.Store.with_tenant}), so
+      tenants never share cache entries;
+    - {b ops surface}: [status] reports queue depth, in-flight count,
+      served/shed totals, uptime and the store's per-namespace disk usage
+      ({!Phplang.Store.stats}); [metrics] adds per-namespace cache
+      hit/miss/store counters and a latency histogram (count, mean, p50,
+      p99).  When {!Obs} recording is on, the scheduler thread also
+      maintains [serve.*] counters and gauges and wraps each batch in a
+      [serve.batch] span;
+    - {b graceful shutdown}: a [shutdown] request stops admission, drains
+      every queued and in-flight scan (their replies are still delivered),
+      wakes idle connections and joins every thread before {!run}
+      returns. *)
+
+type listen =
+  | Unix_sock of string  (** socket path; unlinked on shutdown *)
+  | Tcp of string * int  (** bind address and port *)
+
+type config = {
+  listen : listen;
+  jobs : int option;  (** pool size; [None] = {!Sched.default_size} *)
+  max_queue : int;  (** queued-scan cap before shedding; default 64 *)
+  max_inflight : int option;  (** batch-size cap; [None] = 4 × jobs *)
+  max_frame_bytes : int;  (** per-frame cap; oversized frames are refused *)
+  prune_age_s : float option;
+      (** when set, every batch boundary prunes store entries older than
+          this many seconds, bounding the disk tier of a long-running
+          daemon *)
+}
+
+val default_config : listen -> config
+
+val run : config -> unit
+(** Serve until a [shutdown] request arrives.  Blocks the calling thread;
+    run it in a [Thread] (the benchmark does) or dedicate the process to
+    it (the [phpsafe_serve] binary does).  [SIGPIPE] is ignored
+    process-wide — a vanishing client must not kill the server. *)

@@ -1,0 +1,111 @@
+(** The [phpsafe-serve/1] wire protocol: length-framed, versioned JSON.
+
+    {2 Framing}
+
+    Every message — request or reply — is one frame: a 4-byte big-endian
+    payload length followed by that many bytes of UTF-8 JSON.  Framing is
+    what keeps the stream recoverable: a malformed payload only poisons
+    its own frame, so the server can reply with a structured error and
+    keep reading.  Frames larger than the receiver's cap are the one
+    unrecoverable case (the declared length can't be trusted), answered
+    with an [oversized] error and a close.
+
+    {2 Requests}
+
+    [{"proto":"phpsafe-serve/1","op":<op>,...}] where [op] is one of
+    [scan], [status], [metrics], [shutdown].  Every request may carry an
+    ["id"] string, echoed verbatim in the reply.  A [scan] adds:
+
+    - ["project"]: [{"name":string,"files":[{"path","source"},...]}]
+    - ["tool"] ("phpsafe"|"rips"|"pixy"), ["kind"] ("all"|"xss"|"sqli"),
+      ["contexts"], ["flow"] — all optional, CLI-default semantics;
+    - ["tenant"]: optional cache-namespace label ([A-Za-z0-9_.-]);
+    - ["budget"]: optional per-request resource caps, fields of
+      {!Secflow.Budget.t}; omitted fields default.
+
+    {2 Replies}
+
+    [{"proto":"phpsafe-serve/1","ok":true,"op":<op>,...}] on success;
+    scan replies carry the {!Secflow.Report.to_json} document, spliced in
+    verbatim as the (always last) ["report"] field so its bytes are exactly
+    what [phpsafe_cli --format json] prints.  Failures are
+    [{"proto":...,"ok":false,"op":...,"error":{"code":...,"message":...}}]
+    with codes: [bad_json], [bad_proto], [bad_request], [oversized],
+    [overloaded], [shutting_down], [internal]. *)
+
+val version : string
+(** ["phpsafe-serve/1"]. *)
+
+val default_max_frame_bytes : int
+(** 64 MiB. *)
+
+(** {1 Frame I/O} *)
+
+exception Closed
+(** The peer vanished mid-write ([EPIPE]/[ECONNRESET]). *)
+
+val write_frame : Unix.file_descr -> string -> unit
+(** Write one frame (length header + payload), looping over partial
+    writes.  Raises {!Closed} when the peer is gone. *)
+
+type read_result =
+  | Frame of string
+  | Eof  (** clean close, or the peer vanished mid-frame *)
+  | Oversized of int  (** declared length exceeded the cap *)
+
+val read_frame : ?max_bytes:int -> Unix.file_descr -> read_result
+(** Read one frame, looping over partial reads ([max_bytes] defaults to
+    {!default_max_frame_bytes}).  Partial and coalesced socket delivery
+    are invisible here: exactly the framed bytes are consumed. *)
+
+(** {1 Requests} *)
+
+type scan_request = {
+  sr_id : string option;
+  sr_tenant : string option;
+  sr_project : Phplang.Project.t;
+  sr_opts : Scan.opts;
+  sr_budget : Secflow.Budget.t;
+}
+
+type request =
+  | Scan of scan_request
+  | Status of string option  (** the request id *)
+  | Metrics of string option
+  | Shutdown of string option
+
+(** Structured decode failure, carrying everything an error reply needs. *)
+type error = {
+  e_code : string;
+  e_msg : string;
+  e_id : string option;
+  e_op : string;
+}
+
+val decode_request : string -> (request, error) result
+(** Decode one frame payload.  Never raises: malformed JSON, a wrong or
+    missing protocol version, unknown ops, invalid tenants/tools/kinds and
+    type confusion all come back as [Error _]. *)
+
+val encode_scan_request : scan_request -> string
+(** The client-side encoder ({!decode_request} round-trips it). *)
+
+val encode_simple_request : op:string -> ?id:string -> unit -> string
+
+(** {1 Replies} *)
+
+val scan_reply : ?id:string -> report:string -> unit -> string
+(** Success envelope with [report] — a pre-rendered
+    {!Secflow.Report.to_json} document — spliced in verbatim as the last
+    field. *)
+
+val ok_reply : op:string -> ?id:string -> (string * Secflow.Json.t) list -> string
+
+val error_reply :
+  op:string -> ?id:string -> code:string -> msg:string -> unit -> string
+
+val scan_report_of_reply : string -> (string, string) result
+(** Extract the ["report"] document from a scan reply {e without
+    re-encoding it} — the returned string is byte-identical to what the
+    server spliced in.  [Error] carries the server's error message (or a
+    description of why the reply is unintelligible). *)

@@ -1,0 +1,57 @@
+(** Shared scan execution — see scan.mli. *)
+
+type opts = {
+  tool : string;
+  kind : Secflow.Vuln.kind option;
+  contexts : bool;
+  flow : bool;
+}
+
+let default = { tool = "phpsafe"; kind = None; contexts = false; flow = false }
+
+let kind_of_string = function
+  | "xss" -> Ok (Some Secflow.Vuln.Xss)
+  | "sqli" -> Ok (Some Secflow.Vuln.Sqli)
+  | "all" -> Ok None
+  | other -> Error ("unknown vulnerability kind: " ^ other)
+
+let kind_to_string = function
+  | None -> "all"
+  | Some Secflow.Vuln.Xss -> "xss"
+  | Some Secflow.Vuln.Sqli -> "sqli"
+
+let tool_of opts =
+  match String.lowercase_ascii opts.tool with
+  | "phpsafe" ->
+      let phpsafe_opts =
+        { Phpsafe.default_options with
+          Phpsafe.infer_contexts = opts.contexts;
+          Phpsafe.flow_sensitive = opts.flow }
+      in
+      Ok
+        { Secflow.Tool.name = "phpSAFE";
+          analyze_project =
+            (fun p -> Phpsafe.analyze_project ~opts:phpsafe_opts p) }
+  | "rips" -> Ok Rips.tool
+  | "pixy" -> Ok Pixy.tool
+  | other -> Error ("unknown tool: " ^ other)
+
+let run opts project =
+  let tool =
+    match tool_of opts with Ok t -> t | Error msg -> failwith msg
+  in
+  let result = tool.Secflow.Tool.analyze_project project in
+  let findings =
+    match opts.kind with
+    | None -> result.Secflow.Report.findings
+    | Some k ->
+        List.filter
+          (fun (f : Secflow.Report.finding) ->
+            Secflow.Vuln.equal_kind f.Secflow.Report.kind k)
+          result.Secflow.Report.findings
+  in
+  (tool.Secflow.Tool.name, { result with Secflow.Report.findings })
+
+let run_json opts project =
+  let tool, result = run opts project in
+  Secflow.Report.to_json ~tool result

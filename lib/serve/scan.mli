@@ -1,0 +1,36 @@
+(** One scan request's analysis options and the shared execution engine.
+
+    Both [phpsafe_cli] (for targets read from disk) and the
+    [phpsafe_serve] daemon (for projects received over the wire) turn a
+    [(tool, kind, contexts, flow)] quadruple into an analysis through this
+    module, and both render the result with {!Secflow.Report.to_json} —
+    which is why their outputs are byte-identical for the same inputs and
+    flags. *)
+
+type opts = {
+  tool : string;  (** "phpsafe" (default), "rips" or "pixy"; case-insensitive *)
+  kind : Secflow.Vuln.kind option;  (** report filter; [None] = all kinds *)
+  contexts : bool;  (** phpSAFE sink-context-sensitive sanitization pass *)
+  flow : bool;  (** phpSAFE flow-sensitive body walks *)
+}
+
+val default : opts
+
+val kind_of_string : string -> (Secflow.Vuln.kind option, string) result
+(** ["all"], ["xss"] or ["sqli"]; anything else is an [Error] naming the
+    bad value. *)
+
+val kind_to_string : Secflow.Vuln.kind option -> string
+
+val tool_of : opts -> (Secflow.Tool.t, string) result
+(** The analyzer the options select, with [contexts]/[flow] applied (they
+    only affect phpSAFE).  [Error] names an unknown tool. *)
+
+val run : opts -> Phplang.Project.t -> string * Secflow.Report.result
+(** Analyze the project and filter findings by [kind] (per-file outcomes
+    are never filtered).  Returns the tool's display name and the result.
+    Raises [Failure] on an unknown tool — callers are expected to have
+    validated [opts] with {!tool_of} first. *)
+
+val run_json : opts -> Phplang.Project.t -> string
+(** [Secflow.Report.to_json] of {!run} — the byte-identity currency. *)

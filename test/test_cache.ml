@@ -360,10 +360,90 @@ let jobs_case =
             c1 w4)
         (List.combine (List.combine cold4 cold1) warm4))
 
+(* ------------------------------------------------------------------ *)
+(* Disk-tier accounting and tenancy (the serving daemon's ops surface) *)
+(* ------------------------------------------------------------------ *)
+
+let disk_cases =
+  [
+    case "stats reports per-namespace entries and bytes" `Quick (fun () ->
+        with_cache_dir (fun _dir ->
+            Store.put ~ns:"alpha" ~key:"k1" [ 1; 2; 3 ];
+            Store.put ~ns:"alpha" ~key:"k2" [ 4 ];
+            Store.put ~ns:"beta" ~key:"k1" "hello";
+            let stats = Store.stats () in
+            let find ns =
+              List.find_opt
+                (fun (s : Store.disk_stats) -> String.equal s.Store.ds_ns ns)
+                stats
+            in
+            (match find "alpha" with
+            | Some s ->
+                Alcotest.(check int) "alpha entries" 2 s.Store.ds_entries;
+                Alcotest.(check bool) "alpha bytes > 0" true
+                  (s.Store.ds_bytes > 0)
+            | None -> Alcotest.fail "no alpha namespace in stats");
+            match find "beta" with
+            | Some s -> Alcotest.(check int) "beta entries" 1 s.Store.ds_entries
+            | None -> Alcotest.fail "no beta namespace in stats"));
+    case "stats is empty when the store is disabled" `Quick (fun () ->
+        Store.set_root None;
+        Alcotest.(check int) "no namespaces" 0 (List.length (Store.stats ())));
+    case "prune removes only entries older than the cutoff" `Quick (fun () ->
+        with_cache_dir (fun dir ->
+            Store.put ~ns:"old" ~key:"k" [ 1 ];
+            Store.put ~ns:"new" ~key:"k" [ 2 ];
+            (* backdate every file under old/'s namespace directory *)
+            let rec backdate path =
+              if Sys.is_directory path then
+                Array.iter
+                  (fun e -> backdate (Filename.concat path e))
+                  (Sys.readdir path)
+              else Unix.utimes path 1000. 1000.
+            in
+            let vdir =
+              Filename.concat dir
+                (Printf.sprintf "v%d" Store.format_version)
+            in
+            backdate (Filename.concat vdir "old");
+            let removed = Store.prune ~max_age_s:3600. () in
+            Alcotest.(check int) "one entry pruned" 1 removed;
+            Alcotest.(check bool) "old entry is now a miss" true
+              (Store.get ~ns:"old" ~key:"k" = (None : int list option));
+            Alcotest.(check bool) "fresh entry survives" true
+              (Store.get ~ns:"new" ~key:"k" = Some [ 2 ])));
+    case "tenants never share cache entries" `Quick (fun () ->
+        with_cache_dir (fun _dir ->
+            Store.with_tenant (Some "acme") (fun () ->
+                Store.put ~ns:"t" ~key:"k" "acme-value");
+            Store.with_tenant (Some "globex") (fun () ->
+                Alcotest.(check bool) "other tenant misses" true
+                  (Store.get ~ns:"t" ~key:"k" = (None : string option)));
+            Alcotest.(check bool) "no-tenant misses" true
+              (Store.get ~ns:"t" ~key:"k" = (None : string option));
+            Store.with_tenant (Some "acme") (fun () ->
+                Alcotest.(check bool) "same tenant hits" true
+                  (Store.get ~ns:"t" ~key:"k" = Some "acme-value"));
+            (* tenants surface as "tenant/ns" in the disk stats *)
+            Alcotest.(check bool) "stats shows acme/t" true
+              (List.exists
+                 (fun (s : Store.disk_stats) ->
+                   String.equal s.Store.ds_ns "acme/t")
+                 (Store.stats ()))));
+    case "invalid tenant names are rejected" `Quick (fun () ->
+        List.iter
+          (fun bad ->
+            match Store.with_tenant (Some bad) (fun () -> ()) with
+            | () -> Alcotest.fail ("accepted invalid tenant: " ^ bad)
+            | exception Invalid_argument _ -> ())
+          [ ""; "."; ".."; "a/b"; "a b"; "a\nb" ]);
+  ]
+
 let () =
   Alcotest.run "cache"
     [ ("warm replay", replay_cases);
       ("exact invalidation",
        (edited_file_case :: edited_callee_case :: opts_cases) @ [ budget_case ]);
       ("corruption safety", corruption_cases);
-      ("pool transparency", [ jobs_case ]) ]
+      ("pool transparency", [ jobs_case ]);
+      ("disk accounting and tenancy", disk_cases) ]

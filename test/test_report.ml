@@ -130,19 +130,23 @@ let json_cases =
         let j = Phpsafe.Report_json.render ~tool:"RIPS" sample_result in
         Alcotest.(check bool) "tool" true (contains j "\"tool\":\"RIPS\""));
     case "string escaping" (fun () ->
-        let open Phpsafe.Report_json in
+        let open Secflow.Json in
         Alcotest.(check string) "quotes and control chars"
           "\"a\\\"b\\\\c\\n\\u0001\""
-          (to_string (J_string "a\"b\\c\n\001")));
+          (to_string (String "a\"b\\c\n\001")));
     case "nested structure round-trips through the writer" (fun () ->
-        let open Phpsafe.Report_json in
+        let open Secflow.Json in
         let j =
-          J_obj
-            [ ("a", J_list [ J_int 1; J_bool false; J_string "x" ]);
-              ("b", J_obj [ ("c", J_int 2) ]) ]
+          Obj
+            [ ("a", List [ Int 1; Bool false; String "x" ]);
+              ("b", Obj [ ("c", Int 2) ]) ]
         in
         Alcotest.(check string) "layout"
           "{\"a\":[1,false,\"x\"],\"b\":{\"c\":2}}" (to_string j));
+    case "render delegates to the shared Secflow.Report encoder" (fun () ->
+        Alcotest.(check string) "same bytes"
+          (Secflow.Report.to_json ~tool:"RIPS" sample_result)
+          (Phpsafe.Report_json.render ~tool:"RIPS" sample_result));
     case "vector classification included per finding" (fun () ->
         let j = Phpsafe.Report_json.render sample_result in
         Alcotest.(check bool) "GET vector" true (contains j "\"vector\":\"GET\""));

@@ -194,6 +194,41 @@ let jobs_env_cases =
           (count_occurrences ~needle:"job(s)" err = 1));
   ]
 
+let quota_cases =
+  [
+    case "parse_cpu_quota: no quota, malformed, and rounding" `Quick (fun () ->
+        let check label expected line =
+          Alcotest.(check (option int)) label expected
+            (Sched.parse_cpu_quota line)
+        in
+        check "\"max\" means no quota" None "max 100000";
+        check "exact quota" (Some 2) "200000 100000";
+        check "fractional quota rounds up" (Some 2) "150000 100000";
+        check "sub-CPU quota clamps to 1" (Some 1) "50000 100000";
+        check "trailing newline tolerated" (Some 4) "400000 100000\n";
+        check "garbage is no quota" None "banana";
+        check "zero period is no quota" None "100000 0";
+        check "empty line is no quota" None "");
+    case "default size never exceeds the host's domain count" `Quick
+      (fun () ->
+        let size, _ =
+          capture_stderr (fun () ->
+              with_jobs_env "" (fun () -> Sched.default_size ()))
+        in
+        Alcotest.(check bool) "1 <= size" true (size >= 1);
+        Alcotest.(check bool) "size <= recommended_domain_count" true
+          (size <= Domain.recommended_domain_count ()));
+    case "cgroup quota (when present) caps the default size" `Quick (fun () ->
+        match Sched.cpu_quota () with
+        | None -> ()
+        | Some quota ->
+            let size, _ =
+              capture_stderr (fun () ->
+                  with_jobs_env "" (fun () -> Sched.default_size ()))
+            in
+            Alcotest.(check bool) "size <= quota" true (size <= max 1 quota));
+  ]
+
 let parallel_equals_sequential version name =
   case name `Quick (fun () ->
       let seq = Evalkit.Runner.evaluate version in
@@ -257,6 +292,7 @@ let () =
       ("Sched.map", map_cases);
       ("Sched.map_result", map_result_cases);
       ("PHPSAFE_JOBS", jobs_env_cases);
+      ("pool sizing", quota_cases);
       ("parallel driver determinism", driver_cases);
       ("parse cache", cache_cases);
     ]

@@ -1,0 +1,519 @@
+(** Serving-layer tests: frame codec under partial/coalesced delivery,
+    defensive request decoding, and the daemon end-to-end over its real
+    Unix socket — byte-identity with the in-process encoder, protocol
+    robustness (malformed JSON, oversized frames, wrong protocol version,
+    mid-request disconnects), admission control, graceful shutdown and
+    fault-injected scan payloads.  The invariant throughout: structured
+    error replies or a clean close, never a crash. *)
+
+module Protocol = Serve.Protocol
+module Scan = Serve.Scan
+module Json = Secflow.Json
+
+let case = Alcotest.test_case
+
+(* socket clients must see EPIPE as an error code, not a fatal signal *)
+let () = Sys.set_signal Sys.sigpipe Sys.Signal_ignore
+
+(* ------------------------------------------------------------------ *)
+(* Helpers                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let project name files =
+  Phplang.Project.make ~name
+    (List.map (fun (path, source) -> { Phplang.Project.path; source }) files)
+
+let vuln_project =
+  project "demo"
+    [ ("a.php", "<?php\n$x = $_GET['q'];\necho $x;\n");
+      ("b.php",
+       "<?php\n$id = $_POST['id'];\nmysql_query(\"SELECT * FROM t WHERE id = \
+        $id\");\n") ]
+
+let clean_project = project "clean" [ ("ok.php", "<?php echo 'hello';\n") ]
+
+let scan_req ?id ?tenant ?(opts = Scan.default)
+    ?(budget = Secflow.Budget.default) proj =
+  Protocol.encode_scan_request
+    { Protocol.sr_id = id; sr_tenant = tenant; sr_project = proj;
+      sr_opts = opts; sr_budget = budget }
+
+let error_code reply =
+  match Json.parse reply with
+  | Error m -> Alcotest.fail ("reply is not JSON: " ^ m)
+  | Ok json -> (
+      match
+        ( Option.bind (Json.member "ok" json) Json.to_bool_opt,
+          Option.bind (Json.member "error" json) (Json.member "code")
+          |> fun o -> Option.bind o Json.to_string_opt )
+      with
+      | Some false, Some code -> code
+      | _ -> Alcotest.fail ("not an error reply: " ^ reply))
+
+let is_ok reply =
+  match Json.parse reply with
+  | Ok json ->
+      Option.bind (Json.member "ok" json) Json.to_bool_opt = Some true
+  | Error _ -> false
+
+(* ------------------------------------------------------------------ *)
+(* Frame codec over a socketpair                                       *)
+(* ------------------------------------------------------------------ *)
+
+let with_socketpair f =
+  let a, b = Unix.socketpair Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Fun.protect
+    ~finally:(fun () ->
+      (try Unix.close a with Unix.Unix_error _ -> ());
+      try Unix.close b with Unix.Unix_error _ -> ())
+    (fun () -> f a b)
+
+let frame_cases =
+  [
+    case "round-trip, including the empty payload" `Quick (fun () ->
+        with_socketpair (fun a b ->
+            List.iter
+              (fun payload ->
+                Protocol.write_frame a payload;
+                match Protocol.read_frame b with
+                | Protocol.Frame got ->
+                    Alcotest.(check string) "payload" payload got
+                | _ -> Alcotest.fail "expected a frame")
+              [ "hello"; ""; String.make 100_000 'x' ]));
+    case "partial delivery: one byte at a time still yields the frame"
+      `Quick (fun () ->
+        with_socketpair (fun a b ->
+            let payload = "{\"op\":\"status\"}" in
+            let writer =
+              Thread.create
+                (fun () ->
+                  (* hand-build the frame and trickle it byte by byte *)
+                  let len = String.length payload in
+                  let header =
+                    Bytes.init 4 (fun i ->
+                        Char.chr ((len lsr (8 * (3 - i))) land 0xff))
+                  in
+                  let all = Bytes.cat header (Bytes.of_string payload) in
+                  Bytes.iter
+                    (fun c ->
+                      ignore
+                        (Unix.write a (Bytes.make 1 c) 0 1 : int);
+                      Thread.delay 0.001)
+                    all)
+                ()
+            in
+            let got = Protocol.read_frame b in
+            Thread.join writer;
+            match got with
+            | Protocol.Frame s -> Alcotest.(check string) "payload" payload s
+            | _ -> Alcotest.fail "expected a frame"));
+    case "coalesced delivery: two frames written back-to-back" `Quick
+      (fun () ->
+        with_socketpair (fun a b ->
+            Protocol.write_frame a "first";
+            Protocol.write_frame a "second";
+            (match Protocol.read_frame b with
+            | Protocol.Frame s -> Alcotest.(check string) "first" "first" s
+            | _ -> Alcotest.fail "expected first frame");
+            match Protocol.read_frame b with
+            | Protocol.Frame s -> Alcotest.(check string) "second" "second" s
+            | _ -> Alcotest.fail "expected second frame"));
+    case "oversized declared length is reported, not allocated blindly"
+      `Quick (fun () ->
+        with_socketpair (fun a b ->
+            Protocol.write_frame a (String.make 4096 'y');
+            match Protocol.read_frame ~max_bytes:1024 b with
+            | Protocol.Oversized n -> Alcotest.(check int) "length" 4096 n
+            | _ -> Alcotest.fail "expected Oversized"));
+    case "truncated header or body reads as Eof" `Quick (fun () ->
+        with_socketpair (fun a b ->
+            ignore (Unix.write a (Bytes.of_string "\000\000") 0 2 : int);
+            Unix.close a;
+            match Protocol.read_frame b with
+            | Protocol.Eof -> ()
+            | _ -> Alcotest.fail "expected Eof on truncated header");
+        with_socketpair (fun a b ->
+            (* header promises 100 bytes; deliver 3 and vanish *)
+            ignore
+              (Unix.write a (Bytes.of_string "\000\000\000\100abc") 0 7 : int);
+            Unix.close a;
+            match Protocol.read_frame b with
+            | Protocol.Eof -> ()
+            | _ -> Alcotest.fail "expected Eof on truncated body"));
+    case "write to a closed peer raises Closed, not a signal" `Quick
+      (fun () ->
+        with_socketpair (fun a b ->
+            Unix.close b;
+            let big = String.make 1_000_000 'z' in
+            match
+              (* the first write may land in the kernel buffer; keep
+                 writing until the failure surfaces *)
+              for _ = 1 to 64 do
+                Protocol.write_frame a big
+              done
+            with
+            | () -> Alcotest.fail "expected Closed"
+            | exception Protocol.Closed -> ()));
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Request decoding                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let expect_code expected payload =
+  match Protocol.decode_request payload with
+  | Ok _ -> Alcotest.fail ("decoded instead of rejecting: " ^ payload)
+  | Error e -> Alcotest.(check string) "error code" expected e.Protocol.e_code
+
+let decode_cases =
+  [
+    case "malformed JSON is bad_json" `Quick (fun () ->
+        List.iter (expect_code "bad_json")
+          [ "{"; "not json"; "{\"op\":}"; "\xff\xfe"; "{} trailing" ]);
+    case "missing or wrong protocol version is bad_proto" `Quick (fun () ->
+        expect_code "bad_proto" "{\"op\":\"status\"}";
+        expect_code "bad_proto"
+          "{\"proto\":\"phpsafe-serve/999\",\"op\":\"status\"}");
+    case "missing and unknown ops are bad_request" `Quick (fun () ->
+        expect_code "bad_request" "{\"proto\":\"phpsafe-serve/1\"}";
+        expect_code "bad_request"
+          "{\"proto\":\"phpsafe-serve/1\",\"op\":\"explode\"}");
+    case "scan validation: project, tenant, tool, kind, budget" `Quick
+      (fun () ->
+        expect_code "bad_request"
+          "{\"proto\":\"phpsafe-serve/1\",\"op\":\"scan\"}";
+        expect_code "bad_request"
+          "{\"proto\":\"phpsafe-serve/1\",\"op\":\"scan\",\"tenant\":\"../x\",\
+           \"project\":{\"name\":\"p\",\"files\":[]}}";
+        expect_code "bad_request"
+          "{\"proto\":\"phpsafe-serve/1\",\"op\":\"scan\",\"tool\":\"weka\",\
+           \"project\":{\"name\":\"p\",\"files\":[]}}";
+        expect_code "bad_request"
+          "{\"proto\":\"phpsafe-serve/1\",\"op\":\"scan\",\"kind\":\"csrf\",\
+           \"project\":{\"name\":\"p\",\"files\":[]}}";
+        expect_code "bad_request"
+          "{\"proto\":\"phpsafe-serve/1\",\"op\":\"scan\",\
+           \"budget\":{\"parse_depth\":0},\
+           \"project\":{\"name\":\"p\",\"files\":[]}}";
+        expect_code "bad_request"
+          "{\"proto\":\"phpsafe-serve/1\",\"op\":\"scan\",\
+           \"project\":{\"name\":\"p\",\"files\":[{\"path\":\"\",\
+           \"source\":\"x\"}]}}");
+    case "deeply nested payload is rejected, not a stack overflow" `Quick
+      (fun () ->
+        let bomb =
+          String.concat "" (List.init 100_000 (fun _ -> "["))
+          ^ String.concat "" (List.init 100_000 (fun _ -> "]"))
+        in
+        expect_code "bad_json" bomb);
+    case "scan request round-trips through encode/decode" `Quick (fun () ->
+        let budget =
+          { Secflow.Budget.default with Secflow.Budget.parse_depth = 7 }
+        in
+        let opts =
+          { Scan.tool = "phpsafe"; kind = Some Secflow.Vuln.Xss;
+            contexts = true; flow = true }
+        in
+        let payload =
+          scan_req ~id:"req-1" ~tenant:"acme" ~opts ~budget vuln_project
+        in
+        match Protocol.decode_request payload with
+        | Error e -> Alcotest.fail ("rejected: " ^ e.Protocol.e_msg)
+        | Ok (Protocol.Scan r) ->
+            Alcotest.(check (option string)) "id" (Some "req-1")
+              r.Protocol.sr_id;
+            Alcotest.(check (option string)) "tenant" (Some "acme")
+              r.Protocol.sr_tenant;
+            Alcotest.(check bool) "opts" true (r.Protocol.sr_opts = opts);
+            Alcotest.(check bool) "budget" true (r.Protocol.sr_budget = budget);
+            Alcotest.(check bool) "project" true
+              (r.Protocol.sr_project = vuln_project)
+        | Ok _ -> Alcotest.fail "decoded to a non-scan request");
+    case "simple requests round-trip" `Quick (fun () ->
+        match
+          Protocol.decode_request
+            (Protocol.encode_simple_request ~op:"status" ~id:"s1" ())
+        with
+        | Ok (Protocol.Status (Some "s1")) -> ()
+        | _ -> Alcotest.fail "status round-trip failed");
+    case "scan_report_of_reply cuts the spliced report back out verbatim"
+      `Quick (fun () ->
+        let report = "{\"summary\":{\"xss\":1},\"findings\":[]}" in
+        let reply = Protocol.scan_reply ~id:"x\"report\":y" ~report () in
+        (match Protocol.scan_report_of_reply reply with
+        | Ok got -> Alcotest.(check string) "verbatim" report got
+        | Error m -> Alcotest.fail m);
+        match
+          Protocol.scan_report_of_reply
+            (Protocol.error_reply ~op:"scan" ~code:"overloaded" ~msg:"full" ())
+        with
+        | Error m ->
+            Alcotest.(check bool) "carries the code" true
+              (String.length m > 0
+              && String.sub m 0 12 = "server error")
+        | Ok _ -> Alcotest.fail "error reply produced a report");
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Daemon end-to-end                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let sock_seq = ref 0
+
+let connect sock =
+  let fd = Unix.socket ~cloexec:true Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Unix.connect fd (Unix.ADDR_UNIX sock);
+  fd
+
+let with_daemon ?(reshape = fun c -> c) f =
+  incr sock_seq;
+  let sock =
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "phpsafe-test-serve-%d-%d.sock" (Unix.getpid ())
+         !sock_seq)
+  in
+  if Sys.file_exists sock then Sys.remove sock;
+  let cfg =
+    reshape (Serve.Daemon.default_config (Serve.Daemon.Unix_sock sock))
+  in
+  let daemon = Thread.create Serve.Daemon.run cfg in
+  let deadline = Unix.gettimeofday () +. 10. in
+  while (not (Sys.file_exists sock)) && Unix.gettimeofday () < deadline do
+    Thread.delay 0.005
+  done;
+  if not (Sys.file_exists sock) then Alcotest.fail "daemon did not come up";
+  Fun.protect
+    ~finally:(fun () ->
+      (match connect sock with
+      | exception _ -> ()
+      | fd ->
+          (try
+             Protocol.write_frame fd
+               (Protocol.encode_simple_request ~op:"shutdown" ());
+             ignore (Protocol.read_frame fd)
+           with _ -> ());
+          (try Unix.close fd with Unix.Unix_error _ -> ()));
+      Thread.join daemon)
+    (fun () -> f sock)
+
+(* One request/reply on a fresh connection. *)
+let roundtrip sock payload =
+  let fd = connect sock in
+  Fun.protect
+    ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+    (fun () ->
+      Protocol.write_frame fd payload;
+      match Protocol.read_frame fd with
+      | Protocol.Frame reply -> reply
+      | Protocol.Eof -> Alcotest.fail "connection closed instead of replying"
+      | Protocol.Oversized _ -> Alcotest.fail "oversized reply")
+
+let scan_via sock ?tenant ?(opts = Scan.default) proj =
+  match
+    Protocol.scan_report_of_reply (roundtrip sock (scan_req ?tenant ~opts proj))
+  with
+  | Ok report -> report
+  | Error m -> Alcotest.fail ("scan failed: " ^ m)
+
+let daemon_cases =
+  [
+    case "scan replies are byte-identical to the in-process encoder" `Quick
+      (fun () ->
+        with_daemon (fun sock ->
+            List.iter
+              (fun (opts : Scan.opts) ->
+                let expected = Scan.run_json opts vuln_project in
+                Alcotest.(check string)
+                  (Printf.sprintf "tool=%s contexts=%b flow=%b kind=%s"
+                     opts.Scan.tool opts.Scan.contexts opts.Scan.flow
+                     (Scan.kind_to_string opts.Scan.kind))
+                  expected
+                  (scan_via sock ~opts vuln_project))
+              [ Scan.default;
+                { Scan.default with Scan.contexts = true };
+                { Scan.default with Scan.flow = true };
+                { Scan.default with Scan.kind = Some Secflow.Vuln.Xss };
+                { Scan.default with Scan.tool = "rips" };
+                { Scan.default with Scan.tool = "pixy" } ]))
+    ;
+    case "malformed JSON gets an error reply and the connection survives"
+      `Quick (fun () ->
+        with_daemon (fun sock ->
+            let fd = connect sock in
+            Fun.protect
+              ~finally:(fun () ->
+                try Unix.close fd with Unix.Unix_error _ -> ())
+              (fun () ->
+                Protocol.write_frame fd "this is not json";
+                (match Protocol.read_frame fd with
+                | Protocol.Frame reply ->
+                    Alcotest.(check string) "code" "bad_json"
+                      (error_code reply)
+                | _ -> Alcotest.fail "expected an error reply");
+                (* same connection still serves valid requests *)
+                Protocol.write_frame fd
+                  (Protocol.encode_simple_request ~op:"status" ());
+                match Protocol.read_frame fd with
+                | Protocol.Frame reply ->
+                    Alcotest.(check bool) "status ok" true (is_ok reply)
+                | _ -> Alcotest.fail "connection did not survive")))
+    ;
+    case "unknown protocol version gets bad_proto, connection survives"
+      `Quick (fun () ->
+        with_daemon (fun sock ->
+            let fd = connect sock in
+            Fun.protect
+              ~finally:(fun () ->
+                try Unix.close fd with Unix.Unix_error _ -> ())
+              (fun () ->
+                Protocol.write_frame fd
+                  "{\"proto\":\"phpsafe-serve/99\",\"op\":\"status\"}";
+                (match Protocol.read_frame fd with
+                | Protocol.Frame reply ->
+                    Alcotest.(check string) "code" "bad_proto"
+                      (error_code reply)
+                | _ -> Alcotest.fail "expected an error reply");
+                Protocol.write_frame fd
+                  (Protocol.encode_simple_request ~op:"metrics" ());
+                match Protocol.read_frame fd with
+                | Protocol.Frame reply ->
+                    Alcotest.(check bool) "metrics ok" true (is_ok reply)
+                | _ -> Alcotest.fail "connection did not survive")))
+    ;
+    case "oversized frame gets a structured refusal, then a clean close"
+      `Quick (fun () ->
+        with_daemon
+          ~reshape:(fun c -> { c with Serve.Daemon.max_frame_bytes = 512 })
+          (fun sock ->
+            let fd = connect sock in
+            Fun.protect
+              ~finally:(fun () ->
+                try Unix.close fd with Unix.Unix_error _ -> ())
+              (fun () ->
+                Protocol.write_frame fd (String.make 4096 'x');
+                (match Protocol.read_frame fd with
+                | Protocol.Frame reply ->
+                    Alcotest.(check string) "code" "oversized"
+                      (error_code reply)
+                | _ -> Alcotest.fail "expected an error reply");
+                match Protocol.read_frame fd with
+                | Protocol.Eof -> ()
+                | _ -> Alcotest.fail "expected a close after oversized");
+            (* and the daemon itself is still alive *)
+            Alcotest.(check bool) "daemon alive" true
+              (is_ok
+                 (roundtrip sock
+                    (Protocol.encode_simple_request ~op:"status" ())))))
+    ;
+    case "mid-request disconnect never takes the daemon down" `Quick
+      (fun () ->
+        with_daemon (fun sock ->
+            (* fire a scan and vanish without reading the reply *)
+            let fd = connect sock in
+            Protocol.write_frame fd (scan_req vuln_project);
+            Unix.close fd;
+            (* a second client is served normally afterwards *)
+            let expected = Scan.run_json Scan.default vuln_project in
+            Alcotest.(check string) "daemon still serves" expected
+              (scan_via sock vuln_project)))
+    ;
+    case "concurrent scans all return byte-identical reports" `Quick
+      (fun () ->
+        with_daemon (fun sock ->
+            let expected = Scan.run_json Scan.default vuln_project in
+            let results = Array.make 8 "" in
+            let client i =
+              results.(i) <- scan_via sock vuln_project
+            in
+            let threads = List.init 8 (fun i -> Thread.create client i) in
+            List.iter Thread.join threads;
+            Array.iteri
+              (fun i got ->
+                Alcotest.(check string)
+                  (Printf.sprintf "client %d" i)
+                  expected got)
+              results))
+    ;
+    case "admission control: max_queue 0 sheds every scan as overloaded"
+      `Quick (fun () ->
+        with_daemon
+          ~reshape:(fun c -> { c with Serve.Daemon.max_queue = 0 })
+          (fun sock ->
+            let reply = roundtrip sock (scan_req clean_project) in
+            Alcotest.(check string) "code" "overloaded" (error_code reply);
+            (* non-scan ops are not subject to admission control *)
+            Alcotest.(check bool) "status still ok" true
+              (is_ok
+                 (roundtrip sock
+                    (Protocol.encode_simple_request ~op:"status" ())))))
+    ;
+    case "graceful shutdown drains queued scans before exiting" `Quick
+      (fun () ->
+        let delivered = ref "" in
+        let expected = Scan.run_json Scan.default vuln_project in
+        with_daemon (fun sock ->
+            let fd = connect sock in
+            Protocol.write_frame fd (scan_req vuln_project);
+            (* shutdown from a second connection while the scan is queued
+               or in flight *)
+            ignore
+              (roundtrip sock (Protocol.encode_simple_request ~op:"shutdown" ())
+                : string);
+            (match Protocol.read_frame fd with
+            | Protocol.Frame reply -> (
+                match Protocol.scan_report_of_reply reply with
+                | Ok report -> delivered := report
+                | Error m -> Alcotest.fail ("drained scan failed: " ^ m))
+            | _ -> Alcotest.fail "queued scan was dropped on shutdown");
+            Unix.close fd);
+        (* with_daemon joined the daemon thread: shutdown completed *)
+        Alcotest.(check string) "drained reply is the real report" expected
+          !delivered)
+    ;
+    case "status and metrics report the ops surface" `Quick (fun () ->
+        with_daemon (fun sock ->
+            ignore (scan_via sock vuln_project : string);
+            let status =
+              roundtrip sock (Protocol.encode_simple_request ~op:"status" ())
+            in
+            let metrics =
+              roundtrip sock (Protocol.encode_simple_request ~op:"metrics" ())
+            in
+            let int_field doc path =
+              match Json.parse doc with
+              | Error m -> Alcotest.fail m
+              | Ok json ->
+                  List.fold_left
+                    (fun acc name -> Option.bind acc (Json.member name))
+                    (Some json) path
+                  |> fun o ->
+                  Option.bind o Json.to_int_opt
+                  |> Option.value ~default:(-1)
+            in
+            Alcotest.(check bool) "served >= 1" true
+              (int_field status [ "served" ] >= 1);
+            Alcotest.(check int) "queue drained" 0
+              (int_field status [ "queue_depth" ]);
+            Alcotest.(check bool) "latency count >= 1" true
+              (int_field metrics [ "latency_ms"; "count" ] >= 1)))
+    ;
+    case "fault-injected sources come back as reports, never crashes"
+      `Quick (fun () ->
+        with_daemon (fun sock ->
+            List.iter
+              (fun ((kind : Evalkit.Faults.kind), mutant) ->
+                let expected = Scan.run_json Scan.default mutant in
+                Alcotest.(check string)
+                  (Evalkit.Faults.kind_label kind)
+                  expected
+                  (scan_via sock mutant))
+              (Evalkit.Faults.mutants ~seed:42 ~count:8 vuln_project)))
+    ;
+  ]
+
+let () =
+  Alcotest.run "serve"
+    [ ("frame codec", frame_cases);
+      ("request decoding", decode_cases);
+      ("daemon end-to-end", daemon_cases) ]
