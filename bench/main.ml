@@ -218,7 +218,7 @@ let print_bench_results results =
 (* --json FILE: machine-readable results (schema phpsafe-bench/1)      *)
 (* ------------------------------------------------------------------ *)
 
-let write_json path ~table3 ~seq_par ~e13 ~e12 ~e14 =
+let write_json path ~table3 ~seq_par ~e13 ~e12 ~e14 ~e15 =
   let b = Buffer.create 4096 in
   let bpf fmt = Printf.bprintf b fmt in
   bpf "{\n  \"schema\": \"phpsafe-bench/1\",\n";
@@ -281,7 +281,7 @@ let write_json path ~table3 ~seq_par ~e13 ~e12 ~e14 =
         r.Evalkit.Incremental.ir_points;
       bpf "\n    }\n  },\n");
   (match e14 with
-  | None -> bpf "  \"e14\": null\n"
+  | None -> bpf "  \"e14\": null,\n"
   | Some (r : Evalkit.Serve_bench.report) ->
       let pass key (p : Evalkit.Serve_bench.pass) last =
         bpf
@@ -297,7 +297,32 @@ let write_json path ~table3 ~seq_par ~e13 ~e12 ~e14 =
         r.Evalkit.Serve_bench.sb_jobs;
       pass "cold" r.Evalkit.Serve_bench.sb_cold false;
       pass "warm" r.Evalkit.Serve_bench.sb_warm true;
-      bpf "  }\n");
+      bpf "  },\n");
+  (match e15 with
+  | None -> bpf "  \"e15\": null\n"
+  | Some (r : Evalkit.Chaos.report) ->
+      bpf "  \"e15\": {\n";
+      bpf "    \"seed\": %d,\n    \"rounds\": %d,\n    \"jobs\": %d,\n"
+        r.Evalkit.Chaos.ch_seed r.Evalkit.Chaos.ch_rounds
+        r.Evalkit.Chaos.ch_jobs;
+      bpf "    \"requests\": %d,\n    \"crashes\": %d,\n"
+        r.Evalkit.Chaos.ch_requests r.Evalkit.Chaos.ch_crashes;
+      bpf "    \"unterminated\": %d,\n    \"identity_ok\": %b,\n"
+        r.Evalkit.Chaos.ch_unterminated r.Evalkit.Chaos.ch_identity_ok;
+      bpf "    \"overshoot_p99_ms\": %.3f,\n    \"tolerance_ms\": %.1f,\n"
+        r.Evalkit.Chaos.ch_overshoot_p99_ms r.Evalkit.Chaos.ch_tolerance_ms;
+      bpf "    \"scenarios\": {";
+      List.iteri
+        (fun i (row : Evalkit.Chaos.row) ->
+          bpf
+            "%s\n      \"%s\": {\"report\": %d, \"deadline\": %d, \
+             \"overloaded\": %d, \"transport\": %d, \"other\": %d}"
+            (if i = 0 then "" else ",")
+            row.Evalkit.Chaos.cr_scenario row.Evalkit.Chaos.cr_report
+            row.Evalkit.Chaos.cr_deadline row.Evalkit.Chaos.cr_overloaded
+            row.Evalkit.Chaos.cr_transport row.Evalkit.Chaos.cr_other)
+        r.Evalkit.Chaos.ch_rows;
+      bpf "\n    }\n  }\n");
   bpf "}\n";
   Obs.write_file path (Buffer.contents b);
   Format.eprintf "bench results written to %s@." path
@@ -352,8 +377,18 @@ let () =
       Some r
     end
   in
+  (* E15: service-layer chaos against live daemons (its own temporary cache
+     and socket dirs; skipped under --no-cache like the other serve runs) *)
+  let e15 =
+    if no_cache then None
+    else begin
+      let r = Evalkit.Chaos.run ~jobs:(Sched.size pool) () in
+      Evalkit.Chaos.print Format.std_formatter r;
+      Some r
+    end
+  in
   Option.iter
-    (fun path -> write_json path ~table3 ~seq_par ~e13 ~e12 ~e14)
+    (fun path -> write_json path ~table3 ~seq_par ~e13 ~e12 ~e14 ~e15)
     json_out;
   if Phplang.Store.enabled () then
     Format.eprintf "%a" Phplang.Store.pp_counters ();

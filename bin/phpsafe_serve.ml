@@ -29,7 +29,9 @@ let listen_of socket tcp =
 (* Client side                                                         *)
 (* ------------------------------------------------------------------ *)
 
-let connect listen =
+(* Transport failures come back as [Error msg] rather than exiting so the
+   retry layer can decide; the simple ops still exit 3 at their callers. *)
+let roundtrip_result listen payload =
   let fd, addr =
     match listen with
     | Serve.Daemon.Unix_sock path ->
@@ -40,29 +42,81 @@ let connect listen =
           Unix.ADDR_INET ((Unix.gethostbyname host).Unix.h_addr_list.(0), port)
         )
   in
-  (try Unix.connect fd addr
-   with Unix.Unix_error (err, _, _) ->
-     prerr_endline
-       (Printf.sprintf "phpsafe_serve: cannot connect: %s"
-          (Unix.error_message err));
-     exit 3);
-  fd
-
-let roundtrip listen payload =
-  let fd = connect listen in
   Fun.protect
     ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
     (fun () ->
-      Serve.Protocol.write_frame fd payload;
-      match Serve.Protocol.read_frame fd with
-      | Serve.Protocol.Frame reply -> reply
-      | Serve.Protocol.Eof ->
-          prerr_endline "phpsafe_serve: server closed the connection";
-          exit 3
-      | Serve.Protocol.Oversized n ->
-          prerr_endline
-            (Printf.sprintf "phpsafe_serve: oversized reply (%d bytes)" n);
-          exit 3)
+      match Unix.connect fd addr with
+      | exception Unix.Unix_error (err, _, _) ->
+          Error (Printf.sprintf "cannot connect: %s" (Unix.error_message err))
+      | () -> (
+          match
+            Serve.Protocol.write_frame fd payload;
+            Serve.Protocol.read_frame fd
+          with
+          | Serve.Protocol.Frame reply -> Ok reply
+          | Serve.Protocol.Eof -> Error "server closed the connection"
+          | Serve.Protocol.Timed_out -> Error "server stopped responding"
+          | Serve.Protocol.Oversized n ->
+              Error (Printf.sprintf "oversized reply (%d bytes)" n)
+          | exception Serve.Protocol.Closed ->
+              Error "server closed the connection"
+          | exception Unix.Unix_error (err, _, _) ->
+              Error (Unix.error_message err)))
+
+let roundtrip listen payload =
+  match roundtrip_result listen payload with
+  | Ok reply -> reply
+  | Error msg ->
+      prerr_endline ("phpsafe_serve: " ^ msg);
+      exit 3
+
+(* A delivered reply is only retried when the server explicitly said "try
+   again later" — [overloaded] or [shutting_down].  Anything else (a
+   report, a bad_request, a deadline_exceeded) is an answer, and answers
+   are never re-asked. *)
+let retryable_code reply =
+  match Json.parse reply with
+  | Error _ -> None
+  | Ok json -> (
+      match Option.bind (Json.member "ok" json) Json.to_bool_opt with
+      | Some false -> (
+          match
+            Option.bind (Json.member "error" json) (fun e ->
+                Option.bind (Json.member "code" e) Json.to_string_opt)
+          with
+          | Some (("overloaded" | "shutting_down") as code) -> Some code
+          | _ -> None)
+      | _ -> None)
+
+(* Exponential backoff with decorrelated jitter (sleep =
+   min(cap, uniform(base, 3 × previous sleep))): retries spread out
+   instead of synchronizing into waves when many clients hit the same
+   overloaded daemon. *)
+let retry_roundtrip ~retries ~retry_max_delay listen payload =
+  let base = 0.05 in
+  let rec go attempt prev_sleep =
+    let result = roundtrip_result listen payload in
+    let retry reason =
+      let hi = Float.max (base +. 1e-9) (prev_sleep *. 3.) in
+      let sleep =
+        Float.min retry_max_delay (base +. Random.float (hi -. base))
+      in
+      Printf.eprintf "phpsafe_serve: %s; retrying in %.2fs (%d/%d)\n%!"
+        reason sleep (attempt + 1) retries;
+      Unix.sleepf sleep;
+      go (attempt + 1) sleep
+    in
+    if attempt >= retries then result
+    else
+      match result with
+      | Error msg -> retry msg
+      | Ok reply -> (
+          match retryable_code reply with
+          | Some code -> retry (Printf.sprintf "server replied %s" code)
+          | None -> result)
+  in
+  if retries > 0 then Random.self_init ();
+  go 0 base
 
 (* Mirror phpsafe_cli's exit-code contract from the report document:
    2 = some file failed, 1 = findings present, 0 = clean. *)
@@ -80,7 +134,8 @@ let exit_code_of_report raw =
       in
       if failed > 0 then 2 else if findings <> [] then 1 else 0
 
-let run_scan socket tcp target tool_name kinds contexts flow tenant id budget =
+let run_scan socket tcp target tool_name kinds contexts flow tenant id budget
+    deadline retries retry_max_delay =
   let listen = listen_of socket tcp in
   let kind =
     match Serve.Scan.kind_of_string kinds with
@@ -92,17 +147,27 @@ let run_scan socket tcp target tool_name kinds contexts flow tenant id budget =
       sr_tenant = tenant;
       sr_project = Phplang.Project.load target;
       sr_opts = { Serve.Scan.tool = tool_name; kind; contexts; flow };
-      sr_budget = budget }
+      sr_budget = budget;
+      sr_deadline_ms = deadline }
   in
-  let reply = roundtrip listen (Serve.Protocol.encode_scan_request req) in
-  match Serve.Protocol.scan_report_of_reply reply with
-  | Ok report ->
-      print_string report;
-      print_newline ();
-      exit_code_of_report report
+  match
+    retry_roundtrip ~retries:(max 0 retries)
+      ~retry_max_delay:(Float.max 0.05 retry_max_delay)
+      listen
+      (Serve.Protocol.encode_scan_request req)
+  with
   | Error msg ->
       prerr_endline ("phpsafe_serve: " ^ msg);
       3
+  | Ok reply -> (
+      match Serve.Protocol.scan_report_of_reply reply with
+      | Ok report ->
+          print_string report;
+          print_newline ();
+          exit_code_of_report report
+      | Error msg ->
+          prerr_endline ("phpsafe_serve: " ^ msg);
+          3)
 
 let run_simple op socket tcp id =
   let listen = listen_of socket tcp in
@@ -118,7 +183,7 @@ let run_simple op socket tcp id =
 (* ------------------------------------------------------------------ *)
 
 let run_serve socket tcp jobs max_queue max_inflight max_frame_bytes prune_age
-    cache_dir no_cache =
+    cache_dir no_cache io_timeout =
   if no_cache then Phplang.Store.set_root None
   else Option.iter (fun d -> Phplang.Store.set_root (Some d)) cache_dir;
   let cfg =
@@ -127,10 +192,25 @@ let run_serve socket tcp jobs max_queue max_inflight max_frame_bytes prune_age
       max_queue;
       max_inflight;
       max_frame_bytes;
-      prune_age_s = prune_age }
+      prune_age_s = prune_age;
+      io_timeout_s = (match io_timeout with Some s when s > 0. -> Some s | _ -> None) }
   in
   Serve.Daemon.run cfg;
   0
+
+let run_fsck cache_dir =
+  Option.iter (fun d -> Phplang.Store.set_root (Some d)) cache_dir;
+  match Phplang.Store.root () with
+  | None ->
+      prerr_endline
+        "phpsafe_serve: fsck needs --cache-dir DIR (or PHPSAFE_CACHE_DIR)";
+      3
+  | Some root ->
+      let r = Phplang.Store.fsck () in
+      Printf.printf "fsck %s: %d entries scanned, %d ok, %d quarantined\n"
+        root r.Phplang.Store.fk_scanned r.Phplang.Store.fk_ok
+        r.Phplang.Store.fk_quarantined;
+      if r.Phplang.Store.fk_quarantined > 0 then 1 else 0
 
 (* ------------------------------------------------------------------ *)
 (* Command line                                                        *)
@@ -231,11 +311,22 @@ let serve_cmd =
     let doc = "Run without the persistent disk cache." in
     Arg.(value & flag & info [ "no-cache" ] ~doc)
   in
+  let io_timeout =
+    let doc =
+      "Per-syscall socket receive/send timeout in seconds; a peer silent
+       (or not reading) for a whole interval loses its connection instead
+       of pinning a handler thread.  0 disables."
+    in
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "io-timeout" ] ~docv:"SECONDS" ~doc)
+  in
   Cmd.v
     (Cmd.info "serve" ~doc)
     Term.(
       const run_serve $ socket $ tcp $ jobs $ max_queue $ max_inflight
-      $ max_frame_bytes $ prune_age $ cache_dir $ no_cache)
+      $ max_frame_bytes $ prune_age $ cache_dir $ no_cache $ io_timeout)
 
 let scan_cmd =
   let doc =
@@ -270,6 +361,28 @@ let scan_cmd =
     in
     Arg.(value & opt (some string) None & info [ "tenant" ] ~docv:"NAME" ~doc)
   in
+  let deadline =
+    let doc =
+      "End-to-end deadline for this request in milliseconds, measured from
+       the daemon's admission (queue time counts).  A request past it is
+       answered with a $(b,deadline_exceeded) error instead of a report."
+    in
+    Arg.(value & opt (some int) None & info [ "deadline" ] ~docv:"MS" ~doc)
+  in
+  let retries =
+    let doc =
+      "Retry transport failures and $(b,overloaded)/$(b,shutting_down)
+       replies up to $(docv) times with exponential backoff and
+       decorrelated jitter.  A delivered report or any other error reply
+       is final and never retried."
+    in
+    Arg.(value & opt int 0 & info [ "retries" ] ~docv:"N" ~doc)
+  in
+  let retry_max_delay =
+    let doc = "Cap on the backoff sleep between retries, in seconds." in
+    Arg.(
+      value & opt float 2.0 & info [ "retry-max-delay" ] ~docv:"SECONDS" ~doc)
+  in
   let exits =
     Cmd.Exit.info 0 ~doc:"on a clean scan."
     :: Cmd.Exit.info 1 ~doc:"when findings remain after the $(b,--kind) filter."
@@ -281,11 +394,25 @@ let scan_cmd =
     (Cmd.info "scan" ~doc ~exits)
     Term.(
       const run_scan $ socket $ tcp $ target $ tool $ kinds $ contexts $ flow
-      $ tenant $ id $ budget)
+      $ tenant $ id $ budget $ deadline $ retries $ retry_max_delay)
 
 let simple_cmd name doc =
   let runner = run_simple name in
   Cmd.v (Cmd.info name ~doc) Term.(const runner $ socket $ tcp $ id)
+
+let fsck_cmd =
+  let doc =
+    "verify every cache entry (frame header + payload digest) and move
+     corrupt ones to $(b,<cache-dir>/quarantine) for inspection; exits 1
+     when anything was quarantined"
+  in
+  let cache_dir =
+    let doc =
+      "Cache directory to verify (defaults to $(b,PHPSAFE_CACHE_DIR))."
+    in
+    Arg.(value & opt (some string) None & info [ "cache-dir" ] ~docv:"DIR" ~doc)
+  in
+  Cmd.v (Cmd.info "fsck" ~doc) Term.(const run_fsck $ cache_dir)
 
 let cmd =
   let doc = "phpSAFE analysis-as-a-service daemon and client" in
@@ -293,6 +420,7 @@ let cmd =
   Cmd.group info
     [ serve_cmd;
       scan_cmd;
+      fsck_cmd;
       simple_cmd "status"
         "print the daemon's status reply (queue depth, served/shed totals,
          per-namespace store usage)";

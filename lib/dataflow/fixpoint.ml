@@ -39,13 +39,15 @@ type 'st result = {
   converged : bool;  (** [false] when [max_passes] ran out first *)
 }
 
-let solve (c : 'st config) (cfg : Cfg.t) : 'st result =
+let solve ?(check = fun () -> ()) (c : 'st config) (cfg : Cfg.t) :
+    'st result =
   let n = Cfg.size cfg in
   let out_states = Array.make n None in
   let order = Cfg.rpo cfg in
   let changed = ref true in
   let passes = ref 0 in
   while !changed && !passes < c.max_passes do
+    check ();
     changed := false;
     incr passes;
     List.iter

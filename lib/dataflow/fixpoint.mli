@@ -23,4 +23,9 @@ type 'st result = {
   converged : bool;  (** [false] when [max_passes] ran out first *)
 }
 
-val solve : 'st config -> Cfg.t -> 'st result
+val solve : ?check:(unit -> unit) -> 'st config -> Cfg.t -> 'st result
+(** [solve ?check c cfg] runs the fixpoint to convergence or the pass
+    budget.  [check] (default: no-op) is called at the top of every pass;
+    it may raise to abandon the solve — the serving daemon passes
+    [Secflow.Deadline.check] here so a per-request wall-clock deadline
+    cancels long-running fixpoints at pass boundaries. *)

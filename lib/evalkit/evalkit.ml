@@ -28,5 +28,6 @@ module History = History
 module Scaling = Scaling
 module Incremental = Incremental
 module Serve_bench = Serve_bench
+module Chaos = Chaos
 module Pattern_report = Pattern_report
 module Faults = Faults

@@ -89,8 +89,15 @@ let run_tools_parallel ~pool tools (corpus : Corpus.t) : tool_run list =
     |> List.map2
          (fun ((tool : Secflow.Tool.t), p) outcome ->
            match outcome with
-           | Ok item -> item
-           | Error (exn, _bt) ->
+           | Sched.Done item -> item
+           | Sched.Cancelled ->
+               (* evaluation runs never set deadlines, but account for a
+                  cancellation the same way as a crash if one ever arrives *)
+               ( tool.Secflow.Tool.name,
+                 p.Corpus.Catalog.po_name,
+                 crashed_result p Sched.Cancel,
+                 0. )
+           | Sched.Crashed (exn, _bt) ->
                (* per-item isolation: this (tool, plugin) crashed; the other
                   items' results are all still in the list *)
                ( tool.Secflow.Tool.name,

@@ -74,7 +74,8 @@ let request_of (p : Corpus.Catalog.plugin_output) =
       sr_tenant = None;
       sr_project = p.Corpus.Catalog.po_project;
       sr_opts = Serve.Scan.default;
-      sr_budget = Secflow.Budget.default }
+      sr_budget = Secflow.Budget.default;
+      sr_deadline_ms = None }
 
 (* nearest-rank percentile over a sorted array *)
 let percentile sorted p =
@@ -108,7 +109,8 @@ let run_pass ~sock ~clients requests =
                     match Serve.Protocol.scan_report_of_reply reply with
                     | Ok _ -> ()
                     | Error msg -> failwith ("scan error reply: " ^ msg))
-                | Serve.Protocol.Eof | Serve.Protocol.Oversized _ ->
+                | Serve.Protocol.Eof | Serve.Protocol.Oversized _
+                | Serve.Protocol.Timed_out ->
                     failwith "connection lost mid-pass");
                 lats.(!i) <- (Obs.Clock.now () -. t0) *. 1000.;
                 i := !i + clients

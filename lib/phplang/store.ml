@@ -91,7 +91,12 @@ let effective_ns ns =
 (* Hit / miss / store accounting, per namespace                        *)
 (* ------------------------------------------------------------------ *)
 
-type counter = { mutable hit : int; mutable miss : int; mutable store : int }
+type counter = {
+  mutable hit : int;
+  mutable miss : int;
+  mutable store : int;
+  mutable write_error : int;
+}
 
 let counters_lock = Mutex.create ()
 let counters_tbl : (string, counter) Hashtbl.t = Hashtbl.create 8
@@ -102,7 +107,7 @@ let counter_for ns =
     match Hashtbl.find_opt counters_tbl ns with
     | Some c -> c
     | None ->
-        let c = { hit = 0; miss = 0; store = 0 } in
+        let c = { hit = 0; miss = 0; store = 0; write_error = 0 } in
         Hashtbl.replace counters_tbl ns c;
         c
   in
@@ -115,20 +120,38 @@ let count ns what =
   (match what with
   | `Hit -> c.hit <- c.hit + 1
   | `Miss -> c.miss <- c.miss + 1
-  | `Store -> c.store <- c.store + 1);
+  | `Store -> c.store <- c.store + 1
+  | `Write_error -> c.write_error <- c.write_error + 1);
   Mutex.unlock counters_lock;
   Obs.incr
     (Printf.sprintf "cache.%s.%s" ns
-       (match what with `Hit -> "hit" | `Miss -> "miss" | `Store -> "store"))
+       (match what with
+       | `Hit -> "hit"
+       | `Miss -> "miss"
+       | `Store -> "store"
+       | `Write_error -> "write_error"))
 
-type stats = { ns : string; hits : int; misses : int; stores : int }
+type stats = {
+  ns : string;
+  hits : int;
+  misses : int;
+  stores : int;
+  write_errors : int;
+}
 
 let counters () =
   Mutex.lock counters_lock;
   let out =
     Hashtbl.fold
       (fun ns c acc ->
-        { ns; hits = c.hit; misses = c.miss; stores = c.store } :: acc)
+        {
+          ns;
+          hits = c.hit;
+          misses = c.miss;
+          stores = c.store;
+          write_errors = c.write_error;
+        }
+        :: acc)
       counters_tbl []
   in
   Mutex.unlock counters_lock;
@@ -145,12 +168,31 @@ let pp_counters ppf () =
       let looked_up = s.hits + s.misses in
       Format.fprintf ppf
         "cache %-8s %6d hit(s) / %6d miss(es) (%3.0f%% hit rate), %6d \
-         store(s)@."
+         store(s)%s@."
         s.ns s.hits s.misses
         (if looked_up = 0 then 0.
          else 100. *. float_of_int s.hits /. float_of_int looked_up)
-        s.stores)
+        s.stores
+        (if s.write_errors = 0 then ""
+         else Printf.sprintf ", %d write error(s)" s.write_errors))
     (counters ())
+
+(* ------------------------------------------------------------------ *)
+(* Fault injection (tests / chaos harness)                             *)
+(* ------------------------------------------------------------------ *)
+
+(* The hook runs just before the store touches the disk for an entry; a
+   hook that raises simulates ENOSPC/EACCES/EIO at exactly the narrow
+   points the production error handling covers: reads degrade to a miss,
+   writes to a counted write error.  Process-global on purpose — the chaos
+   harness arms it around requests flowing through worker domains. *)
+let fault_hook : ([ `Read | `Write ] -> string -> unit) option Atomic.t =
+  Atomic.make None
+
+let set_fault_hook h = Atomic.set fault_hook h
+
+let fault op path =
+  match Atomic.get fault_hook with Some f -> f op path | None -> ()
 
 (* ------------------------------------------------------------------ *)
 (* Paths and I/O                                                       *)
@@ -182,8 +224,10 @@ let read_all path =
     ~finally:(fun () -> close_in_noerr ic)
     (fun () -> really_input_string ic (in_channel_length ic))
 
-(** Parse and verify the frame; [None] on any mismatch. *)
-let decode (content : string) : 'a option =
+(** Parse and verify the frame; [Some payload] only when the header and
+    payload digest check out.  Shared by {!decode} and {!fsck} so both
+    apply the same notion of "intact". *)
+let verify_frame (content : string) : string option =
   match String.index_opt content '\n' with
   | None -> None
   | Some nl1 -> (
@@ -197,11 +241,17 @@ let decode (content : string) : 'a option =
             let payload =
               String.sub content (nl2 + 1) (String.length content - nl2 - 1)
             in
-            if not (String.equal digest (Digest.hex payload)) then None
-            else
-              (* digest verified: the payload is byte-identical to what
-                 [put] marshalled, so unmarshalling it is safe *)
-              Some (Marshal.from_string payload 0))
+            if String.equal digest (Digest.hex payload) then Some payload
+            else None)
+
+(** Parse and verify the frame; [None] on any mismatch. *)
+let decode (content : string) : 'a option =
+  match verify_frame content with
+  | None -> None
+  | Some payload ->
+      (* digest verified: the payload is byte-identical to what [put]
+         marshalled, so unmarshalling it is safe *)
+      Some (Marshal.from_string payload 0)
 
 let get ~ns ~key : 'a option =
   match root () with
@@ -211,7 +261,10 @@ let get ~ns ~key : 'a option =
       let _, path = entry_path ~root ~ns ~key in
       let data =
         Obs.span "cache.io.read" @@ fun () ->
-        match read_all path with
+        match
+          fault `Read path;
+          read_all path
+        with
         | content -> decode content
         | exception _ -> None
       in
@@ -228,12 +281,15 @@ let put ~ns ~key (v : 'a) : unit =
   | None -> ()
   | Some root -> (
       let ns = effective_ns ns in
+      let tmp_ref = ref None in
       try
         Obs.span "cache.io.write" @@ fun () ->
         let dir, path = entry_path ~root ~ns ~key in
         mkdir_p dir;
+        fault `Write path;
         let payload = Marshal.to_string v [] in
         let tmp = Filename.temp_file ~temp_dir:dir ".wip" ".tmp" in
+        tmp_ref := Some tmp;
         let oc = open_out_bin tmp in
         Fun.protect
           ~finally:(fun () -> close_out_noerr oc)
@@ -242,9 +298,15 @@ let put ~ns ~key (v : 'a) : unit =
               (Digest.hex payload) payload);
         Sys.rename tmp path;
         count ns `Store
-      with _ ->
-        (* a full disk or unwritable root degrades to "not cached" *)
-        Obs.incr (Printf.sprintf "cache.%s.store_failed" ns))
+      with Sys_error _ | Unix.Unix_error (_, _, _) | Out_of_memory ->
+        (* ENOSPC, EACCES, a short write, an unwritable root: degrade to
+           "not cached", but count it — a silent swallow here turns a
+           full disk into an invisible performance cliff.  Anything else
+           (a Marshal bug, an assert) still propagates. *)
+        (match !tmp_ref with
+        | Some tmp -> ( try Sys.remove tmp with Sys_error _ -> ())
+        | None -> ());
+        count ns `Write_error)
 
 (* ------------------------------------------------------------------ *)
 (* Disk-tier accounting and pruning                                   *)
@@ -300,6 +362,45 @@ let stats () : disk_stats list =
           { ds_ns = ns; ds_entries = entries; ds_bytes = bytes } :: acc)
         tbl []
       |> List.sort (fun a b -> String.compare a.ds_ns b.ds_ns)
+
+type fsck_report = { fk_scanned : int; fk_ok : int; fk_quarantined : int }
+
+let fsck () : fsck_report =
+  match root () with
+  | None -> { fk_scanned = 0; fk_ok = 0; fk_quarantined = 0 }
+  | Some root ->
+      let qdir = Filename.concat root "quarantine" in
+      let scanned = ref 0 and ok = ref 0 and quarantined = ref 0 in
+      iter_entries ~root (fun ns path _st ->
+          (* skip in-flight temp files: a .wip*.tmp is a concurrent writer
+             mid-[put], not corruption *)
+          let base = Filename.basename path in
+          if not (Filename.check_suffix base ".tmp") then begin
+            incr scanned;
+            let intact =
+              match read_all path with
+              | content -> verify_frame content <> None
+              | exception _ -> false
+            in
+            if intact then incr ok
+            else begin
+              (* quarantine, don't delete: the corrupt bytes are evidence
+                 (bit rot? torn write? foreign file?) an operator may want *)
+              mkdir_p qdir;
+              let mangled_ns =
+                String.map (fun c -> if c = '/' then '_' else c) ns
+              in
+              let dest =
+                Filename.concat qdir (mangled_ns ^ "__" ^ base)
+              in
+              match Sys.rename path dest with
+              | () ->
+                  incr quarantined;
+                  Obs.incr "cache.fsck.quarantined"
+              | exception Sys_error _ -> ()
+            end
+          end);
+      { fk_scanned = !scanned; fk_ok = !ok; fk_quarantined = !quarantined }
 
 let prune ~max_age_s () =
   match root () with

@@ -24,14 +24,24 @@ val get : ns:string -> key:string -> 'a option
 
 val put : ns:string -> key:string -> 'a -> unit
 (** Persist an entry (atomically: temp file + rename).  The value must be
-    closure-free.  I/O failures are swallowed; the entry is simply not
-    cached. *)
+    closure-free.  Disk faults on the write path — [ENOSPC], [EACCES], a
+    short write, an unwritable root (surfacing as [Sys_error] or
+    [Unix_error]) — degrade to "not cached" and are counted as a
+    [write_error] for the namespace (Obs counter
+    [cache.<ns>.write_error]); the temp file, if created, is removed.
+    Programming errors (anything outside that set) still propagate. *)
 
-type stats = { ns : string; hits : int; misses : int; stores : int }
+type stats = {
+  ns : string;
+  hits : int;
+  misses : int;
+  stores : int;
+  write_errors : int;
+}
 
 val counters : unit -> stats list
-(** Per-namespace hit/miss/store counts since start (or the last
-    {!reset_counters}), sorted by namespace. *)
+(** Per-namespace hit/miss/store/write-error counts since start (or the
+    last {!reset_counters}), sorted by namespace. *)
 
 val reset_counters : unit -> unit
 
@@ -67,3 +77,25 @@ val prune : max_age_s:float -> unit -> int
     the [cache.pruned] counter).  Concurrent readers are safe: a pruned
     entry is simply a future miss.  Stale [.tmp] write droppings age out
     the same way. *)
+
+type fsck_report = { fk_scanned : int; fk_ok : int; fk_quarantined : int }
+
+val fsck : unit -> fsck_report
+(** Verify every entry of the active format version (frame header +
+    payload digest — the same check {!get} applies) and move corrupt ones
+    to [<root>/quarantine/<ns>__<key>] rather than deleting them, so an
+    operator can inspect what rotted.  In-flight [.wip*.tmp] files are
+    skipped, and [quarantine/] itself lives outside the [v<N>] tree so it
+    is never rescanned.  Each quarantined entry bumps
+    [cache.fsck.quarantined].  All-zero report when the store is
+    disabled.  Readers stay safe throughout: a quarantined entry is a
+    future miss. *)
+
+(** {1 Fault injection} *)
+
+val set_fault_hook : ([ `Read | `Write ] -> string -> unit) option -> unit
+(** Install (or clear) a process-global hook called just before the store
+    reads or writes an entry file.  A hook that raises simulates a disk
+    fault at exactly the points production error handling covers: on
+    [`Read] the lookup degrades to a miss, on [`Write] the {!put} becomes
+    a counted write error.  For tests and the chaos harness only. *)

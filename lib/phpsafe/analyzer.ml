@@ -1108,7 +1108,7 @@ and exec_body_flow a stmts =
     SMap.iter (Hashtbl.replace a.env.Env.locals) st
   in
   let res =
-    F.solve
+    F.solve ~check:Deadline.check
       {
         F.init = snapshot ();
         bottom = SMap.empty;
@@ -1506,6 +1506,8 @@ let analyze_project ?(opts = default_options) (project : Phplang.Project.t) :
   Obs.span "phpsafe.analysis" (fun () ->
       List.iter
         (fun path ->
+          (* file boundary: a per-request deadline cancels between files *)
+          Deadline.check ();
           let entry =
             match ctx.cache with
             | None -> None
@@ -1532,6 +1534,7 @@ let analyze_project ?(opts = default_options) (project : Phplang.Project.t) :
               let a = { c = ctx; env; frame = None; file = path } in
               (match exec_body a (Hashtbl.find ctx.parsed path) with
               | () -> outcomes := (path, Report.Analyzed) :: !outcomes
+              | exception (Deadline.Exceeded as e) -> raise e
               | exception exn -> mark_file_crashed path exn);
               if ctx.cache <> None then
                 Hashtbl.replace pendings path
@@ -1553,10 +1556,12 @@ let analyze_project ?(opts = default_options) (project : Phplang.Project.t) :
           |> List.sort (fun (k1, _) (k2, _) -> String.compare k1 k2)
         in
         let analyze_live fkey fi =
+          Deadline.check ();
           let n0 = if ctx.cache = None then 0 else List.length ctx.findings in
           let crashed =
             match obtain_summary ctx fi with
             | _ -> None
+            | exception (Deadline.Exceeded as e) -> raise e
             | exception exn ->
                 mark_file_crashed fi.fi_file exn;
                 Some (Printexc.to_string exn)

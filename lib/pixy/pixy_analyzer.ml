@@ -439,7 +439,7 @@ and exec_stmt sc (st : T.state) (s : A.stmt) : T.state =
 and run_dataflow sc (stmts : A.stmt list) (init : T.state) : T.state =
   let cfg = Cfg.build stmts in
   let res =
-    Dataflow.Fixpoint.solve
+    Dataflow.Fixpoint.solve ~check:Secflow.Deadline.check
       {
         Dataflow.Fixpoint.init;
         bottom = T.empty_state;
@@ -526,6 +526,10 @@ let analyze_file_exn ~file source :
 let analyze_file ~file source =
   match analyze_file_exn ~file source with
   | result -> result
+  | exception (Secflow.Deadline.Exceeded as e) ->
+      (* cooperative cancellation is not a crash: let it reach the
+         scheduler so the whole request becomes [Cancelled] *)
+      raise e
   | exception exn ->
       Obs.incr "pixy.files.crashed";
       ([], Report.fail (Report.Crashed (Printexc.to_string exn)), 1)

@@ -575,6 +575,10 @@ let analyze_file_exn ~file source :
 let analyze_file ~file source =
   match analyze_file_exn ~file source with
   | result -> result
+  | exception (Secflow.Deadline.Exceeded as e) ->
+      (* cooperative cancellation is not a crash: let it reach the
+         scheduler so the whole request becomes [Cancelled] *)
+      raise e
   | exception exn ->
       Obs.incr "rips.files.crashed";
       ([], Report.fail (Report.Crashed (Printexc.to_string exn)), 1)

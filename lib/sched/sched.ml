@@ -1,5 +1,12 @@
 (** Domain-based work scheduler — see sched.mli. *)
 
+exception Cancel
+
+type 'a outcome =
+  | Done of 'a
+  | Cancelled
+  | Crashed of exn * Printexc.raw_backtrace
+
 type pool = { pool_size : int }
 
 (* Cgroup-v2 CPU quota, for the oversubscribed-host case: a container
@@ -66,11 +73,14 @@ let size p = p.pool_size
 
 let run_item f x =
   match Obs.span "sched.item" (fun () -> f x) with
-  | v -> Ok v
+  | v -> Done v
+  | exception Cancel ->
+      Obs.incr "sched.items.cancelled";
+      Cancelled
   | exception e ->
       let bt = Printexc.get_raw_backtrace () in
       Obs.incr "sched.items.crashed";
-      Error (e, bt)
+      Crashed (e, bt)
 
 (* Chunked dynamic dispatch: workers claim [chunk] consecutive items per
    atomic increment, amortizing the contended counter over long item lists
@@ -129,8 +139,9 @@ let map ?chunk ~pool f items =
   (* fail-fast wrapper: the first failure in input order wins *)
   map_result ?chunk ~pool f items
   |> List.map (function
-       | Ok v -> v
-       | Error (e, bt) -> Printexc.raise_with_backtrace e bt)
+       | Done v -> v
+       | Cancelled -> raise Cancel
+       | Crashed (e, bt) -> Printexc.raise_with_backtrace e bt)
 
 type stats = {
   st_pool_size : int;

@@ -6,6 +6,21 @@
     the reduce deterministic: {!map} returns results in input order, so the
     parallel driver produces byte-identical tables to the sequential one. *)
 
+exception Cancel
+(** Cooperative cancellation.  Work-item code (or a deadline/fuel check it
+    calls, e.g. [Secflow.Deadline.check]) raises [Cancel] to abandon the
+    current item; {!map_result} maps it to the {!Cancelled} outcome for
+    that item instead of treating it as a crash.  Analyzer crash barriers
+    must re-raise it rather than swallow it into a [Crashed] file result. *)
+
+(** Per-item outcome of a fan-out: the item's value, a cooperative
+    cancellation ({!Cancel} escaped the item), or an escaped exception with
+    the backtrace captured at the raise site. *)
+type 'a outcome =
+  | Done of 'a
+  | Cancelled
+  | Crashed of exn * Printexc.raw_backtrace
+
 type pool
 (** A fixed-size worker pool.  The pool only records its size; domains are
     spawned per {!map} call and joined before it returns, so a pool value
@@ -37,11 +52,7 @@ val create : ?size:int -> unit -> pool
 val size : pool -> int
 
 val map_result :
-  ?chunk:int ->
-  pool:pool ->
-  ('a -> 'b) ->
-  'a list ->
-  ('b, exn * Printexc.raw_backtrace) result list
+  ?chunk:int -> pool:pool -> ('a -> 'b) -> 'a list -> 'b outcome list
 (** [map_result ~pool f items] applies [f] to every item, using up to
     [size pool - 1] extra domains plus the calling domain, and returns the
     results in input order.  Work is distributed dynamically (an atomic
@@ -55,16 +66,19 @@ val map_result :
     balancing.  Chunking never affects results or their order — only which
     worker computes what.
 
-    Each item is isolated: an [f] that raises yields [Error (exn, bt)] for
-    that item (with the backtrace captured at the raise site) while every
-    other item still produces its result — one poisoned input cannot abort
-    the whole fan-out.  Crashed items bump the [sched.items.crashed]
-    counter; each claimed chunk bumps [sched.chunks.claimed]. *)
+    Each item is isolated: an [f] that raises yields [Crashed (exn, bt)]
+    for that item (with the backtrace captured at the raise site) while
+    every other item still produces its result — one poisoned input cannot
+    abort the whole fan-out.  An [f] that raises {!Cancel} (cooperative
+    deadline/fuel cancellation) yields [Cancelled].  Crashed items bump the
+    [sched.items.crashed] counter, cancelled ones [sched.items.cancelled];
+    each claimed chunk bumps [sched.chunks.claimed]. *)
 
 val map : ?chunk:int -> pool:pool -> ('a -> 'b) -> 'a list -> 'b list
 (** Fail-fast wrapper over {!map_result}: returns the plain results in
     input order; if any [f] raised, re-raises the first exception in input
-    order (with its original backtrace) after all domains have joined.
+    order (with its original backtrace) after all domains have joined.  A
+    [Cancelled] item re-raises {!Cancel}.
 
     Observability: when {!Obs} recording is on, the whole call is a
     [sched.map] span, each execution context (the calling domain and every

@@ -61,6 +61,9 @@ let file_loop ~tool ~fingerprint ~(dedup : [ `None | `By_key of string ])
   let seen = ref Report.Key_set.empty in
   List.iter
     (fun (f : Phplang.Project.file) ->
+      (* file boundary: a per-request deadline cancels between files, with
+         or without the result cache enabled *)
+      Deadline.check ();
       let path = f.Phplang.Project.path in
       let fs, outcome, errs =
         if not (enabled ()) then analyze f

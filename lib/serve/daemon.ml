@@ -13,6 +13,7 @@ type config = {
   max_inflight : int option;
   max_frame_bytes : int;
   prune_age_s : float option;
+  io_timeout_s : float option;
 }
 
 let default_config listen =
@@ -23,6 +24,7 @@ let default_config listen =
     max_inflight = None;
     max_frame_bytes = Protocol.default_max_frame_bytes;
     prune_age_s = None;
+    io_timeout_s = None;
   }
 
 (* ------------------------------------------------------------------ *)
@@ -98,6 +100,9 @@ type job = {
   jb_req : Protocol.scan_request;
   jb_box : box;
   jb_t0 : float;  (* enqueue time, for queue+execution latency *)
+  jb_deadline : float option;
+      (* absolute monotonic deadline, fixed at admission so queue time
+         counts against the client's budget *)
 }
 
 (* ------------------------------------------------------------------ *)
@@ -116,9 +121,16 @@ type t = {
   mutable inflight : int;
   mutable served : int;
   mutable shed : int;  (* scans refused with [overloaded] *)
+  mutable deadlined : int;  (* scans answered [deadline_exceeded] *)
+  mutable io_timeouts : int;  (* connections dropped by SO_RCVTIMEO *)
   mutable protocol_errors : int;
   mutable shutting : bool;
   lat : Latency.t;
+  (* watchdog: monotonic time of the scheduler's last observable progress
+     (batch picked up, item finished, batch delivered).  Read lock-free by
+     [status] so operators can tell "busy" (age ≈ one item's runtime)
+     from "wedged" (age grows without bound). *)
+  heartbeat : float Atomic.t;
   (* connection registry, under [cm] *)
   cm : Mutex.t;
   conns : (int, Unix.file_descr) Hashtbl.t;
@@ -140,8 +152,10 @@ let status_reply t id =
   let inflight = t.inflight in
   let served = t.served in
   let shed = t.shed in
+  let deadlined = t.deadlined in
   let shutting = t.shutting in
   Mutex.unlock t.m;
+  let heartbeat_age = Obs.Clock.now () -. Atomic.get t.heartbeat in
   let store_stats =
     List.map
       (fun (s : Phplang.Store.disk_stats) ->
@@ -160,6 +174,8 @@ let status_reply t id =
       ("inflight", Json.Int inflight);
       ("served", Json.Int served);
       ("overloaded", Json.Int shed);
+      ("deadline_exceeded", Json.Int deadlined);
+      ("heartbeat_age_s", Json.Float heartbeat_age);
       ("draining", Json.Bool shutting);
       ("store",
        Json.Obj
@@ -172,6 +188,8 @@ let metrics_reply t id =
     [ ("serve.requests.scan", t.served + t.inflight + Queue.length t.queue);
       ("serve.served", t.served);
       ("serve.overloaded", t.shed);
+      ("serve.deadline_exceeded", t.deadlined);
+      ("serve.io_timeouts", t.io_timeouts);
       ("serve.protocol_errors", t.protocol_errors) ]
   in
   let queue_depth = Queue.length t.queue in
@@ -188,7 +206,8 @@ let metrics_reply t id =
           Json.Obj
             [ ("hits", Json.Int s.Phplang.Store.hits);
               ("misses", Json.Int s.Phplang.Store.misses);
-              ("stores", Json.Int s.Phplang.Store.stores) ] ))
+              ("stores", Json.Int s.Phplang.Store.stores);
+              ("write_errors", Json.Int s.Phplang.Store.write_errors) ] ))
       (Phplang.Store.counters ())
   in
   Protocol.ok_reply ~op:"metrics" ?id
@@ -196,7 +215,9 @@ let metrics_reply t id =
       ("gauges",
        Json.Obj
          [ ("serve.queue.depth", Json.Int queue_depth);
-           ("serve.inflight", Json.Int inflight) ]);
+           ("serve.inflight", Json.Int inflight);
+           ("serve.heartbeat.age_s",
+            Json.Float (Obs.Clock.now () -. Atomic.get t.heartbeat)) ]);
       ("latency_ms",
        Json.Obj
          [ ("count", Json.Int lat_count);
@@ -210,16 +231,38 @@ let metrics_reply t id =
 (* ------------------------------------------------------------------ *)
 
 (* One work item, run inside a [Sched] worker domain: the tenant prefix
-   scopes every cache namespace the analyzers touch for this request. *)
-let execute_job (job : job) =
+   scopes every cache namespace the analyzers touch for this request, and
+   the deadline scopes the wall-clock fuel the analyzers' cooperative
+   checks consume.  Heartbeat updates bracket the item so the watchdog
+   gauge reflects per-item progress, not just per-batch. *)
+let execute_job t (job : job) =
+  Atomic.set t.heartbeat (Obs.Clock.now ());
   let req = job.jb_req in
-  Phplang.Store.with_tenant req.Protocol.sr_tenant (fun () ->
-      Protocol.scan_reply ?id:req.Protocol.sr_id
-        ~report:(Scan.run_json req.Protocol.sr_opts req.Protocol.sr_project)
-        ())
+  Fun.protect
+    ~finally:(fun () -> Atomic.set t.heartbeat (Obs.Clock.now ()))
+    (fun () ->
+      Secflow.Deadline.with_deadline job.jb_deadline (fun () ->
+          Phplang.Store.with_tenant req.Protocol.sr_tenant (fun () ->
+              Protocol.scan_reply ?id:req.Protocol.sr_id
+                ~report:
+                  (Scan.run_json req.Protocol.sr_opts req.Protocol.sr_project)
+                ())))
 
 let same_budget (a : job) (b : job) =
   a.jb_req.Protocol.sr_budget = b.jb_req.Protocol.sr_budget
+
+let job_expired now (j : job) =
+  match j.jb_deadline with Some d -> now > d | None -> false
+
+(* Under [t.m]: a queued request already past its deadline is shed without
+   running — the client's time budget covers queue time by design. *)
+let shed_expired t (j : job) =
+  t.deadlined <- t.deadlined + 1;
+  Obs.incr "serve.deadline_exceeded";
+  box_put j.jb_box
+    (Protocol.error_reply ~op:"scan" ?id:j.jb_req.Protocol.sr_id
+       ~code:"deadline_exceeded"
+       ~msg:"deadline expired while the request was queued" ())
 
 let scheduler_loop t =
   let rec loop () =
@@ -235,53 +278,87 @@ let scheduler_loop t =
     else begin
       (* batch: longest same-budget prefix of the queue, capped at
          [max_inflight] — budgets are process-global, so one [Budget.set]
-         must cover the whole fan-out *)
-      let first = Queue.pop t.queue in
-      let batch = ref [ first ] in
-      let n = ref 1 in
-      while
-        !n < t.max_inflight
-        && (not (Queue.is_empty t.queue))
-        && same_budget (Queue.peek t.queue) first
-      do
-        batch := Queue.pop t.queue :: !batch;
-        incr n
-      done;
-      let batch = List.rev !batch in
-      t.inflight <- !n;
-      let depth = Queue.length t.queue in
-      Mutex.unlock t.m;
-      Obs.set_gauge "serve.queue.depth" (float_of_int depth);
-      Obs.set_gauge "serve.inflight" (float_of_int !n);
-      Secflow.Budget.set first.jb_req.Protocol.sr_budget;
-      let results =
-        Obs.span "serve.batch" @@ fun () ->
-        Sched.map_result ~pool:t.pool execute_job batch
-      in
+         must cover the whole fan-out.  Jobs already past their deadline
+         are shed as they surface, whatever their budget: they never run,
+         so they cannot break the batch's budget invariant. *)
       let now = Obs.Clock.now () in
-      Mutex.lock t.m;
-      t.inflight <- 0;
-      List.iter2
-        (fun job result ->
-          t.served <- t.served + 1;
-          Latency.record t.lat ((now -. job.jb_t0) *. 1000.);
-          let reply =
-            match result with
-            | Ok reply -> reply
-            | Error (e, _bt) ->
-                (* the analyzers have their own crash barriers, so this is
-                   a serving-layer bug or an out-of-resources condition;
-                   the client still gets a structured reply *)
-                Protocol.error_reply ~op:"scan" ?id:job.jb_req.Protocol.sr_id
-                  ~code:"internal"
-                  ~msg:("scan failed: " ^ Printexc.to_string e)
-                  ()
+      let rec first_live () =
+        if Queue.is_empty t.queue then None
+        else begin
+          let j = Queue.pop t.queue in
+          if job_expired now j then begin
+            shed_expired t j;
+            first_live ()
+          end
+          else Some j
+        end
+      in
+      match first_live () with
+      | None ->
+          Mutex.unlock t.m;
+          loop ()
+      | Some first ->
+          Atomic.set t.heartbeat now;
+          let batch = ref [ first ] in
+          let n = ref 1 in
+          let stop = ref false in
+          while
+            (not !stop)
+            && !n < t.max_inflight
+            && not (Queue.is_empty t.queue)
+          do
+            let next = Queue.peek t.queue in
+            if job_expired now next then shed_expired t (Queue.pop t.queue)
+            else if same_budget next first then begin
+              batch := Queue.pop t.queue :: !batch;
+              incr n
+            end
+            else stop := true
+          done;
+          let batch = List.rev !batch in
+          t.inflight <- !n;
+          let depth = Queue.length t.queue in
+          Mutex.unlock t.m;
+          Obs.set_gauge "serve.queue.depth" (float_of_int depth);
+          Obs.set_gauge "serve.inflight" (float_of_int !n);
+          Secflow.Budget.set first.jb_req.Protocol.sr_budget;
+          let results =
+            Obs.span "serve.batch" @@ fun () ->
+            Sched.map_result ~pool:t.pool (execute_job t) batch
           in
-          box_put job.jb_box reply)
-        batch results;
-      Mutex.unlock t.m;
-      Obs.add "serve.requests.scan" !n;
-      Obs.incr "serve.batches";
+          let now = Obs.Clock.now () in
+          Atomic.set t.heartbeat now;
+          Mutex.lock t.m;
+          t.inflight <- 0;
+          List.iter2
+            (fun job result ->
+              t.served <- t.served + 1;
+              Latency.record t.lat ((now -. job.jb_t0) *. 1000.);
+              let reply =
+                match result with
+                | Sched.Done reply -> reply
+                | Sched.Cancelled ->
+                    (* the analyzers' cooperative deadline check fired *)
+                    t.deadlined <- t.deadlined + 1;
+                    Obs.incr "serve.deadline_exceeded";
+                    Protocol.error_reply ~op:"scan"
+                      ?id:job.jb_req.Protocol.sr_id ~code:"deadline_exceeded"
+                      ~msg:"deadline exceeded during analysis" ()
+                | Sched.Crashed (e, _bt) ->
+                    (* the analyzers have their own crash barriers, so this
+                       is a serving-layer bug or an out-of-resources
+                       condition; the client still gets a structured
+                       reply *)
+                    Protocol.error_reply ~op:"scan"
+                      ?id:job.jb_req.Protocol.sr_id ~code:"internal"
+                      ~msg:("scan failed: " ^ Printexc.to_string e)
+                      ()
+              in
+              box_put job.jb_box reply)
+            batch results;
+          Mutex.unlock t.m;
+          Obs.add "serve.requests.scan" !n;
+          Obs.incr "serve.batches";
       (* bound the disk tier between batches, where nothing is executing *)
       (match t.cfg.prune_age_s with
       | Some age when Phplang.Store.enabled () ->
@@ -317,8 +394,17 @@ let admit t req =
            ())
     end
     else begin
+      let t0 = Obs.Clock.now () in
       let job =
-        { jb_req = req; jb_box = box_create (); jb_t0 = Obs.Clock.now () }
+        {
+          jb_req = req;
+          jb_box = box_create ();
+          jb_t0 = t0;
+          jb_deadline =
+            Option.map
+              (fun ms -> t0 +. (float_of_int ms /. 1000.))
+              req.Protocol.sr_deadline_ms;
+        }
       in
       Queue.push job t.queue;
       Condition.signal t.nonempty;
@@ -338,6 +424,12 @@ let count_protocol_error t =
   Mutex.lock t.m;
   t.protocol_errors <- t.protocol_errors + 1;
   Mutex.unlock t.m
+
+let count_io_timeout t =
+  Mutex.lock t.m;
+  t.io_timeouts <- t.io_timeouts + 1;
+  Mutex.unlock t.m;
+  Obs.incr "serve.io_timeouts"
 
 let handle_connection t conn_id fd =
   let closed = ref false in
@@ -364,6 +456,12 @@ let handle_connection t conn_id fd =
     else
       match Protocol.read_frame ~max_bytes:t.cfg.max_frame_bytes fd with
       | Protocol.Eof -> close ()
+      | Protocol.Timed_out ->
+          (* slow-loris peer: silent past SO_RCVTIMEO mid-frame (or
+             between frames).  The stream can't be resynchronized, and a
+             reply could block on the same dead peer — just close. *)
+          count_io_timeout t;
+          close ()
       | Protocol.Oversized len ->
           (* the stream can't be resynchronized past an unread body, so
              refuse and close *)
@@ -412,20 +510,37 @@ let handle_connection t conn_id fd =
 (* Listener                                                            *)
 (* ------------------------------------------------------------------ *)
 
-let make_listener = function
+(* The accept backlog follows [max_queue]: connections the admission
+   control would shed anyway gain nothing from queueing in the kernel
+   first (floored so tiny-queue test configs still accept connection
+   bursts). *)
+let make_listener ~backlog = function
   | Unix_sock path ->
       if Sys.file_exists path then (try Unix.unlink path with _ -> ());
       let fd = Unix.socket ~cloexec:true Unix.PF_UNIX Unix.SOCK_STREAM 0 in
       Unix.bind fd (Unix.ADDR_UNIX path);
-      Unix.listen fd 64;
+      Unix.listen fd backlog;
       fd
   | Tcp (host, port) ->
       let addr = (Unix.gethostbyname host).Unix.h_addr_list.(0) in
       let fd = Unix.socket ~cloexec:true Unix.PF_INET Unix.SOCK_STREAM 0 in
       Unix.setsockopt fd Unix.SO_REUSEADDR true;
       Unix.bind fd (Unix.ADDR_INET (addr, port));
-      Unix.listen fd 64;
+      Unix.listen fd backlog;
       fd
+
+(* Per-syscall receive/send timeouts on an accepted connection: a peer
+   that goes silent (or stops reading) for a whole interval can no longer
+   pin this connection's handler thread.  Best-effort — a platform
+   without the option just runs untimed, as before. *)
+let arm_io_timeouts cfg fd =
+  match cfg.io_timeout_s with
+  | Some s when s > 0. -> (
+      try
+        Unix.setsockopt_float fd Unix.SO_RCVTIMEO s;
+        Unix.setsockopt_float fd Unix.SO_SNDTIMEO s
+      with Unix.Unix_error _ | Invalid_argument _ -> ())
+  | _ -> ()
 
 let accept_loop t =
   let rec loop () =
@@ -443,6 +558,7 @@ let accept_loop t =
       | _ -> (
           match Unix.accept ~cloexec:true t.listen_fd with
           | fd, _ ->
+              arm_io_timeouts t.cfg fd;
               Mutex.lock t.cm;
               t.conn_seq <- t.conn_seq + 1;
               let conn_id = t.conn_seq in
@@ -458,10 +574,15 @@ let accept_loop t =
   in
   loop ()
 
-let run cfg =
+let run ?on_ready cfg =
   (* a client hanging up mid-reply must surface as EPIPE, not kill us *)
   (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore with Invalid_argument _ -> ());
-  let listen_fd = make_listener cfg.listen in
+  let listen_fd = make_listener ~backlog:(max 16 cfg.max_queue) cfg.listen in
+  (* the listener is bound and accepting: tell the embedder (tests bind
+     TCP port 0 and need the real port back) *)
+  (match on_ready with
+  | Some f -> f (Unix.getsockname listen_fd)
+  | None -> ());
   let jobs = jobs_of cfg in
   let t =
     {
@@ -476,9 +597,12 @@ let run cfg =
       inflight = 0;
       served = 0;
       shed = 0;
+      deadlined = 0;
+      io_timeouts = 0;
       protocol_errors = 0;
       shutting = false;
       lat = Latency.create ();
+      heartbeat = Atomic.make (Obs.Clock.now ());
       cm = Mutex.create ();
       conns = Hashtbl.create 16;
       conn_seq = 0;

@@ -15,13 +15,21 @@ exception Closed
 let write_all fd buf ofs len =
   let rec go ofs len =
     if len > 0 then begin
-      let n =
-        try Unix.write fd buf ofs len with
-        | Unix.Unix_error ((Unix.EPIPE | Unix.ECONNRESET | Unix.EBADF), _, _)
-          ->
-            raise Closed
-      in
-      go (ofs + n) (len - n)
+      match Unix.write fd buf ofs len with
+      | n -> go (ofs + n) (len - n)
+      | exception Unix.Unix_error (Unix.EINTR, _, _) ->
+          (* a signal mid-write is a retry, not a dead peer — same
+             discipline as the accept loop *)
+          go ofs len
+      | exception
+          Unix.Unix_error ((Unix.EPIPE | Unix.ECONNRESET | Unix.EBADF), _, _)
+        ->
+          raise Closed
+      | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) ->
+          (* SO_SNDTIMEO expired with the peer's window still full: a
+             stalled reader.  The frame can no longer be delivered
+             whole, so the connection is unusable. *)
+          raise Closed
     end
   in
   go ofs len
@@ -40,29 +48,41 @@ type read_result =
   | Frame of string
   | Eof
   | Oversized of int
+  | Timed_out
 
-(* Read exactly [len] bytes; [None] when the connection closes first.
-   Partial reads (slow or chunking peers) just loop; coalesced frames are
-   untouched because only [len] bytes are consumed. *)
+(* Outcome of reading exactly [len] bytes.  Partial reads (slow or
+   chunking peers) just loop; coalesced frames are untouched because only
+   [len] bytes are consumed. *)
+type rr = Rr_data of bytes | Rr_eof | Rr_timeout
+
 let really_read fd len =
   let buf = Bytes.create len in
   let rec go ofs =
-    if ofs >= len then Some buf
+    if ofs >= len then Rr_data buf
     else
       match Unix.read fd buf ofs (len - ofs) with
-      | 0 -> None
+      | 0 -> Rr_eof
       | n -> go (ofs + n)
+      | exception Unix.Unix_error (Unix.EINTR, _, _) ->
+          (* a signal mid-read is a retry, not a dead peer *)
+          go ofs
       | exception
           Unix.Unix_error ((Unix.ECONNRESET | Unix.EPIPE | Unix.EBADF), _, _)
         ->
-          None
+          Rr_eof
+      | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) ->
+          (* SO_RCVTIMEO expired: the peer stalled mid-frame (or went
+             silent between frames).  The stream can no longer be
+             resynchronized, so the caller should drop the connection. *)
+          Rr_timeout
   in
   go 0
 
 let read_frame ?(max_bytes = default_max_frame_bytes) fd =
   match really_read fd 4 with
-  | None -> Eof
-  | Some header ->
+  | Rr_eof -> Eof
+  | Rr_timeout -> Timed_out
+  | Rr_data header ->
       let len =
         (Bytes.get_uint8 header 0 lsl 24)
         lor (Bytes.get_uint8 header 1 lsl 16)
@@ -73,8 +93,9 @@ let read_frame ?(max_bytes = default_max_frame_bytes) fd =
       else if len = 0 then Frame ""
       else (
         match really_read fd len with
-        | None -> Eof
-        | Some payload -> Frame (Bytes.unsafe_to_string payload))
+        | Rr_eof -> Eof
+        | Rr_timeout -> Timed_out
+        | Rr_data payload -> Frame (Bytes.unsafe_to_string payload))
 
 (* ------------------------------------------------------------------ *)
 (* Requests                                                           *)
@@ -86,6 +107,7 @@ type scan_request = {
   sr_project : Phplang.Project.t;
   sr_opts : Scan.opts;
   sr_budget : Secflow.Budget.t;
+  sr_deadline_ms : int option;
 }
 
 type request =
@@ -224,6 +246,20 @@ let decode_request payload =
                       match Scan.tool_of opts with
                       | Error msg -> err ?id ~op "bad_request" msg
                       | Ok _ -> (
+                          let deadline =
+                            match Json.member "deadline_ms" json with
+                            | None -> Ok None
+                            | Some v -> (
+                                match Json.to_int_opt v with
+                                | Some ms when ms >= 1 -> Ok (Some ms)
+                                | _ ->
+                                    err ?id ~op "bad_request"
+                                      "deadline_ms must be a positive \
+                                       integer (milliseconds)")
+                          in
+                          match deadline with
+                          | Error e -> Error e
+                          | Ok deadline_ms -> (
                           match
                             decode_budget ?id ~op (Json.member "budget" json)
                           with
@@ -240,7 +276,8 @@ let decode_request payload =
                                        { sr_id = id; sr_tenant = tenant;
                                          sr_project = project;
                                          sr_opts = opts;
-                                         sr_budget = budget }))))))
+                                         sr_budget = budget;
+                                         sr_deadline_ms = deadline_ms })))))))
           | "" -> err ?id "bad_request" "missing \"op\" field"
           | other ->
               err ?id ~op "bad_request"
@@ -275,6 +312,9 @@ let encode_scan_request sr =
            ("kind", Json.String (Scan.kind_to_string sr.sr_opts.Scan.kind));
            ("contexts", Json.Bool sr.sr_opts.Scan.contexts);
            ("flow", Json.Bool sr.sr_opts.Scan.flow) ]
+       @ (match sr.sr_deadline_ms with
+         | Some ms -> [ ("deadline_ms", Json.Int ms) ]
+         | None -> [])
        @ (match budget_fields with
          | [] -> []
          | fields -> [ ("budget", Json.Obj fields) ])

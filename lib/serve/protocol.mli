@@ -21,7 +21,12 @@
       ["contexts"], ["flow"] — all optional, CLI-default semantics;
     - ["tenant"]: optional cache-namespace label ([A-Za-z0-9_.-]);
     - ["budget"]: optional per-request resource caps, fields of
-      {!Secflow.Budget.t}; omitted fields default.
+      {!Secflow.Budget.t}; omitted fields default;
+    - ["deadline_ms"]: optional positive integer — the client's
+      end-to-end time budget for this request, measured from admission.
+      Absent means unbounded (backward compatible).  A request past its
+      deadline is shed from the queue or cancelled cooperatively
+      mid-analysis, either way answered with a [deadline_exceeded] error.
 
     {2 Replies}
 
@@ -31,7 +36,7 @@
     what [phpsafe_cli --format json] prints.  Failures are
     [{"proto":...,"ok":false,"op":...,"error":{"code":...,"message":...}}]
     with codes: [bad_json], [bad_proto], [bad_request], [oversized],
-    [overloaded], [shutting_down], [internal]. *)
+    [overloaded], [shutting_down], [deadline_exceeded], [internal]. *)
 
 val version : string
 (** ["phpsafe-serve/1"]. *)
@@ -42,21 +47,30 @@ val default_max_frame_bytes : int
 (** {1 Frame I/O} *)
 
 exception Closed
-(** The peer vanished mid-write ([EPIPE]/[ECONNRESET]). *)
+(** The peer vanished mid-write ([EPIPE]/[ECONNRESET]), or — with
+    [SO_SNDTIMEO] set on the socket — stalled past the send timeout with
+    its receive window full, leaving the frame undeliverable. *)
 
 val write_frame : Unix.file_descr -> string -> unit
 (** Write one frame (length header + payload), looping over partial
-    writes.  Raises {!Closed} when the peer is gone. *)
+    writes and retrying [EINTR].  Raises {!Closed} when the peer is
+    gone. *)
 
 type read_result =
   | Frame of string
   | Eof  (** clean close, or the peer vanished mid-frame *)
   | Oversized of int  (** declared length exceeded the cap *)
+  | Timed_out
+      (** [SO_RCVTIMEO] expired mid-read.  The timeout is per [read(2)]
+          call, so this fires when the peer goes silent for the whole
+          interval — a trickling peer resets it with every byte.  The
+          stream cannot be resynchronized; drop the connection. *)
 
 val read_frame : ?max_bytes:int -> Unix.file_descr -> read_result
 (** Read one frame, looping over partial reads ([max_bytes] defaults to
-    {!default_max_frame_bytes}).  Partial and coalesced socket delivery
-    are invisible here: exactly the framed bytes are consumed. *)
+    {!default_max_frame_bytes}) and retrying [EINTR].  Partial and
+    coalesced socket delivery are invisible here: exactly the framed
+    bytes are consumed. *)
 
 (** {1 Requests} *)
 
@@ -66,6 +80,9 @@ type scan_request = {
   sr_project : Phplang.Project.t;
   sr_opts : Scan.opts;
   sr_budget : Secflow.Budget.t;
+  sr_deadline_ms : int option;
+      (** end-to-end time budget, measured from admission; [None] =
+          unbounded *)
 }
 
 type request =

@@ -36,7 +36,19 @@ let tool_of opts =
   | "pixy" -> Ok Pixy.tool
   | other -> Error ("unknown tool: " ^ other)
 
+(* Chaos/test instrumentation: runs at the top of [run], inside the
+   caller's deadline and tenant scopes, so a hook that burns time
+   cooperatively ([Thread.delay] + [Secflow.Deadline.check]) simulates an
+   arbitrarily slow scan that still honours cancellation. *)
+let before_analyze_hook : (Phplang.Project.t -> unit) option Atomic.t =
+  Atomic.make None
+
+let set_before_analyze_hook h = Atomic.set before_analyze_hook h
+
 let run opts project =
+  (match Atomic.get before_analyze_hook with
+  | Some f -> f project
+  | None -> ());
   let tool =
     match tool_of opts with Ok t -> t | Error msg -> failwith msg
   in

@@ -34,3 +34,10 @@ val run : opts -> Phplang.Project.t -> string * Secflow.Report.result
 
 val run_json : opts -> Phplang.Project.t -> string
 (** [Secflow.Report.to_json] of {!run} — the byte-identity currency. *)
+
+val set_before_analyze_hook : (Phplang.Project.t -> unit) option -> unit
+(** Install (or clear) a process-global hook called at the top of {!run},
+    inside the caller's deadline and tenant scopes.  The chaos harness and
+    tests use it to simulate slow scans: a hook that loops
+    [Thread.delay]/[Secflow.Deadline.check] burns wall-clock time while
+    still honouring cooperative cancellation.  Not for production use. *)

@@ -318,6 +318,102 @@ let corruption_cases =
   ]
 
 (* ------------------------------------------------------------------ *)
+(* Disk faults and fsck                                               *)
+(* ------------------------------------------------------------------ *)
+
+let write_errors_for ns =
+  match
+    List.find_opt
+      (fun (s : Store.stats) -> String.equal s.Store.ns ns)
+      (Store.counters ())
+  with
+  | Some s -> s.Store.write_errors
+  | None -> 0
+
+let with_fault_hook hook f =
+  Store.set_fault_hook (Some hook);
+  Fun.protect ~finally:(fun () -> Store.set_fault_hook None) f
+
+let fault_cases =
+  [
+    case "a failing write degrades to a counted miss, not an error" `Quick
+      (fun () ->
+        with_cache_dir @@ fun _dir ->
+        with_fault_hook
+          (fun op _path ->
+            if op = `Write then
+              raise (Unix.Unix_error (Unix.ENOSPC, "write", "")))
+          (fun () ->
+            let before = write_errors_for "ftest" in
+            (* put must swallow the fault... *)
+            Store.put ~ns:"ftest" ~key:"k" [ 1; 2; 3 ];
+            (* ...count it... *)
+            Alcotest.(check int) "write_error counted" (before + 1)
+              (write_errors_for "ftest");
+            (* ...and leave the entry absent, i.e. a plain miss *)
+            Alcotest.(check bool) "entry is a miss" true
+              (Store.get ~ns:"ftest" ~key:"k" = (None : int list option)));
+        (* hook cleared: the same put now lands and replays *)
+        Store.put ~ns:"ftest" ~key:"k" [ 1; 2; 3 ];
+        Alcotest.(check bool) "store works again" true
+          (Store.get ~ns:"ftest" ~key:"k" = Some [ 1; 2; 3 ]));
+    case "a failing read is a miss and the entry survives" `Quick (fun () ->
+        with_cache_dir @@ fun _dir ->
+        Store.put ~ns:"ftest" ~key:"k" 42;
+        with_fault_hook
+          (fun op _path ->
+            if op = `Read then
+              raise (Unix.Unix_error (Unix.EIO, "read", "")))
+          (fun () ->
+            Alcotest.(check bool) "faulted read is a miss" true
+              (Store.get ~ns:"ftest" ~key:"k" = (None : int option)));
+        Alcotest.(check bool) "entry intact after the fault" true
+          (Store.get ~ns:"ftest" ~key:"k" = Some 42));
+    case "fsck verifies good entries and quarantines corrupt ones" `Quick
+      (fun () ->
+        with_cache_dir @@ fun dir ->
+        Store.put ~ns:"fsck" ~key:"good" [ 1 ];
+        Store.put ~ns:"fsck" ~key:"bad" [ 2 ];
+        let clean = Store.fsck () in
+        Alcotest.(check int) "all scanned" 2 clean.Store.fk_scanned;
+        Alcotest.(check int) "all ok" 2 clean.Store.fk_ok;
+        Alcotest.(check int) "none quarantined" 0 clean.Store.fk_quarantined;
+        (* corrupt exactly the entry whose payload mentions its key *)
+        let corrupted = ref 0 in
+        List.iter
+          (fun f ->
+            let ic = open_in_bin f in
+            let len = in_channel_length ic in
+            let body = really_input_string ic len in
+            close_in ic;
+            if !corrupted = 0 && String.length body > 4 then begin
+              overwrite f (String.sub body 0 (String.length body - 1) ^ "!");
+              incr corrupted
+            end)
+          (walk_files dir []);
+        Alcotest.(check int) "one entry corrupted" 1 !corrupted;
+        let dirty = Store.fsck () in
+        Alcotest.(check int) "one quarantined" 1 dirty.Store.fk_quarantined;
+        Alcotest.(check int) "one still ok" 1 dirty.Store.fk_ok;
+        (* the corrupt entry moved into quarantine/ rather than vanishing *)
+        let qdir = Filename.concat dir "quarantine" in
+        Alcotest.(check bool) "quarantine dir populated" true
+          (Sys.file_exists qdir
+          && Array.length (Sys.readdir qdir) = 1);
+        (* a second pass sees only the survivor: quarantine isn't rescanned *)
+        let again = Store.fsck () in
+        Alcotest.(check int) "rescan scans the survivor" 1
+          again.Store.fk_scanned;
+        Alcotest.(check int) "rescan quarantines nothing" 0
+          again.Store.fk_quarantined);
+    case "fsck on a disabled store reports all zeros" `Quick (fun () ->
+        Store.set_root None;
+        let r = Store.fsck () in
+        Alcotest.(check int) "scanned" 0 r.Store.fk_scanned;
+        Alcotest.(check int) "quarantined" 0 r.Store.fk_quarantined);
+  ]
+
+(* ------------------------------------------------------------------ *)
 (* Pool-size transparency on a shared directory                       *)
 (* ------------------------------------------------------------------ *)
 
@@ -445,5 +541,6 @@ let () =
       ("exact invalidation",
        (edited_file_case :: edited_callee_case :: opts_cases) @ [ budget_case ]);
       ("corruption safety", corruption_cases);
+      ("disk faults and fsck", fault_cases);
       ("pool transparency", [ jobs_case ]);
       ("disk accounting and tenancy", disk_cases) ]

@@ -113,8 +113,9 @@ let robustness_table ~jobs ms =
           r.Secflow.Report.errors r.Secflow.Report.unresolved_includes)
       items
     |> List.map (function
-         | Ok row -> row
-         | Error (exn, _) -> "ESCAPED: " ^ Printexc.to_string exn)
+         | Sched.Done row -> row
+         | Sched.Cancelled -> "ESCAPED: cancelled"
+         | Sched.Crashed (exn, _) -> "ESCAPED: " ^ Printexc.to_string exn)
   in
   String.concat "\n" rows
 

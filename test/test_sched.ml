@@ -62,8 +62,8 @@ let map_cases =
         List.iteri
           (fun i r ->
             match r with
-            | Ok v when i <> 13 -> Alcotest.(check int) "in order" i v
-            | Error (Exit, _) when i = 13 -> ()
+            | Sched.Done v when i <> 13 -> Alcotest.(check int) "in order" i v
+            | Sched.Crashed (Exit, _) when i = 13 -> ()
             | _ -> Alcotest.failf "unexpected result at %d" i)
           results);
   ]
@@ -83,11 +83,12 @@ let map_result_cases =
         List.iteri
           (fun i r ->
             match r with
-            | Ok v when i mod 10 <> 7 ->
+            | Sched.Done v when i mod 10 <> 7 ->
                 Alcotest.(check int) "square in order" (i * i) v
-            | Error (Failure _, _) when i mod 10 = 7 -> ()
-            | Ok _ -> Alcotest.failf "item %d should have crashed" i
-            | Error (e, _) ->
+            | Sched.Crashed (Failure _, _) when i mod 10 = 7 -> ()
+            | Sched.Done _ -> Alcotest.failf "item %d should have crashed" i
+            | Sched.Cancelled -> Alcotest.failf "item %d: unexpected cancel" i
+            | Sched.Crashed (e, _) ->
                 Alcotest.failf "item %d: unexpected %s" i
                   (Printexc.to_string e))
           results);
@@ -98,16 +99,26 @@ let map_result_cases =
             (fun i -> if i = 1 then raise Exit else i)
             [ 0; 1; 2 ]
         with
-        | [ Ok 0; Error (Exit, _); Ok 2 ] -> ()
-        | _ -> Alcotest.fail "expected Ok 0 / Error Exit / Ok 2");
+        | [ Sched.Done 0; Sched.Crashed (Exit, _); Sched.Done 2 ] -> ()
+        | _ -> Alcotest.fail "expected Done 0 / Crashed Exit / Done 2");
     case "all-crash input yields all Errors" `Quick (fun () ->
         let pool = Sched.create ~size:4 () in
         let results =
           Sched.map_result ~pool (fun _ -> raise Not_found) (List.init 8 Fun.id)
         in
-        Alcotest.(check bool) "all Error" true
-          (List.for_all (function Error (Not_found, _) -> true | _ -> false)
+        Alcotest.(check bool) "all Crashed" true
+          (List.for_all
+             (function Sched.Crashed (Not_found, _) -> true | _ -> false)
              results));
+    case "raising Sched.Cancel yields Cancelled in position" `Quick (fun () ->
+        let pool = Sched.create ~size:2 () in
+        match
+          Sched.map_result ~pool
+            (fun i -> if i = 1 then raise Sched.Cancel else i * 2)
+            [ 0; 1; 2 ]
+        with
+        | [ Sched.Done 0; Sched.Cancelled; Sched.Done 4 ] -> ()
+        | _ -> Alcotest.fail "expected Done 0 / Cancelled / Done 4");
   ]
 
 (* PHPSAFE_JOBS handling in [Sched.default_size]: valid values are honored,

@@ -33,10 +33,10 @@ let vuln_project =
 let clean_project = project "clean" [ ("ok.php", "<?php echo 'hello';\n") ]
 
 let scan_req ?id ?tenant ?(opts = Scan.default)
-    ?(budget = Secflow.Budget.default) proj =
+    ?(budget = Secflow.Budget.default) ?deadline_ms proj =
   Protocol.encode_scan_request
     { Protocol.sr_id = id; sr_tenant = tenant; sr_project = proj;
-      sr_opts = opts; sr_budget = budget }
+      sr_opts = opts; sr_budget = budget; sr_deadline_ms = deadline_ms }
 
 let error_code reply =
   match Json.parse reply with
@@ -298,8 +298,8 @@ let with_daemon ?(reshape = fun c -> c) f =
     (fun () -> f sock)
 
 (* One request/reply on a fresh connection. *)
-let roundtrip sock payload =
-  let fd = connect sock in
+let roundtrip_on connect_fn payload =
+  let fd = connect_fn () in
   Fun.protect
     ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
     (fun () ->
@@ -307,7 +307,10 @@ let roundtrip sock payload =
       match Protocol.read_frame fd with
       | Protocol.Frame reply -> reply
       | Protocol.Eof -> Alcotest.fail "connection closed instead of replying"
+      | Protocol.Timed_out -> Alcotest.fail "read timed out"
       | Protocol.Oversized _ -> Alcotest.fail "oversized reply")
+
+let roundtrip sock payload = roundtrip_on (fun () -> connect sock) payload
 
 let scan_via sock ?tenant ?(opts = Scan.default) proj =
   match
@@ -512,8 +515,237 @@ let daemon_cases =
     ;
   ]
 
+(* ------------------------------------------------------------------ *)
+(* TCP transport, I/O timeouts and deadlines                           *)
+(* ------------------------------------------------------------------ *)
+
+(* Like [with_daemon] but over TCP on an ephemeral port; [f] receives a
+   connect function for the port the kernel actually assigned. *)
+let with_tcp_daemon ?(reshape = fun c -> c) f =
+  let cfg =
+    reshape (Serve.Daemon.default_config (Serve.Daemon.Tcp ("127.0.0.1", 0)))
+  in
+  let port = Atomic.make 0 in
+  let daemon =
+    Thread.create
+      (fun () ->
+        Serve.Daemon.run
+          ~on_ready:(fun addr ->
+            match addr with
+            | Unix.ADDR_INET (_, p) -> Atomic.set port p
+            | Unix.ADDR_UNIX _ -> ())
+          cfg)
+      ()
+  in
+  let give_up = Unix.gettimeofday () +. 10. in
+  while Atomic.get port = 0 && Unix.gettimeofday () < give_up do
+    Thread.delay 0.005
+  done;
+  if Atomic.get port = 0 then Alcotest.fail "TCP daemon did not come up";
+  let connect_tcp () =
+    let fd = Unix.socket ~cloexec:true Unix.PF_INET Unix.SOCK_STREAM 0 in
+    Unix.connect fd
+      (Unix.ADDR_INET (Unix.inet_addr_loopback, Atomic.get port));
+    fd
+  in
+  Fun.protect
+    ~finally:(fun () ->
+      (match connect_tcp () with
+      | exception _ -> ()
+      | fd ->
+          (try
+             Protocol.write_frame fd
+               (Protocol.encode_simple_request ~op:"shutdown" ());
+             ignore (Protocol.read_frame fd)
+           with _ -> ());
+          (try Unix.close fd with Unix.Unix_error _ -> ()));
+      Thread.join daemon)
+    (fun () -> f connect_tcp)
+
+(* Run [f] with a process-global before-analyze hook installed, clearing
+   it afterwards whatever happens. *)
+let with_scan_hook hook f =
+  Scan.set_before_analyze_hook (Some hook);
+  Fun.protect ~finally:(fun () -> Scan.set_before_analyze_hook None) f
+
+let robustness_cases =
+  [
+    case "TCP transport: byte-identical scans and oversized-frame refusal"
+      `Quick (fun () ->
+        with_tcp_daemon
+          ~reshape:(fun c -> { c with Serve.Daemon.max_frame_bytes = 4096 })
+          (fun connect_tcp ->
+            let expected = Scan.run_json Scan.default vuln_project in
+            (match
+               Protocol.scan_report_of_reply
+                 (roundtrip_on connect_tcp (scan_req vuln_project))
+             with
+            | Ok report ->
+                Alcotest.(check string) "byte-identical over TCP" expected
+                  report
+            | Error m -> Alcotest.fail ("TCP scan failed: " ^ m));
+            let fd = connect_tcp () in
+            Fun.protect
+              ~finally:(fun () ->
+                try Unix.close fd with Unix.Unix_error _ -> ())
+              (fun () ->
+                Protocol.write_frame fd (String.make 8192 'x');
+                (match Protocol.read_frame fd with
+                | Protocol.Frame reply ->
+                    Alcotest.(check string) "code" "oversized"
+                      (error_code reply)
+                | _ -> Alcotest.fail "expected an error reply");
+                match Protocol.read_frame fd with
+                | Protocol.Eof -> ()
+                | _ -> Alcotest.fail "expected a close after oversized");
+            Alcotest.(check bool) "daemon alive" true
+              (is_ok
+                 (roundtrip_on connect_tcp
+                    (Protocol.encode_simple_request ~op:"status" ())))))
+    ;
+    case "io timeout: a stalled mid-frame peer is disconnected" `Quick
+      (fun () ->
+        with_daemon
+          ~reshape:(fun c ->
+            { c with Serve.Daemon.io_timeout_s = Some 0.15 })
+          (fun sock ->
+            let fd = connect sock in
+            Fun.protect
+              ~finally:(fun () ->
+                try Unix.close fd with Unix.Unix_error _ -> ())
+              (fun () ->
+                (* a header promising 100 bytes, then silence: the server's
+                   SO_RCVTIMEO fires and it closes the connection *)
+                ignore
+                  (Unix.write fd (Bytes.of_string "\000\000\000\100ab") 0 6
+                    : int);
+                match Protocol.read_frame fd with
+                | Protocol.Eof -> ()
+                | _ -> Alcotest.fail "expected the server to hang up");
+            (* the daemon survives and counts the timeout *)
+            let status =
+              roundtrip sock (Protocol.encode_simple_request ~op:"status" ())
+            in
+            Alcotest.(check bool) "status ok" true (is_ok status)))
+    ;
+    case "deadline: analysis past deadline_ms gets deadline_exceeded"
+      `Quick (fun () ->
+        with_scan_hook
+          (fun (p : Phplang.Project.t) ->
+            if String.equal p.Phplang.Project.name "e2e-slow" then begin
+              (* burn wall-clock cooperatively: the Deadline.check is what
+                 a real analysis does at file/pass boundaries *)
+              let stop = Unix.gettimeofday () +. 5. in
+              while Unix.gettimeofday () < stop do
+                Thread.delay 0.005;
+                Secflow.Deadline.check ()
+              done
+            end)
+          (fun () ->
+            with_daemon (fun sock ->
+                let slow =
+                  project "e2e-slow" [ ("a.php", "<?php echo 'x';\n") ]
+                in
+                let reply =
+                  roundtrip sock (scan_req ~deadline_ms:50 slow)
+                in
+                Alcotest.(check string) "code" "deadline_exceeded"
+                  (error_code reply);
+                (* no deadline on the next request: same project scans fine *)
+                let fine =
+                  project "fine" [ ("a.php", "<?php echo 'x';\n") ]
+                in
+                Alcotest.(check string) "undeadlined scan still works"
+                  (Scan.run_json Scan.default fine)
+                  (scan_via sock fine))))
+    ;
+    case "deadline: a request expiring in the queue is shed without running"
+      `Quick (fun () ->
+        let seen = ref [] in
+        let m = Mutex.create () in
+        with_scan_hook
+          (fun (p : Phplang.Project.t) ->
+            Mutex.lock m;
+            seen := p.Phplang.Project.name :: !seen;
+            Mutex.unlock m;
+            if String.equal p.Phplang.Project.name "holdup" then
+              Thread.delay 0.4)
+          (fun () ->
+            with_daemon
+              ~reshape:(fun c ->
+                { c with
+                  Serve.Daemon.jobs = Some 1;
+                  Serve.Daemon.max_inflight = Some 1 })
+              (fun sock ->
+                let holdup =
+                  project "holdup" [ ("a.php", "<?php echo 'x';\n") ]
+                in
+                let waiter =
+                  project "expired-waiter"
+                    [ ("a.php", "<?php echo 'x';\n") ]
+                in
+                let fd1 = connect sock in
+                Protocol.write_frame fd1 (scan_req holdup);
+                (* let the scheduler pick up the slow scan first *)
+                Thread.delay 0.1;
+                let reply = roundtrip sock (scan_req ~deadline_ms:1 waiter) in
+                Alcotest.(check string) "code" "deadline_exceeded"
+                  (error_code reply);
+                (match Protocol.read_frame fd1 with
+                | Protocol.Frame r ->
+                    Alcotest.(check bool) "slow scan still delivered" true
+                      (Result.is_ok (Protocol.scan_report_of_reply r))
+                | _ -> Alcotest.fail "slow scan reply lost");
+                Unix.close fd1;
+                Mutex.lock m;
+                let ran = !seen in
+                Mutex.unlock m;
+                Alcotest.(check bool) "expired request never analyzed" false
+                  (List.mem "expired-waiter" ran))))
+    ;
+    case "status counts deadline_exceeded and exposes the heartbeat" `Quick
+      (fun () ->
+        with_daemon (fun sock ->
+            let slow =
+              project "e2e-slow" [ ("a.php", "<?php echo 'x';\n") ]
+            in
+            with_scan_hook
+              (fun (p : Phplang.Project.t) ->
+                if String.equal p.Phplang.Project.name "e2e-slow" then
+                  let stop = Unix.gettimeofday () +. 5. in
+                  let rec spin () =
+                    if Unix.gettimeofday () < stop then begin
+                      Thread.delay 0.005;
+                      Secflow.Deadline.check ();
+                      spin ()
+                    end
+                  in
+                  spin ())
+              (fun () ->
+                ignore
+                  (roundtrip sock (scan_req ~deadline_ms:40 slow) : string));
+            let status =
+              roundtrip sock (Protocol.encode_simple_request ~op:"status" ())
+            in
+            match Json.parse status with
+            | Error m -> Alcotest.fail m
+            | Ok json ->
+                let int_of path =
+                  Option.bind (Json.member path json) Json.to_int_opt
+                in
+                Alcotest.(check (option int))
+                  "deadline_exceeded counted" (Some 1)
+                  (int_of "deadline_exceeded");
+                Alcotest.(check bool) "heartbeat_age_s present" true
+                  (match Json.member "heartbeat_age_s" json with
+                  | Some (Json.Float _) | Some (Json.Int _) -> true
+                  | _ -> false)))
+    ;
+  ]
+
 let () =
   Alcotest.run "serve"
     [ ("frame codec", frame_cases);
       ("request decoding", decode_cases);
-      ("daemon end-to-end", daemon_cases) ]
+      ("daemon end-to-end", daemon_cases);
+      ("robustness end-to-end", robustness_cases) ]
