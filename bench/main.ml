@@ -218,7 +218,7 @@ let print_bench_results results =
 (* --json FILE: machine-readable results (schema phpsafe-bench/1)      *)
 (* ------------------------------------------------------------------ *)
 
-let write_json path ~table3 ~seq_par ~e13 ~e12 ~e14 ~e15 =
+let write_json path ~table3 ~seq_par ~e13 ~e16 ~e12 ~e14 ~e15 =
   let b = Buffer.create 4096 in
   let bpf fmt = Printf.bprintf b fmt in
   bpf "{\n  \"schema\": \"phpsafe-bench/1\",\n";
@@ -262,6 +262,26 @@ let write_json path ~table3 ~seq_par ~e13 ~e12 ~e14 ~e15 =
    bpf "    \"new_tp\": %d,\n    \"removed_fp\": %d\n  },\n"
      (List.length t.Evalkit.Flow_delta.fd_new_tp)
      (List.length t.Evalkit.Flow_delta.fd_removed_fp));
+  (let (t : Evalkit.Class_delta.t) = e16 in
+   bpf "  \"e16\": {\n    \"reals\": %d,\n    \"foils\": %d,\n"
+     t.Evalkit.Class_delta.cd_reals t.Evalkit.Class_delta.cd_foils;
+   bpf "    \"so_only_two_phase\": %b,\n"
+     t.Evalkit.Class_delta.cd_so_only_two_phase;
+   bpf "    \"variants\": {";
+   List.iteri
+     (fun i (v : Evalkit.Class_delta.variant) ->
+       bpf "%s\n      \"%s\": {" (if i = 0 then "" else ",")
+         v.Evalkit.Class_delta.cv_name;
+       List.iteri
+         (fun j (k, (m : Evalkit.Metrics.t)) ->
+           bpf "%s\"%s\": {\"tp\": %d, \"fp\": %d, \"fn\": %d}"
+             (if j = 0 then "" else ", ")
+             (Secflow.Vuln.kind_spec_name k)
+             m.Evalkit.Metrics.tp m.Evalkit.Metrics.fp m.Evalkit.Metrics.fn)
+         v.Evalkit.Class_delta.cv_by_kind;
+       bpf "}")
+     t.Evalkit.Class_delta.cd_variants;
+   bpf "\n    }\n  },\n");
   (match e12 with
   | None -> bpf "  \"e12\": null,\n"
   | Some (r : Evalkit.Incremental.report) ->
@@ -357,6 +377,9 @@ let () =
   (* E13: flow-sensitivity precision delta *)
   let e13 = Evalkit.Flow_delta.run () in
   Evalkit.Flow_delta.print Format.std_formatter e13;
+  (* E16: per-class precision/recall of the new vulnerability classes *)
+  let e16 = Evalkit.Class_delta.run () in
+  Evalkit.Class_delta.print Format.std_formatter e16;
   (* E12: incremental re-analysis against the persistent cache (runs in its
      own temporary cache directories; skipped only under --no-cache) *)
   let e12 =
@@ -388,7 +411,7 @@ let () =
     end
   in
   Option.iter
-    (fun path -> write_json path ~table3 ~seq_par ~e13 ~e12 ~e14 ~e15)
+    (fun path -> write_json path ~table3 ~seq_par ~e13 ~e16 ~e12 ~e14 ~e15)
     json_out;
   if Phplang.Store.enabled () then
     Format.eprintf "%a" Phplang.Store.pp_counters ();

@@ -18,8 +18,10 @@
     [--contexts] appends experiment E11: the precision delta of phpSAFE's
     sink-context-sensitive sanitization pass over the dedicated context
     suite.  [--flow] appends experiment E13: the precision delta of the
-    flow-sensitive body walk over the dedicated flow suite.  Without the
-    flags the output is unchanged. *)
+    flow-sensitive body walk over the dedicated flow suite.  [--classes]
+    appends experiment E16: per-class precision/recall of the four new
+    vulnerability classes (cmdi, lfi, ssrf, so-sqli) over the dedicated
+    class suite.  Without the flags the output is unchanged. *)
 
 let jobs_from_argv () =
   let rec scan = function
@@ -110,6 +112,10 @@ let () =
   (* E13 mirrors E11: opt-in, sequential, --jobs-independent *)
   if Array.exists (String.equal "--flow") Sys.argv then
     Evalkit.Flow_delta.print Format.std_formatter (Evalkit.Flow_delta.run ());
+  (* E16: per-class precision/recall of the four new vulnerability classes
+     (cmdi, lfi, ssrf, so-sqli); opt-in, sequential, --jobs-independent *)
+  if Array.exists (String.equal "--classes") Sys.argv then
+    Evalkit.Class_delta.print Format.std_formatter (Evalkit.Class_delta.run ());
   (* cache counters go to stderr: stdout must stay byte-identical whether
      the run was cold, warm or uncached *)
   if Phplang.Store.enabled () then

@@ -12,7 +12,7 @@ let kind_filter kinds =
 
 let run target kinds show_trace tool_name quiet format html_out json_out
     config_path show_stats trace_out metrics_out budget contexts flow
-    cache_dir no_cache =
+    second_order cache_dir no_cache =
   Secflow.Budget.set budget;
   (* persistent analysis cache: --cache-dir overrides PHPSAFE_CACHE_DIR,
      --no-cache disables both; findings are identical either way *)
@@ -28,10 +28,10 @@ let run target kinds show_trace tool_name quiet format html_out json_out
     | "phpsafe", Some path ->
         (* custom configuration profile, merged over generic PHP so the
            language builtins stay known (paper §III.A extensibility) *)
-        let custom = Phpsafe.Config_spec.load path in
+        let custom, parse_warnings = Phpsafe.Config_spec.load_with_warnings path in
         List.iter
           (fun w -> Format.eprintf "phpsafe: config warning: %s@." w)
-          (Phpsafe.Config_spec.validate custom);
+          (parse_warnings @ Phpsafe.Config_spec.validate custom);
         let config = Phpsafe.Config.extend Phpsafe.Config.generic_php custom in
         let opts =
           { Phpsafe.default_options with
@@ -40,13 +40,17 @@ let run target kinds show_trace tool_name quiet format html_out json_out
             Phpsafe.flow_sensitive = flow }
         in
         { Secflow.Tool.name = "phpSAFE";
-          analyze_project = (fun p -> Phpsafe.analyze_project ~opts p) }
+          analyze_project =
+            (fun p ->
+              if second_order then Phpsafe.analyze_project_so ~opts p
+              else Phpsafe.analyze_project ~opts p) }
     | _, _ -> (
         (* the same construction the serving daemon uses, so a scan here and
            a scan there produce byte-identical reports *)
         match
           Serve.Scan.tool_of
-            { Serve.Scan.tool = tool_name; kind = None; contexts; flow }
+            { Serve.Scan.tool = tool_name; kind = None; contexts; flow;
+              second_order }
         with
         | Ok t -> t
         | Error msg -> failwith msg)
@@ -158,8 +162,13 @@ let target =
   Arg.(required & pos 0 (some string) None & info [] ~docv:"TARGET" ~doc)
 
 let kinds =
-  let doc = "Vulnerability kinds to report: xss, sqli or all." in
-  Arg.(value & opt string "all" & info [ "k"; "kind" ] ~docv:"KIND" ~doc)
+  let doc =
+    "Vulnerability kinds to report: $(b,xss), $(b,sqli), $(b,cmdi)
+     (command injection), $(b,lfi) (path traversal / local file
+     inclusion), $(b,ssrf), $(b,so-sqli) (second-order SQLi; see
+     $(b,--second-order)) or $(b,all)."
+  in
+  Arg.(value & opt string "all" & info [ "k"; "kind"; "kinds" ] ~docv:"KIND" ~doc)
 
 let trace =
   let doc = "Print the tainted data-flow trace of each finding." in
@@ -225,6 +234,16 @@ let flow =
   in
   Arg.(value & flag & info [ "flow" ] ~doc)
 
+let second_order =
+  let doc =
+    "Run the two-phase second-order SQLi analysis: a first pass records
+     the keys under which SQL-tainted data is written to persistent
+     storage, then a second pass re-analyzes with matching reads treated
+     as attacker-controlled sources (kind $(b,so-sqli)); only meaningful
+     with --tool phpsafe."
+  in
+  Arg.(value & flag & info [ "second-order" ] ~doc)
+
 let cache_dir =
   let doc =
     "Keep a persistent content-addressed analysis cache (parse artifacts,
@@ -289,7 +308,11 @@ let budget =
   Term.(const mk $ parse_depth $ fixpoint_passes $ include_depth $ include_files)
 
 let cmd =
-  let doc = "static XSS/SQLi analysis for PHP plugins (phpSAFE reproduction)" in
+  let doc =
+    "static vulnerability analysis (XSS, SQLi, command injection, path
+     traversal/LFI, SSRF, second-order SQLi) for PHP plugins (phpSAFE
+     reproduction)"
+  in
   let exits =
     Cmd.Exit.info 0 ~doc:"on a clean scan (no findings, every file analyzed)."
     :: Cmd.Exit.info 1 ~doc:"when findings remain after the $(b,--kind) filter."
@@ -301,6 +324,6 @@ let cmd =
     Term.(
       const run $ target $ kinds $ trace $ tool $ quiet $ format $ html_out
       $ json_out $ config_path $ show_stats $ trace_out $ metrics_out $ budget
-      $ contexts $ flow $ cache_dir $ no_cache)
+      $ contexts $ flow $ second_order $ cache_dir $ no_cache)
 
 let () = exit (Cmd.eval' cmd)

@@ -134,8 +134,8 @@ let exit_code_of_report raw =
       in
       if failed > 0 then 2 else if findings <> [] then 1 else 0
 
-let run_scan socket tcp target tool_name kinds contexts flow tenant id budget
-    deadline retries retry_max_delay =
+let run_scan socket tcp target tool_name kinds contexts flow second_order
+    tenant id budget deadline retries retry_max_delay =
   let listen = listen_of socket tcp in
   let kind =
     match Serve.Scan.kind_of_string kinds with
@@ -146,7 +146,8 @@ let run_scan socket tcp target tool_name kinds contexts flow tenant id budget
     { Serve.Protocol.sr_id = id;
       sr_tenant = tenant;
       sr_project = Phplang.Project.load target;
-      sr_opts = { Serve.Scan.tool = tool_name; kind; contexts; flow };
+      sr_opts =
+        { Serve.Scan.tool = tool_name; kind; contexts; flow; second_order };
       sr_budget = budget;
       sr_deadline_ms = deadline }
   in
@@ -343,8 +344,11 @@ let scan_cmd =
     Arg.(value & opt string "phpsafe" & info [ "tool" ] ~docv:"TOOL" ~doc)
   in
   let kinds =
-    let doc = "Vulnerability kinds to report: xss, sqli or all." in
-    Arg.(value & opt string "all" & info [ "k"; "kind" ] ~docv:"KIND" ~doc)
+    let doc =
+      "Vulnerability kinds to report: xss, sqli, cmdi, lfi, ssrf,
+       so-sqli or all."
+    in
+    Arg.(value & opt string "all" & info [ "k"; "kind"; "kinds" ] ~docv:"KIND" ~doc)
   in
   let contexts =
     let doc = "Sink-context-sensitive sanitizer verification." in
@@ -353,6 +357,13 @@ let scan_cmd =
   let flow =
     let doc = "Flow-sensitive body walks over a control-flow graph." in
     Arg.(value & flag & info [ "flow" ] ~doc)
+  in
+  let second_order =
+    let doc =
+      "Two-phase second-order SQLi analysis (kind $(b,so-sqli)); only
+       meaningful with --tool phpsafe."
+    in
+    Arg.(value & flag & info [ "second-order" ] ~doc)
   in
   let tenant =
     let doc =
@@ -394,7 +405,8 @@ let scan_cmd =
     (Cmd.info "scan" ~doc ~exits)
     Term.(
       const run_scan $ socket $ tcp $ target $ tool $ kinds $ contexts $ flow
-      $ tenant $ id $ budget $ deadline $ retries $ retry_max_delay)
+      $ second_order $ tenant $ id $ budget $ deadline $ retries
+      $ retry_max_delay)
 
 let simple_cmd name doc =
   let runner = run_simple name in

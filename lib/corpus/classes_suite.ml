@@ -1,0 +1,336 @@
+(** New-vulnerability-class evaluation suite (experiment E16).
+
+    A small dedicated corpus — separate from the calibrated 35-plugin
+    2012/2014 plans, whose instance counts must not change — seeding the
+    four vulnerability classes added on top of the paper's XSS/SQLi
+    taxonomy, one plugin per class:
+
+    - {e command injection} ([cmdi]): tainted data reaching [system]/
+      [exec]/[shell_exec]/[passthru], directly, through a user function
+      and through an OOP method, with [escapeshellarg] and [intval]
+      foils;
+    - {e path traversal / LFI} ([lfi]): tainted paths reaching dynamic
+      [include], [readfile], [fopen] and a non-URL [file_get_contents],
+      with [basename] and [realpath] foils;
+    - {e SSRF} ([ssrf]): tainted URLs reaching [wp_remote_get],
+      [curl_setopt(CURLOPT_URL)], a URL-prefixed [file_get_contents] and
+      [fsockopen], with an [esc_url_raw] foil.  The URL-prefixed
+      [file_get_contents] line doubles as an {e LFI trap}: a tool that
+      cannot tell remote fetches from file reads flags it as path
+      traversal;
+    - {e second-order SQLi} ([so-sqli]): attacker data persisted through
+      [update_option]/[add_option]/[$wpdb->insert] and read back into SQL
+      sinks in a different file, with a sanitized-write foil and a
+      never-written-key foil.  These seeds are invisible to any
+      single-pass analysis — only the two-phase record/replay pass
+      ([--second-order]) can connect the write to the read.
+
+    Every file is hand-written (the pattern DSL does not emit the new
+    builtins); each seed carries exact ground truth via the usual sink
+    markers, so the E16 per-class precision/recall table is computed
+    against labels, not expectations. *)
+
+open Secflow
+
+let get = Vuln.Get
+let post = Vuln.Post
+
+(** One hand-written seed before line resolution: the marker of
+    [cs_needle_of] must occur exactly once in the file. *)
+type spec = {
+  sp_id : string;
+  sp_pattern : string;
+  sp_label_of : int -> Gt.label;  (** line is irrelevant to the label *)
+}
+
+let real ?(oop = false) kind vector : int -> Gt.label =
+ fun _ -> Gt.Real_vuln { kind; vector; oop_wordpress = oop }
+
+let trap kind why : int -> Gt.label = fun _ -> Gt.Fp_trap { kind; why }
+
+(** Resolve every spec's marker to its sink line in [source]. *)
+let seeds_of ~plugin ~file ~source (specs : spec list) : Gt.seed list =
+  List.map
+    (fun sp ->
+      let line =
+        Gt.line_of_needle ~file ~needle:(Gt.marker sp.sp_id) source
+      in
+      { Gt.seed_id = sp.sp_id; pattern = sp.sp_pattern;
+        label = sp.sp_label_of line; plugin; file; line })
+    specs
+
+(* ------------------------------------------------------------------ *)
+(* Plugin 1: command injection                                         *)
+(* ------------------------------------------------------------------ *)
+
+let cmdi_name = "backup-runner-cls"
+
+let cmdi_run_php =
+  String.concat "\n"
+    [ "<?php";
+      "// direct: request data concatenated into a shell command";
+      Printf.sprintf
+        "system('tar czf /tmp/backup.tgz ' . $_GET['dir']); // %s"
+        (Gt.marker "k0001");
+      "";
+      "// interprocedural: the sink is inside a helper, tainted at the call";
+      "function cls_run_archive($label) {";
+      Printf.sprintf "    exec('logger -t backup ' . $label); // %s"
+        (Gt.marker "k0002");
+      "}";
+      "cls_run_archive($_POST['label']);";
+      "";
+      "// foil: escapeshellarg neutralizes the shell metacharacters";
+      Printf.sprintf "system('ls ' . escapeshellarg($_GET['path'])); // %s"
+        (Gt.marker "k9001");
+      "" ]
+
+let cmdi_class_php =
+  String.concat "\n"
+    [ "<?php";
+      "class Cls_Runner {";
+      "    public function launch($cmd) {";
+      Printf.sprintf "        shell_exec('nice ' . $cmd); // %s"
+        (Gt.marker "k0003");
+      "    }";
+      "}";
+      "$runner = new Cls_Runner();";
+      "$runner->launch($_GET['tool']);";
+      "";
+      "// foil: intval yields a number, harmless in a shell command";
+      Printf.sprintf "passthru('kill -9 ' . intval($_POST['pid'])); // %s"
+        (Gt.marker "k9002");
+      "" ]
+
+let cmdi_plugin () =
+  let files =
+    [ ("admin/run.php", cmdi_run_php);
+      ("includes/class-runner.php", cmdi_class_php) ]
+  in
+  let seeds =
+    seeds_of ~plugin:cmdi_name ~file:"admin/run.php" ~source:cmdi_run_php
+      [ { sp_id = "k0001"; sp_pattern = "cmdi-direct";
+          sp_label_of = real Vuln.Cmdi get };
+        { sp_id = "k0002"; sp_pattern = "cmdi-interproc";
+          sp_label_of = real Vuln.Cmdi post };
+        { sp_id = "k9001"; sp_pattern = "cmdi-escapeshellarg-foil";
+          sp_label_of = trap Vuln.Cmdi "escapeshellarg-quoted argument" } ]
+    @ seeds_of ~plugin:cmdi_name ~file:"includes/class-runner.php"
+        ~source:cmdi_class_php
+        [ { sp_id = "k0003"; sp_pattern = "cmdi-method";
+            sp_label_of = real Vuln.Cmdi get };
+          { sp_id = "k9002"; sp_pattern = "cmdi-intval-foil";
+            sp_label_of = trap Vuln.Cmdi "intval-numeric argument" } ]
+  in
+  (files, seeds)
+
+(* ------------------------------------------------------------------ *)
+(* Plugin 2: path traversal / LFI                                      *)
+(* ------------------------------------------------------------------ *)
+
+let lfi_name = "media-loader-cls"
+
+let lfi_loader_php =
+  String.concat "\n"
+    [ "<?php";
+      "// dynamic include of a request-controlled page name";
+      Printf.sprintf "include($_GET['page'] . '.php'); // %s"
+        (Gt.marker "k0004");
+      "";
+      Printf.sprintf "readfile('/var/uploads/' . $_POST['file']); // %s"
+        (Gt.marker "k0005");
+      "";
+      "$base = '/var/data/';";
+      Printf.sprintf "$fh = fopen($base . $_GET['name'], 'r'); // %s"
+        (Gt.marker "k0006");
+      "";
+      "// a bare dynamic path is a file read, not a remote fetch";
+      Printf.sprintf "$raw = file_get_contents($_GET['tpl']); // %s"
+        (Gt.marker "k0007");
+      "";
+      "// foil: basename strips every directory component";
+      Printf.sprintf "readfile('/var/uploads/' . basename($_POST['safe'])); // %s"
+        (Gt.marker "k9003");
+      "// foil: realpath canonicalizes before use";
+      Printf.sprintf "include(realpath($_GET['theme'])); // %s"
+        (Gt.marker "k9004");
+      "" ]
+
+let lfi_plugin () =
+  let files = [ ("loader.php", lfi_loader_php) ] in
+  let seeds =
+    seeds_of ~plugin:lfi_name ~file:"loader.php" ~source:lfi_loader_php
+      [ { sp_id = "k0004"; sp_pattern = "lfi-include";
+          sp_label_of = real Vuln.Path_traversal get };
+        { sp_id = "k0005"; sp_pattern = "lfi-readfile";
+          sp_label_of = real Vuln.Path_traversal post };
+        { sp_id = "k0006"; sp_pattern = "lfi-fopen";
+          sp_label_of = real Vuln.Path_traversal get };
+        { sp_id = "k0007"; sp_pattern = "lfi-file-get-contents";
+          sp_label_of = real Vuln.Path_traversal get };
+        { sp_id = "k9003"; sp_pattern = "lfi-basename-foil";
+          sp_label_of = trap Vuln.Path_traversal "basename-flattened path" };
+        { sp_id = "k9004"; sp_pattern = "lfi-realpath-foil";
+          sp_label_of = trap Vuln.Path_traversal "realpath-canonicalized path" } ]
+  in
+  (files, seeds)
+
+(* ------------------------------------------------------------------ *)
+(* Plugin 3: SSRF                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let ssrf_name = "link-preview-cls"
+
+let ssrf_preview_php =
+  String.concat "\n"
+    [ "<?php";
+      Printf.sprintf "$resp = wp_remote_get($_GET['url']); // %s"
+        (Gt.marker "k0008");
+      "";
+      "$ch = curl_init();";
+      Printf.sprintf "curl_setopt($ch, CURLOPT_URL, $_POST['target']); // %s"
+        (Gt.marker "k0009");
+      "";
+      "// remote fetch: the literal scheme pins this to SSRF, not LFI";
+      Printf.sprintf
+        "$body = file_get_contents('http://feeds.example.com/' . $_GET['feed']); // %s"
+        (Gt.marker "k0010");
+      "";
+      Printf.sprintf "$sock = fsockopen($_POST['host'], 80); // %s"
+        (Gt.marker "k0011");
+      "";
+      "// foil: esc_url_raw validates the URL before the request";
+      Printf.sprintf "wp_remote_get(esc_url_raw($_GET['url2'])); // %s"
+        (Gt.marker "k9006");
+      "" ]
+
+let ssrf_plugin () =
+  let files = [ ("preview.php", ssrf_preview_php) ] in
+  let url_fetch_line =
+    Gt.line_of_needle ~file:"preview.php" ~needle:(Gt.marker "k0010")
+      ssrf_preview_php
+  in
+  let seeds =
+    seeds_of ~plugin:ssrf_name ~file:"preview.php" ~source:ssrf_preview_php
+      [ { sp_id = "k0008"; sp_pattern = "ssrf-wp-remote-get";
+          sp_label_of = real Vuln.Ssrf get };
+        { sp_id = "k0009"; sp_pattern = "ssrf-curl-url";
+          sp_label_of = real Vuln.Ssrf post };
+        { sp_id = "k0010"; sp_pattern = "ssrf-url-prefixed-fetch";
+          sp_label_of = real Vuln.Ssrf get };
+        { sp_id = "k0011"; sp_pattern = "ssrf-fsockopen";
+          sp_label_of = real Vuln.Ssrf post };
+        { sp_id = "k9006"; sp_pattern = "ssrf-esc-url-raw-foil";
+          sp_label_of = trap Vuln.Ssrf "esc_url_raw-validated URL" } ]
+    (* the same sink line, read as a file operation: a URL-blind tool
+       reports path traversal here, and that detection is a planned FP *)
+    @ [ { Gt.seed_id = "k9005"; pattern = "lfi-url-shape-trap";
+          label =
+            Gt.Fp_trap
+              { kind = Vuln.Path_traversal;
+                why = "URL-prefixed remote fetch, not a file path" };
+          plugin = ssrf_name; file = "preview.php"; line = url_fetch_line } ]
+  in
+  (files, seeds)
+
+(* ------------------------------------------------------------------ *)
+(* Plugin 4: second-order SQLi                                         *)
+(* ------------------------------------------------------------------ *)
+
+let so_name = "comment-store-cls"
+
+(** Write side: attacker data persisted under known option keys and a
+    [$wpdb] table, plus a sanitized write whose key must NOT poison
+    reads. *)
+let so_store_php =
+  String.concat "\n"
+    [ "<?php";
+      "// attacker-controlled values persisted for a later request";
+      "update_option('cls_banner', $_POST['banner']);";
+      "$wpdb->insert('wp_cls_notes', array('body' => $_GET['note']));";
+      "add_option('cls_tagline', $_GET['tagline']);";
+      "// sanitized write: this key never stores live SQL taint";
+      "update_option('cls_count', intval($_POST['n']));";
+      "" ]
+
+(** Read side (a different file, as in a real stored attack): the values
+    come back through [get_option]/[$wpdb] reads and reach SQL sinks. *)
+let so_render_php =
+  String.concat "\n"
+    [ "<?php";
+      "$banner = get_option('cls_banner');";
+      Printf.sprintf
+        "$wpdb->query(\"UPDATE wp_opts SET banner = '\" . $banner . \"'\"); // %s"
+        (Gt.marker "k0012");
+      "";
+      "$note = $wpdb->get_var(\"SELECT body FROM wp_cls_notes LIMIT 1\");";
+      Printf.sprintf
+        "mysql_query(\"INSERT INTO cls_log (msg) VALUES ('\" . $note . \"')\"); // %s"
+        (Gt.marker "k0013");
+      "";
+      "$tag = get_option('cls_tagline');";
+      Printf.sprintf
+        "$wpdb->query(\"UPDATE wp_opts SET tagline = '\" . $tag . \"'\"); // %s"
+        (Gt.marker "k0014");
+      "";
+      "// foil: the only write to cls_count is intval-sanitized";
+      "$count = get_option('cls_count');";
+      Printf.sprintf
+        "$wpdb->query(\"UPDATE wp_opts SET cnt = \" . $count); // %s"
+        (Gt.marker "k9007");
+      "";
+      "// foil: cls_theme is never written by attacker-reachable code";
+      "$theme = get_option('cls_theme');";
+      Printf.sprintf
+        "$wpdb->query(\"UPDATE wp_opts SET theme = '\" . $theme . \"'\"); // %s"
+        (Gt.marker "k9008");
+      "" ]
+
+let so_plugin () =
+  let files =
+    [ ("store.php", so_store_php); ("render.php", so_render_php) ]
+  in
+  let seeds =
+    seeds_of ~plugin:so_name ~file:"render.php" ~source:so_render_php
+      [ { sp_id = "k0012"; sp_pattern = "so-option-roundtrip";
+          sp_label_of = real ~oop:true Vuln.Second_order_sqli post };
+        { sp_id = "k0013"; sp_pattern = "so-wpdb-table-roundtrip";
+          sp_label_of = real ~oop:true Vuln.Second_order_sqli get };
+        { sp_id = "k0014"; sp_pattern = "so-add-option-roundtrip";
+          sp_label_of = real ~oop:true Vuln.Second_order_sqli get };
+        { sp_id = "k9007"; sp_pattern = "so-sanitized-write-foil";
+          sp_label_of =
+            trap Vuln.Second_order_sqli "the stored value was intval-sanitized" };
+        { sp_id = "k9008"; sp_pattern = "so-unwritten-key-foil";
+          sp_label_of =
+            trap Vuln.Second_order_sqli "no attacker write reaches this key" } ]
+  in
+  (files, seeds)
+
+(* ------------------------------------------------------------------ *)
+(* Assembly                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let plugin_names = [| cmdi_name; lfi_name; ssrf_name; so_name |]
+
+(** Build the suite.  Deterministic: every file is a fixed literal. *)
+let generate () : Catalog.corpus =
+  let plugins =
+    List.map
+      (fun (name, (files, seeds)) ->
+        let project =
+          { Phplang.Project.name;
+            files =
+              List.map
+                (fun (path, source) -> { Phplang.Project.path; source })
+                files }
+        in
+        { Catalog.po_name = name; po_project = project; po_seeds = seeds })
+      [ (cmdi_name, cmdi_plugin ()); (lfi_name, lfi_plugin ());
+        (ssrf_name, ssrf_plugin ()); (so_name, so_plugin ()) ]
+  in
+  {
+    Catalog.version = Plan.V2014;
+    plugins;
+    seeds = List.concat_map (fun p -> p.Catalog.po_seeds) plugins;
+  }

@@ -12,6 +12,7 @@ module Builder = Builder
 module Catalog = Catalog
 module Context_suite = Context_suite
 module Flow_suite = Flow_suite
+module Classes_suite = Classes_suite
 
 type version = Plan.version = V2012 | V2014
 

@@ -1,0 +1,118 @@
+(** E16: per-class precision/recall of the four new vulnerability classes
+    (command injection, path traversal/LFI, SSRF, second-order SQLi) over
+    the dedicated class suite ({!Corpus.Classes_suite}).
+
+    Four analyzer variants run on the same suite:
+
+    - {b phpSAFE --second-order}: the full two-phase record/replay pass —
+      the only configuration expected to reach the stored-SQLi seeds;
+    - {b phpSAFE} (single-pass): same taxonomy, no persistence phase — it
+      must find every first-order seed and miss every [so-sqli] seed,
+      isolating the contribution of the two-phase machinery;
+    - {b RIPS}: knows the PHP builtins for CMDi and LFI (its 2010 feature
+      set) but has no CMS profile, no URL-shape discrimination and no
+      persistence model;
+    - {b Pixy}: XSS/SQLi only (2007) — the per-class floor.
+
+    All runs are sequential ({!Runner.run_tool}) and classified against
+    exact generator labels, so the table is byte-identical at any
+    [--jobs] setting. *)
+
+open Secflow
+
+(** The classes the experiment measures, in display order. *)
+let kinds =
+  [ Vuln.Cmdi; Vuln.Path_traversal; Vuln.Ssrf; Vuln.Second_order_sqli ]
+
+type variant = {
+  cv_name : string;
+  cv_classified : Matching.classified;
+  cv_by_kind : (Vuln.kind * Metrics.t) list;
+}
+
+type t = {
+  cd_reals : int;                  (** real seeds in the suite *)
+  cd_foils : int;                  (** FP-trap seeds in the suite *)
+  cd_variants : variant list;      (** two-phase, flat, RIPS, Pixy *)
+  cd_so_only_two_phase : bool;
+      (** every [so-sqli] seed found by the two-phase pass and none by any
+          single-pass variant — the tentpole invariant *)
+}
+
+let so_variant_name = "phpSAFE (--second-order)"
+let flat_variant_name = "phpSAFE"
+
+let run () : t =
+  let suite = Corpus.Classes_suite.generate () in
+  let union = List.filter Corpus.Gt.is_real suite.Corpus.seeds in
+  let classify tool =
+    let run = Runner.run_tool tool suite in
+    Matching.classify ~seeds:suite.Corpus.seeds run.Runner.tr_output
+  in
+  let d = Phpsafe.default_options in
+  let variant name analyze =
+    let cl = classify { Secflow.Tool.name; analyze_project = analyze } in
+    { cv_name = name;
+      cv_classified = cl;
+      cv_by_kind =
+        List.map (fun k -> (k, Matching.metrics_for ~kind:k ~union cl)) kinds }
+  in
+  let variants =
+    [ variant so_variant_name (fun p -> Phpsafe.analyze_project_so ~opts:d p);
+      variant flat_variant_name (fun p -> Phpsafe.analyze_project ~opts:d p);
+      variant Rips.tool.Secflow.Tool.name Rips.tool.Secflow.Tool.analyze_project;
+      variant Pixy.tool.Secflow.Tool.name Pixy.tool.Secflow.Tool.analyze_project ]
+  in
+  let so_metrics_of name =
+    let v = List.find (fun v -> String.equal v.cv_name name) variants in
+    List.assoc Vuln.Second_order_sqli v.cv_by_kind
+  in
+  let so_reals =
+    List.filter
+      (fun s -> Vuln.equal_kind (Corpus.Gt.kind_of s) Vuln.Second_order_sqli)
+      union
+  in
+  let two_phase = so_metrics_of so_variant_name in
+  let single_pass_clean =
+    List.for_all
+      (fun v ->
+        String.equal v.cv_name so_variant_name
+        || (List.assoc Vuln.Second_order_sqli v.cv_by_kind).Metrics.tp = 0)
+      variants
+  in
+  {
+    cd_reals = List.length union;
+    cd_foils = List.length suite.Corpus.seeds - List.length union;
+    cd_variants = variants;
+    cd_so_only_two_phase =
+      two_phase.Metrics.tp = List.length so_reals && single_pass_clean;
+  }
+
+let variant_for (t : t) name =
+  List.find (fun v -> String.equal v.cv_name name) t.cd_variants
+
+let metrics_for_kind (v : variant) kind = List.assoc kind v.cv_by_kind
+
+let kind_label k = Vuln.kind_spec_name k
+
+let print ppf (t : t) =
+  Format.fprintf ppf
+    "@.== E16: new vulnerability classes (cmdi, lfi, ssrf, so-sqli) ==@.";
+  Format.fprintf ppf
+    "class suite: %d seeded sinks (%d real, %d sanitized/shape foils)@."
+    (t.cd_reals + t.cd_foils) t.cd_reals t.cd_foils;
+  Format.fprintf ppf "%-24s %-8s %3s %3s %3s %6s %6s@." "variant" "class" "TP"
+    "FP" "FN" "Prec" "Rec";
+  List.iter
+    (fun v ->
+      List.iter
+        (fun (k, (m : Metrics.t)) ->
+          Format.fprintf ppf "%-24s %-8s %3d %3d %3d %6s %6s@." v.cv_name
+            (kind_label k) m.Metrics.tp m.Metrics.fp m.Metrics.fn
+            (Metrics.pct (Metrics.precision m))
+            (Metrics.pct (Metrics.recall m)))
+        v.cv_by_kind)
+    t.cd_variants;
+  Format.fprintf ppf
+    "second-order seeds reachable only through the two-phase pass: %b@."
+    t.cd_so_only_two_phase

@@ -1,0 +1,39 @@
+(** E16: per-class precision/recall of the four new vulnerability classes
+    over the dedicated class suite ({!Corpus.Classes_suite}) — see the
+    implementation header for the four analyzer variants compared. *)
+
+open Secflow
+
+val kinds : Vuln.kind list
+(** The measured classes, in display order: cmdi, lfi, ssrf, so-sqli. *)
+
+type variant = {
+  cv_name : string;
+  cv_classified : Matching.classified;
+  cv_by_kind : (Vuln.kind * Metrics.t) list;  (** one entry per {!kinds} *)
+}
+
+type t = {
+  cd_reals : int;
+  cd_foils : int;
+  cd_variants : variant list;  (** two-phase, flat, RIPS, Pixy *)
+  cd_so_only_two_phase : bool;
+      (** every [so-sqli] seed found by the two-phase pass and none by any
+          single-pass variant *)
+}
+
+val so_variant_name : string
+(** ["phpSAFE (--second-order)"]. *)
+
+val flat_variant_name : string
+(** ["phpSAFE"] — single-pass, same taxonomy. *)
+
+val run : unit -> t
+(** Sequential and deterministic: byte-identical at any [--jobs]. *)
+
+val variant_for : t -> string -> variant
+(** Lookup by variant name; raises [Not_found]. *)
+
+val metrics_for_kind : variant -> Vuln.kind -> Metrics.t
+
+val print : Format.formatter -> t -> unit

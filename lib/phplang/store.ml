@@ -29,7 +29,7 @@
     the frame format changes: old entries become invisible, not invalid. *)
 (* v4: Ast.Coalesce extends the binop type, so marshalled ASTs (and the
    summaries/findings derived from them) from v3 are incompatible. *)
-let format_version = 4
+let format_version = 5
 
 let magic = "phpsafe-store"
 

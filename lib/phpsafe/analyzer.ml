@@ -27,6 +27,16 @@ type budget = {
     of memory". *)
 let default_budget = { max_include_depth = 6; max_closure_loc = 40_000 }
 
+(** Second-order analysis phase ({!analyze_project_so}).  Data-only so the
+    whole [options] record stays digestible for the cache fingerprints —
+    a replay with different keys is a different fingerprint. *)
+type so_mode =
+  | So_off      (** ordinary single-pass analysis; zero behavioural change *)
+  | So_record   (** phase 1: record DB-write keys reached by tainted data *)
+  | So_replay of string list
+      (** phase 2: matching DB reads return second-order-tainted data;
+          the sorted keys are the writes phase 1 recorded *)
+
 type options = {
   config : Config.t;
   budget : budget option;
@@ -60,6 +70,13 @@ type options = {
           after a sink.  Off by default — the published phpSAFE processes
           conditionals and loops flow-insensitively (§III.C "Conditions and
           loops do not change the data flow"). *)
+  so_mode : so_mode;
+      (** second-order SQLi phase; [So_off] outside
+          {!analyze_project_so}. *)
+  restrict_kinds : Vuln.kind list option;
+      (** [--kinds] restriction: report only these vulnerability classes
+          ([None] = all).  Applied at the reporting gate, so the data-flow
+          walk itself is unchanged. *)
 }
 
 let default_options =
@@ -69,7 +86,9 @@ let default_options =
     resolve_includes = true;
     respect_guards = false;
     infer_contexts = false;
-    flow_sensitive = false }
+    flow_sensitive = false;
+    so_mode = So_off;
+    restrict_kinds = None }
 
 (** Numeric/type guard functions whose failure developers use to abort the
     request; recognised only under [respect_guards]. *)
@@ -125,6 +144,9 @@ type ctx = {
   mutable sum_log : (string * Summary.t) list;
       (** summaries in publication order — the incremental cache uses the
           log to attribute nested summary work to the call that caused it *)
+  mutable so_writes : S.t;
+      (** DB-write keys reached by SQL-tainted data ([So_record] phase);
+          ["*"] stands for a write whose key is not statically known *)
   cache : icache option;
 }
 
@@ -146,7 +168,39 @@ type actx = {
 (* Reporting                                                          *)
 (* ------------------------------------------------------------------ *)
 
+let kind_enabled (opts : options) k =
+  match opts.restrict_kinds with
+  | None -> true
+  | Some ks -> List.exists (Vuln.equal_kind k) ks
+
+(** The kinds one configured sink entry checks: a SQLi sink also checks the
+    second-order kind when a second-order phase is active (the replayed
+    taint still lands in a SQL statement — no extra sink entries needed). *)
+let sink_check_kinds a kind =
+  match kind with
+  | Vuln.Sqli when a.c.opts.so_mode <> So_off ->
+      [ Vuln.Sqli; Vuln.Second_order_sqli ]
+  | k -> [ k ]
+
+(** Pseudo-sink name prefix for DB-write conditional sinks: firing one
+    records a second-order write key instead of reporting a finding. *)
+let so_write_prefix = "dbwrite:"
+
+let is_so_write_sink (cs : Summary.cond_sink) =
+  String.length cs.Summary.cs_sink_name >= String.length so_write_prefix
+  && String.equal
+       (String.sub cs.Summary.cs_sink_name 0 (String.length so_write_prefix))
+       so_write_prefix
+
+let so_write_key (cs : Summary.cond_sink) =
+  String.sub cs.Summary.cs_sink_name (String.length so_write_prefix)
+    (String.length cs.Summary.cs_sink_name - String.length so_write_prefix)
+
+let record_so_write (c : ctx) key = c.so_writes <- S.add key c.so_writes
+
 let report a ?context ~kind ~pos ~sink_name ~var (taint : Taint.t) =
+  if not (kind_enabled a.c.opts kind) then ()
+  else
   let occ =
     { Report.o_key =
         { Report.k_kind = kind; k_file = pos.Phplang.Ast.file;
@@ -179,20 +233,23 @@ let report a ?context ~kind ~pos ~sink_name ~var (taint : Taint.t) =
     parameter dependencies become conditional sinks of the enclosing
     summary. *)
 let check_sink a ~kind ~pos ~sink_name ~var (taint : Taint.t) =
-  if Taint.is_tainted kind taint then
-    report a ~kind ~pos ~sink_name ~var taint
-  else
-    match a.frame with
-    | Some frame ->
-        Taint.Int_set.iter
-          (fun i ->
-            frame.fr_csinks <-
-              { Summary.cs_param = i; cs_kind = kind; cs_sink_name = sink_name;
-                cs_pos = pos; cs_var = var; cs_context = None;
-                cs_sans = Taint.no_sans }
-              :: frame.fr_csinks)
-          (Taint.deps kind taint)
-    | None -> ()
+  List.iter
+    (fun kind ->
+      if Taint.is_tainted kind taint then
+        report a ~kind ~pos ~sink_name ~var taint
+      else
+        match a.frame with
+        | Some frame ->
+            Taint.Int_set.iter
+              (fun i ->
+                frame.fr_csinks <-
+                  { Summary.cs_param = i; cs_kind = kind;
+                    cs_sink_name = sink_name; cs_pos = pos; cs_var = var;
+                    cs_context = None; cs_sans = Taint.no_sans }
+                  :: frame.fr_csinks)
+              (Taint.deps kind taint)
+        | None -> ())
+    (sink_check_kinds a kind)
 
 (* ------------------------------------------------------------------ *)
 (* Incremental cache: replay and keys                                 *)
@@ -416,12 +473,16 @@ type summary_entry = {
   se_summary : Summary.t;
   se_findings : Report.finding list;
   se_published : (string * Summary.t) list;
+  se_so_writes : string list;
+      (** DB-write keys recorded while the summary was built, replayed on a
+          hit so the second-order record phase is cache-transparent *)
 }
 
 (** One uncalled-entry-point record inside a per-file entry. *)
 type uncalled_rec = {
   ur_findings : Report.finding list;
   ur_crashed : string option;  (** exception text when the walk crashed *)
+  ur_so_writes : string list;  (** DB-write keys recorded during the walk *)
 }
 
 (** What the per-file result cache persists for one analyzable file: the
@@ -434,6 +495,9 @@ type file_entry = {
   ue_outcome : Report.file_outcome;
   ue_called : string list;
   ue_uncalled : (string * uncalled_rec) list;
+  ue_so_writes : string list;
+      (** DB-write keys recorded during the entry walk (second-order
+          record phase), merged back on replay *)
 }
 
 (** Cold-run bookkeeping for a file entry being recorded. *)
@@ -441,6 +505,7 @@ type pending = {
   mutable pd_findings : Report.finding list;
   mutable pd_outcome : Report.file_outcome;
   mutable pd_uncalled : (string * uncalled_rec) list;  (** reversed *)
+  mutable pd_so_writes : string list;
 }
 
 (* ------------------------------------------------------------------ *)
@@ -460,17 +525,129 @@ let infer_context kind prefix =
       | Phplang.Strshape.H_attr_unquoted -> Context.Html_attr_unquoted
       | Phplang.Strshape.H_url -> Context.Url
       | Phplang.Strshape.H_js_string -> Context.Js_string)
-  | Vuln.Sqli -> (
+  | Vuln.Sqli | Vuln.Second_order_sqli -> (
+      (* second-order taint still lands in a SQL statement, so the SQL
+         context taxonomy applies unchanged *)
       match Phplang.Strshape.classify_sql prefix with
       | Phplang.Strshape.S_quoted -> Context.Sql_quoted_string
       | Phplang.Strshape.S_numeric -> Context.Sql_numeric
       | Phplang.Strshape.S_identifier -> Context.Sql_identifier)
+  | Vuln.Cmdi -> Context.Shell_arg
+  | Vuln.Path_traversal -> Context.File_path
+  | Vuln.Ssrf -> Context.Url_remote
 
 (** Did the value pass through a sanitizer adequate for context [ctxt]? *)
 let adequately_sanitized config kind ctxt (taint : Taint.t) =
   Taint.San_set.exists
     (fun name -> Config.adequate config ~name ctxt)
     (Taint.applied kind taint)
+
+(* ------------------------------------------------------------------ *)
+(* Sink applicability and second-order DB endpoints                   *)
+(* ------------------------------------------------------------------ *)
+
+let has_prefix ~prefix s =
+  String.length s >= String.length prefix
+  && String.equal (String.sub s 0 (String.length prefix)) prefix
+
+(** Statically-known URL shape of a sink argument: true when its constant
+    prefix starts with [http://] or [https://].  A bare dynamic argument
+    counts as non-URL — [file_get_contents($_GET['f'])] reads a local
+    path, not a remote one. *)
+let arg_is_url (e : Phplang.Ast.expr) =
+  match Phplang.Strshape.pieces e with
+  | Phplang.Strshape.Lit s :: _ ->
+      let s = String.lowercase_ascii s in
+      has_prefix ~prefix:"http://" s || has_prefix ~prefix:"https://" s
+  | _ -> false
+
+(** Does sink entry [snk] apply to this particular call and argument?
+    [snk_when_const] gates on a bare-constant argument
+    ([curl_setopt(_, CURLOPT_URL, _)]); [snk_path_shape] separates the LFI
+    and SSRF readings of dual-use sinks like [file_get_contents]. *)
+let sink_applies (snk : Config.sink_entry) ~args ~(arg : Phplang.Ast.expr) =
+  (match snk.Config.snk_when_const with
+  | None -> true
+  | Some (i, cname) -> (
+      match List.nth_opt args i with
+      | Some { Phplang.Ast.e = Phplang.Ast.Const c; _ } -> String.equal c cname
+      | _ -> false))
+  && (match snk.Config.snk_path_shape with
+     | `Any -> true
+     | `Url_prefix -> arg_is_url arg
+     | `Non_url -> not (arg_is_url arg))
+
+(** Static write/read key of a DB endpoint call: the string literal at the
+    key argument, or ["*"] when not statically known. *)
+let db_key (rw : Config.db_rw_entry) (args : Phplang.Ast.expr list) =
+  if rw.Config.rw_key_arg < 0 then "*"
+  else
+    match List.nth_opt args rw.Config.rw_key_arg with
+    | Some { Phplang.Ast.e = Phplang.Ast.Str s; _ } -> s
+    | _ -> "*"
+
+(** DB-write endpoint ([$wpdb->insert], [update_option], …): when the
+    stored value is SQL-tainted, record the write key; when it merely
+    depends on an enclosing parameter, register a [dbwrite:] pseudo
+    conditional sink so the record still happens through summaries. *)
+let check_db_write a ~pos ~is_method name args arg_ts =
+  match a.c.opts.so_mode with
+  | So_off -> ()
+  | So_record | So_replay _ -> (
+      match Config.find_db_write a.c.opts.config ~is_method name with
+      | None -> ()
+      | Some rw -> (
+          let key = db_key rw args in
+          let vals =
+            match rw.Config.rw_val_args with
+            | Some idxs -> List.filter_map (fun i -> List.nth_opt arg_ts i) idxs
+            | None -> List.filteri (fun i _ -> i <> rw.Config.rw_key_arg) arg_ts
+          in
+          let joined = Taint.join_all vals in
+          if Taint.is_tainted Vuln.Sqli joined then record_so_write a.c key
+          else
+            match a.frame with
+            | Some frame ->
+                Taint.Int_set.iter
+                  (fun i ->
+                    frame.fr_csinks <-
+                      { Summary.cs_param = i; cs_kind = Vuln.Sqli;
+                        cs_sink_name = so_write_prefix ^ key; cs_pos = pos;
+                        cs_var = name; cs_context = None;
+                        cs_sans = Taint.no_sans }
+                      :: frame.fr_csinks)
+                  (Taint.deps Vuln.Sqli joined)
+            | None -> ()))
+
+(** DB-read endpoint in the replay phase: second-order taint flows out of
+    the call when a matching write key was recorded by the record phase.
+    A keyless read (["*"]) matches any recorded write; a keyed read
+    matches its own key or a keyless write. *)
+let so_read_taint a ~pos ~is_method ?disp name args =
+  match a.c.opts.so_mode with
+  | So_off | So_record -> Taint.untainted
+  | So_replay keys -> (
+      match Config.find_db_read a.c.opts.config ~is_method name with
+      | None -> Taint.untainted
+      | Some rw ->
+          let rkey = db_key rw args in
+          let matches =
+            if String.equal rkey "*" then keys <> []
+            else
+              List.exists
+                (fun k -> String.equal k rkey || String.equal k "*")
+                keys
+          in
+          if matches then begin
+            let disp = match disp with Some d -> d | None -> name in
+            Obs.incr "phpsafe.so.reads_replayed";
+            Taint.of_source
+              ~kinds:[ Vuln.Second_order_sqli ]
+              ~source:(Vuln.Database disp) ~pos
+            |> Taint.push_step ~var:(disp ^ "()") ~pos
+                 ~note:"attacker-stored data read back"
+          end
+          else Taint.untainted)
 
 (* ------------------------------------------------------------------ *)
 (* Names                                                              *)
@@ -501,13 +678,7 @@ let cond_sink_same (a : Summary.cond_sink) (b : Summary.cond_sink) =
   && a.Summary.cs_pos = b.Summary.cs_pos
   && String.equal a.Summary.cs_var b.Summary.cs_var
   && a.Summary.cs_context = b.Summary.cs_context
-  && Taint.San_set.equal a.Summary.cs_sans.Taint.applied_xss
-       b.Summary.cs_sans.Taint.applied_xss
-  && Taint.San_set.equal a.Summary.cs_sans.Taint.applied_sqli
-       b.Summary.cs_sans.Taint.applied_sqli
-  && Taint.San_set.equal a.Summary.cs_sans.Taint.undone
-       b.Summary.cs_sans.Taint.undone
-  && a.Summary.cs_sans.Taint.undone_all = b.Summary.cs_sans.Taint.undone_all
+  && Taint.equal_sans a.Summary.cs_sans b.Summary.cs_sans
 
 let dedup_cond_sinks css =
   List.fold_left
@@ -699,6 +870,12 @@ let rec eval a (e : Phplang.Ast.expr) : Taint.t =
    sanitizer delta.  Returns the joined taint of the whole argument, so
    callers use this INSTEAD of [eval] on the sink argument. *)
 and check_sink_ctx a ~pos ~targets (e : Phplang.Ast.expr) : Taint.t =
+  let targets =
+    List.concat_map
+      (fun (kind, sink_name) ->
+        List.map (fun k -> (k, sink_name)) (sink_check_kinds a kind))
+      targets
+  in
   let prefix = Buffer.create 64 in
   let acc = ref Taint.untainted in
   List.iter
@@ -786,28 +963,38 @@ and eval_call a ~pos fname args =
      hole gets its inferred output context. *)
   let arg_ts =
     if ctx_on a && sinks <> [] then
-      let targets =
-        List.map
-          (fun (snk : Config.sink_entry) -> (snk.Config.snk_kind, fname))
-          sinks
-      in
-      List.map (fun e -> check_sink_ctx a ~pos ~targets e) args
+      List.map
+        (fun e ->
+          match
+            List.filter (fun snk -> sink_applies snk ~args ~arg:e) sinks
+          with
+          | [] -> eval a e
+          | applicable ->
+              let targets =
+                List.map
+                  (fun (snk : Config.sink_entry) -> (snk.Config.snk_kind, fname))
+                  applicable
+              in
+              check_sink_ctx a ~pos ~targets e)
+        args
     else begin
       let arg_ts = List.map (eval a) args in
       List.iter
         (fun (snk : Config.sink_entry) ->
           List.iteri
             (fun i t ->
-              let var = match List.nth_opt args i with
-                | Some e -> name_of_expr e
-                | None -> "<arg>"
-              in
-              check_sink a ~kind:snk.Config.snk_kind ~pos ~sink_name:fname ~var t)
+              match List.nth_opt args i with
+              | Some e when sink_applies snk ~args ~arg:e ->
+                  check_sink a ~kind:snk.Config.snk_kind ~pos ~sink_name:fname
+                    ~var:(name_of_expr e) t
+              | _ -> ())
             arg_ts)
         sinks;
       arg_ts
     end
   in
+  check_db_write a ~pos ~is_method:false fname args arg_ts;
+  let so_t = so_read_taint a ~pos ~is_method:false fname args in
   let arg0 () =
     match arg_ts with t :: _ -> t | [] -> Taint.untainted
   in
@@ -815,6 +1002,7 @@ and eval_call a ~pos fname args =
     match args with e :: _ -> name_of_expr e | [] -> "<none>"
   in
   (* 2. value roles, in priority order *)
+  let t =
   match Config.find_sanitizer config fname with
   | Some san ->
       let t =
@@ -823,7 +1011,7 @@ and eval_call a ~pos fname args =
           Taint.record_sanitizer ~name:fname san.Config.san_kinds (arg0 ())
         else Taint.sanitize_kinds san.Config.san_kinds (arg0 ())
       in
-      if Taint.interesting t || t.Taint.was_xss || t.Taint.was_sqli then
+      if Taint.interesting t || Taint.any_was t then
         Taint.push_step t ~var:(arg0_name ()) ~pos
           ~note:(Printf.sprintf "filtered by %s" fname)
       else t
@@ -855,6 +1043,8 @@ and eval_call a ~pos fname args =
               match Hashtbl.find_opt a.c.funcs (lc fname) with
               | Some _ -> call_user_function a ~pos (lc fname) arg_ts args
               | None -> Taint.untainted))
+  in
+  if Taint.interesting so_t then Taint.join t so_t else t
 
 and eval_method_call a ~pos obj m args =
   let config = a.c.opts.config in
@@ -880,21 +1070,26 @@ and eval_method_call a ~pos obj m args =
   let arg_ts =
     if ctx_on a && msinks <> [] then
       match args with
-      | e :: rest ->
-          let targets =
-            List.map
-              (fun (snk : Config.sink_entry) ->
-                (snk.Config.snk_kind, full_name obj_name))
-              msinks
-          in
-          check_sink_ctx a ~pos ~targets e :: List.map (eval a) rest
+      | e :: rest -> (
+          match
+            List.filter (fun snk -> sink_applies snk ~args ~arg:e) msinks
+          with
+          | [] -> List.map (eval a) args
+          | applicable ->
+              let targets =
+                List.map
+                  (fun (snk : Config.sink_entry) ->
+                    (snk.Config.snk_kind, full_name obj_name))
+                  applicable
+              in
+              check_sink_ctx a ~pos ~targets e :: List.map (eval a) rest)
       | [] -> []
     else begin
       let arg_ts = List.map (eval a) args in
       List.iter
         (fun (snk : Config.sink_entry) ->
           match (arg_ts, args) with
-          | t :: _, e :: _ ->
+          | t :: _, e :: _ when sink_applies snk ~args ~arg:e ->
               check_sink a ~kind:snk.Config.snk_kind ~pos
                 ~sink_name:(full_name obj_name) ~var:(name_of_expr e) t
           | _ -> ())
@@ -906,20 +1101,28 @@ and eval_method_call a ~pos obj m args =
   match user_class with
   | Some owner -> call_user_function a ~pos (method_key owner m) arg_ts args
   | None ->
-      (* configuration-known methods ($wpdb family): sink, sanitizer, source *)
-      (match Config.find_method_sanitizer config m with
-      | Some san ->
-          if ctx_on a then
-            Taint.record_sanitizer ~name:m san.Config.san_kinds (arg0 ())
-          else Taint.sanitize_kinds san.Config.san_kinds (arg0 ())
-      | None -> (
-          match Config.find_method_source config m with
-          | Some src ->
-              Taint.of_source ~kinds:src.Config.src_kinds
-                ~source:src.Config.src_desc ~pos
-              |> Taint.push_step ~var:(full_name obj_name ^ "()") ~pos
-                   ~note:"untrusted data returned"
-          | None -> Taint.untainted))
+      (* configuration-known methods ($wpdb family): sink, sanitizer,
+         source — plus the second-order DB write/read endpoints *)
+      check_db_write a ~pos ~is_method:true m args arg_ts;
+      let so_t =
+        so_read_taint a ~pos ~is_method:true ~disp:(full_name obj_name) m args
+      in
+      let t =
+        match Config.find_method_sanitizer config m with
+        | Some san ->
+            if ctx_on a then
+              Taint.record_sanitizer ~name:m san.Config.san_kinds (arg0 ())
+            else Taint.sanitize_kinds san.Config.san_kinds (arg0 ())
+        | None -> (
+            match Config.find_method_source config m with
+            | Some src ->
+                Taint.of_source ~kinds:src.Config.src_kinds
+                  ~source:src.Config.src_desc ~pos
+                |> Taint.push_step ~var:(full_name obj_name ^ "()") ~pos
+                     ~note:"untrusted data returned"
+            | None -> Taint.untainted)
+      in
+      if Taint.interesting so_t then Taint.join t so_t else t
 
 and call_user_function a ~pos key arg_ts arg_exprs =
   match Hashtbl.find_opt a.c.funcs key with
@@ -939,6 +1142,12 @@ and call_user_function a ~pos key arg_ts arg_exprs =
           List.iter
             (fun action ->
               match action with
+              | `Fire ((cs : Summary.cond_sink), (arg_taint : Taint.t))
+                when is_so_write_sink cs ->
+                  (* a [dbwrite:] pseudo-sink never reports; firing it with
+                     SQL-tainted data records the second-order write key *)
+                  if Taint.is_tainted Vuln.Sqli arg_taint then
+                    record_so_write a.c (so_write_key cs)
               | `Fire ((cs : Summary.cond_sink), (arg_taint : Taint.t)) ->
                   (* context mode: replay the callee's sanitizer delta on
                      the argument and test adequacy against the context
@@ -1017,10 +1226,12 @@ and obtain_summary (c : ctx) (fi : func_info) : Summary.t =
                     c.sum_log <- (k, s) :: c.sum_log
                   end)
                 e.se_published;
+              List.iter (record_so_write c) e.se_so_writes;
               e.se_summary
           | None ->
               let findings0 = List.length c.findings in
               let log0 = List.length c.sum_log in
+              let so0 = c.so_writes in
               let s = analyze_function c fi in
               let rec take k l =
                 if k <= 0 then []
@@ -1032,6 +1243,7 @@ and obtain_summary (c : ctx) (fi : func_info) : Summary.t =
                   se_summary = s;
                   se_findings = delta c.findings findings0;
                   se_published = delta c.sum_log log0;
+                  se_so_writes = S.elements (S.diff c.so_writes so0);
                 };
               s))
 
@@ -1060,8 +1272,41 @@ and analyze_function (c : ctx) (fi : func_info) : Summary.t =
   summary
 
 and exec_include a (arg : Phplang.Ast.expr) =
+  (* a dynamic include path is the classic LFI sink: check the argument
+     against the configured [include] sink entries (paper-class path
+     traversal; a string literal resolves statically and is safe) *)
+  let check_dynamic () =
+    match Config.find_sinks a.c.opts.config "include" with
+    | [] -> ignore (eval a arg)
+    | include_sinks ->
+        let pos = arg.Phplang.Ast.epos in
+        let args = [ arg ] in
+        if ctx_on a then (
+          match
+            List.filter
+              (fun snk -> sink_applies snk ~args ~arg)
+              include_sinks
+          with
+          | [] -> ignore (eval a arg)
+          | applicable ->
+              let targets =
+                List.map
+                  (fun (snk : Config.sink_entry) ->
+                    (snk.Config.snk_kind, "include"))
+                  applicable
+              in
+              ignore (check_sink_ctx a ~pos ~targets arg))
+        else
+          let t = eval a arg in
+          List.iter
+            (fun (snk : Config.sink_entry) ->
+              if sink_applies snk ~args ~arg then
+                check_sink a ~kind:snk.Config.snk_kind ~pos
+                  ~sink_name:"include" ~var:(name_of_expr arg) t)
+            include_sinks
+  in
   match arg.Phplang.Ast.e with
-  | _ when not a.c.opts.resolve_includes -> ignore (eval a arg)
+  | _ when not a.c.opts.resolve_includes -> check_dynamic ()
   | Phplang.Ast.Str path when not (S.mem path a.c.include_stack) ->
       a.c.include_stack <- S.add path a.c.include_stack;
       (match Hashtbl.find_opt a.c.parsed path with
@@ -1075,7 +1320,8 @@ and exec_include a (arg : Phplang.Ast.expr) =
          within one pass either way) *)
       if a.c.opts.flow_sensitive then
         a.c.include_stack <- S.remove path a.c.include_stack
-  | _ -> ignore (eval a arg)
+  | Phplang.Ast.Str _ -> ()
+  | _ -> check_dynamic ()
 
 (* Body roots (file entries, function and closure bodies) go through here:
    one straight-line pass in the published phpSAFE, a CFG fixpoint under
@@ -1230,7 +1476,7 @@ and apply_termination_guards a branches els =
              _ })
         when List.mem (lc g) guard_functions ->
           Env.set a.env v
-            (Taint.sanitize_kinds [ Vuln.Xss; Vuln.Sqli ] (Env.get a.env v))
+            (Taint.sanitize_kinds Vuln.all_kinds (Env.get a.env v))
       | _ -> ())
   | _ -> ()
 
@@ -1291,8 +1537,8 @@ let rec register_stmt ctx ~file (s : Phplang.Ast.stmt) =
 (* Project driver                                                     *)
 (* ------------------------------------------------------------------ *)
 
-let analyze_project ?(opts = default_options) (project : Phplang.Project.t) :
-    Report.result =
+let analyze_project_internal ?(opts = default_options)
+    (project : Phplang.Project.t) : Report.result * string list =
   (* stage 1 (§III.A): configuration — the run context carrying the sink/
      source/sanitizer model, plus the incremental-cache fingerprints when a
      cache root is configured.  The file fingerprint covers the whole
@@ -1343,6 +1589,7 @@ let analyze_project ?(opts = default_options) (project : Phplang.Project.t) :
       include_stack = S.empty;
       errors = 0;
       sum_log = [];
+      so_writes = S.empty;
       cache;
     }
   in
@@ -1521,6 +1768,7 @@ let analyze_project ?(opts = default_options) (project : Phplang.Project.t) :
               Obs.incr "cache.result.replayed.phpSAFE";
               Hashtbl.replace replayed path e;
               List.iter (replay_finding ctx) e.ue_findings;
+              List.iter (record_so_write ctx) e.ue_so_writes;
               (match e.ue_outcome with
               | Report.Analyzed -> ()
               | Report.Failed _ -> ctx.errors <- ctx.errors + 1);
@@ -1529,6 +1777,7 @@ let analyze_project ?(opts = default_options) (project : Phplang.Project.t) :
               let n0 =
                 if ctx.cache = None then 0 else List.length ctx.findings
               in
+              let so0 = ctx.so_writes in
               ctx.include_stack <- S.singleton path;
               let env = Env.create_toplevel ctx.globals in
               let a = { c = ctx; env; frame = None; file = path } in
@@ -1545,6 +1794,7 @@ let analyze_project ?(opts = default_options) (project : Phplang.Project.t) :
                       | Some o -> o
                       | None -> Report.Analyzed);
                     pd_uncalled = [];
+                    pd_so_writes = S.elements (S.diff ctx.so_writes so0);
                   })
         analyzable;
       if opts.analyze_uncalled then begin
@@ -1558,6 +1808,7 @@ let analyze_project ?(opts = default_options) (project : Phplang.Project.t) :
         let analyze_live fkey fi =
           Deadline.check ();
           let n0 = if ctx.cache = None then 0 else List.length ctx.findings in
+          let so0 = ctx.so_writes in
           let crashed =
             match obtain_summary ctx fi with
             | _ -> None
@@ -1569,7 +1820,10 @@ let analyze_project ?(opts = default_options) (project : Phplang.Project.t) :
           match Hashtbl.find_opt pendings fi.fi_file with
           | Some pd ->
               pd.pd_uncalled <-
-                (fkey, { ur_findings = findings_delta n0; ur_crashed = crashed })
+                (fkey,
+                 { ur_findings = findings_delta n0;
+                   ur_crashed = crashed;
+                   ur_so_writes = S.elements (S.diff ctx.so_writes so0) })
                 :: pd.pd_uncalled
           | None -> ()
         in
@@ -1580,6 +1834,7 @@ let analyze_project ?(opts = default_options) (project : Phplang.Project.t) :
                 match List.assoc_opt fkey e.ue_uncalled with
                 | Some ur -> (
                     List.iter (replay_finding ctx) ur.ur_findings;
+                    List.iter (record_so_write ctx) ur.ur_so_writes;
                     match ur.ur_crashed with
                     | Some msg -> mark_file_crashed_msg fi.fi_file msg
                     | None -> ())
@@ -1616,13 +1871,34 @@ let analyze_project ?(opts = default_options) (project : Phplang.Project.t) :
               ue_outcome = pd.pd_outcome;
               ue_called;
               ue_uncalled;
+              ue_so_writes = pd.pd_so_writes;
             })
         pendings);
   (* stage 4 (§III.D): results *)
   Obs.span "phpsafe.results" @@ fun () ->
-  {
-    Report.findings = List.rev ctx.findings;
-    outcomes = List.rev !outcomes;
-    errors = ctx.errors;
-    unresolved_includes = S.cardinal !unresolved;
-  }
+  ( {
+      Report.findings = List.rev ctx.findings;
+      outcomes = List.rev !outcomes;
+      errors = ctx.errors;
+      unresolved_includes = S.cardinal !unresolved;
+    },
+    S.elements ctx.so_writes )
+
+let analyze_project ?opts project = fst (analyze_project_internal ?opts project)
+
+(** Two-phase second-order SQL-injection analysis (E16).  Phase 1 walks the
+    project in [So_record] mode, collecting the DB-write keys reached by
+    SQL-tainted data; when any were recorded, phase 2 re-walks it in
+    [So_replay] mode with matching DB reads acting as tainted sources.  A
+    project with no tainted writes gets the single-phase result (and
+    cost). *)
+let analyze_project_so ?(opts = default_options) (project : Phplang.Project.t)
+    : Report.result =
+  let r1, keys =
+    analyze_project_internal ~opts:{ opts with so_mode = So_record } project
+  in
+  if keys = [] then r1
+  else begin
+    Obs.incr "phpsafe.so.replay_runs";
+    analyze_project ~opts:{ opts with so_mode = So_replay keys } project
+  end

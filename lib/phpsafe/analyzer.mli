@@ -12,6 +12,15 @@ val default_budget : budget
     file [2012] and three files [2014]" whose include chains "required a lot
     of memory" (§V.E). *)
 
+type so_mode =
+  | So_off  (** single-phase run: no persistent-storage modeling *)
+  | So_record
+      (** phase 1 of {!analyze_project_so}: record the DB-write keys
+          reached by SQL-tainted data *)
+  | So_replay of string list
+      (** phase 2: DB reads matching a recorded write key return
+          [Second_order_sqli]-tainted data *)
+
 type options = {
   config : Config.t;
   budget : budget option;
@@ -31,6 +40,12 @@ type options = {
           with a fixpoint, killing branch-local sanitization at joins and
           re-generating taint around loop back-edges; off by default — the
           published tool is flow-insensitive over conditionals and loops *)
+  so_mode : so_mode;
+      (** second-order SQLi phase; callers normally leave this [So_off] and
+          use {!analyze_project_so} instead of setting it directly *)
+  restrict_kinds : Secflow.Vuln.kind list option;
+      (** [--kinds] filter: when set, only findings of these kinds are
+          reported; [None] reports every kind *)
 }
 
 val default_options : options
@@ -46,3 +61,11 @@ val analyze_project :
     check the include budget, build the function/class registry, execute
     each file as an entry point, then analyze uncalled functions.  Findings
     are de-duplicated per (kind, file, line). *)
+
+val analyze_project_so :
+  ?opts:options -> Phplang.Project.t -> Secflow.Report.result
+(** Two-phase second-order SQL-injection analysis: an {!analyze_project}
+    run in [So_record] mode collects the DB-write keys reached by
+    SQL-tainted data; when any exist, a second run in [So_replay] mode
+    treats matching DB reads as tainted sources.  With no tainted writes
+    this degenerates to (exactly) the single-phase result. *)

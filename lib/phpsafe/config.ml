@@ -28,10 +28,37 @@ type sanitizer_entry = {
           consulted by the context-inference pass ([--contexts]). *)
 }
 
+(** Restriction on the {e statically-known prefix} of the argument a sink
+    receives, used to split dual-role sinks such as [file_get_contents]:
+    with a constant ["http(s)://"] prefix the call is a remote fetch (SSRF
+    target); any other shape — including a bare dynamic argument — is a
+    filesystem read (path-traversal target).  [`Any] ignores the shape. *)
+type path_shape = [ `Any | `Url_prefix | `Non_url ]
+
 type sink_entry = {
   snk_name : string;       (** "echo" and "print" are language constructs *)
   snk_is_method : bool;
   snk_kind : Vuln.kind;
+  snk_when_const : (int * string) option;
+      (** fire only when argument [i] is the named PHP constant — e.g.
+          [curl_setopt] is an SSRF sink only for [CURLOPT_URL] *)
+  snk_path_shape : path_shape;
+      (** restriction on the checked argument's static prefix *)
+}
+
+(** One database write or read the second-order pass correlates
+    ([--second-order]): a write reached by tainted data records its key;
+    a read whose key matches a recorded write returns
+    {!Vuln.Second_order_sqli}-tainted data in the replay phase. *)
+type db_rw_entry = {
+  rw_name : string;
+  rw_is_method : bool;
+  rw_key_arg : int;
+      (** argument carrying the table/option name; [-1] = no statically
+          attributable key (matches any, recorded as ["*"]) *)
+  rw_val_args : int list option;
+      (** value arguments whose taint constitutes a tainted write;
+          [None] = every argument except the key (writes only) *)
 }
 
 type t = {
@@ -47,11 +74,29 @@ type t = {
   concat_all_args : string list;
       (** builtins whose result joins the taint of all arguments:
           [sprintf], [implode], [str_replace], ... *)
+  db_writes : db_rw_entry list;
+      (** persistent-store writes the second-order pass records *)
+  db_reads : db_rw_entry list;
+      (** persistent-store reads the second-order replay phase taints *)
 }
 
 let both = [ Vuln.Xss; Vuln.Sqli ]
 let xss = [ Vuln.Xss ]
 let sqli = [ Vuln.Sqli ]
+
+(* Direct attacker input can feed every injection family.  Second-order
+   SQLi is deliberately absent: its taint exists only in the replay phase,
+   introduced at matching database reads, never at ordinary sources. *)
+let direct = [ Vuln.Xss; Vuln.Sqli; Vuln.Cmdi; Vuln.Path_traversal; Vuln.Ssrf ]
+
+(* Sanitizers that reduce a value to a number/hash neutralise every
+   injection family at once (including replayed second-order taint). *)
+let numeric = Vuln.all_kinds
+
+(* An escape-at-write is treated as sanitizing the stored value, so SQL
+   string escapes cover the second-order kind too (a documented
+   under-approximation: re-expansion after retrieval is not modeled). *)
+let sqli_so = [ Vuln.Sqli; Vuln.Second_order_sqli ]
 
 let fn_source ?(is_method = false) name kinds desc =
   { src_name = name; src_is_method = is_method; src_kinds = kinds; src_desc = desc }
@@ -63,8 +108,13 @@ let sanitizer ?(is_method = false) ?contexts name kinds =
   { san_name = name; san_is_method = is_method; san_kinds = kinds;
     san_contexts = contexts }
 
-let sink ?(is_method = false) name kind =
-  { snk_name = name; snk_is_method = is_method; snk_kind = kind }
+let sink ?(is_method = false) ?when_const ?(shape = `Any) name kind =
+  { snk_name = name; snk_is_method = is_method; snk_kind = kind;
+    snk_when_const = when_const; snk_path_shape = shape }
+
+let db_rw ?(is_method = false) ?(key_arg = -1) ?val_args name =
+  { rw_name = name; rw_is_method = is_method; rw_key_arg = key_arg;
+    rw_val_args = val_args }
 
 (* Adequacy matrix for the generic sanitizers (context pass, §VI future
    work).  [htmlspecialchars] without ENT_QUOTES leaves single quotes alone
@@ -82,6 +132,9 @@ let url_enc_ctx =
 
 let js_ctx = [ Context.Js_string ]
 let sql_quoted_ctx = [ Context.Sql_quoted_string ]
+let shell_ctx = [ Context.Shell_arg ]
+let path_ctx = [ Context.File_path ]
+let url_remote_ctx = [ Context.Url_remote ]
 
 (** Generic PHP configuration: detects XSS and SQLi in any PHP code,
     framework-agnostic ("ready for detecting generic XSS and SQLi
@@ -90,8 +143,8 @@ let generic_php =
   {
     name = "generic-php";
     superglobal_sources =
-      [ ("$_GET", both); ("$_POST", both); ("$_COOKIE", both);
-        ("$_REQUEST", both); ("$_FILES", both); ("$_SERVER", both) ];
+      [ ("$_GET", direct); ("$_POST", direct); ("$_COOKIE", direct);
+        ("$_REQUEST", direct); ("$_FILES", direct); ("$_SERVER", direct) ];
     function_sources =
       [ fn_source "file_get_contents" both (Vuln.File_read "file_get_contents");
         fn_source "fgets" both (Vuln.File_read "fgets");
@@ -112,18 +165,22 @@ let generic_php =
         sanitizer "urlencode" xss ~contexts:url_enc_ctx;
         sanitizer "rawurlencode" xss ~contexts:url_enc_ctx;
         sanitizer "json_encode" xss ~contexts:js_ctx;
-        sanitizer "intval" both;
-        sanitizer "floatval" both;
-        sanitizer "abs" both;
-        sanitizer "count" both;
-        sanitizer "strlen" both;
-        sanitizer "md5" both;
-        sanitizer "sha1" both;
-        sanitizer "crc32" both;
-        sanitizer "number_format" both;
-        sanitizer "addslashes" sqli ~contexts:sql_quoted_ctx;
-        sanitizer "mysql_escape_string" sqli ~contexts:sql_quoted_ctx;
-        sanitizer "mysql_real_escape_string" sqli ~contexts:sql_quoted_ctx ];
+        sanitizer "intval" numeric;
+        sanitizer "floatval" numeric;
+        sanitizer "abs" numeric;
+        sanitizer "count" numeric;
+        sanitizer "strlen" numeric;
+        sanitizer "md5" numeric;
+        sanitizer "sha1" numeric;
+        sanitizer "crc32" numeric;
+        sanitizer "number_format" numeric;
+        sanitizer "addslashes" sqli_so ~contexts:sql_quoted_ctx;
+        sanitizer "mysql_escape_string" sqli_so ~contexts:sql_quoted_ctx;
+        sanitizer "mysql_real_escape_string" sqli_so ~contexts:sql_quoted_ctx;
+        sanitizer "escapeshellarg" [ Vuln.Cmdi ] ~contexts:shell_ctx;
+        sanitizer "escapeshellcmd" [ Vuln.Cmdi ] ~contexts:shell_ctx;
+        sanitizer "basename" [ Vuln.Path_traversal ] ~contexts:path_ctx;
+        sanitizer "realpath" [ Vuln.Path_traversal ] ~contexts:path_ctx ];
     reverts =
       [ "stripslashes"; "stripcslashes"; "urldecode"; "rawurldecode";
         "html_entity_decode"; "htmlspecialchars_decode"; "base64_decode" ];
@@ -137,12 +194,28 @@ let generic_php =
         sink "exit" Vuln.Xss;
         sink "mysql_query" Vuln.Sqli;
         sink "mysql_db_query" Vuln.Sqli;
-        sink "mysql_unbuffered_query" Vuln.Sqli ];
+        sink "mysql_unbuffered_query" Vuln.Sqli;
+        sink "system" Vuln.Cmdi;
+        sink "exec" Vuln.Cmdi;
+        sink "shell_exec" Vuln.Cmdi;
+        sink "passthru" Vuln.Cmdi;
+        sink "popen" Vuln.Cmdi;
+        sink "proc_open" Vuln.Cmdi;
+        sink "include" Vuln.Path_traversal;
+        sink "fopen" Vuln.Path_traversal ~shape:`Non_url;
+        sink "readfile" Vuln.Path_traversal ~shape:`Non_url;
+        sink "file_get_contents" Vuln.Path_traversal ~shape:`Non_url;
+        sink "file_get_contents" Vuln.Ssrf ~shape:`Url_prefix;
+        sink "curl_init" Vuln.Ssrf;
+        sink "curl_setopt" Vuln.Ssrf ~when_const:(1, "CURLOPT_URL");
+        sink "fsockopen" Vuln.Ssrf ];
     passthrough =
       [ "trim"; "ltrim"; "rtrim"; "substr"; "strtolower"; "strtoupper";
         "ucfirst"; "ucwords"; "nl2br"; "strval"; "stristr"; "strstr";
         "wordwrap"; "chunk_split"; "strrev" ];
     concat_all_args = [ "sprintf"; "vsprintf"; "implode"; "join"; "str_replace"; "preg_replace"; "str_pad" ];
+    db_writes = [];
+    db_reads = [];
   }
 
 let is_superglobal_source t name = List.assoc_opt name t.superglobal_sources
@@ -181,6 +254,16 @@ let find_method_sinks t name =
 
 let is_passthrough t name = List.exists (String.equal name) t.passthrough
 let is_concat_all t name = List.exists (String.equal name) t.concat_all_args
+
+let find_db_write t ~is_method name =
+  List.find_opt
+    (fun e -> e.rw_is_method = is_method && String.equal e.rw_name name)
+    t.db_writes
+
+let find_db_read t ~is_method name =
+  List.find_opt
+    (fun e -> e.rw_is_method = is_method && String.equal e.rw_name name)
+    t.db_reads
 
 (** Contexts sanitizer [name] is adequate for, searching function and
     method entries alike (the applied-sanitizer set at a sink only carries
@@ -231,4 +314,6 @@ let extend base ext =
     sinks = base.sinks @ ext.sinks;
     passthrough = base.passthrough @ ext.passthrough;
     concat_all_args = base.concat_all_args @ ext.concat_all_args;
+    db_writes = base.db_writes @ ext.db_writes;
+    db_reads = base.db_reads @ ext.db_reads;
   }

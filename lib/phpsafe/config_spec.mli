@@ -7,6 +7,14 @@ exception Spec_error of string * int
 (** Parse failure: message and 1-based line number. *)
 
 val of_string : string -> Config.t
+
+val of_string_with_warnings : string -> Config.t * string list
+(** Like {!of_string}, but an unknown vulnerability-kind name in a kind
+    list is collected as a warning (with its line number) and skipped
+    rather than raised — a spec written for a newer kind taxonomy still
+    loads, minus the unknown kinds.  Structural errors (unknown directives,
+    malformed attributes) still raise {!Spec_error}. *)
+
 val to_string : Config.t -> string
 (** A fixpoint of [of_string ∘ to_string] up to the source classes. *)
 
@@ -18,3 +26,7 @@ val validate : Config.t -> string list
 
 val load : string -> Config.t
 (** Load a spec file from disk. *)
+
+val load_with_warnings : string -> Config.t * string list
+(** {!load} with the lenient unknown-kind policy of
+    {!of_string_with_warnings}. *)

@@ -47,6 +47,14 @@ let profile : Config.t =
         Config.sink "drupal_set_title" Vuln.Xss ];
     passthrough = [ "t" ];
     concat_all_args = [ "format_string" ];
+    db_writes =
+      [ (* persistent variable store: name, value *)
+        Config.db_rw ~key_arg:0 ~val_args:[ 1 ] "variable_set" ];
+    db_reads =
+      [ Config.db_rw ~key_arg:0 "variable_get";
+        Config.db_rw "db_query";
+        Config.db_rw "db_fetch_object";
+        Config.db_rw "db_fetch_array" ];
   }
 
 (** Generic PHP plus the Drupal profile. *)

@@ -51,6 +51,13 @@ let profile : Config.t =
         Config.sink ~is_method:true "execute" Vuln.Sqli ];
     passthrough = [ "JText_" ];
     concat_all_args = [];
+    db_writes = [];
+    db_reads =
+      [ Config.db_rw ~is_method:true "loadResult";
+        Config.db_rw ~is_method:true "loadRow";
+        Config.db_rw ~is_method:true "loadObject";
+        Config.db_rw ~is_method:true "loadObjectList";
+        Config.db_rw ~is_method:true "loadAssocList" ];
   }
 
 (** Generic PHP plus the Joomla profile. *)

@@ -14,6 +14,8 @@ module Env = Env
 module Summary = Summary
 module Analyzer = Analyzer
 
+type so_mode = Analyzer.so_mode = So_off | So_record | So_replay of string list
+
 type options = Analyzer.options = {
   config : Config.t;
   budget : Analyzer.budget option;
@@ -22,12 +24,17 @@ type options = Analyzer.options = {
   respect_guards : bool;
   infer_contexts : bool;
   flow_sensitive : bool;
+  so_mode : so_mode;
+  restrict_kinds : Secflow.Vuln.kind list option;
 }
 
 let default_options = Analyzer.default_options
 
 (** Analyze a whole plugin project (stages 1–4 of §III). *)
 let analyze_project ?opts project = Analyzer.analyze_project ?opts project
+
+(** Two-phase second-order SQLi analysis (record DB writes, replay reads). *)
+let analyze_project_so ?opts project = Analyzer.analyze_project_so ?opts project
 
 (** Analyze a single PHP source string as a one-file project. *)
 let analyze_source ?opts ~file source =

@@ -30,8 +30,16 @@ let style =
   .finding { border: 1px solid #ccc; border-left: 6px solid #c0392b;
              border-radius: 4px; padding: .7em 1em; margin: 1em 0; }
   .finding.sqli { border-left-color: #8e44ad; }
+  .finding.cmdi { border-left-color: #1a5276; }
+  .finding.lfi { border-left-color: #117864; }
+  .finding.ssrf { border-left-color: #b9770e; }
+  .finding.so-sqli { border-left-color: #6c3483; }
   .kind { font-weight: bold; color: #c0392b; }
   .finding.sqli .kind { color: #8e44ad; }
+  .finding.cmdi .kind { color: #1a5276; }
+  .finding.lfi .kind { color: #117864; }
+  .finding.ssrf .kind { color: #b9770e; }
+  .finding.so-sqli .kind { color: #6c3483; }
   .loc { color: #555; font-family: monospace; }
   .flow { margin: .5em 0 0 1em; font-family: monospace; font-size: .92em; }
   .flow li { margin: .15em 0; }
@@ -41,9 +49,7 @@ let style =
 |css}
 
 let render_finding buf (f : Report.finding) =
-  let kind_class =
-    match f.Report.kind with Vuln.Xss -> "xss" | Vuln.Sqli -> "sqli"
-  in
+  let kind_class = Vuln.kind_spec_name f.Report.kind in
   Buffer.add_string buf (Printf.sprintf "<div class=\"finding %s\">\n" kind_class);
   Buffer.add_string buf
     (Printf.sprintf
@@ -106,17 +112,24 @@ let render ?(title = "phpSAFE analysis report") (result : Report.result) :
     (Printf.sprintf "<title>%s</title><style>%s</style></head>\n<body>\n"
        (escape_html title) style);
   Buffer.add_string buf (Printf.sprintf "<h1>%s</h1>\n" (escape_html title));
-  let xss, sqli =
-    List.partition
-      (fun (f : Report.finding) -> f.Report.kind = Vuln.Xss)
-      result.Report.findings
+  let counts =
+    List.filter_map
+      (fun k ->
+        match
+          List.length
+            (List.filter
+               (fun (f : Report.finding) -> Vuln.equal_kind f.Report.kind k)
+               result.Report.findings)
+        with
+        | 0 -> None
+        | n -> Some (Printf.sprintf "<b>%d %s</b>" n (Vuln.kind_to_string k)))
+      Vuln.all_kinds
   in
   Buffer.add_string buf
     (Printf.sprintf
-       "<p class=\"summary\">%d file(s) processed &mdash; <b>%d XSS</b> and \
-        <b>%d SQLi</b> finding(s)%s.</p>\n"
+       "<p class=\"summary\">%d file(s) processed &mdash; %s finding(s)%s.</p>\n"
        (List.length result.Report.outcomes)
-       (List.length xss) (List.length sqli)
+       (match counts with [] -> "no" | cs -> String.concat ", " cs)
        (match Report.failed_files result with
        | [] -> ""
        | fs -> Printf.sprintf ", %d file(s) not analyzed" (List.length fs)));

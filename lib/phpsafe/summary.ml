@@ -34,28 +34,9 @@ let empty = { ret = Taint.untainted; cond_sinks = [] }
 
 (* Restrict a taint value to one kind's live component: the concrete flag,
    the parameter dependencies and the provenance, but nothing of the other
-   kind.  Needed because a function may pass a parameter through for one
-   vulnerability class while sanitizing the other. *)
-let restrict_kind kind (t : Taint.t) : Taint.t =
-  match kind with
-  | Vuln.Xss ->
-      { Taint.untainted with
-        Taint.xss = t.Taint.xss;
-        deps_xss = t.Taint.deps_xss;
-        sans = t.Taint.sans;
-        source = (if t.Taint.xss || not (Taint.Int_set.is_empty t.Taint.deps_xss)
-                  then t.Taint.source else None);
-        trace = t.Taint.trace;
-        trace_truncated = t.Taint.trace_truncated }
-  | Vuln.Sqli ->
-      { Taint.untainted with
-        Taint.sqli = t.Taint.sqli;
-        deps_sqli = t.Taint.deps_sqli;
-        sans = t.Taint.sans;
-        source = (if t.Taint.sqli || not (Taint.Int_set.is_empty t.Taint.deps_sqli)
-                  then t.Taint.source else None);
-        trace = t.Taint.trace;
-        trace_truncated = t.Taint.trace_truncated }
+   kinds.  Needed because a function may pass a parameter through for one
+   vulnerability class while sanitizing another. *)
+let restrict_kind = Taint.restrict
 
 (** Instantiate the summary's return taint at a call site: the concrete part
     carries over, and each parameter dependency imports the matching
@@ -77,15 +58,12 @@ let instantiate_return summary (args : Taint.t list) : Taint.t =
         Taint.join acc a)
       deps acc
   in
-  let base =
-    { summary.ret with
-      Taint.deps_xss = Taint.Int_set.empty;
-      deps_sqli = Taint.Int_set.empty;
-      was_deps_xss = Taint.Int_set.empty;
-      was_deps_sqli = Taint.Int_set.empty }
+  let base = Taint.forget_deps summary.ret in
+  let acc =
+    List.fold_left
+      (fun acc kind -> import kind (Taint.deps kind summary.ret) acc)
+      Taint.untainted Vuln.all_kinds
   in
-  let acc = import Vuln.Xss summary.ret.Taint.deps_xss Taint.untainted in
-  let acc = import Vuln.Sqli summary.ret.Taint.deps_sqli acc in
   Taint.join base acc
 
 (** Conditional sinks triggered by a call with argument taints [args]:

@@ -2,37 +2,42 @@
 
     A value records, per vulnerability kind, whether the data is currently
     attacker-controlled, which formal parameters it depends on (for the
-    summary analysis), and — in the [was_*] fields — what sanitization could
-    be undone by a {e revert} function such as [stripslashes] (§III.A). *)
+    summary analysis), and — in the [was] fields — what sanitization could
+    be undone by a {e revert} function such as [stripslashes] (§III.A).
+
+    Per-kind state is a map indexed by {!Secflow.Vuln.kind}; all operations
+    keep it canonical (no clean components, no empty sanitizer sets), so
+    structural map equality is a sound convergence test. *)
 
 open Secflow
 
 module Int_set : Set.S with type elt = int
 module San_set : Set.S with type elt = string
+module Kmap : Map.S with type key = Vuln.kind
+
+(** One vulnerability kind's component of a taint value. *)
+type comp = {
+  live : bool;            (** currently attacker-controlled *)
+  was : bool;             (** tainted before sanitization (revertible) *)
+  deps : Int_set.t;       (** parameter indices whose taint reaches here *)
+  was_deps : Int_set.t;   (** dependencies neutralised by a sanitizer *)
+}
 
 (** Sanitizer-set tracking for the context-inference pass ([--contexts]):
     which sanitizers the value passed through per kind, plus the delta
     information ([undone]/[undone_all]) needed to replay revert effects on
     caller arguments across function-summary boundaries. *)
 type sans = {
-  applied_xss : San_set.t;   (** XSS sanitizers the value passed through *)
-  applied_sqli : San_set.t;
-  undone : San_set.t;        (** sanitizer names undone by a revert *)
-  undone_all : bool;         (** a revert with unknown scope undid them all *)
+  applied : San_set.t Kmap.t;  (** per-kind sanitizers passed through *)
+  undone : San_set.t;          (** sanitizer names undone by a revert *)
+  undone_all : bool;           (** a revert with unknown scope undid them all *)
 }
 
 val no_sans : sans
 
 type t = {
-  xss : bool;
-  sqli : bool;
-  was_xss : bool;   (** tainted before sanitization (revertible) *)
-  was_sqli : bool;
-  deps_xss : Int_set.t;  (** parameter indices whose XSS taint reaches here *)
-  deps_sqli : Int_set.t;
-  was_deps_xss : Int_set.t;
-  was_deps_sqli : Int_set.t;
-  sans : sans;              (** sanitizer set (context pass only) *)
+  comps : comp Kmap.t;       (** per-kind taint components; canonical *)
+  sans : sans;               (** sanitizer set (context pass only) *)
   source : (Vuln.source * Phplang.Ast.pos) option;
   trace : Report.step list;  (** most recent first; bounded *)
   trace_truncated : bool;    (** [trace] hit {!max_trace_len}; steps dropped *)
@@ -47,12 +52,20 @@ val of_source :
 (** Fresh taint from a configured source. *)
 
 val of_param : int -> t
-(** Symbolic taint of formal parameter [i] during summary analysis. *)
+(** Symbolic taint of formal parameter [i] during summary analysis; the
+    value depends on the parameter for every kind. *)
+
+val comp : Vuln.kind -> t -> comp
+(** [kind]'s component (all-clean when absent from the map). *)
 
 val is_tainted : Vuln.kind -> t -> bool
 val deps : Vuln.kind -> t -> Int_set.t
+val was : Vuln.kind -> t -> bool
 val has_deps : t -> bool
 val any_tainted : t -> bool
+
+val any_was : t -> bool
+(** Some kind was sanitized away (and could be reverted). *)
 
 val interesting : t -> bool
 (** Live taint or parameter dependencies — worth tracing. *)
@@ -62,6 +75,8 @@ val join : t -> t -> t
     "more tainted" operand. *)
 
 val join_all : t list -> t
+
+val equal_sans : sans -> sans -> bool
 
 val equal_modulo_trace : t -> t -> bool
 (** Structural equality ignoring the provenance fields ([source], [trace],
@@ -77,6 +92,14 @@ val revert : t -> t
 
 val scrub : t -> t
 (** Numeric/boolean results carry no taint at all. *)
+
+val restrict : Vuln.kind -> t -> t
+(** Keep only [kind]'s live component (flag, dependencies, provenance);
+    the sanitizer set is kept whole. *)
+
+val forget_deps : t -> t
+(** Drop every parameter dependency while keeping concrete taint — the base
+    of a summary's return-value instantiation. *)
 
 val relevant : Vuln.kind -> t -> bool
 (** [kind]'s component is live or parameter-dependent — its sanitizer set

@@ -48,17 +48,23 @@ let profile : Config.t =
         Config.sanitizer "sanitize_email" [ Vuln.Xss; Vuln.Sqli ];
         Config.sanitizer "sanitize_key" [ Vuln.Xss; Vuln.Sqli ];
         Config.sanitizer "sanitize_title" [ Vuln.Xss; Vuln.Sqli ];
-        Config.sanitizer "sanitize_file_name" [ Vuln.Xss; Vuln.Sqli ];
-        Config.sanitizer "absint" [ Vuln.Xss; Vuln.Sqli ];
+        Config.sanitizer "sanitize_file_name"
+          [ Vuln.Xss; Vuln.Sqli; Vuln.Path_traversal ];
+        Config.sanitizer "absint" Vuln.all_kinds;
         Config.sanitizer "wp_kses" [ Vuln.Xss ] ~contexts:[ Context.Html_body ];
         Config.sanitizer "wp_kses_post" [ Vuln.Xss ]
           ~contexts:[ Context.Html_body ];
-        Config.sanitizer "esc_sql" [ Vuln.Sqli ]
+        Config.sanitizer "esc_sql" [ Vuln.Sqli; Vuln.Second_order_sqli ]
           ~contexts:[ Context.Sql_quoted_string ];
-        Config.sanitizer "like_escape" [ Vuln.Sqli ]
+        Config.sanitizer "like_escape" [ Vuln.Sqli; Vuln.Second_order_sqli ]
           ~contexts:[ Context.Sql_quoted_string ];
+        (* esc_url_raw validates a URL for non-display use (HTTP requests,
+           storage) — the WordPress-sanctioned SSRF guard *)
+        Config.sanitizer "esc_url_raw" [ Vuln.Ssrf ]
+          ~contexts:[ Context.Url_remote; Context.Url ];
         (* $wpdb->prepare builds a parameterized query *)
-        Config.sanitizer ~is_method:true "prepare" [ Vuln.Sqli ] ];
+        Config.sanitizer ~is_method:true "prepare"
+          [ Vuln.Sqli; Vuln.Second_order_sqli ] ];
     reverts = [ "wp_specialchars_decode" ];
     sinks =
       [ (* query-taking $wpdb methods are SQLi sinks *)
@@ -69,10 +75,31 @@ let profile : Config.t =
         Config.sink ~is_method:true "get_col" Vuln.Sqli;
         (* WP output helpers that echo their argument *)
         Config.sink "_e" Vuln.Xss;
-        Config.sink "wp_die" Vuln.Xss ];
+        Config.sink "wp_die" Vuln.Xss;
+        (* HTTP API: a tainted URL is a server-side request forgery *)
+        Config.sink "wp_remote_get" Vuln.Ssrf;
+        Config.sink "wp_remote_post" Vuln.Ssrf;
+        Config.sink "wp_remote_request" Vuln.Ssrf ];
     passthrough =
       [ "__"; "apply_filters_value"; "maybe_unserialize"; "wp_unslash" ];
     concat_all_args = [];
+    db_writes =
+      [ (* $wpdb row writes: argument 0 names the table, the data arrays
+           carry the stored values *)
+        Config.db_rw ~is_method:true ~key_arg:0 "insert";
+        Config.db_rw ~is_method:true ~key_arg:0 "update";
+        Config.db_rw ~is_method:true ~key_arg:0 "replace";
+        (* options API: argument 0 is the option name, 1 the value *)
+        Config.db_rw ~key_arg:0 ~val_args:[ 1 ] "update_option";
+        Config.db_rw ~key_arg:0 ~val_args:[ 1 ] "add_option" ];
+    db_reads =
+      [ (* $wpdb reads take a SQL string, so no key is statically
+           attributable — they match any recorded write *)
+        Config.db_rw ~is_method:true "get_results";
+        Config.db_rw ~is_method:true "get_var";
+        Config.db_rw ~is_method:true "get_row";
+        Config.db_rw ~is_method:true "get_col";
+        Config.db_rw ~key_arg:0 "get_option" ];
   }
 
 (** The default out-of-the-box phpSAFE configuration: generic PHP plus the

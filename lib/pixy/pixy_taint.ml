@@ -26,7 +26,14 @@ let of_source kinds source pos =
 let uninitialized v pos =
   of_source [ Vuln.Xss; Vuln.Sqli ] (Pixy_config.uninitialized_source v) pos
 
-let is_tainted kind t = match kind with Vuln.Xss -> t.xss | Vuln.Sqli -> t.sqli
+(* Pixy's 2007 taxonomy stops at XSS and SQLi: every newer kind is
+   permanently clean (the paper-fidelity gap the E16 evaluation measures). *)
+let is_tainted kind t =
+  match kind with
+  | Vuln.Xss -> t.xss
+  | Vuln.Sqli -> t.sqli
+  | Vuln.Cmdi | Vuln.Path_traversal | Vuln.Ssrf | Vuln.Second_order_sqli ->
+      false
 
 let join a b =
   { xss = a.xss || b.xss;
@@ -41,7 +48,10 @@ let sanitize kinds t =
     (fun t k ->
       match k with
       | Vuln.Xss -> { t with xss = false }
-      | Vuln.Sqli -> { t with sqli = false })
+      | Vuln.Sqli -> { t with sqli = false }
+      | Vuln.Cmdi | Vuln.Path_traversal | Vuln.Ssrf | Vuln.Second_order_sqli
+        ->
+          t)
     t kinds
 
 (* -- abstract state -------------------------------------------------- *)

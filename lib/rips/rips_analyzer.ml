@@ -134,6 +134,14 @@ let rec lin_expr l (e : A.expr) =
       if List.mem fname_lc Rips_config.sqli_sink_functions then (
         match args with
         | q :: _ -> push_sink l ~kind:Vuln.Sqli ~sink:fname q
+        | [] -> ());
+      if List.mem fname_lc Rips_config.cmdi_sink_functions then (
+        match args with
+        | c :: _ -> push_sink l ~kind:Vuln.Cmdi ~sink:fname c
+        | [] -> ());
+      if List.mem fname_lc Rips_config.lfi_sink_functions then (
+        match args with
+        | p :: _ -> push_sink l ~kind:Vuln.Path_traversal ~sink:fname p
         | [] -> ())
   | A.MethodCall (obj, _, args) ->
       lin_expr l obj;
@@ -162,7 +170,10 @@ let rec lin_expr l (e : A.expr) =
           lin_expr l v)
         items
   | A.Isset es -> List.iter (lin_expr l) es
-  | A.IncludeE (_, x) -> lin_expr l x
+  | A.IncludeE (_, x) ->
+      lin_expr l x;
+      (* a dynamic include path is RIPS's file-inclusion sink *)
+      push_sink l ~kind:Vuln.Path_traversal ~sink:"include" x
   | A.Interp parts ->
       List.iter (function A.IExpr x -> lin_expr l x | A.ILit _ -> ()) parts
   | A.Closure _ ->
@@ -346,7 +357,7 @@ let rec resolve st ~visited ~depth (scope : scope) (idx : int) (e : A.expr) :
 
 and resolve_var st ~visited ~depth scope idx v pos : Rips_taint.t =
   if Rips_config.is_superglobal v then
-    Rips_taint.of_source [ Vuln.Xss; Vuln.Sqli ] (Vuln.Superglobal v) pos
+    Rips_taint.of_source Rips_config.input_kinds (Vuln.Superglobal v) pos
   else
     let key = Printf.sprintf "v:%d:%d:%s" scope.sc_id idx v in
     if Visited.mem key visited then Rips_taint.clean

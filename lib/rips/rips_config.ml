@@ -8,6 +8,12 @@
 
 open Secflow
 
+(** The vulnerability classes RIPS 0.55 reports on request input: XSS, SQLi,
+    command execution and file inclusion/disclosure (paper §II).  No SSRF —
+    the class post-dates the tool — and no second-order flows: RIPS has no
+    model of data coming back out of storage. *)
+let input_kinds = [ Vuln.Xss; Vuln.Sqli; Vuln.Cmdi; Vuln.Path_traversal ]
+
 type role =
   | Source of Vuln.kind list * Vuln.source
   | Sanitizer of Vuln.kind list
@@ -31,9 +37,12 @@ let builtin name =
       Some (Sanitizer [ Vuln.Xss ])
   | "intval" | "floatval" | "abs" | "count" | "strlen" | "md5" | "sha1"
   | "crc32" | "number_format" ->
-      Some (Sanitizer [ Vuln.Xss; Vuln.Sqli ])
+      (* numeric results are harmless in every class RIPS knows *)
+      Some (Sanitizer input_kinds)
   | "addslashes" | "mysql_escape_string" | "mysql_real_escape_string" ->
       Some (Sanitizer [ Vuln.Sqli ])
+  | "escapeshellarg" | "escapeshellcmd" -> Some (Sanitizer [ Vuln.Cmdi ])
+  | "basename" | "realpath" -> Some (Sanitizer [ Vuln.Path_traversal ])
   (* reverting functions *)
   | "stripslashes" | "stripcslashes" | "urldecode" | "rawurldecode"
   | "html_entity_decode" | "htmlspecialchars_decode" | "base64_decode" ->
@@ -57,3 +66,13 @@ let xss_sink_functions = [ "printf"; "print_r"; "vprintf" ]
 
 let sqli_sink_functions =
   [ "mysql_query"; "mysql_db_query"; "mysql_unbuffered_query" ]
+
+(** Command-execution sinks (RIPS 0.55's "code execution" class); the
+    command is the first argument. *)
+let cmdi_sink_functions =
+  [ "system"; "exec"; "shell_exec"; "passthru"; "popen"; "proc_open" ]
+
+(** File-access sinks whose first argument is a path — RIPS's file
+    inclusion / file disclosure class ([include] constructs are handled
+    separately by the analyzer). *)
+let lfi_sink_functions = [ "fopen"; "readfile"; "file_get_contents" ]

@@ -1,50 +1,48 @@
-(** RIPS taint values: per-kind flags plus the revert bookkeeping RIPS's
-    "secure and unsecure PHP built-in functions" model needs.  Simpler than
-    phpSAFE's {!Phpsafe.Taint} — RIPS's backward analysis carries no
-    parameter dependency sets, because parameters are resolved by walking to
-    the call sites instead. *)
+(** RIPS taint values: a set of live vulnerability kinds plus the revert
+    bookkeeping RIPS's "secure and unsecure PHP built-in functions" model
+    needs.  Simpler than phpSAFE's {!Phpsafe.Taint} — RIPS's backward
+    analysis carries no parameter dependency sets, because parameters are
+    resolved by walking to the call sites instead. *)
 
 open Secflow
 
+module Kset = Set.Make (struct
+  type t = Vuln.kind
+
+  let compare = Vuln.compare_kind
+end)
+
 type t = {
-  xss : bool;
-  sqli : bool;
-  was_xss : bool;
-  was_sqli : bool;
+  live : Kset.t;  (** kinds the value is currently tainted for *)
+  was : Kset.t;  (** kinds sanitized away, revivable by a revert *)
   source : Vuln.source option;
   source_pos : Phplang.Ast.pos option;
 }
 
 let clean =
-  { xss = false; sqli = false; was_xss = false; was_sqli = false;
-    source = None; source_pos = None }
+  { live = Kset.empty; was = Kset.empty; source = None; source_pos = None }
 
 let of_source kinds source pos =
   { clean with
-    xss = List.mem Vuln.Xss kinds;
-    sqli = List.mem Vuln.Sqli kinds;
+    live = Kset.of_list kinds;
     source = Some source;
     source_pos = Some pos }
 
-let is_tainted kind t = match kind with Vuln.Xss -> t.xss | Vuln.Sqli -> t.sqli
-let any t = t.xss || t.sqli
+let is_tainted kind t = Kset.mem kind t.live
+let any t = not (Kset.is_empty t.live)
 
 let join a b =
-  { xss = a.xss || b.xss;
-    sqli = a.sqli || b.sqli;
-    was_xss = a.was_xss || b.was_xss;
-    was_sqli = a.was_sqli || b.was_sqli;
+  { live = Kset.union a.live b.live;
+    was = Kset.union a.was b.was;
     source = (match a.source with Some _ -> a.source | None -> b.source);
     source_pos = (match a.source with Some _ -> a.source_pos | None -> b.source_pos) }
 
 let join_all = List.fold_left join clean
 
 let sanitize kinds t =
-  List.fold_left
-    (fun t k ->
-      match k with
-      | Vuln.Xss -> { t with xss = false; was_xss = t.was_xss || t.xss }
-      | Vuln.Sqli -> { t with sqli = false; was_sqli = t.was_sqli || t.sqli })
-    t kinds
+  let ks = Kset.of_list kinds in
+  { t with
+    live = Kset.diff t.live ks;
+    was = Kset.union t.was (Kset.inter t.live ks) }
 
-let revert t = { t with xss = t.xss || t.was_xss; sqli = t.sqli || t.was_sqli }
+let revert t = { t with live = Kset.union t.live t.was }

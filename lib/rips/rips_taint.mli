@@ -4,11 +4,11 @@
 
 open Secflow
 
+module Kset : Set.S with type elt = Vuln.kind
+
 type t = {
-  xss : bool;
-  sqli : bool;
-  was_xss : bool;
-  was_sqli : bool;
+  live : Kset.t;
+  was : Kset.t;
   source : Vuln.source option;
   source_pos : Phplang.Ast.pos option;
 }

@@ -17,16 +17,27 @@ type t =
   | Sql_quoted_string   (** inside ['...'] or ["..."] in a SQL statement *)
   | Sql_numeric         (** numeric position: [WHERE id = HERE] *)
   | Sql_identifier      (** table/column position: [ORDER BY HERE] *)
+  (* Other injection-class contexts; each class has a single sink context,
+     so the adequacy matrix degenerates to "was the right escaper used". *)
+  | Shell_arg           (** argument position in a shell command line *)
+  | File_path           (** filesystem path handed to include/fopen *)
+  | Url_remote          (** URL fetched by an HTTP client (SSRF target) *)
 
-(** The vulnerability kind a context belongs to. *)
+(** The vulnerability kind a context belongs to.  [Second_order_sqli]
+    reuses the SQL contexts at the sink (a second-order flow still lands in
+    a SQL statement) so it contributes no contexts of its own here. *)
 let kind = function
   | Html_body | Html_attr_quoted | Html_attr_unquoted | Url | Js_string ->
       Vuln.Xss
   | Sql_quoted_string | Sql_numeric | Sql_identifier -> Vuln.Sqli
+  | Shell_arg -> Vuln.Cmdi
+  | File_path -> Vuln.Path_traversal
+  | Url_remote -> Vuln.Ssrf
 
 let all =
   [ Html_body; Html_attr_quoted; Html_attr_unquoted; Url; Js_string;
-    Sql_quoted_string; Sql_numeric; Sql_identifier ]
+    Sql_quoted_string; Sql_numeric; Sql_identifier;
+    Shell_arg; File_path; Url_remote ]
 
 let all_for_kind k = List.filter (fun c -> Vuln.equal_kind (kind c) k) all
 let all_for_kinds kinds = List.concat_map all_for_kind kinds
@@ -40,6 +51,9 @@ let to_string = function
   | Sql_quoted_string -> "sql-quoted-string"
   | Sql_numeric -> "sql-numeric"
   | Sql_identifier -> "sql-identifier"
+  | Shell_arg -> "shell-arg"
+  | File_path -> "file-path"
+  | Url_remote -> "url-remote"
 
 let equal (a : t) b = a = b
 let compare (a : t) b = compare a b

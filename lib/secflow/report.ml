@@ -218,20 +218,33 @@ let json_of_outcome (path, outcome) =
     [ ("file", Json.String path); ("status", Json.String status);
       ("detail", Json.String detail) ]
 
+(** Finding count per kind, in {!Vuln.all_kinds} order — the generic
+    grouping every table/report surface uses (a binary XSS/else partition
+    here would silently fold new classes into the SQLi bucket). *)
+let count_by_kind (findings : finding list) =
+  List.map
+    (fun k ->
+      ( k,
+        List.length
+          (List.filter (fun (f : finding) -> Vuln.equal_kind f.kind k) findings)
+      ))
+    Vuln.all_kinds
+
 let to_json_value ?(tool = "phpSAFE") (result : result) : Json.t =
-  let xss, sqli =
-    List.partition (fun (f : finding) -> f.kind = Vuln.Xss) result.findings
+  let kind_counts =
+    List.map
+      (fun (k, n) -> (Vuln.kind_spec_name k, Json.Int n))
+      (count_by_kind result.findings)
   in
   Json.Obj
     [ ("tool", Json.String tool);
       ("schema", Json.String "phpsafe-report/1");
       ("summary",
        Json.Obj
-         [ ("files", Json.Int (List.length result.outcomes));
-           ("failedFiles", Json.Int (List.length (failed_files result)));
-           ("xss", Json.Int (List.length xss));
-           ("sqli", Json.Int (List.length sqli));
-           ("errors", Json.Int result.errors) ]);
+         ([ ("files", Json.Int (List.length result.outcomes));
+            ("failedFiles", Json.Int (List.length (failed_files result))) ]
+         @ kind_counts
+         @ [ ("errors", Json.Int result.errors) ]));
       ("findings", Json.List (List.map json_of_finding result.findings));
       ("files", Json.List (List.map json_of_outcome result.outcomes)) ]
 

@@ -1,10 +1,38 @@
 (** Vulnerability taxonomy shared by all three analyzers and the evaluation
     harness. *)
 
-(** The two vulnerability classes phpSAFE detects (paper §I). *)
-type kind = Xss | Sqli
+(** The vulnerability classes the engine detects.  [Xss] and [Sqli] are the
+    paper's original two (§I); the remaining four extend the same
+    source/sink/sanitizer architecture to other injection families:
+    command injection ([Cmdi]), path traversal / local file inclusion
+    ([Path_traversal]), server-side request forgery ([Ssrf]) and
+    second-order SQL injection through a database round-trip
+    ([Second_order_sqli], detected by a two-phase persistent-taint pass). *)
+type kind = Xss | Sqli | Cmdi | Path_traversal | Ssrf | Second_order_sqli
 
-let kind_to_string = function Xss -> "XSS" | Sqli -> "SQLi"
+let all_kinds = [ Xss; Sqli; Cmdi; Path_traversal; Ssrf; Second_order_sqli ]
+
+let kind_to_string = function
+  | Xss -> "XSS"
+  | Sqli -> "SQLi"
+  | Cmdi -> "CMDi"
+  | Path_traversal -> "LFI"
+  | Ssrf -> "SSRF"
+  | Second_order_sqli -> "SO-SQLi"
+
+(* Lowercase spec/JSON name, e.g. "xss", "so-sqli" — the identifier used in
+   config files, report-summary keys and --kind(s) command lines. *)
+let kind_spec_name k = String.lowercase_ascii (kind_to_string k)
+
+let kind_of_spec_name = function
+  | "xss" -> Some Xss
+  | "sqli" -> Some Sqli
+  | "cmdi" -> Some Cmdi
+  | "lfi" | "path-traversal" -> Some Path_traversal
+  | "ssrf" -> Some Ssrf
+  | "so-sqli" | "second-order-sqli" -> Some Second_order_sqli
+  | _ -> None
+
 let pp_kind ppf k = Format.pp_print_string ppf (kind_to_string k)
 let equal_kind (a : kind) b = a = b
 let compare_kind (a : kind) b = compare a b

@@ -1,10 +1,28 @@
 (** Vulnerability taxonomy shared by all three analyzers and the evaluation
     harness. *)
 
-(** The two vulnerability classes phpSAFE detects (paper §I). *)
-type kind = Xss | Sqli
+(** The vulnerability classes the engine detects.  [Xss] and [Sqli] are the
+    paper's original two (§I); [Cmdi] (command injection),
+    [Path_traversal] (LFI), [Ssrf] and [Second_order_sqli] extend the same
+    source/sink/sanitizer architecture to further injection families. *)
+type kind = Xss | Sqli | Cmdi | Path_traversal | Ssrf | Second_order_sqli
+
+val all_kinds : kind list
+(** Every kind, in declaration (= display) order. *)
 
 val kind_to_string : kind -> string
+(** ["XSS"], ["SQLi"], ["CMDi"], ["LFI"], ["SSRF"], ["SO-SQLi"]. *)
+
+val kind_spec_name : kind -> string
+(** Lowercase identifier used in config files, report-summary keys and
+    [--kind(s)] command lines: ["xss"], ["sqli"], ["cmdi"], ["lfi"],
+    ["ssrf"], ["so-sqli"]. *)
+
+val kind_of_spec_name : string -> kind option
+(** Inverse of {!kind_spec_name}; also accepts the aliases
+    ["path-traversal"] and ["second-order-sqli"].  [None] on unknown
+    names. *)
+
 val pp_kind : Format.formatter -> kind -> unit
 val equal_kind : kind -> kind -> bool
 val compare_kind : kind -> kind -> int

@@ -241,7 +241,8 @@ let decode_request payload =
                   | Ok kind -> (
                       let opts =
                         { Scan.tool; kind; contexts = flag "contexts";
-                          flow = flag "flow" }
+                          flow = flag "flow";
+                          second_order = flag "second_order" }
                       in
                       match Scan.tool_of opts with
                       | Error msg -> err ?id ~op "bad_request" msg
@@ -311,7 +312,8 @@ let encode_scan_request sr =
        @ [ ("tool", Json.String sr.sr_opts.Scan.tool);
            ("kind", Json.String (Scan.kind_to_string sr.sr_opts.Scan.kind));
            ("contexts", Json.Bool sr.sr_opts.Scan.contexts);
-           ("flow", Json.Bool sr.sr_opts.Scan.flow) ]
+           ("flow", Json.Bool sr.sr_opts.Scan.flow);
+           ("second_order", Json.Bool sr.sr_opts.Scan.second_order) ]
        @ (match sr.sr_deadline_ms with
          | Some ms -> [ ("deadline_ms", Json.Int ms) ]
          | None -> [])

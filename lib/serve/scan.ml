@@ -5,20 +5,23 @@ type opts = {
   kind : Secflow.Vuln.kind option;
   contexts : bool;
   flow : bool;
+  second_order : bool;
 }
 
-let default = { tool = "phpsafe"; kind = None; contexts = false; flow = false }
+let default =
+  { tool = "phpsafe"; kind = None; contexts = false; flow = false;
+    second_order = false }
 
-let kind_of_string = function
-  | "xss" -> Ok (Some Secflow.Vuln.Xss)
-  | "sqli" -> Ok (Some Secflow.Vuln.Sqli)
-  | "all" -> Ok None
-  | other -> Error ("unknown vulnerability kind: " ^ other)
+let kind_of_string s =
+  if String.equal s "all" then Ok None
+  else
+    match Secflow.Vuln.kind_of_spec_name s with
+    | Some k -> Ok (Some k)
+    | None -> Error ("unknown vulnerability kind: " ^ s)
 
 let kind_to_string = function
   | None -> "all"
-  | Some Secflow.Vuln.Xss -> "xss"
-  | Some Secflow.Vuln.Sqli -> "sqli"
+  | Some k -> Secflow.Vuln.kind_spec_name k
 
 let tool_of opts =
   match String.lowercase_ascii opts.tool with
@@ -31,7 +34,10 @@ let tool_of opts =
       Ok
         { Secflow.Tool.name = "phpSAFE";
           analyze_project =
-            (fun p -> Phpsafe.analyze_project ~opts:phpsafe_opts p) }
+            (fun p ->
+              if opts.second_order then
+                Phpsafe.analyze_project_so ~opts:phpsafe_opts p
+              else Phpsafe.analyze_project ~opts:phpsafe_opts p) }
   | "rips" -> Ok Rips.tool
   | "pixy" -> Ok Pixy.tool
   | other -> Error ("unknown tool: " ^ other)

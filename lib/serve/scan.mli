@@ -12,13 +12,18 @@ type opts = {
   kind : Secflow.Vuln.kind option;  (** report filter; [None] = all kinds *)
   contexts : bool;  (** phpSAFE sink-context-sensitive sanitization pass *)
   flow : bool;  (** phpSAFE flow-sensitive body walks *)
+  second_order : bool;
+      (** phpSAFE two-phase second-order SQLi analysis (record DB writes,
+          replay matching reads); only affects phpSAFE *)
 }
 
 val default : opts
 
 val kind_of_string : string -> (Secflow.Vuln.kind option, string) result
-(** ["all"], ["xss"] or ["sqli"]; anything else is an [Error] naming the
-    bad value. *)
+(** ["all"] or a vulnerability-kind spec name (["xss"], ["sqli"], ["cmdi"],
+    ["lfi"], ["ssrf"], ["so-sqli"] and their aliases — see
+    {!Secflow.Vuln.kind_of_spec_name}); anything else is an [Error] naming
+    the bad value. *)
 
 val kind_to_string : Secflow.Vuln.kind option -> string
 

@@ -1,0 +1,120 @@
+(** E16 class suite: the four new vulnerability classes (cmdi, lfi, ssrf,
+    so-sqli) — seed detection, per-class precision/recall floors, the
+    two-phase-only reachability of the second-order seeds, and output
+    determinism. *)
+
+open Secflow
+module Cd = Evalkit.Class_delta
+
+let delta = lazy (Cd.run ())
+
+let case name f = Alcotest.test_case name `Quick f
+
+let check_pct what value =
+  Alcotest.(check bool)
+    (Printf.sprintf "%s >= 0.9 (got %f)" what value)
+    true (value >= 0.9)
+
+let suite_cases =
+  [
+    case "suite shape: 4 plugins, reals and foils for every class" (fun () ->
+        let suite = Corpus.Classes_suite.generate () in
+        Alcotest.(check int) "plugins" 4 (List.length suite.Corpus.plugins);
+        List.iter
+          (fun k ->
+            let of_kind p =
+              List.filter
+                (fun s ->
+                  p s && Vuln.equal_kind (Corpus.Gt.kind_of s) k)
+                suite.Corpus.seeds
+            in
+            Alcotest.(check bool)
+              (Vuln.kind_spec_name k ^ " has reals")
+              true
+              (List.length (of_kind Corpus.Gt.is_real) >= 2);
+            Alcotest.(check bool)
+              (Vuln.kind_spec_name k ^ " has foils")
+              true
+              (List.length (of_kind (fun s -> not (Corpus.Gt.is_real s))) >= 1))
+          Cd.kinds);
+    case "suite generation is deterministic" (fun () ->
+        let a = Corpus.Classes_suite.generate ()
+        and b = Corpus.Classes_suite.generate () in
+        Alcotest.(check bool) "equal" true (a = b));
+  ]
+
+let e16_cases =
+  [
+    case "phpSAFE two-phase: >=90% precision and recall per class" (fun () ->
+        let t = Lazy.force delta in
+        let v = Cd.variant_for t Cd.so_variant_name in
+        List.iter
+          (fun k ->
+            let m = Cd.metrics_for_kind v k in
+            let name = Vuln.kind_spec_name k in
+            check_pct (name ^ " precision") (Evalkit.Metrics.precision m);
+            check_pct (name ^ " recall") (Evalkit.Metrics.recall m))
+          Cd.kinds);
+    case "phpSAFE two-phase: no stray findings on the class suite" (fun () ->
+        let t = Lazy.force delta in
+        let v = Cd.variant_for t Cd.so_variant_name in
+        Alcotest.(check int) "stray" 0
+          (List.length v.Cd.cv_classified.Evalkit.Matching.cl_stray_fp));
+    case "second-order seeds are reachable only via the two-phase pass"
+      (fun () ->
+        let t = Lazy.force delta in
+        Alcotest.(check bool) "so-only-two-phase" true t.Cd.cd_so_only_two_phase;
+        let flat = Cd.variant_for t Cd.flat_variant_name in
+        let m = Cd.metrics_for_kind flat Vuln.Second_order_sqli in
+        Alcotest.(check int) "flat finds none" 0 m.Evalkit.Metrics.tp);
+    case "single-pass phpSAFE still finds every first-order seed" (fun () ->
+        let t = Lazy.force delta in
+        let flat = Cd.variant_for t Cd.flat_variant_name in
+        List.iter
+          (fun k ->
+            let m = Cd.metrics_for_kind flat k in
+            Alcotest.(check int)
+              (Vuln.kind_spec_name k ^ " FN only so-sqli")
+              (match k with Vuln.Second_order_sqli -> 3 | _ -> 0)
+              m.Evalkit.Metrics.fn)
+          Cd.kinds);
+    case "RIPS: finds cmdi/lfi builtins, blind to ssrf and so-sqli" (fun () ->
+        let t = Lazy.force delta in
+        let rips =
+          List.find
+            (fun (v : Cd.variant) ->
+              v.Cd.cv_name <> Cd.so_variant_name
+              && v.Cd.cv_name <> Cd.flat_variant_name
+              && v.Cd.cv_name <> "Pixy")
+            t.Cd.cd_variants
+        in
+        Alcotest.(check bool) "some cmdi" true
+          ((Cd.metrics_for_kind rips Vuln.Cmdi).Evalkit.Metrics.tp > 0);
+        Alcotest.(check bool) "some lfi" true
+          ((Cd.metrics_for_kind rips Vuln.Path_traversal).Evalkit.Metrics.tp > 0);
+        Alcotest.(check int) "no ssrf" 0
+          (Cd.metrics_for_kind rips Vuln.Ssrf).Evalkit.Metrics.tp;
+        Alcotest.(check int) "no so-sqli" 0
+          (Cd.metrics_for_kind rips Vuln.Second_order_sqli).Evalkit.Metrics.tp);
+    case "Pixy: blind to every new class" (fun () ->
+        let t = Lazy.force delta in
+        let pixy =
+          List.find (fun (v : Cd.variant) -> v.Cd.cv_name = "Pixy")
+            t.Cd.cd_variants
+        in
+        List.iter
+          (fun k ->
+            Alcotest.(check int)
+              (Vuln.kind_spec_name k ^ " tp")
+              0
+              (Cd.metrics_for_kind pixy k).Evalkit.Metrics.tp)
+          Cd.kinds);
+    case "E16 table is deterministic across runs" (fun () ->
+        let render t = Format.asprintf "%a" Cd.print t in
+        Alcotest.(check string) "same table" (render (Lazy.force delta))
+          (render (Cd.run ())));
+  ]
+
+let () =
+  Alcotest.run "classes"
+    [ ("class suite", suite_cases); ("E16 per-class metrics", e16_cases) ]

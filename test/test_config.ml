@@ -11,10 +11,14 @@ let case name f = Alcotest.test_case name `Quick f
 
 let generic_cases =
   [
-    case "superglobals are sources for both kinds" (fun () ->
+    case "superglobals source every first-order kind" (fun () ->
         match C.is_superglobal_source generic "$_GET" with
         | Some kinds ->
-            Alcotest.(check int) "both kinds" 2 (List.length kinds)
+            (* every kind except second-order SQLi, whose only source is a
+               replayed database read *)
+            Alcotest.(check int) "first-order kinds" 5 (List.length kinds);
+            Alcotest.(check bool) "not so-sqli" false
+              (List.exists (Vuln.equal_kind Vuln.Second_order_sqli) kinds)
         | None -> Alcotest.fail "$_GET missing");
     case "$_SERVER is a source" (fun () ->
         Alcotest.(check bool) "present" true
@@ -34,9 +38,11 @@ let generic_cases =
             Alcotest.(check bool) "not sqli" false
               (List.mem Vuln.Sqli s.C.san_kinds)
         | None -> Alcotest.fail "missing sanitizer");
-    case "intval sanitizes both" (fun () ->
+    case "intval sanitizes every kind" (fun () ->
         match C.find_sanitizer generic "intval" with
-        | Some s -> Alcotest.(check int) "kinds" 2 (List.length s.C.san_kinds)
+        | Some s ->
+            Alcotest.(check int) "kinds" (List.length Vuln.all_kinds)
+              (List.length s.C.san_kinds)
         | None -> Alcotest.fail "missing");
     case "stripslashes is a revert" (fun () ->
         Alcotest.(check bool) "revert" true (C.is_revert generic "stripslashes"));
@@ -181,6 +187,111 @@ let spec_cases =
             "# header\n\n  \nrevert undo # trailing comment\n"
         in
         Alcotest.(check bool) "revert parsed" true (C.is_revert c "undo"));
+    case "new-class directives parse and round-trip" (fun () ->
+        let spec =
+          "sink function curl_setopt ssrf when=1:CURLOPT_URL\n\
+           sink function file_get_contents ssrf shape=url\n\
+           sink function file_get_contents lfi shape=nonurl\n\
+           sink function system cmdi\n\
+           sink method query so-sqli\n\
+           dbwrite function update_option key=0 vals=1\n\
+           dbwrite method insert key=0\n\
+           dbread method get_results\n\
+           dbread function get_option key=0\n"
+        in
+        let c = Phpsafe.Config_spec.of_string spec in
+        (match C.find_sinks c "curl_setopt" with
+        | [ s ] ->
+            Alcotest.(check bool) "ssrf kind" true (s.C.snk_kind = Vuln.Ssrf);
+            Alcotest.(check bool) "when= kept" true
+              (s.C.snk_when_const = Some (1, "CURLOPT_URL"))
+        | _ -> Alcotest.fail "curl_setopt sink missing");
+        let fgc = C.find_sinks c "file_get_contents" in
+        Alcotest.(check int) "two shape-split sinks" 2 (List.length fgc);
+        Alcotest.(check bool) "ssrf reads the url shape" true
+          (List.exists
+             (fun s ->
+               s.C.snk_kind = Vuln.Ssrf && s.C.snk_path_shape = `Url_prefix)
+             fgc);
+        Alcotest.(check bool) "lfi reads the non-url shape" true
+          (List.exists
+             (fun s ->
+               s.C.snk_kind = Vuln.Path_traversal
+               && s.C.snk_path_shape = `Non_url)
+             fgc);
+        (match C.find_sinks c "system" with
+        | [ s ] ->
+            Alcotest.(check bool) "cmdi kind" true (s.C.snk_kind = Vuln.Cmdi);
+            Alcotest.(check bool) "no shape" true (s.C.snk_path_shape = `Any)
+        | _ -> Alcotest.fail "system sink missing");
+        (match C.find_method_sinks c "query" with
+        | [ s ] ->
+            Alcotest.(check bool) "so-sqli kind" true
+              (s.C.snk_kind = Vuln.Second_order_sqli)
+        | _ -> Alcotest.fail "query method sink missing");
+        (match C.find_db_write c ~is_method:false "update_option" with
+        | Some e ->
+            Alcotest.(check int) "write key" 0 e.C.rw_key_arg;
+            Alcotest.(check bool) "write vals" true (e.C.rw_val_args = Some [ 1 ])
+        | None -> Alcotest.fail "update_option dbwrite missing");
+        (match C.find_db_write c ~is_method:true "insert" with
+        | Some e ->
+            Alcotest.(check int) "method write key" 0 e.C.rw_key_arg;
+            Alcotest.(check bool) "default vals" true (e.C.rw_val_args = None)
+        | None -> Alcotest.fail "insert dbwrite missing");
+        (match C.find_db_read c ~is_method:true "get_results" with
+        | Some e ->
+            Alcotest.(check bool) "wildcard key" true (e.C.rw_key_arg < 0)
+        | None -> Alcotest.fail "get_results dbread missing");
+        (match C.find_db_read c ~is_method:false "get_option" with
+        | Some e -> Alcotest.(check int) "read key" 0 e.C.rw_key_arg
+        | None -> Alcotest.fail "get_option dbread missing");
+        (* to_string is a fixpoint over the new directives too *)
+        let printed = Phpsafe.Config_spec.to_string c in
+        Alcotest.(check string) "fixpoint" printed
+          (Phpsafe.Config_spec.to_string (Phpsafe.Config_spec.of_string printed)));
+    case "unknown kinds warn in the lenient parser, raise in the strict one"
+      (fun () ->
+        let spec = "sanitizer function scrub xss,xxe\nrevert undo\n" in
+        let c, warnings = Phpsafe.Config_spec.of_string_with_warnings spec in
+        (match warnings with
+        | [ w ] ->
+            Alcotest.(check bool) "names the line" true
+              (String.length w >= 6 && String.sub w 0 6 = "line 1");
+            Alcotest.(check bool) "names the kind" true
+              (String.length w > 0
+              && List.exists
+                   (fun i -> i + 5 <= String.length w && String.sub w i 5 = "\"xxe\"")
+                   (List.init (String.length w - 4) Fun.id))
+        | ws ->
+            Alcotest.fail
+              (Printf.sprintf "expected one warning, got %d" (List.length ws)));
+        (match C.find_sanitizer c "scrub" with
+        | Some s ->
+            Alcotest.(check bool) "known kind kept" true
+              (s.C.san_kinds = [ Vuln.Xss ])
+        | None -> Alcotest.fail "scrub should survive minus the unknown kind");
+        Alcotest.(check bool) "rest of the spec loads" true (C.is_revert c "undo");
+        (* an entry whose whole kind list is unknown is skipped entirely *)
+        let c2, w2 =
+          Phpsafe.Config_spec.of_string_with_warnings
+            "sink function emit xxe\nrevert undo\n"
+        in
+        Alcotest.(check int) "one warning" 1 (List.length w2);
+        Alcotest.(check bool) "sink dropped" true (C.find_sinks c2 "emit" = []);
+        Alcotest.(check bool) "later lines unaffected" true (C.is_revert c2 "undo");
+        (* the strict entry point still refuses the same input *)
+        try
+          ignore (Phpsafe.Config_spec.of_string spec);
+          Alcotest.fail "expected Spec_error"
+        with Phpsafe.Config_spec.Spec_error (msg, line) ->
+          Alcotest.(check int) "line" 1 line;
+          Alcotest.(check bool) "mentions xxe" true
+            (let nl = String.length "xxe" and hl = String.length msg in
+             let rec go i =
+               i + nl <= hl && (String.sub msg i nl = "xxe" || go (i + 1))
+             in
+             go 0));
   ]
 
 (* -- sanitizer contexts and validation ------------------------------- *)

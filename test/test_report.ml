@@ -14,6 +14,25 @@ let sample_result =
 
 let case name f = Alcotest.test_case name `Quick f
 
+(* One project exercising all six vulnerability kinds; the second-order
+   finding needs the two-phase pass (stored write in one file, read-back
+   SQL sink in another). *)
+let all_kinds_result =
+  Phpsafe.analyze_project_so
+    (Phplang.Project.make ~name:"kinds"
+       [ { Phplang.Project.path = "store.php";
+           source = "<?php update_option('ak_banner', $_POST['banner']);" };
+         { Phplang.Project.path = "use.php";
+           source =
+             "<?php\n\
+              echo $_GET['a'];\n\
+              mysql_query(\"SELECT \" . $_POST['b']);\n\
+              system('run ' . $_GET['c']);\n\
+              readfile('/data/' . $_GET['d']);\n\
+              wp_remote_get($_GET['e']);\n\
+              $v = get_option('ak_banner');\n\
+              $wpdb->query(\"UPDATE t SET b = '\" . $v . \"'\");" } ])
+
 let html_cases =
   [
     case "renders a complete page" (fun () ->
@@ -24,6 +43,21 @@ let html_cases =
         let html = Phpsafe.Report_html.render sample_result in
         Alcotest.(check bool) "xss count" true (contains html "<b>1 XSS</b>");
         Alcotest.(check bool) "sqli count" true (contains html "<b>1 SQLi</b>"));
+    case "summary and badges cover the new kinds" (fun () ->
+        let html = Phpsafe.Report_html.render all_kinds_result in
+        List.iter
+          (fun k ->
+            Alcotest.(check bool)
+              ("count " ^ Vuln.kind_to_string k)
+              true
+              (contains html
+                 (Printf.sprintf "<b>1 %s</b>" (Vuln.kind_to_string k)));
+            Alcotest.(check bool)
+              ("badge class " ^ Vuln.kind_spec_name k)
+              true
+              (contains html
+                 (Printf.sprintf "class=\"finding %s\"" (Vuln.kind_spec_name k))))
+          Vuln.all_kinds);
     case "shows sink location and data flow" (fun () ->
         let html = Phpsafe.Report_html.render sample_result in
         Alcotest.(check bool) "file:line" true (contains html "plugin.php:3");
@@ -150,6 +184,22 @@ let json_cases =
     case "vector classification included per finding" (fun () ->
         let j = Phpsafe.Report_json.render sample_result in
         Alcotest.(check bool) "GET vector" true (contains j "\"vector\":\"GET\""));
+    case "all six kinds appear in findings and summary counts" (fun () ->
+        let j = Secflow.Report.to_json ~tool:"phpSAFE" all_kinds_result in
+        List.iter
+          (fun k ->
+            Alcotest.(check bool)
+              ("finding kind " ^ Vuln.kind_to_string k)
+              true
+              (contains j
+                 (Printf.sprintf "\"kind\":%s"
+                    (Secflow.Json.to_string
+                       (Secflow.Json.String (Vuln.kind_to_string k)))));
+            Alcotest.(check bool)
+              ("summary count " ^ Vuln.kind_spec_name k)
+              true
+              (contains j (Printf.sprintf "\"%s\":1" (Vuln.kind_spec_name k))))
+          Vuln.all_kinds);
   ]
 
 let stats_cases =

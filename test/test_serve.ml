@@ -32,6 +32,19 @@ let vuln_project =
 
 let clean_project = project "clean" [ ("ok.php", "<?php echo 'hello';\n") ]
 
+(* Findings from every new vulnerability class; the so-sqli one only
+   exists when the two-phase [second_order] pass connects the stored
+   write in store.php to the read-back sink in render.php. *)
+let classes_project =
+  project "classes"
+    [ ("cmd.php",
+       "<?php\nsystem('convert ' . $_GET['f']);\nreadfile('/srv/' . \
+        $_POST['p']);\nwp_remote_get($_GET['u']);\n");
+      ("store.php", "<?php update_option('cp_msg', $_POST['msg']);\n");
+      ("render.php",
+       "<?php\n$m = get_option('cp_msg');\n$wpdb->query(\"UPDATE t SET m = \
+        '\" . $m . \"'\");\n") ]
+
 let scan_req ?id ?tenant ?(opts = Scan.default)
     ?(budget = Secflow.Budget.default) ?deadline_ms proj =
   Protocol.encode_scan_request
@@ -212,7 +225,7 @@ let decode_cases =
         in
         let opts =
           { Scan.tool = "phpsafe"; kind = Some Secflow.Vuln.Xss;
-            contexts = true; flow = true }
+            contexts = true; flow = true; second_order = true }
         in
         let payload =
           scan_req ~id:"req-1" ~tenant:"acme" ~opts ~budget vuln_project
@@ -339,6 +352,43 @@ let daemon_cases =
                 { Scan.default with Scan.kind = Some Secflow.Vuln.Xss };
                 { Scan.default with Scan.tool = "rips" };
                 { Scan.default with Scan.tool = "pixy" } ]))
+    ;
+    case "new-class scans are byte-identical, two-phase included" `Quick
+      (fun () ->
+        with_daemon (fun sock ->
+            List.iter
+              (fun (opts : Scan.opts) ->
+                let expected = Scan.run_json opts classes_project in
+                Alcotest.(check string)
+                  (Printf.sprintf "second_order=%b kind=%s"
+                     opts.Scan.second_order
+                     (Scan.kind_to_string opts.Scan.kind))
+                  expected
+                  (scan_via sock ~opts classes_project))
+              [ Scan.default;
+                { Scan.default with Scan.second_order = true };
+                { Scan.default with Scan.second_order = true;
+                  Scan.kind = Some Secflow.Vuln.Second_order_sqli };
+                { Scan.default with Scan.kind = Some Secflow.Vuln.Cmdi };
+                { Scan.default with Scan.kind = Some Secflow.Vuln.Ssrf } ];
+            (* the so-sqli finding exists only under the two-phase pass *)
+            let contains hay needle =
+              let nl = String.length needle and hl = String.length hay in
+              let rec go i =
+                i + nl <= hl && (String.sub hay i nl = needle || go (i + 1))
+              in
+              go 0
+            in
+            let flat = scan_via sock classes_project in
+            let so =
+              scan_via sock
+                ~opts:{ Scan.default with Scan.second_order = true }
+                classes_project
+            in
+            Alcotest.(check bool) "flat misses so-sqli" false
+              (contains flat "\"kind\":\"SO-SQLi\"");
+            Alcotest.(check bool) "two-phase finds so-sqli" true
+              (contains so "\"kind\":\"SO-SQLi\"")))
     ;
     case "malformed JSON gets an error reply and the connection survives"
       `Quick (fun () ->

@@ -88,6 +88,12 @@ let unit_cases =
 
 let names set = T.San_set.elements set
 
+(* [sans]-level applied set for one kind (the record stores a Kmap). *)
+let sans_applied k (s : T.sans) =
+  match T.Kmap.find_opt k s.T.applied with
+  | Some set -> set
+  | None -> T.San_set.empty
+
 let sans_cases =
   [
     Alcotest.test_case "record_sanitizer keeps taint live" `Quick (fun () ->
@@ -139,7 +145,7 @@ let sans_cases =
         in
         let composed = T.compose_sans ~outer ~inner in
         Alcotest.(check (list string)) "stripped then applied" [ "intval" ]
-          (T.San_set.elements composed.T.applied_xss));
+          (T.San_set.elements (sans_applied Vuln.Xss composed)));
     Alcotest.test_case "compose_sans with undone_all strips everything" `Quick
       (fun () ->
         let outer =
@@ -149,7 +155,7 @@ let sans_cases =
         let inner = (T.revert_named ~undoes:`All (T.of_param 0)).T.sans in
         let composed = T.compose_sans ~outer ~inner in
         Alcotest.(check (list string)) "empty" []
-          (T.San_set.elements composed.T.applied_xss));
+          (T.San_set.elements (sans_applied Vuln.Xss composed)));
     Alcotest.test_case "join intersects applied sets of relevant sides" `Quick
       (fun () ->
         let a =
@@ -178,22 +184,21 @@ let gen_taint : T.t Gen.t =
   let* xss = bool and* sqli = bool and* wx = bool and* ws = bool in
   let* d1 = int_bound 3 and* d2 = int_bound 3 in
   let* sanitized = bool in
-  let base =
-    {
-      T.untainted with
-      T.xss;
-      sqli;
-      was_xss = wx;
-      was_sqli = ws;
-      deps_xss = T.Int_set.of_list [ d1 ];
-      deps_sqli = T.Int_set.of_list [ d2 ];
-    }
+  let comp live was dep =
+    { T.live; was; deps = T.Int_set.singleton dep; was_deps = T.Int_set.empty }
   in
+  let comps =
+    T.Kmap.empty
+    |> T.Kmap.add Vuln.Xss (comp xss wx d1)
+    |> T.Kmap.add Vuln.Sqli (comp sqli ws d2)
+  in
+  let base = { T.untainted with T.comps } in
   return (if sanitized then T.sanitize Vuln.Xss base else base)
 
 let flags t =
-  ( t.T.xss, t.T.sqli, t.T.was_xss, t.T.was_sqli,
-    T.Int_set.elements t.T.deps_xss, T.Int_set.elements t.T.deps_sqli )
+  let cx = T.comp Vuln.Xss t and cs = T.comp Vuln.Sqli t in
+  ( cx.T.live, cs.T.live, cx.T.was, cs.T.was,
+    T.Int_set.elements cx.T.deps, T.Int_set.elements cs.T.deps )
 
 let props =
   [
@@ -212,7 +217,7 @@ let props =
       gen_taint (fun a ->
         let restored = T.revert (T.sanitize Vuln.Xss a) in
         (* revert may only grow the taint: everything live before is live after *)
-        (not a.T.xss) || restored.T.xss);
+        (not (T.is_tainted Vuln.Xss a)) || T.is_tainted Vuln.Xss restored);
     Test.make ~name:"sanitize is idempotent" ~count:300 gen_taint (fun a ->
         flags (T.sanitize Vuln.Xss (T.sanitize Vuln.Xss a))
         = flags (T.sanitize Vuln.Xss a));
