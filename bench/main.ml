@@ -218,7 +218,7 @@ let print_bench_results results =
 (* --json FILE: machine-readable results (schema phpsafe-bench/1)      *)
 (* ------------------------------------------------------------------ *)
 
-let write_json path ~table3 ~seq_par ~e13 ~e16 ~e12 ~e14 ~e15 =
+let write_json path ~table3 ~seq_par ~e13 ~e16 ~e12 ~e14 ~e15 ~e17 =
   let b = Buffer.create 4096 in
   let bpf fmt = Printf.bprintf b fmt in
   bpf "{\n  \"schema\": \"phpsafe-bench/1\",\n";
@@ -319,7 +319,7 @@ let write_json path ~table3 ~seq_par ~e13 ~e16 ~e12 ~e14 ~e15 =
       pass "warm" r.Evalkit.Serve_bench.sb_warm true;
       bpf "  },\n");
   (match e15 with
-  | None -> bpf "  \"e15\": null\n"
+  | None -> bpf "  \"e15\": null,\n"
   | Some (r : Evalkit.Chaos.report) ->
       bpf "  \"e15\": {\n";
       bpf "    \"seed\": %d,\n    \"rounds\": %d,\n    \"jobs\": %d,\n"
@@ -342,7 +342,31 @@ let write_json path ~table3 ~seq_par ~e13 ~e16 ~e12 ~e14 ~e15 =
             row.Evalkit.Chaos.cr_deadline row.Evalkit.Chaos.cr_overloaded
             row.Evalkit.Chaos.cr_transport row.Evalkit.Chaos.cr_other)
         r.Evalkit.Chaos.ch_rows;
-      bpf "\n    }\n  }\n");
+      bpf "\n    }\n  },\n");
+  (match e17 with
+  | None -> bpf "  \"e17\": null\n"
+  | Some (r : Evalkit.Editstorm.report) ->
+      bpf "  \"e17\": {\n";
+      bpf "    \"seed\": %d,\n    \"plugin\": \"%s\",\n" r.Evalkit.Editstorm.es_seed
+        (String.escaped r.Evalkit.Editstorm.es_plugin);
+      bpf "    \"files\": %d,\n    \"projects\": %d,\n" r.Evalkit.Editstorm.es_files
+        r.Evalkit.Editstorm.es_projects;
+      bpf "    \"edits\": %d,\n    \"violations\": %d,\n"
+        r.Evalkit.Editstorm.es_edits r.Evalkit.Editstorm.es_violations;
+      bpf
+        "    \"single_def\": {\"full_p50_ms\": %.3f, \"inc_p50_ms\": %.3f, \
+         \"speedup\": %.3f},\n"
+        r.Evalkit.Editstorm.es_single_full_p50_ms
+        r.Evalkit.Editstorm.es_single_inc_p50_ms
+        r.Evalkit.Editstorm.es_single_speedup;
+      bpf
+        "    \"counters\": {\"region_reparse\": %d, \"region_fallback\": %d, \
+         \"ckpt_resume\": %d, \"resync_tokens\": %d, \"dag_invalidated\": \
+         %d, \"dag_retained\": %d}\n  }\n"
+        r.Evalkit.Editstorm.es_reparse r.Evalkit.Editstorm.es_fallback
+        r.Evalkit.Editstorm.es_resume r.Evalkit.Editstorm.es_resync_tokens
+        r.Evalkit.Editstorm.es_dag_invalidated
+        r.Evalkit.Editstorm.es_dag_retained);
   bpf "}\n";
   Obs.write_file path (Buffer.contents b);
   Format.eprintf "bench results written to %s@." path
@@ -410,8 +434,19 @@ let () =
       Some r
     end
   in
+  (* E17: sub-file incremental re-analysis under an edit storm (its own
+     temporary store directory; skipped under --no-cache) *)
+  let e17 =
+    if no_cache then None
+    else begin
+      let r = Evalkit.Editstorm.measure ~corpus:corpus12 () in
+      Evalkit.Editstorm.print Format.std_formatter r;
+      Some r
+    end
+  in
   Option.iter
-    (fun path -> write_json path ~table3 ~seq_par ~e13 ~e16 ~e12 ~e14 ~e15)
+    (fun path ->
+      write_json path ~table3 ~seq_par ~e13 ~e16 ~e12 ~e14 ~e15 ~e17)
     json_out;
   if Phplang.Store.enabled () then
     Format.eprintf "%a" Phplang.Store.pp_counters ();

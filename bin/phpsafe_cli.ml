@@ -10,15 +10,86 @@ let kind_filter kinds =
   | Ok k -> k
   | Error msg -> failwith msg
 
+(* --watch: poll the target, re-analyze incrementally on every change and
+   print the finding delta.  Reports stay byte-identical to a cold scan of
+   the same bytes; only the re-parse work shrinks to the damaged regions
+   (see Serve.Watch).  Bounded runs (--watch-max-events) exist for smoke
+   tests; interactive use runs until interrupted. *)
+let watch_loop target opts ~poll_ms ~max_events =
+  let session = Serve.Watch.create opts in
+  let last = ref [] in
+  let counter_deltas () =
+    let now = Obs.Mirror.all () in
+    let delta =
+      List.filter_map
+        (fun (k, v) ->
+          let prev =
+            Option.value ~default:0 (List.assoc_opt k !last)
+          in
+          if v > prev then Some (Printf.sprintf "%s+%d" k (v - prev))
+          else None)
+        now
+    in
+    last := now;
+    delta
+  in
+  let remaining = ref 0 in
+  let on_event (d : Serve.Watch.delta) =
+    remaining := d.Serve.Watch.d_total;
+    if d.Serve.Watch.d_initial then
+      Format.printf "watch: initial scan: %d finding(s) (%.1f ms)@."
+        d.Serve.Watch.d_total d.Serve.Watch.d_ms
+    else begin
+      Format.printf
+        "watch: %d changed, %d deleted: +%d/-%d finding(s), %d total (%.1f \
+         ms)@."
+        (List.length d.Serve.Watch.d_changed)
+        (List.length d.Serve.Watch.d_deleted)
+        (List.length d.Serve.Watch.d_added)
+        (List.length d.Serve.Watch.d_removed)
+        d.Serve.Watch.d_total d.Serve.Watch.d_ms;
+      List.iter
+        (fun f -> Format.printf "  + %a@." Secflow.Report.pp_finding f)
+        d.Serve.Watch.d_added;
+      List.iter
+        (fun f -> Format.printf "  - %a@." Secflow.Report.pp_finding f)
+        d.Serve.Watch.d_removed
+    end;
+    (match counter_deltas () with
+    | [] -> ()
+    | ds -> Format.printf "  incremental: %s@." (String.concat " " ds));
+    ignore (d.Serve.Watch.d_report : string)
+  in
+  Format.printf "watch: %s: polling every %d ms@." target poll_ms;
+  Serve.Watch.loop session
+    ~load:(fun () -> Phplang.Project.load target)
+    ~poll_ms ?max_events ~on_event ();
+  (* bounded runs gate like a plain scan: 1 when findings remain after the
+     last delivered event, 0 on a clean final state *)
+  if !remaining > 0 then 1 else 0
+
 let run target kinds show_trace tool_name quiet format html_out json_out
     config_path show_stats trace_out metrics_out budget contexts flow
-    second_order cache_dir no_cache =
+    second_order cache_dir no_cache watch watch_poll_ms watch_max_events =
   Secflow.Budget.set budget;
   (* persistent analysis cache: --cache-dir overrides PHPSAFE_CACHE_DIR,
      --no-cache disables both; findings are identical either way *)
   if no_cache then Phplang.Store.set_root None
   else Option.iter (fun d -> Phplang.Store.set_root (Some d)) cache_dir;
   if trace_out <> None || metrics_out <> None then Obs.set_enabled true;
+  if watch then begin
+    if config_path <> None then
+      failwith "--watch does not support --config (use the built-in profiles)";
+    let opts =
+      { Serve.Scan.tool = tool_name; kind = kind_filter kinds; contexts;
+        flow; second_order }
+    in
+    (match Serve.Scan.tool_of opts with
+    | Ok _ -> ()
+    | Error msg -> failwith msg);
+    exit (watch_loop target opts ~poll_ms:watch_poll_ms
+            ~max_events:watch_max_events)
+  end;
   let project = Phplang.Project.load target in
   if show_stats then
     Format.printf "project stats: %a@." Phpsafe.Stats.pp
@@ -257,6 +328,30 @@ let no_cache =
   let doc = "Ignore $(b,PHPSAFE_CACHE_DIR) and run without the disk cache." in
   Arg.(value & flag & info [ "no-cache" ] ~doc)
 
+let watch =
+  let doc =
+    "Keep running: poll $(b,TARGET) for changes and re-analyze
+     incrementally on every edit (checkpointed re-lexing + region
+     re-parse), printing the finding delta of each change.  Reports stay
+     byte-identical to a fresh scan of the same bytes."
+  in
+  Arg.(value & flag & info [ "w"; "watch" ] ~doc)
+
+let watch_poll_ms =
+  let doc = "Polling interval for $(b,--watch), in milliseconds." in
+  Arg.(value & opt int 500 & info [ "watch-poll-ms" ] ~docv:"MS" ~doc)
+
+let watch_max_events =
+  let doc =
+    "Exit after $(docv) watch events (the initial scan counts as one),
+     with status 1 when findings remain and 0 when the last scan was
+     clean; for scripted/smoke use.  Unbounded when omitted."
+  in
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "watch-max-events" ] ~docv:"N" ~doc)
+
 let config_path =
   let doc =
     "Extend the phpSAFE configuration with a spec file (see      Phpsafe.Config_spec); only meaningful with --tool phpsafe."
@@ -324,6 +419,7 @@ let cmd =
     Term.(
       const run $ target $ kinds $ trace $ tool $ quiet $ format $ html_out
       $ json_out $ config_path $ show_stats $ trace_out $ metrics_out $ budget
-      $ contexts $ flow $ second_order $ cache_dir $ no_cache)
+      $ contexts $ flow $ second_order $ cache_dir $ no_cache $ watch
+      $ watch_poll_ms $ watch_max_events)
 
 let () = exit (Cmd.eval' cmd)

@@ -28,6 +28,7 @@ let evaluate_and_report ?with_ablation ?pool ppf =
 module History = History
 module Scaling = Scaling
 module Incremental = Incremental
+module Editstorm = Editstorm
 module Serve_bench = Serve_bench
 module Chaos = Chaos
 module Pattern_report = Pattern_report

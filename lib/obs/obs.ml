@@ -149,10 +149,48 @@ let span name f =
   end
 
 (* ------------------------------------------------------------------ *)
-(* Snapshot merge                                                     *)
+(* Mirrored counters                                                  *)
 (* ------------------------------------------------------------------ *)
 
 let by_name (a, _) (b, _) = String.compare a b
+
+module Mirror = struct
+  let table : (string, int ref) Hashtbl.t = Hashtbl.create 16
+  let lock = Mutex.create ()
+
+  let add name n =
+    add name n;
+    Mutex.lock lock;
+    (match Hashtbl.find_opt table name with
+    | Some r -> r := !r + n
+    | None -> Hashtbl.replace table name (ref n));
+    Mutex.unlock lock
+
+  let incr name = add name 1
+
+  let get name =
+    Mutex.lock lock;
+    let v =
+      match Hashtbl.find_opt table name with Some r -> !r | None -> 0
+    in
+    Mutex.unlock lock;
+    v
+
+  let all () =
+    Mutex.lock lock;
+    let l = Hashtbl.fold (fun k r acc -> (k, !r) :: acc) table [] in
+    Mutex.unlock lock;
+    List.sort by_name l
+
+  let reset () =
+    Mutex.lock lock;
+    Hashtbl.reset table;
+    Mutex.unlock lock
+end
+
+(* ------------------------------------------------------------------ *)
+(* Snapshot merge                                                     *)
+(* ------------------------------------------------------------------ *)
 
 let snapshot () =
   Mutex.lock registry_lock;

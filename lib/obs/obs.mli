@@ -56,6 +56,30 @@ val set_gauge : string -> float -> unit
 (** Set a named gauge (last write wins; main-domain configuration values
     like pool size, not merged counters). *)
 
+(** {1 Mirrored counters}
+
+    A small always-on counter registry for low-frequency machinery counters
+    (the sub-file incremental pipeline: [lexer.ckpt.*], [parser.region.*],
+    [summary.dag.*]).  {!Mirror.incr}/{!Mirror.add} feed both the regular
+    Obs counter (visible in snapshots when recording is enabled) and a
+    mutex-guarded process-global mirror that can be read from {e any}
+    thread at any time — unlike {!snapshot}, which requires a quiescent
+    main domain.  The serving daemon's [metrics] reply reads the mirror
+    from its connection threads. *)
+module Mirror : sig
+  val incr : string -> unit
+  val add : string -> int -> unit
+
+  val get : string -> int
+  (** Current mirrored value; 0 for a name never incremented. *)
+
+  val all : unit -> (string * int) list
+  (** Every mirrored counter, sorted by name. *)
+
+  val reset : unit -> unit
+  (** Drop the mirror (the regular Obs counters are untouched). *)
+end
+
 (** {1 Snapshots and exporters} *)
 
 type span_agg = {

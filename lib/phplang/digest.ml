@@ -20,8 +20,12 @@ let hex s = Stdlib.Digest.to_hex (Stdlib.Digest.string s)
 
 (** Structural digest of an arbitrary (closure-free) value: hex MD5 of its
     [Marshal] bytes.  Structurally equal values — same constructors, same
-    strings, same positions — digest equal. *)
-let structural v = hex (Marshal.to_string v [])
+    strings, same positions — digest equal.  [No_sharing] matters: default
+    marshalling encodes repeated physical blocks as back-references, so two
+    structurally equal values with different internal sharing (a spliced
+    incremental AST vs. a cold parse, whose interned lexemes share
+    differently) would otherwise digest differently. *)
+let structural v = hex (Marshal.to_string v [ Marshal.No_sharing ])
 
 (** Digest of a list of digests (or any strings): order-sensitive. *)
 let combine parts = hex (String.concat "\x00" parts)

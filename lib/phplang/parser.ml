@@ -1144,3 +1144,63 @@ and expr_of_string ?(file = "<expr>") src : Ast.expr =
   ignore (eat st Token.T_OPEN_TAG);
   let e = parse_expr st in
   e
+
+(* ------------------------------------------------------------------ *)
+(* Region re-parse support                                            *)
+(* ------------------------------------------------------------------ *)
+
+(* A top-level statement's extent in the significant-token array:
+   [sp_start, sp_stop).  Skipped T_OPEN_TAG tokens belong to no span (they
+   are gaps between spans). *)
+type top_span = { sp_start : int; sp_stop : int }
+
+(* Same loop as [parse_tokens], recording each top-level statement's token
+   extent.  The program is statement-for-statement identical to
+   [parse_tokens] on the same tokens. *)
+let parse_program_spans ~file (tokens : Token.t array) :
+    Ast.program * top_span array =
+  let st = { tokens; cur = 0; depth = 0; file } in
+  let spans = ref [] in
+  let rec loop acc =
+    if check st Token.T_EOF then
+      (List.rev acc, Array.of_list (List.rev !spans))
+    else if check st Token.T_OPEN_TAG then begin
+      ignore (advance st);
+      loop acc
+    end
+    else begin
+      let start = st.cur in
+      let s = parse_stmt st in
+      spans := { sp_start = start; sp_stop = st.cur } :: !spans;
+      loop (s :: acc)
+    end
+  in
+  loop []
+
+(* Bounded re-parse of a damaged region: parse top-level statements from
+   [start] against the {e full} token array until the cursor lands exactly
+   on [stop].  Parsing against the full array (rather than a slice with a
+   synthetic T_EOF) matters because the grammar accepts T_EOF in place of
+   ';' at statement end — a slice would accept input the whole-file parse
+   rejects.  [None] = the region's last statement overran the boundary
+   (splice ambiguity); the caller falls back to a whole-file parse.
+   Parse_error/Depth_exceeded propagate, as they would from the full
+   parse. *)
+let parse_region ~file (tokens : Token.t array) ~start ~stop :
+    (Ast.stmt list * top_span list) option =
+  let st = { tokens; cur = start; depth = 0; file } in
+  let rec loop acc spans =
+    if st.cur >= stop then
+      if st.cur = stop then Some (List.rev acc, List.rev spans) else None
+    else if check st Token.T_EOF then None
+    else if check st Token.T_OPEN_TAG then begin
+      ignore (advance st);
+      loop acc spans
+    end
+    else begin
+      let s0 = st.cur in
+      let s = parse_stmt st in
+      loop (s :: acc) ({ sp_start = s0; sp_stop = st.cur } :: spans)
+    end
+  in
+  loop [] []

@@ -174,6 +174,16 @@ module Parse_cache = struct
     Atomic.set t.hits 0;
     Atomic.set t.misses 0
 
+  (* Publish a result computed outside the memo (the incremental pipeline)
+     so later [memo] calls for the same key hit.  An [In_progress] marker is
+     left alone: the live parse will publish the same value. *)
+  let seed t key v =
+    Mutex.lock t.lock;
+    (match Hashtbl.find_opt t.table key with
+    | Some In_progress -> ()
+    | _ -> Hashtbl.replace t.table key (Done v));
+    Mutex.unlock t.lock
+
   let memo t key parse =
     Mutex.lock t.lock;
     let rec await () =
@@ -301,6 +311,329 @@ let include_closure ?(max_depth = max_int) ?(max_files = max_int) ~parse t
     cl_unresolved = !unresolved;
     cl_truncated = !truncated;
   }
+
+(* ------------------------------------------------------------------ *)
+(* Sub-file incremental re-parse                                      *)
+(* ------------------------------------------------------------------ *)
+
+(** Per-file incremental parsing sessions: an edit re-lexes only the
+    damaged region ({!Lexer.relex}), maps the damaged significant tokens to
+    the enclosing top-level statement, re-parses just that region
+    ({!Parser.parse_region}) and splices the fresh statements into the
+    cached AST with the reused suffix's positions rebased
+    ({!Ast.shift_lines}).  Any ambiguity — damage touching several
+    top-level statements, region parse overrunning its boundary, a
+    previously failed parse — falls back to a whole-file parse, counted in
+    [parser.region.fallback].
+
+    Every update publishes its result into {!Parse_cache.shared} and the
+    disk {!Store} under exactly the keys {!parse_file} uses, so the
+    analyzers downstream hit transparently. *)
+module Increment = struct
+  type entry = {
+    mutable ie_source : string;
+    mutable ie_lexed : Lexer.lexed option;  (* None after a lex error *)
+    mutable ie_sig : Token.t array;  (* significant tokens, incl T_EOF *)
+    mutable ie_sig_raw : int array;  (* raw token index per sig token *)
+    mutable ie_result : (Ast.program, parse_error) result;
+    mutable ie_spans : Parser.top_span array;  (* valid when Ok *)
+  }
+
+  type session = { ses_files : (string, entry) Hashtbl.t }
+
+  let create () = { ses_files = Hashtbl.create 16 }
+
+  (* Verification mode (tests, E17): after every sub-file splice, re-parse
+     the whole file and compare structural digests.  A mismatch uses the
+     full parse (safety) and bumps [parser.region.verify_mismatch]. *)
+  let verify_flag = Atomic.make false
+  let set_verify b = Atomic.set verify_flag b
+
+  let is_significant (t : Token.t) =
+    match t.Token.kind with
+    | Token.T_WHITESPACE | Token.T_COMMENT | Token.T_DOC_COMMENT -> false
+    | _ -> true
+
+  let sig_of (lx : Lexer.lexed) : Token.t array * int array =
+    let n = Array.length lx.Lexer.lx_tokens in
+    let toks = ref [] and raws = ref [] in
+    for i = n - 1 downto 0 do
+      let t = lx.Lexer.lx_tokens.(i) in
+      if is_significant t then begin
+        toks := t :: !toks;
+        raws := i :: !raws
+      end
+    done;
+    (Array.of_list !toks, Array.of_list !raws)
+
+  (* Number of sig tokens whose raw index is < [bound]; [raw] is strictly
+     increasing. *)
+  let count_sig_below (raw : int array) bound =
+    let lo = ref 0 and hi = ref (Array.length raw) in
+    while !lo < !hi do
+      let mid = (!lo + !hi) / 2 in
+      if raw.(mid) < bound then lo := mid + 1 else hi := mid
+    done;
+    !lo
+
+  let lex_error_result line msg : (Ast.program, parse_error) result =
+    Error (Syntax (Printf.sprintf "lexical error on line %d: %s" line msg))
+
+  let parse_sig ~path (sigt : Token.t array) :
+      (Ast.program, parse_error) result * Parser.top_span array =
+    match Parser.parse_program_spans ~file:path sigt with
+    | prog, spans -> (Ok prog, spans)
+    | exception Parser.Parse_error (msg, _) -> (Error (Syntax msg), [||])
+    | exception Parser.Depth_exceeded (msg, _) ->
+        (Error (Over_budget msg), [||])
+
+  (* Whole-file lex + parse producing exactly [parse_file]'s result value
+     (same error mapping), plus the incremental bookkeeping. *)
+  let full ~path ~source : entry =
+    match Lexer.lex_all source with
+    | exception Lexer.Error (msg, line) ->
+        {
+          ie_source = source;
+          ie_lexed = None;
+          ie_sig = [||];
+          ie_sig_raw = [||];
+          ie_result = lex_error_result line msg;
+          ie_spans = [||];
+        }
+    | lexed ->
+        let sigt, sigraw = sig_of lexed in
+        let result, spans = parse_sig ~path sigt in
+        {
+          ie_source = source;
+          ie_lexed = Some lexed;
+          ie_sig = sigt;
+          ie_sig_raw = sigraw;
+          ie_result = result;
+          ie_spans = spans;
+        }
+
+  let token_eq (a : Token.t) (b : Token.t) =
+    a.Token.kind = b.Token.kind && String.equal a.Token.lexeme b.Token.lexeme
+
+  (* Attempt the sub-file re-parse of [nsig] against the previous entry.
+     Returns the spliced (program, spans), or None when any splice
+     ambiguity demands the whole-file fallback. *)
+  let try_region (e : entry) ~path (oldprog : Ast.program)
+      (info : Lexer.relex_info) (nsig : Token.t array) :
+      (Ast.program * Parser.top_span array) option =
+    let osig = e.ie_sig and osigraw = e.ie_sig_raw and ospans = e.ie_spans in
+    let m_old = Array.length osig and m_new = Array.length nsig in
+    let shift = m_new - m_old in
+    let ld = info.Lexer.rl_line_delta in
+    (* maximal verbatim sig prefix (kind, lexeme and line), seeded from the
+       lexer's raw-token reuse: sig tokens below rl_prefix are identical by
+       construction, the scan only walks the re-lexed middle *)
+    let p = ref (count_sig_below osigraw info.Lexer.rl_prefix) in
+    while
+      !p < m_old && !p < m_new
+      && token_eq osig.(!p) nsig.(!p)
+      && osig.(!p).Token.line = nsig.(!p).Token.line
+    do
+      Stdlib.incr p
+    done;
+    let prefix = !p in
+    (* maximal reused sig suffix: old index j reappears at j + shift with
+       lines uniformly shifted by ld *)
+    let s = ref (count_sig_below osigraw info.Lexer.rl_old_suffix) in
+    while
+      !s > 0
+      &&
+      let j = !s - 1 in
+      let nj = j + shift in
+      nj >= 0 && nj < m_new
+      && token_eq osig.(j) nsig.(nj)
+      && nsig.(nj).Token.line = osig.(j).Token.line + ld
+    do
+      Stdlib.decr s
+    done;
+    let su = !s in
+    if prefix >= m_old && m_old = m_new && prefix >= m_new then
+      (* token streams fully identical (lines included): AST unchanged *)
+      Some (oldprog, ospans)
+    else begin
+      (* damaged old window [pfx, sfx); clamp so the matched regions map to
+         disjoint ranges of the new stream *)
+      let sfx = max su prefix in
+      let pfx = min prefix (sfx + shift) in
+      if pfx < 0 || sfx > m_old || sfx + shift > m_new then None
+      else begin
+        (* classify top-level statements against the window *)
+        let n_spans = Array.length ospans in
+        let dirty = ref [] in
+        Array.iteri
+          (fun k (sp : Parser.top_span) ->
+            if sp.Parser.sp_stop <= pfx then ()
+            else if sp.Parser.sp_start >= sfx then ()
+            else dirty := k :: !dirty)
+          ospans;
+        match List.rev !dirty with
+        | _ :: _ :: _ -> None (* damage straddles several definitions *)
+        | dirty_list -> (
+            (* old region to re-parse: the dirty statement's full extent,
+               widened to cover the whole damaged window *)
+            let r_lo, r_hi =
+              match dirty_list with
+              | [ k ] ->
+                  ( min pfx ospans.(k).Parser.sp_start,
+                    max sfx ospans.(k).Parser.sp_stop )
+              | _ -> (pfx, sfx)
+            in
+            let stop_new = r_hi + shift in
+            if stop_new < r_lo || stop_new > m_new then None
+            else
+              (* splice point: statements strictly before / after region *)
+              let n_before =
+                let c = ref 0 in
+                Array.iter
+                  (fun (sp : Parser.top_span) ->
+                    if sp.Parser.sp_stop <= r_lo then Stdlib.incr c)
+                  ospans;
+                !c
+              in
+              let n_after =
+                let c = ref 0 in
+                Array.iter
+                  (fun (sp : Parser.top_span) ->
+                    if sp.Parser.sp_start >= r_hi then Stdlib.incr c)
+                  ospans;
+                !c
+              in
+              let n_dirty = List.length dirty_list in
+              if n_before + n_dirty + n_after <> n_spans then None
+              else
+                match Parser.parse_region ~file:path nsig ~start:r_lo ~stop:stop_new with
+                | None -> None
+                | Some (fresh_stmts, fresh_spans) ->
+                    Obs.Mirror.incr "parser.region.reparse";
+                    let rec split n acc = function
+                      | rest when n = 0 -> (List.rev acc, rest)
+                      | x :: rest -> split (n - 1) (x :: acc) rest
+                      | [] -> (List.rev acc, [])
+                    in
+                    let before, rest = split n_before [] oldprog in
+                    let _, after = split n_dirty [] rest in
+                    let program =
+                      before @ fresh_stmts @ Ast.shift_lines ld after
+                    in
+                    let spans =
+                      Array.of_list
+                        (List.concat
+                           [
+                             Array.to_list (Array.sub ospans 0 n_before);
+                             fresh_spans;
+                             Array.to_list
+                               (Array.sub ospans (n_before + n_dirty) n_after)
+                             |> List.map (fun (sp : Parser.top_span) ->
+                                    {
+                                      Parser.sp_start = sp.Parser.sp_start + shift;
+                                      sp_stop = sp.Parser.sp_stop + shift;
+                                    });
+                           ])
+                    in
+                    Some (program, spans))
+      end
+    end
+
+  (* One file update: relex incrementally, splice or fall back, publish. *)
+  let compute (e : entry option) ~path ~source : entry =
+    match e with
+    | Some ({ ie_lexed = Some oldlx; ie_result = Ok oldprog; _ } as e) -> (
+        match Lexer.relex oldlx source with
+        | exception Lexer.Error (msg, line) ->
+            {
+              ie_source = source;
+              ie_lexed = None;
+              ie_sig = [||];
+              ie_sig_raw = [||];
+              ie_result = lex_error_result line msg;
+              ie_spans = [||];
+            }
+        | nlx, info -> (
+            let nsig, nsigraw = sig_of nlx in
+            let spliced =
+              match try_region e ~path oldprog info nsig with
+              | v -> v
+              | exception (Parser.Parse_error _ | Parser.Depth_exceeded _) ->
+                  (* the region parse failed where the full parse would
+                     fail too; run the fallback to produce the identical
+                     structured error *)
+                  None
+            in
+            match spliced with
+            | Some (program, spans) ->
+                let program, spans =
+                  if Atomic.get verify_flag then begin
+                    let fresult, fspans = parse_sig ~path nsig in
+                    match fresult with
+                    | Ok fprog
+                      when String.equal
+                             (Digest.structural fprog)
+                             (Digest.structural program) ->
+                        (program, spans)
+                    | Ok fprog ->
+                        Obs.Mirror.incr "parser.region.verify_mismatch";
+                        (fprog, fspans)
+                    | Error _ ->
+                        Obs.Mirror.incr "parser.region.verify_mismatch";
+                        (program, spans)
+                  end
+                  else (program, spans)
+                in
+                {
+                  ie_source = source;
+                  ie_lexed = Some nlx;
+                  ie_sig = nsig;
+                  ie_sig_raw = nsigraw;
+                  ie_result = Ok program;
+                  ie_spans = spans;
+                }
+            | None ->
+                Obs.Mirror.incr "parser.region.fallback";
+                let result, spans = parse_sig ~path nsig in
+                {
+                  ie_source = source;
+                  ie_lexed = Some nlx;
+                  ie_sig = nsig;
+                  ie_sig_raw = nsigraw;
+                  ie_result = result;
+                  ie_spans = spans;
+                }))
+    | Some _ | None -> full ~path ~source
+
+  (* Publish into the same two cache tiers [parse_file] reads, under its
+     exact keys, so downstream analyzers hit without code changes. *)
+  let seed_caches ~path ~source result =
+    if Parse_cache.enabled () then
+      Parse_cache.seed Parse_cache.shared (path, Digest.string source) result;
+    if Store.enabled () then begin
+      let key =
+        Digest.combine
+          [ path; Digest.hex source; string_of_int (Parser.nesting_limit ()) ]
+      in
+      Store.put ~ns:"parse" ~key result
+    end
+
+  let update session ~path ~source : (Ast.program, parse_error) result =
+    match Hashtbl.find_opt session.ses_files path with
+    | Some e when String.equal e.ie_source source -> e.ie_result
+    | prev ->
+        let e = compute prev ~path ~source in
+        Hashtbl.replace session.ses_files path e;
+        seed_caches ~path ~source e.ie_result;
+        e.ie_result
+
+  let forget session path = Hashtbl.remove session.ses_files path
+
+  let result session path =
+    Option.map
+      (fun e -> e.ie_result)
+      (Hashtbl.find_opt session.ses_files path)
+end
 
 (* ------------------------------------------------------------------ *)
 (* Loading a project from the filesystem                              *)

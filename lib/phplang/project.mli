@@ -46,6 +46,13 @@ module Parse_cache : sig
       waiters are woken (the next caller retries), and the exception is
       re-raised with its backtrace. *)
 
+  val seed :
+    t -> string * string -> (Ast.program, parse_error) result -> unit
+  (** Publish a result computed outside the memo (the incremental
+      pipeline), so later {!memo} calls for the key hit.  A key currently
+      being parsed is left alone — the live parse publishes the same
+      value. *)
+
   val set_enabled : bool -> unit
   (** Globally enable/disable memoization ([true] initially).  Flip only
       from the main domain while no analysis is running. *)
@@ -100,6 +107,42 @@ val include_closure :
     bounds the include-chain depth and [max_files] the closure size (both
     default to unlimited); exceeding either stops the walk and marks the
     closure truncated — the caller reports that as a budget exhaustion. *)
+
+(** Sub-file incremental re-parse sessions (the [--watch]/daemon hot
+    path).  {!Increment.update} re-lexes only an edit's damaged region
+    ({!Lexer.relex}), re-parses the enclosing top-level statement
+    ({!Parser.parse_region}) and splices it into the cached AST with the
+    unchanged suffix's positions rebased; any ambiguity falls back to a
+    whole-file parse, counted in [parser.region.fallback].  Results are
+    byte-identical to {!parse_file} on the same input (verifiable per
+    update with {!Increment.set_verify}) and are published into
+    {!Parse_cache.shared} and the disk {!Store} under {!parse_file}'s
+    keys, so downstream analyzers hit transparently. *)
+module Increment : sig
+  type session
+
+  val create : unit -> session
+
+  val update :
+    session -> path:string -> source:string -> (Ast.program, parse_error) result
+  (** Bring [path] up to date with [source], incrementally when the
+      session has seen the file before, and seed the process parse caches.
+      Returns exactly what {!parse_file} would for the same input. *)
+
+  val forget : session -> string -> unit
+  (** Drop a file (deleted from the project); the next update re-parses it
+      from scratch. *)
+
+  val result :
+    session -> string -> (Ast.program, parse_error) result option
+  (** Last known result for [path], if the session has seen it. *)
+
+  val set_verify : bool -> unit
+  (** When on, every sub-file splice is checked against a whole-file parse
+      (structural digests must match; a mismatch bumps
+      [parser.region.verify_mismatch] and uses the full parse).  For tests
+      and E17; process-global. *)
+end
 
 val load : string -> t
 (** [load target] reads a project from disk: a directory becomes a project

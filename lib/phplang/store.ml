@@ -29,7 +29,11 @@
     the frame format changes: old entries become invisible, not invalid. *)
 (* v4: Ast.Coalesce extends the binop type, so marshalled ASTs (and the
    summaries/findings derived from them) from v3 are incompatible. *)
-let format_version = 5
+(* v6: the sub-file incremental pipeline adds per-definition digest tables
+   (ns "defdigest") and switches Digest.structural to No_sharing
+   marshalling, changing every derived digest; v5 entries' keys and
+   payloads are both stale. *)
+let format_version = 6
 
 let magic = "phpsafe-store"
 

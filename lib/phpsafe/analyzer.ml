@@ -464,6 +464,131 @@ let summary_key ic funcs key : string option =
           m.fm_key <- Some k;
           k)
 
+(* ------------------------------------------------------------------ *)
+(* Summary-DAG invalidation bookkeeping                               *)
+(* ------------------------------------------------------------------ *)
+
+(* Per-definition digest tables, persisted per analyzable file in the
+   Store (ns "defdigest"), keyed by the summary fingerprint + project
+   name + path so a configuration change starts a fresh lineage.  Each tracked run diffs
+   the previous tables against the current definitions: a definition whose
+   structural digest changed — plus every transitive caller over the
+   call graph — is exactly the set whose content-addressed summary keys
+   (see [summary_key]) changed, so
+   [summary.dag.invalidated]/[summary.dag.retained] measure precisely how
+   much of the summary DAG an edit dirtied; sibling definitions in the
+   same file stay retained, and their summaries (and recorded second-order
+   writes) replay from cache.
+
+   Each table carries its file's source digest, so a run only rescans and
+   re-digests the bodies of files whose bytes changed — the tables (and
+   call edges) of unchanged files replay verbatim.  A tracked warm run
+   therefore costs one source digest per file, not one body scan per
+   definition.  Tracking is opt-in (watch mode, the daemon, E17): plain
+   batch runs skip even that. *)
+let dag_tracking = Atomic.make false
+let set_dag_tracking b = Atomic.set dag_tracking b
+
+(* persisted per file: (source digest, [(def key, body digest, callees)]) *)
+type def_table = string * (string * string * string list) list
+
+let track_definition_dag (c : ctx) (ic : icache) (analyzable : string list) =
+  Obs.span "phpsafe.dag" @@ fun () ->
+  let by_file : (string, string list ref) Hashtbl.t = Hashtbl.create 32 in
+  Hashtbl.iter
+    (fun key (fi : func_info) ->
+      match Hashtbl.find_opt by_file fi.fi_file with
+      | Some r -> r := key :: !r
+      | None -> Hashtbl.replace by_file fi.fi_file (ref [ key ]))
+    c.funcs;
+  let changed = Hashtbl.create 16 in
+  (* def key -> callees, merged over reused and rescanned tables *)
+  let table : (string, string list) Hashtbl.t = Hashtbl.create 64 in
+  let total = ref 0 in
+  List.iter
+    (fun path ->
+      let src_digest =
+        match Phplang.Project.find c.project path with
+        | Some f -> Phplang.Digest.hex f.Phplang.Project.source
+        | None -> ""
+      in
+      let store_key =
+        (* the project name disambiguates same-named files across the
+           plugins sharing one store *)
+        Phplang.Digest.combine
+          [ "defdigest"; ic.ic_sum_fp; c.project.Phplang.Project.name; path ]
+      in
+      let prev : def_table option =
+        Phplang.Store.get ~ns:"defdigest" ~key:store_key
+      in
+      match prev with
+      | Some (d, defs) when String.equal d src_digest ->
+          (* unchanged bytes: the table replays verbatim, no body scans *)
+          total := !total + List.length defs;
+          List.iter
+            (fun (k, _, callees) -> Hashtbl.replace table k callees)
+            defs
+      | _ ->
+          let keys =
+            match Hashtbl.find_opt by_file path with
+            | Some r -> List.sort String.compare !r
+            | None -> []
+          in
+          let defs =
+            List.filter_map
+              (fun k ->
+                match meta ic c.funcs k with
+                | None -> None
+                | Some m -> Some (k, m.fm_digest, m.fm_callees))
+              keys
+          in
+          total := !total + List.length defs;
+          let prev_defs =
+            match prev with Some (_, pdefs) -> pdefs | None -> []
+          in
+          List.iter
+            (fun (k, dg, callees) ->
+              Hashtbl.replace table k callees;
+              match
+                List.find_opt (fun (k', _, _) -> String.equal k k') prev_defs
+              with
+              | Some (_, dg', _) when String.equal dg dg' -> ()
+              | _ -> Hashtbl.replace changed k ())
+            defs;
+          Phplang.Store.put ~ns:"defdigest" ~key:store_key
+            ((src_digest, defs) : def_table))
+    analyzable;
+  (* propagate over reverse call edges: a changed callee dirties every
+     transitive caller's summary key *)
+  let rdeps : (string, string list ref) Hashtbl.t = Hashtbl.create 64 in
+  Hashtbl.iter
+    (fun key callees ->
+      List.iter
+        (fun callee ->
+          match Hashtbl.find_opt rdeps callee with
+          | Some r -> r := key :: !r
+          | None -> Hashtbl.replace rdeps callee (ref [ key ]))
+        callees)
+    table;
+  let invalidated = Hashtbl.create 16 in
+  let rec mark key =
+    if not (Hashtbl.mem invalidated key) then begin
+      Hashtbl.replace invalidated key ();
+      match Hashtbl.find_opt rdeps key with
+      | Some callers -> List.iter mark !callers
+      | None -> ()
+    end
+  in
+  Hashtbl.iter (fun k () -> mark k) changed;
+  (* count invalidation only against definitions that exist now *)
+  let inv =
+    Hashtbl.fold
+      (fun k () acc -> if Hashtbl.mem table k then acc + 1 else acc)
+      invalidated 0
+  in
+  Obs.Mirror.add "summary.dag.invalidated" inv;
+  Obs.Mirror.add "summary.dag.retained" (max 0 (!total - inv))
+
 (** What the summary cache persists: the summary, the findings emitted
     while it was being built (a sink inside the body fed directly by a
     superglobal reports immediately), and every summary published during
@@ -1687,6 +1812,10 @@ let analyze_project_internal ?(opts = default_options)
       analyzable;
     analyzable
   in
+  (match ctx.cache with
+  | Some ic when Atomic.get dag_tracking ->
+      track_definition_dag ctx ic analyzable
+  | _ -> ());
   (* crash barrier: an exception escaping the taint walk poisons only the
      file that triggered it, never the project run *)
   let mark_file_crashed_msg path msg =

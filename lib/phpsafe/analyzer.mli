@@ -55,6 +55,19 @@ val default_options : options
 val guard_functions : string list
 (** Validation functions recognised under [respect_guards]. *)
 
+val set_dag_tracking : bool -> unit
+(** Enable summary-DAG invalidation bookkeeping (off initially).  When on
+    and a {!Phplang.Store} root is configured, each run persists a
+    per-definition structural-digest table per analyzable file (store
+    namespace ["defdigest"]) and diffs it against the previous run's: a
+    definition whose body changed — plus every transitive caller over the
+    call graph — counts as [summary.dag.invalidated], the rest as
+    [summary.dag.retained] (both {!Obs.Mirror} counters).  The invalidated
+    set is exactly the set whose content-addressed summary keys changed,
+    so the counters measure how much summary reuse an edit preserved.
+    Used by watch mode, the daemon and E17; plain batch runs leave it off
+    and skip the per-definition scans. *)
+
 val analyze_project :
   ?opts:options -> Phplang.Project.t -> Secflow.Report.result
 (** Run all four stages (§III) over a plugin project: parse every file,

@@ -7,7 +7,12 @@ type 'a outcome =
   | Cancelled
   | Crashed of exn * Printexc.raw_backtrace
 
-type pool = { pool_size : int }
+type pool = {
+  mutable pool_size : int;
+  pinned : bool;
+      (* explicitly sized pools never track the environment; auto-sized
+         ones can be re-fitted with [refresh] *)
+}
 
 (* Cgroup-v2 CPU quota, for the oversubscribed-host case: a container
    pinned to "200000 100000" (2 CPUs) still sees the machine's full core
@@ -66,10 +71,20 @@ let default_size () =
           fb)
 
 let create ?size () =
-  let n = match size with Some n -> max 1 n | None -> default_size () in
-  { pool_size = n }
+  match size with
+  | Some n -> { pool_size = max 1 n; pinned = true }
+  | None -> { pool_size = default_size (); pinned = false }
 
 let size p = p.pool_size
+
+let refresh p =
+  if not p.pinned then begin
+    let n = default_size () in
+    if n <> p.pool_size then begin
+      Obs.incr "sched.pool.resized";
+      p.pool_size <- n
+    end
+  end
 
 let run_item f x =
   match Obs.span "sched.item" (fun () -> f x) with

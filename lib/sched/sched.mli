@@ -51,6 +51,16 @@ val create : ?size:int -> unit -> pool
 
 val size : pool -> int
 
+val refresh : pool -> unit
+(** Re-fit an auto-sized pool to the current environment by re-reading
+    {!default_size} — including [/sys/fs/cgroup/cpu.max], so a long-lived
+    daemon or [--watch] loop tracks container CPU-quota resizes instead of
+    keeping its start-time size forever.  A pool created with an explicit
+    [~size] is pinned and never changes.  Call between fan-outs (the
+    daemon does so between batches, the watch loop between iterations) —
+    never while a {!map} on the pool is in flight.  An actual size change
+    bumps the [sched.pool.resized] counter. *)
+
 val map_result :
   ?chunk:int -> pool:pool -> ('a -> 'b) -> 'a list -> 'b outcome list
 (** [map_result ~pool f items] applies [f] to every item, using up to

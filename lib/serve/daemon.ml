@@ -137,10 +137,43 @@ type t = {
   mutable conn_seq : int;
   mutable threads : Thread.t list;
   listen_fd : Unix.file_descr;
+  (* per-(tenant, project, opts) incremental parse sessions, under [wm]:
+     a client re-scanning an edited project re-parses only the damaged
+     regions (see {!Watch}), and the seeded parse caches make the analysis
+     itself warm.  Bounded: the table is dropped wholesale past
+     [max_watch_sessions] — sessions are an accelerator, losing one only
+     costs a cold parse. *)
+  wm : Mutex.t;
+  watch_sessions : (string, Watch.session) Hashtbl.t;
 }
 
-let jobs_of cfg =
-  match cfg.jobs with Some n -> max 1 n | None -> Sched.default_size ()
+let max_watch_sessions = 64
+
+let watch_session_of t (req : Protocol.scan_request) =
+  let o = req.Protocol.sr_opts in
+  let key =
+    String.concat "\x00"
+      [ Option.value ~default:"" req.Protocol.sr_tenant;
+        req.Protocol.sr_project.Phplang.Project.name;
+        String.lowercase_ascii o.Scan.tool;
+        Scan.kind_to_string o.Scan.kind;
+        string_of_bool o.Scan.contexts;
+        string_of_bool o.Scan.flow;
+        string_of_bool o.Scan.second_order ]
+  in
+  Mutex.lock t.wm;
+  let session =
+    match Hashtbl.find_opt t.watch_sessions key with
+    | Some s -> s
+    | None ->
+        if Hashtbl.length t.watch_sessions >= max_watch_sessions then
+          Hashtbl.reset t.watch_sessions;
+        let s = Watch.create o in
+        Hashtbl.replace t.watch_sessions key s;
+        s
+  in
+  Mutex.unlock t.wm;
+  session
 
 (* ------------------------------------------------------------------ *)
 (* Ops replies                                                         *)
@@ -210,8 +243,16 @@ let metrics_reply t id =
               ("write_errors", Json.Int s.Phplang.Store.write_errors) ] ))
       (Phplang.Store.counters ())
   in
+  (* the sub-file incremental pipeline's process-lifetime counters:
+     checkpointed-lexing resumes, region re-parses and their fallbacks,
+     summary-DAG invalidation.  [Obs.Mirror] is always on and readable
+     from this connection thread, unlike an [Obs] snapshot. *)
+  let incremental =
+    List.map (fun (k, v) -> (k, Json.Int v)) (Obs.Mirror.all ())
+  in
   Protocol.ok_reply ~op:"metrics" ?id
     [ ("counters", Json.Obj (List.map (fun (k, v) -> (k, Json.Int v)) counters));
+      ("incremental", Json.Obj incremental);
       ("gauges",
        Json.Obj
          [ ("serve.queue.depth", Json.Int queue_depth);
@@ -243,6 +284,15 @@ let execute_job t (job : job) =
     (fun () ->
       Secflow.Deadline.with_deadline job.jb_deadline (fun () ->
           Phplang.Store.with_tenant req.Protocol.sr_tenant (fun () ->
+              (* sub-file incremental warm-up: re-parse only what changed
+                 since this (tenant, project, opts)'s last scan and seed
+                 the parse caches; the analysis below hits them.  The
+                 session lock only covers this refresh — analyses still
+                 fan out in parallel. *)
+              let session = watch_session_of t req in
+              ignore
+                (Watch.refresh_sources session req.Protocol.sr_project
+                  : string list * string list);
               Protocol.scan_reply ?id:req.Protocol.sr_id
                 ~report:
                   (Scan.run_json req.Protocol.sr_opts req.Protocol.sr_project)
@@ -364,6 +414,10 @@ let scheduler_loop t =
       | Some age when Phplang.Store.enabled () ->
           ignore (Phplang.Store.prune ~max_age_s:age () : int)
       | _ -> ());
+      (* re-fit an auto-sized pool to the current cgroup CPU quota while
+         no map is in flight — a daemon in a resized container tracks it
+         instead of keeping its start-time size forever *)
+      Sched.refresh t.pool;
       loop ()
     end
   in
@@ -583,11 +637,14 @@ let run ?on_ready cfg =
   (match on_ready with
   | Some f -> f (Unix.getsockname listen_fd)
   | None -> ());
-  let jobs = jobs_of cfg in
+  (* an explicit --jobs pins the pool; an auto-sized one is re-fitted to
+     the cgroup CPU quota between batches (Sched.refresh) *)
+  let pool = Sched.create ?size:cfg.jobs () in
+  let jobs = Sched.size pool in
   let t =
     {
       cfg;
-      pool = Sched.create ~size:jobs ();
+      pool;
       max_inflight =
         (match cfg.max_inflight with Some n -> max 1 n | None -> 4 * jobs);
       started = Obs.Clock.now ();
@@ -608,6 +665,8 @@ let run ?on_ready cfg =
       conn_seq = 0;
       threads = [];
       listen_fd;
+      wm = Mutex.create ();
+      watch_sessions = Hashtbl.create 16;
     }
   in
   Obs.set_gauge "serve.jobs" (float_of_int jobs);

@@ -315,6 +315,25 @@ let corruption_cases =
           (walk_files dir []);
         Alcotest.(check bool) "future-version entry is a miss" true
           (Store.get ~ns:"vtest" ~key:"k" = (None : int list option)));
+    case "v5 trees are invisible after the v6 format bump" `Quick (fun () ->
+        (* format 6 switched structural digests to Marshal.No_sharing, so
+           every digest-derived key changed; the version gate is what keeps
+           v5 entries from ever being read back as v6 ones *)
+        Alcotest.(check bool) "store format is at least 6" true
+          (Store.format_version >= 6);
+        with_cache_dir @@ fun dir ->
+        Store.put ~ns:"vtest" ~key:"k" "current";
+        let vdir v = Filename.concat dir (Printf.sprintf "v%d" v) in
+        (* demote the freshly written tree to the previous format's dir,
+           as if it had been left behind by an older binary *)
+        Sys.rename (vdir Store.format_version)
+          (vdir (Store.format_version - 1));
+        Alcotest.(check bool) "previous-version tree is a miss" true
+          (Store.get ~ns:"vtest" ~key:"k" = (None : string option));
+        Store.put ~ns:"vtest" ~key:"k" "rewritten";
+        Alcotest.(check bool) "repopulating alongside the stale tree works"
+          true
+          (Store.get ~ns:"vtest" ~key:"k" = Some "rewritten"));
   ]
 
 (* ------------------------------------------------------------------ *)

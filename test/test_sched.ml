@@ -205,6 +205,31 @@ let jobs_env_cases =
           (count_occurrences ~needle:"job(s)" err = 1));
   ]
 
+let refresh_cases =
+  [
+    case "refresh re-fits an auto-sized pool to the environment" `Quick
+      (fun () ->
+        let p = with_jobs_env "2" (fun () -> Sched.create ()) in
+        Alcotest.(check int) "created at 2" 2 (Sched.size p);
+        with_jobs_env "5" (fun () -> Sched.refresh p);
+        Alcotest.(check int) "re-fitted to 5" 5 (Sched.size p);
+        (* unchanged environment: refresh is a no-op *)
+        with_jobs_env "5" (fun () -> Sched.refresh p);
+        Alcotest.(check int) "stable when nothing changed" 5 (Sched.size p));
+    case "refresh never touches an explicitly sized pool" `Quick (fun () ->
+        let p = Sched.create ~size:3 () in
+        with_jobs_env "7" (fun () -> Sched.refresh p);
+        Alcotest.(check int) "pinned pools keep their size" 3 (Sched.size p));
+    case "a refreshed pool schedules correctly at its new size" `Quick
+      (fun () ->
+        let p = with_jobs_env "1" (fun () -> Sched.create ()) in
+        with_jobs_env "4" (fun () -> Sched.refresh p);
+        let xs = List.init 64 Fun.id in
+        Alcotest.(check (list int)) "map preserves order and results"
+          (List.map (fun x -> x * x) xs)
+          (Sched.map ~pool:p (fun x -> x * x) xs));
+  ]
+
 let quota_cases =
   [
     case "parse_cpu_quota: no quota, malformed, and rounding" `Quick (fun () ->
@@ -304,6 +329,7 @@ let () =
       ("Sched.map_result", map_result_cases);
       ("PHPSAFE_JOBS", jobs_env_cases);
       ("pool sizing", quota_cases);
+      ("pool refresh", refresh_cases);
       ("parallel driver determinism", driver_cases);
       ("parse cache", cache_cases);
     ]

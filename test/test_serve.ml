@@ -793,9 +793,126 @@ let robustness_cases =
     ;
   ]
 
+(* ------------------------------------------------------------------ *)
+(* Watch sessions: edit-delta scanning                                 *)
+(* ------------------------------------------------------------------ *)
+
+let watch_cases =
+  let module Watch = Serve.Watch in
+  let cold_json opts proj =
+    (* reference render with every warm shortcut off: what a from-scratch
+       process would print for the same bytes *)
+    Phplang.Project.Parse_cache.set_enabled false;
+    Fun.protect
+      ~finally:(fun () -> Phplang.Project.Parse_cache.set_enabled true)
+      (fun () -> Scan.run_json opts proj)
+  in
+  [
+    case "initial scan reports everything as new" `Quick (fun () ->
+        let s = Watch.create Scan.default in
+        let d = Watch.scan s vuln_project in
+        Alcotest.(check bool) "initial" true d.Watch.d_initial;
+        Alcotest.(check (list string)) "all paths changed"
+          [ "a.php"; "b.php" ] d.Watch.d_changed;
+        Alcotest.(check (list string)) "nothing deleted" [] d.Watch.d_deleted;
+        Alcotest.(check bool) "found something" true (d.Watch.d_total > 0);
+        Alcotest.(check int) "everything is an added finding" d.Watch.d_total
+          (List.length d.Watch.d_added);
+        Alcotest.(check (list int)) "nothing removed" []
+          (List.map (fun _ -> 0) d.Watch.d_removed);
+        Alcotest.(check string) "report byte-identical to a cold scan"
+          (cold_json Scan.default vuln_project)
+          d.Watch.d_report);
+    case "an edit produces a minimal delta, byte-identical report" `Quick
+      (fun () ->
+        let s = Watch.create Scan.default in
+        let d0 = Watch.scan s vuln_project in
+        (* fix the XSS in a.php; b.php untouched *)
+        let edited =
+          project "demo"
+            [ ("a.php", "<?php\n$x = $_GET['q'];\necho htmlentities($x);\n");
+              ("b.php",
+               "<?php\n$id = $_POST['id'];\nmysql_query(\"SELECT * FROM t \
+                WHERE id = $id\");\n") ]
+        in
+        let d = Watch.scan s edited in
+        Alcotest.(check bool) "not initial" false d.Watch.d_initial;
+        Alcotest.(check (list string)) "only the edited path" [ "a.php" ]
+          d.Watch.d_changed;
+        Alcotest.(check int) "no new findings" 0 (List.length d.Watch.d_added);
+        Alcotest.(check bool) "the fixed finding is removed" true
+          (List.length d.Watch.d_removed > 0);
+        Alcotest.(check int) "total dropped by the removals"
+          (d0.Watch.d_total - List.length d.Watch.d_removed)
+          d.Watch.d_total;
+        Alcotest.(check string) "report byte-identical to a cold scan"
+          (cold_json Scan.default edited)
+          d.Watch.d_report);
+    case "a deleted file retracts its findings" `Quick (fun () ->
+        let s = Watch.create Scan.default in
+        let d0 = Watch.scan s vuln_project in
+        let shrunk =
+          project "demo"
+            [ ("a.php", "<?php\n$x = $_GET['q'];\necho $x;\n") ]
+        in
+        let d = Watch.scan s shrunk in
+        Alcotest.(check (list string)) "b.php deleted" [ "b.php" ]
+          d.Watch.d_deleted;
+        Alcotest.(check (list string)) "nothing changed" [] d.Watch.d_changed;
+        Alcotest.(check bool) "b.php findings retracted" true
+          (List.length d.Watch.d_removed > 0);
+        Alcotest.(check int) "total accounts for the retractions"
+          (d0.Watch.d_total - List.length d.Watch.d_removed)
+          d.Watch.d_total);
+    case "scan_if_changed is None on a quiescent project" `Quick (fun () ->
+        let s = Watch.create Scan.default in
+        Alcotest.(check bool) "first scan always fires" true
+          (Watch.scan_if_changed s vuln_project <> None);
+        Alcotest.(check bool) "identical bytes: no event" true
+          (Watch.scan_if_changed s vuln_project = None);
+        let edited =
+          project "demo"
+            [ ("a.php", "<?php\n$x = $_GET['q'];\necho $x; echo $x;\n");
+              ("b.php",
+               "<?php\n$id = $_POST['id'];\nmysql_query(\"SELECT * FROM t \
+                WHERE id = $id\");\n") ]
+        in
+        Alcotest.(check bool) "an edit fires again" true
+          (Watch.scan_if_changed s edited <> None));
+    case "loop delivers the initial scan plus one delta per change" `Quick
+      (fun () ->
+        let s = Watch.create Scan.default in
+        let versions =
+          [| vuln_project;
+             project "demo" [ ("a.php", "<?php\n$x = $_GET['q'];\necho $x;\n") ]
+          |]
+        in
+        let loads = ref 0 in
+        let load () =
+          let p = versions.(min 1 !loads) in
+          incr loads;
+          p
+        in
+        let events = ref [] in
+        Watch.loop s ~load ~poll_ms:5 ~max_events:2
+          ~on_event:(fun d -> events := d :: !events)
+          ();
+        match List.rev !events with
+        | [ first; second ] ->
+            Alcotest.(check bool) "first is the initial scan" true
+              first.Watch.d_initial;
+            Alcotest.(check (list string)) "second saw the deletion"
+              [ "b.php" ] second.Watch.d_deleted
+        | es ->
+            Alcotest.fail
+              (Printf.sprintf "expected exactly 2 events, got %d"
+                 (List.length es)));
+  ]
+
 let () =
   Alcotest.run "serve"
     [ ("frame codec", frame_cases);
       ("request decoding", decode_cases);
+      ("watch sessions", watch_cases);
       ("daemon end-to-end", daemon_cases);
       ("robustness end-to-end", robustness_cases) ]
